@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmarks regenerate every table and figure of the paper.  They share one
+pre-trained NetTAG pipeline (building it is the dominant cost), exposed through
+the session-scoped ``bench_context`` fixture.  Select the profile with the
+``REPRO_BENCH_PROFILE`` environment variable (``fast`` by default, ``paper``
+for the larger configuration).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import BenchContext, get_context
+
+
+@pytest.fixture(scope="session")
+def bench_context() -> BenchContext:
+    return get_context()
+
+
+def emit(table) -> None:
+    """Print a regenerated table so it appears in the benchmark output."""
+    print()
+    print(table.to_text())

@@ -1,0 +1,20 @@
+"""Benchmark regenerating Fig. 5 (comparison with pre-trained AIG encoders)."""
+
+from conftest import emit
+
+from repro.bench import run_fig5
+
+
+def test_fig5_aig_encoder_comparison(benchmark, bench_context):
+    table = benchmark.pedantic(
+        lambda: run_fig5(bench_context), rounds=1, iterations=1, warmup_rounds=0
+    )
+    emit(table)
+
+    rows = {row["Method"]: row for row in table.rows}
+    assert {"FGNN", "DeepGate3", "ExprLLM only", "NetTAG"} <= set(rows)
+    structure_best = max(rows["FGNN"]["Accuracy"], rows["DeepGate3"]["Accuracy"])
+    # Paper shape: NetTAG is the best method and the text-aware methods sit above
+    # the structure-only AIG encoders.
+    assert rows["NetTAG"]["Accuracy"] >= structure_best
+    assert rows["NetTAG"]["Accuracy"] >= rows["ExprLLM only"]["Accuracy"] - 1.0

@@ -1,0 +1,24 @@
+"""Benchmark regenerating Fig. 6 (ablation study)."""
+
+from conftest import emit
+
+from repro.bench import run_fig6
+
+
+def test_fig6_ablation_study(benchmark, bench_context):
+    table = benchmark.pedantic(
+        lambda: run_fig6(bench_context), rounds=1, iterations=1, warmup_rounds=0
+    )
+    emit(table)
+
+    rows = {row["Variant"]: row for row in table.rows}
+    full = rows["NetTAG (full)"]
+    without_tag = rows["w/o TAG"]
+    # Paper shape: removing the TAG text attributes hurts the functional tasks the most.
+    assert full["Task1 Acc"] >= without_tag["Task1 Acc"] - 1.0
+    assert full["Task2 Acc"] >= without_tag["Task2 Acc"] - 2.0
+    # The full model should not be the worst variant on any task.
+    for column in ("Task1 Acc", "Task2 Acc"):
+        assert full[column] >= min(row[column] for row in rows.values()) - 1e-9
+    for column in ("Task3 MAPE", "Task4 MAPE"):
+        assert full[column] <= max(row[column] for row in rows.values()) + 1e-9

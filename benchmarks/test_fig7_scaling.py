@@ -1,0 +1,32 @@
+"""Benchmark regenerating Fig. 7 (scaling with model and data size)."""
+
+from conftest import emit
+
+from repro.bench import run_fig7_data_scaling, run_fig7_model_scaling
+
+
+def test_fig7_model_size_scaling(benchmark, bench_context):
+    table = benchmark.pedantic(
+        lambda: run_fig7_model_scaling(bench_context), rounds=1, iterations=1, warmup_rounds=0
+    )
+    emit(table)
+
+    rows = {row["Model size"]: row for row in table.rows}
+    assert {"small", "medium", "large"} <= set(rows)
+    # Paper shape: the largest backbone is not worse than the smallest one on the
+    # functional tasks (allowing noise at CPU scale).
+    assert rows["large"]["Task1 Acc"] >= rows["small"]["Task1 Acc"] - 5.0
+    assert rows["large"]["Task2 Acc"] >= rows["small"]["Task2 Acc"] - 5.0
+
+
+def test_fig7_data_size_scaling(bench_context, benchmark):
+    table = benchmark.pedantic(
+        lambda: run_fig7_data_scaling(bench_context), rounds=1, iterations=1, warmup_rounds=0
+    )
+    emit(table)
+
+    rows = {row["Data fraction"]: row for row in table.rows}
+    assert {"25%", "50%", "100%"} <= set(rows)
+    # Paper shape: the full corpus is not worse than the 25% corpus (allowing noise).
+    assert rows["100%"]["Task1 Acc"] >= rows["25%"]["Task1 Acc"] - 5.0
+    assert rows["100%"]["Task4 MAPE"] <= rows["25%"]["Task4 MAPE"] + 5.0

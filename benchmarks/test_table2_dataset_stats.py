@@ -1,0 +1,22 @@
+"""Benchmark regenerating Table II (dataset statistics)."""
+
+from conftest import emit
+
+from repro.bench import run_table2
+
+
+def test_table2_dataset_statistics(benchmark, bench_context):
+    table = benchmark.pedantic(
+        lambda: run_table2(bench_context), rounds=1, iterations=1, warmup_rounds=0
+    )
+    emit(table)
+
+    rows = {row["Source"]: row for row in table.rows}
+    assert set(rows) == {"ITC99", "OpenCores", "Chipyard", "VexRiscv", "Total"}
+    total = rows["Total"]
+    assert total["# Expressions"] > 0
+    assert total["# Cones"] > 0
+    # Paper shape: OpenCores has by far the smallest cones / expressions of the
+    # four suites, Chipyard the largest expressions.
+    assert rows["OpenCores"]["Avg. nodes"] <= rows["Chipyard"]["Avg. nodes"]
+    assert rows["OpenCores"]["Avg. tokens"] <= rows["Chipyard"]["Avg. tokens"]

@@ -1,0 +1,19 @@
+"""Benchmark regenerating Table III (Task 1: gate function identification)."""
+
+from conftest import emit
+
+from repro.bench import run_table3
+
+
+def test_table3_gate_function_identification(benchmark, bench_context):
+    table = benchmark.pedantic(
+        lambda: run_table3(bench_context), rounds=1, iterations=1, warmup_rounds=0
+    )
+    emit(table)
+
+    averages = next(row for row in table.rows if row["Design"] == "Avg.")
+    # Paper shape: NetTAG above the task-specific GNN-RE baseline on the
+    # aggregate metrics (paper: 97% vs 83% accuracy).
+    assert averages["NetTAG Acc"] >= averages["GNN-RE Acc"]
+    assert averages["NetTAG F1"] >= averages["GNN-RE F1"]
+    assert averages["NetTAG Acc"] > 50.0

@@ -1,0 +1,31 @@
+"""Benchmark regenerating Table V (Task 4: circuit power/area prediction)."""
+
+from conftest import emit
+
+from repro.bench import run_table5
+
+
+def _mape(table, target, scenario, method):
+    for row in table.rows:
+        if row["Target"] == target and row["Scenario"] == scenario and row["Method"] == method:
+            return row["MAPE (%)"]
+    raise AssertionError(f"missing row: {target} {scenario} {method}")
+
+
+def test_table5_power_area_prediction(benchmark, bench_context):
+    table = benchmark.pedantic(
+        lambda: run_table5(bench_context), rounds=1, iterations=1, warmup_rounds=0
+    )
+    emit(table)
+
+    for target in ("area", "power"):
+        for scenario in ("w/o opt", "w/ opt"):
+            nettag = _mape(table, target, scenario, "NetTAG")
+            gnn = _mape(table, target, scenario, "GNN")
+            eda = _mape(table, target, scenario, "EDA Tool")
+            # Paper shape: NetTAG has the lowest error in every scenario.
+            assert nettag <= gnn + 1.0
+            assert nettag <= eda + 1.0
+    # Paper shape: the EDA estimate degrades sharply once physical optimisation
+    # is considered for power (34 -> 38% in the paper; large here as well).
+    assert _mape(table, "power", "w/ opt", "EDA Tool") > _mape(table, "power", "w/ opt", "NetTAG")

@@ -1,0 +1,21 @@
+"""Benchmark regenerating Table VI (runtime comparison)."""
+
+from conftest import emit
+
+from repro.bench import run_table6
+
+
+def test_table6_runtime_comparison(benchmark, bench_context):
+    table = benchmark.pedantic(
+        lambda: run_table6(bench_context), rounds=1, iterations=1, warmup_rounds=0
+    )
+    emit(table)
+
+    rows = {row["Source"]: row for row in table.rows}
+    assert set(rows) == {"ITC99", "OpenCores", "Chipyard", "VexRiscv", "GNNRE"}
+    for source, row in rows.items():
+        assert row["NetTAG total (s)"] > 0
+        if source == "GNNRE":
+            continue
+        # Paper shape: roughly an order of magnitude speed-up over the EDA flow.
+        assert row["Speed-up"] > 2.0, f"{source} speed-up too small: {row['Speed-up']}"

@@ -1,0 +1,114 @@
+"""Fig. 8 demo: reasoning about a netlist's arithmetic function.
+
+The paper's final demo (Fig. 8) shows that an LLM asked to interpret a
+flattened post-synthesis netlist struggles — the gate-level Verilog carries no
+functional context — but once NetTAG annotates each gate with its predicted
+functional block (adder / multiplier / comparator / control), the same prompt
+becomes easy: "this module compares two values, performs addition and
+multiplication, and selects the result based on the comparison".
+
+Without an external LLM available, this example reproduces the pipeline up to
+the prompt and a rule-based summary:
+
+1. pre-train NetTAG and fine-tune a gate-function head on a few designs,
+2. take an unseen arithmetic design, anonymise its gate names, and show the
+   raw netlist text an LLM would have to reason about,
+3. predict the functional block of every gate with NetTAG,
+4. print the annotated netlist text and a functional summary derived from the
+   predicted block inventory — the content of the right-hand side of Fig. 8.
+
+Run with ``python examples/arithmetic_reasoning_demo.py``.
+"""
+
+from collections import Counter
+
+import numpy as np
+
+from repro.core import NetTAGConfig, NetTAGPipeline, fit_classifier
+from repro.netlist import write_verilog
+from repro.tasks import TASK1_CLASSES, build_task1_dataset
+
+# Pragmatic phrasing of what each predicted block contributes to the module.
+BLOCK_DESCRIPTIONS = {
+    "adder": "performs addition",
+    "subtractor": "performs subtraction",
+    "multiplier": "performs multiplication",
+    "comparator": "compares two operand values",
+    "control": "selects between intermediate results (multiplexing / control)",
+    "logic": "applies bitwise logic to the operands",
+    "parity": "computes a parity check",
+    "shifter": "shifts an operand",
+}
+
+
+def summarise(block_counts: Counter) -> str:
+    """Turn a predicted block inventory into a one-sentence functional summary."""
+    present = [name for name, count in block_counts.most_common() if count > 0]
+    clauses = [BLOCK_DESCRIPTIONS[name] for name in present if name in BLOCK_DESCRIPTIONS]
+    if not clauses:
+        return "The module's function could not be determined."
+    return "This module " + ", ".join(clauses[:-1]) + (" and " if len(clauses) > 1 else "") + clauses[-1] + "."
+
+
+def main() -> None:
+    print("pre-training NetTAG (fast preset) ...")
+    pipeline = NetTAGPipeline(NetTAGConfig.fast())
+    pipeline.pretrain(designs_per_suite=1)
+    model = pipeline.model
+
+    # Fine-tune a gate-function head on a handful of training designs and hold
+    # out the last design as the "unknown netlist" of the demo.
+    dataset = build_task1_dataset(num_designs=5)
+    train_designs, demo_design = dataset.designs[:-1], dataset.designs[-1]
+
+    train_features, train_labels = [], []
+    for design in train_designs:
+        embeddings, names = model.embed_gates(design.netlist)
+        index = {name: i for i, name in enumerate(names)}
+        for gate, label in design.gate_labels.items():
+            train_features.append(embeddings[index[gate]])
+            train_labels.append(label)
+    head = fit_classifier(np.stack(train_features), train_labels, head="mlp")
+
+    # ------------------------------------------------------------------
+    # The netlist text an LLM would see *without* NetTAG.
+    # ------------------------------------------------------------------
+    verilog = write_verilog(demo_design.netlist)
+    print("\n--- flattened netlist text (first 12 lines) -------------------")
+    for line in verilog.splitlines()[:12]:
+        print(" ", line)
+    print("  ...")
+    print("\nWithout gate-function labels the instance names (g0, g1, ...) and")
+    print("cell types carry no hint of the module's arithmetic behaviour.")
+
+    # ------------------------------------------------------------------
+    # NetTAG gate-function reasoning.
+    # ------------------------------------------------------------------
+    embeddings, names = model.embed_gates(demo_design.netlist)
+    predictions = head.predict(embeddings)
+    predicted_blocks = {name: TASK1_CLASSES[int(p)] for name, p in zip(names, predictions)}
+
+    print("\n--- netlist text annotated with NetTAG gate functions ---------")
+    shown = 0
+    for name in names:
+        gate = demo_design.netlist.gates[name]
+        print(f"  {gate.cell_name:<10} {name:<6} // NetTAG: {predicted_blocks[name]}")
+        shown += 1
+        if shown >= 12:
+            print("  ...")
+            break
+
+    block_counts = Counter(predicted_blocks.values())
+    print("\npredicted block inventory:", dict(block_counts))
+    print("\nfunctional summary (Fig. 8 right-hand side):")
+    print(" ", summarise(block_counts))
+
+    # Ground truth for reference.
+    true_counts = Counter(TASK1_CLASSES[label] for label in demo_design.gate_labels.values())
+    print("\nground-truth block inventory:", dict(true_counts))
+    print("ground-truth summary:")
+    print(" ", summarise(true_counts))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Early PPA estimation scenario: slack, power and area from the netlist stage.
+
+Physical-design feedback normally requires running placement, routing,
+parasitic extraction and sign-off STA — the expensive late-stage flow.  The
+paper's Tasks 3 and 4 show that NetTAG embeddings of the *post-synthesis*
+netlist can predict those late-stage metrics early:
+
+* Task 3 — per-register endpoint slack after physical optimisation,
+* Task 4 — whole-circuit post-layout power and area, both with and without
+  the physical-optimisation pass, compared against the synthesis-tool
+  estimate (the "EDA tool" row of Table V) and a PowPrediCT-style GNN.
+
+This example builds the datasets with the bundled physical-design and
+analysis substrates (placement, SPEF-like parasitics, STA, power/area
+analysis), so every label is produced by an actual — if simplified — flow.
+
+Run with ``python examples/ppa_estimation.py`` (a few minutes on CPU).
+"""
+
+from repro.core import NetTAGConfig, NetTAGPipeline
+from repro.tasks import (
+    average_mape,
+    build_sequential_dataset,
+    build_task4_dataset,
+    run_task3,
+    run_task4,
+    rows_by_method,
+)
+
+
+def main() -> None:
+    print("pre-training NetTAG (fast preset) ...")
+    pipeline = NetTAGPipeline(NetTAGConfig.fast())
+    pipeline.pretrain(designs_per_suite=1)
+
+    # ------------------------------------------------------------------
+    # Task 3: endpoint register slack prediction at the netlist stage.
+    # ------------------------------------------------------------------
+    print("\nbuilding sequential designs with sign-off slack labels ...")
+    sequential = build_sequential_dataset(
+        design_names=("itc1", "itc2", "chipyard1", "vex1", "opencores1", "opencores2")
+    )
+    results3 = run_task3(pipeline.model, sequential, baseline_epochs=20)
+    print("\nTask 3 — endpoint register slack (R / MAPE%, last row = average)")
+    for method, rows in results3.items():
+        for row in rows:
+            d = row.as_dict()
+            print(f"  {method:>10} {d['design']:>12}  R={d['r']:<5} MAPE={d['mape']}%")
+
+    # ------------------------------------------------------------------
+    # Task 4: circuit-level power/area prediction.
+    # ------------------------------------------------------------------
+    print("\nbuilding the circuit-level power/area dataset ...")
+    task4 = build_task4_dataset(num_designs=12)
+    rows4 = run_task4(pipeline.model, task4, baseline_epochs=25)
+
+    print("\nTask 4 — post-layout power/area prediction (R / MAPE%)")
+    print(f"  {'metric':>8} {'scenario':>9} {'method':>10} {'R':>6} {'MAPE%':>6}")
+    for row in rows4:
+        d = row.as_dict()
+        print(f"  {d['metric']:>8} {d['scenario']:>9} {d['method']:>10} {d['r']:>6} {d['mape']:>6}")
+
+    by_method = rows_by_method(rows4)
+    print("\naverage MAPE across metrics/scenarios:")
+    for method in by_method:
+        print(f"  {method:>10}: {round(average_mape(rows4, method), 1)}%")
+
+
+if __name__ == "__main__":
+    main()

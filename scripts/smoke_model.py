@@ -1,0 +1,37 @@
+"""Developer smoke test for the model stack (not part of the test suite)."""
+
+import time
+
+import numpy as np
+
+from repro.core import NetTAGConfig, NetTAGPipeline
+from repro.rtl import make_controller, make_gnnre_design
+from repro.synth import synthesize
+
+
+def main() -> None:
+    start = time.perf_counter()
+    config = NetTAGConfig.fast()
+    pipeline = NetTAGPipeline(config)
+    pipeline.preprocess_corpus(designs_per_suite=1)
+    print("preprocess done", time.perf_counter() - start, "s; cones:", pipeline.summary.num_cones)
+
+    summary = pipeline.pretrain()
+    print(
+        "pretrain done", round(summary.total_seconds, 2), "s | expr loss",
+        None if summary.expr_result is None else round(summary.expr_result.final_loss, 3),
+        "| tag loss", None if summary.tag_result is None else round(summary.tag_result.final_loss, 3),
+    )
+
+    design = synthesize(make_gnnre_design(1, seed=3)).netlist
+    embedding = pipeline.embed_circuit(design)
+    print("circuit embedding dim", embedding.dim, "gates", embedding.gate_embeddings.shape)
+
+    seq = synthesize(make_controller("itc99_b01", seed=5)).netlist
+    seq_embedding = pipeline.embed_circuit(seq)
+    print("sequential embedding cones:", len(seq_embedding.cone_embeddings))
+    print("total", round(time.perf_counter() - start, 2), "s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Developer smoke test for the EDA substrates (not part of the test suite)."""
+
+from repro.rtl import make_gnnre_design, make_controller, render_module
+from repro.synth import synthesize
+from repro.netlist import netlist_to_tag, extract_register_cones, to_aig, write_verilog, read_verilog
+from repro.physical import place, extract_parasitics, physically_optimize, build_layout_graph
+from repro.analysis import analyze_timing, analyze_power, analyze_area
+from repro.expr import parse, equivalent, random_equivalent
+import numpy as np
+
+
+def main() -> None:
+    # Combinational GNN-RE-style design.
+    module = make_gnnre_design(1, seed=3)
+    result = synthesize(module)
+    netlist = result.netlist
+    print("gnnre design:", netlist.num_gates, "gates", result.cell_counts)
+    tag = netlist_to_tag(netlist)
+    print("TAG nodes:", tag.num_nodes, "| sample text:", tag.nodes[5].text[:120])
+    aig = to_aig(netlist)
+    print("AIG gates:", aig.num_gates)
+    text = write_verilog(netlist)
+    back = read_verilog(text, from_string=True)
+    assert back.num_gates == netlist.num_gates
+
+    # Sequential controller.
+    seq_module = make_controller("itc99_b01", seed=5)
+    print(render_module(seq_module)[:300])
+    seq = synthesize(seq_module).netlist
+    print("controller gates:", seq.num_gates, "registers:", len(seq.registers))
+    cones = extract_register_cones(seq)
+    print("cones:", len(cones), "sizes:", [c.num_gates for c in cones][:5])
+
+    placement = place(seq)
+    spef = extract_parasitics(seq, placement)
+    timing = analyze_timing(seq, spef=spef)
+    power = analyze_power(seq, spef=spef)
+    area = analyze_area(seq, placement)
+    print("WNS:", timing.worst_negative_slack, "power:", power.total, "area:", area.total)
+
+    optimized, report = physically_optimize(seq, placement)
+    print("phys opt changes:", report.total_changes)
+    layout = build_layout_graph(optimized)
+    print("layout nodes:", layout.num_nodes)
+
+    expr = parse("!((R1 ^ R2) | !R2)")
+    aug = random_equivalent(expr, rng=np.random.default_rng(0), num_rewrites=4)
+    print("expr:", expr, "| aug:", aug, "| equivalent:", equivalent(expr, aug))
+
+
+if __name__ == "__main__":
+    main()

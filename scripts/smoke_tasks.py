@@ -1,0 +1,61 @@
+"""Developer smoke test for the downstream task runners (not part of the test suite)."""
+
+import time
+
+from repro.core import NetTAGConfig, NetTAGPipeline
+from repro.tasks import (
+    build_aig_dataset,
+    build_sequential_dataset,
+    build_task1_dataset,
+    build_task4_dataset,
+    evaluate_aig_methods,
+    run_task1,
+    run_task2,
+    run_task3,
+    run_task4,
+)
+
+
+def show(label, start):
+    print(f"[{label}] {time.perf_counter() - start:.1f}s")
+    return time.perf_counter()
+
+
+def main() -> None:
+    t = time.perf_counter()
+    pipeline = NetTAGPipeline(NetTAGConfig.fast())
+    pipeline.pretrain(designs_per_suite=1)
+    t = show("pretrain", t)
+
+    task1 = build_task1_dataset(num_designs=3)
+    results1 = run_task1(pipeline.model, task1, baseline_epochs=15)
+    for method, rows in results1.items():
+        print(" Task1", method, rows[-1].as_dict())
+    t = show("task1", t)
+
+    seq = build_sequential_dataset(design_names=("itc1", "itc2", "chipyard1", "vex1", "opencores1"))
+    results2 = run_task2(pipeline.model, seq, baseline_epochs=15)
+    for method, rows in results2.items():
+        print(" Task2", method, rows[-1].as_dict())
+    t = show("task2", t)
+
+    results3 = run_task3(pipeline.model, seq, baseline_epochs=15)
+    for method, rows in results3.items():
+        print(" Task3", method, rows[-1].as_dict())
+    t = show("task3", t)
+
+    task4 = build_task4_dataset(num_designs=10)
+    results4 = run_task4(pipeline.model, task4, baseline_epochs=20)
+    for row in results4:
+        print(" Task4", row.as_dict())
+    t = show("task4", t)
+
+    aig = build_aig_dataset(task1)
+    fig5 = evaluate_aig_methods(pipeline.model, aig)
+    for method, row in fig5.items():
+        print(" Fig5", method, row.as_dict())
+    show("fig5", t)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The offline environment used for this reproduction ships setuptools 65 without
+the ``wheel`` package, so PEP 660 editable installs (``pip install -e .`` with
+only ``pyproject.toml``) fail while the legacy ``setup.py develop`` path works.
+All project metadata lives in ``pyproject.toml``; this file only enables the
+legacy editable-install code path.
+"""
+
+from setuptools import setup
+
+setup()

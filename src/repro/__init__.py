@@ -1,0 +1,31 @@
+"""NetTAG reproduction library.
+
+A complete, pure-Python reproduction of "NetTAG: A Multimodal RTL-and-Layout-
+Aligned Netlist Foundation Model via Text-Attributed Graph" (DAC 2025),
+including every substrate the paper depends on: RTL generation, logic
+synthesis, physical design, timing/power/area analysis, the symbolic
+expression engine, the multimodal encoders (ExprLLM + TAGFormer), the
+self-supervised pre-training objectives, cross-stage alignment and the four
+downstream evaluation tasks with their task-specific baselines.
+
+Subpackages
+-----------
+``repro.nn``        numpy autograd + neural-network framework
+``repro.expr``      symbolic Boolean expression engine
+``repro.cells``     standard-cell library substrate
+``repro.netlist``   netlist IR, Verilog IO, cones, TAG formulation, AIG
+``repro.rtl``       RTL IR and benchmark generators
+``repro.synth``     logic synthesis (bit-blasting + technology mapping)
+``repro.physical``  placement, parasitics, physical optimisation, layout graphs
+``repro.analysis``  static timing, power and area analysis
+``repro.encoders``  ExprLLM, TAGFormer, RTL/layout encoders, baseline GNNs
+``repro.pretrain``  self-supervised objectives and pre-training loops
+``repro.ml``        gradient-boosted trees, MLP heads and metrics
+``repro.core``      the NetTAG foundation model, fine-tuning and pipeline
+``repro.tasks``     downstream task datasets, runners and baselines
+``repro.bench``     experiment harness regenerating every table and figure
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,24 @@
+"""Analysis engines: static timing, power and area (the PrimeTime substitutes)."""
+
+from .sta import (
+    DEFAULT_CLOCK_PERIOD,
+    TimingReport,
+    analyze_timing,
+    critical_path_delay,
+    register_slack_labels,
+)
+from .power import DEFAULT_CLOCK_FREQ_GHZ, PowerReport, analyze_power
+from .area import AreaReport, analyze_area
+
+__all__ = [
+    "TimingReport",
+    "analyze_timing",
+    "register_slack_labels",
+    "critical_path_delay",
+    "DEFAULT_CLOCK_PERIOD",
+    "PowerReport",
+    "analyze_power",
+    "DEFAULT_CLOCK_FREQ_GHZ",
+    "AreaReport",
+    "analyze_area",
+]

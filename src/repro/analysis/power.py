@@ -1,0 +1,93 @@
+"""Power analysis.
+
+The stand-in for PrimeTime-PX: total power is the sum of
+
+* cell leakage power,
+* cell internal/switching power (switching energy x output toggle rate x
+  clock frequency), and
+* net switching power from charging the wire + pin capacitance
+  (``0.5 * C * V^2 * toggle * f``),
+* a clock-tree contribution proportional to the number of registers.
+
+Toggle rates and signal probabilities come from the same static activity
+propagation the TAG annotation uses, so netlist-stage features and
+layout-stage labels are consistent with each other (just as the paper's flow
+uses the same PrimeTime engine for both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..netlist.core import Netlist
+from ..netlist.tag import physical_annotations
+from ..physical.parasitics import SPEF
+
+SUPPLY_VOLTAGE = 0.95          # V
+DEFAULT_CLOCK_FREQ_GHZ = 0.8   # GHz
+CLOCK_TREE_POWER_PER_REGISTER = 1.6  # uW per register (clock buffers + local wiring)
+
+
+@dataclass
+class PowerReport:
+    """Breakdown of the power analysis (all numbers in microwatts)."""
+
+    design: str
+    leakage: float
+    internal: float
+    switching: float
+    clock_tree: float
+
+    @property
+    def total(self) -> float:
+        return round(self.leakage + self.internal + self.switching + self.clock_tree, 4)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "leakage": self.leakage,
+            "internal": self.internal,
+            "switching": self.switching,
+            "clock_tree": self.clock_tree,
+            "total": self.total,
+        }
+
+
+def analyze_power(
+    netlist: Netlist,
+    spef: Optional[SPEF] = None,
+    clock_freq_ghz: float = DEFAULT_CLOCK_FREQ_GHZ,
+    input_toggle_rate: float = 0.2,
+) -> PowerReport:
+    """Compute the power breakdown of a (placed) netlist."""
+    if clock_freq_ghz <= 0:
+        raise ValueError("clock frequency must be positive")
+    annotations = physical_annotations(netlist, input_toggle_rate=input_toggle_rate)
+    load_map = netlist.build_load_map()
+
+    leakage = 0.0
+    internal = 0.0
+    switching = 0.0
+    for gate in netlist.gates.values():
+        cell = netlist.cell_of(gate)
+        annotation = annotations[gate.name]
+        toggle = annotation["toggle_rate"]
+        leakage += cell.leakage_power
+        # internal power: energy per toggle (fJ) * toggles per ns = uW
+        internal += cell.switching_energy * toggle * clock_freq_ghz
+        # net switching power: 0.5 * C * V^2 * toggle * f  (fF * V^2 * GHz -> uW)
+        if spef is not None and spef.get(gate.output) is not None:
+            capacitance = spef[gate.output].capacitance
+        else:
+            sinks = load_map.get(gate.output, ())
+            capacitance = sum(netlist.cell_of(s).input_capacitance for s in sinks) + 0.4 * max(len(sinks), 1)
+        switching += 0.5 * capacitance * SUPPLY_VOLTAGE ** 2 * toggle * clock_freq_ghz
+
+    clock_tree = CLOCK_TREE_POWER_PER_REGISTER * len(netlist.registers) * clock_freq_ghz
+    return PowerReport(
+        design=netlist.name,
+        leakage=round(leakage, 4),
+        internal=round(internal, 4),
+        switching=round(switching, 4),
+        clock_tree=round(clock_tree, 4),
+    )

@@ -1,0 +1,138 @@
+"""Static timing analysis (STA).
+
+The in-repo stand-in for Synopsys PrimeTime's timing engine.  It computes
+arrival times through the combinational logic with a linear cell delay model
+plus (optionally) Elmore wire delays from extracted parasitics, then reports
+the sign-off quantity Task 3 predicts: the *endpoint slack* of every register,
+``slack = clock_period - (arrival at the D pin + setup time)``.
+
+Arrival times start at 0 at primary inputs and at register outputs
+(clock-to-Q is added for register-driven paths).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..netlist.core import Gate, Netlist
+from ..physical.parasitics import SPEF
+
+DEFAULT_CLOCK_PERIOD = 1.2     # ns
+DEFAULT_SETUP_TIME = 0.04      # ns
+DEFAULT_CLOCK_TO_Q = 0.09      # ns
+
+
+@dataclass
+class TimingReport:
+    """Results of one STA run."""
+
+    design: str
+    clock_period: float
+    arrival_times: Dict[str, float]                  # net -> arrival (ns)
+    endpoint_slack: Dict[str, float]                 # register gate name -> slack (ns)
+    critical_path: List[str] = field(default_factory=list)
+
+    @property
+    def worst_negative_slack(self) -> float:
+        if not self.endpoint_slack:
+            return 0.0
+        return min(self.endpoint_slack.values())
+
+    @property
+    def total_negative_slack(self) -> float:
+        return sum(min(0.0, s) for s in self.endpoint_slack.values())
+
+    @property
+    def worst_arrival(self) -> float:
+        return max(self.arrival_times.values()) if self.arrival_times else 0.0
+
+
+def _gate_delay(netlist: Netlist, gate: Gate, load_map, spef: Optional[SPEF]) -> float:
+    """Delay through one gate: intrinsic + drive * load + wire Elmore delay."""
+    cell = netlist.cell_of(gate)
+    sinks = load_map.get(gate.output, ())
+    pin_cap = sum(netlist.cell_of(s).input_capacitance for s in sinks)
+    wire_cap = 0.0
+    wire_delay = 0.0
+    if spef is not None:
+        parasitic = spef.get(gate.output)
+        if parasitic is not None:
+            wire_cap = parasitic.wire_capacitance
+            wire_delay = parasitic.elmore_delay
+    else:
+        wire_cap = 0.4 * max(len(sinks), 1)
+    return cell.load_delay(pin_cap + wire_cap) + wire_delay
+
+
+def analyze_timing(
+    netlist: Netlist,
+    clock_period: float = DEFAULT_CLOCK_PERIOD,
+    spef: Optional[SPEF] = None,
+    setup_time: float = DEFAULT_SETUP_TIME,
+    clock_to_q: float = DEFAULT_CLOCK_TO_Q,
+) -> TimingReport:
+    """Run STA over the netlist and return arrival times and register slacks."""
+    if clock_period <= 0:
+        raise ValueError("clock period must be positive")
+    load_map = netlist.build_load_map()
+    arrival: Dict[str, float] = {net: 0.0 for net in netlist.primary_inputs}
+    predecessor: Dict[str, str] = {}
+
+    order = netlist.topological_order()
+    for gate in order:
+        if netlist.is_register(gate):
+            arrival[gate.output] = clock_to_q
+            continue
+    for gate in order:
+        if netlist.is_register(gate):
+            continue
+        input_arrivals = [(net, arrival.get(net, 0.0)) for net in gate.input_nets]
+        worst_net, worst_input = max(input_arrivals, key=lambda item: item[1], default=("", 0.0))
+        delay = _gate_delay(netlist, gate, load_map, spef)
+        arrival[gate.output] = worst_input + delay
+        if worst_net:
+            predecessor[gate.output] = worst_net
+
+    endpoint_slack: Dict[str, float] = {}
+    worst_endpoint: Optional[Tuple[str, float]] = None
+    for register in netlist.registers:
+        data_net = register.inputs.get("D", register.input_nets[0] if register.input_nets else "")
+        data_arrival = arrival.get(data_net, 0.0)
+        slack = clock_period - setup_time - data_arrival
+        endpoint_slack[register.name] = round(slack, 6)
+        if worst_endpoint is None or data_arrival > worst_endpoint[1]:
+            worst_endpoint = (data_net, data_arrival)
+
+    critical_path: List[str] = []
+    if worst_endpoint is not None:
+        net = worst_endpoint[0]
+        while net:
+            critical_path.append(net)
+            net = predecessor.get(net, "")
+        critical_path.reverse()
+    elif arrival:
+        # Purely combinational design: trace back from the latest-arriving net.
+        net = max(arrival, key=arrival.get)
+        while net:
+            critical_path.append(net)
+            net = predecessor.get(net, "")
+        critical_path.reverse()
+
+    return TimingReport(
+        design=netlist.name,
+        clock_period=clock_period,
+        arrival_times={k: round(v, 6) for k, v in arrival.items()},
+        endpoint_slack=endpoint_slack,
+        critical_path=critical_path,
+    )
+
+
+def register_slack_labels(report: TimingReport) -> Dict[str, float]:
+    """Convenience accessor used by the Task-3 dataset builder."""
+    return dict(report.endpoint_slack)
+
+
+def critical_path_delay(report: TimingReport) -> float:
+    """Delay of the longest combinational path in the design."""
+    return report.worst_arrival

@@ -1,0 +1,137 @@
+"""Shared benchmark context.
+
+Every table/figure harness needs a pre-trained NetTAG pipeline and the task
+datasets.  Building them is the expensive part, so this module provides a
+process-wide cached :class:`BenchContext` that benchmark files share.
+
+Two profiles are provided:
+
+* ``fast``  — small encoders, few pre-training steps, reduced dataset sizes;
+  used by default so the full benchmark suite runs in minutes on a laptop.
+* ``paper`` — the larger CPU-sized configuration (medium ExprLLM preset, more
+  pre-training, full dataset sizes).
+
+Select with the ``REPRO_BENCH_PROFILE`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core import NetTAGConfig, NetTAGPipeline
+from ..tasks import (
+    SequentialDataset,
+    Task1Dataset,
+    Task4Dataset,
+    build_sequential_dataset,
+    build_task1_dataset,
+    build_task4_dataset,
+)
+
+PROFILE_ENV_VAR = "REPRO_BENCH_PROFILE"
+
+
+@dataclass
+class BenchProfile:
+    """Sizes and budgets of one benchmark profile."""
+
+    name: str
+    config_factory: str                  # "fast" or "paper" (NetTAGConfig preset)
+    designs_per_suite: int
+    task1_designs: int
+    sequential_designs: Sequence[str]
+    task4_designs: int
+    baseline_epochs: int
+    ablation_task4_designs: int
+
+    @classmethod
+    def fast(cls) -> "BenchProfile":
+        return cls(
+            name="fast",
+            config_factory="fast",
+            designs_per_suite=1,
+            task1_designs=5,
+            sequential_designs=("itc1", "itc2", "chipyard1", "vex1", "opencores1", "opencores2"),
+            task4_designs=14,
+            baseline_epochs=20,
+            ablation_task4_designs=10,
+        )
+
+    @classmethod
+    def paper(cls) -> "BenchProfile":
+        return cls(
+            name="paper",
+            config_factory="paper",
+            designs_per_suite=2,
+            task1_designs=9,
+            sequential_designs=(
+                "itc1", "itc2", "chipyard1", "chipyard2", "vex1", "vex2", "opencores1", "opencores2",
+            ),
+            task4_designs=20,
+            baseline_epochs=40,
+            ablation_task4_designs=12,
+        )
+
+    def make_config(self, **overrides) -> NetTAGConfig:
+        factory = NetTAGConfig.fast if self.config_factory == "fast" else NetTAGConfig.paper
+        return factory(**overrides)
+
+
+def active_profile() -> BenchProfile:
+    """Profile selected via the environment (defaults to ``fast``)."""
+    name = os.environ.get(PROFILE_ENV_VAR, "fast").lower()
+    if name == "paper":
+        return BenchProfile.paper()
+    return BenchProfile.fast()
+
+
+@dataclass
+class BenchContext:
+    """Cached pipeline + datasets shared by the benchmark harnesses."""
+
+    profile: BenchProfile
+    pipeline: NetTAGPipeline
+    _task1: Optional[Task1Dataset] = None
+    _sequential: Optional[SequentialDataset] = None
+    _task4: Optional[Task4Dataset] = None
+
+    @property
+    def model(self):
+        return self.pipeline.model
+
+    def task1_dataset(self) -> Task1Dataset:
+        if self._task1 is None:
+            self._task1 = build_task1_dataset(num_designs=self.profile.task1_designs)
+        return self._task1
+
+    def sequential_dataset(self) -> SequentialDataset:
+        if self._sequential is None:
+            self._sequential = build_sequential_dataset(design_names=self.profile.sequential_designs)
+        return self._sequential
+
+    def task4_dataset(self) -> Task4Dataset:
+        if self._task4 is None:
+            self._task4 = build_task4_dataset(num_designs=self.profile.task4_designs)
+        return self._task4
+
+
+_CONTEXT: Optional[BenchContext] = None
+
+
+def get_context(force_rebuild: bool = False) -> BenchContext:
+    """Return the process-wide benchmark context, pre-training NetTAG on first use."""
+    global _CONTEXT
+    if _CONTEXT is None or force_rebuild:
+        profile = active_profile()
+        pipeline = NetTAGPipeline(profile.make_config())
+        pipeline.pretrain(designs_per_suite=profile.designs_per_suite)
+        _CONTEXT = BenchContext(profile=profile, pipeline=pipeline)
+    return _CONTEXT
+
+
+def reset_context() -> None:
+    """Drop the cached context (used by tests)."""
+    global _CONTEXT
+    _CONTEXT = None

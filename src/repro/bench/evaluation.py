@@ -1,0 +1,90 @@
+"""Shared four-task evaluation used by the ablation (Fig. 6) and scaling (Fig. 7) studies.
+
+Both studies re-train NetTAG under different configurations and then score the
+same four downstream tasks.  This module provides that evaluation loop:
+Task 1/2 report accuracy (%), Task 3/4 report MAPE (%), matching the axes of
+the paper's Fig. 6 and Fig. 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core import NetTAGConfig, NetTAGPipeline
+from ..tasks import (
+    SequentialDataset,
+    Task1Dataset,
+    Task4Dataset,
+    evaluate_nettag_task1,
+    evaluate_nettag_task2,
+    evaluate_nettag_task3,
+    evaluate_task4,
+)
+from .context import BenchContext
+
+
+@dataclass
+class FourTaskScores:
+    """Scores of one NetTAG variant on the four downstream tasks."""
+
+    task1_accuracy: float      # %
+    task2_accuracy: float      # % (balanced accuracy)
+    task3_mape: float          # %
+    task4_mape: float          # % (averaged over metric/scenario)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "task1_accuracy": round(self.task1_accuracy, 1),
+            "task2_accuracy": round(self.task2_accuracy, 1),
+            "task3_mape": round(self.task3_mape, 1),
+            "task4_mape": round(self.task4_mape, 1),
+        }
+
+
+def evaluate_pipeline_on_tasks(
+    pipeline: NetTAGPipeline,
+    task1: Task1Dataset,
+    sequential: SequentialDataset,
+    task4: Task4Dataset,
+    seed: int = 0,
+) -> FourTaskScores:
+    """Score a (pre-trained) pipeline on all four tasks."""
+    model = pipeline.model
+    task1_rows = evaluate_nettag_task1(model, task1, seed=seed)
+    task2_rows = evaluate_nettag_task2(model, sequential, seed=seed)
+    task3_rows = evaluate_nettag_task3(model, sequential, seed=seed)
+    task4_rows = evaluate_task4(model, task4, seed=seed, methods=("NetTAG",))
+
+    task1_accuracy = 100.0 * float(np.mean([r.accuracy for r in task1_rows])) if task1_rows else 0.0
+    task2_accuracy = 100.0 * float(np.mean([r.balanced_accuracy for r in task2_rows])) if task2_rows else 0.0
+    task3_mape = float(np.mean([r.mape for r in task3_rows])) if task3_rows else 0.0
+    task4_mape = float(np.mean([r.mape for r in task4_rows])) if task4_rows else 0.0
+    return FourTaskScores(
+        task1_accuracy=task1_accuracy,
+        task2_accuracy=task2_accuracy,
+        task3_mape=task3_mape,
+        task4_mape=task4_mape,
+    )
+
+
+def pretrain_and_evaluate(
+    config: NetTAGConfig,
+    context: BenchContext,
+    task1: Optional[Task1Dataset] = None,
+    sequential: Optional[SequentialDataset] = None,
+    task4: Optional[Task4Dataset] = None,
+    designs_per_suite: Optional[int] = None,
+) -> FourTaskScores:
+    """Pre-train a fresh pipeline under ``config`` and score the four tasks."""
+    pipeline = NetTAGPipeline(config)
+    pipeline.pretrain(designs_per_suite=designs_per_suite or context.profile.designs_per_suite)
+    return evaluate_pipeline_on_tasks(
+        pipeline,
+        task1 or context.task1_dataset(),
+        sequential or context.sequential_dataset(),
+        task4 or context.task4_dataset(),
+        seed=config.seed,
+    )

@@ -1,0 +1,104 @@
+"""Fig. 7: performance scaling with model size and pre-training data size.
+
+The paper scales the ExprLLM backbone from 110M (BERT) to 1.3B and 8B
+parameters and the pre-training corpus from 25% to 100%, showing monotone
+improvements on all four tasks.  The reproduction sweeps the ``small`` /
+``medium`` / ``large`` text-encoder presets and the same data fractions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core import MODEL_SIZE_PARAMETER_LABELS
+from .context import BenchContext, get_context
+from .evaluation import FourTaskScores, pretrain_and_evaluate
+from .tables import ResultTable
+
+MODEL_SIZES: Tuple[str, ...] = ("small", "medium", "large")
+DATA_FRACTIONS: Tuple[float, ...] = (0.25, 0.5, 1.0)
+
+# Fig. 7 of the paper: Task1/Task2 accuracy (%), Task3/Task4 MAPE (%).
+PAPER_FIG7_MODEL = {
+    "small": {"task1": 88, "task2": 79, "task3": 26, "task4": 24},
+    "medium": {"task1": 96, "task2": 83, "task3": 23, "task4": 22},
+    "large": {"task1": 97, "task2": 86, "task3": 15, "task4": 12},
+}
+PAPER_FIG7_DATA = {
+    0.25: {"task1": 95, "task2": 80, "task3": 19, "task4": 15},
+    0.5: {"task1": 96, "task2": 84, "task3": 16, "task4": 13},
+    1.0: {"task1": 97, "task2": 86, "task3": 15, "task4": 12},
+}
+
+
+def run_fig7_model_scaling(
+    context: Optional[BenchContext] = None,
+    save: bool = True,
+    model_sizes: Sequence[str] = MODEL_SIZES,
+) -> ResultTable:
+    """Regenerate Fig. 7(a): scaling the ExprLLM backbone size."""
+    context = context or get_context()
+    table = ResultTable(
+        experiment="fig7_model_scaling",
+        title="Fig. 7(a): performance scaling with ExprLLM model size",
+        columns=["Model size", "Backbone", "Task1 Acc", "Task2 Acc", "Task3 MAPE", "Task4 MAPE",
+                 "Paper T1", "Paper T2", "Paper T3", "Paper T4"],
+        notes=["Expected shape: accuracies rise and MAPEs fall (weakly monotone) with model size."],
+    )
+    for size in model_sizes:
+        config = context.profile.make_config(model_size=size)
+        scores = pretrain_and_evaluate(config, context)
+        paper = PAPER_FIG7_MODEL.get(size, {})
+        table.add_row(
+            **{
+                "Model size": size,
+                "Backbone": MODEL_SIZE_PARAMETER_LABELS[size],
+                "Task1 Acc": round(scores.task1_accuracy, 1),
+                "Task2 Acc": round(scores.task2_accuracy, 1),
+                "Task3 MAPE": round(scores.task3_mape, 1),
+                "Task4 MAPE": round(scores.task4_mape, 1),
+                "Paper T1": paper.get("task1", ""),
+                "Paper T2": paper.get("task2", ""),
+                "Paper T3": paper.get("task3", ""),
+                "Paper T4": paper.get("task4", ""),
+            }
+        )
+    if save:
+        table.save()
+    return table
+
+
+def run_fig7_data_scaling(
+    context: Optional[BenchContext] = None,
+    save: bool = True,
+    fractions: Sequence[float] = DATA_FRACTIONS,
+) -> ResultTable:
+    """Regenerate Fig. 7(b): scaling the pre-training data fraction."""
+    context = context or get_context()
+    table = ResultTable(
+        experiment="fig7_data_scaling",
+        title="Fig. 7(b): performance scaling with pre-training data size",
+        columns=["Data fraction", "Task1 Acc", "Task2 Acc", "Task3 MAPE", "Task4 MAPE",
+                 "Paper T1", "Paper T2", "Paper T3", "Paper T4"],
+        notes=["Expected shape: more pre-training data never hurts (weakly monotone trends)."],
+    )
+    for fraction in fractions:
+        config = context.profile.make_config(data_fraction=fraction)
+        scores = pretrain_and_evaluate(config, context)
+        paper = PAPER_FIG7_DATA.get(fraction, {})
+        table.add_row(
+            **{
+                "Data fraction": f"{int(fraction * 100)}%",
+                "Task1 Acc": round(scores.task1_accuracy, 1),
+                "Task2 Acc": round(scores.task2_accuracy, 1),
+                "Task3 MAPE": round(scores.task3_mape, 1),
+                "Task4 MAPE": round(scores.task4_mape, 1),
+                "Paper T1": paper.get("task1", ""),
+                "Paper T2": paper.get("task2", ""),
+                "Paper T3": paper.get("task3", ""),
+                "Paper T4": paper.get("task4", ""),
+            }
+        )
+    if save:
+        table.save()
+    return table

@@ -1,0 +1,78 @@
+"""Table II: statistics of the circuit expression and netlist-cone dataset."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..expr import ExprTokenizer
+from ..netlist import expression_dataset, extract_register_cones
+from ..netlist.stats import SourceStatistics, aggregate_statistics, source_statistics
+from ..rtl import SUITE_NAMES, generate_suite
+from ..synth import synthesize
+from .context import BenchContext, get_context
+from .tables import ResultTable
+
+# Reference values from Table II of the paper (counts are in thousands there).
+PAPER_TABLE2 = {
+    "ITC99": {"num_expressions": 47_000, "avg_expression_tokens": 6960, "num_cones": 4_000, "avg_cone_nodes": 1025},
+    "OpenCores": {"num_expressions": 76_000, "avg_expression_tokens": 212, "num_cones": 55_000, "avg_cone_nodes": 173},
+    "Chipyard": {"num_expressions": 109_000, "avg_expression_tokens": 9849, "num_cones": 20_000, "avg_cone_nodes": 2813},
+    "VexRiscv": {"num_expressions": 81_000, "avg_expression_tokens": 5289, "num_cones": 21_000, "avg_cone_nodes": 901},
+    "Total": {"num_expressions": 313_000, "avg_expression_tokens": 5810, "num_cones": 100_000, "avg_cone_nodes": 855},
+}
+
+SUITE_DISPLAY = {"itc99": "ITC99", "opencores": "OpenCores", "chipyard": "Chipyard", "vexriscv": "VexRiscv"}
+
+
+def collect_suite_statistics(designs_per_suite: int = 2, seed: int = 0,
+                             expression_hops: int = 2) -> List[SourceStatistics]:
+    """Synthesise each benchmark family and compute its Table-II row."""
+    tokenizer = ExprTokenizer()
+    rows: List[SourceStatistics] = []
+    for index, suite in enumerate(SUITE_NAMES):
+        expressions: List[str] = []
+        cones = []
+        for module in generate_suite(suite, num_designs=designs_per_suite, seed=seed + index):
+            netlist = synthesize(module).netlist
+            expressions.extend(expr for _, expr in expression_dataset(netlist, k=expression_hops))
+            cones.extend(extract_register_cones(netlist))
+        rows.append(source_statistics(SUITE_DISPLAY[suite], expressions, cones, tokenizer))
+    return rows
+
+
+def run_table2(context: Optional[BenchContext] = None, save: bool = True) -> ResultTable:
+    """Regenerate Table II for the synthetic corpora."""
+    context = context or get_context()
+    rows = collect_suite_statistics(designs_per_suite=context.profile.designs_per_suite,
+                                    seed=context.pipeline.config.seed)
+    rows.append(aggregate_statistics(rows))
+
+    table = ResultTable(
+        experiment="table2",
+        title="Table II: statistics of circuit expression and netlist dataset",
+        columns=["Source", "# Expressions", "Avg. tokens", "# Cones", "Avg. nodes",
+                 "Paper # expr", "Paper avg tokens", "Paper # cones", "Paper avg nodes"],
+        notes=[
+            "Counts reflect the synthetic corpora (CPU-sized); the paper's corpora are "
+            "three to four orders of magnitude larger. The per-suite *ordering* of "
+            "expression sizes and cone sizes is the comparable quantity.",
+        ],
+    )
+    for row in rows:
+        paper = PAPER_TABLE2.get(row.source, {})
+        table.add_row(
+            **{
+                "Source": row.source,
+                "# Expressions": row.num_expressions,
+                "Avg. tokens": round(row.avg_expression_tokens, 1),
+                "# Cones": row.num_cones,
+                "Avg. nodes": round(row.avg_cone_nodes, 1),
+                "Paper # expr": paper.get("num_expressions", ""),
+                "Paper avg tokens": paper.get("avg_expression_tokens", ""),
+                "Paper # cones": paper.get("num_cones", ""),
+                "Paper avg nodes": paper.get("avg_cone_nodes", ""),
+            }
+        )
+    if save:
+        table.save()
+    return table

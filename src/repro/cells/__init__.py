@@ -1,0 +1,6 @@
+"""Standard-cell library substrate (NanGate45-like synthetic library)."""
+
+from .library import Cell, CellLibrary, UnknownCellError
+from .nangate45 import NANGATE45, build_nangate45
+
+__all__ = ["Cell", "CellLibrary", "UnknownCellError", "NANGATE45", "build_nangate45"]

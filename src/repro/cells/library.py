@@ -1,0 +1,134 @@
+"""Standard-cell library model.
+
+The paper synthesises its benchmarks with the NanGate 45nm library and later
+annotates each gate with physical characteristics (power, area, delay, toggle
+rate, probability, load, capacitance, resistance) pulled from the library and
+from PrimeTime reports.  This module defines the in-repo cell model that plays
+the same role: every :class:`Cell` carries a logic function (an operator name
+understood by :func:`repro.expr.expr_from_op`) plus timing/power/physical
+parameters in normalised units.
+
+Units (consistent across the whole repo):
+* area — square micrometres
+* delay — nanoseconds (intrinsic delay at zero load)
+* drive resistance — kilo-ohms
+* capacitance — femtofarads (per input pin)
+* leakage power — microwatts
+* switching energy — femtojoules per output toggle
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..expr import Expr, Var, expr_from_op
+
+
+class UnknownCellError(KeyError):
+    """Raised when a cell or cell type is not present in the library."""
+
+
+@dataclass(frozen=True)
+class Cell:
+    """A single standard cell (one drive strength of one logic function)."""
+
+    name: str                 # e.g. "NAND2_X1"
+    cell_type: str            # e.g. "NAND2" (drive-strength independent)
+    function: str             # operator name, e.g. "nand" (see expr_from_op)
+    input_pins: Tuple[str, ...]
+    output_pin: str
+    area: float
+    delay: float              # intrinsic delay (ns)
+    drive_resistance: float   # kOhm
+    input_capacitance: float  # fF per input pin
+    leakage_power: float      # uW
+    switching_energy: float   # fJ per output toggle
+    is_sequential: bool = False
+    drive_strength: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.input_pins and self.function not in ("const0", "const1"):
+            raise ValueError(f"cell {self.name} must declare input pins")
+        if self.area <= 0:
+            raise ValueError(f"cell {self.name} must have positive area")
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self.input_pins)
+
+    def local_expression(self, input_symbols: Optional[Sequence[str]] = None) -> Expr:
+        """The cell's Boolean function over its input pin names (or given symbols)."""
+        symbols = list(input_symbols) if input_symbols is not None else list(self.input_pins)
+        if len(symbols) != len(self.input_pins):
+            raise ValueError(
+                f"cell {self.name} expects {len(self.input_pins)} inputs, got {len(symbols)}"
+            )
+        return expr_from_op(self.function, [Var(s) for s in symbols])
+
+    def load_delay(self, load_capacitance: float) -> float:
+        """Linear delay model: intrinsic delay + R_drive * C_load."""
+        return self.delay + self.drive_resistance * max(load_capacitance, 0.0) * 1e-3
+
+
+class CellLibrary:
+    """A collection of cells indexed by name and by cell type."""
+
+    def __init__(self, name: str, cells: Sequence[Cell]) -> None:
+        self.name = name
+        self._by_name: Dict[str, Cell] = {}
+        self._by_type: Dict[str, List[Cell]] = {}
+        for cell in cells:
+            self.add_cell(cell)
+
+    def add_cell(self, cell: Cell) -> None:
+        if cell.name in self._by_name:
+            raise ValueError(f"duplicate cell name {cell.name!r}")
+        self._by_name[cell.name] = cell
+        self._by_type.setdefault(cell.cell_type, []).append(cell)
+        self._by_type[cell.cell_type].sort(key=lambda c: c.drive_strength)
+
+    # -- lookup -----------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __iter__(self) -> Iterator[Cell]:
+        return iter(self._by_name.values())
+
+    def cell(self, name: str) -> Cell:
+        try:
+            return self._by_name[name]
+        except KeyError as exc:
+            raise UnknownCellError(f"unknown cell {name!r} in library {self.name!r}") from exc
+
+    def cells_of_type(self, cell_type: str) -> List[Cell]:
+        try:
+            return list(self._by_type[cell_type])
+        except KeyError as exc:
+            raise UnknownCellError(
+                f"unknown cell type {cell_type!r} in library {self.name!r}"
+            ) from exc
+
+    def default_cell(self, cell_type: str, drive_strength: int = 1) -> Cell:
+        """Return the cell of ``cell_type`` whose drive strength is closest to the request."""
+        candidates = self.cells_of_type(cell_type)
+        return min(candidates, key=lambda c: abs(c.drive_strength - drive_strength))
+
+    @property
+    def cell_types(self) -> List[str]:
+        return sorted(self._by_type)
+
+    @property
+    def combinational_types(self) -> List[str]:
+        return sorted(t for t, cells in self._by_type.items() if not cells[0].is_sequential)
+
+    @property
+    def sequential_types(self) -> List[str]:
+        return sorted(t for t, cells in self._by_type.items() if cells[0].is_sequential)
+
+    def type_index(self) -> Dict[str, int]:
+        """Stable integer index per cell type (used as classification labels)."""
+        return {cell_type: i for i, cell_type in enumerate(self.cell_types)}

@@ -1,0 +1,99 @@
+"""A synthetic 45nm-class standard-cell library.
+
+The numbers below follow the relative ordering of a real 45nm library
+(inverters are small and fast, complex AOI/OAI cells are larger and slower,
+flip-flops dominate area and leakage, higher drive strengths trade area and
+input capacitance for drive resistance) without copying any proprietary data.
+Absolute values only need to be mutually consistent, since every experiment in
+the reproduction compares models against labels generated from this same
+library.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .library import Cell, CellLibrary
+
+# (cell_type, function, n_inputs, area, delay, resistance, cap, leakage, energy, sequential)
+_BASE_CELLS = [
+    ("INV",    "inv",      1, 0.53, 0.010, 1.60, 1.6, 0.10, 0.35, False),
+    ("BUF",    "buf",      1, 0.80, 0.018, 1.20, 1.5, 0.12, 0.45, False),
+    ("AND2",   "and",      2, 1.06, 0.028, 1.80, 1.7, 0.18, 0.70, False),
+    ("AND3",   "and",      3, 1.33, 0.034, 1.95, 1.8, 0.22, 0.85, False),
+    ("OR2",    "or",       2, 1.06, 0.029, 1.85, 1.7, 0.18, 0.72, False),
+    ("OR3",    "or",       3, 1.33, 0.036, 2.00, 1.8, 0.22, 0.88, False),
+    ("NAND2",  "nand",     2, 0.80, 0.016, 1.70, 1.6, 0.14, 0.55, False),
+    ("NAND3",  "nand",     3, 1.06, 0.022, 1.85, 1.7, 0.18, 0.68, False),
+    ("NOR2",   "nor",      2, 0.80, 0.020, 1.90, 1.6, 0.14, 0.58, False),
+    ("NOR3",   "nor",      3, 1.06, 0.027, 2.10, 1.7, 0.18, 0.72, False),
+    ("XOR2",   "xor",      2, 1.60, 0.040, 2.20, 2.1, 0.26, 1.10, False),
+    ("XNOR2",  "xnor",     2, 1.60, 0.041, 2.25, 2.1, 0.26, 1.12, False),
+    ("MUX2",   "mux2",     3, 1.86, 0.038, 2.10, 2.0, 0.28, 1.05, False),
+    ("AOI21",  "aoi21",    3, 1.06, 0.026, 2.00, 1.8, 0.20, 0.78, False),
+    ("AOI22",  "aoi22",    4, 1.33, 0.031, 2.15, 1.9, 0.24, 0.92, False),
+    ("OAI21",  "oai21",    3, 1.06, 0.027, 2.05, 1.8, 0.20, 0.80, False),
+    ("OAI22",  "oai22",    4, 1.33, 0.032, 2.20, 1.9, 0.24, 0.94, False),
+    ("FA",     "fa_sum",   3, 4.25, 0.085, 2.60, 2.4, 0.55, 2.30, False),
+    ("HA",     "ha_sum",   2, 2.66, 0.055, 2.30, 2.2, 0.38, 1.55, False),
+    ("DFF",    "dff",      1, 4.52, 0.095, 1.90, 1.9, 0.85, 2.60, True),
+    ("DFFR",   "dffr",     1, 5.05, 0.100, 1.95, 2.0, 0.92, 2.80, True),
+    ("DFFS",   "dffs",     1, 5.05, 0.100, 1.95, 2.0, 0.92, 2.80, True),
+]
+
+_PIN_NAMES = ["A", "B", "C", "D", "E"]
+_DRIVE_STRENGTHS = (1, 2, 4)
+
+
+def _input_pins(cell_type: str, function: str, count: int) -> List[str]:
+    if function == "mux2":
+        return ["S", "A", "B"]
+    if cell_type in ("DFF", "DFFR", "DFFS"):
+        return ["D"]
+    return _PIN_NAMES[:count]
+
+
+def build_nangate45() -> CellLibrary:
+    """Construct the synthetic NanGate45-like library with three drive strengths."""
+    cells: List[Cell] = []
+    for cell_type, function, n_inputs, area, delay, res, cap, leak, energy, seq in _BASE_CELLS:
+        strengths = (1,) if seq else _DRIVE_STRENGTHS
+        for strength in strengths:
+            scale = float(strength)
+            cells.append(
+                Cell(
+                    name=f"{cell_type}_X{strength}",
+                    cell_type=cell_type,
+                    function=function,
+                    input_pins=tuple(_input_pins(cell_type, function, n_inputs)),
+                    output_pin="Q" if seq else "Z",
+                    area=round(area * (1.0 + 0.45 * (scale - 1.0)), 4),
+                    delay=round(delay * (1.0 - 0.10 * (scale - 1.0) / 3.0), 5),
+                    drive_resistance=round(res / scale, 4),
+                    input_capacitance=round(cap * (1.0 + 0.25 * (scale - 1.0)), 4),
+                    leakage_power=round(leak * (1.0 + 0.55 * (scale - 1.0)), 4),
+                    switching_energy=round(energy * (1.0 + 0.40 * (scale - 1.0)), 4),
+                    is_sequential=seq,
+                    drive_strength=strength,
+                )
+            )
+    # Tie cells for constant nets.
+    cells.append(
+        Cell(
+            name="TIELO_X1", cell_type="CONST0", function="const0", input_pins=(),
+            output_pin="Z", area=0.27, delay=0.0, drive_resistance=3.0,
+            input_capacitance=0.0, leakage_power=0.02, switching_energy=0.0,
+        )
+    )
+    cells.append(
+        Cell(
+            name="TIEHI_X1", cell_type="CONST1", function="const1", input_pins=(),
+            output_pin="Z", area=0.27, delay=0.0, drive_resistance=3.0,
+            input_capacitance=0.0, leakage_power=0.02, switching_energy=0.0,
+        )
+    )
+    return CellLibrary("nangate45_synthetic", cells)
+
+
+# A module-level singleton so every component shares one library instance.
+NANGATE45 = build_nangate45()

@@ -1,0 +1,123 @@
+"""Command-line interface for the NetTAG reproduction.
+
+Three subcommands cover the typical workflow of a downstream user:
+
+``pretrain``
+    Pre-train a NetTAG foundation model on the synthetic corpus and save the
+    checkpoint (weights + configuration) to a ``.npz`` file.
+
+``embed``
+    Load a checkpoint, read a structural Verilog netlist and write its gate /
+    cone / circuit embeddings to an ``.npz`` file.
+
+``stats``
+    Print the Table-II style dataset statistics of the synthetic corpora
+    (useful as a fast smoke test of the EDA substrates).
+
+Run ``python -m repro --help`` for details.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NetTAG reproduction: netlist foundation model via text-attributed graphs.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    pretrain = subparsers.add_parser("pretrain", help="pre-train NetTAG and save a checkpoint")
+    pretrain.add_argument("--output", type=Path, default=Path("nettag.npz"),
+                          help="checkpoint path (default: nettag.npz)")
+    pretrain.add_argument("--preset", choices=("fast", "paper"), default="fast",
+                          help="configuration preset (default: fast)")
+    pretrain.add_argument("--model-size", choices=("small", "medium", "large"), default=None,
+                          help="override the ExprLLM backbone preset")
+    pretrain.add_argument("--designs-per-suite", type=int, default=1,
+                          help="pre-training designs per benchmark suite (default: 1)")
+    pretrain.add_argument("--seed", type=int, default=0)
+
+    embed = subparsers.add_parser("embed", help="embed a structural Verilog netlist")
+    embed.add_argument("netlist", type=Path, help="structural Verilog file")
+    embed.add_argument("--checkpoint", type=Path, required=True, help="NetTAG checkpoint (.npz)")
+    embed.add_argument("--output", type=Path, default=None,
+                       help="output .npz path (default: <netlist>.embeddings.npz)")
+
+    stats = subparsers.add_parser("stats", help="print Table-II style corpus statistics")
+    stats.add_argument("--designs-per-suite", type=int, default=1)
+    stats.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _run_pretrain(args: argparse.Namespace) -> int:
+    from .core import NetTAGConfig, NetTAGPipeline
+
+    factory = NetTAGConfig.fast if args.preset == "fast" else NetTAGConfig.paper
+    overrides = {"seed": args.seed}
+    if args.model_size:
+        overrides["model_size"] = args.model_size
+    config = factory(**overrides)
+    pipeline = NetTAGPipeline(config)
+    summary = pipeline.pretrain(designs_per_suite=args.designs_per_suite)
+    path = pipeline.model.save(args.output)
+    print(f"pre-trained on {summary.num_designs} designs / {summary.num_cones} cones "
+          f"/ {summary.num_expressions} expressions in {summary.total_seconds:.1f}s")
+    print(f"checkpoint written to {path}")
+    return 0
+
+
+def _run_embed(args: argparse.Namespace) -> int:
+    from .core import NetTAG
+    from .netlist import read_verilog
+
+    model = NetTAG.load(args.checkpoint)
+    netlist = read_verilog(args.netlist)
+    embedding = model.embed_circuit(netlist)
+    output = args.output or args.netlist.with_suffix(".embeddings.npz")
+    payload = {
+        "graph_embedding": embedding.graph_embedding,
+        "gate_embeddings": embedding.gate_embeddings,
+        "gate_names": np.asarray(embedding.gate_names),
+    }
+    for register, vector in embedding.cone_embeddings.items():
+        payload[f"cone::{register}"] = vector
+    np.savez_compressed(output, **payload)
+    print(f"embedded {netlist.name}: {netlist.num_gates} gates, "
+          f"{len(embedding.cone_embeddings)} register cones, dim {embedding.dim}")
+    print(f"embeddings written to {output}")
+    return 0
+
+
+def _run_stats(args: argparse.Namespace) -> int:
+    from .bench.table2 import collect_suite_statistics
+    from .netlist import aggregate_statistics
+
+    rows = collect_suite_statistics(designs_per_suite=args.designs_per_suite, seed=args.seed)
+    rows = list(rows) + [aggregate_statistics(rows)]
+    header = f"{'Source':<12}{'# Expr':>8}{'Avg tokens':>12}{'# Cones':>9}{'Avg nodes':>11}"
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(f"{row.source:<12}{row.num_expressions:>8}{row.avg_expression_tokens:>12.1f}"
+              f"{row.num_cones:>9}{row.avg_cone_nodes:>11.1f}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``python -m repro`` and the ``repro`` console script."""
+    args = _build_parser().parse_args(argv)
+    handlers = {"pretrain": _run_pretrain, "embed": _run_embed, "stats": _run_stats}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

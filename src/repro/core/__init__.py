@@ -1,0 +1,29 @@
+"""The NetTAG foundation model: configuration, model, fine-tuning and pipeline."""
+
+from .config import MODEL_SIZE_PARAMETER_LABELS, NetTAGConfig
+from .nettag import CircuitEmbedding, NetTAG
+from .finetune import (
+    SplitIndices,
+    evaluate_classification,
+    evaluate_regression,
+    fit_classifier,
+    fit_regressor,
+    train_test_split,
+)
+from .pipeline import NetTAGPipeline, PreprocessedDesign, PretrainSummary
+
+__all__ = [
+    "NetTAGConfig",
+    "MODEL_SIZE_PARAMETER_LABELS",
+    "NetTAG",
+    "CircuitEmbedding",
+    "fit_classifier",
+    "fit_regressor",
+    "train_test_split",
+    "SplitIndices",
+    "evaluate_classification",
+    "evaluate_regression",
+    "NetTAGPipeline",
+    "PreprocessedDesign",
+    "PretrainSummary",
+]

@@ -1,0 +1,137 @@
+"""Fine-tuning frozen NetTAG embeddings with lightweight task models.
+
+Section II-F of the paper: "we fine-tune these embeddings with lightweight
+task models like MLPs or tree-based models (e.g., XGBoost)".  The functions
+here wrap the MLP heads and gradient-boosted trees from :mod:`repro.ml` behind
+a single interface used by every task runner (for NetTAG *and* for the
+baselines, so all methods share the same fine-tuning machinery).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ml import (
+    GradientBoostingClassifier,
+    GradientBoostingRegressor,
+    HeadConfig,
+    MLPClassifierHead,
+    MLPRegressorHead,
+    RidgeClassifierHead,
+    RidgeRegressorHead,
+    classification_report,
+    regression_report,
+)
+
+CLASSIFIER_HEADS = ("mlp", "gbdt", "ridge")
+REGRESSOR_HEADS = ("mlp", "gbdt", "ridge")
+
+
+def fit_classifier(
+    embeddings: np.ndarray,
+    labels: Sequence[int],
+    head: str = "mlp",
+    head_config: Optional[HeadConfig] = None,
+    seed: int = 0,
+):
+    """Fit a classification head on frozen embeddings."""
+    if head not in CLASSIFIER_HEADS:
+        raise ValueError(f"unknown classifier head {head!r}; choose from {CLASSIFIER_HEADS}")
+    if head == "gbdt":
+        model = GradientBoostingClassifier(seed=seed)
+        return model.fit(np.asarray(embeddings), labels)
+    if head == "ridge":
+        return RidgeClassifierHead().fit(np.asarray(embeddings), labels)
+    config = head_config or HeadConfig(seed=seed)
+    return MLPClassifierHead(config).fit(np.asarray(embeddings), labels)
+
+
+def fit_regressor(
+    embeddings: np.ndarray,
+    targets: Sequence[float],
+    head: str = "mlp",
+    head_config: Optional[HeadConfig] = None,
+    seed: int = 0,
+):
+    """Fit a regression head on frozen embeddings."""
+    if head not in REGRESSOR_HEADS:
+        raise ValueError(f"unknown regressor head {head!r}; choose from {REGRESSOR_HEADS}")
+    if head == "gbdt":
+        model = GradientBoostingRegressor(seed=seed)
+        return model.fit(np.asarray(embeddings), np.asarray(targets, dtype=np.float64))
+    if head == "ridge":
+        return RidgeRegressorHead().fit(np.asarray(embeddings), targets)
+    config = head_config or HeadConfig(seed=seed)
+    return MLPRegressorHead(config).fit(np.asarray(embeddings), targets)
+
+
+@dataclass
+class SplitIndices:
+    """Train/test split of sample indices."""
+
+    train: np.ndarray
+    test: np.ndarray
+
+
+def train_test_split(
+    num_samples: int, train_fraction: float = 0.6, seed: int = 0, stratify: Optional[Sequence[int]] = None
+) -> SplitIndices:
+    """Random (optionally stratified) split used by the per-design evaluations."""
+    if num_samples < 2:
+        raise ValueError("need at least two samples to split")
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    if stratify is None:
+        order = rng.permutation(num_samples)
+        cut = max(1, int(round(train_fraction * num_samples)))
+        cut = min(cut, num_samples - 1)
+        return SplitIndices(train=np.sort(order[:cut]), test=np.sort(order[cut:]))
+
+    labels = np.asarray(stratify)
+    train_idx: list[int] = []
+    test_idx: list[int] = []
+    for cls in np.unique(labels):
+        members = np.flatnonzero(labels == cls)
+        members = members[rng.permutation(len(members))]
+        cut = max(1, int(round(train_fraction * len(members))))
+        if cut >= len(members) and len(members) > 1:
+            cut = len(members) - 1
+        train_idx.extend(members[:cut])
+        test_idx.extend(members[cut:])
+    if not test_idx:  # every class had a single member; fall back to random split
+        return train_test_split(num_samples, train_fraction, seed)
+    return SplitIndices(train=np.sort(np.asarray(train_idx)), test=np.sort(np.asarray(test_idx)))
+
+
+def evaluate_classification(
+    embeddings: np.ndarray,
+    labels: Sequence[int],
+    split: SplitIndices,
+    head: str = "mlp",
+    seed: int = 0,
+) -> Tuple[Dict[str, float], np.ndarray]:
+    """Fit on the train split, evaluate on the test split; returns (report, predictions)."""
+    embeddings = np.asarray(embeddings)
+    labels = np.asarray(labels)
+    model = fit_classifier(embeddings[split.train], labels[split.train], head=head, seed=seed)
+    predictions = model.predict(embeddings[split.test])
+    return classification_report(labels[split.test], predictions), predictions
+
+
+def evaluate_regression(
+    embeddings: np.ndarray,
+    targets: Sequence[float],
+    split: SplitIndices,
+    head: str = "mlp",
+    seed: int = 0,
+) -> Tuple[Dict[str, float], np.ndarray]:
+    """Fit on the train split, evaluate on the test split; returns (report, predictions)."""
+    embeddings = np.asarray(embeddings)
+    targets = np.asarray(targets, dtype=np.float64)
+    model = fit_regressor(embeddings[split.train], targets[split.train], head=head, seed=seed)
+    predictions = model.predict(embeddings[split.test])
+    return regression_report(targets[split.test], predictions), predictions

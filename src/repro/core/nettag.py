@@ -1,0 +1,268 @@
+"""The NetTAG foundation model.
+
+NetTAG combines the frozen-after-Step-1 ExprLLM text encoder with the
+TAGFormer graph transformer.  After pre-training it produces embeddings at
+three granularities (Section II-F of the paper):
+
+* **gate embeddings** — the TAGFormer node outputs,
+* **register-cone embeddings** — the [CLS] embedding of a cone's TAG,
+* **circuit embeddings** — the [CLS] embedding for combinational circuits, or
+  the sum of all register-cone embeddings for sequential circuits.
+
+These embeddings are then fine-tuned with lightweight task heads
+(:mod:`repro.core.finetune`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..encoders import ExprLLM, TAGFormer
+from ..netlist import (
+    Netlist,
+    RegisterCone,
+    TextAttributedGraph,
+    extract_register_cones,
+    netlist_to_tag,
+)
+from .config import NetTAGConfig
+
+
+@dataclass
+class CircuitEmbedding:
+    """Embeddings of one circuit at every granularity NetTAG supports."""
+
+    name: str
+    gate_embeddings: np.ndarray                  # (num_gates, dim)
+    gate_names: List[str]
+    graph_embedding: np.ndarray                  # (dim,)
+    cone_embeddings: Dict[str, np.ndarray] = field(default_factory=dict)  # register -> (dim,)
+    physical_summary: np.ndarray = field(default_factory=lambda: np.zeros(0))  # summed TAG physical vectors
+
+    @property
+    def dim(self) -> int:
+        return int(self.graph_embedding.shape[0])
+
+    def gate_embedding(self, gate_name: str) -> np.ndarray:
+        index = self.gate_names.index(gate_name)
+        return self.gate_embeddings[index]
+
+
+class NetTAG(nn.Module):
+    """ExprLLM + TAGFormer multimodal netlist encoder."""
+
+    def __init__(self, config: Optional[NetTAGConfig] = None, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.config = config or NetTAGConfig()
+        rng = rng or np.random.default_rng(self.config.seed)
+        self.expr_llm = ExprLLM(config=self.config.text_encoder_config(), rng=rng)
+        self.tagformer = TAGFormer(self.config.tagformer_config(), rng=rng)
+
+    # ------------------------------------------------------------------
+    # TAG-level encoding
+    # ------------------------------------------------------------------
+    @property
+    def output_dim(self) -> int:
+        return self.tagformer.output_dim
+
+    def node_texts(self, tag: TextAttributedGraph) -> List[str]:
+        """Node texts respecting the ``use_text_attributes`` ablation switch.
+
+        The "w/o TAG" ablation of Fig. 6 removes the text attributes entirely
+        and relies on graph structure plus the numeric physical channel, so
+        every node gets the same empty text (a constant embedding).
+        """
+        if self.config.use_text_attributes:
+            return tag.node_texts
+        return ["" for _ in tag.nodes]
+
+    def tag_node_features(self, tag: TextAttributedGraph) -> np.ndarray:
+        """TAGFormer input features for one TAG (equation (2) of the paper).
+
+        The semantic channel is the ExprLLM embedding of the gate text plus the
+        static-analysis features of the symbolic expression; the physical
+        channel is the gate's physical characteristic vector.  The ablation
+        switches zero out the corresponding channel.
+        """
+        texts = self.node_texts(tag)
+        text_embeddings = self.expr_llm.encode_texts(texts)
+        semantic = tag.expression_feature_matrix()
+        if not self.config.use_text_attributes:
+            semantic = np.zeros_like(semantic)
+        physical = tag.physical_matrix()
+        if not self.config.use_physical_attributes:
+            physical = np.zeros_like(physical)
+        return np.concatenate([text_embeddings, semantic, physical], axis=1)
+
+    def encode_tag(self, tag: TextAttributedGraph) -> Tuple[np.ndarray, np.ndarray]:
+        """Encode one TAG into (node embeddings, graph embedding), as numpy."""
+        if tag.num_nodes == 0:
+            dim = self.output_dim
+            return np.zeros((0, dim)), np.zeros(dim)
+        features = self.tag_node_features(tag)
+        return self.tagformer.encode_numpy(features, tag.graph.adjacency)
+
+    def encode_tag_multigrained(self, tag: TextAttributedGraph) -> Tuple[np.ndarray, np.ndarray]:
+        """Encode one TAG keeping the modality-specific inputs in the output.
+
+        Gate embeddings are ``[TAGFormer node output ++ input features ++
+        1-hop and 2-hop neighbourhood-propagated input features]``; the graph
+        embedding is ``[CLS output ++ mean node output ++ mean input
+        features]``.  The propagated channels mirror the simple-GCN branch of
+        SGFormer: a gate's functional role depends on the symbolic/physical
+        attributes of its fan-in/fan-out neighbourhood, and at CPU scale the
+        deterministic propagation keeps that signal even when the small
+        pre-trained TAGFormer is noisy.  With
+        ``config.multi_grained_embeddings=False`` this degrades to the plain
+        fused outputs of :meth:`encode_tag`.
+        """
+        if tag.num_nodes == 0:
+            gate_dim = self.gate_embedding_dim
+            return np.zeros((0, gate_dim)), np.zeros(self.graph_embedding_dim)
+        features = self.tag_node_features(tag)
+        node_out, graph_out = self.tagformer.encode_numpy(features, tag.graph.adjacency)
+        if not self.config.multi_grained_embeddings:
+            return node_out, graph_out
+        adjacency = tag.graph.adjacency
+        propagated_1hop = adjacency @ features
+        propagated_2hop = adjacency @ propagated_1hop
+        gate_embeddings = np.concatenate(
+            [node_out, features, propagated_1hop, propagated_2hop], axis=1
+        )
+        # Graph readout: [CLS] output plus mean/sum pooling of node outputs and
+        # input features, plus the log node count (standard multi-readout).
+        graph_embedding = np.concatenate(
+            [
+                graph_out,
+                node_out.mean(axis=0),
+                features.mean(axis=0),
+                np.log1p(np.maximum(features, 0.0).sum(axis=0)),
+                [np.log1p(float(tag.num_nodes))],
+            ]
+        )
+        return gate_embeddings, graph_embedding
+
+    @property
+    def gate_embedding_dim(self) -> int:
+        if not self.config.multi_grained_embeddings:
+            return self.output_dim
+        # Fused output + raw input features + 1-hop and 2-hop propagated features.
+        return self.output_dim + 3 * self.tagformer.config.input_dim
+
+    @property
+    def graph_embedding_dim(self) -> int:
+        if not self.config.multi_grained_embeddings:
+            return self.output_dim
+        return 2 * self.output_dim + 2 * self.tagformer.config.input_dim + 1
+
+    # ------------------------------------------------------------------
+    # Netlist-level embeddings
+    # ------------------------------------------------------------------
+    def build_tag(self, netlist: Netlist) -> TextAttributedGraph:
+        return netlist_to_tag(netlist, k=self.config.expression_hops)
+
+    def embed_circuit(
+        self,
+        netlist: Netlist,
+        tag: Optional[TextAttributedGraph] = None,
+        cones: Optional[Sequence[RegisterCone]] = None,
+    ) -> CircuitEmbedding:
+        """Embed a full circuit at all granularities.
+
+        Combinational circuits use the [CLS] embedding of the whole-netlist
+        TAG; sequential circuits additionally embed every register cone and
+        define the circuit embedding as the sum of cone embeddings.
+        """
+        tag = tag or self.build_tag(netlist)
+        gate_embeddings, graph_embedding = self.encode_tag_multigrained(tag)
+        physical_summary = tag.physical_matrix(normalise=False).sum(axis=0) if tag.num_nodes else np.zeros(0)
+        result = CircuitEmbedding(
+            name=netlist.name,
+            gate_embeddings=gate_embeddings,
+            gate_names=list(tag.graph.node_names),
+            graph_embedding=graph_embedding,
+            physical_summary=physical_summary,
+        )
+        if netlist.is_sequential_design():
+            cones = cones if cones is not None else extract_register_cones(netlist)
+            cone_sum: Optional[np.ndarray] = None
+            for cone in cones:
+                cone_tag = netlist_to_tag(cone.netlist, k=self.config.expression_hops)
+                _, cone_embedding = self.encode_tag_multigrained(cone_tag)
+                result.cone_embeddings[cone.register_name] = cone_embedding
+                cone_sum = cone_embedding if cone_sum is None else cone_sum + cone_embedding
+            if cone_sum is not None:
+                result.graph_embedding = cone_sum
+        return result
+
+    def embed_gates(self, netlist: Netlist, tag: Optional[TextAttributedGraph] = None) -> Tuple[np.ndarray, List[str]]:
+        """Gate-level embeddings plus the corresponding gate name order."""
+        tag = tag or self.build_tag(netlist)
+        embeddings, _ = self.encode_tag_multigrained(tag)
+        return embeddings, list(tag.graph.node_names)
+
+    def encode_cone(self, cone: RegisterCone) -> np.ndarray:
+        """Embedding of one register cone.
+
+        The cone embedding is the graph-level embedding of the cone's TAG; in
+        multi-grained mode the endpoint register's own gate embedding (whose
+        text attribute is the register's next-state expression) is appended,
+        since the endpoint is what defines the cone.
+        """
+        cone_tag = netlist_to_tag(cone.netlist, k=self.config.expression_hops)
+        gate_embeddings, graph_embedding = self.encode_tag_multigrained(cone_tag)
+        if not self.config.multi_grained_embeddings:
+            return graph_embedding
+        endpoint = cone.register_name
+        if endpoint in cone_tag.graph.name_to_index:
+            endpoint_embedding = gate_embeddings[cone_tag.graph.name_to_index[endpoint]]
+        else:
+            endpoint_embedding = np.zeros(self.gate_embedding_dim)
+        return np.concatenate([graph_embedding, endpoint_embedding])
+
+    def embed_cones(self, cones: Sequence[RegisterCone]) -> Dict[str, np.ndarray]:
+        """Register-cone embeddings keyed by register name."""
+        return {cone.register_name: self.encode_cone(cone) for cone in cones}
+
+    def circuit_feature_vector(self, netlist: Netlist, embedding: Optional[CircuitEmbedding] = None) -> np.ndarray:
+        """Circuit-level feature vector for fine-tuning (Task 4).
+
+        Combines the circuit embedding with the summed per-gate physical
+        attributes of the TAG (log-scaled), which is the circuit-level view of
+        the physical information NetTAG's node texts already carry.
+        """
+        embedding = embedding or self.embed_circuit(netlist)
+        summary = np.log1p(np.maximum(embedding.physical_summary, 0.0))
+        return np.concatenate([embedding.graph_embedding, summary])
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path) -> "Path":
+        """Save the pre-trained model (weights + configuration) to one ``.npz`` file."""
+        has_lora = any("lora_" in name for name, _ in self.named_parameters())
+        return nn.save_checkpoint(
+            self, path, metadata={"config": self.config.to_dict(), "lora": has_lora}
+        )
+
+    @classmethod
+    def load(cls, path, rng: Optional[np.random.Generator] = None) -> "NetTAG":
+        """Rebuild a model saved with :meth:`save` (configuration included)."""
+        metadata = nn.peek_metadata(path)
+        config = NetTAGConfig.from_dict(metadata.get("config", {}))
+        model = cls(config, rng=rng)
+        if metadata.get("lora"):
+            # Mirror ExprLLMPretrainer, which wraps the backbone with the default
+            # LoRA scaling before Step-1 pre-training.
+            model.expr_llm.enable_lora(rank=config.expr_pretrain.lora_rank)
+        nn.load_checkpoint(model, path)
+        model.clear_caches()
+        return model
+
+    # ------------------------------------------------------------------
+    def clear_caches(self) -> None:
+        self.expr_llm.clear_cache()

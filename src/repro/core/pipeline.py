@@ -1,0 +1,253 @@
+"""End-to-end NetTAG pipeline: preprocessing, two-step pre-training, alignment.
+
+This module glues every substrate together, mirroring Fig. 2 of the paper:
+
+1. **Circuit preprocessing** — RTL benchmark modules are synthesised to
+   post-mapping netlists, chunked into register cones and converted to TAGs;
+   the matching RTL cone text and layout graph are kept for cross-stage
+   alignment.
+2. **Step 1** — ExprLLM is pre-trained with symbolic expression contrastive
+   learning on the gate-expression corpus (with LoRA adapters).
+3. **Auxiliary encoders** — the RTL and layout encoders are pre-trained with
+   their own contrastive objectives and then frozen.
+4. **Step 2** — TAGFormer is pre-trained with the node/graph self-supervised
+   objectives plus cross-stage alignment.
+
+The resulting :class:`~repro.core.nettag.NetTAG` model produces embeddings for
+the downstream tasks in :mod:`repro.tasks`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..encoders import LayoutEncoder, RTLEncoder, pretrain_layout_encoder, pretrain_rtl_encoder
+from ..netlist import Netlist, RegisterCone, TextAttributedGraph, extract_register_cones, netlist_to_tag
+from ..physical import build_layout_graph, physically_optimize, place
+from ..physical.layout_graph import LayoutGraph
+from ..pretrain import (
+    ExprLLMPretrainer,
+    ExprPretrainResult,
+    TAGFormerPretrainer,
+    TAGPretrainResult,
+    build_pretrain_sample,
+    collect_expression_corpus,
+)
+from ..rtl import RTLModule, generate_pretraining_corpus, render_register_cone
+from ..synth import synthesize
+from .config import NetTAGConfig
+from .nettag import NetTAG
+
+
+@dataclass
+class PreprocessedDesign:
+    """All artefacts derived from one RTL design during preprocessing."""
+
+    module: RTLModule
+    netlist: Netlist
+    cones: List[RegisterCone]
+    cone_tags: List[TextAttributedGraph]
+    rtl_cone_texts: List[Optional[str]]
+    cone_layouts: List[Optional[LayoutGraph]]
+    suite: str = "unknown"
+    preprocess_seconds: float = 0.0
+
+    @property
+    def name(self) -> str:
+        return self.netlist.name
+
+
+@dataclass
+class PretrainSummary:
+    """Timing and loss summary of the whole pre-training pipeline."""
+
+    expr_result: Optional[ExprPretrainResult] = None
+    tag_result: Optional[TAGPretrainResult] = None
+    num_designs: int = 0
+    num_cones: int = 0
+    num_expressions: int = 0
+    preprocess_seconds: float = 0.0
+    expr_pretrain_seconds: float = 0.0
+    tag_pretrain_seconds: float = 0.0
+    alignment_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.preprocess_seconds
+            + self.expr_pretrain_seconds
+            + self.tag_pretrain_seconds
+            + self.alignment_seconds
+        )
+
+
+class NetTAGPipeline:
+    """Builds, pre-trains and serves a NetTAG foundation model."""
+
+    def __init__(self, config: Optional[NetTAGConfig] = None) -> None:
+        self.config = config or NetTAGConfig()
+        rng = np.random.default_rng(self.config.seed)
+        self.model = NetTAG(self.config, rng=rng)
+        self.rtl_encoder = RTLEncoder(rng=rng) if self.config.use_cross_stage_alignment else None
+        self.layout_encoder = LayoutEncoder(rng=rng) if self.config.use_cross_stage_alignment else None
+        self.designs: List[PreprocessedDesign] = []
+        self.summary = PretrainSummary()
+        self._pretrained = False
+
+    # ------------------------------------------------------------------
+    # Preprocessing
+    # ------------------------------------------------------------------
+    def preprocess_module(self, module: RTLModule, suite: str = "unknown",
+                          build_alignment_data: Optional[bool] = None) -> PreprocessedDesign:
+        """Synthesise one RTL module and derive cones, TAGs and alignment data."""
+        start = time.perf_counter()
+        build_alignment_data = (
+            self.config.use_cross_stage_alignment
+            if build_alignment_data is None
+            else build_alignment_data
+        )
+        netlist = synthesize(module).netlist
+        cones = extract_register_cones(netlist)
+        cone_tags: List[TextAttributedGraph] = []
+        rtl_texts: List[Optional[str]] = []
+        layouts: List[Optional[LayoutGraph]] = []
+        register_names = {r.name for r in module.registers}
+        for cone in cones:
+            cone_tags.append(netlist_to_tag(cone.netlist, k=self.config.expression_hops))
+            rtl_text: Optional[str] = None
+            layout: Optional[LayoutGraph] = None
+            if build_alignment_data:
+                register_group = cone.attributes.get("register_group")
+                if isinstance(register_group, str) and register_group in register_names:
+                    rtl_text = render_register_cone(module, register_group)
+                placement = place(cone.netlist)
+                optimized, _ = physically_optimize(cone.netlist, placement)
+                layout = build_layout_graph(optimized)
+            rtl_texts.append(rtl_text)
+            layouts.append(layout)
+        elapsed = time.perf_counter() - start
+        return PreprocessedDesign(
+            module=module,
+            netlist=netlist,
+            cones=cones,
+            cone_tags=cone_tags,
+            rtl_cone_texts=rtl_texts,
+            cone_layouts=layouts,
+            suite=suite,
+            preprocess_seconds=elapsed,
+        )
+
+    def preprocess_corpus(self, corpus: Optional[Dict[str, Sequence[RTLModule]]] = None,
+                          designs_per_suite: int = 2) -> List[PreprocessedDesign]:
+        """Preprocess a pre-training corpus (defaults to the synthetic suites)."""
+        start = time.perf_counter()
+        corpus = corpus or generate_pretraining_corpus(designs_per_suite=designs_per_suite, seed=self.config.seed)
+        self.designs = []
+        for suite, modules in corpus.items():
+            for module in modules:
+                self.designs.append(self.preprocess_module(module, suite=suite))
+        self.summary.preprocess_seconds = time.perf_counter() - start
+        self.summary.num_designs = len(self.designs)
+        self.summary.num_cones = sum(len(d.cones) for d in self.designs)
+        return self.designs
+
+    # ------------------------------------------------------------------
+    # Pre-training
+    # ------------------------------------------------------------------
+    def _apply_data_fraction(self, items: Sequence, rng: np.random.Generator) -> List:
+        items = list(items)
+        if self.config.data_fraction >= 1.0 or len(items) <= 2:
+            return items
+        keep = max(2, int(round(self.config.data_fraction * len(items))))
+        indices = rng.choice(len(items), size=keep, replace=False)
+        return [items[i] for i in sorted(indices)]
+
+    def pretrain(self, corpus: Optional[Dict[str, Sequence[RTLModule]]] = None,
+                 designs_per_suite: int = 2) -> PretrainSummary:
+        """Run the full two-step pre-training pipeline."""
+        rng = np.random.default_rng(self.config.seed)
+        if not self.designs:
+            self.preprocess_corpus(corpus, designs_per_suite=designs_per_suite)
+
+        all_tags = [tag for design in self.designs for tag in design.cone_tags]
+        all_tags = self._apply_data_fraction(all_tags, rng)
+
+        # Step 1: expression contrastive pre-training of ExprLLM.
+        if self.config.use_expression_contrastive:
+            start = time.perf_counter()
+            expressions = collect_expression_corpus(all_tags, max_expressions_per_design=40)
+            expressions = self._apply_data_fraction(expressions, rng)
+            self.summary.num_expressions = len(expressions)
+            pretrainer = ExprLLMPretrainer(self.model.expr_llm, self.config.expr_pretrain)
+            self.summary.expr_result = pretrainer.run(expressions)
+            self.summary.expr_pretrain_seconds = time.perf_counter() - start
+        else:
+            self.summary.num_expressions = 0
+
+        # Auxiliary encoders for cross-stage alignment.
+        if self.config.use_cross_stage_alignment and self.rtl_encoder is not None and self.layout_encoder is not None:
+            start = time.perf_counter()
+            rtl_texts = [t for d in self.designs for t in d.rtl_cone_texts if t]
+            layouts = [l for d in self.designs for l in d.cone_layouts if l is not None]
+            if len(rtl_texts) >= 2:
+                pretrain_rtl_encoder(self.rtl_encoder, rtl_texts, num_steps=4, seed=self.config.seed)
+            if len(layouts) >= 2:
+                pretrain_layout_encoder(self.layout_encoder, layouts[:8], num_steps=4, seed=self.config.seed)
+            self.summary.alignment_seconds = time.perf_counter() - start
+
+        # Step 2: TAGFormer pre-training (ExprLLM frozen).
+        start = time.perf_counter()
+        type_index = self.designs[0].netlist.library.type_index()
+        samples = []
+        tag_lookup = {id(tag): (design, i) for design in self.designs for i, tag in enumerate(design.cone_tags)}
+        for tag in all_tags:
+            design, cone_index = tag_lookup[id(tag)]
+            rtl_text = design.rtl_cone_texts[cone_index] if self.config.use_cross_stage_alignment else None
+            layout = design.cone_layouts[cone_index] if self.config.use_cross_stage_alignment else None
+            samples.append(
+                build_pretrain_sample(
+                    tag,
+                    self.model.expr_llm,
+                    type_index,
+                    rng=rng,
+                    build_augmented_view=self.config.use_graph_contrastive,
+                    rtl_text=rtl_text,
+                    rtl_encoder=self.rtl_encoder,
+                    layout_graph=layout,
+                    layout_encoder=self.layout_encoder,
+                    use_text_attributes=self.config.use_text_attributes,
+                )
+            )
+        tag_trainer = TAGFormerPretrainer(
+            self.model.tagformer,
+            num_cell_types=len(type_index),
+            config=self.config.tag_pretrain_config(),
+            rtl_dim=self.rtl_encoder.output_dim if self.rtl_encoder is not None else None,
+            layout_dim=self.layout_encoder.output_dim if self.layout_encoder is not None else None,
+        )
+        self.summary.tag_result = tag_trainer.run(samples)
+        self.summary.tag_pretrain_seconds = time.perf_counter() - start
+
+        self.model.clear_caches()
+        self._pretrained = True
+        return self.summary
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    @property
+    def is_pretrained(self) -> bool:
+        return self._pretrained
+
+    def embed_circuit(self, netlist: Netlist):
+        return self.model.embed_circuit(netlist)
+
+    def embed_gates(self, netlist: Netlist):
+        return self.model.embed_gates(netlist)
+
+    def embed_cones(self, cones: Sequence[RegisterCone]):
+        return self.model.embed_cones(cones)

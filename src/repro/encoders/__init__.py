@@ -1,0 +1,27 @@
+"""Model encoders: ExprLLM, TAGFormer, auxiliary RTL/layout encoders, baseline GNNs."""
+
+from .text_encoder import HashingTokenizer, TextEncoder, TextEncoderConfig
+from .expr_llm import ExprLLM
+from .tagformer import SGFormerLayer, TAGFormer, TAGFormerConfig
+from .rtl_encoder import RTLEncoder, augment_rtl_text, pretrain_rtl_encoder
+from .layout_encoder import LayoutEncoder, augment_layout_graph, pretrain_layout_encoder
+from .gnn import GCNLayer, GNNConfig, GNNEncoder
+
+__all__ = [
+    "TextEncoder",
+    "TextEncoderConfig",
+    "HashingTokenizer",
+    "ExprLLM",
+    "TAGFormer",
+    "TAGFormerConfig",
+    "SGFormerLayer",
+    "RTLEncoder",
+    "augment_rtl_text",
+    "pretrain_rtl_encoder",
+    "LayoutEncoder",
+    "augment_layout_graph",
+    "pretrain_layout_encoder",
+    "GNNEncoder",
+    "GNNConfig",
+    "GCNLayer",
+]

@@ -1,0 +1,115 @@
+"""ExprLLM: the gate-level text encoder of NetTAG.
+
+In the paper ExprLLM is an LLM2Vec-adapted Llama-3.1-8B whose causal attention
+has been converted to bidirectional attention; it encodes each gate's text
+attribute (name, type, symbolic expression, physical properties) into a node
+embedding, and is pre-trained with symbolic-expression contrastive learning
+(objective #1) using LoRA adapters.
+
+Here ExprLLM wraps the :class:`~repro.encoders.text_encoder.TextEncoder`
+backbone with the :class:`~repro.expr.tokenizer.ExprTokenizer` vocabulary.
+An embedding cache makes repeated encoding of identical gate texts free, which
+matters because ExprLLM is frozen during Step-2 pre-training and during every
+downstream embedding pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..expr import ExprTokenizer
+from ..nn import Tensor
+from .text_encoder import TextEncoder, TextEncoderConfig
+
+
+class ExprLLM(nn.Module):
+    """LLM-style bidirectional encoder for gate text attributes."""
+
+    def __init__(
+        self,
+        config: Optional[TextEncoderConfig] = None,
+        tokenizer: Optional[ExprTokenizer] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.config = config or TextEncoderConfig()
+        self.tokenizer = tokenizer or ExprTokenizer(max_length=self.config.max_length)
+        # Keep tokenizer and encoder length budgets in sync.
+        self.tokenizer.max_length = self.config.max_length
+        self.backbone = TextEncoder(
+            vocab_size=self.tokenizer.vocab_size,
+            config=self.config,
+            pad_id=self.tokenizer.pad_id,
+            rng=rng,
+        )
+        self._cache: Dict[str, np.ndarray] = {}
+        self._cache_enabled = True
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    @property
+    def output_dim(self) -> int:
+        return self.backbone.output_dim
+
+    def forward(self, texts: Sequence[str]) -> Tensor:
+        """Differentiable encoding of a batch of gate texts."""
+        ids, mask = self.tokenizer.encode_batch(list(texts))
+        return self.backbone(np.asarray(ids), np.asarray(mask))
+
+    def encode_texts(self, texts: Sequence[str], batch_size: int = 64) -> np.ndarray:
+        """Numpy (non-differentiable) embeddings with caching; used once frozen.
+
+        Embeddings are row-normalised to unit L2 norm so their scale stays
+        comparable with the other node-feature channels and stable across
+        backbone sizes (the Fig. 7 model-size sweep re-uses this path with
+        24- to 80-dimensional encoders).
+        """
+        texts = list(texts)
+        result = np.zeros((len(texts), self.output_dim), dtype=np.float64)
+        to_compute: List[int] = []
+        for i, text in enumerate(texts):
+            cached = self._cache.get(text) if self._cache_enabled else None
+            if cached is not None:
+                result[i] = cached
+            else:
+                to_compute.append(i)
+        for start in range(0, len(to_compute), batch_size):
+            chunk = to_compute[start : start + batch_size]
+            chunk_texts = [texts[i] for i in chunk]
+            ids, mask = self.tokenizer.encode_batch(chunk_texts)
+            embeddings = self.backbone.encode_numpy(np.asarray(ids), np.asarray(mask))
+            for row, i in enumerate(chunk):
+                result[i] = embeddings[row]
+                if self._cache_enabled:
+                    self._cache[texts[i]] = embeddings[row]
+        norms = np.linalg.norm(result, axis=1, keepdims=True)
+        return result / np.maximum(norms, 1e-9)
+
+    def clear_cache(self) -> None:
+        """Drop cached embeddings (call after any weight update)."""
+        self._cache.clear()
+
+    def set_cache_enabled(self, enabled: bool) -> None:
+        self._cache_enabled = enabled
+        if not enabled:
+            self.clear_cache()
+
+    # ------------------------------------------------------------------
+    # LoRA-based pre-training support
+    # ------------------------------------------------------------------
+    def enable_lora(self, rank: int = 4, alpha: float = 8.0) -> int:
+        """Wrap the backbone's linear layers with LoRA adapters (paper's Step 1)."""
+        wrapped = nn.apply_lora(self.backbone, rank=rank, alpha=alpha)
+        self.clear_cache()
+        return wrapped
+
+    def trainable_parameters(self) -> List[Tensor]:
+        """Parameters updated during Step-1 pre-training (LoRA params if present)."""
+        lora_params = [
+            p for name, p in self.backbone.named_parameters() if "lora_" in name
+        ]
+        return lora_params if lora_params else list(self.backbone.parameters())

@@ -1,0 +1,91 @@
+"""Graph neural network encoders used by the task-specific baselines.
+
+The paper compares NetTAG against supervised GNN methods (GNN-RE, ReIGNN, the
+timing GNN of [2], PowPrediCT) and against pre-trained structure-only AIG
+encoders (FGNN, DeepGate3).  All of them are graph-learning models without the
+gate text modality, so the reproduction implements them on a shared GCN /
+graph-transformer backbone operating on structural (and optionally physical)
+node features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+
+
+@dataclass
+class GNNConfig:
+    """Configuration of the baseline message-passing encoder."""
+
+    input_dim: int
+    hidden_dim: int = 48
+    depth: int = 2
+    output_dim: int = 48
+    dropout: float = 0.0
+    use_global_attention: bool = False   # True gives a graph-transformer flavour
+
+
+class GCNLayer(nn.Module):
+    """Graph convolution: ``H' = act(A_hat H W + b)`` with a residual connection."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.linear = nn.Linear(in_dim, out_dim, rng=rng)
+        self.residual = in_dim == out_dim
+
+    def forward(self, hidden: Tensor, adjacency: np.ndarray) -> Tensor:
+        propagated = Tensor(adjacency) @ hidden
+        out = self.linear(propagated).relu()
+        if self.residual:
+            out = out + hidden
+        return out
+
+
+class GNNEncoder(nn.Module):
+    """Multi-layer GCN (optionally with one global-attention layer) encoder."""
+
+    def __init__(self, config: GNNConfig, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.config = config
+        rng = rng or np.random.default_rng(3)
+        self.input_projection = nn.Linear(config.input_dim, config.hidden_dim, rng=rng)
+        self.layers = nn.ModuleList(
+            GCNLayer(config.hidden_dim, config.hidden_dim, rng=rng) for _ in range(config.depth)
+        )
+        if config.use_global_attention:
+            self.attention = nn.MultiHeadAttention(config.hidden_dim, num_heads=2, rng=rng)
+        else:
+            self.attention = None
+        self.node_head = nn.Linear(config.hidden_dim, config.output_dim, rng=rng)
+        self.graph_head = nn.Linear(config.hidden_dim, config.output_dim, rng=rng)
+
+    @property
+    def output_dim(self) -> int:
+        return self.config.output_dim
+
+    def forward(self, node_features: Tensor, adjacency: np.ndarray) -> Tuple[Tensor, Tensor]:
+        """Return ``(node_embeddings, graph_embedding)`` for one graph."""
+        hidden = self.input_projection(node_features).relu()
+        for layer in self.layers:
+            hidden = layer(hidden, adjacency)
+        if self.attention is not None:
+            hidden = hidden + self.attention(hidden)
+        node_embeddings = self.node_head(hidden)
+        graph_embedding = self.graph_head(hidden.mean(axis=0))
+        return node_embeddings, graph_embedding
+
+    def encode_numpy(self, node_features: np.ndarray, adjacency: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        was_training = self.training
+        self.eval()
+        try:
+            nodes, graph = self.forward(Tensor(node_features), adjacency)
+            return nodes.data, graph.data
+        finally:
+            if was_training:
+                self.train()

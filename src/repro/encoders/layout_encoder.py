@@ -1,0 +1,92 @@
+"""Auxiliary layout graph encoder for cross-stage alignment.
+
+The paper pre-trains an SGFormer-based layout encoder with a graph contrastive
+objective and freezes it while aligning NetTAG's netlist embeddings with the
+layout embeddings.  The reproduction reuses the TAGFormer architecture over
+the layout-graph physical features (capacitance, resistance, delay,
+wirelength, coordinates, area, register flag).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+from ..physical.layout_graph import LAYOUT_FEATURES, LayoutGraph
+from .tagformer import TAGFormer, TAGFormerConfig
+
+
+class LayoutEncoder(nn.Module):
+    """Graph transformer over layout graphs producing circuit-level embeddings."""
+
+    def __init__(self, dim: int = 48, depth: int = 2, output_dim: int = 48,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        config = TAGFormerConfig(
+            input_dim=len(LAYOUT_FEATURES),
+            dim=dim,
+            depth=depth,
+            num_heads=2,
+            output_dim=output_dim,
+        )
+        self.backbone = TAGFormer(config, rng=rng)
+
+    @property
+    def output_dim(self) -> int:
+        return self.backbone.output_dim
+
+    def forward(self, layout: LayoutGraph) -> Tensor:
+        """Differentiable graph-level embedding of one layout graph."""
+        features = Tensor(layout.feature_matrix())
+        _, graph_embedding = self.backbone(features, layout.graph.adjacency)
+        return graph_embedding
+
+    def encode(self, layout: LayoutGraph) -> np.ndarray:
+        """Numpy graph embedding (inference)."""
+        _, graph = self.backbone.encode_numpy(layout.feature_matrix(), layout.graph.adjacency)
+        return graph
+
+
+def augment_layout_graph(layout: LayoutGraph, rng: np.random.Generator, noise: float = 0.05) -> LayoutGraph:
+    """Positive view for layout contrastive pre-training: jitter physical features."""
+    features = layout.node_features.copy()
+    features *= 1.0 + rng.normal(0.0, noise, size=features.shape)
+    return LayoutGraph(
+        name=layout.name + "_aug",
+        graph=layout.graph,
+        node_features=features,
+        node_names=list(layout.node_names),
+        attributes=dict(layout.attributes),
+    )
+
+
+def pretrain_layout_encoder(
+    encoder: LayoutEncoder,
+    layouts: Sequence[LayoutGraph],
+    num_steps: int = 20,
+    batch_size: int = 4,
+    lr: float = 1e-3,
+    temperature: float = 0.1,
+    seed: int = 0,
+) -> List[float]:
+    """Graph-contrastive pre-training of the layout encoder (paper Section II-C)."""
+    if len(layouts) < 2:
+        return []
+    rng = np.random.default_rng(seed)
+    optimizer = nn.Adam(encoder.parameters(), lr=lr, grad_clip=1.0)
+    losses: List[float] = []
+    for _ in range(num_steps):
+        batch_idx = rng.choice(len(layouts), size=min(batch_size, len(layouts)), replace=False)
+        anchors = [encoder(layouts[i]) for i in batch_idx]
+        positives = [encoder(augment_layout_graph(layouts[i], rng)) for i in batch_idx]
+        anchor_emb = nn.stack(anchors, axis=0)
+        positive_emb = nn.stack(positives, axis=0)
+        loss = nn.info_nce(anchor_emb, positive_emb, temperature=temperature)
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+        losses.append(loss.item())
+    return losses

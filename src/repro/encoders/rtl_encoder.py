@@ -1,0 +1,123 @@
+"""Auxiliary RTL text encoder for cross-stage alignment.
+
+The paper uses a pre-trained NV-Embed model to embed RTL code; it is frozen
+during NetTAG pre-training and only supplies the RTL-side targets for the
+cross-stage contrastive objective (#3).  Here the RTL encoder is a
+:class:`~repro.encoders.text_encoder.TextEncoder` over a hashed word
+vocabulary, optionally pre-trained with a simple self-supervised contrastive
+objective (two views of the same RTL produced by whitespace / comment
+perturbation and statement shuffling).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+from .text_encoder import HashingTokenizer, TextEncoder, TextEncoderConfig
+
+
+class RTLEncoder(nn.Module):
+    """Text encoder for RTL source code (the NV-Embed substitute)."""
+
+    def __init__(
+        self,
+        config: Optional[TextEncoderConfig] = None,
+        tokenizer: Optional[HashingTokenizer] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.config = config or TextEncoderConfig(max_length=160)
+        self.tokenizer = tokenizer or HashingTokenizer(max_length=self.config.max_length)
+        self.tokenizer.max_length = self.config.max_length
+        self.backbone = TextEncoder(
+            vocab_size=self.tokenizer.vocab_size,
+            config=self.config,
+            pad_id=self.tokenizer.pad_id,
+            rng=rng,
+        )
+        self._cache: Dict[str, np.ndarray] = {}
+
+    @property
+    def output_dim(self) -> int:
+        return self.backbone.output_dim
+
+    def forward(self, texts: Sequence[str]) -> Tensor:
+        ids, mask = self.tokenizer.encode_batch(list(texts))
+        return self.backbone(np.asarray(ids), np.asarray(mask))
+
+    def encode_texts(self, texts: Sequence[str], batch_size: int = 32) -> np.ndarray:
+        texts = list(texts)
+        result = np.zeros((len(texts), self.output_dim), dtype=np.float64)
+        to_compute = [i for i, t in enumerate(texts) if t not in self._cache]
+        for i, text in enumerate(texts):
+            if text in self._cache:
+                result[i] = self._cache[text]
+        for start in range(0, len(to_compute), batch_size):
+            chunk = to_compute[start : start + batch_size]
+            ids, mask = self.tokenizer.encode_batch([texts[i] for i in chunk])
+            embeddings = self.backbone.encode_numpy(np.asarray(ids), np.asarray(mask))
+            for row, i in enumerate(chunk):
+                result[i] = embeddings[row]
+                self._cache[texts[i]] = embeddings[row]
+        return result
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+
+def augment_rtl_text(text: str, rng: np.random.Generator) -> str:
+    """Produce a positive view of RTL code for contrastive pre-training.
+
+    The perturbations are semantics-preserving at the text level: statement
+    reordering within the combinational block, whitespace changes and comment
+    stripping.
+    """
+    lines = [line for line in text.splitlines() if line.strip()]
+    assigns = [l for l in lines if l.strip().startswith("assign")]
+    others = [l for l in lines if not l.strip().startswith("assign")]
+    rng.shuffle(assigns)
+    merged: List[str] = []
+    assign_iter = iter(assigns)
+    for line in others:
+        merged.append(line.split("//")[0].rstrip())
+        if rng.random() < 0.5:
+            nxt = next(assign_iter, None)
+            if nxt is not None:
+                merged.append(nxt.split("//")[0].rstrip())
+    merged.extend(l.split("//")[0].rstrip() for l in assign_iter)
+    return "\n".join(merged)
+
+
+def pretrain_rtl_encoder(
+    encoder: RTLEncoder,
+    rtl_texts: Sequence[str],
+    num_steps: int = 20,
+    batch_size: int = 8,
+    lr: float = 1e-3,
+    temperature: float = 0.1,
+    seed: int = 0,
+) -> List[float]:
+    """Contrastively pre-train the RTL encoder on (text, perturbed text) pairs."""
+    if len(rtl_texts) < 2:
+        return []
+    rng = np.random.default_rng(seed)
+    optimizer = nn.Adam(encoder.parameters(), lr=lr, grad_clip=1.0)
+    losses: List[float] = []
+    texts = list(rtl_texts)
+    for _ in range(num_steps):
+        batch_idx = rng.choice(len(texts), size=min(batch_size, len(texts)), replace=False)
+        anchors = [texts[i] for i in batch_idx]
+        positives = [augment_rtl_text(t, rng) for t in anchors]
+        anchor_emb = encoder(anchors)
+        positive_emb = encoder(positives)
+        loss = nn.info_nce(anchor_emb, positive_emb, temperature=temperature)
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+        losses.append(loss.item())
+    encoder.clear_cache()
+    return losses

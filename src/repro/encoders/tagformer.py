@@ -1,0 +1,141 @@
+"""TAGFormer: the graph transformer of NetTAG.
+
+TAGFormer refines the per-gate embeddings produced by ExprLLM with the global
+netlist structure.  Following SGFormer, each layer combines
+
+* a *global attention* term computed over all nodes (single-layer all-pair
+  attention), and
+* a *graph propagation* term using the normalised adjacency matrix,
+
+mixed with a learnable balance.  A ``[CLS]`` virtual node connected to every
+gate provides the graph-level embedding (``N_cls`` in the paper); its row is
+appended to the node features before the first layer.
+
+The input of TAGFormer is the concatenation of the ExprLLM text embedding with
+the gate's physical characteristic vector, exactly as equation (2) describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+
+
+@dataclass
+class TAGFormerConfig:
+    """Architecture configuration for TAGFormer."""
+
+    input_dim: int = 56            # text embedding dim + physical feature dim
+    dim: int = 64
+    depth: int = 2
+    num_heads: int = 4
+    propagation_weight: float = 0.5
+    dropout: float = 0.0
+    output_dim: int = 64
+
+
+class SGFormerLayer(nn.Module):
+    """One SGFormer-style layer: global attention mixed with graph propagation."""
+
+    def __init__(self, dim: int, num_heads: int, propagation_weight: float, dropout: float = 0.0,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.attention = nn.MultiHeadAttention(dim, num_heads, dropout=dropout, rng=rng)
+        self.attn_norm = nn.LayerNorm(dim)
+        self.ff = nn.FeedForward(dim, dim * 2, dropout=dropout, rng=rng)
+        self.ff_norm = nn.LayerNorm(dim)
+        self.propagation_weight = propagation_weight
+
+    def forward(self, hidden: Tensor, adjacency: np.ndarray) -> Tensor:
+        # Global attention over all nodes (sequence = node set).
+        attended = self.attention(self.attn_norm(hidden))
+        # Graph propagation with the normalised adjacency (constant matrix).
+        propagated = Tensor(adjacency) @ hidden
+        alpha = self.propagation_weight
+        mixed = hidden + attended * (1.0 - alpha) + propagated * alpha
+        return mixed + self.ff(self.ff_norm(mixed))
+
+
+class TAGFormer(nn.Module):
+    """Graph transformer producing gate embeddings and a graph ([CLS]) embedding."""
+
+    def __init__(self, config: Optional[TAGFormerConfig] = None, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.config = config or TAGFormerConfig()
+        cfg = self.config
+        rng = rng or np.random.default_rng(1)
+        self.input_projection = nn.Linear(cfg.input_dim, cfg.dim, rng=rng)
+        self.cls_token = self.register_parameter("cls_token", Tensor(np.random.default_rng(2).normal(0, 0.02, size=(1, cfg.dim))))
+        self.layers = nn.ModuleList(
+            SGFormerLayer(cfg.dim, cfg.num_heads, cfg.propagation_weight, cfg.dropout, rng=rng)
+            for _ in range(cfg.depth)
+        )
+        self.final_norm = nn.LayerNorm(cfg.dim)
+        self.node_head = nn.Linear(cfg.dim, cfg.output_dim, rng=rng)
+        self.graph_head = nn.Linear(cfg.dim, cfg.output_dim, rng=rng)
+
+    @property
+    def output_dim(self) -> int:
+        return self.config.output_dim
+
+    def forward(self, node_features: Tensor, adjacency: np.ndarray) -> Tuple[Tensor, Tensor]:
+        """Encode one graph.
+
+        Parameters
+        ----------
+        node_features:
+            ``(num_nodes, input_dim)`` tensor (ExprLLM embedding ++ physical vector).
+        adjacency:
+            ``(num_nodes, num_nodes)`` normalised adjacency matrix.
+
+        Returns
+        -------
+        (node_embeddings, graph_embedding):
+            ``(num_nodes, output_dim)`` and ``(output_dim,)`` tensors.
+        """
+        if node_features.ndim != 2:
+            raise ValueError("node_features must be a 2-D (nodes, features) tensor")
+        num_nodes = node_features.shape[0]
+        if adjacency.shape != (num_nodes, num_nodes):
+            raise ValueError(
+                f"adjacency shape {adjacency.shape} does not match {num_nodes} nodes"
+            )
+        hidden = self.input_projection(node_features)
+        hidden = nn.concatenate([hidden, self.cls_token], axis=0)
+
+        extended = _extend_adjacency_with_cls(adjacency)
+        for layer in self.layers:
+            hidden = layer(hidden, extended)
+        hidden = self.final_norm(hidden)
+
+        node_embeddings = self.node_head(hidden[:num_nodes])
+        graph_embedding = self.graph_head(hidden[num_nodes])
+        return node_embeddings, graph_embedding
+
+    def encode_numpy(self, node_features: np.ndarray, adjacency: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Inference helper returning numpy node and graph embeddings."""
+        was_training = self.training
+        self.eval()
+        try:
+            nodes, graph = self.forward(Tensor(node_features), adjacency)
+            return nodes.data, graph.data
+        finally:
+            if was_training:
+                self.train()
+
+
+def _extend_adjacency_with_cls(adjacency: np.ndarray) -> np.ndarray:
+    """Append a [CLS] row/column connected to every node (and itself)."""
+    n = adjacency.shape[0]
+    extended = np.zeros((n + 1, n + 1), dtype=np.float64)
+    extended[:n, :n] = adjacency
+    weight = 1.0 / max(n, 1)
+    extended[n, :n] = weight
+    extended[:n, n] = weight
+    extended[n, n] = 1.0
+    return extended

@@ -1,0 +1,179 @@
+"""Bidirectional transformer text encoders.
+
+The paper builds ExprLLM by converting a decoder-only LLM (Llama-3.1-8B via
+LLM2Vec) into a bidirectional text encoder, and uses NV-Embed as the auxiliary
+RTL text encoder.  Both are replaced here by a compact bidirectional
+transformer (:class:`TextEncoder`) trained from scratch: token + positional
+embeddings, a stack of pre-norm encoder layers with full (non-causal)
+attention, masked mean pooling and a projection head.
+
+Two tokenisers feed it:
+
+* :class:`repro.expr.tokenizer.ExprTokenizer` for gate text attributes, and
+* :class:`HashingTokenizer` (defined here) for free-form RTL code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+
+
+class HashingTokenizer:
+    """Word-level tokeniser with a closed hashed vocabulary (for RTL text)."""
+
+    SPECIALS: Tuple[str, ...] = ("<PAD>", "<CLS>", "<UNK>")
+
+    def __init__(self, num_buckets: int = 512, max_length: int = 256) -> None:
+        if num_buckets < 8:
+            raise ValueError("num_buckets must be at least 8")
+        self.num_buckets = num_buckets
+        self.max_length = max_length
+        self.vocab_size = num_buckets + len(self.SPECIALS)
+
+    @property
+    def pad_id(self) -> int:
+        return 0
+
+    @property
+    def cls_id(self) -> int:
+        return 1
+
+    @property
+    def unk_id(self) -> int:
+        return 2
+
+    def _bucket(self, token: str) -> int:
+        digest = hashlib.md5(token.encode("utf-8")).hexdigest()
+        return len(self.SPECIALS) + int(digest[:8], 16) % self.num_buckets
+
+    def tokenize(self, text: str) -> List[str]:
+        return re.findall(r"[A-Za-z_][A-Za-z0-9_]*|\d+|[^\sA-Za-z0-9_]", text)
+
+    def encode(self, text: str, add_cls: bool = True, pad: bool = True) -> Tuple[List[int], List[bool]]:
+        ids = [self._bucket(token) for token in self.tokenize(text)]
+        if add_cls:
+            ids = [self.cls_id] + ids
+        ids = ids[: self.max_length]
+        mask = [True] * len(ids)
+        if pad and len(ids) < self.max_length:
+            padding = self.max_length - len(ids)
+            ids += [self.pad_id] * padding
+            mask += [False] * padding
+        return ids, mask
+
+    def encode_batch(self, texts: Sequence[str]) -> Tuple[List[List[int]], List[List[bool]]]:
+        ids_batch, mask_batch = [], []
+        for text in texts:
+            ids, mask = self.encode(text)
+            ids_batch.append(ids)
+            mask_batch.append(mask)
+        return ids_batch, mask_batch
+
+
+@dataclass
+class TextEncoderConfig:
+    """Size configuration of a bidirectional text encoder.
+
+    The ``size_name`` presets mirror the paper's Fig. 7 scaling study
+    (BERT-110M / Llama-1.3B / Llama-8B become small / medium / large here).
+    """
+
+    dim: int = 48
+    depth: int = 2
+    num_heads: int = 4
+    ff_multiplier: int = 2
+    output_dim: int = 48
+    dropout: float = 0.0
+    max_length: int = 96
+    size_name: str = "medium"
+
+    @classmethod
+    def preset(cls, size_name: str) -> "TextEncoderConfig":
+        presets = {
+            "small": cls(dim=24, depth=1, num_heads=2, output_dim=24, size_name="small"),
+            "medium": cls(dim=48, depth=2, num_heads=4, output_dim=48, size_name="medium"),
+            "large": cls(dim=80, depth=3, num_heads=4, output_dim=80, size_name="large"),
+        }
+        if size_name not in presets:
+            raise ValueError(f"unknown text-encoder size {size_name!r}; choose from {sorted(presets)}")
+        return presets[size_name]
+
+    @property
+    def approx_parameters(self) -> int:
+        """Rough parameter count (reported in the scaling figure)."""
+        per_layer = 4 * self.dim * self.dim + 2 * self.dim * self.dim * self.ff_multiplier
+        return self.depth * per_layer + self.dim * self.output_dim
+
+
+class TextEncoder(nn.Module):
+    """Bidirectional transformer encoder producing one embedding per text."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        config: Optional[TextEncoderConfig] = None,
+        pad_id: int = 0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.config = config or TextEncoderConfig()
+        self.pad_id = pad_id
+        self.vocab_size = vocab_size
+        rng = rng or np.random.default_rng(0)
+        cfg = self.config
+        self.token_embedding = nn.Embedding(vocab_size, cfg.dim, rng=rng)
+        self.position_embedding = nn.Embedding(cfg.max_length, cfg.dim, rng=rng)
+        self.encoder = nn.TransformerEncoder(
+            dim=cfg.dim,
+            depth=cfg.depth,
+            num_heads=cfg.num_heads,
+            ff_multiplier=cfg.ff_multiplier,
+            dropout=cfg.dropout,
+            rng=rng,
+        )
+        self.projection = nn.Linear(cfg.dim, cfg.output_dim, rng=rng)
+
+    @property
+    def output_dim(self) -> int:
+        return self.config.output_dim
+
+    def forward(self, token_ids: np.ndarray, attention_mask: Optional[np.ndarray] = None) -> Tensor:
+        """Encode a batch of token-id sequences into ``(batch, output_dim)`` embeddings."""
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        if token_ids.ndim == 1:
+            token_ids = token_ids[None, :]
+        batch, seq = token_ids.shape
+        seq = min(seq, self.config.max_length)
+        token_ids = token_ids[:, :seq]
+        if attention_mask is None:
+            attention_mask = token_ids != self.pad_id
+        else:
+            attention_mask = np.asarray(attention_mask, dtype=bool)[:, :seq]
+
+        positions = np.broadcast_to(np.arange(seq), (batch, seq))
+        hidden = self.token_embedding(token_ids) + self.position_embedding(positions)
+        hidden = self.encoder(hidden, key_padding_mask=attention_mask)
+
+        # Masked mean pooling over valid positions.
+        mask = attention_mask.astype(np.float64)[:, :, None]
+        denom = np.maximum(mask.sum(axis=1), 1.0)
+        pooled = (hidden * Tensor(mask)).sum(axis=1) * Tensor(1.0 / denom)
+        return self.projection(pooled)
+
+    def encode_numpy(self, token_ids: np.ndarray, attention_mask: Optional[np.ndarray] = None) -> np.ndarray:
+        """Inference helper returning plain numpy embeddings (no gradient use)."""
+        was_training = self.training
+        self.eval()
+        try:
+            return self.forward(token_ids, attention_mask).data
+        finally:
+            if was_training:
+                self.train()

@@ -1,0 +1,94 @@
+"""Symbolic Boolean expression engine (the PySMT substitute).
+
+Provides the expression AST, a parser for the printed notation,
+equivalence-preserving rewrite rules for contrastive augmentation, truth-table
+equivalence checking, k-hop fan-in cone expansion and the gate-text tokeniser
+used by ExprLLM.
+"""
+
+from .ast import (
+    And,
+    Const,
+    Expr,
+    FALSE,
+    Ite,
+    Not,
+    Or,
+    TRUE,
+    Var,
+    Xor,
+    aoi21,
+    aoi22,
+    expr_from_op,
+    full_adder_carry,
+    full_adder_sum,
+    half_adder_carry,
+    half_adder_sum,
+    mux2,
+    nand,
+    nor,
+    oai21,
+    oai22,
+    substitute,
+    xnor,
+)
+from .evaluate import (
+    count_operators,
+    equivalent,
+    evaluate_batch,
+    satisfying_fraction,
+    signature,
+    truth_table,
+)
+from .extract import cone_depth, khop_expression
+from .parser import ExpressionSyntaxError, parse, tokenize_expression
+from .tokenizer import ExprTokenizer
+from .transform import (
+    DEFAULT_RULES,
+    RULE_NAMES,
+    random_equivalent,
+    simplify_constants,
+)
+
+__all__ = [
+    "Expr",
+    "Var",
+    "Const",
+    "Not",
+    "And",
+    "Or",
+    "Xor",
+    "Ite",
+    "TRUE",
+    "FALSE",
+    "nand",
+    "nor",
+    "xnor",
+    "mux2",
+    "aoi21",
+    "aoi22",
+    "oai21",
+    "oai22",
+    "full_adder_sum",
+    "full_adder_carry",
+    "half_adder_sum",
+    "half_adder_carry",
+    "substitute",
+    "expr_from_op",
+    "truth_table",
+    "equivalent",
+    "signature",
+    "satisfying_fraction",
+    "evaluate_batch",
+    "count_operators",
+    "khop_expression",
+    "cone_depth",
+    "parse",
+    "tokenize_expression",
+    "ExpressionSyntaxError",
+    "ExprTokenizer",
+    "random_equivalent",
+    "simplify_constants",
+    "DEFAULT_RULES",
+    "RULE_NAMES",
+]

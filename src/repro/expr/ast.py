@@ -1,0 +1,394 @@
+"""Symbolic Boolean expression AST.
+
+NetTAG annotates every netlist gate with a symbolic logic expression derived
+from its k-hop fan-in cone (the paper uses PySMT for this).  This module is
+the in-repo substitute: a small Boolean expression language with variables,
+constants, NOT/AND/OR/XOR and ITE (if-then-else, i.e. a 2:1 multiplexer),
+enough to express every cell in the standard-cell library including complex
+gates such as AOI/OAI, full adders and muxes.
+
+Expressions are immutable and hashable; printing follows the paper's notation
+(``!``, ``&``, ``|``, ``^`` and ``Ite(c, a, b)``), e.g. ``U3 = !((R1 ^ R2) | !R2)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, Mapping, Sequence, Tuple
+
+
+class Expr:
+    """Base class for Boolean expression nodes."""
+
+    __slots__ = ()
+
+    # -- introspection ---------------------------------------------------
+    def variables(self) -> FrozenSet[str]:
+        """Return the set of variable names appearing in the expression."""
+        names: set[str] = set()
+        stack: list[Expr] = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Var):
+                names.add(node.name)
+            else:
+                stack.extend(node.children())
+        return frozenset(names)
+
+    def children(self) -> Tuple["Expr", ...]:
+        return ()
+
+    def depth(self) -> int:
+        """Height of the expression tree (a single variable has depth 1)."""
+        kids = self.children()
+        if not kids:
+            return 1
+        return 1 + max(child.depth() for child in kids)
+
+    def num_nodes(self) -> int:
+        """Total number of AST nodes."""
+        return 1 + sum(child.num_nodes() for child in self.children())
+
+    def iter_nodes(self) -> Iterator["Expr"]:
+        yield self
+        for child in self.children():
+            yield from child.iter_nodes()
+
+    # -- evaluation ------------------------------------------------------
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        """Evaluate under a complete variable assignment."""
+        raise NotImplementedError
+
+    # -- construction sugar ----------------------------------------------
+    def __invert__(self) -> "Expr":
+        return Not(self)
+
+    def __and__(self, other: "Expr") -> "Expr":
+        return And(self, other)
+
+    def __or__(self, other: "Expr") -> "Expr":
+        return Or(self, other)
+
+    def __xor__(self, other: "Expr") -> "Expr":
+        return Xor(self, other)
+
+    # -- printing ---------------------------------------------------------
+    def to_string(self) -> str:
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.to_string()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.to_string()!r})"
+
+    # -- equality (structural) ---------------------------------------------
+    def key(self) -> Tuple:
+        """A hashable structural key; used for equality and hashing."""
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Expr) and self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+
+class Const(Expr):
+    """Boolean constant ``0`` or ``1``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool) -> None:
+        self.value = bool(value)
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return self.value
+
+    def to_string(self) -> str:
+        return "1" if self.value else "0"
+
+    def key(self) -> Tuple:
+        return ("const", self.value)
+
+
+TRUE = Const(True)
+FALSE = Const(False)
+
+
+class Var(Expr):
+    """A named input variable (a gate output or primary input symbol)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("variable name must be non-empty")
+        self.name = name
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        if self.name not in assignment:
+            raise KeyError(f"no value provided for variable {self.name!r}")
+        return bool(assignment[self.name])
+
+    def to_string(self) -> str:
+        return self.name
+
+    def key(self) -> Tuple:
+        return ("var", self.name)
+
+
+class Not(Expr):
+    """Logical negation, printed with ``!``."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Expr) -> None:
+        self.operand = operand
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.operand,)
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return not self.operand.evaluate(assignment)
+
+    def to_string(self) -> str:
+        inner = self.operand.to_string()
+        if isinstance(self.operand, (Var, Const, Not)):
+            return f"!{inner}"
+        return f"!({inner})"
+
+    def key(self) -> Tuple:
+        return ("not", self.operand.key())
+
+
+class _NaryOp(Expr):
+    """Base for commutative n-ary operators (AND/OR/XOR)."""
+
+    __slots__ = ("operands",)
+    symbol = "?"
+    op_name = "?"
+
+    def __init__(self, *operands: Expr) -> None:
+        flat: list[Expr] = []
+        for op in operands:
+            if isinstance(op, (tuple, list)):
+                flat.extend(op)
+            else:
+                flat.append(op)
+        if len(flat) < 2:
+            raise ValueError(f"{type(self).__name__} requires at least two operands")
+        self.operands: Tuple[Expr, ...] = tuple(flat)
+
+    def children(self) -> Tuple[Expr, ...]:
+        return self.operands
+
+    def to_string(self) -> str:
+        parts = []
+        for op in self.operands:
+            text = op.to_string()
+            if isinstance(op, _NaryOp) or isinstance(op, Ite):
+                text = f"({text})"
+            parts.append(text)
+        return f" {self.symbol} ".join(parts)
+
+    def key(self) -> Tuple:
+        return (self.op_name, tuple(op.key() for op in self.operands))
+
+
+class And(_NaryOp):
+    symbol = "&"
+    op_name = "and"
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return all(op.evaluate(assignment) for op in self.operands)
+
+
+class Or(_NaryOp):
+    symbol = "|"
+    op_name = "or"
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return any(op.evaluate(assignment) for op in self.operands)
+
+
+class Xor(_NaryOp):
+    symbol = "^"
+    op_name = "xor"
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        result = False
+        for op in self.operands:
+            result ^= op.evaluate(assignment)
+        return result
+
+
+class Ite(Expr):
+    """If-then-else ``Ite(cond, then, else)`` — the Boolean view of a 2:1 mux."""
+
+    __slots__ = ("cond", "then", "otherwise")
+
+    def __init__(self, cond: Expr, then: Expr, otherwise: Expr) -> None:
+        self.cond = cond
+        self.then = then
+        self.otherwise = otherwise
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.cond, self.then, self.otherwise)
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        if self.cond.evaluate(assignment):
+            return self.then.evaluate(assignment)
+        return self.otherwise.evaluate(assignment)
+
+    def to_string(self) -> str:
+        return f"Ite({self.cond.to_string()}, {self.then.to_string()}, {self.otherwise.to_string()})"
+
+    def key(self) -> Tuple:
+        return ("ite", self.cond.key(), self.then.key(), self.otherwise.key())
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors for standard-cell functions
+# ----------------------------------------------------------------------
+def nand(*operands: Expr) -> Expr:
+    return Not(And(*operands))
+
+
+def nor(*operands: Expr) -> Expr:
+    return Not(Or(*operands))
+
+
+def xnor(*operands: Expr) -> Expr:
+    return Not(Xor(*operands))
+
+
+def mux2(select: Expr, input0: Expr, input1: Expr) -> Expr:
+    """2:1 multiplexer: output is ``input1`` when ``select`` else ``input0``."""
+    return Ite(select, input1, input0)
+
+
+def aoi21(a: Expr, b: Expr, c: Expr) -> Expr:
+    """AND-OR-Invert: ``!((a & b) | c)``."""
+    return Not(Or(And(a, b), c))
+
+
+def aoi22(a: Expr, b: Expr, c: Expr, d: Expr) -> Expr:
+    """AND-OR-Invert: ``!((a & b) | (c & d))``."""
+    return Not(Or(And(a, b), And(c, d)))
+
+
+def oai21(a: Expr, b: Expr, c: Expr) -> Expr:
+    """OR-AND-Invert: ``!((a | b) & c)``."""
+    return Not(And(Or(a, b), c))
+
+
+def oai22(a: Expr, b: Expr, c: Expr, d: Expr) -> Expr:
+    """OR-AND-Invert: ``!((a | b) & (c | d))``."""
+    return Not(And(Or(a, b), Or(c, d)))
+
+
+def full_adder_sum(a: Expr, b: Expr, cin: Expr) -> Expr:
+    """Sum output of a full adder: ``a ^ b ^ cin``."""
+    return Xor(a, b, cin)
+
+
+def full_adder_carry(a: Expr, b: Expr, cin: Expr) -> Expr:
+    """Carry output of a full adder: ``(a & b) | (cin & (a ^ b))``."""
+    return Or(And(a, b), And(cin, Xor(a, b)))
+
+
+def half_adder_sum(a: Expr, b: Expr) -> Expr:
+    return Xor(a, b)
+
+
+def half_adder_carry(a: Expr, b: Expr) -> Expr:
+    return And(a, b)
+
+
+def substitute(expr: Expr, mapping: Mapping[str, Expr]) -> Expr:
+    """Replace variables by sub-expressions (used for k-hop cone expansion)."""
+    if isinstance(expr, Var):
+        return mapping.get(expr.name, expr)
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, Not):
+        return Not(substitute(expr.operand, mapping))
+    if isinstance(expr, Ite):
+        return Ite(
+            substitute(expr.cond, mapping),
+            substitute(expr.then, mapping),
+            substitute(expr.otherwise, mapping),
+        )
+    if isinstance(expr, _NaryOp):
+        return type(expr)(*[substitute(op, mapping) for op in expr.operands])
+    raise TypeError(f"unsupported expression node: {type(expr).__name__}")
+
+
+def expr_from_op(op_name: str, operands: Sequence[Expr]) -> Expr:
+    """Build an expression node from an operator name and operand list.
+
+    This is the bridge used by the cell library: each cell declares its logic
+    function as an operator name over its input pins.
+    """
+    ops = list(operands)
+    name = op_name.lower()
+    if name == "buf":
+        _require(ops, 1, name)
+        return ops[0]
+    if name in ("inv", "not"):
+        _require(ops, 1, name)
+        return Not(ops[0])
+    if name == "and":
+        return And(*ops)
+    if name == "or":
+        return Or(*ops)
+    if name == "xor":
+        return Xor(*ops)
+    if name == "nand":
+        return nand(*ops)
+    if name == "nor":
+        return nor(*ops)
+    if name == "xnor":
+        return xnor(*ops)
+    if name == "mux2":
+        _require(ops, 3, name)
+        return mux2(ops[0], ops[1], ops[2])
+    if name == "aoi21":
+        _require(ops, 3, name)
+        return aoi21(ops[0], ops[1], ops[2])
+    if name == "aoi22":
+        _require(ops, 4, name)
+        return aoi22(ops[0], ops[1], ops[2], ops[3])
+    if name == "oai21":
+        _require(ops, 3, name)
+        return oai21(ops[0], ops[1], ops[2])
+    if name == "oai22":
+        _require(ops, 4, name)
+        return oai22(ops[0], ops[1], ops[2], ops[3])
+    if name == "fa_sum":
+        _require(ops, 3, name)
+        return full_adder_sum(ops[0], ops[1], ops[2])
+    if name == "fa_carry":
+        _require(ops, 3, name)
+        return full_adder_carry(ops[0], ops[1], ops[2])
+    if name == "ha_sum":
+        _require(ops, 2, name)
+        return half_adder_sum(ops[0], ops[1])
+    if name == "ha_carry":
+        _require(ops, 2, name)
+        return half_adder_carry(ops[0], ops[1])
+    if name in ("dff", "dffr", "dffs", "latch"):
+        # Sequential elements are transparent for combinational expressions:
+        # the stored value is represented by the D-input symbol.
+        _require(ops, 1, name)
+        return ops[0]
+    if name == "const0":
+        return FALSE
+    if name == "const1":
+        return TRUE
+    raise ValueError(f"unknown logic operator {op_name!r}")
+
+
+def _require(ops: Sequence[Expr], count: int, name: str) -> None:
+    if len(ops) != count:
+        raise ValueError(f"operator {name!r} expects {count} operands, got {len(ops)}")

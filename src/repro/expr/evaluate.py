@@ -1,0 +1,95 @@
+"""Truth-table evaluation and Boolean equivalence checking.
+
+The paper argues that symbolic expressions avoid the exponential blow-up of
+truth-table *supervision*; nevertheless a truth-table based equivalence check
+is needed to validate the rewrite rules (the augmentations used by objective
+ #1 must be functionally equivalent) and to verify synthesised netlists against
+their RTL.  Support sizes here are small (cone expressions over a handful of
+variables), so exhaustive enumeration is appropriate; a cap guards against
+accidental misuse on large supports.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from .ast import Expr
+
+MAX_SUPPORT_FOR_TRUTH_TABLE = 16
+
+
+def truth_table(expr: Expr, variables: Sequence[str] | None = None) -> Tuple[Tuple[str, ...], np.ndarray]:
+    """Enumerate the truth table of ``expr``.
+
+    Returns the ordered variable tuple and a boolean vector of length
+    ``2**len(variables)`` where row ``i`` corresponds to the binary expansion
+    of ``i`` (most-significant variable first).
+    """
+    if variables is None:
+        variables = sorted(expr.variables())
+    variables = tuple(variables)
+    if len(variables) > MAX_SUPPORT_FOR_TRUTH_TABLE:
+        raise ValueError(
+            f"truth table over {len(variables)} variables exceeds the cap of "
+            f"{MAX_SUPPORT_FOR_TRUTH_TABLE}"
+        )
+    rows = []
+    for bits in product((False, True), repeat=len(variables)):
+        assignment = dict(zip(variables, bits))
+        rows.append(expr.evaluate(assignment))
+    return variables, np.asarray(rows, dtype=bool)
+
+
+def equivalent(a: Expr, b: Expr) -> bool:
+    """Exhaustively check functional equivalence of two expressions."""
+    variables = tuple(sorted(a.variables() | b.variables()))
+    if len(variables) > MAX_SUPPORT_FOR_TRUTH_TABLE:
+        raise ValueError(
+            f"equivalence check over {len(variables)} variables exceeds the cap of "
+            f"{MAX_SUPPORT_FOR_TRUTH_TABLE}"
+        )
+    for bits in product((False, True), repeat=len(variables)):
+        assignment = dict(zip(variables, bits))
+        if a.evaluate(assignment) != b.evaluate(assignment):
+            return False
+    return True
+
+
+def satisfying_fraction(expr: Expr) -> float:
+    """Fraction of input assignments under which the expression is true.
+
+    Used as the static signal-probability estimate for the gate's output when
+    annotating physical attributes (probability / toggle rate).
+    """
+    _, table = truth_table(expr)
+    if table.size == 0:
+        return 0.0
+    return float(table.mean())
+
+
+def signature(expr: Expr, variables: Sequence[str] | None = None) -> int:
+    """Pack the truth table into an integer signature (canonical under a fixed
+    variable order); useful for hashing functionally identical expressions."""
+    variables, table = truth_table(expr, variables)
+    sig = 0
+    for i, bit in enumerate(table):
+        if bit:
+            sig |= 1 << i
+    return sig
+
+
+def evaluate_batch(expr: Expr, assignments: Sequence[Mapping[str, bool]]) -> List[bool]:
+    """Evaluate an expression under several assignments."""
+    return [expr.evaluate(assignment) for assignment in assignments]
+
+
+def count_operators(expr: Expr) -> Dict[str, int]:
+    """Count AST node kinds; handy for dataset statistics and tests."""
+    counts: Dict[str, int] = {}
+    for node in expr.iter_nodes():
+        kind = type(node).__name__.lower()
+        counts[kind] = counts.get(kind, 0) + 1
+    return counts

@@ -1,0 +1,89 @@
+"""k-hop fan-in cone expression extraction.
+
+NetTAG annotates every gate with the symbolic expression of its k-hop fan-in
+cone (the paper uses k = 2 "to balance the expression expansion and runtime").
+This module implements the expansion generically: the caller provides a
+function mapping a signal symbol to the local Boolean expression of its driver
+(or ``None`` when the symbol is a cone leaf — a primary input, a register
+output, or a signal outside the cone), and :func:`khop_expression` recursively
+substitutes driver expressions up to ``k`` levels deep.
+
+Keeping the traversal independent of the netlist IR avoids a circular import:
+:mod:`repro.netlist.tag` supplies the lookup function.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from .ast import Expr, Var, substitute
+
+LocalExprLookup = Callable[[str], Optional[Expr]]
+
+
+def khop_expression(
+    symbol: str,
+    local_expr: LocalExprLookup,
+    k: int = 2,
+    max_nodes: int = 2000,
+) -> Expr:
+    """Expand the driver expression of ``symbol`` through ``k`` levels of logic.
+
+    Parameters
+    ----------
+    symbol:
+        The output symbol of the gate being annotated.
+    local_expr:
+        Maps a symbol to the single-level Boolean expression of its driver, in
+        terms of the driver's *input* symbols.  Returns ``None`` for leaves.
+    k:
+        Number of fan-in levels to expand (the paper uses 2).
+    max_nodes:
+        Hard cap on expression size; expansion stops early once exceeded so
+        pathological cones (wide multiplexers, large reduction trees) cannot
+        blow up preprocessing.
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    root = local_expr(symbol)
+    if root is None:
+        return Var(symbol)
+    expr = root
+    for _ in range(k - 1):
+        if expr.num_nodes() > max_nodes:
+            break
+        mapping: Dict[str, Expr] = {}
+        expanded_any = False
+        for name in expr.variables():
+            driver = local_expr(name)
+            if driver is not None:
+                mapping[name] = driver
+                expanded_any = True
+        if not expanded_any:
+            break
+        expr = substitute(expr, mapping)
+    return expr
+
+
+def cone_depth(symbol: str, local_expr: LocalExprLookup, max_depth: int = 64) -> int:
+    """Longest combinational path (in gate levels) ending at ``symbol``.
+
+    Leaves (primary inputs, register outputs) have depth 0.
+    """
+    cache: Dict[str, int] = {}
+
+    def depth_of(name: str, remaining: int) -> int:
+        if name in cache:
+            return cache[name]
+        if remaining <= 0:
+            return 0
+        expr = local_expr(name)
+        if expr is None:
+            cache[name] = 0
+            return 0
+        inputs = expr.variables()
+        value = 1 + max((depth_of(v, remaining - 1) for v in inputs), default=0)
+        cache[name] = value
+        return value
+
+    return depth_of(symbol, max_depth)

@@ -1,0 +1,161 @@
+"""Parser for the symbolic expression notation used throughout the repo.
+
+Grammar (precedence low → high): ``|`` < ``^`` < ``&`` < ``!`` < atoms.
+Atoms are identifiers, the constants ``0`` / ``1``, parenthesised expressions
+and ``Ite(cond, then, else)`` calls.  The printer in :mod:`repro.expr.ast`
+emits exactly this syntax, so ``parse(expr.to_string())`` round-trips.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple, Optional
+
+from .ast import And, Const, Expr, Ite, Not, Or, Var, Xor
+
+
+class Token(NamedTuple):
+    kind: str
+    text: str
+    position: int
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<ite>\bIte\b)|(?P<name>[A-Za-z_][A-Za-z0-9_\[\].]*)|(?P<const>[01])"
+    r"|(?P<op>[!&|^()=,]))"
+)
+
+
+class ExpressionSyntaxError(ValueError):
+    """Raised when an expression string cannot be parsed."""
+
+
+def tokenize_expression(text: str) -> List[Token]:
+    """Lex an expression string into tokens (raises on unknown characters)."""
+    tokens: List[Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            if text[pos:].strip() == "":
+                break
+            raise ExpressionSyntaxError(f"unexpected character {text[pos]!r} at position {pos}")
+        if match.lastgroup == "ite":
+            tokens.append(Token("ite", match.group("ite"), match.start("ite")))
+        elif match.lastgroup == "name":
+            tokens.append(Token("name", match.group("name"), match.start("name")))
+        elif match.lastgroup == "const":
+            tokens.append(Token("const", match.group("const"), match.start("const")))
+        else:
+            tokens.append(Token("op", match.group("op"), match.start("op")))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token], source: str) -> None:
+        self.tokens = tokens
+        self.source = source
+        self.index = 0
+
+    def peek(self) -> Optional[Token]:
+        return self.tokens[self.index] if self.index < len(self.tokens) else None
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise ExpressionSyntaxError(f"unexpected end of expression in {self.source!r}")
+        self.index += 1
+        return token
+
+    def expect(self, text: str) -> Token:
+        token = self.advance()
+        if token.text != text:
+            raise ExpressionSyntaxError(
+                f"expected {text!r} but found {token.text!r} at position {token.position}"
+            )
+        return token
+
+    # grammar: or_expr := xor_expr ('|' xor_expr)*
+    def parse_or(self) -> Expr:
+        operands = [self.parse_xor()]
+        while self._peek_op("|"):
+            self.advance()
+            operands.append(self.parse_xor())
+        return Or(*operands) if len(operands) > 1 else operands[0]
+
+    def parse_xor(self) -> Expr:
+        operands = [self.parse_and()]
+        while self._peek_op("^"):
+            self.advance()
+            operands.append(self.parse_and())
+        return Xor(*operands) if len(operands) > 1 else operands[0]
+
+    def parse_and(self) -> Expr:
+        operands = [self.parse_unary()]
+        while self._peek_op("&"):
+            self.advance()
+            operands.append(self.parse_unary())
+        return And(*operands) if len(operands) > 1 else operands[0]
+
+    def parse_unary(self) -> Expr:
+        if self._peek_op("!"):
+            self.advance()
+            return Not(self.parse_unary())
+        return self.parse_atom()
+
+    def parse_atom(self) -> Expr:
+        token = self.advance()
+        if token.kind == "const":
+            return Const(token.text == "1")
+        if token.kind == "name":
+            return Var(token.text)
+        if token.kind == "ite":
+            self.expect("(")
+            cond = self.parse_or()
+            self.expect(",")
+            then = self.parse_or()
+            self.expect(",")
+            otherwise = self.parse_or()
+            self.expect(")")
+            return Ite(cond, then, otherwise)
+        if token.kind == "op" and token.text == "(":
+            inner = self.parse_or()
+            self.expect(")")
+            return inner
+        raise ExpressionSyntaxError(
+            f"unexpected token {token.text!r} at position {token.position} in {self.source!r}"
+        )
+
+    def _peek_op(self, text: str) -> bool:
+        token = self.peek()
+        return token is not None and token.kind == "op" and token.text == text
+
+
+def parse(text: str) -> Expr:
+    """Parse an expression string such as ``"!((R1 ^ R2) | !R2)"``.
+
+    Assignments of the form ``"U3 = ..."`` are accepted; the left-hand side is
+    ignored and the right-hand side expression is returned.
+    """
+    tokens = tokenize_expression(text)
+    if not tokens:
+        raise ExpressionSyntaxError("empty expression")
+    # Strip a leading "<name> =" assignment prefix if present.
+    if (
+        len(tokens) >= 2
+        and tokens[0].kind == "name"
+        and tokens[1].kind == "op"
+        and tokens[1].text == "="
+    ):
+        tokens = tokens[2:]
+        if not tokens:
+            raise ExpressionSyntaxError(f"assignment without right-hand side: {text!r}")
+    parser = _Parser(tokens, text)
+    expr = parser.parse_or()
+    remaining = parser.peek()
+    if remaining is not None:
+        raise ExpressionSyntaxError(
+            f"trailing input {remaining.text!r} at position {remaining.position} in {text!r}"
+        )
+    return expr

@@ -1,0 +1,166 @@
+"""Tokenisation of gate text attributes for ExprLLM.
+
+The paper feeds each gate's text attribute (name, cell type, symbolic
+expression and physical properties) into an LLM-based encoder.  The open
+vocabulary of an 8B LLM is replaced here by a compact, deterministic
+tokeniser:
+
+* Boolean operators, brackets, field markers (``[Name]``, ``[Type]`` ...) and
+  cell-type names are first-class tokens.
+* Signal identifiers are canonicalised into ``<VAR_i>`` tokens by order of
+  first appearance within each text, so two structurally identical expressions
+  over different signal names produce identical token streams.  An 8B LLM
+  abstracts over arbitrary identifiers implicitly; at CPU scale this
+  canonicalisation is what keeps the gate embedding a function of the
+  expression's *structure* rather than of which hash bucket a name happens to
+  fall into.  Identifiers beyond the bucket budget fall back to a stable hash.
+* Numeric physical attributes are quantised into ``<NUM_i>`` bins on a log
+  scale.
+
+The resulting token-id sequences are what :class:`repro.encoders.expr_llm.ExprLLM`
+consumes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+SPECIAL_TOKENS: Tuple[str, ...] = ("<PAD>", "<CLS>", "<SEP>", "<MASK>", "<UNK>")
+
+OPERATOR_TOKENS: Tuple[str, ...] = (
+    "!", "&", "|", "^", "(", ")", ",", "=", "{", "}", ":", ";", "Ite", "0", "1",
+)
+
+FIELD_TOKENS: Tuple[str, ...] = (
+    "[Name]", "[Type]", "[Expr]", "[Phys]",
+    "Power", "Area", "Delay", "ToggleRate", "Probability",
+    "Load", "Capacitance", "Resistance", "Fanin", "Fanout",
+)
+
+CELL_TYPE_TOKENS: Tuple[str, ...] = (
+    "INV", "BUF", "AND2", "AND3", "OR2", "OR3", "NAND2", "NAND3", "NOR2", "NOR3",
+    "XOR2", "XNOR2", "MUX2", "AOI21", "AOI22", "OAI21", "OAI22",
+    "FA", "HA", "DFF", "DFFR", "DFFS", "CONST0", "CONST1",
+)
+
+_WORD_RE = re.compile(
+    r"\[(?:Name|Type|Expr|Phys)\]|Ite|[A-Za-z_][A-Za-z0-9_\[\].]*|\d+\.\d+|\d+|[!&|^(),={}:;]"
+)
+
+
+@dataclass
+class ExprTokenizer:
+    """Deterministic tokeniser with a fixed, closed vocabulary."""
+
+    num_var_buckets: int = 64
+    num_numeric_bins: int = 32
+    max_length: int = 160
+    vocab: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.vocab:
+            tokens: List[str] = list(SPECIAL_TOKENS)
+            tokens.extend(OPERATOR_TOKENS)
+            tokens.extend(FIELD_TOKENS)
+            tokens.extend(CELL_TYPE_TOKENS)
+            tokens.extend(f"<VAR_{i}>" for i in range(self.num_var_buckets))
+            tokens.extend(f"<NUM_{i}>" for i in range(self.num_numeric_bins))
+            self.vocab = {token: idx for idx, token in enumerate(tokens)}
+        self._known = set(self.vocab)
+
+    # -- vocabulary ------------------------------------------------------
+    @property
+    def vocab_size(self) -> int:
+        return len(self.vocab)
+
+    @property
+    def pad_id(self) -> int:
+        return self.vocab["<PAD>"]
+
+    @property
+    def cls_id(self) -> int:
+        return self.vocab["<CLS>"]
+
+    @property
+    def mask_id(self) -> int:
+        return self.vocab["<MASK>"]
+
+    @property
+    def unk_id(self) -> int:
+        return self.vocab["<UNK>"]
+
+    # -- token mapping ----------------------------------------------------
+    def _variable_token(self, name: str) -> str:
+        """Stable hashed fallback bucket for an identifier (no per-text state)."""
+        digest = hashlib.md5(name.encode("utf-8")).hexdigest()
+        bucket = int(digest[:8], 16) % self.num_var_buckets
+        return f"<VAR_{bucket}>"
+
+    def _numeric_token(self, value: float) -> str:
+        if value <= 0:
+            bin_index = 0
+        else:
+            # log-scale bins between 1e-4 and 1e4
+            log_value = math.log10(max(min(value, 1e4), 1e-4))
+            fraction = (log_value + 4.0) / 8.0
+            bin_index = min(self.num_numeric_bins - 1, int(fraction * self.num_numeric_bins))
+        return f"<NUM_{bin_index}>"
+
+    def tokenize(self, text: str) -> List[str]:
+        """Split a gate text attribute into vocabulary tokens.
+
+        Unknown identifiers are assigned ``<VAR_i>`` tokens in order of first
+        appearance within ``text`` (canonical naming); once the bucket budget
+        is exhausted the remaining identifiers use the hashed fallback.
+        """
+        tokens: List[str] = []
+        canonical: Dict[str, str] = {}
+        for raw in _WORD_RE.findall(text):
+            if raw in self._known:
+                tokens.append(raw)
+            elif re.fullmatch(r"\d+\.\d+", raw) or re.fullmatch(r"\d+", raw):
+                tokens.append(self._numeric_token(float(raw)))
+            elif raw.upper() in self._known:
+                tokens.append(raw.upper())
+            else:
+                token = canonical.get(raw)
+                if token is None:
+                    if len(canonical) < self.num_var_buckets:
+                        token = f"<VAR_{len(canonical)}>"
+                    else:
+                        token = self._variable_token(raw)
+                    canonical[raw] = token
+                tokens.append(token)
+        return tokens
+
+    def encode(self, text: str, add_cls: bool = True, pad: bool = True) -> Tuple[List[int], List[bool]]:
+        """Convert text into (token_ids, attention_mask) truncated/padded to ``max_length``."""
+        tokens = self.tokenize(text)
+        ids = [self.vocab.get(token, self.unk_id) for token in tokens]
+        if add_cls:
+            ids = [self.cls_id] + ids
+        ids = ids[: self.max_length]
+        mask = [True] * len(ids)
+        if pad and len(ids) < self.max_length:
+            padding = self.max_length - len(ids)
+            ids = ids + [self.pad_id] * padding
+            mask = mask + [False] * padding
+        return ids, mask
+
+    def encode_batch(self, texts: Sequence[str]) -> Tuple[List[List[int]], List[List[bool]]]:
+        ids_batch: List[List[int]] = []
+        mask_batch: List[List[bool]] = []
+        for text in texts:
+            ids, mask = self.encode(text)
+            ids_batch.append(ids)
+            mask_batch.append(mask)
+        return ids_batch, mask_batch
+
+    def decode(self, ids: Sequence[int]) -> List[str]:
+        """Map ids back to token strings (for debugging and tests)."""
+        reverse = {idx: token for token, idx in self.vocab.items()}
+        return [reverse.get(int(i), "<UNK>") for i in ids]

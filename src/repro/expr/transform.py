@@ -1,0 +1,287 @@
+"""Boolean-equivalence preserving rewrite rules.
+
+Objective #1 of the paper (symbolic expression contrastive learning) builds
+positive pairs by "randomly applied Boolean equivalence rules ... such as
+De-Morgan's law, distributive law, commutative law, associative law, etc.".
+This module implements those rules plus a few additional ones (double
+negation, XOR expansion, identity/idempotence) and a random rewriter that
+applies a sequence of them to produce an equivalent but syntactically
+different expression.
+
+Every rule is equivalence-preserving; ``tests/test_expr_transform.py`` checks
+this with exhaustive truth tables and hypothesis-generated expressions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .ast import And, Const, Expr, FALSE, Ite, Not, Or, TRUE, Var, Xor, _NaryOp
+
+RewriteRule = Callable[[Expr, np.random.Generator], Optional[Expr]]
+
+
+# ----------------------------------------------------------------------
+# Individual rules: each returns a rewritten node or None if not applicable
+# ----------------------------------------------------------------------
+def double_negation(expr: Expr, rng: np.random.Generator) -> Optional[Expr]:
+    """``!!a -> a`` and ``a -> !!a`` (direction picked at random)."""
+    if isinstance(expr, Not) and isinstance(expr.operand, Not):
+        return expr.operand.operand
+    if rng.random() < 0.5:
+        return Not(Not(expr))
+    return None
+
+
+def de_morgan(expr: Expr, rng: np.random.Generator) -> Optional[Expr]:
+    """``!(a & b) <-> !a | !b`` and ``!(a | b) <-> !a & !b`` (both directions)."""
+    if isinstance(expr, Not):
+        inner = expr.operand
+        if isinstance(inner, And):
+            return Or(*[Not(op) for op in inner.operands])
+        if isinstance(inner, Or):
+            return And(*[Not(op) for op in inner.operands])
+    if isinstance(expr, Or) and all(isinstance(op, Not) for op in expr.operands):
+        return Not(And(*[op.operand for op in expr.operands]))  # type: ignore[union-attr]
+    if isinstance(expr, And) and all(isinstance(op, Not) for op in expr.operands):
+        return Not(Or(*[op.operand for op in expr.operands]))  # type: ignore[union-attr]
+    return None
+
+
+def commutative(expr: Expr, rng: np.random.Generator) -> Optional[Expr]:
+    """Shuffle the operand order of a commutative operator."""
+    if isinstance(expr, _NaryOp) and len(expr.operands) >= 2:
+        order = rng.permutation(len(expr.operands))
+        if list(order) == list(range(len(expr.operands))):
+            order = order[::-1]
+        return type(expr)(*[expr.operands[i] for i in order])
+    return None
+
+
+def associative(expr: Expr, rng: np.random.Generator) -> Optional[Expr]:
+    """Regroup nested AND/OR/XOR: flatten ``a & (b & c)`` or nest ``a & b & c``."""
+    if not isinstance(expr, _NaryOp):
+        return None
+    cls = type(expr)
+    # Flatten one level of same-type nesting.
+    nested_index = next(
+        (i for i, op in enumerate(expr.operands) if isinstance(op, cls)), None
+    )
+    if nested_index is not None:
+        flat: List[Expr] = []
+        for i, op in enumerate(expr.operands):
+            if i == nested_index:
+                flat.extend(op.operands)  # type: ignore[union-attr]
+            else:
+                flat.append(op)
+        return cls(*flat)
+    # Otherwise nest: group the first two operands.
+    if len(expr.operands) >= 3:
+        grouped = cls(expr.operands[0], expr.operands[1])
+        return cls(grouped, *expr.operands[2:])
+    return None
+
+
+def distributive(expr: Expr, rng: np.random.Generator) -> Optional[Expr]:
+    """``a & (b | c) -> (a & b) | (a & c)`` and the dual for OR over AND."""
+    if isinstance(expr, And) and len(expr.operands) == 2:
+        a, b = expr.operands
+        if isinstance(b, Or):
+            return Or(*[And(a, term) for term in b.operands])
+        if isinstance(a, Or):
+            return Or(*[And(term, b) for term in a.operands])
+    if isinstance(expr, Or) and len(expr.operands) == 2:
+        a, b = expr.operands
+        if isinstance(b, And):
+            return And(*[Or(a, term) for term in b.operands])
+        if isinstance(a, And):
+            return And(*[Or(term, b) for term in a.operands])
+    return None
+
+
+def xor_expansion(expr: Expr, rng: np.random.Generator) -> Optional[Expr]:
+    """``a ^ b -> (a & !b) | (!a & b)`` (binary XOR only)."""
+    if isinstance(expr, Xor) and len(expr.operands) == 2:
+        a, b = expr.operands
+        return Or(And(a, Not(b)), And(Not(a), b))
+    return None
+
+
+def xnor_expansion(expr: Expr, rng: np.random.Generator) -> Optional[Expr]:
+    """``!(a ^ b) -> (a & b) | (!a & !b)``."""
+    if isinstance(expr, Not) and isinstance(expr.operand, Xor) and len(expr.operand.operands) == 2:
+        a, b = expr.operand.operands
+        return Or(And(a, b), And(Not(a), Not(b)))
+    return None
+
+
+def ite_expansion(expr: Expr, rng: np.random.Generator) -> Optional[Expr]:
+    """``Ite(c, a, b) -> (c & a) | (!c & b)``."""
+    if isinstance(expr, Ite):
+        return Or(And(expr.cond, expr.then), And(Not(expr.cond), expr.otherwise))
+    return None
+
+
+def idempotence(expr: Expr, rng: np.random.Generator) -> Optional[Expr]:
+    """``a -> a & a`` or ``a -> a | a`` for variables (adds harmless redundancy)."""
+    if isinstance(expr, Var):
+        return And(expr, expr) if rng.random() < 0.5 else Or(expr, expr)
+    return None
+
+
+def identity_constant(expr: Expr, rng: np.random.Generator) -> Optional[Expr]:
+    """``a -> a & 1`` or ``a -> a | 0`` (identity elements)."""
+    if isinstance(expr, (Var, Not)):
+        return And(expr, TRUE) if rng.random() < 0.5 else Or(expr, FALSE)
+    return None
+
+
+def absorption(expr: Expr, rng: np.random.Generator) -> Optional[Expr]:
+    """``a | (a & b) -> a`` and ``a & (a | b) -> a``."""
+    if isinstance(expr, Or) and len(expr.operands) == 2:
+        a, b = expr.operands
+        if isinstance(b, And) and a in b.operands:
+            return a
+        if isinstance(a, And) and b in a.operands:
+            return b
+    if isinstance(expr, And) and len(expr.operands) == 2:
+        a, b = expr.operands
+        if isinstance(b, Or) and a in b.operands:
+            return a
+        if isinstance(a, Or) and b in a.operands:
+            return b
+    return None
+
+
+DEFAULT_RULES: Tuple[RewriteRule, ...] = (
+    double_negation,
+    de_morgan,
+    commutative,
+    associative,
+    distributive,
+    xor_expansion,
+    xnor_expansion,
+    ite_expansion,
+    idempotence,
+    identity_constant,
+    absorption,
+)
+
+RULE_NAMES: Dict[str, RewriteRule] = {rule.__name__: rule for rule in DEFAULT_RULES}
+
+
+# ----------------------------------------------------------------------
+# Random rewriting
+# ----------------------------------------------------------------------
+def _rewrite_at_random_node(
+    expr: Expr, rule: RewriteRule, rng: np.random.Generator
+) -> Tuple[Expr, bool]:
+    """Try to apply ``rule`` at a random node; returns (expression, applied?)."""
+    nodes = list(expr.iter_nodes())
+    order = rng.permutation(len(nodes))
+    for idx in order:
+        target = nodes[idx]
+        replacement = rule(target, rng)
+        if replacement is not None and replacement != target:
+            return _replace_node(expr, target, replacement), True
+    return expr, False
+
+
+def _replace_node(expr: Expr, target: Expr, replacement: Expr) -> Expr:
+    """Return a copy of ``expr`` with the first occurrence of ``target``
+    (by identity) replaced by ``replacement``."""
+    if expr is target:
+        return replacement
+    if isinstance(expr, Not):
+        return Not(_replace_node(expr.operand, target, replacement))
+    if isinstance(expr, Ite):
+        return Ite(
+            _replace_node(expr.cond, target, replacement),
+            _replace_node(expr.then, target, replacement),
+            _replace_node(expr.otherwise, target, replacement),
+        )
+    if isinstance(expr, _NaryOp):
+        return type(expr)(*[_replace_node(op, target, replacement) for op in expr.operands])
+    return expr
+
+
+def random_equivalent(
+    expr: Expr,
+    rng: Optional[np.random.Generator] = None,
+    num_rewrites: int = 3,
+    rules: Sequence[RewriteRule] = DEFAULT_RULES,
+    max_nodes: int = 400,
+) -> Expr:
+    """Produce a functionally equivalent expression via random rewrites.
+
+    This is the augmentation used to build positive pairs for objective #1.
+    ``max_nodes`` bounds growth (rules such as distribution can enlarge the
+    expression); if a rewrite would exceed the bound it is discarded.
+    """
+    rng = rng or np.random.default_rng()
+    current = expr
+    applied = 0
+    attempts = 0
+    while applied < num_rewrites and attempts < num_rewrites * 8:
+        attempts += 1
+        rule = rules[int(rng.integers(len(rules)))]
+        candidate, ok = _rewrite_at_random_node(current, rule, rng)
+        if ok and candidate.num_nodes() <= max_nodes:
+            current = candidate
+            applied += 1
+    return current
+
+
+def simplify_constants(expr: Expr) -> Expr:
+    """Light constant folding: removes constant operands introduced by the
+    identity rule and simplifies degenerate operators.  Used by synthesis."""
+    if isinstance(expr, Not):
+        inner = simplify_constants(expr.operand)
+        if isinstance(inner, Const):
+            return Const(not inner.value)
+        if isinstance(inner, Not):
+            return inner.operand
+        return Not(inner)
+    if isinstance(expr, Ite):
+        cond = simplify_constants(expr.cond)
+        then = simplify_constants(expr.then)
+        otherwise = simplify_constants(expr.otherwise)
+        if isinstance(cond, Const):
+            return then if cond.value else otherwise
+        return Ite(cond, then, otherwise)
+    if isinstance(expr, And):
+        ops = [simplify_constants(op) for op in expr.operands]
+        if any(isinstance(op, Const) and not op.value for op in ops):
+            return FALSE
+        ops = [op for op in ops if not isinstance(op, Const)]
+        if not ops:
+            return TRUE
+        if len(ops) == 1:
+            return ops[0]
+        return And(*ops)
+    if isinstance(expr, Or):
+        ops = [simplify_constants(op) for op in expr.operands]
+        if any(isinstance(op, Const) and op.value for op in ops):
+            return TRUE
+        ops = [op for op in ops if not isinstance(op, Const)]
+        if not ops:
+            return FALSE
+        if len(ops) == 1:
+            return ops[0]
+        return Or(*ops)
+    if isinstance(expr, Xor):
+        ops = [simplify_constants(op) for op in expr.operands]
+        parity = False
+        kept: List[Expr] = []
+        for op in ops:
+            if isinstance(op, Const):
+                parity ^= op.value
+            else:
+                kept.append(op)
+        if not kept:
+            return Const(parity)
+        base = kept[0] if len(kept) == 1 else Xor(*kept)
+        return Not(base) if parity else base
+    return expr

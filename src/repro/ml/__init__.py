@@ -1,0 +1,37 @@
+"""Classical ML substrate: metrics, decision trees, gradient boosting, MLP heads."""
+
+from .metrics import (
+    accuracy,
+    balanced_accuracy,
+    classification_report,
+    mape,
+    pearson_r,
+    precision_recall_f1,
+    regression_report,
+    sensitivity,
+    specificity,
+)
+from .tree import DecisionTreeRegressor
+from .gbdt import GradientBoostingClassifier, GradientBoostingRegressor
+from .heads import HeadConfig, MLPClassifierHead, MLPRegressorHead
+from .ridge import RidgeClassifierHead, RidgeRegressorHead
+
+__all__ = [
+    "accuracy",
+    "precision_recall_f1",
+    "classification_report",
+    "sensitivity",
+    "specificity",
+    "balanced_accuracy",
+    "pearson_r",
+    "mape",
+    "regression_report",
+    "DecisionTreeRegressor",
+    "GradientBoostingRegressor",
+    "GradientBoostingClassifier",
+    "HeadConfig",
+    "MLPClassifierHead",
+    "MLPRegressorHead",
+    "RidgeRegressorHead",
+    "RidgeClassifierHead",
+]

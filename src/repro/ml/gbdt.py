@@ -1,0 +1,125 @@
+"""Gradient-boosted decision trees (the XGBoost substitute).
+
+Provides a regression booster (squared-error gradient boosting over
+:class:`~repro.ml.tree.DecisionTreeRegressor` base learners) and a
+one-vs-rest classifier built on top of it.  These are the "tree-based models"
+option for NetTAG's lightweight fine-tuning heads.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .tree import DecisionTreeRegressor
+
+
+class GradientBoostingRegressor:
+    """L2 gradient boosting: each tree fits the residual of the running prediction."""
+
+    def __init__(
+        self,
+        num_trees: int = 30,
+        learning_rate: float = 0.2,
+        max_depth: int = 3,
+        subsample: float = 1.0,
+        min_samples_leaf: int = 2,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 < subsample <= 1.0:
+            raise ValueError("subsample must be in (0, 1]")
+        self.num_trees = num_trees
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.subsample = subsample
+        self.min_samples_leaf = min_samples_leaf
+        self.seed = seed
+        self._trees: List[DecisionTreeRegressor] = []
+        self._base_prediction = 0.0
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "GradientBoostingRegressor":
+        features = np.asarray(features, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if len(features) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        rng = np.random.default_rng(self.seed)
+        self._trees = []
+        self._base_prediction = float(targets.mean())
+        predictions = np.full(len(targets), self._base_prediction)
+        for _ in range(self.num_trees):
+            residuals = targets - predictions
+            if np.abs(residuals).max() < 1e-12:
+                break
+            if self.subsample < 1.0:
+                size = max(2, int(self.subsample * len(targets)))
+                indices = rng.choice(len(targets), size=size, replace=False)
+            else:
+                indices = np.arange(len(targets))
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth, min_samples_leaf=self.min_samples_leaf
+            )
+            tree.fit(features[indices], residuals[indices])
+            update = tree.predict(features)
+            predictions = predictions + self.learning_rate * update
+            self._trees.append(tree)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        features = np.asarray(features, dtype=np.float64)
+        predictions = np.full(len(features), self._base_prediction)
+        for tree in self._trees:
+            predictions = predictions + self.learning_rate * tree.predict(features)
+        return predictions
+
+    @property
+    def num_fitted_trees(self) -> int:
+        return len(self._trees)
+
+
+class GradientBoostingClassifier:
+    """One-vs-rest classification using per-class regression boosters."""
+
+    def __init__(
+        self,
+        num_trees: int = 25,
+        learning_rate: float = 0.3,
+        max_depth: int = 3,
+        seed: int = 0,
+    ) -> None:
+        self.num_trees = num_trees
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.seed = seed
+        self._boosters: List[GradientBoostingRegressor] = []
+        self.classes_: np.ndarray = np.zeros(0, dtype=np.int64)
+
+    def fit(self, features: np.ndarray, labels: Sequence[int]) -> "GradientBoostingClassifier":
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        self.classes_ = np.unique(labels)
+        self._boosters = []
+        for i, cls in enumerate(self.classes_):
+            booster = GradientBoostingRegressor(
+                num_trees=self.num_trees,
+                learning_rate=self.learning_rate,
+                max_depth=self.max_depth,
+                seed=self.seed + i,
+            )
+            booster.fit(features, (labels == cls).astype(np.float64))
+            self._boosters.append(booster)
+        return self
+
+    def decision_scores(self, features: np.ndarray) -> np.ndarray:
+        features = np.asarray(features, dtype=np.float64)
+        return np.stack([booster.predict(features) for booster in self._boosters], axis=1)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        scores = self.decision_scores(features)
+        return self.classes_[np.argmax(scores, axis=1)]
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        scores = self.decision_scores(features)
+        shifted = scores - scores.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)

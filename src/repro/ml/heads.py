@@ -1,0 +1,159 @@
+"""Lightweight MLP fine-tuning heads.
+
+The paper fine-tunes frozen NetTAG embeddings with small task models.  These
+wrappers provide a scikit-learn-style ``fit`` / ``predict`` interface around
+:class:`repro.nn.MLP` for classification and regression, with feature
+standardisation baked in (embeddings from different encoders have very
+different scales).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+
+
+@dataclass
+class HeadConfig:
+    """Training hyper-parameters for the MLP heads."""
+
+    hidden_sizes: tuple = (64,)
+    learning_rate: float = 5e-3
+    num_epochs: int = 60
+    batch_size: int = 64
+    weight_decay: float = 1e-4
+    class_weight: Optional[str] = "balanced"   # None or "balanced" (classification only)
+    seed: int = 0
+
+
+class _Standardizer:
+    """Per-feature standardisation fitted on the training split."""
+
+    def __init__(self) -> None:
+        self.mean: Optional[np.ndarray] = None
+        self.std: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray) -> None:
+        self.mean = features.mean(axis=0)
+        self.std = features.std(axis=0)
+        self.std = np.where(self.std < 1e-9, 1.0, self.std)
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        if self.mean is None or self.std is None:
+            raise RuntimeError("standardizer is not fitted")
+        return (features - self.mean) / self.std
+
+
+class MLPClassifierHead:
+    """Multi-class classifier head over frozen embeddings."""
+
+    def __init__(self, config: Optional[HeadConfig] = None) -> None:
+        self.config = config or HeadConfig()
+        self._model: Optional[nn.MLP] = None
+        self._standardizer = _Standardizer()
+        self.classes_: np.ndarray = np.zeros(0, dtype=np.int64)
+
+    def fit(self, features: np.ndarray, labels: Sequence[int]) -> "MLPClassifierHead":
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if len(features) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self.classes_ = np.unique(labels)
+        class_index = {cls: i for i, cls in enumerate(self.classes_)}
+        targets = np.asarray([class_index[l] for l in labels], dtype=np.int64)
+
+        self._standardizer.fit(features)
+        features = self._standardizer.transform(features)
+        rng = np.random.default_rng(self.config.seed)
+        self._model = nn.MLP(
+            features.shape[1], len(self.classes_), hidden_sizes=self.config.hidden_sizes, rng=rng
+        )
+        optimizer = nn.Adam(
+            self._model.parameters(), lr=self.config.learning_rate,
+            weight_decay=self.config.weight_decay, grad_clip=5.0,
+        )
+        sample_weights = np.ones(len(targets))
+        if self.config.class_weight == "balanced":
+            counts = np.bincount(targets, minlength=len(self.classes_)).astype(np.float64)
+            class_weights = len(targets) / (len(self.classes_) * np.maximum(counts, 1.0))
+            sample_weights = class_weights[targets]
+        for _ in range(self.config.num_epochs):
+            order = rng.permutation(len(features))
+            for start in range(0, len(order), self.config.batch_size):
+                batch = order[start : start + self.config.batch_size]
+                logits = self._model(Tensor(features[batch]))
+                log_probs = logits.log_softmax(axis=-1)
+                picked = log_probs[np.arange(len(batch)), targets[batch]]
+                weights = sample_weights[batch]
+                loss = -(picked * Tensor(weights)).sum() * (1.0 / max(weights.sum(), 1e-9))
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self._model is None:
+            raise RuntimeError("head is not fitted")
+        features = self._standardizer.transform(np.asarray(features, dtype=np.float64))
+        logits = self._model(Tensor(features)).data
+        return self.classes_[np.argmax(logits, axis=1)]
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if self._model is None:
+            raise RuntimeError("head is not fitted")
+        features = self._standardizer.transform(np.asarray(features, dtype=np.float64))
+        logits = self._model(Tensor(features)).data
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+
+class MLPRegressorHead:
+    """Scalar regression head over frozen embeddings (targets are standardised)."""
+
+    def __init__(self, config: Optional[HeadConfig] = None) -> None:
+        self.config = config or HeadConfig()
+        self._model: Optional[nn.MLP] = None
+        self._standardizer = _Standardizer()
+        self._target_mean = 0.0
+        self._target_std = 1.0
+
+    def fit(self, features: np.ndarray, targets: Sequence[float]) -> "MLPRegressorHead":
+        features = np.asarray(features, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if len(features) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self._standardizer.fit(features)
+        features = self._standardizer.transform(features)
+        self._target_mean = float(targets.mean())
+        self._target_std = float(targets.std()) or 1.0
+        scaled_targets = (targets - self._target_mean) / self._target_std
+
+        rng = np.random.default_rng(self.config.seed)
+        self._model = nn.MLP(features.shape[1], 1, hidden_sizes=self.config.hidden_sizes, rng=rng)
+        optimizer = nn.Adam(
+            self._model.parameters(), lr=self.config.learning_rate,
+            weight_decay=self.config.weight_decay, grad_clip=5.0,
+        )
+        for _ in range(self.config.num_epochs):
+            order = rng.permutation(len(features))
+            for start in range(0, len(order), self.config.batch_size):
+                batch = order[start : start + self.config.batch_size]
+                predictions = self._model(Tensor(features[batch])).reshape(len(batch))
+                loss = nn.mse_loss(predictions, scaled_targets[batch])
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self._model is None:
+            raise RuntimeError("head is not fitted")
+        features = self._standardizer.transform(np.asarray(features, dtype=np.float64))
+        predictions = self._model(Tensor(features)).data.reshape(-1)
+        return predictions * self._target_std + self._target_mean

@@ -1,0 +1,119 @@
+"""Evaluation metrics used across the four downstream tasks.
+
+Task 1 reports accuracy / precision / recall / F1 (macro-averaged over gate
+function classes); Task 2 reports sensitivity and balanced accuracy; Tasks 3
+and 4 report the Pearson correlation coefficient R and the mean absolute
+percentage error (MAPE).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+
+def _as_int_array(values: Sequence) -> np.ndarray:
+    return np.asarray(values, dtype=np.int64)
+
+
+def accuracy(y_true: Sequence, y_pred: Sequence) -> float:
+    y_true, y_pred = _as_int_array(y_true), _as_int_array(y_pred)
+    if y_true.size == 0:
+        return 0.0
+    return float((y_true == y_pred).mean())
+
+
+def precision_recall_f1(y_true: Sequence, y_pred: Sequence, average: str = "macro") -> Dict[str, float]:
+    """Macro- (or micro-) averaged precision, recall and F1."""
+    y_true, y_pred = _as_int_array(y_true), _as_int_array(y_pred)
+    if y_true.size == 0:
+        return {"precision": 0.0, "recall": 0.0, "f1": 0.0}
+    classes = np.unique(np.concatenate([y_true, y_pred]))
+    if average == "micro":
+        tp = float((y_true == y_pred).sum())
+        precision = recall = tp / y_true.size
+        f1 = precision
+        return {"precision": precision, "recall": recall, "f1": f1}
+    precisions, recalls, f1s = [], [], []
+    for cls in classes:
+        tp = float(np.sum((y_pred == cls) & (y_true == cls)))
+        fp = float(np.sum((y_pred == cls) & (y_true != cls)))
+        fn = float(np.sum((y_pred != cls) & (y_true == cls)))
+        precision = tp / (tp + fp) if tp + fp > 0 else 0.0
+        recall = tp / (tp + fn) if tp + fn > 0 else 0.0
+        f1 = 2 * precision * recall / (precision + recall) if precision + recall > 0 else 0.0
+        precisions.append(precision)
+        recalls.append(recall)
+        f1s.append(f1)
+    return {
+        "precision": float(np.mean(precisions)),
+        "recall": float(np.mean(recalls)),
+        "f1": float(np.mean(f1s)),
+    }
+
+
+def classification_report(y_true: Sequence, y_pred: Sequence) -> Dict[str, float]:
+    """Accuracy + macro precision/recall/F1 in one dictionary (Table III columns)."""
+    report = {"accuracy": accuracy(y_true, y_pred)}
+    report.update(precision_recall_f1(y_true, y_pred))
+    return report
+
+
+def sensitivity(y_true: Sequence, y_pred: Sequence, positive_class: int = 1) -> float:
+    """True positive rate of the positive class (Task 2: state registers)."""
+    y_true, y_pred = _as_int_array(y_true), _as_int_array(y_pred)
+    positives = y_true == positive_class
+    if not positives.any():
+        return 0.0
+    return float((y_pred[positives] == positive_class).mean())
+
+
+def specificity(y_true: Sequence, y_pred: Sequence, positive_class: int = 1) -> float:
+    """True negative rate (Task 2: data registers correctly identified)."""
+    y_true, y_pred = _as_int_array(y_true), _as_int_array(y_pred)
+    negatives = y_true != positive_class
+    if not negatives.any():
+        return 0.0
+    return float((y_pred[negatives] != positive_class).mean())
+
+
+def balanced_accuracy(y_true: Sequence, y_pred: Sequence, positive_class: int = 1) -> float:
+    """Average of sensitivity and specificity (the Task-2 "Acc." column)."""
+    return 0.5 * (
+        sensitivity(y_true, y_pred, positive_class) + specificity(y_true, y_pred, positive_class)
+    )
+
+
+def pearson_r(y_true: Sequence[float], y_pred: Sequence[float]) -> float:
+    """Pearson correlation coefficient (the "R" column of Tables IV and V)."""
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    if y_true.size < 2:
+        return 0.0
+    std_true = y_true.std()
+    std_pred = y_pred.std()
+    if std_true < 1e-12 or std_pred < 1e-12:
+        return 0.0
+    return float(np.corrcoef(y_true, y_pred)[0, 1])
+
+
+def mape(y_true: Sequence[float], y_pred: Sequence[float], epsilon: Optional[float] = None) -> float:
+    """Mean absolute percentage error, in percent.
+
+    ``epsilon`` guards against division by (near-)zero targets; it defaults to
+    1% of the mean absolute target value.
+    """
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    if y_true.size == 0:
+        return 0.0
+    if epsilon is None:
+        epsilon = max(1e-9, 0.01 * float(np.mean(np.abs(y_true))))
+    denominator = np.maximum(np.abs(y_true), epsilon)
+    return float(np.mean(np.abs(y_true - y_pred) / denominator) * 100.0)
+
+
+def regression_report(y_true: Sequence[float], y_pred: Sequence[float]) -> Dict[str, float]:
+    """R and MAPE in one dictionary (Tables IV and V columns)."""
+    return {"r": pearson_r(y_true, y_pred), "mape": mape(y_true, y_pred)}

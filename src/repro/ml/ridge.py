@@ -1,0 +1,78 @@
+"""Closed-form ridge regression / classification heads.
+
+With only a handful of circuits available for circuit-level fine-tuning
+(Task 4), iterative heads are noisy; a ridge regressor on standardised
+features is the stable "lightweight task model" of choice.  The classifier
+variant is one-vs-rest ridge regression on one-hot targets.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+class RidgeRegressorHead:
+    """L2-regularised linear regression with feature and target standardisation."""
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.alpha = alpha
+        self._weights: Optional[np.ndarray] = None
+        self._feature_mean: Optional[np.ndarray] = None
+        self._feature_std: Optional[np.ndarray] = None
+        self._target_mean = 0.0
+        self._target_std = 1.0
+
+    def fit(self, features: np.ndarray, targets: Sequence[float]) -> "RidgeRegressorHead":
+        features = np.asarray(features, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if features.ndim != 2 or len(features) != len(targets) or len(features) == 0:
+            raise ValueError("features must be 2-D and match the target length")
+        self._feature_mean = features.mean(axis=0)
+        self._feature_std = np.where(features.std(axis=0) < 1e-9, 1.0, features.std(axis=0))
+        x = (features - self._feature_mean) / self._feature_std
+        self._target_mean = float(targets.mean())
+        self._target_std = float(targets.std()) or 1.0
+        y = (targets - self._target_mean) / self._target_std
+
+        gram = x.T @ x + self.alpha * np.eye(x.shape[1])
+        self._weights = np.linalg.solve(gram, x.T @ y)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self._weights is None:
+            raise RuntimeError("head is not fitted")
+        features = np.asarray(features, dtype=np.float64)
+        x = (features - self._feature_mean) / self._feature_std
+        return (x @ self._weights) * self._target_std + self._target_mean
+
+
+class RidgeClassifierHead:
+    """One-vs-rest ridge regression on one-hot targets."""
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        self.alpha = alpha
+        self._heads: list[RidgeRegressorHead] = []
+        self.classes_: np.ndarray = np.zeros(0, dtype=np.int64)
+
+    def fit(self, features: np.ndarray, labels: Sequence[int]) -> "RidgeClassifierHead":
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        self.classes_ = np.unique(labels)
+        self._heads = []
+        for cls in self.classes_:
+            head = RidgeRegressorHead(alpha=self.alpha)
+            head.fit(features, (labels == cls).astype(np.float64))
+            self._heads.append(head)
+        return self
+
+    def decision_scores(self, features: np.ndarray) -> np.ndarray:
+        return np.stack([head.predict(features) for head in self._heads], axis=1)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if not self._heads:
+            raise RuntimeError("head is not fitted")
+        return self.classes_[np.argmax(self.decision_scores(features), axis=1)]

@@ -1,0 +1,125 @@
+"""Decision-tree regression (the base learner of the gradient-boosted heads).
+
+A small CART-style regression tree: axis-aligned splits chosen by variance
+reduction, with depth and leaf-size limits.  It is deliberately simple — the
+paper's fine-tuning heads are "lightweight task models like MLPs or tree-based
+models (e.g., XGBoost)", and this tree plus :mod:`repro.ml.gbdt` provides the
+tree-based option without any external dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    value: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None or self.right is None
+
+
+class DecisionTreeRegressor:
+    """CART regression tree with variance-reduction splits."""
+
+    def __init__(
+        self,
+        max_depth: int = 3,
+        min_samples_split: int = 4,
+        min_samples_leaf: int = 2,
+        max_candidate_thresholds: int = 16,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_candidate_thresholds = max_candidate_thresholds
+        self._root: Optional[_Node] = None
+
+    # ------------------------------------------------------------------
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "DecisionTreeRegressor":
+        features = np.asarray(features, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if features.ndim != 2:
+            raise ValueError("features must be 2-D (samples, features)")
+        if len(features) != len(targets):
+            raise ValueError("features and targets must have the same length")
+        if len(features) == 0:
+            raise ValueError("cannot fit a tree on an empty dataset")
+        self._root = self._build(features, targets, depth=0)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        features = np.asarray(features, dtype=np.float64)
+        return np.asarray([self._predict_row(row) for row in features])
+
+    # ------------------------------------------------------------------
+    def _build(self, features: np.ndarray, targets: np.ndarray, depth: int) -> _Node:
+        node = _Node(value=float(targets.mean()))
+        if depth >= self.max_depth or len(targets) < self.min_samples_split or targets.std() < 1e-12:
+            return node
+        best = self._best_split(features, targets)
+        if best is None:
+            return node
+        feature, threshold = best
+        mask = features[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(features[mask], targets[mask], depth + 1)
+        node.right = self._build(features[~mask], targets[~mask], depth + 1)
+        return node
+
+    def _best_split(self, features: np.ndarray, targets: np.ndarray) -> Optional[tuple[int, float]]:
+        best_score = np.inf
+        best: Optional[tuple[int, float]] = None
+        n = len(targets)
+        for feature in range(features.shape[1]):
+            column = features[:, feature]
+            unique = np.unique(column)
+            if len(unique) < 2:
+                continue
+            if len(unique) > self.max_candidate_thresholds:
+                quantiles = np.linspace(0.05, 0.95, self.max_candidate_thresholds)
+                candidates = np.unique(np.quantile(column, quantiles))
+            else:
+                candidates = (unique[:-1] + unique[1:]) / 2.0
+            for threshold in candidates:
+                mask = column <= threshold
+                left_count = int(mask.sum())
+                right_count = n - left_count
+                if left_count < self.min_samples_leaf or right_count < self.min_samples_leaf:
+                    continue
+                left_var = targets[mask].var() * left_count
+                right_var = targets[~mask].var() * right_count
+                score = left_var + right_var
+                if score < best_score - 1e-15:
+                    best_score = score
+                    best = (feature, float(threshold))
+        return best
+
+    def _predict_row(self, row: np.ndarray) -> float:
+        node = self._root
+        while node is not None and not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node.value if node is not None else 0.0
+
+    # ------------------------------------------------------------------
+    def depth(self) -> int:
+        def _depth(node: Optional[_Node]) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(_depth(node.left), _depth(node.right))
+
+        return _depth(self._root)

@@ -1,0 +1,71 @@
+"""Netlist substrate: IR, Verilog IO, graph views, cones, TAG formulation, AIG."""
+
+from .core import Gate, Netlist, NetlistError
+from .verilog import read_verilog, write_verilog
+from .graph import GraphView, build_graph_view, gate_order, structural_features, to_networkx
+from .cone import (
+    RegisterCone,
+    combinational_fanin,
+    cone_statistics,
+    extract_register_cone,
+    extract_register_cones,
+    whole_circuit_cone,
+)
+from .tag import (
+    EXPRESSION_FEATURES,
+    PHYSICAL_FIELDS,
+    TAGNode,
+    TextAttributedGraph,
+    expression_dataset,
+    expression_feature_vector,
+    gate_expression,
+    local_expression_lookup,
+    netlist_to_tag,
+    physical_annotations,
+    render_gate_text,
+)
+from .aig import aig_statistics, to_aig
+from .stats import (
+    SourceStatistics,
+    aggregate_statistics,
+    expression_token_lengths,
+    netlist_summary,
+    source_statistics,
+)
+
+__all__ = [
+    "Gate",
+    "Netlist",
+    "NetlistError",
+    "read_verilog",
+    "write_verilog",
+    "GraphView",
+    "build_graph_view",
+    "gate_order",
+    "structural_features",
+    "to_networkx",
+    "RegisterCone",
+    "combinational_fanin",
+    "cone_statistics",
+    "extract_register_cone",
+    "extract_register_cones",
+    "whole_circuit_cone",
+    "PHYSICAL_FIELDS",
+    "EXPRESSION_FEATURES",
+    "TAGNode",
+    "TextAttributedGraph",
+    "expression_dataset",
+    "expression_feature_vector",
+    "gate_expression",
+    "local_expression_lookup",
+    "netlist_to_tag",
+    "physical_annotations",
+    "render_gate_text",
+    "aig_statistics",
+    "to_aig",
+    "SourceStatistics",
+    "aggregate_statistics",
+    "expression_token_lengths",
+    "netlist_summary",
+    "source_statistics",
+]

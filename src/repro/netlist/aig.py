@@ -1,0 +1,161 @@
+"""AND-Inverter Graph (AIG) conversion.
+
+The prior netlist encoders compared against in the paper (DeepGate, FGNN,
+HOGA) only operate on AIGs.  Fig. 5 evaluates NetTAG on an AIG-format dataset
+against those encoders, so the reproduction needs a way to lower an arbitrary
+post-mapping netlist into an equivalent netlist built only from 2-input ANDs
+and inverters.
+
+The conversion expands each gate's Boolean function into AND/NOT form,
+performing structural hashing so shared sub-terms map to a single AIG node.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..expr import And, Const, Expr, Ite, Not, Or, Var, Xor
+from .core import Netlist
+from .graph import gate_order
+from .tag import local_expression_lookup
+
+
+class _AIGBuilder:
+    """Builds INV/AND2 gates with structural hashing of (op, operand) keys."""
+
+    def __init__(self, netlist: Netlist, target: Netlist) -> None:
+        self.netlist = netlist
+        self.target = target
+        self.cache: Dict[Tuple, str] = {}
+        self.counter = 0
+
+    def _new_net(self) -> str:
+        self.counter += 1
+        return f"aig_n{self.counter}"
+
+    def _emit(self, cell_type: str, inputs: List[str]) -> str:
+        key = (cell_type, tuple(sorted(inputs)) if cell_type == "AND2" else tuple(inputs))
+        if key in self.cache:
+            return self.cache[key]
+        out = self._new_net()
+        cell = self.netlist.library.default_cell(cell_type)
+        self.target.add_gate(f"aig_g{self.counter}", cell.name, inputs, out)
+        self.cache[key] = out
+        return out
+
+    def lower(self, expr: Expr) -> str:
+        """Lower an expression to an AIG net, returning the net name."""
+        if isinstance(expr, Var):
+            return expr.name
+        if isinstance(expr, Const):
+            cell_type = "CONST1" if expr.value else "CONST0"
+            key = (cell_type,)
+            if key not in self.cache:
+                out = self._new_net()
+                cell = self.netlist.library.default_cell(cell_type)
+                self.target.add_gate(f"aig_g{self.counter}", cell.name, [], out)
+                self.cache[key] = out
+            return self.cache[key]
+        if isinstance(expr, Not):
+            inner = self.lower(expr.operand)
+            return self._emit("INV", [inner])
+        if isinstance(expr, And):
+            nets = [self.lower(op) for op in expr.operands]
+            return self._reduce_and(nets)
+        if isinstance(expr, Or):
+            # a | b == !(!a & !b)
+            inverted = [self._emit("INV", [self.lower(op)]) for op in expr.operands]
+            return self._emit("INV", [self._reduce_and(inverted)])
+        if isinstance(expr, Xor):
+            nets = [self.lower(op) for op in expr.operands]
+            result = nets[0]
+            for net in nets[1:]:
+                result = self._xor2(result, net)
+            return result
+        if isinstance(expr, Ite):
+            cond = self.lower(expr.cond)
+            then = self.lower(expr.then)
+            otherwise = self.lower(expr.otherwise)
+            not_cond = self._emit("INV", [cond])
+            upper = self._emit("AND2", [cond, then])
+            lower = self._emit("AND2", [not_cond, otherwise])
+            return self._emit("INV", [self._emit("AND2", [self._emit("INV", [upper]), self._emit("INV", [lower])])])
+        raise TypeError(f"cannot lower expression node {type(expr).__name__}")
+
+    def _reduce_and(self, nets: List[str]) -> str:
+        result = nets[0]
+        for net in nets[1:]:
+            result = self._emit("AND2", [result, net])
+        return result
+
+    def _xor2(self, a: str, b: str) -> str:
+        not_a = self._emit("INV", [a])
+        not_b = self._emit("INV", [b])
+        left = self._emit("AND2", [a, not_b])
+        right = self._emit("AND2", [not_a, b])
+        return self._emit("INV", [self._emit("AND2", [self._emit("INV", [left]), self._emit("INV", [right])])])
+
+
+def to_aig(netlist: Netlist, name_suffix: str = "_aig") -> Netlist:
+    """Lower a (combinational part of a) netlist into an equivalent AIG netlist.
+
+    Gate-level attributes (e.g. the Task-1 block labels) are preserved: each
+    original gate's label is attached to the AIG node that produces its output.
+    Register gates are copied through unchanged.
+    """
+    aig = Netlist(netlist.name + name_suffix, library=netlist.library, clock=netlist.clock)
+    for net in netlist.primary_inputs:
+        aig.add_primary_input(net)
+
+    builder = _AIGBuilder(netlist, aig)
+    lookup = local_expression_lookup(netlist)
+    net_map: Dict[str, str] = {}
+
+    for gate in netlist.topological_order():
+        cell = netlist.cell_of(gate)
+        if cell.is_sequential:
+            mapped_inputs = {pin: net_map.get(net, net) for pin, net in gate.inputs.items()}
+            aig.add_gate(gate.name, gate.cell_name, mapped_inputs, gate.output, **dict(gate.attributes))
+            continue
+        local = lookup(gate.output)
+        if local is None:
+            continue
+        # Remap the local expression's inputs to already-lowered nets.
+        remapped = _remap_expression(local, net_map)
+        out_net = builder.lower(remapped)
+        net_map[gate.output] = out_net
+        driver = aig.driver(out_net)
+        if driver is not None and gate.attributes:
+            driver.attributes.update(gate.attributes)
+            driver.attributes.setdefault("source_gate", gate.name)
+
+    for net in netlist.primary_outputs:
+        aig.add_primary_output(net_map.get(net, net))
+    return aig
+
+
+def _remap_expression(expr: Expr, net_map: Dict[str, str]) -> Expr:
+    if isinstance(expr, Var):
+        return Var(net_map.get(expr.name, expr.name))
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, Not):
+        return Not(_remap_expression(expr.operand, net_map))
+    if isinstance(expr, Ite):
+        return Ite(
+            _remap_expression(expr.cond, net_map),
+            _remap_expression(expr.then, net_map),
+            _remap_expression(expr.otherwise, net_map),
+        )
+    return type(expr)(*[_remap_expression(op, net_map) for op in expr.children()])
+
+
+def aig_statistics(aig: Netlist) -> Dict[str, int]:
+    """Node counts for an AIG netlist (ANDs, inverters, registers)."""
+    counts = aig.cell_type_counts()
+    return {
+        "and_nodes": counts.get("AND2", 0),
+        "inverters": counts.get("INV", 0),
+        "registers": sum(counts.get(t, 0) for t in ("DFF", "DFFR", "DFFS")),
+        "total": aig.num_gates,
+    }

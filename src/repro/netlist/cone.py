@@ -1,0 +1,152 @@
+"""Register-cone chunking.
+
+The paper chunks sequential circuits into *register cones*: for each register,
+it backtraces through all driving combinational logic up to other registers or
+primary inputs, producing a sub-circuit that captures the register's complete
+state-transition function and timing path.  The same cones are extracted from
+RTL and layout so that cross-stage samples stay functionally equivalent.
+
+:func:`extract_register_cones` returns one :class:`RegisterCone` per register,
+each carrying a standalone :class:`~repro.netlist.core.Netlist` whose primary
+inputs are the cone's boundary signals (other registers' outputs and design
+primary inputs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from .core import Gate, Netlist
+
+
+@dataclass
+class RegisterCone:
+    """A combinational fan-in cone ending at one register."""
+
+    register_name: str
+    netlist: Netlist                     # the cone as a standalone netlist
+    boundary_inputs: List[str]           # nets entering the cone (register outputs / PIs)
+    member_gates: List[str]              # gate names from the parent netlist (incl. the register)
+    parent_name: str
+    attributes: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def num_gates(self) -> int:
+        return self.netlist.num_gates
+
+    @property
+    def endpoint_data_net(self) -> str:
+        """The net feeding the register's D pin inside the cone."""
+        register = self.netlist.gates[self.register_name]
+        return register.inputs.get("D", register.input_nets[0] if register.input_nets else "")
+
+
+def combinational_fanin(netlist: Netlist, register: Gate | str) -> List[Gate]:
+    """Return the combinational gates in the transitive fan-in of a register's D pin.
+
+    Traversal stops at register outputs and primary inputs.
+    """
+    if isinstance(register, str):
+        register = netlist.gates[register]
+    visited: Set[str] = set()
+    members: List[Gate] = []
+    frontier = list(register.input_nets)
+    while frontier:
+        net = frontier.pop()
+        driver = netlist.driver(net)
+        if driver is None or driver.name in visited:
+            continue
+        if netlist.is_register(driver):
+            continue  # stop at sequential boundary
+        visited.add(driver.name)
+        members.append(driver)
+        frontier.extend(driver.input_nets)
+    return members
+
+
+def extract_register_cone(netlist: Netlist, register: Gate | str) -> RegisterCone:
+    """Build the standalone cone netlist for one register."""
+    if isinstance(register, str):
+        register = netlist.gates[register]
+    members = combinational_fanin(netlist, register)
+    member_names = {g.name for g in members}
+
+    cone = Netlist(f"{netlist.name}__cone_{register.name}", library=netlist.library, clock=netlist.clock)
+    # Nets driven inside the cone include the endpoint register's own output,
+    # so self-feedback (counters, accumulators) does not become a boundary input.
+    driven_inside = {g.output for g in members} | {register.output}
+    boundary: List[str] = []
+
+    def ensure_boundary(net: str) -> None:
+        if net in driven_inside or net in boundary:
+            return
+        boundary.append(net)
+        cone.add_primary_input(net)
+
+    for gate in members:
+        for net in gate.input_nets:
+            ensure_boundary(net)
+    for net in register.input_nets:
+        ensure_boundary(net)
+
+    for gate in members:
+        cone.add_gate(gate.name, gate.cell_name, dict(gate.inputs), gate.output, **dict(gate.attributes))
+    cone.add_gate(
+        register.name, register.cell_name, dict(register.inputs), register.output, **dict(register.attributes)
+    )
+    cone.add_primary_output(register.output)
+
+    return RegisterCone(
+        register_name=register.name,
+        netlist=cone,
+        boundary_inputs=boundary,
+        member_gates=sorted(member_names | {register.name}),
+        parent_name=netlist.name,
+        attributes=dict(register.attributes),
+    )
+
+
+def extract_register_cones(netlist: Netlist, max_cones: Optional[int] = None) -> List[RegisterCone]:
+    """Chunk a sequential netlist into one cone per register.
+
+    Combinational designs (no registers) yield a single pseudo-cone covering
+    the whole netlist so downstream code can treat both cases uniformly.
+    """
+    registers = netlist.registers
+    if not registers:
+        return [whole_circuit_cone(netlist)]
+    cones = []
+    for register in sorted(registers, key=lambda g: g.name):
+        cones.append(extract_register_cone(netlist, register))
+        if max_cones is not None and len(cones) >= max_cones:
+            break
+    return cones
+
+
+def whole_circuit_cone(netlist: Netlist) -> RegisterCone:
+    """Wrap a combinational netlist as a single cone (no chunking needed)."""
+    clone = netlist.copy(f"{netlist.name}__full")
+    endpoint = next(iter(sorted(netlist.gates))) if netlist.gates else ""
+    return RegisterCone(
+        register_name=endpoint,
+        netlist=clone,
+        boundary_inputs=list(netlist.primary_inputs),
+        member_gates=sorted(netlist.gates),
+        parent_name=netlist.name,
+        attributes={"combinational": True},
+    )
+
+
+def cone_statistics(cones: Sequence[RegisterCone]) -> Dict[str, float]:
+    """Aggregate statistics used by the Table II harness."""
+    if not cones:
+        return {"num_cones": 0, "avg_gates": 0.0, "max_gates": 0, "avg_boundary": 0.0}
+    sizes = [cone.num_gates for cone in cones]
+    boundaries = [len(cone.boundary_inputs) for cone in cones]
+    return {
+        "num_cones": len(cones),
+        "avg_gates": float(sum(sizes)) / len(sizes),
+        "max_gates": max(sizes),
+        "avg_boundary": float(sum(boundaries)) / len(boundaries),
+    }

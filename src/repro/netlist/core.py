@@ -1,0 +1,275 @@
+"""Gate-level netlist intermediate representation.
+
+A :class:`Netlist` is a set of single-output :class:`Gate` instances connected
+by named nets, plus primary inputs/outputs and an optional clock.  This is the
+central data structure of the reproduction: logic synthesis produces it,
+physical design and the analysis engines consume it, and the TAG formulation
+(:mod:`repro.netlist.tag`) turns it into the model's input.
+
+Design choices:
+* Every gate drives exactly one net (multi-output functions such as full
+  adders are synthesised as several gates).  This matches the flattened
+  post-mapping netlists the paper targets.
+* Sequential cells (DFF*) break combinational traversal: topological ordering,
+  cone extraction and expression expansion treat register outputs as leaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..cells import Cell, CellLibrary, NANGATE45
+
+
+class NetlistError(ValueError):
+    """Raised for structural problems (duplicate drivers, missing nets, cycles)."""
+
+
+@dataclass
+class Gate:
+    """A single cell instance.
+
+    ``inputs`` maps the cell's input pin names to net names; ``output`` is the
+    net driven by the gate.  ``attributes`` holds free-form annotations (block
+    label for Task 1, register role for Task 2, placement coordinates, etc.).
+    """
+
+    name: str
+    cell_name: str
+    inputs: Dict[str, str]
+    output: str
+    attributes: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def input_nets(self) -> List[str]:
+        return list(self.inputs.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Gate({self.name}, {self.cell_name}, out={self.output})"
+
+
+class Netlist:
+    """A flattened gate-level netlist."""
+
+    def __init__(
+        self,
+        name: str,
+        library: Optional[CellLibrary] = None,
+        clock: Optional[str] = "clk",
+    ) -> None:
+        self.name = name
+        self.library = library or NANGATE45
+        self.clock = clock
+        self.gates: Dict[str, Gate] = {}
+        self.primary_inputs: List[str] = []
+        self.primary_outputs: List[str] = []
+        self._driver_of: Dict[str, str] = {}  # net -> gate name
+        self.attributes: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_primary_input(self, net: str) -> None:
+        if net in self._driver_of:
+            raise NetlistError(f"net {net!r} already driven by gate {self._driver_of[net]!r}")
+        if net not in self.primary_inputs:
+            self.primary_inputs.append(net)
+
+    def add_primary_output(self, net: str) -> None:
+        if net not in self.primary_outputs:
+            self.primary_outputs.append(net)
+
+    def add_gate(
+        self,
+        name: str,
+        cell_name: str,
+        inputs: Sequence[str] | Dict[str, str],
+        output: str,
+        **attributes: object,
+    ) -> Gate:
+        """Instantiate a cell.  ``inputs`` may be a pin->net dict or an ordered list."""
+        if name in self.gates:
+            raise NetlistError(f"duplicate gate name {name!r}")
+        cell = self.library.cell(cell_name)
+        if isinstance(inputs, dict):
+            pin_map = dict(inputs)
+        else:
+            if len(inputs) != len(cell.input_pins):
+                raise NetlistError(
+                    f"gate {name!r}: cell {cell_name} expects {len(cell.input_pins)} inputs, "
+                    f"got {len(inputs)}"
+                )
+            pin_map = dict(zip(cell.input_pins, inputs))
+        unknown_pins = set(pin_map) - set(cell.input_pins)
+        if unknown_pins:
+            raise NetlistError(f"gate {name!r}: unknown pins {sorted(unknown_pins)} for cell {cell_name}")
+        if output in self.primary_inputs:
+            raise NetlistError(f"gate {name!r} drives primary input net {output!r}")
+        if output in self._driver_of:
+            raise NetlistError(
+                f"net {output!r} has multiple drivers: {self._driver_of[output]!r} and {name!r}"
+            )
+        gate = Gate(name=name, cell_name=cell_name, inputs=pin_map, output=output, attributes=dict(attributes))
+        self.gates[name] = gate
+        self._driver_of[output] = name
+        return gate
+
+    def remove_gate(self, name: str) -> None:
+        gate = self.gates.pop(name)
+        self._driver_of.pop(gate.output, None)
+
+    # ------------------------------------------------------------------
+    # Lookup helpers
+    # ------------------------------------------------------------------
+    def cell_of(self, gate: Gate | str) -> Cell:
+        if isinstance(gate, str):
+            gate = self.gates[gate]
+        return self.library.cell(gate.cell_name)
+
+    def driver(self, net: str) -> Optional[Gate]:
+        """Return the gate driving ``net`` or ``None`` (primary input / floating)."""
+        name = self._driver_of.get(net)
+        return self.gates[name] if name is not None else None
+
+    def loads(self, net: str) -> List[Gate]:
+        """All gates with ``net`` on one of their input pins."""
+        return [gate for gate in self.gates.values() if net in gate.inputs.values()]
+
+    def fanin_gates(self, gate: Gate | str) -> List[Gate]:
+        if isinstance(gate, str):
+            gate = self.gates[gate]
+        result = []
+        for net in gate.input_nets:
+            driver = self.driver(net)
+            if driver is not None:
+                result.append(driver)
+        return result
+
+    def fanout_gates(self, gate: Gate | str) -> List[Gate]:
+        if isinstance(gate, str):
+            gate = self.gates[gate]
+        return self.loads(gate.output)
+
+    def build_load_map(self) -> Dict[str, List[Gate]]:
+        """net -> list of sink gates, computed in one pass (loads() is O(n) per call)."""
+        load_map: Dict[str, List[Gate]] = {}
+        for gate in self.gates.values():
+            for net in gate.inputs.values():
+                load_map.setdefault(net, []).append(gate)
+        return load_map
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+    def is_register(self, gate: Gate | str) -> bool:
+        return self.cell_of(gate).is_sequential
+
+    @property
+    def registers(self) -> List[Gate]:
+        return [g for g in self.gates.values() if self.is_register(g)]
+
+    @property
+    def combinational_gates(self) -> List[Gate]:
+        return [g for g in self.gates.values() if not self.is_register(g)]
+
+    @property
+    def nets(self) -> List[str]:
+        names: Set[str] = set(self.primary_inputs)
+        for gate in self.gates.values():
+            names.add(gate.output)
+            names.update(gate.inputs.values())
+        return sorted(names)
+
+    @property
+    def num_gates(self) -> int:
+        return len(self.gates)
+
+    def is_sequential_design(self) -> bool:
+        return any(self.is_register(g) for g in self.gates.values())
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def topological_order(self, include_registers: bool = True) -> List[Gate]:
+        """Topological order of gates treating register outputs as sources.
+
+        Register gates (if included) appear before any combinational gate that
+        reads their output.  Raises :class:`NetlistError` on combinational cycles.
+        """
+        indegree: Dict[str, int] = {}
+        dependents: Dict[str, List[str]] = {}
+        for gate in self.gates.values():
+            indegree.setdefault(gate.name, 0)
+            if self.is_register(gate):
+                continue  # registers do not depend combinationally on their inputs
+            for net in gate.input_nets:
+                driver = self.driver(net)
+                if driver is None:
+                    continue
+                indegree[gate.name] = indegree.get(gate.name, 0) + 1
+                dependents.setdefault(driver.name, []).append(gate.name)
+
+        ready = [name for name, deg in indegree.items() if deg == 0]
+        ready.sort()
+        order: List[Gate] = []
+        while ready:
+            name = ready.pop()
+            order.append(self.gates[name])
+            for dep in dependents.get(name, ()):
+                indegree[dep] -= 1
+                if indegree[dep] == 0:
+                    ready.append(dep)
+        if len(order) != len(self.gates):
+            raise NetlistError(f"netlist {self.name!r} contains a combinational cycle")
+        if not include_registers:
+            order = [g for g in order if not self.is_register(g)]
+        return order
+
+    def validate(self) -> None:
+        """Check structural well-formedness; raises :class:`NetlistError` on problems."""
+        known_nets = set(self.primary_inputs) | {g.output for g in self.gates.values()}
+        if self.clock:
+            known_nets.add(self.clock)
+        known_nets.update(("1'b0", "1'b1"))
+        for gate in self.gates.values():
+            for pin, net in gate.inputs.items():
+                if net not in known_nets:
+                    raise NetlistError(
+                        f"gate {gate.name!r} pin {pin!r} reads undriven net {net!r}"
+                    )
+        for net in self.primary_outputs:
+            if net not in known_nets:
+                raise NetlistError(f"primary output {net!r} is not driven")
+        self.topological_order()  # raises on cycles
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    def cell_type_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for gate in self.gates.values():
+            cell_type = self.cell_of(gate).cell_type
+            counts[cell_type] = counts.get(cell_type, 0) + 1
+        return counts
+
+    def total_area(self) -> float:
+        return sum(self.cell_of(g).area for g in self.gates.values())
+
+    def copy(self, name: Optional[str] = None) -> "Netlist":
+        """Deep-ish copy (gates and attribute dicts are copied; cells are shared)."""
+        clone = Netlist(name or self.name, library=self.library, clock=self.clock)
+        clone.primary_inputs = list(self.primary_inputs)
+        clone.primary_outputs = list(self.primary_outputs)
+        clone.attributes = dict(self.attributes)
+        for gate in self.gates.values():
+            clone.add_gate(
+                gate.name, gate.cell_name, dict(gate.inputs), gate.output, **dict(gate.attributes)
+            )
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Netlist({self.name!r}, gates={len(self.gates)}, "
+            f"inputs={len(self.primary_inputs)}, outputs={len(self.primary_outputs)})"
+        )

@@ -1,0 +1,150 @@
+"""Graph views of a netlist.
+
+TAGFormer, the baseline GNNs and the layout encoder all consume the netlist as
+a directed graph whose nodes are gates and whose edges follow signal flow
+(driver gate -> sink gate).  This module builds both a :mod:`networkx` view
+(for algorithms and inspection) and dense index-based arrays (for the numpy
+models).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from .core import Gate, Netlist
+
+
+@dataclass
+class GraphView:
+    """Index-based graph representation of a netlist.
+
+    Attributes
+    ----------
+    node_names:
+        Gate names in index order.
+    edge_index:
+        ``(2, num_edges)`` integer array of ``(source, target)`` gate indices.
+    adjacency:
+        Symmetric normalised adjacency matrix (dense) used by the propagation
+        layers of TAGFormer and the baseline GNNs.
+    """
+
+    node_names: List[str]
+    edge_index: np.ndarray
+    adjacency: np.ndarray
+    name_to_index: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name_to_index:
+            self.name_to_index = {name: i for i, name in enumerate(self.node_names)}
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_names)
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.edge_index.shape[1]) if self.edge_index.size else 0
+
+
+def to_networkx(netlist: Netlist) -> nx.DiGraph:
+    """Build a directed gate-level graph with cell-type node attributes."""
+    graph = nx.DiGraph(name=netlist.name)
+    for gate in netlist.gates.values():
+        cell = netlist.cell_of(gate)
+        graph.add_node(
+            gate.name,
+            cell_type=cell.cell_type,
+            cell_name=gate.cell_name,
+            is_register=cell.is_sequential,
+            output=gate.output,
+            **{k: v for k, v in gate.attributes.items()},
+        )
+    for gate in netlist.gates.values():
+        for net in gate.input_nets:
+            driver = netlist.driver(net)
+            if driver is not None:
+                graph.add_edge(driver.name, gate.name, net=net)
+    return graph
+
+
+def gate_order(netlist: Netlist) -> List[Gate]:
+    """Stable node ordering used consistently by every graph consumer."""
+    return [netlist.gates[name] for name in sorted(netlist.gates)]
+
+
+def build_graph_view(netlist: Netlist, add_self_loops: bool = True) -> GraphView:
+    """Construct the dense :class:`GraphView` used by the numpy models."""
+    gates = gate_order(netlist)
+    node_names = [g.name for g in gates]
+    index = {name: i for i, name in enumerate(node_names)}
+    sources: List[int] = []
+    targets: List[int] = []
+    for gate in gates:
+        for net in gate.input_nets:
+            driver = netlist.driver(net)
+            if driver is not None and driver.name in index:
+                sources.append(index[driver.name])
+                targets.append(index[gate.name])
+    edge_index = np.asarray([sources, targets], dtype=np.int64) if sources else np.zeros((2, 0), dtype=np.int64)
+
+    n = len(node_names)
+    adjacency = np.zeros((n, n), dtype=np.float64)
+    if edge_index.size:
+        adjacency[edge_index[0], edge_index[1]] = 1.0
+        adjacency[edge_index[1], edge_index[0]] = 1.0  # symmetrise for propagation
+    if add_self_loops:
+        adjacency[np.arange(n), np.arange(n)] = 1.0
+    # Symmetric degree normalisation: D^-1/2 A D^-1/2
+    degrees = adjacency.sum(axis=1)
+    inv_sqrt = np.zeros_like(degrees)
+    nonzero = degrees > 0
+    inv_sqrt[nonzero] = 1.0 / np.sqrt(degrees[nonzero])
+    adjacency = adjacency * inv_sqrt[:, None] * inv_sqrt[None, :]
+
+    return GraphView(node_names=node_names, edge_index=edge_index, adjacency=adjacency, name_to_index=index)
+
+
+def structural_features(netlist: Netlist) -> np.ndarray:
+    """Per-gate structural feature matrix used by the structure-only baselines.
+
+    Features: one-hot cell type, fan-in count, fan-out count, is-register flag
+    and logic depth from the nearest sequential/primary-input boundary.
+    """
+    type_index = netlist.library.type_index()
+    gates = gate_order(netlist)
+    load_map = netlist.build_load_map()
+    depths = _logic_depths(netlist)
+    features = np.zeros((len(gates), len(type_index) + 4), dtype=np.float64)
+    for i, gate in enumerate(gates):
+        cell = netlist.cell_of(gate)
+        features[i, type_index[cell.cell_type]] = 1.0
+        features[i, len(type_index) + 0] = len(gate.inputs)
+        features[i, len(type_index) + 1] = len(load_map.get(gate.output, ()))
+        features[i, len(type_index) + 2] = 1.0 if cell.is_sequential else 0.0
+        features[i, len(type_index) + 3] = depths.get(gate.name, 0)
+    return features
+
+
+def _logic_depths(netlist: Netlist) -> Dict[str, int]:
+    """Combinational depth of each gate (registers and PIs are depth 0)."""
+    depths: Dict[str, int] = {}
+    for gate in netlist.topological_order():
+        if netlist.is_register(gate):
+            depths[gate.name] = 0
+            continue
+        fanin_depths = []
+        for net in gate.input_nets:
+            driver = netlist.driver(net)
+            if driver is None:
+                fanin_depths.append(0)
+            elif netlist.is_register(driver):
+                fanin_depths.append(0)
+            else:
+                fanin_depths.append(depths.get(driver.name, 0))
+        depths[gate.name] = 1 + max(fanin_depths, default=0)
+    return depths

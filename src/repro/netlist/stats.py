@@ -1,0 +1,96 @@
+"""Dataset statistics (Table II of the paper).
+
+Table II reports, per benchmark source (ITC99, OpenCores, Chipyard, VexRiscv):
+the number of gate expressions and their average token length, and the number
+of netlist cones and their average node count.  The same statistics are
+computed here for the synthetic corpora.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from ..expr import ExprTokenizer
+from .cone import RegisterCone
+from .core import Netlist
+
+
+@dataclass
+class SourceStatistics:
+    """Statistics for one benchmark source (one row of Table II)."""
+
+    source: str
+    num_expressions: int
+    avg_expression_tokens: float
+    num_cones: int
+    avg_cone_nodes: float
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "source": self.source,
+            "num_expressions": self.num_expressions,
+            "avg_expression_tokens": round(self.avg_expression_tokens, 1),
+            "num_cones": self.num_cones,
+            "avg_cone_nodes": round(self.avg_cone_nodes, 1),
+        }
+
+
+def expression_token_lengths(expressions: Sequence[str], tokenizer: ExprTokenizer | None = None) -> List[int]:
+    tokenizer = tokenizer or ExprTokenizer()
+    return [len(tokenizer.tokenize(expr)) for expr in expressions]
+
+
+def source_statistics(
+    source: str,
+    expressions: Sequence[str],
+    cones: Sequence[RegisterCone],
+    tokenizer: ExprTokenizer | None = None,
+) -> SourceStatistics:
+    lengths = expression_token_lengths(expressions, tokenizer)
+    avg_tokens = float(sum(lengths)) / len(lengths) if lengths else 0.0
+    sizes = [cone.num_gates for cone in cones]
+    avg_nodes = float(sum(sizes)) / len(sizes) if sizes else 0.0
+    return SourceStatistics(
+        source=source,
+        num_expressions=len(expressions),
+        avg_expression_tokens=avg_tokens,
+        num_cones=len(cones),
+        avg_cone_nodes=avg_nodes,
+    )
+
+
+def aggregate_statistics(rows: Sequence[SourceStatistics]) -> SourceStatistics:
+    """The "Total" row: sums of counts and size-weighted averages."""
+    total_expr = sum(r.num_expressions for r in rows)
+    total_cones = sum(r.num_cones for r in rows)
+    avg_tokens = (
+        sum(r.avg_expression_tokens * r.num_expressions for r in rows) / total_expr
+        if total_expr
+        else 0.0
+    )
+    avg_nodes = (
+        sum(r.avg_cone_nodes * r.num_cones for r in rows) / total_cones if total_cones else 0.0
+    )
+    return SourceStatistics(
+        source="Total",
+        num_expressions=total_expr,
+        avg_expression_tokens=avg_tokens,
+        num_cones=total_cones,
+        avg_cone_nodes=avg_nodes,
+    )
+
+
+def netlist_summary(netlists: Iterable[Netlist]) -> Dict[str, float]:
+    """Coarse corpus summary used in README / EXPERIMENTS reporting."""
+    netlists = list(netlists)
+    if not netlists:
+        return {"designs": 0, "total_gates": 0, "avg_gates": 0.0, "registers": 0}
+    total_gates = sum(n.num_gates for n in netlists)
+    registers = sum(len(n.registers) for n in netlists)
+    return {
+        "designs": len(netlists),
+        "total_gates": total_gates,
+        "avg_gates": total_gates / len(netlists),
+        "registers": registers,
+    }

@@ -1,0 +1,351 @@
+"""Text-attributed graph (TAG) formulation of a netlist.
+
+This is the paper's central preprocessing step: every gate becomes a graph
+node annotated with a text attribute containing
+
+* its instance name and cell type,
+* the symbolic logic expression of its k-hop fan-in cone (k = 2 by default),
+* its physical characteristics — power, area, delay, toggle rate, signal
+  probability, load, capacitance and resistance.
+
+The physical characteristics are also exposed as a dense per-node feature
+vector ``x_phys`` which TAGFormer concatenates with the ExprLLM text embedding
+(equation (2) in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..expr import And, Expr, Ite, Not, Or, Var, Xor, khop_expression, satisfying_fraction
+from .core import Gate, Netlist
+from .graph import GraphView, build_graph_view, gate_order
+
+PHYSICAL_FIELDS: Tuple[str, ...] = (
+    "power", "area", "delay", "toggle_rate", "probability", "load", "capacitance", "resistance",
+)
+
+# Static-analysis features of the symbolic expression (Section II-B of the paper
+# motivates symbolic expressions precisely because they "enable straightforward
+# static analysis"). They form the numeric part of the semantic channel; the
+# 8B-parameter ExprLLM of the paper extracts this information implicitly.
+EXPRESSION_FEATURES: Tuple[str, ...] = (
+    "num_nodes", "depth", "num_variables",
+    "and_count", "or_count", "xor_count", "not_count", "ite_count",
+    "signal_probability",
+)
+
+_EXPRESSION_PROBABILITY_SUPPORT_CAP = 8
+
+
+def expression_feature_vector(expr: Expr) -> np.ndarray:
+    """Static-analysis features of a symbolic expression (see EXPRESSION_FEATURES)."""
+    counts = {And: 0, Or: 0, Xor: 0, Not: 0, Ite: 0}
+    for node in expr.iter_nodes():
+        for kind in counts:
+            if isinstance(node, kind):
+                counts[kind] += 1
+                break
+    variables = expr.variables()
+    if 0 < len(variables) <= _EXPRESSION_PROBABILITY_SUPPORT_CAP:
+        probability = satisfying_fraction(expr)
+    else:
+        probability = 0.5
+    return np.asarray(
+        [
+            np.log1p(expr.num_nodes()),
+            float(expr.depth()),
+            float(len(variables)),
+            float(counts[And]),
+            float(counts[Or]),
+            float(counts[Xor]),
+            float(counts[Not]),
+            float(counts[Ite]),
+            probability,
+        ],
+        dtype=np.float64,
+    )
+
+
+@dataclass
+class TAGNode:
+    """One node of the text-attributed graph."""
+
+    name: str
+    cell_type: str
+    expression: str
+    text: str
+    physical: Dict[str, float]
+    is_register: bool
+    expression_features: np.ndarray = field(default_factory=lambda: np.zeros(len(EXPRESSION_FEATURES)))
+    attributes: Dict[str, object] = field(default_factory=dict)
+
+    def physical_vector(self) -> np.ndarray:
+        return np.asarray([self.physical[f] for f in PHYSICAL_FIELDS], dtype=np.float64)
+
+
+@dataclass
+class TextAttributedGraph:
+    """A netlist formulated as a TAG: nodes with text attributes + graph structure."""
+
+    name: str
+    nodes: List[TAGNode]
+    graph: GraphView
+    attributes: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def node_texts(self) -> List[str]:
+        return [node.text for node in self.nodes]
+
+    def physical_matrix(self, normalise: bool = True) -> np.ndarray:
+        """``(num_nodes, len(PHYSICAL_FIELDS))`` matrix of physical features."""
+        matrix = np.stack([node.physical_vector() for node in self.nodes]) if self.nodes else np.zeros((0, len(PHYSICAL_FIELDS)))
+        if normalise and matrix.size:
+            matrix = np.log1p(np.maximum(matrix, 0.0))
+        return matrix
+
+    def expression_feature_matrix(self) -> np.ndarray:
+        """``(num_nodes, len(EXPRESSION_FEATURES))`` matrix of expression statistics."""
+        if not self.nodes:
+            return np.zeros((0, len(EXPRESSION_FEATURES)))
+        return np.stack([node.expression_features for node in self.nodes])
+
+    def cell_type_labels(self, type_index: Dict[str, int]) -> np.ndarray:
+        return np.asarray([type_index[node.cell_type] for node in self.nodes], dtype=np.int64)
+
+    def node_index(self, name: str) -> int:
+        return self.graph.name_to_index[name]
+
+
+# ----------------------------------------------------------------------
+# Expression extraction
+# ----------------------------------------------------------------------
+def local_expression_lookup(netlist: Netlist):
+    """Build the symbol->local-expression function used by k-hop expansion.
+
+    Symbols are *net names*; the local expression of a net is its driver
+    gate's Boolean function over the driver's input nets.  Register outputs
+    and primary inputs are leaves (``None``).
+    """
+
+    def lookup(net: str) -> Optional[Expr]:
+        driver = netlist.driver(net)
+        if driver is None:
+            return None
+        cell = netlist.cell_of(driver)
+        if cell.is_sequential:
+            return None
+        if cell.num_inputs == 0:
+            return cell.local_expression([])
+        return cell.local_expression(driver.input_nets)
+
+    return lookup
+
+
+def gate_expression(netlist: Netlist, gate: Gate | str, k: int = 2) -> Expr:
+    """The k-hop symbolic expression of a gate's output."""
+    if isinstance(gate, str):
+        gate = netlist.gates[gate]
+    lookup = local_expression_lookup(netlist)
+    if netlist.is_register(gate):
+        # A register's "expression" is its next-state function (the D input cone).
+        data_net = gate.inputs.get("D", gate.input_nets[0] if gate.input_nets else gate.output)
+        return khop_expression(data_net, lookup, k=k) if lookup(data_net) is not None else Var(data_net)
+    return khop_expression(gate.output, lookup, k=k)
+
+
+# ----------------------------------------------------------------------
+# Physical annotation
+# ----------------------------------------------------------------------
+def physical_annotations(
+    netlist: Netlist,
+    input_probability: float = 0.5,
+    input_toggle_rate: float = 0.2,
+) -> Dict[str, Dict[str, float]]:
+    """Per-gate physical characteristics derived from the cell library.
+
+    Signal probability and toggle rate are propagated through the combinational
+    logic with the standard static (independence-assuming) activity model.
+    Load, capacitance and resistance come from the library and the connectivity;
+    delay uses the linear delay model; power combines leakage with switching
+    energy scaled by the output toggle rate.
+    """
+    load_map = netlist.build_load_map()
+    probability: Dict[str, float] = {}
+    toggle: Dict[str, float] = {}
+    for net in netlist.primary_inputs:
+        probability[net] = input_probability
+        toggle[net] = input_toggle_rate
+
+    order = netlist.topological_order()
+    # Register outputs behave like primary inputs for the static activity model.
+    for gate in order:
+        if netlist.is_register(gate):
+            probability[gate.output] = input_probability
+            toggle[gate.output] = input_toggle_rate
+
+    annotations: Dict[str, Dict[str, float]] = {}
+    for gate in order:
+        cell = netlist.cell_of(gate)
+        if not netlist.is_register(gate):
+            input_probs = [probability.get(net, input_probability) for net in gate.input_nets]
+            input_toggles = [toggle.get(net, input_toggle_rate) for net in gate.input_nets]
+            out_prob, out_toggle = _propagate_activity(cell.function, input_probs, input_toggles)
+            probability[gate.output] = out_prob
+            toggle[gate.output] = out_toggle
+
+        sinks = load_map.get(gate.output, [])
+        load_cap = sum(netlist.cell_of(s).input_capacitance for s in sinks)
+        wire_cap = 0.4 * max(len(sinks), 1)  # simple fanout-based wire estimate (fF)
+        total_load = load_cap + wire_cap
+        delay = cell.load_delay(total_load)
+        out_toggle_value = toggle.get(gate.output, input_toggle_rate)
+        dynamic_power = cell.switching_energy * out_toggle_value
+        annotations[gate.name] = {
+            "power": round(cell.leakage_power + dynamic_power, 6),
+            "area": cell.area,
+            "delay": round(delay, 6),
+            "toggle_rate": round(out_toggle_value, 6),
+            "probability": round(probability.get(gate.output, input_probability), 6),
+            "load": round(total_load, 6),
+            "capacitance": round(cell.input_capacitance * max(cell.num_inputs, 1), 6),
+            "resistance": round(cell.drive_resistance, 6),
+        }
+    return annotations
+
+
+def _propagate_activity(
+    function: str, input_probs: Sequence[float], input_toggles: Sequence[float]
+) -> Tuple[float, float]:
+    """Static probability / toggle propagation for one gate."""
+    if not input_probs:
+        return 0.5, 0.0
+    p = list(input_probs)
+    avg_toggle = float(np.mean(input_toggles)) if input_toggles else 0.0
+    name = function.lower()
+    if name in ("buf", "dff", "dffr", "dffs"):
+        prob = p[0]
+    elif name in ("inv", "not"):
+        prob = 1.0 - p[0]
+    elif name == "and":
+        prob = float(np.prod(p))
+    elif name == "nand":
+        prob = 1.0 - float(np.prod(p))
+    elif name == "or":
+        prob = 1.0 - float(np.prod([1.0 - x for x in p]))
+    elif name == "nor":
+        prob = float(np.prod([1.0 - x for x in p]))
+    elif name in ("xor", "fa_sum", "ha_sum"):
+        prob = p[0]
+        for x in p[1:]:
+            prob = prob * (1.0 - x) + (1.0 - prob) * x
+    elif name == "xnor":
+        prob = p[0]
+        for x in p[1:]:
+            prob = prob * (1.0 - x) + (1.0 - prob) * x
+        prob = 1.0 - prob
+    elif name == "mux2":
+        s, a, b = (p + [0.5, 0.5, 0.5])[:3]
+        prob = s * b + (1.0 - s) * a
+    elif name in ("aoi21", "aoi22", "oai21", "oai22", "fa_carry", "ha_carry"):
+        prob = float(np.clip(np.mean(p), 0.05, 0.95))
+    elif name == "const0":
+        return 0.0, 0.0
+    elif name == "const1":
+        return 1.0, 0.0
+    else:
+        prob = float(np.mean(p))
+    prob = float(np.clip(prob, 0.0, 1.0))
+    # Transition density approximation: activity scales with output entropy.
+    out_toggle = float(np.clip(avg_toggle * (0.5 + 2.0 * prob * (1.0 - prob)), 0.0, 1.0))
+    return prob, out_toggle
+
+
+# ----------------------------------------------------------------------
+# Text rendering
+# ----------------------------------------------------------------------
+def render_gate_text(
+    gate_name: str,
+    cell_type: str,
+    expression: str,
+    physical: Dict[str, float],
+    include_expression: bool = True,
+    include_physical: bool = True,
+) -> str:
+    """Render a gate's text attribute in the paper's prompt format (Fig. 3b)."""
+    parts = [f"[Name] {gate_name}", f"[Type] {cell_type}"]
+    if include_expression:
+        parts.append(f"[Expr] {gate_name} = {expression}")
+    if include_physical:
+        phys = ", ".join(
+            f"{field.replace('_', ' ').title().replace(' ', '')}: {physical[field]:.4g}"
+            for field in PHYSICAL_FIELDS
+        )
+        parts.append(f"[Phys] {{{phys}}}")
+    return " ".join(parts)
+
+
+def netlist_to_tag(
+    netlist: Netlist,
+    k: int = 2,
+    include_expression: bool = True,
+    include_physical: bool = True,
+    annotations: Optional[Dict[str, Dict[str, float]]] = None,
+) -> TextAttributedGraph:
+    """Convert a netlist into its text-attributed graph."""
+    annotations = annotations if annotations is not None else physical_annotations(netlist)
+    graph = build_graph_view(netlist)
+    nodes: List[TAGNode] = []
+    for gate in gate_order(netlist):
+        cell = netlist.cell_of(gate)
+        expr = gate_expression(netlist, gate, k=k)
+        expr_text = expr.to_string()
+        physical = annotations.get(gate.name) or {f: 0.0 for f in PHYSICAL_FIELDS}
+        text = render_gate_text(
+            gate.name,
+            cell.cell_type,
+            expr_text,
+            physical,
+            include_expression=include_expression,
+            include_physical=include_physical,
+        )
+        nodes.append(
+            TAGNode(
+                name=gate.name,
+                cell_type=cell.cell_type,
+                expression=expr_text,
+                text=text,
+                physical=dict(physical),
+                is_register=cell.is_sequential,
+                expression_features=expression_feature_vector(expr),
+                attributes=dict(gate.attributes),
+            )
+        )
+    return TextAttributedGraph(
+        name=netlist.name,
+        nodes=nodes,
+        graph=graph,
+        attributes={"num_gates": netlist.num_gates, **dict(netlist.attributes)},
+    )
+
+
+def expression_dataset(
+    netlist: Netlist, k: int = 2, max_gates: Optional[int] = None
+) -> List[Tuple[str, str]]:
+    """Collect (gate_name, expression_string) pairs for the ExprLLM corpus."""
+    pairs: List[Tuple[str, str]] = []
+    for gate in gate_order(netlist):
+        if netlist.is_register(gate):
+            continue
+        expr = gate_expression(netlist, gate, k=k)
+        pairs.append((gate.name, expr.to_string()))
+        if max_gates is not None and len(pairs) >= max_gates:
+            break
+    return pairs

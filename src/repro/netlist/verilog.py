@@ -1,0 +1,151 @@
+"""Structural (gate-level) Verilog writer and reader.
+
+Post-synthesis netlists in the paper's flow are structural Verilog produced by
+Design Compiler.  This module emits and parses the same flavour of flattened
+netlist so that circuits can be exchanged with files on disk and so the Fig. 8
+demo can show the "netlist Verilog text" an LLM would be given.
+
+The supported subset is intentionally small but round-trips everything the
+synthesis engine produces: one module per file, scalar wires, named-pin cell
+instances such as ``NAND2_X1 U3 ( .A(n1), .B(n2), .Z(n3) );``.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..cells import CellLibrary, NANGATE45
+from .core import Netlist, NetlistError
+
+PathLike = Union[str, Path]
+
+_MODULE_RE = re.compile(r"module\s+(?P<name>[A-Za-z_][\w$]*)\s*\((?P<ports>[^)]*)\)\s*;", re.S)
+_DECL_RE = re.compile(r"(?P<kind>input|output|wire)\s+(?P<nets>[^;]+);")
+_INSTANCE_RE = re.compile(
+    r"(?P<cell>[A-Za-z_][\w$]*)\s+(?P<inst>[A-Za-z_][\w$]*)\s*\(\s*(?P<conns>[^;]*?)\)\s*;",
+    re.S,
+)
+_PIN_RE = re.compile(r"\.(?P<pin>[A-Za-z_][\w$]*)\s*\(\s*(?P<net>[^()\s]+)\s*\)")
+
+
+def _sanitize(net: str) -> str:
+    return net.strip()
+
+
+def write_verilog(netlist: Netlist, path: Optional[PathLike] = None) -> str:
+    """Render ``netlist`` as structural Verilog; optionally write it to ``path``."""
+    lines: List[str] = []
+    ports = list(netlist.primary_inputs) + list(netlist.primary_outputs)
+    if netlist.clock and netlist.clock not in ports and netlist.is_sequential_design():
+        ports = [netlist.clock] + ports
+    lines.append(f"module {netlist.name} ({', '.join(ports)});")
+    if netlist.clock and netlist.is_sequential_design():
+        lines.append(f"  input {netlist.clock};")
+    for net in netlist.primary_inputs:
+        lines.append(f"  input {net};")
+    for net in netlist.primary_outputs:
+        lines.append(f"  output {net};")
+    internal = [
+        net
+        for net in netlist.nets
+        if net not in netlist.primary_inputs
+        and net not in netlist.primary_outputs
+        and net != netlist.clock
+    ]
+    for net in sorted(internal):
+        lines.append(f"  wire {net};")
+    lines.append("")
+    for gate in netlist.gates.values():
+        cell = netlist.cell_of(gate)
+        conns = [f".{pin}({net})" for pin, net in gate.inputs.items()]
+        conns.append(f".{cell.output_pin}({gate.output})")
+        if cell.is_sequential and netlist.clock:
+            conns.append(f".CK({netlist.clock})")
+        lines.append(f"  {gate.cell_name} {gate.name} ( {', '.join(conns)} );")
+    lines.append("endmodule")
+    text = "\n".join(lines) + "\n"
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def read_verilog(
+    source: PathLike | str,
+    library: Optional[CellLibrary] = None,
+    from_string: bool = False,
+) -> Netlist:
+    """Parse structural Verilog produced by :func:`write_verilog` (or compatible)."""
+    library = library or NANGATE45
+    if from_string:
+        text = str(source)
+    else:
+        path = Path(source)
+        if path.exists():
+            text = path.read_text()
+        else:
+            # Fall back to treating the argument as inline Verilog text.
+            text = str(source)
+
+    # Strip comments.
+    text = re.sub(r"//[^\n]*", "", text)
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+
+    module_match = _MODULE_RE.search(text)
+    if module_match is None:
+        raise NetlistError("no module declaration found in Verilog source")
+    name = module_match.group("name")
+    body = text[module_match.end():]
+    end_index = body.find("endmodule")
+    if end_index == -1:
+        raise NetlistError(f"module {name!r} has no endmodule")
+    body = body[:end_index]
+
+    netlist = Netlist(name, library=library)
+    inputs: List[str] = []
+    outputs: List[str] = []
+    for decl in _DECL_RE.finditer(body):
+        nets = [_sanitize(n) for n in decl.group("nets").split(",") if _sanitize(n)]
+        if decl.group("kind") == "input":
+            inputs.extend(nets)
+        elif decl.group("kind") == "output":
+            outputs.extend(nets)
+    # Remove declarations before scanning instances so cell names never collide
+    # with the input/output/wire keywords.
+    instance_body = _DECL_RE.sub("", body)
+
+    clock = None
+    for net in inputs:
+        if net in ("clk", "clock", "CK"):
+            clock = net
+    netlist.clock = clock or netlist.clock
+    for net in inputs:
+        if net == netlist.clock:
+            continue
+        netlist.add_primary_input(net)
+    for net in outputs:
+        netlist.add_primary_output(net)
+
+    for inst in _INSTANCE_RE.finditer(instance_body):
+        cell_name = inst.group("cell")
+        if cell_name in ("module", "endmodule"):
+            continue
+        if cell_name not in library:
+            raise NetlistError(f"instance {inst.group('inst')!r} uses unknown cell {cell_name!r}")
+        cell = library.cell(cell_name)
+        pin_map: Dict[str, str] = {}
+        output_net = None
+        for pin_match in _PIN_RE.finditer(inst.group("conns")):
+            pin, net = pin_match.group("pin"), _sanitize(pin_match.group("net"))
+            if pin == cell.output_pin:
+                output_net = net
+            elif pin == "CK":
+                continue
+            else:
+                pin_map[pin] = net
+        if output_net is None:
+            raise NetlistError(f"instance {inst.group('inst')!r} does not connect output pin {cell.output_pin!r}")
+        netlist.add_gate(inst.group("inst"), cell_name, pin_map, output_net)
+
+    return netlist

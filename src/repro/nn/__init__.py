@@ -1,0 +1,94 @@
+"""A minimal numpy-based neural network framework (autograd, layers, optimisers).
+
+This subpackage replaces PyTorch / PyTorch-Geometric in the NetTAG
+reproduction.  It provides everything the paper's models need: an autograd
+tensor, linear/embedding/normalisation layers, bidirectional multi-head
+attention and transformer encoders, LoRA adapters, Adam/SGD optimisers and
+checkpoint serialisation.
+"""
+
+from .tensor import (
+    Tensor,
+    concatenate,
+    embedding_lookup,
+    ones,
+    stack,
+    tensor,
+    where_mask,
+    zeros,
+)
+from .functional import (
+    cosine_similarity_matrix,
+    cross_entropy,
+    info_nce,
+    l1_loss,
+    layer_norm,
+    mse_loss,
+    normalize,
+    symmetric_info_nce,
+)
+from .layers import (
+    Dropout,
+    Embedding,
+    GELU,
+    LayerNorm,
+    Linear,
+    MLP,
+    Module,
+    ModuleList,
+    ReLU,
+    Sequential,
+    Tanh,
+)
+from .attention import (
+    FeedForward,
+    MultiHeadAttention,
+    TransformerEncoder,
+    TransformerEncoderLayer,
+)
+from .optim import Adam, CosineSchedule, Optimizer, SGD
+from .lora import LoRALinear, apply_lora
+from .serialization import load_checkpoint, peek_metadata, save_checkpoint
+
+__all__ = [
+    "Tensor",
+    "tensor",
+    "zeros",
+    "ones",
+    "stack",
+    "concatenate",
+    "embedding_lookup",
+    "where_mask",
+    "cross_entropy",
+    "mse_loss",
+    "l1_loss",
+    "info_nce",
+    "symmetric_info_nce",
+    "normalize",
+    "layer_norm",
+    "cosine_similarity_matrix",
+    "Module",
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "Dropout",
+    "GELU",
+    "ReLU",
+    "Tanh",
+    "Sequential",
+    "ModuleList",
+    "MLP",
+    "MultiHeadAttention",
+    "FeedForward",
+    "TransformerEncoderLayer",
+    "TransformerEncoder",
+    "Adam",
+    "SGD",
+    "CosineSchedule",
+    "Optimizer",
+    "LoRALinear",
+    "apply_lora",
+    "save_checkpoint",
+    "peek_metadata",
+    "load_checkpoint",
+]

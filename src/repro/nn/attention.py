@@ -1,0 +1,150 @@
+"""Transformer building blocks: multi-head attention and encoder layers.
+
+ExprLLM in the paper is a decoder-only LLM converted to a *bidirectional*
+encoder (LLM2Vec); TAGFormer is an SGFormer-style graph transformer using
+global attention.  Both are built from the :class:`MultiHeadAttention` and
+:class:`TransformerEncoderLayer` classes defined here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .layers import Dropout, GELU, LayerNorm, Linear, Module, ModuleList, Sequential
+from .tensor import Tensor, where_mask
+
+
+class MultiHeadAttention(Module):
+    """Scaled dot-product multi-head attention with optional key padding mask.
+
+    Attention is bidirectional (no causal mask), matching the LLM2Vec-style
+    conversion used for ExprLLM and the global attention of TAGFormer.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        dropout: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"model dim {dim} must be divisible by num_heads {num_heads}")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.q_proj = Linear(dim, dim, rng=rng)
+        self.k_proj = Linear(dim, dim, rng=rng)
+        self.v_proj = Linear(dim, dim, rng=rng)
+        self.out_proj = Linear(dim, dim, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def forward(self, x: Tensor, key_padding_mask: Optional[np.ndarray] = None) -> Tensor:
+        """Attend over a ``(batch, seq, dim)`` or ``(seq, dim)`` input.
+
+        ``key_padding_mask`` is a boolean array of shape ``(batch, seq)`` (or
+        ``(seq,)``) where ``True`` marks *valid* positions.
+        """
+        squeeze = False
+        if x.ndim == 2:
+            x = x.reshape(1, *x.shape)
+            squeeze = True
+            if key_padding_mask is not None and key_padding_mask.ndim == 1:
+                key_padding_mask = key_padding_mask[None, :]
+
+        batch, seq, _ = x.shape
+        q = self.q_proj(x)
+        k = self.k_proj(x)
+        v = self.v_proj(x)
+
+        def split_heads(t: Tensor) -> Tensor:
+            return t.reshape(batch, seq, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+        q = split_heads(q)
+        k = split_heads(k)
+        v = split_heads(v)
+
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = (q @ k.transpose(0, 1, 3, 2)) * scale  # (batch, heads, seq, seq)
+
+        if key_padding_mask is not None:
+            valid = np.asarray(key_padding_mask, dtype=bool)
+            mask = valid[:, None, None, :]  # broadcast over heads and query positions
+            mask = np.broadcast_to(mask, scores.shape)
+            scores = where_mask(mask, scores, Tensor(np.full(scores.shape, -1e9)))
+
+        attn = scores.softmax(axis=-1)
+        attn = self.dropout(attn)
+        context = attn @ v  # (batch, heads, seq, head_dim)
+        context = context.transpose(0, 2, 1, 3).reshape(batch, seq, self.dim)
+        out = self.out_proj(context)
+        if squeeze:
+            out = out.reshape(seq, self.dim)
+        return out
+
+
+class FeedForward(Module):
+    """Position-wise feed-forward network with GELU activation."""
+
+    def __init__(self, dim: int, hidden_dim: int, dropout: float = 0.0, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.net = Sequential(
+            Linear(dim, hidden_dim, rng=rng),
+            GELU(),
+            Dropout(dropout, rng=rng),
+            Linear(hidden_dim, dim, rng=rng),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x)
+
+
+class TransformerEncoderLayer(Module):
+    """Pre-norm transformer encoder layer (attention + feed-forward, residual)."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        ff_multiplier: int = 4,
+        dropout: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.attn_norm = LayerNorm(dim)
+        self.attn = MultiHeadAttention(dim, num_heads, dropout=dropout, rng=rng)
+        self.ff_norm = LayerNorm(dim)
+        self.ff = FeedForward(dim, dim * ff_multiplier, dropout=dropout, rng=rng)
+
+    def forward(self, x: Tensor, key_padding_mask: Optional[np.ndarray] = None) -> Tensor:
+        x = x + self.attn(self.attn_norm(x), key_padding_mask=key_padding_mask)
+        x = x + self.ff(self.ff_norm(x))
+        return x
+
+
+class TransformerEncoder(Module):
+    """Stack of encoder layers followed by a final layer norm."""
+
+    def __init__(
+        self,
+        dim: int,
+        depth: int,
+        num_heads: int,
+        ff_multiplier: int = 4,
+        dropout: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.layers = ModuleList(
+            TransformerEncoderLayer(dim, num_heads, ff_multiplier, dropout, rng=rng)
+            for _ in range(depth)
+        )
+        self.final_norm = LayerNorm(dim)
+
+    def forward(self, x: Tensor, key_padding_mask: Optional[np.ndarray] = None) -> Tensor:
+        for layer in self.layers:
+            x = layer(x, key_padding_mask=key_padding_mask)
+        return self.final_norm(x)

@@ -1,0 +1,101 @@
+"""Functional building blocks shared by the encoders and training objectives.
+
+The NetTAG paper relies on a handful of loss functions and normalisation
+primitives: cross entropy (masked gate reconstruction, objective #2.1), mean
+squared error (graph size prediction, objective #2.3), the InfoNCE contrastive
+loss (objectives #1, #2.2 and #3) and layer normalisation inside the
+transformer blocks.  They are implemented here on top of the autograd
+:class:`~repro.nn.tensor.Tensor`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``logits`` (N, C) and integer ``targets`` (N,)."""
+    targets = np.asarray(targets, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError("cross_entropy expects 2-D logits of shape (N, C)")
+    if targets.ndim != 1 or targets.shape[0] != logits.shape[0]:
+        raise ValueError("targets must be a 1-D array matching the logits batch size")
+    log_probs = logits.log_softmax(axis=-1)
+    picked = log_probs[np.arange(len(targets)), targets]
+    return -picked.mean()
+
+
+def mse_loss(predictions: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean squared error against a constant target array."""
+    targets = np.asarray(targets, dtype=np.float64)
+    diff = predictions - Tensor(targets)
+    return (diff * diff).mean()
+
+
+def l1_loss(predictions: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean absolute error implemented as sqrt((x)^2 + eps) for differentiability."""
+    targets = np.asarray(targets, dtype=np.float64)
+    diff = predictions - Tensor(targets)
+    return ((diff * diff) + 1e-12).pow(0.5).mean()
+
+
+def normalize(x: Tensor, axis: int = -1, eps: float = 1e-8) -> Tensor:
+    """L2-normalise ``x`` along ``axis`` (used before every contrastive loss)."""
+    norm = (x * x).sum(axis=axis, keepdims=True).pow(0.5)
+    return x * (norm + eps).pow(-1.0)
+
+
+def info_nce(
+    anchors: Tensor,
+    positives: Tensor,
+    temperature: float = 0.1,
+) -> Tensor:
+    """InfoNCE loss used by objectives #1, #2.2 and #3 of the paper.
+
+    Each row of ``anchors`` is matched with the same row of ``positives``;
+    every other row in the batch acts as a negative.  Both inputs have shape
+    ``(batch, dim)`` and are L2-normalised internally.
+    """
+    if anchors.shape != positives.shape:
+        raise ValueError("anchors and positives must have identical shapes")
+    if anchors.shape[0] < 2:
+        raise ValueError("InfoNCE needs at least two samples in the batch")
+    a = normalize(anchors)
+    p = normalize(positives)
+    logits = a @ p.transpose() * (1.0 / temperature)
+    targets = np.arange(anchors.shape[0])
+    return cross_entropy(logits, targets)
+
+
+def symmetric_info_nce(a: Tensor, b: Tensor, temperature: float = 0.1) -> Tensor:
+    """Symmetrised InfoNCE (both directions), used for cross-stage alignment."""
+    return (info_nce(a, b, temperature) + info_nce(b, a, temperature)) * 0.5
+
+
+def layer_norm(x: Tensor, gamma: Tensor, beta: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalisation over the last dimension."""
+    mean = x.mean(axis=-1, keepdims=True)
+    centred = x - mean
+    var = (centred * centred).mean(axis=-1, keepdims=True)
+    inv_std = (var + eps).pow(-0.5)
+    return centred * inv_std * gamma + beta
+
+
+def dropout_mask(shape: Sequence[int], rate: float, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Return an inverted-dropout mask (scaled keep mask)."""
+    if rate <= 0.0:
+        return np.ones(shape)
+    rng = rng or np.random.default_rng()
+    keep = (rng.random(shape) >= rate).astype(np.float64)
+    return keep / max(1.0 - rate, 1e-8)
+
+
+def cosine_similarity_matrix(a: np.ndarray, b: np.ndarray, eps: float = 1e-9) -> np.ndarray:
+    """Plain numpy cosine similarity between row sets (no gradients)."""
+    a_norm = a / (np.linalg.norm(a, axis=-1, keepdims=True) + eps)
+    b_norm = b / (np.linalg.norm(b, axis=-1, keepdims=True) + eps)
+    return a_norm @ b_norm.T

@@ -1,0 +1,49 @@
+"""Weight initialisation helpers for the numpy NN framework."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+_DEFAULT_RNG = np.random.default_rng(1234)
+
+
+def _rng_or_default(rng: Optional[np.random.Generator]) -> np.random.Generator:
+    return rng if rng is not None else _DEFAULT_RNG
+
+
+def xavier_uniform(shape: Sequence[int], gain: float = 1.0, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for weight matrices."""
+    rng = _rng_or_default(rng)
+    fan_in, fan_out = _fans(shape)
+    limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=tuple(shape))
+
+
+def kaiming_uniform(shape: Sequence[int], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """He/Kaiming uniform initialisation (ReLU networks)."""
+    rng = _rng_or_default(rng)
+    fan_in, _ = _fans(shape)
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=tuple(shape))
+
+
+def normal(shape: Sequence[int], std: float = 0.02, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Gaussian initialisation (embedding tables, small heads)."""
+    rng = _rng_or_default(rng)
+    return rng.normal(0.0, std, size=tuple(shape))
+
+
+def zeros(shape: Sequence[int]) -> np.ndarray:
+    return np.zeros(tuple(shape))
+
+
+def _fans(shape: Sequence[int]) -> Tuple[int, int]:
+    if len(shape) < 1:
+        raise ValueError("initialisation shape must have at least one dimension")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    fan_in = int(np.prod(shape[:-1]))
+    fan_out = int(shape[-1])
+    return fan_in, fan_out

@@ -1,0 +1,271 @@
+"""Neural network layers used across the NetTAG reproduction.
+
+These mirror the small set of PyTorch modules the paper's models need:
+``Linear``, ``Embedding``, ``LayerNorm``, ``Dropout``, a ``Sequential``
+container and the three-layer ``MLP`` heads used both as auxiliary
+pre-training decoders (gate-type classifier, graph-size regressor) and as
+fine-tuning task models.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from . import init
+from .functional import dropout_mask, layer_norm
+from .tensor import Tensor, embedding_lookup
+
+
+class Module:
+    """Base class with parameter registration, train/eval mode and state dicts."""
+
+    def __init__(self) -> None:
+        self._parameters: Dict[str, Tensor] = {}
+        self._modules: Dict[str, "Module"] = {}
+        self.training: bool = True
+
+    # -- registration ---------------------------------------------------
+    def register_parameter(self, name: str, param: Tensor) -> Tensor:
+        param.requires_grad = True
+        param.name = name
+        self._parameters[name] = param
+        return param
+
+    def register_module(self, name: str, module: "Module") -> "Module":
+        self._modules[name] = module
+        return module
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Module) and name not in ("_modules",):
+            object.__getattribute__(self, "_modules")[name] = value
+        super().__setattr__(name, value)
+
+    # -- traversal ------------------------------------------------------
+    def parameters(self) -> Iterator[Tensor]:
+        for param in self._parameters.values():
+            yield param
+        for module in self._modules.values():
+            yield from module.parameters()
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Tensor]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for mod_name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{mod_name}.")
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # -- modes ----------------------------------------------------------
+    def train(self) -> "Module":
+        self.training = True
+        for module in self._modules.values():
+            module.train()
+        return self
+
+    def eval(self) -> "Module":
+        self.training = False
+        for module in self._modules.values():
+            module.eval()
+        return self
+
+    # -- state dict -----------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        if missing:
+            raise KeyError(f"state dict is missing parameters: {sorted(missing)}")
+        for name, param in own.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: expected {param.data.shape}, got {value.shape}"
+                )
+            param.data = value.copy()
+
+    # -- forward --------------------------------------------------------
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class Linear(Module):
+    """Affine projection ``y = x W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = self.register_parameter(
+            "weight", Tensor(init.xavier_uniform((in_features, out_features), rng=rng))
+        )
+        self.use_bias = bias
+        if bias:
+            self.bias = self.register_parameter("bias", Tensor(np.zeros(out_features)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.use_bias:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = self.register_parameter(
+            "weight", Tensor(init.normal((num_embeddings, embedding_dim), std=0.02, rng=rng))
+        )
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.num_embeddings):
+            raise IndexError("embedding index out of range")
+        return embedding_lookup(self.weight, indices)
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.gamma = self.register_parameter("gamma", Tensor(np.ones(dim)))
+        self.beta = self.register_parameter("beta", Tensor(np.zeros(dim)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return layer_norm(x, self.gamma, self.beta, eps=self.eps)
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, rate: float = 0.1, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("dropout rate must be in [0, 1)")
+        self.rate = rate
+        self.rng = rng or np.random.default_rng(0)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.rate == 0.0:
+            return x
+        mask = dropout_mask(x.shape, self.rate, rng=self.rng)
+        return x * Tensor(mask)
+
+
+class GELU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.gelu()
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._ordered: List[Module] = []
+        for i, module in enumerate(modules):
+            self.register_module(str(i), module)
+            self._ordered.append(module)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._ordered)
+
+    def __len__(self) -> int:
+        return len(self._ordered)
+
+    def forward(self, x):
+        for module in self._ordered:
+            x = module(x)
+        return x
+
+
+class MLP(Module):
+    """Multi-layer perceptron with configurable hidden sizes.
+
+    The paper uses three-layer MLPs with hidden dimension 256 both for the
+    auxiliary pre-training decoders and for the fine-tuning task heads; this
+    class defaults to that configuration but is fully configurable.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        hidden_sizes: Sequence[int] = (256, 256),
+        activation: str = "relu",
+        dropout: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        acts = {"relu": ReLU, "gelu": GELU, "tanh": Tanh}
+        if activation not in acts:
+            raise ValueError(f"unknown activation {activation!r}; choose from {sorted(acts)}")
+        layers: List[Module] = []
+        prev = in_features
+        for hidden in hidden_sizes:
+            layers.append(Linear(prev, hidden, rng=rng))
+            layers.append(acts[activation]())
+            if dropout > 0:
+                layers.append(Dropout(dropout, rng=rng))
+            prev = hidden
+        layers.append(Linear(prev, out_features, rng=rng))
+        self.net = Sequential(*layers)
+        self.in_features = in_features
+        self.out_features = out_features
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x)
+
+
+class ModuleList(Module):
+    """Container holding an ordered list of sub-modules."""
+
+    def __init__(self, modules: Iterable[Module] = ()) -> None:
+        super().__init__()
+        self._items: List[Module] = []
+        for module in modules:
+            self.append(module)
+
+    def append(self, module: Module) -> None:
+        self.register_module(str(len(self._items)), module)
+        self._items.append(module)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self._items[idx]
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - containers are not called
+        raise RuntimeError("ModuleList is a container and cannot be called directly")

@@ -1,0 +1,85 @@
+"""LoRA (low-rank adaptation) for Linear layers.
+
+The paper pre-trains ExprLLM with LoRA so that the large backbone stays frozen
+and only small low-rank adapters are updated.  The same mechanism is provided
+here: :class:`LoRALinear` wraps a frozen :class:`~repro.nn.layers.Linear` and
+adds a trainable low-rank update ``x A B * (alpha / r)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import init
+from .layers import Linear, Module
+from .tensor import Tensor
+
+
+class LoRALinear(Module):
+    """A frozen linear layer plus a trainable low-rank residual."""
+
+    def __init__(
+        self,
+        base: Linear,
+        rank: int = 4,
+        alpha: float = 8.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if rank <= 0:
+            raise ValueError("LoRA rank must be positive")
+        self.base = base
+        # Freeze the wrapped projection: its parameters are excluded from
+        # this module's parameter list so optimisers never update them.
+        self._modules.pop("base", None)
+        for param in self.base.parameters():
+            param.requires_grad = True  # still needs grads to flow through matmul
+        self.rank = rank
+        self.alpha = alpha
+        self.scaling = alpha / rank
+        self.lora_a = self.register_parameter(
+            "lora_a", Tensor(init.normal((base.in_features, rank), std=0.02, rng=rng))
+        )
+        self.lora_b = self.register_parameter("lora_b", Tensor(np.zeros((rank, base.out_features))))
+
+    def forward(self, x: Tensor) -> Tensor:
+        frozen = self.base(x)
+        update = (x @ self.lora_a) @ self.lora_b
+        return frozen + update * self.scaling
+
+    def merged_weight(self) -> np.ndarray:
+        """Return the effective weight matrix with the adapter folded in."""
+        return self.base.weight.data + self.scaling * (self.lora_a.data @ self.lora_b.data)
+
+
+def apply_lora(module: Module, rank: int = 4, alpha: float = 8.0, rng: Optional[np.random.Generator] = None) -> int:
+    """Replace every :class:`Linear` child of ``module`` with a LoRA-wrapped copy.
+
+    Returns the number of layers wrapped.  Nested modules are traversed
+    recursively; already-wrapped layers are skipped.
+    """
+    wrapped = 0
+    for name, child in list(module._modules.items()):
+        if isinstance(child, LoRALinear):
+            continue
+        if isinstance(child, Linear):
+            lora = LoRALinear(child, rank=rank, alpha=alpha, rng=rng)
+            module._modules[name] = lora
+            object.__setattr__(module, name, lora)
+            _replace_in_containers(module, child, lora)
+            wrapped += 1
+        else:
+            wrapped += apply_lora(child, rank=rank, alpha=alpha, rng=rng)
+    return wrapped
+
+
+def _replace_in_containers(module: Module, old: Module, new: Module) -> None:
+    """Keep Sequential/ModuleList internal ordering lists in sync after a swap."""
+    for attr in ("_ordered", "_items"):
+        items = getattr(module, attr, None)
+        if isinstance(items, list):
+            for i, item in enumerate(items):
+                if item is old:
+                    items[i] = new

@@ -1,0 +1,52 @@
+"""Saving and loading model checkpoints as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+import numpy as np
+
+from .layers import Module
+
+PathLike = Union[str, Path]
+
+
+def save_checkpoint(module: Module, path: PathLike, metadata: Optional[Dict[str, Any]] = None) -> Path:
+    """Serialise a module's parameters (and optional JSON metadata) to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = module.state_dict()
+    payload = {f"param::{name}": value for name, value in state.items()}
+    payload["__metadata__"] = np.frombuffer(
+        json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def peek_metadata(path: PathLike) -> Dict[str, Any]:
+    """Read only the JSON metadata of a checkpoint (without touching any module)."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"checkpoint not found: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        metadata_bytes = archive["__metadata__"].tobytes() if "__metadata__" in archive.files else b"{}"
+    return json.loads(metadata_bytes.decode("utf-8"))
+
+
+def load_checkpoint(module: Module, path: PathLike) -> Dict[str, Any]:
+    """Load parameters saved by :func:`save_checkpoint`; returns the metadata dict."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"checkpoint not found: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        state = {
+            key[len("param::"):]: archive[key]
+            for key in archive.files
+            if key.startswith("param::")
+        }
+        metadata_bytes = archive["__metadata__"].tobytes() if "__metadata__" in archive.files else b"{}"
+    module.load_state_dict(state)
+    return json.loads(metadata_bytes.decode("utf-8"))

@@ -1,0 +1,28 @@
+"""Physical design substrate: placement, parasitics, optimisation, layout graphs."""
+
+from .placement import Placement, compute_net_wirelengths, place
+from .parasitics import (
+    NetParasitics,
+    SPEF,
+    WIRE_CAPACITANCE_PER_UM,
+    WIRE_RESISTANCE_PER_UM,
+    extract_parasitics,
+)
+from .optimize import PhysicalOptimizationReport, physically_optimize
+from .layout_graph import LAYOUT_FEATURES, LayoutGraph, build_layout_graph
+
+__all__ = [
+    "Placement",
+    "place",
+    "compute_net_wirelengths",
+    "NetParasitics",
+    "SPEF",
+    "extract_parasitics",
+    "WIRE_CAPACITANCE_PER_UM",
+    "WIRE_RESISTANCE_PER_UM",
+    "PhysicalOptimizationReport",
+    "physically_optimize",
+    "LayoutGraph",
+    "LAYOUT_FEATURES",
+    "build_layout_graph",
+]

@@ -1,0 +1,88 @@
+"""Layout graph construction.
+
+For cross-stage alignment the paper represents the layout as a connectivity
+graph whose nodes are annotated with physical information extracted from the
+SPEF file (capacitance, resistance, delay).  This module builds that graph
+from a placed-and-optimised netlist: nodes are gates, node features combine
+cell physical parameters with the parasitics of the nets they drive, and the
+edge structure matches the netlist connectivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..netlist.core import Netlist
+from ..netlist.graph import GraphView, build_graph_view, gate_order
+from .parasitics import SPEF, extract_parasitics
+from .placement import Placement, place
+
+LAYOUT_FEATURES: Tuple[str, ...] = (
+    "capacitance", "resistance", "delay", "wirelength", "x", "y", "area", "is_register",
+)
+
+
+@dataclass
+class LayoutGraph:
+    """Graph view of the layout with per-node physical feature vectors."""
+
+    name: str
+    graph: GraphView
+    node_features: np.ndarray            # (num_nodes, len(LAYOUT_FEATURES))
+    node_names: List[str]
+    attributes: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_names)
+
+    def feature_matrix(self, normalise: bool = True) -> np.ndarray:
+        matrix = self.node_features
+        if normalise and matrix.size:
+            return np.log1p(np.maximum(matrix, 0.0))
+        return matrix
+
+
+def build_layout_graph(
+    netlist: Netlist,
+    placement: Optional[Placement] = None,
+    spef: Optional[SPEF] = None,
+) -> LayoutGraph:
+    """Annotate the netlist connectivity graph with layout-stage physical data."""
+    placement = placement or place(netlist)
+    spef = spef or extract_parasitics(netlist, placement)
+    graph = build_graph_view(netlist)
+    gates = gate_order(netlist)
+    features = np.zeros((len(gates), len(LAYOUT_FEATURES)), dtype=np.float64)
+    for i, gate in enumerate(gates):
+        cell = netlist.cell_of(gate)
+        parasitic = spef.get(gate.output)
+        capacitance = parasitic.capacitance if parasitic else 0.0
+        resistance = parasitic.resistance + cell.drive_resistance if parasitic else cell.drive_resistance
+        wirelength = parasitic.wirelength if parasitic else 0.0
+        delay = cell.load_delay(capacitance) + (parasitic.elmore_delay if parasitic else 0.0)
+        x, y = placement.coordinates.get(gate.name, (0.0, 0.0))
+        features[i] = (
+            capacitance,
+            resistance,
+            delay,
+            wirelength,
+            x,
+            y,
+            cell.area,
+            1.0 if cell.is_sequential else 0.0,
+        )
+    return LayoutGraph(
+        name=netlist.name,
+        graph=graph,
+        node_features=features,
+        node_names=[g.name for g in gates],
+        attributes={
+            "die_width": placement.die_width,
+            "die_height": placement.die_height,
+            "total_wirelength": placement.total_wirelength,
+        },
+    )

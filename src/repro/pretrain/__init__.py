@@ -1,0 +1,48 @@
+"""Self-supervised pre-training: objectives, augmentations and trainers."""
+
+from .augment import (
+    augment_expression,
+    augment_tag,
+    build_expression_pairs,
+    mask_node_indices,
+)
+from .data import PretrainSample, build_pretrain_dataset, build_pretrain_sample, size_target_vector
+from .objectives import (
+    cross_stage_loss,
+    expression_contrastive_loss,
+    graph_contrastive_loss,
+    graph_size_loss,
+    masked_gate_features,
+    masked_gate_loss,
+)
+from .expr_pretrain import (
+    ExprLLMPretrainer,
+    ExprPretrainConfig,
+    ExprPretrainResult,
+    collect_expression_corpus,
+)
+from .tag_pretrain import TAGFormerPretrainer, TAGPretrainConfig, TAGPretrainResult
+
+__all__ = [
+    "augment_expression",
+    "augment_tag",
+    "build_expression_pairs",
+    "mask_node_indices",
+    "PretrainSample",
+    "build_pretrain_sample",
+    "build_pretrain_dataset",
+    "size_target_vector",
+    "expression_contrastive_loss",
+    "masked_gate_features",
+    "masked_gate_loss",
+    "graph_contrastive_loss",
+    "graph_size_loss",
+    "cross_stage_loss",
+    "ExprLLMPretrainer",
+    "ExprPretrainConfig",
+    "ExprPretrainResult",
+    "collect_expression_corpus",
+    "TAGFormerPretrainer",
+    "TAGPretrainConfig",
+    "TAGPretrainResult",
+]

@@ -1,0 +1,104 @@
+"""Augmentations used to build positive pairs for the contrastive objectives.
+
+* Expression augmentation (objective #1): rewrite a symbolic expression with
+  random Boolean-equivalence rules (:func:`repro.expr.random_equivalent`).
+* TAG augmentation (objective #2.2): produce a functionally equivalent view of
+  a netlist TAG by rewriting node expressions, re-rendering node texts and
+  jittering physical attributes; the graph structure is unchanged, mirroring
+  the paper's "functionally equivalent transformations of each netlist graph".
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..expr import ExpressionSyntaxError, parse, random_equivalent
+from ..netlist.tag import TAGNode, TextAttributedGraph, expression_feature_vector, render_gate_text
+
+
+def augment_expression(expression: str, rng: np.random.Generator, num_rewrites: int = 3,
+                       max_nodes: int = 120) -> str:
+    """Return a functionally equivalent rewrite of an expression string.
+
+    Falls back to the original string when the expression cannot be parsed or
+    is too large to rewrite cheaply.
+    """
+    try:
+        expr = parse(expression)
+    except ExpressionSyntaxError:
+        return expression
+    if expr.num_nodes() > max_nodes:
+        return expression
+    rewritten = random_equivalent(expr, rng=rng, num_rewrites=num_rewrites, max_nodes=max_nodes * 2)
+    return rewritten.to_string()
+
+
+def build_expression_pairs(
+    expressions: Sequence[str],
+    rng: Optional[np.random.Generator] = None,
+    num_rewrites: int = 3,
+) -> List[Tuple[str, str]]:
+    """Build (original, equivalent-rewrite) pairs for objective #1."""
+    rng = rng or np.random.default_rng(0)
+    return [(expr, augment_expression(expr, rng, num_rewrites=num_rewrites)) for expr in expressions]
+
+
+def augment_tag(
+    tag: TextAttributedGraph,
+    rng: Optional[np.random.Generator] = None,
+    expression_rewrite_probability: float = 0.35,
+    physical_noise: float = 0.05,
+) -> TextAttributedGraph:
+    """Produce a functionally equivalent positive view of a TAG."""
+    rng = rng or np.random.default_rng(0)
+    new_nodes: List[TAGNode] = []
+    for node in tag.nodes:
+        expression = node.expression
+        expression_features = node.expression_features
+        if rng.random() < expression_rewrite_probability:
+            expression = augment_expression(expression, rng)
+            if expression != node.expression:
+                try:
+                    expression_features = expression_feature_vector(parse(expression))
+                except ExpressionSyntaxError:
+                    expression_features = node.expression_features
+        physical = {
+            key: float(max(0.0, value * (1.0 + rng.normal(0.0, physical_noise))))
+            for key, value in node.physical.items()
+        }
+        text = render_gate_text(node.name, node.cell_type, expression, physical)
+        new_nodes.append(
+            TAGNode(
+                name=node.name,
+                cell_type=node.cell_type,
+                expression=expression,
+                text=text,
+                physical=physical,
+                is_register=node.is_register,
+                expression_features=np.array(expression_features, copy=True),
+                attributes=dict(node.attributes),
+            )
+        )
+    return TextAttributedGraph(
+        name=tag.name + "_aug",
+        nodes=new_nodes,
+        graph=tag.graph,
+        attributes=dict(tag.attributes),
+    )
+
+
+def mask_node_indices(
+    num_nodes: int,
+    mask_ratio: float,
+    rng: Optional[np.random.Generator] = None,
+    min_masked: int = 1,
+) -> np.ndarray:
+    """Choose the node indices to mask for objective #2.1."""
+    rng = rng or np.random.default_rng(0)
+    if num_nodes == 0:
+        return np.zeros(0, dtype=np.int64)
+    count = max(min_masked, int(round(mask_ratio * num_nodes)))
+    count = min(count, num_nodes)
+    return np.sort(rng.choice(num_nodes, size=count, replace=False))

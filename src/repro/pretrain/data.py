@@ -1,0 +1,141 @@
+"""Pre-training sample construction.
+
+Step-2 pre-training (TAGFormer fusion + cross-stage alignment) operates on
+register-cone TAGs whose gate texts have already been encoded by the *frozen*
+ExprLLM, together with (optional) frozen RTL and layout embeddings of the same
+cone.  :func:`build_pretrain_sample` performs that preprocessing once so the
+training loop itself only touches numpy arrays and TAGFormer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..encoders import ExprLLM, LayoutEncoder, RTLEncoder
+from ..netlist.tag import TextAttributedGraph
+from ..physical.layout_graph import LayoutGraph
+from .augment import augment_tag
+
+
+@dataclass
+class PretrainSample:
+    """One register cone (or combinational circuit) ready for Step-2 training."""
+
+    name: str
+    text_embeddings: np.ndarray          # (num_nodes, text_dim) from frozen ExprLLM
+    semantic: np.ndarray                 # (num_nodes, num_expression_features)
+    physical: np.ndarray                 # (num_nodes, num_physical_fields)
+    adjacency: np.ndarray                # (num_nodes, num_nodes) normalised
+    cell_type_labels: np.ndarray         # (num_nodes,) int labels
+    size_target: np.ndarray              # (num_cell_types,) log1p gate counts
+    augmented_text_embeddings: Optional[np.ndarray] = None
+    augmented_semantic: Optional[np.ndarray] = None
+    augmented_physical: Optional[np.ndarray] = None
+    rtl_embedding: Optional[np.ndarray] = None       # (rtl_dim,) frozen RTL encoder
+    layout_embedding: Optional[np.ndarray] = None    # (layout_dim,) frozen layout encoder
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.text_embeddings.shape[0]
+
+    def node_features(self, augmented: bool = False) -> np.ndarray:
+        """Concatenate text, expression-analysis and physical features (TAGFormer input)."""
+        if augmented and self.augmented_text_embeddings is not None:
+            text = self.augmented_text_embeddings
+            semantic = self.augmented_semantic if self.augmented_semantic is not None else self.semantic
+            physical = self.augmented_physical if self.augmented_physical is not None else self.physical
+        else:
+            text = self.text_embeddings
+            semantic = self.semantic
+            physical = self.physical
+        return np.concatenate([text, semantic, physical], axis=1)
+
+
+def size_target_vector(tag: TextAttributedGraph, type_index: Dict[str, int]) -> np.ndarray:
+    """log1p counts of each cell type in the graph (objective #2.3 target)."""
+    counts = np.zeros(len(type_index), dtype=np.float64)
+    for node in tag.nodes:
+        counts[type_index[node.cell_type]] += 1.0
+    return np.log1p(counts)
+
+
+def build_pretrain_sample(
+    tag: TextAttributedGraph,
+    expr_llm: ExprLLM,
+    type_index: Dict[str, int],
+    rng: Optional[np.random.Generator] = None,
+    build_augmented_view: bool = True,
+    rtl_text: Optional[str] = None,
+    rtl_encoder: Optional[RTLEncoder] = None,
+    layout_graph: Optional[LayoutGraph] = None,
+    layout_encoder: Optional[LayoutEncoder] = None,
+    use_text_attributes: bool = True,
+) -> PretrainSample:
+    """Encode one TAG (and its cross-stage partners) into a :class:`PretrainSample`.
+
+    ``use_text_attributes=False`` implements the "w/o TAG" ablation: gate texts
+    are removed entirely (every node gets the same empty text), so the text
+    channel carries no name, type, symbolic-expression or physical information
+    and the model relies on graph structure plus the numeric physical channel.
+    """
+    rng = rng or np.random.default_rng(0)
+    texts = tag.node_texts if use_text_attributes else ["" for _ in tag.nodes]
+    text_embeddings = expr_llm.encode_texts(texts)
+    semantic = tag.expression_feature_matrix()
+    if not use_text_attributes:
+        semantic = np.zeros_like(semantic)
+    physical = tag.physical_matrix()
+
+    augmented_text = None
+    augmented_semantic = None
+    augmented_physical = None
+    if build_augmented_view:
+        augmented = augment_tag(tag, rng=rng)
+        aug_texts = augmented.node_texts if use_text_attributes else texts
+        augmented_text = expr_llm.encode_texts(aug_texts)
+        augmented_semantic = augmented.expression_feature_matrix()
+        if not use_text_attributes:
+            augmented_semantic = np.zeros_like(augmented_semantic)
+        augmented_physical = augmented.physical_matrix()
+
+    rtl_embedding = None
+    if rtl_text is not None and rtl_encoder is not None:
+        rtl_embedding = rtl_encoder.encode_texts([rtl_text])[0]
+    layout_embedding = None
+    if layout_graph is not None and layout_encoder is not None:
+        layout_embedding = layout_encoder.encode(layout_graph)
+
+    return PretrainSample(
+        name=tag.name,
+        text_embeddings=text_embeddings,
+        semantic=semantic,
+        physical=physical,
+        adjacency=tag.graph.adjacency,
+        cell_type_labels=tag.cell_type_labels(type_index),
+        size_target=size_target_vector(tag, type_index),
+        augmented_text_embeddings=augmented_text,
+        augmented_semantic=augmented_semantic,
+        augmented_physical=augmented_physical,
+        rtl_embedding=rtl_embedding,
+        layout_embedding=layout_embedding,
+        metadata=dict(tag.attributes),
+    )
+
+
+def build_pretrain_dataset(
+    tags: Sequence[TextAttributedGraph],
+    expr_llm: ExprLLM,
+    type_index: Dict[str, int],
+    seed: int = 0,
+    **kwargs,
+) -> List[PretrainSample]:
+    """Vector-encode a list of TAGs into pre-training samples."""
+    rng = np.random.default_rng(seed)
+    return [
+        build_pretrain_sample(tag, expr_llm, type_index, rng=rng, **kwargs)
+        for tag in tags
+    ]

@@ -1,0 +1,94 @@
+"""Self-supervised pre-training objectives.
+
+Implements the paper's losses:
+
+* **Objective #1** — symbolic expression contrastive learning (ExprLLM, Step 1):
+  InfoNCE over (expression, Boolean-equivalent rewrite) pairs.
+* **Objective #2.1** — masked gate reconstruction: mask a subset of gates and
+  predict their cell types from the TAGFormer node embeddings.
+* **Objective #2.2** — netlist graph contrastive learning: InfoNCE between the
+  [CLS] embeddings of a graph and its functionally equivalent augmented view.
+* **Objective #2.3** — graph size prediction: regress per-type gate counts
+  from the [CLS] embedding.
+* **Objective #3** — cross-stage contrastive alignment with frozen RTL and
+  layout embeddings.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+
+
+def expression_contrastive_loss(
+    anchor_embeddings: Tensor, positive_embeddings: Tensor, temperature: float = 0.1
+) -> Tensor:
+    """Objective #1: InfoNCE between expressions and their equivalent rewrites."""
+    return nn.info_nce(anchor_embeddings, positive_embeddings, temperature=temperature)
+
+
+def masked_gate_features(node_features: np.ndarray, mask_indices: np.ndarray) -> np.ndarray:
+    """Replace the features of masked nodes with the [MASK] representation (zeros)."""
+    masked = node_features.copy()
+    if mask_indices.size:
+        masked[mask_indices] = 0.0
+    return masked
+
+
+def masked_gate_loss(
+    masked_node_embeddings: Tensor,
+    classifier: nn.Module,
+    labels: np.ndarray,
+    mask_indices: np.ndarray,
+) -> Tensor:
+    """Objective #2.1: cross entropy on the gate types of the masked nodes."""
+    if mask_indices.size == 0:
+        return Tensor(0.0)
+    logits = classifier(masked_node_embeddings[mask_indices])
+    return nn.cross_entropy(logits, labels[mask_indices])
+
+
+def graph_contrastive_loss(
+    graph_embeddings: Tensor, positive_embeddings: Tensor, temperature: float = 0.1
+) -> Tensor:
+    """Objective #2.2: InfoNCE between [CLS] embeddings of equivalent graph views."""
+    return nn.info_nce(graph_embeddings, positive_embeddings, temperature=temperature)
+
+
+def graph_size_loss(graph_embedding: Tensor, regressor: nn.Module, size_target: np.ndarray) -> Tensor:
+    """Objective #2.3: MSE on (log) per-type gate counts."""
+    prediction = regressor(graph_embedding)
+    return nn.mse_loss(prediction, size_target)
+
+
+def cross_stage_loss(
+    netlist_embeddings: Tensor,
+    rtl_embeddings: Optional[Tensor],
+    layout_embeddings: Optional[Tensor],
+    rtl_projection: Optional[nn.Module] = None,
+    layout_projection: Optional[nn.Module] = None,
+    temperature: float = 0.1,
+) -> Tensor:
+    """Objective #3: align netlist [CLS] embeddings with RTL and layout embeddings.
+
+    The RTL / layout embeddings come from frozen auxiliary encoders whose output
+    dimensions differ from NetTAG's; small trainable projections map them into
+    the shared latent space before the contrastive loss, as in CLIP-style
+    alignment.
+    """
+    total: Optional[Tensor] = None
+    if rtl_embeddings is not None:
+        projected = rtl_projection(rtl_embeddings) if rtl_projection is not None else rtl_embeddings
+        term = nn.info_nce(netlist_embeddings, projected, temperature=temperature)
+        total = term if total is None else total + term
+    if layout_embeddings is not None:
+        projected = layout_projection(layout_embeddings) if layout_projection is not None else layout_embeddings
+        term = nn.info_nce(netlist_embeddings, projected, temperature=temperature)
+        total = term if total is None else total + term
+    if total is None:
+        return Tensor(0.0)
+    return total

@@ -1,0 +1,212 @@
+"""Step-2 pre-training: TAGFormer fusion and cross-stage alignment.
+
+With ExprLLM frozen, TAGFormer is trained jointly on the node-level and
+graph-level self-supervised objectives (#2.1 masked gate reconstruction,
+ #2.2 graph contrastive, #2.3 graph size prediction) plus the cross-stage
+alignment objective (#3) against frozen RTL and layout embeddings — equation
+(8) of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..encoders import TAGFormer
+from ..nn import Tensor
+from .augment import mask_node_indices
+from .data import PretrainSample
+from .objectives import (
+    cross_stage_loss,
+    graph_contrastive_loss,
+    graph_size_loss,
+    masked_gate_features,
+    masked_gate_loss,
+)
+
+
+@dataclass
+class TAGPretrainConfig:
+    """Hyper-parameters and objective switches for Step-2 pre-training.
+
+    The boolean switches implement the Fig. 6 ablations: turning an objective
+    off removes its loss term from equation (8).
+    """
+
+    num_epochs: int = 3
+    batch_size: int = 6
+    learning_rate: float = 2e-3
+    temperature: float = 0.1
+    mask_ratio: float = 0.2
+    use_masked_gate: bool = True          # objective #2.1
+    use_graph_contrastive: bool = True    # objective #2.2
+    use_size_prediction: bool = True      # objective #2.3
+    use_cross_stage: bool = True          # objective #3
+    masked_gate_weight: float = 1.0
+    graph_contrastive_weight: float = 1.0
+    size_weight: float = 0.5
+    cross_stage_weight: float = 1.0
+    seed: int = 0
+
+
+@dataclass
+class TAGPretrainResult:
+    """Loss curves per objective and overall."""
+
+    total_losses: List[float] = field(default_factory=list)
+    objective_losses: Dict[str, List[float]] = field(default_factory=dict)
+    epochs: int = 0
+
+    def record(self, name: str, value: float) -> None:
+        self.objective_losses.setdefault(name, []).append(value)
+
+    @property
+    def final_loss(self) -> float:
+        return self.total_losses[-1] if self.total_losses else float("nan")
+
+
+class TAGFormerPretrainer:
+    """Trains TAGFormer (+ auxiliary heads) on the Step-2 objectives."""
+
+    def __init__(
+        self,
+        tagformer: TAGFormer,
+        num_cell_types: int,
+        config: Optional[TAGPretrainConfig] = None,
+        rtl_dim: Optional[int] = None,
+        layout_dim: Optional[int] = None,
+    ) -> None:
+        self.tagformer = tagformer
+        self.config = config or TAGPretrainConfig()
+        rng = np.random.default_rng(self.config.seed)
+        out_dim = tagformer.output_dim
+        # Auxiliary decoders (three-layer MLPs, hidden 256 in the paper; scaled here).
+        self.gate_classifier = nn.MLP(out_dim, num_cell_types, hidden_sizes=(64,), rng=rng)
+        self.size_regressor = nn.MLP(out_dim, num_cell_types, hidden_sizes=(64,), rng=rng)
+        self.rtl_projection = nn.Linear(rtl_dim, out_dim, rng=rng) if rtl_dim else None
+        self.layout_projection = nn.Linear(layout_dim, out_dim, rng=rng) if layout_dim else None
+
+    # ------------------------------------------------------------------
+    def parameters(self) -> List[Tensor]:
+        params = list(self.tagformer.parameters())
+        params += list(self.gate_classifier.parameters())
+        params += list(self.size_regressor.parameters())
+        if self.rtl_projection is not None:
+            params += list(self.rtl_projection.parameters())
+        if self.layout_projection is not None:
+            params += list(self.layout_projection.parameters())
+        return params
+
+    # ------------------------------------------------------------------
+    def _encode_batch(self, samples: Sequence[PretrainSample], augmented: bool) -> tuple[List[Tensor], List[Tensor]]:
+        node_embeddings: List[Tensor] = []
+        graph_embeddings: List[Tensor] = []
+        for sample in samples:
+            features = Tensor(sample.node_features(augmented=augmented))
+            nodes, graph = self.tagformer(features, sample.adjacency)
+            node_embeddings.append(nodes)
+            graph_embeddings.append(graph)
+        return node_embeddings, graph_embeddings
+
+    def run(self, samples: Sequence[PretrainSample]) -> TAGPretrainResult:
+        """Train on the pre-training samples; returns per-objective loss curves."""
+        config = self.config
+        result = TAGPretrainResult()
+        samples = [s for s in samples if s.num_nodes > 0]
+        if len(samples) < 2:
+            return result
+        rng = np.random.default_rng(config.seed)
+        optimizer = nn.Adam(self.parameters(), lr=config.learning_rate, grad_clip=1.0)
+        self.tagformer.train()
+
+        for _ in range(config.num_epochs):
+            order = rng.permutation(len(samples))
+            for start in range(0, len(order), config.batch_size):
+                batch = [samples[i] for i in order[start : start + config.batch_size]]
+                if len(batch) < 2:
+                    continue
+                loss_terms: List[Tensor] = []
+
+                # Encode original views (also used for contrastive anchors).
+                _, graph_original = self._encode_batch(batch, augmented=False)
+                graph_original_stack = nn.stack(graph_original, axis=0)
+
+                # Objective #2.1: masked gate reconstruction.
+                if config.use_masked_gate:
+                    masked_losses: List[Tensor] = []
+                    for sample in batch:
+                        indices = mask_node_indices(sample.num_nodes, config.mask_ratio, rng=rng)
+                        features = masked_gate_features(sample.node_features(), indices)
+                        nodes, _ = self.tagformer(Tensor(features), sample.adjacency)
+                        masked_losses.append(
+                            masked_gate_loss(nodes, self.gate_classifier, sample.cell_type_labels, indices)
+                        )
+                    term = masked_losses[0]
+                    for extra in masked_losses[1:]:
+                        term = term + extra
+                    term = term * (config.masked_gate_weight / len(masked_losses))
+                    loss_terms.append(term)
+                    result.record("masked_gate", term.item())
+
+                # Objective #2.2: graph contrastive against augmented views.
+                if config.use_graph_contrastive and all(
+                    s.augmented_text_embeddings is not None for s in batch
+                ):
+                    _, graph_augmented = self._encode_batch(batch, augmented=True)
+                    term = graph_contrastive_loss(
+                        graph_original_stack, nn.stack(graph_augmented, axis=0), temperature=config.temperature
+                    ) * config.graph_contrastive_weight
+                    loss_terms.append(term)
+                    result.record("graph_contrastive", term.item())
+
+                # Objective #2.3: graph size prediction.
+                if config.use_size_prediction:
+                    size_losses = [
+                        graph_size_loss(graph_original[i], self.size_regressor, batch[i].size_target)
+                        for i in range(len(batch))
+                    ]
+                    term = size_losses[0]
+                    for extra in size_losses[1:]:
+                        term = term + extra
+                    term = term * (config.size_weight / len(size_losses))
+                    loss_terms.append(term)
+                    result.record("size", term.item())
+
+                # Objective #3: cross-stage alignment.
+                if config.use_cross_stage:
+                    rtl_rows = [s.rtl_embedding for s in batch]
+                    layout_rows = [s.layout_embedding for s in batch]
+                    rtl_tensor = (
+                        Tensor(np.stack(rtl_rows)) if all(r is not None for r in rtl_rows) else None
+                    )
+                    layout_tensor = (
+                        Tensor(np.stack(layout_rows)) if all(l is not None for l in layout_rows) else None
+                    )
+                    if rtl_tensor is not None or layout_tensor is not None:
+                        term = cross_stage_loss(
+                            graph_original_stack,
+                            rtl_tensor,
+                            layout_tensor,
+                            rtl_projection=self.rtl_projection,
+                            layout_projection=self.layout_projection,
+                            temperature=config.temperature,
+                        ) * config.cross_stage_weight
+                        loss_terms.append(term)
+                        result.record("cross_stage", term.item())
+
+                if not loss_terms:
+                    continue
+                total = loss_terms[0]
+                for term in loss_terms[1:]:
+                    total = total + term
+                optimizer.zero_grad()
+                total.backward()
+                optimizer.step()
+                result.total_losses.append(total.item())
+            result.epochs += 1
+
+        self.tagformer.eval()
+        return result

@@ -1,0 +1,225 @@
+"""Reusable RTL block builders.
+
+The benchmark generators compose designs from a small set of parameterised
+functional blocks (adders, multipliers, comparators, ALUs, counters, FSMs,
+shift registers, parity units, multiplexer networks).  Each builder adds the
+block's logic to an :class:`~repro.rtl.ir.RTLModule` and labels every
+assignment with the block name, which becomes the Task-1 ground truth after
+synthesis.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .ir import (
+    RTLModule,
+    WBinary,
+    WConcat,
+    WConst,
+    WExpr,
+    WMux,
+    WSignal,
+    WSlice,
+    WUnary,
+)
+
+# Canonical Task-1 block labels (the classes of the gate-function task).
+BLOCK_LABELS = ("adder", "subtractor", "multiplier", "comparator", "control", "logic", "parity", "shifter")
+
+
+def _unique(module: RTLModule, base: str) -> str:
+    """Generate a signal name not yet used in the module."""
+    if base not in module.signals:
+        return base
+    i = 1
+    while f"{base}_{i}" in module.signals:
+        i += 1
+    return f"{base}_{i}"
+
+
+def add_adder_block(module: RTLModule, a: WExpr, b: WExpr, name: str = "add_out", label: str = "adder") -> WSignal:
+    """``name = a + b`` labelled as an adder block."""
+    width = max(a.width, b.width)
+    target = _unique(module, name)
+    module.add_wire(target, width)
+    module.add_assign(target, WBinary("add", a, b), block=label)
+    return WSignal(target, width)
+
+
+def add_subtractor_block(module: RTLModule, a: WExpr, b: WExpr, name: str = "sub_out") -> WSignal:
+    width = max(a.width, b.width)
+    target = _unique(module, name)
+    module.add_wire(target, width)
+    module.add_assign(target, WBinary("sub", a, b), block="subtractor")
+    return WSignal(target, width)
+
+
+def add_multiplier_block(module: RTLModule, a: WExpr, b: WExpr, name: str = "mul_out") -> WSignal:
+    width = a.width + b.width
+    target = _unique(module, name)
+    module.add_wire(target, width)
+    module.add_assign(target, WBinary("mul", a, b), block="multiplier")
+    return WSignal(target, width)
+
+
+def add_comparator_block(module: RTLModule, a: WExpr, b: WExpr, name: str = "cmp_out") -> WSignal:
+    """3-bit comparison result ``{a>b, a==b, a<b}`` labelled as a comparator."""
+    target = _unique(module, name)
+    module.add_wire(target, 3)
+    result = WConcat([
+        WBinary("lt", a, b),
+        WBinary("eq", a, b),
+        WBinary("gt", a, b),
+    ])
+    module.add_assign(target, result, block="comparator")
+    return WSignal(target, 3)
+
+
+def add_logic_block(module: RTLModule, a: WExpr, b: WExpr, name: str = "logic_out") -> WSignal:
+    """Bitwise logic unit: ``(a & b) ^ (a | b)`` labelled as a logic block."""
+    width = max(a.width, b.width)
+    target = _unique(module, name)
+    module.add_wire(target, width)
+    expr = WBinary("xor", WBinary("and", a, b), WBinary("or", a, b))
+    module.add_assign(target, expr, block="logic")
+    return WSignal(target, width)
+
+
+def add_parity_block(module: RTLModule, a: WExpr, name: str = "parity_out") -> WSignal:
+    target = _unique(module, name)
+    module.add_wire(target, 1)
+    module.add_assign(target, WUnary("redxor", a), block="parity")
+    return WSignal(target, 1)
+
+
+def add_shifter_block(module: RTLModule, a: WExpr, amount: int, name: str = "shift_out") -> WSignal:
+    target = _unique(module, name)
+    module.add_wire(target, a.width)
+    direction = "shl" if amount >= 0 else "shr"
+    module.add_assign(target, WBinary(direction, a, WConst(abs(amount), max(1, a.width.bit_length()))), block="shifter")
+    return WSignal(target, a.width)
+
+
+def add_control_block(
+    module: RTLModule,
+    select: WExpr,
+    options: Sequence[WExpr],
+    name: str = "ctrl_out",
+) -> WSignal:
+    """Multiplexer/selection network labelled as control logic."""
+    if not options:
+        raise ValueError("control block needs at least one option")
+    width = max(op.width for op in options)
+    target = _unique(module, name)
+    module.add_wire(target, width)
+    expr: WExpr = options[0]
+    for i, option in enumerate(options[1:], start=1):
+        bit = WSlice(select, min(i - 1, select.width - 1), min(i - 1, select.width - 1))
+        expr = WMux(bit, option, expr)
+    module.add_assign(target, expr, block="control")
+    return WSignal(target, width)
+
+
+def add_alu_block(
+    module: RTLModule,
+    a: WExpr,
+    b: WExpr,
+    op_select: WExpr,
+    name: str = "alu_out",
+    include_multiplier: bool = False,
+) -> WSignal:
+    """A small ALU: add / sub / and / xor (optionally mul) selected by ``op_select``.
+
+    Each arithmetic sub-unit keeps its own block label; the final selection
+    mux is labelled as control, matching how GNN-RE's datasets label gates.
+    """
+    add_result = add_adder_block(module, a, b, name=f"{name}_add")
+    sub_result = add_subtractor_block(module, a, b, name=f"{name}_sub")
+    logic_result = add_logic_block(module, a, b, name=f"{name}_logic")
+    options: List[WExpr] = [add_result, sub_result, logic_result]
+    if include_multiplier:
+        mul_result = add_multiplier_block(module, a, b, name=f"{name}_mul")
+        options.append(WSlice(mul_result, max(a.width, b.width) - 1, 0))
+    return add_control_block(module, op_select, options, name=name)
+
+
+def add_counter(
+    module: RTLModule,
+    name: str,
+    width: int,
+    enable: Optional[WExpr] = None,
+    role: str = "state",
+) -> WSignal:
+    """Free-running or enabled counter register."""
+    counter = WSignal(name, width)
+    incremented = WBinary("add", counter, WConst(1, width))
+    next_value: WExpr = incremented if enable is None else WMux(enable, incremented, counter)
+    return module.add_register(name, width, next_value, role=role, block="control")
+
+
+def add_shift_register(
+    module: RTLModule,
+    name: str,
+    width: int,
+    serial_in: WExpr,
+    role: str = "data",
+) -> WSignal:
+    """Shift register capturing ``serial_in`` at the LSB every cycle."""
+    current = WSignal(name, width)
+    if width == 1:
+        next_value: WExpr = serial_in
+    else:
+        next_value = WConcat([serial_in, WSlice(current, width - 2, 0)])
+    return module.add_register(name, width, next_value, role=role, block="shifter")
+
+
+def add_fsm(
+    module: RTLModule,
+    name: str,
+    num_states: int,
+    trigger: WExpr,
+    reset: Optional[WExpr] = None,
+) -> WSignal:
+    """A simple cyclic finite-state machine register (Task-2 ``state`` role).
+
+    The FSM advances to the next state when ``trigger`` is high, wraps at
+    ``num_states`` and optionally returns to state 0 on ``reset``.
+    """
+    if num_states < 2:
+        raise ValueError("an FSM needs at least two states")
+    width = max(1, int(np.ceil(np.log2(num_states))))
+    state = WSignal(name, width)
+    advanced = WBinary("add", state, WConst(1, width))
+    wrapped = WMux(WBinary("eq", state, WConst(num_states - 1, width)), WConst(0, width), advanced)
+    next_state: WExpr = WMux(trigger, wrapped, state)
+    if reset is not None:
+        next_state = WMux(reset, WConst(0, width), next_state)
+    return module.add_register(name, width, next_state, role="state", block="control")
+
+
+def add_pipeline_register(
+    module: RTLModule,
+    name: str,
+    source: WExpr,
+    enable: Optional[WExpr] = None,
+) -> WSignal:
+    """Datapath pipeline register (Task-2 ``data`` role)."""
+    current = WSignal(name, source.width)
+    next_value: WExpr = source if enable is None else WMux(enable, source, current)
+    return module.add_register(name, source.width, next_value, role="data", block="register")
+
+
+def add_accumulator(
+    module: RTLModule,
+    name: str,
+    source: WExpr,
+    width: Optional[int] = None,
+) -> WSignal:
+    """Accumulating register ``acc <= acc + source`` (data role, adder block)."""
+    width = width or source.width
+    current = WSignal(name, width)
+    next_value = WBinary("add", current, source)
+    return module.add_register(name, width, next_value, role="data", block="adder")

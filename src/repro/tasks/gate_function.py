@@ -1,0 +1,136 @@
+"""Task 1: combinational gate function identification.
+
+For every combinational gate the task predicts the functional block it belongs
+to in the original RTL (adder, multiplier, comparator, control, ...).  The
+paper evaluates per design against GNN-RE with accuracy, precision, recall and
+F1 (Table III).
+
+Protocol (identical for NetTAG and the baseline): within each design the
+labelled gates are split into train/test with a stratified 60/40 split; the
+method is fitted on the train gates and evaluated on the test gates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core import NetTAG, evaluate_classification, train_test_split
+from ..ml import classification_report
+from .baselines import NodeGNNBaseline, gnnre_baseline
+from .datasets import Task1Dataset, Task1Design
+
+
+@dataclass
+class Task1Row:
+    """One row of Table III (percentages)."""
+
+    design: str
+    accuracy: float
+    precision: float
+    recall: float
+    f1: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "design": self.design,
+            "accuracy": round(self.accuracy * 100.0, 1),
+            "precision": round(self.precision * 100.0, 1),
+            "recall": round(self.recall * 100.0, 1),
+            "f1": round(self.f1 * 100.0, 1),
+        }
+
+
+def average_row(rows: Sequence[Task1Row], name: str = "Avg.") -> Task1Row:
+    if not rows:
+        return Task1Row(design=name, accuracy=0.0, precision=0.0, recall=0.0, f1=0.0)
+    return Task1Row(
+        design=name,
+        accuracy=float(np.mean([r.accuracy for r in rows])),
+        precision=float(np.mean([r.precision for r in rows])),
+        recall=float(np.mean([r.recall for r in rows])),
+        f1=float(np.mean([r.f1 for r in rows])),
+    )
+
+
+def _design_split(design: Task1Design, train_fraction: float, seed: int):
+    gate_names = sorted(design.gate_labels)
+    labels = np.asarray([design.gate_labels[name] for name in gate_names], dtype=np.int64)
+    split = train_test_split(len(gate_names), train_fraction=train_fraction, seed=seed, stratify=labels)
+    return gate_names, labels, split
+
+
+def evaluate_nettag_task1(
+    model: NetTAG,
+    dataset: Task1Dataset,
+    train_fraction: float = 0.6,
+    head: str = "mlp",
+    seed: int = 0,
+) -> List[Task1Row]:
+    """Evaluate NetTAG gate embeddings with a lightweight classifier per design."""
+    rows: List[Task1Row] = []
+    for design in dataset.designs:
+        gate_names, labels, split = _design_split(design, train_fraction, seed)
+        embeddings, embedded_names = model.embed_gates(design.netlist)
+        name_to_row = {name: i for i, name in enumerate(embedded_names)}
+        features = np.stack([embeddings[name_to_row[name]] for name in gate_names])
+        report, _ = evaluate_classification(features, labels, split, head=head, seed=seed)
+        rows.append(
+            Task1Row(
+                design=design.name,
+                accuracy=report["accuracy"],
+                precision=report["precision"],
+                recall=report["recall"],
+                f1=report["f1"],
+            )
+        )
+    return rows
+
+
+def evaluate_gnnre_task1(
+    dataset: Task1Dataset,
+    train_fraction: float = 0.6,
+    epochs: int = 30,
+    seed: int = 0,
+) -> List[Task1Row]:
+    """Evaluate the GNN-RE baseline (supervised structure-only GNN) per design."""
+    rows: List[Task1Row] = []
+    num_classes = len(dataset.classes)
+    for design in dataset.designs:
+        gate_names, labels, split = _design_split(design, train_fraction, seed)
+        train_labels = {gate_names[i]: int(labels[i]) for i in split.train}
+        baseline = gnnre_baseline(num_classes=num_classes, epochs=epochs, seed=seed)
+        baseline.fit([(design.netlist, train_labels)])
+        test_names = [gate_names[i] for i in split.test]
+        predictions = baseline.predict(design.netlist, test_names)
+        report = classification_report(labels[split.test], predictions)
+        rows.append(
+            Task1Row(
+                design=design.name,
+                accuracy=report["accuracy"],
+                precision=report["precision"],
+                recall=report["recall"],
+                f1=report["f1"],
+            )
+        )
+    return rows
+
+
+def run_task1(
+    model: NetTAG,
+    dataset: Optional[Task1Dataset] = None,
+    train_fraction: float = 0.6,
+    baseline_epochs: int = 30,
+    seed: int = 0,
+) -> Dict[str, List[Task1Row]]:
+    """Run Task 1 for NetTAG and GNN-RE; returns per-design rows plus averages."""
+    from .datasets import build_task1_dataset
+
+    dataset = dataset or build_task1_dataset()
+    nettag_rows = evaluate_nettag_task1(model, dataset, train_fraction=train_fraction, seed=seed)
+    gnnre_rows = evaluate_gnnre_task1(dataset, train_fraction=train_fraction, epochs=baseline_epochs, seed=seed)
+    nettag_rows.append(average_row(nettag_rows))
+    gnnre_rows.append(average_row(gnnre_rows))
+    return {"NetTAG": nettag_rows, "GNN-RE": gnnre_rows}

@@ -1,0 +1,137 @@
+"""Task 4: overall circuit power / area prediction.
+
+At the netlist stage the task predicts the final post-layout power and area of
+the whole circuit, in two label scenarios: without physical optimisation
+("w/o opt") and with it ("w/ opt").  The paper compares NetTAG against the
+synthesis EDA tool's own estimate and against a PowPrediCT-style GNN,
+reporting R and MAPE per (metric, scenario) combination (Table V).
+
+Protocol: the design pool is split once into train/test circuits; every
+learning-based method fits on the train circuits and is evaluated on the test
+circuits; the EDA tool baseline needs no training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core import NetTAG, fit_regressor, train_test_split
+from ..ml import mape, pearson_r
+from .baselines import EDAToolBaseline, powpredict_baseline
+from .datasets import Task4Dataset
+
+METRICS = ("area", "power")
+SCENARIOS = ("wo_opt", "w_opt")
+
+
+@dataclass
+class Task4Row:
+    """One (metric, scenario, method) entry of Table V."""
+
+    metric: str
+    scenario: str
+    method: str
+    r: float
+    mape: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "metric": self.metric,
+            "scenario": "w/o opt" if self.scenario == "wo_opt" else "w/ opt",
+            "method": self.method,
+            "r": round(self.r, 2),
+            "mape": round(self.mape, 1),
+        }
+
+
+def _log_features(values: np.ndarray) -> np.ndarray:
+    return np.log1p(np.maximum(values, 0.0))
+
+
+def evaluate_task4(
+    model: NetTAG,
+    dataset: Task4Dataset,
+    train_fraction: float = 0.6,
+    baseline_epochs: int = 40,
+    head: str = "ridge",
+    seed: int = 0,
+    methods: Sequence[str] = ("EDA Tool", "GNN", "NetTAG"),
+) -> List[Task4Row]:
+    """Evaluate the requested methods on every metric/scenario combination."""
+    if len(dataset) < 5:
+        raise ValueError("Task 4 needs at least five circuits")
+    split = train_test_split(len(dataset), train_fraction=train_fraction, seed=seed)
+    netlists = [sample.netlist for sample in dataset.samples]
+    rows: List[Task4Row] = []
+
+    # Circuit-level NetTAG feature vectors are shared across metrics/scenarios.
+    circuit_embeddings: Optional[np.ndarray] = None
+    if "NetTAG" in methods:
+        features = [model.circuit_feature_vector(netlist) for netlist in netlists]
+        circuit_embeddings = np.stack(features)
+
+    for metric in METRICS:
+        eda_estimates = dataset.eda_estimates(metric)
+        for scenario in SCENARIOS:
+            labels = dataset.labels(metric, scenario)
+            test_labels = labels[split.test]
+
+            if "EDA Tool" in methods:
+                predictions = eda_estimates[split.test]
+                rows.append(
+                    Task4Row(metric=metric, scenario=scenario, method="EDA Tool",
+                             r=pearson_r(test_labels, predictions), mape=mape(test_labels, predictions))
+                )
+
+            if "GNN" in methods:
+                baseline = powpredict_baseline(epochs=baseline_epochs, seed=seed)
+                baseline.fit([netlists[i] for i in split.train], labels[split.train])
+                predictions = baseline.predict([netlists[i] for i in split.test])
+                rows.append(
+                    Task4Row(metric=metric, scenario=scenario, method="GNN",
+                             r=pearson_r(test_labels, predictions), mape=mape(test_labels, predictions))
+                )
+
+            if "NetTAG" in methods and circuit_embeddings is not None:
+                # Regress log-labels on the circuit feature vector (circuit
+                # embedding + summed per-gate physical attributes of the TAG).
+                regressor = fit_regressor(
+                    circuit_embeddings[split.train], np.log1p(labels[split.train]), head=head, seed=seed
+                )
+                predictions = np.expm1(regressor.predict(circuit_embeddings[split.test]))
+                rows.append(
+                    Task4Row(metric=metric, scenario=scenario, method="NetTAG",
+                             r=pearson_r(test_labels, predictions), mape=mape(test_labels, predictions))
+                )
+    return rows
+
+
+def run_task4(
+    model: NetTAG,
+    dataset: Optional[Task4Dataset] = None,
+    train_fraction: float = 0.6,
+    baseline_epochs: int = 40,
+    seed: int = 0,
+) -> List[Task4Row]:
+    """Run Task 4 with all three methods (builds the default dataset if needed)."""
+    from .datasets import build_task4_dataset
+
+    dataset = dataset or build_task4_dataset()
+    return evaluate_task4(
+        model, dataset, train_fraction=train_fraction, baseline_epochs=baseline_epochs, seed=seed
+    )
+
+
+def rows_by_method(rows: Sequence[Task4Row]) -> Dict[str, List[Task4Row]]:
+    grouped: Dict[str, List[Task4Row]] = {}
+    for row in rows:
+        grouped.setdefault(row.method, []).append(row)
+    return grouped
+
+
+def average_mape(rows: Sequence[Task4Row], method: str) -> float:
+    values = [row.mape for row in rows if row.method == method]
+    return float(np.mean(values)) if values else 0.0

@@ -1,0 +1,149 @@
+"""Task 2: sequential state / data register identification.
+
+Given a register cone, the task predicts whether the endpoint register is a
+state register (FSM / control state) or a datapath register.  The paper
+evaluates per design against ReIGNN with sensitivity (state-register recall)
+and balanced accuracy (Table IV, left half).
+
+Protocol: leave-one-design-out.  For each evaluation design the method is
+fitted on every other design's registers and tested on the held-out design,
+matching the cross-design generalisation setting of ReIGNN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core import NetTAG, fit_classifier
+from ..ml import balanced_accuracy, sensitivity
+from .baselines import reignn_baseline
+from .datasets import SequentialDataset, SequentialDesign
+
+
+@dataclass
+class Task2Row:
+    """One Task-2 entry of Table IV (percentages)."""
+
+    design: str
+    sensitivity: float
+    balanced_accuracy: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "design": self.design,
+            "sensitivity": round(self.sensitivity * 100.0, 1),
+            "accuracy": round(self.balanced_accuracy * 100.0, 1),
+        }
+
+
+def average_task2(rows: Sequence[Task2Row], name: str = "Avg.") -> Task2Row:
+    if not rows:
+        return Task2Row(design=name, sensitivity=0.0, balanced_accuracy=0.0)
+    return Task2Row(
+        design=name,
+        sensitivity=float(np.mean([r.sensitivity for r in rows])),
+        balanced_accuracy=float(np.mean([r.balanced_accuracy for r in rows])),
+    )
+
+
+def _register_labels(design: SequentialDesign) -> Dict[str, int]:
+    return dict(design.register_roles)
+
+
+def evaluate_nettag_task2(
+    model: NetTAG,
+    dataset: SequentialDataset,
+    head: str = "gbdt",
+    seed: int = 0,
+) -> List[Task2Row]:
+    """Leave-one-design-out evaluation of NetTAG register-cone embeddings.
+
+    The fine-tune head defaults to the gradient-boosted trees ("tree-based
+    models (e.g., XGBoost)" in the paper): with only a few dozen labelled
+    registers and cone embeddings of several hundred dimensions, trees are
+    markedly more robust than a small MLP across encoder sizes.
+    """
+    # Pre-compute cone embeddings once per design.
+    cone_embeddings: Dict[str, Dict[str, np.ndarray]] = {
+        design.name: model.embed_cones(design.cones) for design in dataset.designs
+    }
+    rows: List[Task2Row] = []
+    for held_out in dataset.designs:
+        train_features: List[np.ndarray] = []
+        train_labels: List[int] = []
+        for design in dataset.designs:
+            if design.name == held_out.name:
+                continue
+            for register, label in _register_labels(design).items():
+                embedding = cone_embeddings[design.name].get(register)
+                if embedding is not None:
+                    train_features.append(embedding)
+                    train_labels.append(label)
+        if len(set(train_labels)) < 2:
+            continue
+        classifier = fit_classifier(np.stack(train_features), train_labels, head=head, seed=seed)
+
+        test_registers = sorted(_register_labels(held_out))
+        test_features = np.stack([cone_embeddings[held_out.name][r] for r in test_registers])
+        test_labels = np.asarray([held_out.register_roles[r] for r in test_registers])
+        predictions = classifier.predict(test_features)
+        rows.append(
+            Task2Row(
+                design=held_out.name,
+                sensitivity=sensitivity(test_labels, predictions),
+                balanced_accuracy=balanced_accuracy(test_labels, predictions),
+            )
+        )
+    return rows
+
+
+def evaluate_reignn_task2(
+    dataset: SequentialDataset,
+    epochs: int = 30,
+    seed: int = 0,
+) -> List[Task2Row]:
+    """Leave-one-design-out evaluation of the ReIGNN structure-only baseline."""
+    rows: List[Task2Row] = []
+    for held_out in dataset.designs:
+        training = [
+            (design.netlist, {r: float(label) for r, label in _register_labels(design).items()})
+            for design in dataset.designs
+            if design.name != held_out.name
+        ]
+        labels_present = {int(l) for _, labels in training for l in labels.values()}
+        if len(labels_present) < 2:
+            continue
+        baseline = reignn_baseline(epochs=epochs, seed=seed)
+        baseline.fit([(netlist, {k: int(v) for k, v in labels.items()}) for netlist, labels in training])
+
+        test_registers = sorted(_register_labels(held_out))
+        predictions = baseline.predict(held_out.netlist, test_registers)
+        test_labels = np.asarray([held_out.register_roles[r] for r in test_registers])
+        rows.append(
+            Task2Row(
+                design=held_out.name,
+                sensitivity=sensitivity(test_labels, predictions),
+                balanced_accuracy=balanced_accuracy(test_labels, predictions),
+            )
+        )
+    return rows
+
+
+def run_task2(
+    model: NetTAG,
+    dataset: Optional[SequentialDataset] = None,
+    baseline_epochs: int = 30,
+    seed: int = 0,
+) -> Dict[str, List[Task2Row]]:
+    """Run Task 2 for NetTAG and ReIGNN; returns per-design rows plus averages."""
+    from .datasets import build_sequential_dataset
+
+    dataset = dataset or build_sequential_dataset()
+    nettag_rows = evaluate_nettag_task2(model, dataset, seed=seed)
+    reignn_rows = evaluate_reignn_task2(dataset, epochs=baseline_epochs, seed=seed)
+    nettag_rows.append(average_task2(nettag_rows))
+    reignn_rows.append(average_task2(reignn_rows))
+    return {"NetTAG": nettag_rows, "ReIGNN": reignn_rows}

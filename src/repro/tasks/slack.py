@@ -1,0 +1,134 @@
+"""Task 3: endpoint register slack prediction.
+
+The task predicts each register's sign-off timing slack at the netlist stage,
+before physical design has happened.  Labels come from STA over the placed,
+physically optimised netlist with extracted parasitics; the model only sees
+the post-synthesis netlist.  The paper evaluates per design against a timing
+GNN adapted from [2], reporting the correlation coefficient R and MAPE
+(Table IV, right half).
+
+Protocol: leave-one-design-out (train on the other designs' registers, test on
+the held-out design), the same cross-design setting as Task 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core import NetTAG, fit_regressor
+from ..ml import mape, pearson_r
+from .baselines import timing_gnn_baseline
+from .datasets import SequentialDataset, SequentialDesign
+
+
+@dataclass
+class Task3Row:
+    """One Task-3 entry of Table IV."""
+
+    design: str
+    r: float
+    mape: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"design": self.design, "r": round(self.r, 2), "mape": round(self.mape, 1)}
+
+
+def average_task3(rows: Sequence[Task3Row], name: str = "Avg.") -> Task3Row:
+    if not rows:
+        return Task3Row(design=name, r=0.0, mape=0.0)
+    return Task3Row(
+        design=name,
+        r=float(np.mean([row.r for row in rows])),
+        mape=float(np.mean([row.mape for row in rows])),
+    )
+
+
+def _slack_targets(design: SequentialDesign) -> Dict[str, float]:
+    return {r: design.register_slack[r] for r in design.register_slack}
+
+
+def evaluate_nettag_task3(
+    model: NetTAG,
+    dataset: SequentialDataset,
+    head: str = "mlp",
+    seed: int = 0,
+) -> List[Task3Row]:
+    """Leave-one-design-out slack regression on NetTAG cone embeddings."""
+    cone_embeddings: Dict[str, Dict[str, np.ndarray]] = {
+        design.name: model.embed_cones(design.cones) for design in dataset.designs
+    }
+    rows: List[Task3Row] = []
+    for held_out in dataset.designs:
+        train_features: List[np.ndarray] = []
+        train_targets: List[float] = []
+        for design in dataset.designs:
+            if design.name == held_out.name:
+                continue
+            for register, slack in _slack_targets(design).items():
+                embedding = cone_embeddings[design.name].get(register)
+                if embedding is not None:
+                    train_features.append(embedding)
+                    train_targets.append(slack)
+        if len(train_features) < 4:
+            continue
+        regressor = fit_regressor(np.stack(train_features), train_targets, head=head, seed=seed)
+
+        test_registers = sorted(_slack_targets(held_out))
+        if len(test_registers) < 2:
+            continue
+        test_features = np.stack([cone_embeddings[held_out.name][r] for r in test_registers])
+        targets = np.asarray([held_out.register_slack[r] for r in test_registers])
+        predictions = regressor.predict(test_features)
+        rows.append(
+            Task3Row(design=held_out.name, r=pearson_r(targets, predictions), mape=mape(targets, predictions))
+        )
+    return rows
+
+
+def evaluate_timing_gnn_task3(
+    dataset: SequentialDataset,
+    epochs: int = 30,
+    seed: int = 0,
+) -> List[Task3Row]:
+    """Leave-one-design-out evaluation of the adapted timing-GNN baseline."""
+    rows: List[Task3Row] = []
+    for held_out in dataset.designs:
+        training = [
+            (design.netlist, _slack_targets(design))
+            for design in dataset.designs
+            if design.name != held_out.name and design.register_slack
+        ]
+        if not training:
+            continue
+        baseline = timing_gnn_baseline(epochs=epochs, seed=seed)
+        baseline.fit(training)
+
+        test_registers = sorted(_slack_targets(held_out))
+        if len(test_registers) < 2:
+            continue
+        predictions = baseline.predict(held_out.netlist, test_registers)
+        targets = np.asarray([held_out.register_slack[r] for r in test_registers])
+        rows.append(
+            Task3Row(design=held_out.name, r=pearson_r(targets, predictions), mape=mape(targets, predictions))
+        )
+    return rows
+
+
+def run_task3(
+    model: NetTAG,
+    dataset: Optional[SequentialDataset] = None,
+    baseline_epochs: int = 30,
+    seed: int = 0,
+) -> Dict[str, List[Task3Row]]:
+    """Run Task 3 for NetTAG and the timing GNN; returns per-design rows plus averages."""
+    from .datasets import build_sequential_dataset
+
+    dataset = dataset or build_sequential_dataset()
+    nettag_rows = evaluate_nettag_task3(model, dataset, seed=seed)
+    gnn_rows = evaluate_timing_gnn_task3(dataset, epochs=baseline_epochs, seed=seed)
+    nettag_rows.append(average_task3(nettag_rows))
+    gnn_rows.append(average_task3(gnn_rows))
+    return {"NetTAG": nettag_rows, "GNN": gnn_rows}

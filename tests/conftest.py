@@ -1,0 +1,91 @@
+"""Shared fixtures for the unit/integration test suite.
+
+Expensive objects (synthesised netlists, a small NetTAG model, a pre-trained
+pipeline) are session-scoped so the several-hundred tests stay fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cells import NANGATE45
+from repro.core import NetTAGConfig, NetTAGPipeline
+from repro.netlist import Netlist
+from repro.rtl import make_controller, make_gnnre_design
+from repro.synth import synthesize
+
+
+@pytest.fixture(scope="session")
+def library():
+    return NANGATE45
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture()
+def fresh_rng():
+    return np.random.default_rng(99)
+
+
+@pytest.fixture(scope="session")
+def comb_module():
+    """A combinational GNN-RE style RTL module."""
+    return make_gnnre_design(1, seed=3)
+
+
+@pytest.fixture(scope="session")
+def comb_netlist(comb_module):
+    """Its synthesised netlist (diverse gate types, block labels)."""
+    return synthesize(comb_module).netlist
+
+
+@pytest.fixture(scope="session")
+def seq_module():
+    """A sequential controller RTL module (FSM + datapath registers)."""
+    return make_controller("itc_test", seed=5, num_states=4, data_width=4)
+
+
+@pytest.fixture(scope="session")
+def seq_netlist(seq_module):
+    return synthesize(seq_module).netlist
+
+
+@pytest.fixture(scope="session")
+def tiny_netlist(library):
+    """A tiny hand-built netlist: out = !((a ^ b) | !b), plus a register."""
+    netlist = Netlist("tiny", library=library)
+    netlist.add_primary_input("a")
+    netlist.add_primary_input("b")
+    netlist.add_gate("u_xor", "XOR2_X1", ["a", "b"], "n_xor")
+    netlist.add_gate("u_inv", "INV_X1", ["b"], "n_invb")
+    netlist.add_gate("u_or", "OR2_X1", ["n_xor", "n_invb"], "n_or")
+    netlist.add_gate("u_out", "INV_X1", ["n_or"], "n_out")
+    netlist.add_gate("r_state", "DFF_X1", {"D": "n_out"}, "q_state", role="state")
+    netlist.add_primary_output("n_out")
+    return netlist
+
+
+@pytest.fixture(scope="session")
+def fast_config():
+    return NetTAGConfig.fast()
+
+
+@pytest.fixture(scope="session")
+def small_model(fast_config):
+    """An untrained (randomly initialised) NetTAG model with tiny dimensions."""
+    from repro.core import NetTAG
+
+    return NetTAG(fast_config, rng=np.random.default_rng(7))
+
+
+@pytest.fixture(scope="session")
+def pretrained_pipeline():
+    """A NetTAG pipeline pre-trained on a minimal corpus (session-scoped)."""
+    config = NetTAGConfig.fast()
+    pipeline = NetTAGPipeline(config)
+    pipeline.pretrain(designs_per_suite=1)
+    return pipeline

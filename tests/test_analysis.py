@@ -1,0 +1,134 @@
+"""Tests for the analysis engines: static timing, power and area."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    analyze_area,
+    analyze_power,
+    analyze_timing,
+    critical_path_delay,
+    register_slack_labels,
+)
+from repro.physical import extract_parasitics, physically_optimize, place
+
+
+class TestStaticTiming:
+    def test_endpoint_slack_per_register(self, seq_netlist):
+        report = analyze_timing(seq_netlist, clock_period=1.2)
+        assert set(report.endpoint_slack) == {g.name for g in seq_netlist.registers}
+
+    def test_slack_is_period_minus_arrival(self, seq_netlist):
+        report = analyze_timing(seq_netlist, clock_period=1.2)
+        for slack in report.endpoint_slack.values():
+            assert slack <= 1.2 + 1e-9
+
+    def test_longer_clock_period_gives_more_slack(self, seq_netlist):
+        tight = analyze_timing(seq_netlist, clock_period=0.5)
+        relaxed = analyze_timing(seq_netlist, clock_period=2.0)
+        for register in tight.endpoint_slack:
+            assert relaxed.endpoint_slack[register] > tight.endpoint_slack[register]
+        assert relaxed.worst_negative_slack > tight.worst_negative_slack
+
+    def test_arrival_times_nonnegative(self, seq_netlist):
+        report = analyze_timing(seq_netlist)
+        assert all(value >= 0.0 for value in report.arrival_times.values())
+        assert report.worst_arrival == max(report.arrival_times.values())
+
+    def test_critical_path_is_nonempty_and_consistent(self, seq_netlist):
+        report = analyze_timing(seq_netlist)
+        assert report.critical_path
+        assert critical_path_delay(report) == pytest.approx(report.worst_arrival)
+
+    def test_total_negative_slack_only_counts_violations(self, seq_netlist):
+        report = analyze_timing(seq_netlist, clock_period=5.0)
+        assert report.total_negative_slack <= 0.0
+        if report.worst_negative_slack >= 0.0:
+            assert report.total_negative_slack == 0.0
+
+    def test_parasitics_increase_delay(self, seq_netlist):
+        placement = place(seq_netlist)
+        spef = extract_parasitics(seq_netlist, placement)
+        without = analyze_timing(seq_netlist)
+        with_spef = analyze_timing(seq_netlist, spef=spef)
+        assert with_spef.worst_arrival >= without.worst_arrival * 0.5  # same order of magnitude
+        assert with_spef.worst_arrival > 0.0
+
+    def test_register_slack_labels_helper(self, seq_netlist):
+        report = analyze_timing(seq_netlist)
+        labels = register_slack_labels(report)
+        assert labels == report.endpoint_slack
+
+    def test_combinational_design_has_no_endpoints(self, comb_netlist):
+        report = analyze_timing(comb_netlist)
+        assert report.endpoint_slack == {}
+        assert report.worst_negative_slack == 0.0
+        assert report.worst_arrival > 0.0
+
+
+class TestPowerAnalysis:
+    def test_breakdown_components_nonnegative(self, seq_netlist):
+        report = analyze_power(seq_netlist)
+        assert report.leakage > 0.0
+        assert report.switching >= 0.0
+        assert report.internal >= 0.0
+        assert report.clock_tree >= 0.0
+        assert report.total == pytest.approx(
+            round(report.leakage + report.internal + report.switching + report.clock_tree, 4)
+        )
+
+    def test_higher_activity_means_more_power(self, seq_netlist):
+        quiet = analyze_power(seq_netlist, input_toggle_rate=0.05)
+        busy = analyze_power(seq_netlist, input_toggle_rate=0.6)
+        assert busy.total > quiet.total
+
+    def test_higher_frequency_means_more_power(self, seq_netlist):
+        slow = analyze_power(seq_netlist, clock_freq_ghz=0.5)
+        fast = analyze_power(seq_netlist, clock_freq_ghz=2.0)
+        assert fast.total > slow.total
+
+    def test_invalid_frequency_rejected(self, seq_netlist):
+        with pytest.raises(ValueError):
+            analyze_power(seq_netlist, clock_freq_ghz=0.0)
+
+    def test_sequential_design_has_clock_tree_power(self, seq_netlist, comb_netlist):
+        assert analyze_power(seq_netlist).clock_tree > 0.0
+        assert analyze_power(comb_netlist).clock_tree == 0.0
+
+    def test_as_dict_round_trip(self, seq_netlist):
+        report = analyze_power(seq_netlist)
+        data = report.as_dict()
+        assert data["total"] == report.total
+        assert set(data) == {"leakage", "internal", "switching", "clock_tree", "total"}
+
+
+class TestAreaAnalysis:
+    def test_total_includes_routing_overhead(self, comb_netlist):
+        placement = place(comb_netlist)
+        report = analyze_area(comb_netlist, placement)
+        assert report.cell_area == pytest.approx(round(comb_netlist.total_area(), 4))
+        assert report.total > report.cell_area
+        assert report.die_area >= report.cell_area
+
+    def test_area_without_placement_uses_default_utilisation(self, comb_netlist):
+        report = analyze_area(comb_netlist)
+        assert report.die_area == pytest.approx(report.cell_area / 0.7, rel=1e-6)
+
+    def test_physical_optimization_changes_area_labels(self, comb_netlist):
+        """The Task-4 'w/ opt' scenario must differ from the 'w/o opt' scenario."""
+        placement = place(comb_netlist)
+        baseline = analyze_area(comb_netlist, placement)
+        optimized, report = physically_optimize(
+            comb_netlist, placement, fanout_threshold=2, wirelength_threshold=5.0
+        )
+        opt_placement = place(optimized)
+        after = analyze_area(optimized, opt_placement)
+        if report.total_changes:
+            assert after.total != baseline.total
+
+    def test_as_dict(self, comb_netlist):
+        report = analyze_area(comb_netlist, place(comb_netlist))
+        data = report.as_dict()
+        assert set(data) == {"cell_area", "routing_overhead", "total", "die_area"}
+        assert data["total"] == report.total

@@ -1,0 +1,100 @@
+"""Tests for the benchmark harness plumbing (tables, profiles, dataset statistics)."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.bench import (
+    ABLATIONS,
+    BenchProfile,
+    EDA_ITERATION_FACTOR,
+    ResultTable,
+    active_profile,
+    collect_suite_statistics,
+)
+from repro.bench.context import PROFILE_ENV_VAR
+
+
+class TestResultTable:
+    @pytest.fixture()
+    def table(self):
+        table = ResultTable(
+            experiment="unit_table",
+            title="Unit table",
+            columns=["Design", "Acc"],
+            notes=["a note"],
+        )
+        table.add_row(Design="d1", Acc=97.0)
+        table.add_row(Design="d2", Acc=83.5)
+        return table
+
+    def test_rows_are_recorded(self, table):
+        assert len(table.rows) == 2
+        assert table.rows[0]["Design"] == "d1"
+
+    def test_to_text_contains_title_and_values(self, table):
+        text = table.to_text()
+        assert "Unit table" in text
+        assert "97.0" in text and "d2" in text
+
+    def test_to_markdown_has_header_and_separator(self, table):
+        markdown = table.to_markdown()
+        assert "| Design | Acc |" in markdown
+        assert "|---|---|" in markdown
+
+    def test_save_writes_markdown_and_json(self, table, tmp_path):
+        path = table.save(results_dir=tmp_path)
+        assert path.exists()
+        json_path = tmp_path / "unit_table.json"
+        md_path = tmp_path / "unit_table.md"
+        assert json_path.exists() and md_path.exists()
+        payload = json.loads(json_path.read_text())
+        assert payload["title"] == "Unit table"
+        assert payload["columns"] == ["Design", "Acc"]
+        assert len(payload["rows"]) == 2
+
+
+class TestProfiles:
+    def test_fast_and_paper_profiles(self):
+        fast = BenchProfile.fast()
+        paper = BenchProfile.paper()
+        assert fast.task1_designs <= paper.task1_designs
+        assert len(fast.sequential_designs) <= len(paper.sequential_designs)
+        assert fast.make_config().model_size == "small"
+        assert paper.make_config().model_size == "medium"
+
+    def test_active_profile_respects_environment(self, monkeypatch):
+        monkeypatch.setenv(PROFILE_ENV_VAR, "paper")
+        assert active_profile().name == "paper"
+        monkeypatch.setenv(PROFILE_ENV_VAR, "fast")
+        assert active_profile().name == "fast"
+        monkeypatch.delenv(PROFILE_ENV_VAR)
+        assert active_profile().name == "fast"
+
+    def test_ablation_list_matches_figure6(self):
+        labels = [label for label, _ in ABLATIONS]
+        assert labels[0] == "NetTAG (full)"
+        assert {"w/o TAG", "w/o obj #1", "w/o obj #2.1", "w/o obj #2.2", "w/o obj #2.3", "w/o align"} <= set(labels)
+
+    def test_eda_iteration_factor_documented_and_positive(self):
+        assert EDA_ITERATION_FACTOR > 1
+
+
+class TestTable2Statistics:
+    def test_collect_suite_statistics_structure(self):
+        from repro.netlist import aggregate_statistics
+
+        rows = collect_suite_statistics(designs_per_suite=1, seed=0)
+        sources = [row.source for row in rows]
+        assert sources == ["ITC99", "OpenCores", "Chipyard", "VexRiscv"]
+        for row in rows:
+            assert row.num_expressions > 0
+            assert row.avg_expression_tokens > 0
+            assert row.num_cones > 0
+            assert row.avg_cone_nodes > 0
+        total = aggregate_statistics(rows)
+        assert total.num_expressions == sum(r.num_expressions for r in rows)
+        assert total.num_cones == sum(r.num_cones for r in rows)

@@ -1,0 +1,132 @@
+"""Tests for the standard-cell library substrate (repro.cells)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cells import Cell, CellLibrary, NANGATE45, UnknownCellError, build_nangate45
+from repro.expr import equivalent, parse
+
+
+class TestCell:
+    def test_requires_input_pins_for_logic_cells(self):
+        with pytest.raises(ValueError):
+            Cell(
+                name="BAD_X1", cell_type="BAD", function="and", input_pins=(),
+                output_pin="Z", area=1.0, delay=0.01, drive_resistance=1.0,
+                input_capacitance=1.0, leakage_power=0.1, switching_energy=0.5,
+            )
+
+    def test_requires_positive_area(self):
+        with pytest.raises(ValueError):
+            Cell(
+                name="BAD_X1", cell_type="BAD", function="and", input_pins=("A", "B"),
+                output_pin="Z", area=0.0, delay=0.01, drive_resistance=1.0,
+                input_capacitance=1.0, leakage_power=0.1, switching_energy=0.5,
+            )
+
+    def test_num_inputs(self):
+        cell = NANGATE45.cell("NAND2_X1")
+        assert cell.num_inputs == 2
+
+    def test_local_expression_matches_function(self):
+        nand2 = NANGATE45.cell("NAND2_X1")
+        expr = nand2.local_expression(["a", "b"])
+        assert equivalent(expr, parse("!(a & b)"))
+
+    def test_local_expression_default_symbols_are_pins(self):
+        xor2 = NANGATE45.cell("XOR2_X1")
+        expr = xor2.local_expression()
+        assert set(v for v in expr.variables()) == set(xor2.input_pins)
+
+    def test_local_expression_wrong_arity_raises(self):
+        and2 = NANGATE45.cell("AND2_X1")
+        with pytest.raises(ValueError):
+            and2.local_expression(["a"])
+
+    def test_load_delay_monotone_in_load(self):
+        cell = NANGATE45.cell("INV_X1")
+        assert cell.load_delay(2.0) > cell.load_delay(1.0) > cell.load_delay(0.0)
+        assert cell.load_delay(0.0) == pytest.approx(cell.delay)
+
+    def test_load_delay_clamps_negative_load(self):
+        cell = NANGATE45.cell("INV_X1")
+        assert cell.load_delay(-5.0) == pytest.approx(cell.delay)
+
+
+class TestNanGate45Library:
+    def test_singleton_and_builder_agree(self):
+        rebuilt = build_nangate45()
+        assert len(rebuilt) == len(NANGATE45)
+        assert set(rebuilt.cell_types) == set(NANGATE45.cell_types)
+
+    def test_contains_and_lookup(self):
+        assert "NAND2_X1" in NANGATE45
+        assert "NOPE_X9" not in NANGATE45
+        assert NANGATE45.cell("NAND2_X1").cell_type == "NAND2"
+
+    def test_unknown_cell_raises(self):
+        with pytest.raises(UnknownCellError):
+            NANGATE45.cell("NOT_A_CELL")
+        with pytest.raises(UnknownCellError):
+            NANGATE45.cells_of_type("NOT_A_TYPE")
+
+    def test_combinational_cells_have_three_drive_strengths(self):
+        nands = NANGATE45.cells_of_type("NAND2")
+        assert sorted(c.drive_strength for c in nands) == [1, 2, 4]
+
+    def test_sequential_cells_single_drive_strength(self):
+        dffs = NANGATE45.cells_of_type("DFF")
+        assert [c.drive_strength for c in dffs] == [1]
+        assert all(c.is_sequential for c in dffs)
+
+    def test_default_cell_picks_closest_drive_strength(self):
+        assert NANGATE45.default_cell("NAND2", 1).drive_strength == 1
+        assert NANGATE45.default_cell("NAND2", 4).drive_strength == 4
+        assert NANGATE45.default_cell("NAND2", 3).drive_strength in (2, 4)
+
+    def test_sequential_vs_combinational_partition(self):
+        seq = set(NANGATE45.sequential_types)
+        comb = set(NANGATE45.combinational_types)
+        assert seq.isdisjoint(comb)
+        assert seq | comb == set(NANGATE45.cell_types)
+        assert {"DFF", "DFFR", "DFFS"} <= seq
+
+    def test_type_index_is_stable_and_dense(self):
+        index = NANGATE45.type_index()
+        assert sorted(index.values()) == list(range(len(index)))
+        assert index == NANGATE45.type_index()
+
+    def test_drive_strength_scaling_tradeoffs(self):
+        """Higher drive: more area and input cap, lower drive resistance."""
+        x1 = NANGATE45.cell("NAND2_X1")
+        x4 = NANGATE45.cell("NAND2_X4")
+        assert x4.area > x1.area
+        assert x4.input_capacitance > x1.input_capacitance
+        assert x4.drive_resistance < x1.drive_resistance
+
+    def test_relative_cell_ordering_is_physical(self):
+        """Inverters are the smallest logic cells; flip-flops dominate area."""
+        inv = NANGATE45.cell("INV_X1")
+        xor = NANGATE45.cell("XOR2_X1")
+        dff = NANGATE45.cell("DFF_X1")
+        assert inv.area < xor.area < dff.area
+        assert inv.delay < xor.delay
+
+    def test_duplicate_cell_name_rejected(self):
+        cell = NANGATE45.cell("INV_X1")
+        library = CellLibrary("dup_test", [cell])
+        with pytest.raises(ValueError):
+            library.add_cell(cell)
+
+    def test_every_cell_function_is_expressible(self):
+        """Every combinational cell's function lowers to a Boolean expression."""
+        for cell in NANGATE45:
+            if cell.is_sequential:
+                continue
+            expr = cell.local_expression()
+            assert expr is not None
+
+    def test_tie_cells_present(self):
+        assert NANGATE45.cell("TIELO_X1").function == "const0"
+        assert NANGATE45.cell("TIEHI_X1").function == "const1"

@@ -1,0 +1,57 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.netlist import write_verilog
+from repro.rtl import make_gnnre_design
+from repro.synth import synthesize
+
+
+class TestArgumentParsing:
+    def test_missing_command_fails(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_fails(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestStatsCommand:
+    def test_stats_prints_every_suite_and_total(self, capsys):
+        assert main(["stats", "--designs-per-suite", "1"]) == 0
+        output = capsys.readouterr().out
+        for source in ("ITC99", "OpenCores", "Chipyard", "VexRiscv", "Total"):
+            assert source in output
+
+
+class TestPretrainAndEmbedCommands:
+    def test_pretrain_then_embed_round_trip(self, tmp_path, capsys):
+        checkpoint = tmp_path / "model.npz"
+        assert main([
+            "pretrain", "--output", str(checkpoint), "--preset", "fast",
+            "--designs-per-suite", "1", "--seed", "1",
+        ]) == 0
+        assert checkpoint.exists()
+
+        netlist = synthesize(make_gnnre_design(1, seed=3)).netlist
+        verilog_path = tmp_path / "design.v"
+        write_verilog(netlist, path=verilog_path)
+        output = tmp_path / "design_embeddings.npz"
+        assert main([
+            "embed", str(verilog_path), "--checkpoint", str(checkpoint), "--output", str(output),
+        ]) == 0
+        assert output.exists()
+
+        with np.load(output) as archive:
+            assert "graph_embedding" in archive.files
+            gate_embeddings = archive["gate_embeddings"]
+            gate_names = archive["gate_names"]
+        assert gate_embeddings.shape[0] == len(gate_names) == netlist.num_gates
+        stdout = capsys.readouterr().out
+        assert "checkpoint written" in stdout
+        assert "embeddings written" in stdout

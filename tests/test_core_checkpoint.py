@@ -1,0 +1,52 @@
+"""Tests for saving and reloading a pre-trained NetTAG model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import NetTAG, NetTAGConfig
+from repro.netlist import netlist_to_tag
+
+
+class TestConfigSerialisation:
+    def test_round_trip_preserves_every_field(self):
+        config = NetTAGConfig.fast(model_size="medium", data_fraction=0.5, seed=3)
+        rebuilt = NetTAGConfig.from_dict(config.to_dict())
+        assert rebuilt == config
+
+    def test_nested_pretrain_configs_survive(self):
+        config = NetTAGConfig.fast()
+        rebuilt = NetTAGConfig.from_dict(config.to_dict())
+        assert rebuilt.expr_pretrain == config.expr_pretrain
+        assert rebuilt.tag_pretrain == config.tag_pretrain
+
+
+class TestModelCheckpoint:
+    def test_untrained_model_round_trip(self, comb_netlist, tmp_path):
+        model = NetTAG(NetTAGConfig.fast(seed=5), rng=np.random.default_rng(5))
+        tag = netlist_to_tag(comb_netlist)
+        reference_nodes, reference_graph = model.encode_tag_multigrained(tag)
+
+        path = model.save(tmp_path / "nettag.npz")
+        restored = NetTAG.load(path, rng=np.random.default_rng(99))
+        assert restored.config == model.config
+        nodes, graph = restored.encode_tag_multigrained(tag)
+        assert np.allclose(nodes, reference_nodes)
+        assert np.allclose(graph, reference_graph)
+
+    def test_pretrained_model_round_trip(self, pretrained_pipeline, comb_netlist, tmp_path):
+        """A Step-1/Step-2 pre-trained model (with LoRA adapters) reloads exactly."""
+        model = pretrained_pipeline.model
+        tag = netlist_to_tag(comb_netlist)
+        reference_nodes, reference_graph = model.encode_tag_multigrained(tag)
+
+        path = model.save(tmp_path / "pretrained.npz")
+        restored = NetTAG.load(path)
+        nodes, graph = restored.encode_tag_multigrained(tag)
+        assert np.allclose(nodes, reference_nodes, atol=1e-8)
+        assert np.allclose(graph, reference_graph, atol=1e-8)
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            NetTAG.load(tmp_path / "nope.npz")

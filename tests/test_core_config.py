@@ -1,0 +1,99 @@
+"""Tests for NetTAGConfig: presets, derived configs and ablation switches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MODEL_SIZE_PARAMETER_LABELS, NetTAGConfig
+from repro.netlist import EXPRESSION_FEATURES, PHYSICAL_FIELDS
+
+
+class TestValidation:
+    def test_default_config_is_valid(self):
+        config = NetTAGConfig()
+        assert config.model_size in MODEL_SIZE_PARAMETER_LABELS
+
+    def test_unknown_model_size_rejected(self):
+        with pytest.raises(ValueError):
+            NetTAGConfig(model_size="gargantuan")
+
+    def test_bad_data_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            NetTAGConfig(data_fraction=0.0)
+        with pytest.raises(ValueError):
+            NetTAGConfig(data_fraction=1.5)
+
+    def test_bad_expression_hops_rejected(self):
+        with pytest.raises(ValueError):
+            NetTAGConfig(expression_hops=0)
+
+
+class TestPresets:
+    def test_fast_preset_is_smaller_than_paper(self):
+        fast = NetTAGConfig.fast()
+        paper = NetTAGConfig.paper()
+        assert fast.tagformer_dim <= paper.tagformer_dim
+        assert fast.text_encoder_config().approx_parameters < paper.text_encoder_config().approx_parameters
+
+    def test_preset_overrides(self):
+        config = NetTAGConfig.fast(model_size="large", seed=11)
+        assert config.model_size == "large"
+        assert config.seed == 11
+
+    def test_model_size_labels_cover_presets(self):
+        assert set(MODEL_SIZE_PARAMETER_LABELS) == {"small", "medium", "large"}
+
+
+class TestDerivedConfigs:
+    def test_tagformer_input_dim_accounts_for_all_channels(self):
+        config = NetTAGConfig.fast()
+        tf = config.tagformer_config()
+        expected = (
+            config.text_encoder_config().output_dim
+            + len(EXPRESSION_FEATURES)
+            + len(PHYSICAL_FIELDS)
+        )
+        assert tf.input_dim == expected
+        assert tf.output_dim == config.output_dim
+
+    def test_tag_pretrain_config_inherits_ablation_switches(self):
+        config = NetTAGConfig.fast(use_graph_contrastive=False, use_size_prediction=False)
+        pretrain = config.tag_pretrain_config()
+        assert pretrain.use_graph_contrastive is False
+        assert pretrain.use_size_prediction is False
+        assert pretrain.use_masked_gate is True
+        assert pretrain.seed == config.seed
+
+
+class TestAblations:
+    @pytest.mark.parametrize(
+        "component,field,value",
+        [
+            ("tag", "use_text_attributes", False),
+            ("obj1", "use_expression_contrastive", False),
+            ("obj2.1", "use_masked_gate", False),
+            ("obj2.2", "use_graph_contrastive", False),
+            ("obj2.3", "use_size_prediction", False),
+            ("align", "use_cross_stage_alignment", False),
+        ],
+    )
+    def test_every_fig6_ablation_flips_one_switch(self, component, field, value):
+        config = NetTAGConfig.fast()
+        ablated = config.ablated(component)
+        assert getattr(ablated, field) is value
+        # The original config is untouched, and only that switch changes.
+        assert getattr(config, field) is True
+        for other_field in (
+            "use_text_attributes",
+            "use_expression_contrastive",
+            "use_masked_gate",
+            "use_graph_contrastive",
+            "use_size_prediction",
+            "use_cross_stage_alignment",
+        ):
+            if other_field != field:
+                assert getattr(ablated, other_field) == getattr(config, other_field)
+
+    def test_unknown_ablation_rejected(self):
+        with pytest.raises(ValueError):
+            NetTAGConfig.fast().ablated("obj9")

@@ -1,0 +1,104 @@
+"""Tests for the fine-tuning helpers shared by every downstream task runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SplitIndices,
+    evaluate_classification,
+    evaluate_regression,
+    fit_classifier,
+    fit_regressor,
+    train_test_split,
+)
+
+
+def make_blobs(seed=0, per_class=30, dim=6):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(loc=-1.5, size=(per_class, dim))
+    b = rng.normal(loc=+1.5, size=(per_class, dim))
+    return np.vstack([a, b]), np.array([0] * per_class + [1] * per_class)
+
+
+class TestSplits:
+    def test_split_covers_all_samples_without_overlap(self):
+        split = train_test_split(20, train_fraction=0.6, seed=1)
+        combined = np.concatenate([split.train, split.test])
+        assert sorted(combined.tolist()) == list(range(20))
+
+    def test_split_fraction_respected(self):
+        split = train_test_split(100, train_fraction=0.7, seed=2)
+        assert len(split.train) == 70
+        assert len(split.test) == 30
+
+    def test_stratified_split_keeps_class_balance(self):
+        labels = np.array([0] * 20 + [1] * 10)
+        split = train_test_split(30, train_fraction=0.5, seed=3, stratify=labels)
+        train_labels = labels[split.train]
+        assert set(np.unique(train_labels)) == {0, 1}
+        test_labels = labels[split.test]
+        assert set(np.unique(test_labels)) == {0, 1}
+
+    def test_stratified_split_with_singleton_class_falls_back(self):
+        labels = np.array([0] * 9 + [1])
+        split = train_test_split(10, train_fraction=0.5, seed=4, stratify=labels)
+        assert len(split.train) + len(split.test) == 10
+        assert len(split.test) >= 1
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            train_test_split(1)
+        with pytest.raises(ValueError):
+            train_test_split(10, train_fraction=1.0)
+
+    def test_split_is_deterministic(self):
+        a = train_test_split(40, seed=9)
+        b = train_test_split(40, seed=9)
+        assert np.array_equal(a.train, b.train)
+        assert np.array_equal(a.test, b.test)
+
+
+class TestFitHelpers:
+    @pytest.mark.parametrize("head", ["mlp", "gbdt", "ridge"])
+    def test_every_classifier_head_learns_separable_data(self, head):
+        features, labels = make_blobs(seed=5)
+        model = fit_classifier(features, labels, head=head)
+        assert (model.predict(features) == labels).mean() > 0.9
+
+    @pytest.mark.parametrize("head", ["mlp", "gbdt", "ridge"])
+    def test_every_regressor_head_learns_linear_target(self, head):
+        rng = np.random.default_rng(6)
+        features = rng.normal(size=(120, 5))
+        targets = features @ np.array([2.0, -1.0, 0.5, 0.0, 1.0])
+        model = fit_regressor(features, targets, head=head)
+        predictions = model.predict(features)
+        assert np.corrcoef(predictions, targets)[0, 1] > 0.85
+
+    def test_unknown_head_rejected(self):
+        features, labels = make_blobs()
+        with pytest.raises(ValueError):
+            fit_classifier(features, labels, head="transformer")
+        with pytest.raises(ValueError):
+            fit_regressor(features, labels.astype(float), head="transformer")
+
+
+class TestEvaluationHelpers:
+    def test_evaluate_classification_reports_holdout_metrics(self):
+        features, labels = make_blobs(seed=7, per_class=40)
+        split = train_test_split(len(labels), train_fraction=0.6, seed=7, stratify=labels)
+        report, predictions = evaluate_classification(features, labels, split, head="ridge")
+        assert set(report) >= {"accuracy", "precision", "recall", "f1"}
+        assert len(predictions) == len(split.test)
+        assert report["accuracy"] > 0.8
+
+    def test_evaluate_regression_reports_holdout_metrics(self):
+        rng = np.random.default_rng(8)
+        features = rng.normal(size=(100, 4))
+        targets = 3.0 * features[:, 0] + 10.0
+        split = train_test_split(100, train_fraction=0.6, seed=8)
+        report, predictions = evaluate_regression(features, targets, split, head="ridge")
+        assert set(report) == {"r", "mape"}
+        assert report["r"] > 0.95
+        assert len(predictions) == len(split.test)

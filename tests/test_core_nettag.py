@@ -1,0 +1,141 @@
+"""Tests for the NetTAG model: multi-grained embeddings and ablation behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import NetTAG, NetTAGConfig
+from repro.netlist import extract_register_cones, netlist_to_tag
+
+
+@pytest.fixture(scope="module")
+def comb_tag(comb_netlist):
+    return netlist_to_tag(comb_netlist)
+
+
+class TestNodeTexts:
+    def test_full_config_uses_tag_texts(self, small_model, comb_tag):
+        texts = small_model.node_texts(comb_tag)
+        assert texts == comb_tag.node_texts
+        assert any("[Expr]" in text for text in texts)
+
+    def test_wo_tag_ablation_uses_empty_texts(self, fast_config, comb_tag, rng):
+        model = NetTAG(fast_config.ablated("tag"), rng=rng)
+        texts = model.node_texts(comb_tag)
+        assert set(texts) == {""}
+
+
+class TestTagNodeFeatures:
+    def test_feature_matrix_width_matches_config(self, small_model, comb_tag):
+        features = small_model.tag_node_features(comb_tag)
+        assert features.shape == (comb_tag.num_nodes, small_model.tagformer.config.input_dim)
+
+    def test_wo_tag_ablation_zeroes_semantic_channel(self, fast_config, comb_tag, rng):
+        model = NetTAG(fast_config.ablated("tag"), rng=rng)
+        features = model.tag_node_features(comb_tag)
+        text_dim = model.expr_llm.output_dim
+        semantic_dim = comb_tag.expression_feature_matrix().shape[1]
+        semantic = features[:, text_dim : text_dim + semantic_dim]
+        assert np.allclose(semantic, 0.0)
+        # The text channel is constant across nodes (empty text for everyone).
+        text = features[:, :text_dim]
+        assert np.allclose(text, text[0])
+
+    def test_physical_ablation_zeroes_physical_channel(self, comb_tag, rng):
+        model = NetTAG(NetTAGConfig.fast(use_physical_attributes=False), rng=rng)
+        features = model.tag_node_features(comb_tag)
+        physical_dim = comb_tag.physical_matrix().shape[1]
+        assert np.allclose(features[:, -physical_dim:], 0.0)
+
+
+class TestEncoding:
+    def test_encode_tag_shapes(self, small_model, comb_tag):
+        nodes, graph = small_model.encode_tag(comb_tag)
+        assert nodes.shape == (comb_tag.num_nodes, small_model.output_dim)
+        assert graph.shape == (small_model.output_dim,)
+
+    def test_multigrained_shapes_match_declared_dims(self, small_model, comb_tag):
+        gates, graph = small_model.encode_tag_multigrained(comb_tag)
+        assert gates.shape == (comb_tag.num_nodes, small_model.gate_embedding_dim)
+        assert graph.shape == (small_model.graph_embedding_dim,)
+
+    def test_multigrained_includes_propagated_channels(self, small_model, comb_tag):
+        """Gate embeddings carry raw + 1-hop + 2-hop propagated input features."""
+        input_dim = small_model.tagformer.config.input_dim
+        assert small_model.gate_embedding_dim == small_model.output_dim + 3 * input_dim
+        gates, _ = small_model.encode_tag_multigrained(comb_tag)
+        features = small_model.tag_node_features(comb_tag)
+        adjacency = comb_tag.graph.adjacency
+        offset = small_model.output_dim
+        assert np.allclose(gates[:, offset : offset + input_dim], features)
+        assert np.allclose(
+            gates[:, offset + input_dim : offset + 2 * input_dim], adjacency @ features
+        )
+
+    def test_plain_mode_degrades_to_fused_output(self, comb_tag, rng):
+        model = NetTAG(NetTAGConfig.fast(multi_grained_embeddings=False), rng=rng)
+        gates, graph = model.encode_tag_multigrained(comb_tag)
+        assert gates.shape[1] == model.output_dim
+        assert graph.shape == (model.output_dim,)
+
+    def test_empty_tag_produces_zero_embeddings(self, small_model, library):
+        from repro.netlist import Netlist
+
+        empty = Netlist("void", library=library)
+        tag = netlist_to_tag(empty)
+        gates, graph = small_model.encode_tag_multigrained(tag)
+        assert gates.shape == (0, small_model.gate_embedding_dim)
+        assert graph.shape == (small_model.graph_embedding_dim,)
+        assert np.allclose(graph, 0.0)
+
+    def test_encoding_is_deterministic(self, small_model, comb_tag):
+        first = small_model.encode_tag_multigrained(comb_tag)
+        second = small_model.encode_tag_multigrained(comb_tag)
+        assert np.allclose(first[0], second[0])
+        assert np.allclose(first[1], second[1])
+
+
+class TestCircuitEmbedding:
+    def test_combinational_circuit_embedding(self, small_model, comb_netlist):
+        embedding = small_model.embed_circuit(comb_netlist)
+        assert embedding.gate_embeddings.shape[0] == comb_netlist.num_gates
+        assert embedding.dim == small_model.graph_embedding_dim
+        assert embedding.cone_embeddings == {}
+        assert embedding.physical_summary.shape[0] > 0
+
+    def test_sequential_circuit_embeds_register_cones(self, small_model, seq_netlist):
+        embedding = small_model.embed_circuit(seq_netlist)
+        registers = {g.name for g in seq_netlist.registers}
+        assert set(embedding.cone_embeddings) == registers
+        # The circuit embedding of a sequential design is the sum of cone embeddings.
+        total = sum(embedding.cone_embeddings.values())
+        assert np.allclose(embedding.graph_embedding, total)
+
+    def test_gate_embedding_lookup(self, small_model, comb_netlist):
+        embedding = small_model.embed_circuit(comb_netlist)
+        name = embedding.gate_names[3]
+        assert np.allclose(embedding.gate_embedding(name), embedding.gate_embeddings[3])
+
+    def test_embed_gates_order_matches_tag(self, small_model, comb_netlist):
+        embeddings, names = small_model.embed_gates(comb_netlist)
+        assert embeddings.shape[0] == len(names) == comb_netlist.num_gates
+        assert names == sorted(comb_netlist.gates)
+
+    def test_embed_cones(self, small_model, seq_netlist):
+        cones = extract_register_cones(seq_netlist)
+        result = small_model.embed_cones(cones)
+        assert set(result) == {cone.register_name for cone in cones}
+        expected_dim = small_model.graph_embedding_dim + small_model.gate_embedding_dim
+        for vector in result.values():
+            assert vector.shape == (expected_dim,)
+
+    def test_circuit_feature_vector(self, small_model, comb_netlist):
+        vector = small_model.circuit_feature_vector(comb_netlist)
+        assert vector.shape[0] == small_model.graph_embedding_dim + 8
+        assert np.all(np.isfinite(vector))
+
+    def test_clear_caches(self, small_model, comb_netlist):
+        small_model.embed_circuit(comb_netlist)
+        small_model.clear_caches()
+        assert small_model.expr_llm._cache == {}

@@ -1,0 +1,95 @@
+"""Tests for the end-to-end NetTAG pipeline (preprocessing + two-step pre-training)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import NetTAGConfig, NetTAGPipeline
+from repro.rtl import make_controller, make_gnnre_design
+from repro.synth import synthesize
+
+
+class TestPreprocessing:
+    def test_preprocess_module_builds_all_artifacts(self, pretrained_pipeline, seq_module):
+        design = pretrained_pipeline.preprocess_module(seq_module, suite="unit")
+        assert design.suite == "unit"
+        assert design.netlist.num_gates > 0
+        assert len(design.cones) == len(design.netlist.registers)
+        assert len(design.cone_tags) == len(design.cones)
+        assert len(design.rtl_cone_texts) == len(design.cones)
+        assert len(design.cone_layouts) == len(design.cones)
+        assert design.preprocess_seconds > 0.0
+
+    def test_alignment_data_can_be_skipped(self, pretrained_pipeline, comb_module):
+        design = pretrained_pipeline.preprocess_module(
+            comb_module, build_alignment_data=False
+        )
+        assert all(text is None for text in design.rtl_cone_texts)
+        assert all(layout is None for layout in design.cone_layouts)
+
+    def test_preprocess_corpus_covers_every_suite(self, pretrained_pipeline):
+        assert pretrained_pipeline.summary.num_designs == len(pretrained_pipeline.designs)
+        suites = {design.suite for design in pretrained_pipeline.designs}
+        assert suites == {"itc99", "opencores", "chipyard", "vexriscv"}
+        assert pretrained_pipeline.summary.num_cones == sum(
+            len(d.cones) for d in pretrained_pipeline.designs
+        )
+
+
+class TestPretraining:
+    def test_pretrain_summary_is_populated(self, pretrained_pipeline):
+        summary = pretrained_pipeline.summary
+        assert pretrained_pipeline.is_pretrained
+        assert summary.num_expressions > 0
+        assert summary.expr_result is not None
+        assert np.isfinite(summary.expr_result.final_loss)
+        assert summary.tag_result is not None
+        assert summary.total_seconds >= (
+            summary.preprocess_seconds + summary.expr_pretrain_seconds
+        )
+
+    def test_ablated_pipeline_skips_expression_pretraining(self):
+        config = NetTAGConfig.fast(
+            use_expression_contrastive=False, use_cross_stage_alignment=False
+        )
+        pipeline = NetTAGPipeline(config)
+        summary = pipeline.pretrain(designs_per_suite=1)
+        assert summary.num_expressions == 0
+        assert summary.expr_result is None
+        assert pipeline.rtl_encoder is None
+        assert pipeline.layout_encoder is None
+
+    def test_data_fraction_reduces_corpus(self):
+        full = NetTAGPipeline(NetTAGConfig.fast())
+        full.preprocess_corpus(designs_per_suite=1)
+        reduced = NetTAGPipeline(NetTAGConfig.fast(data_fraction=0.25))
+        reduced.preprocess_corpus(designs_per_suite=1)
+        rng = np.random.default_rng(0)
+        all_tags = [tag for d in full.designs for tag in d.cone_tags]
+        kept = reduced._apply_data_fraction(all_tags, rng)
+        assert 2 <= len(kept) <= len(all_tags)
+        assert len(kept) <= max(2, int(round(0.25 * len(all_tags))) )
+
+
+class TestServing:
+    def test_embed_circuit_after_pretraining(self, pretrained_pipeline):
+        netlist = synthesize(make_gnnre_design(2, seed=9)).netlist
+        embedding = pretrained_pipeline.embed_circuit(netlist)
+        assert embedding.gate_embeddings.shape[0] == netlist.num_gates
+        assert np.all(np.isfinite(embedding.graph_embedding))
+
+    def test_embed_gates_and_cones(self, pretrained_pipeline):
+        netlist = synthesize(make_controller("pipeline_serving", seed=4)).netlist
+        gate_embeddings, names = pretrained_pipeline.embed_gates(netlist)
+        assert gate_embeddings.shape[0] == len(names) == netlist.num_gates
+        from repro.netlist import extract_register_cones
+
+        cones = extract_register_cones(netlist)
+        cone_embeddings = pretrained_pipeline.embed_cones(cones)
+        assert set(cone_embeddings) == {c.register_name for c in cones}
+
+    def test_embeddings_differ_between_designs(self, pretrained_pipeline):
+        a = pretrained_pipeline.embed_circuit(synthesize(make_gnnre_design(1, seed=3)).netlist)
+        b = pretrained_pipeline.embed_circuit(synthesize(make_gnnre_design(3, seed=4)).netlist)
+        assert not np.allclose(a.graph_embedding, b.graph_embedding)

@@ -1,0 +1,233 @@
+"""Tests for the model encoders: ExprLLM, TAGFormer, auxiliary encoders, baseline GNNs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.encoders import (
+    ExprLLM,
+    GNNConfig,
+    GNNEncoder,
+    HashingTokenizer,
+    LayoutEncoder,
+    RTLEncoder,
+    TAGFormer,
+    TAGFormerConfig,
+    TextEncoder,
+    TextEncoderConfig,
+    augment_layout_graph,
+    augment_rtl_text,
+    pretrain_layout_encoder,
+    pretrain_rtl_encoder,
+)
+from repro.netlist import build_graph_view, netlist_to_tag
+from repro.physical import build_layout_graph
+
+
+class TestHashingTokenizer:
+    def test_encode_shapes_and_padding(self):
+        tokenizer = HashingTokenizer(num_buckets=64, max_length=16)
+        ids, mask = tokenizer.encode("assign y = a & b;")
+        assert len(ids) == 16 and len(mask) == 16
+        assert ids[0] == tokenizer.cls_id
+        assert mask[-1] is False
+
+    def test_same_token_same_bucket(self):
+        tokenizer = HashingTokenizer()
+        first, _ = tokenizer.encode("wire", pad=False, add_cls=False)
+        second, _ = tokenizer.encode("wire wire", pad=False, add_cls=False)
+        assert second[0] == second[1] == first[0]
+
+    def test_bucket_bounds(self):
+        tokenizer = HashingTokenizer(num_buckets=32)
+        ids, _ = tokenizer.encode("module foo (a, b); endmodule")
+        assert max(ids) < tokenizer.vocab_size
+
+    def test_minimum_bucket_count_enforced(self):
+        with pytest.raises(ValueError):
+            HashingTokenizer(num_buckets=2)
+
+
+class TestTextEncoder:
+    def test_output_shape_and_determinism(self):
+        config = TextEncoderConfig.preset("small")
+        encoder = TextEncoder(vocab_size=128, config=config, rng=np.random.default_rng(0))
+        ids = np.array([[1, 5, 9, 0, 0], [1, 7, 0, 0, 0]])
+        mask = ids != 0
+        first = encoder.encode_numpy(ids, mask)
+        second = encoder.encode_numpy(ids, mask)
+        assert first.shape == (2, config.output_dim)
+        assert np.allclose(first, second)
+
+    def test_padding_does_not_change_embedding(self):
+        config = TextEncoderConfig.preset("small")
+        encoder = TextEncoder(vocab_size=128, config=config, rng=np.random.default_rng(0))
+        short = encoder.encode_numpy(np.array([[1, 5, 9]]), np.array([[True, True, True]]))
+        padded = encoder.encode_numpy(
+            np.array([[1, 5, 9, 0, 0, 0]]),
+            np.array([[True, True, True, False, False, False]]),
+        )
+        assert np.allclose(short, padded, atol=1e-8)
+
+    def test_presets_are_ordered_by_capacity(self):
+        small = TextEncoderConfig.preset("small")
+        medium = TextEncoderConfig.preset("medium")
+        large = TextEncoderConfig.preset("large")
+        assert small.approx_parameters < medium.approx_parameters < large.approx_parameters
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError):
+            TextEncoderConfig.preset("gigantic")
+
+
+class TestExprLLM:
+    @pytest.fixture(scope="class")
+    def expr_llm(self):
+        return ExprLLM(TextEncoderConfig.preset("small"), rng=np.random.default_rng(1))
+
+    def test_embeddings_are_unit_norm(self, expr_llm):
+        embeddings = expr_llm.encode_texts(["[Type] NAND2 [Expr] y = !(a & b)", "[Type] INV"])
+        norms = np.linalg.norm(embeddings, axis=1)
+        assert np.allclose(norms, 1.0, atol=1e-6)
+
+    def test_identical_structure_different_names_share_embedding(self, expr_llm):
+        """Canonical variable tokens: renaming operands must not change the embedding."""
+        a = expr_llm.encode_texts(["[Type] NOR2 [Expr] u1 = !((r1 ^ r2) | !r2)"])
+        b = expr_llm.encode_texts(["[Type] NOR2 [Expr] g9 = !((sig_a ^ sig_b) | !sig_b)"])
+        assert np.allclose(a, b, atol=1e-9)
+
+    def test_different_functions_differ(self, expr_llm):
+        a = expr_llm.encode_texts(["[Type] NOR2 [Expr] u1 = !(a | b)"])
+        b = expr_llm.encode_texts(["[Type] XOR2 [Expr] u1 = a ^ b"])
+        assert not np.allclose(a, b)
+
+    def test_cache_round_trip(self, expr_llm):
+        text = "[Type] AND2 [Expr] y = a & b"
+        first = expr_llm.encode_texts([text])
+        second = expr_llm.encode_texts([text])
+        assert np.allclose(first, second)
+        expr_llm.clear_cache()
+        third = expr_llm.encode_texts([text])
+        assert np.allclose(first, third)
+
+    def test_enable_lora_adds_trainable_parameters(self):
+        model = ExprLLM(TextEncoderConfig.preset("small"), rng=np.random.default_rng(2))
+        baseline_params = len(list(model.backbone.parameters()))
+        wrapped = model.enable_lora(rank=2)
+        assert wrapped > 0
+        lora_params = model.trainable_parameters()
+        assert 0 < len(lora_params) < baseline_params + 2 * wrapped
+        # Forward still works after wrapping.
+        out = model.encode_texts(["[Type] INV [Expr] y = !a"])
+        assert out.shape[1] == model.output_dim
+
+
+class TestTAGFormer:
+    def test_node_and_graph_embedding_shapes(self, comb_netlist):
+        tag = netlist_to_tag(comb_netlist)
+        config = TAGFormerConfig(input_dim=4, dim=16, depth=1, num_heads=2, output_dim=8)
+        model = TAGFormer(config, rng=np.random.default_rng(0))
+        features = np.random.default_rng(0).normal(size=(tag.num_nodes, 4))
+        nodes, graph = model.encode_numpy(features, tag.graph.adjacency)
+        assert nodes.shape == (tag.num_nodes, 8)
+        assert graph.shape == (8,)
+
+    def test_embeddings_depend_on_structure(self):
+        """Node embeddings react to the adjacency; with >=2 layers so does the [CLS] readout.
+
+        (With a single layer the [CLS] node, which is connected to every node,
+        aggregates the same multiset of layer-0 node states for any topology,
+        so the graph embedding only becomes structure-sensitive at depth 2.)
+        """
+        features = np.random.default_rng(1).normal(size=(5, 3))
+        chain = np.eye(5) + np.diag(np.ones(4), 1) + np.diag(np.ones(4), -1)
+        star = np.eye(5)
+        star[0, :] = 1.0
+        star[:, 0] = 1.0
+        chain_adj = chain / chain.sum(1, keepdims=True)
+        star_adj = star / star.sum(1, keepdims=True)
+
+        shallow = TAGFormer(
+            TAGFormerConfig(input_dim=3, dim=16, depth=1, num_heads=2, output_dim=8),
+            rng=np.random.default_rng(0),
+        )
+        chain_nodes, _ = shallow.encode_numpy(features, chain_adj)
+        star_nodes, _ = shallow.encode_numpy(features, star_adj)
+        assert not np.allclose(chain_nodes, star_nodes)
+
+        deep = TAGFormer(
+            TAGFormerConfig(input_dim=3, dim=16, depth=2, num_heads=2, output_dim=8),
+            rng=np.random.default_rng(0),
+        )
+        _, chain_graph = deep.encode_numpy(features, chain_adj)
+        _, star_graph = deep.encode_numpy(features, star_adj)
+        assert not np.allclose(chain_graph, star_graph)
+
+    def test_single_node_graph(self):
+        config = TAGFormerConfig(input_dim=3, dim=8, depth=1, num_heads=2, output_dim=4)
+        model = TAGFormer(config, rng=np.random.default_rng(0))
+        nodes, graph = model.encode_numpy(np.ones((1, 3)), np.ones((1, 1)))
+        assert nodes.shape == (1, 4)
+        assert np.all(np.isfinite(graph))
+
+
+class TestAuxiliaryEncoders:
+    def test_rtl_encoder_shapes_and_cache(self):
+        encoder = RTLEncoder(rng=np.random.default_rng(0))
+        texts = ["assign y = a + b;", "always @(posedge clk) r <= d;"]
+        embeddings = encoder.encode_texts(texts)
+        assert embeddings.shape == (2, encoder.output_dim)
+        assert np.allclose(embeddings, encoder.encode_texts(texts))
+
+    def test_augment_rtl_text_preserves_tokens_roughly(self):
+        rng = np.random.default_rng(0)
+        original = "assign y = a + b; // adder\nassign z = a & b;"
+        augmented = augment_rtl_text(original, rng)
+        assert isinstance(augmented, str)
+        assert len(augmented) > 0
+
+    def test_pretrain_rtl_encoder_runs(self):
+        encoder = RTLEncoder(rng=np.random.default_rng(0))
+        texts = [f"assign y{i} = a{i} + b{i};" for i in range(4)]
+        pretrain_rtl_encoder(encoder, texts, num_steps=2, seed=0)
+        embeddings = encoder.encode_texts(texts[:2])
+        assert embeddings.shape == (2, encoder.output_dim)
+        assert np.all(np.isfinite(embeddings))
+
+    def test_layout_encoder_embedding(self, tiny_netlist):
+        layout = build_layout_graph(tiny_netlist)
+        encoder = LayoutEncoder(dim=16, depth=1, output_dim=8, rng=np.random.default_rng(0))
+        embedding = encoder.encode(layout)
+        assert embedding.shape == (8,)
+        assert np.all(np.isfinite(embedding))
+
+    def test_augment_layout_graph_jitters_features(self, tiny_netlist):
+        layout = build_layout_graph(tiny_netlist)
+        augmented = augment_layout_graph(layout, np.random.default_rng(0), noise=0.1)
+        assert augmented.node_features.shape == layout.node_features.shape
+        assert not np.allclose(augmented.node_features, layout.node_features)
+
+    def test_pretrain_layout_encoder_runs(self, tiny_netlist, seq_netlist):
+        layouts = [build_layout_graph(tiny_netlist), build_layout_graph(seq_netlist)]
+        encoder = LayoutEncoder(dim=16, depth=1, output_dim=8, rng=np.random.default_rng(0))
+        pretrain_layout_encoder(encoder, layouts, num_steps=2, seed=0)
+
+
+class TestBaselineGNN:
+    def test_gnn_encoder_shapes(self, comb_netlist):
+        view = build_graph_view(comb_netlist)
+        config = GNNConfig(input_dim=6, hidden_dim=16, depth=2, output_dim=8)
+        encoder = GNNEncoder(config, rng=np.random.default_rng(0))
+        features = np.random.default_rng(0).normal(size=(view.num_nodes, 6))
+        nodes, graph = encoder.encode_numpy(features, view.adjacency)
+        assert nodes.shape == (view.num_nodes, 8)
+        assert graph.shape == (8,)
+
+    def test_global_attention_variant(self, tiny_netlist):
+        view = build_graph_view(tiny_netlist)
+        config = GNNConfig(input_dim=4, hidden_dim=8, depth=1, output_dim=4, use_global_attention=True)
+        encoder = GNNEncoder(config, rng=np.random.default_rng(0))
+        features = np.ones((view.num_nodes, 4))
+        nodes, _ = encoder.encode_numpy(features, view.adjacency)
+        assert np.all(np.isfinite(nodes))

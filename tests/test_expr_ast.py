@@ -1,0 +1,192 @@
+"""Tests for the symbolic expression AST, constructors and evaluation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.expr import (
+    And,
+    Const,
+    FALSE,
+    Ite,
+    Not,
+    Or,
+    TRUE,
+    Var,
+    Xor,
+    aoi21,
+    aoi22,
+    expr_from_op,
+    full_adder_carry,
+    full_adder_sum,
+    half_adder_carry,
+    half_adder_sum,
+    mux2,
+    nand,
+    nor,
+    oai21,
+    oai22,
+    substitute,
+    xnor,
+)
+
+
+class TestBasicNodes:
+    def test_var_evaluation(self):
+        assert Var("a").evaluate({"a": True}) is True
+        assert Var("a").evaluate({"a": False}) is False
+
+    def test_var_missing_assignment_raises(self):
+        with pytest.raises(KeyError):
+            Var("a").evaluate({})
+
+    def test_var_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Var("")
+
+    def test_const_evaluation(self):
+        assert TRUE.evaluate({}) is True
+        assert FALSE.evaluate({}) is False
+
+    def test_not_and_or_xor(self):
+        env = {"a": True, "b": False}
+        assert Not(Var("a")).evaluate(env) is False
+        assert And(Var("a"), Var("b")).evaluate(env) is False
+        assert Or(Var("a"), Var("b")).evaluate(env) is True
+        assert Xor(Var("a"), Var("b")).evaluate(env) is True
+
+    def test_nary_operators_accept_many_operands(self):
+        expr = And(Var("a"), Var("b"), Var("c"))
+        assert expr.evaluate({"a": True, "b": True, "c": True}) is True
+        assert expr.evaluate({"a": True, "b": True, "c": False}) is False
+
+    def test_nary_requires_two_operands(self):
+        with pytest.raises(ValueError):
+            And(Var("a"))
+
+    def test_ite(self):
+        expr = Ite(Var("s"), Var("a"), Var("b"))
+        assert expr.evaluate({"s": True, "a": True, "b": False}) is True
+        assert expr.evaluate({"s": False, "a": True, "b": False}) is False
+
+    def test_operator_overloads(self):
+        a, b = Var("a"), Var("b")
+        env = {"a": True, "b": False}
+        assert (~a).evaluate(env) is False
+        assert (a & b).evaluate(env) is False
+        assert (a | b).evaluate(env) is True
+        assert (a ^ b).evaluate(env) is True
+
+
+class TestIntrospection:
+    def test_variables(self):
+        expr = Not(Or(And(Var("x"), Var("y")), Var("x")))
+        assert expr.variables() == frozenset({"x", "y"})
+
+    def test_depth_and_node_count(self):
+        expr = Not(Or(Var("a"), Var("b")))
+        assert expr.depth() == 3
+        assert expr.num_nodes() == 4
+        assert Var("a").depth() == 1
+
+    def test_structural_equality_and_hash(self):
+        e1 = And(Var("a"), Not(Var("b")))
+        e2 = And(Var("a"), Not(Var("b")))
+        e3 = And(Not(Var("b")), Var("a"))
+        assert e1 == e2
+        assert hash(e1) == hash(e2)
+        assert e1 != e3  # structural, not semantic, equality
+
+    def test_iter_nodes_covers_all(self):
+        expr = Ite(Var("s"), And(Var("a"), Var("b")), FALSE)
+        kinds = [type(node).__name__ for node in expr.iter_nodes()]
+        assert kinds.count("Var") == 3
+        assert "Ite" in kinds and "And" in kinds and "Const" in kinds
+
+
+class TestPrinting:
+    def test_paper_example_string(self):
+        expr = Not(Or(Xor(Var("R1"), Var("R2")), Not(Var("R2"))))
+        assert expr.to_string() == "!((R1 ^ R2) | !R2)"
+
+    def test_ite_string(self):
+        assert Ite(Var("s"), Var("a"), Var("b")).to_string() == "Ite(s, a, b)"
+
+    def test_const_strings(self):
+        assert TRUE.to_string() == "1"
+        assert FALSE.to_string() == "0"
+
+
+class TestCellConstructors:
+    @pytest.mark.parametrize(
+        "builder, inputs, expected",
+        [
+            (nand, {"a": True, "b": True}, False),
+            (nor, {"a": False, "b": False}, True),
+            (xnor, {"a": True, "b": True}, True),
+        ],
+    )
+    def test_inverted_gates(self, builder, inputs, expected):
+        expr = builder(Var("a"), Var("b"))
+        assert expr.evaluate(inputs) is expected
+
+    def test_mux2_selects_input1_when_high(self):
+        expr = mux2(Var("s"), Var("d0"), Var("d1"))
+        assert expr.evaluate({"s": True, "d0": False, "d1": True}) is True
+        assert expr.evaluate({"s": False, "d0": False, "d1": True}) is False
+
+    def test_aoi_oai(self):
+        env = {"a": True, "b": True, "c": False, "d": False}
+        assert aoi21(Var("a"), Var("b"), Var("c")).evaluate(env) is False
+        assert oai21(Var("a"), Var("b"), Var("c")).evaluate(env) is True
+        assert aoi22(Var("a"), Var("b"), Var("c"), Var("d")).evaluate(env) is False
+        assert oai22(Var("a"), Var("b"), Var("c"), Var("d")).evaluate(env) is True
+
+    def test_full_adder_truth(self):
+        for a in (False, True):
+            for b in (False, True):
+                for cin in (False, True):
+                    env = {"a": a, "b": b, "c": cin}
+                    total = int(a) + int(b) + int(cin)
+                    assert full_adder_sum(Var("a"), Var("b"), Var("c")).evaluate(env) == bool(total % 2)
+                    assert full_adder_carry(Var("a"), Var("b"), Var("c")).evaluate(env) == (total >= 2)
+
+    def test_half_adder_truth(self):
+        env = {"a": True, "b": True}
+        assert half_adder_sum(Var("a"), Var("b")).evaluate(env) is False
+        assert half_adder_carry(Var("a"), Var("b")).evaluate(env) is True
+
+
+class TestExprFromOp:
+    def test_known_operators(self):
+        expr = expr_from_op("nand", [Var("x"), Var("y")])
+        assert expr.evaluate({"x": True, "y": True}) is False
+
+    def test_sequential_cells_pass_through(self):
+        expr = expr_from_op("dff", [Var("d")])
+        assert expr == Var("d")
+
+    def test_constants(self):
+        assert expr_from_op("const1", []).evaluate({}) is True
+        assert expr_from_op("const0", []).evaluate({}) is False
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(ValueError):
+            expr_from_op("mux2", [Var("a"), Var("b")])
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(ValueError):
+            expr_from_op("quantum_gate", [Var("a")])
+
+
+class TestSubstitution:
+    def test_substitute_replaces_variables(self):
+        expr = And(Var("a"), Not(Var("b")))
+        result = substitute(expr, {"a": Or(Var("x"), Var("y"))})
+        assert result.variables() == frozenset({"x", "y", "b"})
+        assert result.evaluate({"x": True, "y": False, "b": False}) is True
+
+    def test_substitute_inside_ite(self):
+        expr = Ite(Var("s"), Var("a"), Var("b"))
+        result = substitute(expr, {"s": TRUE})
+        assert result.evaluate({"a": True, "b": False}) is True

@@ -1,0 +1,83 @@
+"""Tests for truth tables, equivalence checking and expression statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.expr import (
+    And,
+    Not,
+    Or,
+    Var,
+    Xor,
+    count_operators,
+    equivalent,
+    evaluate_batch,
+    parse,
+    satisfying_fraction,
+    signature,
+    truth_table,
+)
+from repro.expr.evaluate import MAX_SUPPORT_FOR_TRUTH_TABLE
+
+
+class TestTruthTable:
+    def test_and_truth_table(self):
+        variables, table = truth_table(And(Var("a"), Var("b")))
+        assert variables == ("a", "b")
+        np.testing.assert_array_equal(table, [False, False, False, True])
+
+    def test_xor_truth_table(self):
+        _, table = truth_table(Xor(Var("a"), Var("b")))
+        np.testing.assert_array_equal(table, [False, True, True, False])
+
+    def test_explicit_variable_order(self):
+        variables, table = truth_table(Var("b"), variables=["a", "b"])
+        assert variables == ("a", "b")
+        np.testing.assert_array_equal(table, [False, True, False, True])
+
+    def test_support_cap(self):
+        expr = And(*[Var(f"v{i}") for i in range(MAX_SUPPORT_FOR_TRUTH_TABLE + 1)])
+        with pytest.raises(ValueError):
+            truth_table(expr)
+
+
+class TestEquivalence:
+    def test_de_morgan_equivalence(self):
+        assert equivalent(parse("!(a & b)"), parse("!a | !b"))
+
+    def test_non_equivalent(self):
+        assert not equivalent(parse("a & b"), parse("a | b"))
+
+    def test_equivalence_over_different_supports(self):
+        # b & !b == 0 regardless of a.
+        assert equivalent(parse("b & !b"), parse("a & !a"))
+
+    def test_signature_matches_for_equivalent_expressions(self):
+        variables = ("a", "b")
+        assert signature(parse("!(a & b)"), variables) == signature(parse("!a | !b"), variables)
+
+    def test_signature_distinguishes_functions(self):
+        variables = ("a", "b")
+        assert signature(parse("a & b"), variables) != signature(parse("a | b"), variables)
+
+
+class TestStatistics:
+    def test_satisfying_fraction(self):
+        assert satisfying_fraction(parse("a & b")) == pytest.approx(0.25)
+        assert satisfying_fraction(parse("a | b")) == pytest.approx(0.75)
+        assert satisfying_fraction(parse("a ^ b")) == pytest.approx(0.5)
+
+    def test_evaluate_batch(self):
+        expr = parse("a & !b")
+        results = evaluate_batch(expr, [{"a": True, "b": False}, {"a": True, "b": True}])
+        assert results == [True, False]
+
+    def test_count_operators(self):
+        counts = count_operators(parse("!(a & b) | (a ^ b)"))
+        assert counts["var"] == 4
+        assert counts["not"] == 1
+        assert counts["and"] == 1
+        assert counts["xor"] == 1
+        assert counts["or"] == 1

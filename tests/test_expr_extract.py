@@ -1,0 +1,73 @@
+"""Tests for k-hop fan-in cone expression extraction."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import pytest
+
+from repro.expr import And, Expr, Not, Or, Var, Xor, cone_depth, equivalent, khop_expression
+
+
+def _lookup_from_dict(table: Dict[str, Expr]):
+    def lookup(symbol: str) -> Optional[Expr]:
+        return table.get(symbol)
+
+    return lookup
+
+
+@pytest.fixture()
+def chain_lookup():
+    """A small logic chain:  n3 = !(n2 | !b),  n2 = a ^ b,  leaves: a, b."""
+    return _lookup_from_dict(
+        {
+            "n3": Not(Or(Var("n2"), Not(Var("b")))),
+            "n2": Xor(Var("a"), Var("b")),
+        }
+    )
+
+
+class TestKHopExpression:
+    def test_one_hop_keeps_internal_symbols(self, chain_lookup):
+        expr = khop_expression("n3", chain_lookup, k=1)
+        assert expr.variables() == frozenset({"n2", "b"})
+
+    def test_two_hop_expands_to_leaves(self, chain_lookup):
+        expr = khop_expression("n3", chain_lookup, k=2)
+        assert expr.variables() == frozenset({"a", "b"})
+        assert equivalent(expr, Not(Or(Xor(Var("a"), Var("b")), Not(Var("b")))))
+
+    def test_leaf_symbol_returns_var(self, chain_lookup):
+        expr = khop_expression("a", chain_lookup, k=2)
+        assert expr == Var("a")
+
+    def test_deeper_k_stops_at_leaves(self, chain_lookup):
+        expr_k2 = khop_expression("n3", chain_lookup, k=2)
+        expr_k5 = khop_expression("n3", chain_lookup, k=5)
+        assert equivalent(expr_k2, expr_k5)
+
+    def test_negative_k_rejected(self, chain_lookup):
+        with pytest.raises(ValueError):
+            khop_expression("n3", chain_lookup, k=-1)
+
+    def test_max_nodes_caps_expansion(self):
+        # A wide tree that doubles in size each level.
+        table = {}
+        for level in range(6):
+            for i in range(2 ** level):
+                name = f"l{level}_{i}"
+                child0 = f"l{level + 1}_{2 * i}"
+                child1 = f"l{level + 1}_{2 * i + 1}"
+                table[name] = And(Var(child0), Var(child1))
+        lookup = _lookup_from_dict(table)
+        expr = khop_expression("l0_0", lookup, k=10, max_nodes=50)
+        assert expr.num_nodes() <= 50 * 4  # one extra expansion round at most
+
+
+class TestConeDepth:
+    def test_depth_of_leaf_is_zero(self, chain_lookup):
+        assert cone_depth("a", chain_lookup) == 0
+
+    def test_depth_of_chain(self, chain_lookup):
+        assert cone_depth("n2", chain_lookup) == 1
+        assert cone_depth("n3", chain_lookup) == 2

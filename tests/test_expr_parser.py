@@ -1,0 +1,113 @@
+"""Tests for the expression parser (round trips with the printer)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expr import (
+    And,
+    ExpressionSyntaxError,
+    Ite,
+    Not,
+    Or,
+    Var,
+    Xor,
+    equivalent,
+    parse,
+    tokenize_expression,
+)
+
+
+class TestTokenizer:
+    def test_tokenize_simple(self):
+        tokens = tokenize_expression("!(a & b)")
+        assert [t.text for t in tokens] == ["!", "(", "a", "&", "b", ")"]
+
+    def test_tokenize_rejects_garbage(self):
+        with pytest.raises(ExpressionSyntaxError):
+            tokenize_expression("a @ b")
+
+    def test_tokenize_bus_names(self):
+        tokens = tokenize_expression("data[3] & addr_1")
+        assert tokens[0].text == "data[3]"
+        assert tokens[2].text == "addr_1"
+
+
+class TestParser:
+    def test_parse_paper_example(self):
+        expr = parse("!((R1 ^ R2) | !R2)")
+        assert expr == Not(Or(Xor(Var("R1"), Var("R2")), Not(Var("R2"))))
+
+    def test_parse_assignment_prefix(self):
+        expr = parse("U3 = !(R1 & R2)")
+        assert expr == Not(And(Var("R1"), Var("R2")))
+
+    def test_precedence_and_over_or(self):
+        expr = parse("a | b & c")
+        assert isinstance(expr, Or)
+        assert isinstance(expr.operands[1], And)
+
+    def test_precedence_xor_between(self):
+        expr = parse("a ^ b & c | d")
+        assert isinstance(expr, Or)
+        assert isinstance(expr.operands[0], Xor)
+
+    def test_parse_constants(self):
+        assert parse("a & 1").evaluate({"a": True}) is True
+        assert parse("a | 0").evaluate({"a": False}) is False
+
+    def test_parse_ite(self):
+        expr = parse("Ite(s, a, b)")
+        assert isinstance(expr, Ite)
+        assert expr.evaluate({"s": False, "a": True, "b": False}) is False
+
+    def test_parse_nested_not(self):
+        expr = parse("!!a")
+        assert expr.evaluate({"a": True}) is True
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "a &", "(a | b", "a b", "Ite(a, b)", "= a", "a ) b"],
+    )
+    def test_parse_errors(self, bad):
+        with pytest.raises(ExpressionSyntaxError):
+            parse(bad)
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "!((R1 ^ R2) | !R2)",
+            "a & b & c",
+            "(a | b) ^ !(c & d)",
+            "Ite(sel, a & b, a | b)",
+            "!(x1 & (x2 | !x3)) ^ x4",
+        ],
+    )
+    def test_round_trip_preserves_function(self, text):
+        expr = parse(text)
+        reparsed = parse(expr.to_string())
+        assert equivalent(expr, reparsed)
+
+
+# A small recursive strategy for random expressions over three variables.
+_VARIABLES = st.sampled_from(["a", "b", "c"]).map(Var)
+_exprs = st.recursive(
+    _VARIABLES,
+    lambda children: st.one_of(
+        children.map(Not),
+        st.tuples(children, children).map(lambda pair: And(*pair)),
+        st.tuples(children, children).map(lambda pair: Or(*pair)),
+        st.tuples(children, children).map(lambda pair: Xor(*pair)),
+    ),
+    max_leaves=8,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(expr=_exprs)
+def test_print_parse_round_trip_property(expr):
+    """Property: printing then re-parsing yields a functionally equivalent expression."""
+    reparsed = parse(expr.to_string())
+    assert equivalent(expr, reparsed)

@@ -1,0 +1,85 @@
+"""Tests for the gate-text tokenizer feeding ExprLLM."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.expr import ExprTokenizer
+
+
+@pytest.fixture(scope="module")
+def tokenizer():
+    return ExprTokenizer(max_length=48)
+
+
+SAMPLE_TEXT = (
+    "[Name] U3 [Type] NOR2 [Expr] U3 = !((R1 ^ R2) | !R2) "
+    "[Phys] {Power: 3.3, Area: 1.1, Delay: 0.02, Capacitance: 5.7}"
+)
+
+
+class TestTokenization:
+    def test_operators_are_first_class_tokens(self, tokenizer):
+        tokens = tokenizer.tokenize("!((R1 ^ R2) | !R2)")
+        assert "!" in tokens and "^" in tokens and "|" in tokens and "(" in tokens
+
+    def test_field_markers_kept(self, tokenizer):
+        tokens = tokenizer.tokenize(SAMPLE_TEXT)
+        assert "[Name]" in tokens and "[Type]" in tokens and "[Expr]" in tokens and "[Phys]" in tokens
+
+    def test_cell_types_kept(self, tokenizer):
+        tokens = tokenizer.tokenize("[Type] NOR2")
+        assert "NOR2" in tokens
+
+    def test_identifiers_hashed_to_var_buckets(self, tokenizer):
+        tokens = tokenizer.tokenize("some_signal_42x & another_net")
+        assert all(t.startswith("<VAR_") or t == "&" for t in tokens)
+
+    def test_same_identifier_same_bucket(self, tokenizer):
+        first = tokenizer.tokenize("mysignal")[0]
+        second = tokenizer.tokenize("mysignal & other")[0]
+        assert first == second
+
+    def test_numbers_binned(self, tokenizer):
+        tokens = tokenizer.tokenize("Power: 3.3")
+        assert any(t.startswith("<NUM_") for t in tokens)
+
+    def test_numeric_bins_monotone(self, tokenizer):
+        small = tokenizer._numeric_token(0.001)
+        large = tokenizer._numeric_token(1000.0)
+        assert int(small[5:-1]) < int(large[5:-1])
+
+
+class TestEncoding:
+    def test_encode_pads_to_max_length(self, tokenizer):
+        ids, mask = tokenizer.encode("a & b")
+        assert len(ids) == tokenizer.max_length
+        assert len(mask) == tokenizer.max_length
+        assert mask[0] is True and mask[-1] is False
+
+    def test_encode_truncates_long_text(self, tokenizer):
+        ids, mask = tokenizer.encode(" & ".join(f"sig{i}" for i in range(200)))
+        assert len(ids) == tokenizer.max_length
+        assert all(mask)
+
+    def test_cls_token_prepended(self, tokenizer):
+        ids, _ = tokenizer.encode("a", add_cls=True)
+        assert ids[0] == tokenizer.cls_id
+
+    def test_encode_batch_shapes(self, tokenizer):
+        ids, mask = tokenizer.encode_batch(["a & b", "c | d", SAMPLE_TEXT])
+        assert len(ids) == 3
+        assert all(len(row) == tokenizer.max_length for row in ids)
+
+    def test_encoding_is_deterministic(self, tokenizer):
+        assert tokenizer.encode(SAMPLE_TEXT) == tokenizer.encode(SAMPLE_TEXT)
+
+    def test_decode_round_trip_tokens(self, tokenizer):
+        ids, _ = tokenizer.encode("a & b", add_cls=False, pad=False)
+        decoded = tokenizer.decode(ids)
+        assert "&" in decoded
+
+    def test_vocab_ids_in_range(self, tokenizer):
+        ids, _ = tokenizer.encode(SAMPLE_TEXT)
+        assert max(ids) < tokenizer.vocab_size
+        assert min(ids) >= 0

@@ -1,0 +1,162 @@
+"""Tests for the Boolean rewrite rules: every rule must preserve equivalence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expr import And, Ite, Not, Or, Var, Xor, equivalent, parse, random_equivalent, simplify_constants
+from repro.expr.transform import (
+    DEFAULT_RULES,
+    RULE_NAMES,
+    absorption,
+    associative,
+    commutative,
+    de_morgan,
+    distributive,
+    double_negation,
+    idempotence,
+    identity_constant,
+    ite_expansion,
+    xnor_expansion,
+    xor_expansion,
+)
+
+
+RNG = np.random.default_rng(0)
+
+
+class TestIndividualRules:
+    def test_de_morgan_and(self):
+        expr = Not(And(Var("a"), Var("b")))
+        rewritten = de_morgan(expr, RNG)
+        assert rewritten is not None
+        assert equivalent(expr, rewritten)
+        assert isinstance(rewritten, Or)
+
+    def test_de_morgan_or_inverse_direction(self):
+        expr = Or(Not(Var("a")), Not(Var("b")))
+        rewritten = de_morgan(expr, RNG)
+        assert rewritten is not None
+        assert equivalent(expr, rewritten)
+
+    def test_double_negation_collapses(self):
+        expr = Not(Not(Var("a")))
+        assert double_negation(expr, RNG) == Var("a")
+
+    def test_commutative_preserves_function(self):
+        expr = And(Var("a"), Var("b"), Var("c"))
+        rewritten = commutative(expr, np.random.default_rng(5))
+        assert rewritten is not None
+        assert equivalent(expr, rewritten)
+
+    def test_associative_flatten_and_group(self):
+        nested = And(Var("a"), And(Var("b"), Var("c")))
+        flattened = associative(nested, RNG)
+        assert flattened is not None and equivalent(nested, flattened)
+        flat = And(Var("a"), Var("b"), Var("c"))
+        grouped = associative(flat, RNG)
+        assert grouped is not None and equivalent(flat, grouped)
+
+    def test_distributive(self):
+        expr = And(Var("a"), Or(Var("b"), Var("c")))
+        rewritten = distributive(expr, RNG)
+        assert rewritten is not None and equivalent(expr, rewritten)
+
+    def test_xor_and_xnor_expansion(self):
+        xor = Xor(Var("a"), Var("b"))
+        assert equivalent(xor, xor_expansion(xor, RNG))
+        xnor = Not(Xor(Var("a"), Var("b")))
+        assert equivalent(xnor, xnor_expansion(xnor, RNG))
+
+    def test_ite_expansion(self):
+        expr = Ite(Var("s"), Var("a"), Var("b"))
+        assert equivalent(expr, ite_expansion(expr, RNG))
+
+    def test_absorption(self):
+        expr = Or(Var("a"), And(Var("a"), Var("b")))
+        assert absorption(expr, RNG) == Var("a")
+
+    def test_idempotence_and_identity(self):
+        var = Var("a")
+        assert equivalent(var, idempotence(var, np.random.default_rng(1)))
+        assert equivalent(var, identity_constant(var, np.random.default_rng(1)))
+
+    @pytest.mark.parametrize("rule_name", sorted(RULE_NAMES))
+    def test_every_rule_preserves_equivalence_on_sample(self, rule_name):
+        """Apply each rule wherever it fires on a moderately rich expression."""
+        rule = RULE_NAMES[rule_name]
+        expr = parse("!((a ^ b) | !(c & a)) ^ Ite(b, a | c, !a)")
+        rng = np.random.default_rng(3)
+        for node in expr.iter_nodes():
+            rewritten = rule(node, rng)
+            if rewritten is not None:
+                assert equivalent(node, rewritten), f"{rule_name} broke equivalence at {node}"
+
+
+class TestRandomEquivalent:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_rewrites_preserve_function(self, seed):
+        expr = parse("!((R1 ^ R2) | !R2) & (R3 | R1)")
+        rewritten = random_equivalent(expr, rng=np.random.default_rng(seed), num_rewrites=4)
+        assert equivalent(expr, rewritten)
+
+    def test_random_rewrites_change_syntax(self):
+        expr = parse("!(a & b) | (c ^ d)")
+        changed = 0
+        for seed in range(8):
+            rewritten = random_equivalent(expr, rng=np.random.default_rng(seed), num_rewrites=4)
+            if rewritten.to_string() != expr.to_string():
+                changed += 1
+        assert changed >= 6  # the augmentation almost always produces a new form
+
+    def test_size_bound_respected(self):
+        expr = parse("a & b & c & d")
+        rewritten = random_equivalent(expr, rng=np.random.default_rng(0), num_rewrites=10, max_nodes=12)
+        assert rewritten.num_nodes() <= 12
+
+
+class TestSimplifyConstants:
+    @pytest.mark.parametrize(
+        "text, expected",
+        [
+            ("a & 1", "a"),
+            ("a & 0", "0"),
+            ("a | 0", "a"),
+            ("a | 1", "1"),
+            ("a ^ 0", "a"),
+            ("!!a", "a"),
+            ("Ite(1, a, b)", "a"),
+            ("Ite(0, a, b)", "b"),
+        ],
+    )
+    def test_constant_folding(self, text, expected):
+        assert simplify_constants(parse(text)).to_string() == expected
+
+    def test_simplify_preserves_equivalence(self):
+        expr = parse("(a & 1) | (b & 0) | Ite(1, c, a)")
+        simplified = simplify_constants(expr)
+        assert equivalent(expr, simplified)
+
+
+_VARIABLES = st.sampled_from(["a", "b", "c"]).map(Var)
+_exprs = st.recursive(
+    _VARIABLES,
+    lambda children: st.one_of(
+        children.map(Not),
+        st.tuples(children, children).map(lambda pair: And(*pair)),
+        st.tuples(children, children).map(lambda pair: Or(*pair)),
+        st.tuples(children, children).map(lambda pair: Xor(*pair)),
+    ),
+    max_leaves=6,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(expr=_exprs, seed=st.integers(min_value=0, max_value=1000))
+def test_random_equivalent_property(expr, seed):
+    """Property: the objective-#1 augmentation never changes the Boolean function."""
+    rewritten = random_equivalent(expr, rng=np.random.default_rng(seed), num_rewrites=3)
+    assert equivalent(expr, rewritten)

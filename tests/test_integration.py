@@ -1,0 +1,121 @@
+"""End-to-end integration tests across the full stack.
+
+These follow the paper's data path: RTL -> synthesis -> physical design ->
+analysis labels, netlist -> TAG -> NetTAG embeddings -> fine-tuned task heads,
+exactly as the benchmark harness does, but at unit-test scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze_area, analyze_power, analyze_timing
+from repro.core import evaluate_classification, train_test_split
+from repro.netlist import (
+    extract_register_cones,
+    netlist_to_tag,
+    read_verilog,
+    to_aig,
+    write_verilog,
+)
+from repro.physical import build_layout_graph, extract_parasitics, physically_optimize, place
+from repro.rtl import make_controller
+from repro.synth import synthesize
+from repro.tasks import TASK1_CLASS_INDEX, anonymize_gate_names
+
+
+class TestRTLToSignoffFlow:
+    """RTL through synthesis, placement, optimisation and sign-off analysis."""
+
+    def test_full_physical_flow_produces_consistent_reports(self):
+        module = make_controller("itg_flow", seed=21, num_states=5, data_width=5)
+        result = synthesize(module)
+        netlist = result.netlist
+        netlist.validate()
+
+        placement = place(netlist)
+        spef = extract_parasitics(netlist, placement)
+        timing = analyze_timing(netlist, clock_period=1.2, spef=spef)
+        power = analyze_power(netlist, spef=spef)
+        area = analyze_area(netlist, placement)
+
+        # Reports agree with the netlist's composition.
+        assert set(timing.endpoint_slack) == {g.name for g in netlist.registers}
+        assert area.cell_area == pytest.approx(round(netlist.total_area(), 4))
+        assert power.total > 0.0
+
+        # Physical optimisation produces a different, still-valid design whose
+        # sign-off metrics move (the Task-4 "w/ opt" label scenario).
+        optimized, report = physically_optimize(netlist, placement, fanout_threshold=2)
+        optimized.validate()
+        opt_placement = place(optimized)
+        opt_area = analyze_area(optimized, opt_placement)
+        if report.total_changes:
+            assert opt_area.total != area.total
+
+    def test_netlist_file_round_trip_preserves_analysis(self, tmp_path):
+        module = make_controller("itg_io", seed=5)
+        netlist = synthesize(module).netlist
+        path = tmp_path / "design.v"
+        write_verilog(netlist, path=path)
+        reparsed = read_verilog(path)
+        assert reparsed.num_gates == netlist.num_gates
+        original = analyze_timing(netlist, clock_period=1.0).worst_negative_slack
+        round_tripped = analyze_timing(reparsed, clock_period=1.0).worst_negative_slack
+        assert round_tripped == pytest.approx(original, abs=1e-9)
+
+
+class TestNetlistToEmbeddingFlow:
+    def test_cones_tags_and_embeddings_are_consistent(self, pretrained_pipeline):
+        module = make_controller("itg_embed", seed=9, num_states=4, data_width=4)
+        netlist = synthesize(module).netlist
+        cones = extract_register_cones(netlist)
+        model = pretrained_pipeline.model
+
+        embedding = model.embed_circuit(netlist, cones=cones)
+        assert set(embedding.cone_embeddings) == {c.register_name for c in cones}
+        assert embedding.gate_embeddings.shape == (
+            netlist.num_gates,
+            model.gate_embedding_dim,
+        )
+
+        # Cone embeddings from the dedicated API have the larger (cone + endpoint) dim.
+        cone_embeddings = model.embed_cones(cones)
+        for vector in cone_embeddings.values():
+            assert vector.shape[0] == model.graph_embedding_dim + model.gate_embedding_dim
+            assert np.all(np.isfinite(vector))
+
+    def test_layout_graph_feeds_alignment_encoder(self, pretrained_pipeline):
+        if pretrained_pipeline.layout_encoder is None:
+            pytest.skip("cross-stage alignment disabled in this configuration")
+        module = make_controller("itg_layout", seed=13)
+        netlist = synthesize(module).netlist
+        layout = build_layout_graph(netlist)
+        embedding = pretrained_pipeline.layout_encoder.encode(layout)
+        assert embedding.shape == (pretrained_pipeline.layout_encoder.output_dim,)
+
+    def test_gate_function_fine_tuning_beats_chance(self, pretrained_pipeline, comb_netlist):
+        """Miniature Task-1: frozen embeddings + MLP head on one design."""
+        anonymized, _ = anonymize_gate_names(comb_netlist)
+        embeddings, names = pretrained_pipeline.embed_gates(anonymized)
+        index = {name: i for i, name in enumerate(names)}
+        rows, labels = [], []
+        for gate in anonymized.gates.values():
+            block = gate.attributes.get("block")
+            if isinstance(block, str) and block in TASK1_CLASS_INDEX:
+                rows.append(index[gate.name])
+                labels.append(TASK1_CLASS_INDEX[block])
+        features = embeddings[np.asarray(rows)]
+        labels = np.asarray(labels)
+        split = train_test_split(len(labels), train_fraction=0.6, seed=0, stratify=labels)
+        report, _ = evaluate_classification(features, labels, split, head="mlp")
+        chance = max(np.bincount(labels[split.test])) / len(split.test)
+        assert report["accuracy"] >= chance  # must at least match the majority class
+
+    def test_aig_lowering_preserves_labels_for_fig5(self, comb_netlist):
+        aig = to_aig(comb_netlist)
+        tag = netlist_to_tag(aig, k=3)
+        assert tag.num_nodes == aig.num_gates
+        labelled = [n for n in tag.nodes if n.attributes.get("block") in TASK1_CLASS_INDEX]
+        assert labelled

@@ -1,0 +1,171 @@
+"""Tests for the classical ML substrate: metrics, trees, boosting, heads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    DecisionTreeRegressor,
+    GradientBoostingClassifier,
+    GradientBoostingRegressor,
+    HeadConfig,
+    MLPClassifierHead,
+    MLPRegressorHead,
+    RidgeClassifierHead,
+    RidgeRegressorHead,
+    accuracy,
+    balanced_accuracy,
+    classification_report,
+    mape,
+    pearson_r,
+    precision_recall_f1,
+    regression_report,
+    sensitivity,
+    specificity,
+)
+
+
+class TestClassificationMetrics:
+    def test_accuracy(self):
+        assert accuracy([0, 1, 1, 0], [0, 1, 0, 0]) == pytest.approx(0.75)
+        assert accuracy([1], [1]) == 1.0
+
+    def test_perfect_prediction_metrics(self):
+        report = classification_report([0, 1, 2, 1], [0, 1, 2, 1])
+        assert report["accuracy"] == 1.0
+        assert report["precision"] == 1.0
+        assert report["recall"] == 1.0
+        assert report["f1"] == 1.0
+
+    def test_macro_averaging_penalises_missing_class(self):
+        metrics = precision_recall_f1([0, 0, 1, 1], [0, 0, 0, 0], average="macro")
+        assert metrics["recall"] == pytest.approx(0.5)
+        assert metrics["precision"] == pytest.approx(0.25)
+
+    def test_micro_averaging_equals_accuracy(self):
+        y_true, y_pred = [0, 1, 2, 2], [0, 2, 2, 1]
+        metrics = precision_recall_f1(y_true, y_pred, average="micro")
+        assert metrics["precision"] == pytest.approx(accuracy(y_true, y_pred))
+
+    def test_sensitivity_specificity_balanced_accuracy(self):
+        y_true = [1, 1, 1, 0, 0]
+        y_pred = [1, 0, 1, 0, 1]
+        assert sensitivity(y_true, y_pred) == pytest.approx(2 / 3)
+        assert specificity(y_true, y_pred) == pytest.approx(1 / 2)
+        assert balanced_accuracy(y_true, y_pred) == pytest.approx((2 / 3 + 1 / 2) / 2)
+
+    def test_empty_inputs(self):
+        assert precision_recall_f1([], [])["f1"] == 0.0
+
+
+class TestRegressionMetrics:
+    def test_pearson_r_perfect_and_inverse(self):
+        x = [1.0, 2.0, 3.0, 4.0]
+        assert pearson_r(x, x) == pytest.approx(1.0)
+        assert pearson_r(x, [-v for v in x]) == pytest.approx(-1.0)
+
+    def test_pearson_r_constant_input_is_zero(self):
+        assert pearson_r([1.0, 1.0, 1.0], [1.0, 2.0, 3.0]) == 0.0
+
+    def test_mape_basic(self):
+        assert mape([100.0, 200.0], [110.0, 180.0]) == pytest.approx(10.0)
+
+    def test_mape_protected_against_zero_targets(self):
+        value = mape([0.0, 100.0], [1.0, 100.0])
+        assert np.isfinite(value)
+
+    def test_regression_report_keys(self):
+        report = regression_report([1.0, 2.0, 3.0], [1.1, 2.1, 2.9])
+        assert set(report) == {"r", "mape"}
+        assert report["r"] > 0.99
+
+
+class TestTreesAndBoosting:
+    def test_decision_tree_fits_piecewise_constant(self):
+        rng = np.random.default_rng(0)
+        features = rng.uniform(-1, 1, size=(200, 2))
+        targets = np.where(features[:, 0] > 0.0, 2.0, -2.0)
+        tree = DecisionTreeRegressor(max_depth=3).fit(features, targets)
+        predictions = tree.predict(features)
+        assert np.mean(np.abs(predictions - targets)) < 0.2
+        assert tree.depth() >= 1
+
+    def test_gbdt_regressor_learns_nonlinear_function(self):
+        rng = np.random.default_rng(1)
+        features = rng.uniform(-2, 2, size=(300, 3))
+        targets = features[:, 0] ** 2 + 0.5 * features[:, 1]
+        model = GradientBoostingRegressor(seed=0).fit(features, targets)
+        predictions = model.predict(features)
+        assert pearson_r(targets, predictions) > 0.9
+        assert model.num_fitted_trees > 0
+
+    def test_gbdt_classifier_separates_clusters(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(loc=-2.0, size=(60, 4))
+        b = rng.normal(loc=+2.0, size=(60, 4))
+        features = np.vstack([a, b])
+        labels = np.array([0] * 60 + [1] * 60)
+        model = GradientBoostingClassifier(seed=0).fit(features, labels)
+        assert accuracy(labels, model.predict(features)) > 0.95
+        proba = model.predict_proba(features)
+        assert proba.shape[0] == 120
+        assert np.allclose(proba.sum(axis=1), 1.0, atol=1e-6)
+
+    def test_gbdt_classifier_multiclass(self):
+        rng = np.random.default_rng(3)
+        centers = [(-3, 0), (3, 0), (0, 4)]
+        features = np.vstack([rng.normal(loc=c, scale=0.5, size=(40, 2)) for c in centers])
+        labels = np.repeat([0, 1, 2], 40)
+        model = GradientBoostingClassifier(seed=0).fit(features, labels)
+        assert accuracy(labels, model.predict(features)) > 0.9
+
+
+class TestHeads:
+    def make_classification_data(self, seed=0, dim=8, per_class=40):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(loc=-1.5, size=(per_class, dim))
+        b = rng.normal(loc=+1.5, size=(per_class, dim))
+        return np.vstack([a, b]), np.array([0] * per_class + [1] * per_class)
+
+    def test_mlp_classifier_head(self):
+        features, labels = self.make_classification_data()
+        head = MLPClassifierHead(HeadConfig(num_epochs=40)).fit(features, labels)
+        assert accuracy(labels, head.predict(features)) > 0.9
+        proba = head.predict_proba(features)
+        assert np.allclose(proba.sum(axis=1), 1.0, atol=1e-5)
+
+    def test_mlp_classifier_preserves_original_label_values(self):
+        features, labels = self.make_classification_data()
+        shifted = labels + 5  # classes {5, 6}
+        head = MLPClassifierHead(HeadConfig(num_epochs=30)).fit(features, shifted)
+        assert set(np.unique(head.predict(features))) <= {5, 6}
+
+    def test_mlp_regressor_head(self):
+        rng = np.random.default_rng(4)
+        features = rng.normal(size=(150, 6))
+        targets = 2.0 * features[:, 0] - features[:, 1] + 0.3
+        head = MLPRegressorHead(HeadConfig(num_epochs=80)).fit(features, targets)
+        assert pearson_r(targets, head.predict(features)) > 0.9
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(ValueError):
+            MLPClassifierHead().fit(np.zeros((0, 4)), [])
+
+    def test_ridge_regressor_recovers_linear_model(self):
+        rng = np.random.default_rng(5)
+        features = rng.normal(size=(100, 5))
+        targets = features @ np.array([1.0, -2.0, 0.5, 0.0, 3.0]) + 1.0
+        head = RidgeRegressorHead().fit(features, targets)
+        assert pearson_r(targets, head.predict(features)) > 0.99
+
+    def test_ridge_classifier(self):
+        features, labels = self.make_classification_data(seed=6)
+        head = RidgeClassifierHead().fit(features, labels)
+        assert accuracy(labels, head.predict(features)) > 0.9
+
+    def test_heads_handle_single_class_training(self):
+        features = np.random.default_rng(7).normal(size=(10, 3))
+        labels = np.zeros(10, dtype=int)
+        head = MLPClassifierHead(HeadConfig(num_epochs=5)).fit(features, labels)
+        assert set(np.unique(head.predict(features))) == {0}

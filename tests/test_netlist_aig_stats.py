@@ -1,0 +1,131 @@
+"""Tests for AIG conversion and dataset statistics (repro.netlist.aig / .stats)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.expr import equivalent, khop_expression
+from repro.netlist import (
+    aggregate_statistics,
+    aig_statistics,
+    expression_token_lengths,
+    extract_register_cones,
+    local_expression_lookup,
+    netlist_summary,
+    source_statistics,
+    to_aig,
+)
+
+
+def full_output_expression(netlist, net):
+    """Fully expanded Boolean expression of a net in terms of PIs / register outputs."""
+    lookup = local_expression_lookup(netlist)
+    return khop_expression(net, lookup, k=10_000)
+
+
+class TestToAIG:
+    def test_only_aig_cell_types_used(self, comb_netlist):
+        aig = to_aig(comb_netlist)
+        allowed = {"AND2", "INV", "CONST0", "CONST1", "DFF", "DFFR", "DFFS"}
+        assert set(aig.cell_type_counts()) <= allowed
+
+    def test_aig_is_structurally_valid(self, comb_netlist):
+        to_aig(comb_netlist).validate()
+
+    def test_primary_inputs_preserved(self, comb_netlist):
+        aig = to_aig(comb_netlist)
+        assert set(aig.primary_inputs) == set(comb_netlist.primary_inputs)
+
+    def test_functional_equivalence_on_tiny_netlist(self, tiny_netlist):
+        aig = to_aig(tiny_netlist)
+        original = full_output_expression(tiny_netlist, "n_out")
+        # The AIG maps the original output net to a new internal name, recorded
+        # as the (single) primary output of the lowered netlist.
+        lowered = full_output_expression(aig, aig.primary_outputs[0])
+        assert equivalent(original, lowered)
+
+    def test_registers_copied_through(self, seq_netlist):
+        aig = to_aig(seq_netlist)
+        assert len(aig.registers) == len(seq_netlist.registers)
+        assert {g.name for g in aig.registers} == {g.name for g in seq_netlist.registers}
+
+    def test_block_labels_survive_lowering(self, comb_netlist):
+        aig = to_aig(comb_netlist)
+        original_blocks = {
+            g.attributes.get("block")
+            for g in comb_netlist.combinational_gates
+            if g.attributes.get("block")
+        }
+        aig_blocks = {
+            g.attributes.get("block")
+            for g in aig.gates.values()
+            if g.attributes.get("block")
+        }
+        assert original_blocks
+        assert aig_blocks <= original_blocks
+        assert len(aig_blocks) >= 1
+
+    def test_structural_hashing_shares_subterms(self, library):
+        """Two gates computing the same function must map to one AIG node."""
+        from repro.netlist import Netlist
+
+        netlist = Netlist("shared", library=library)
+        netlist.add_primary_input("a")
+        netlist.add_primary_input("b")
+        netlist.add_gate("u1", "AND2_X1", ["a", "b"], "y1")
+        netlist.add_gate("u2", "AND2_X1", ["b", "a"], "y2")
+        netlist.add_primary_output("y1")
+        netlist.add_primary_output("y2")
+        aig = to_aig(netlist)
+        assert aig_statistics(aig)["and_nodes"] == 1
+
+    def test_statistics_totals(self, comb_netlist):
+        aig = to_aig(comb_netlist)
+        stats = aig_statistics(aig)
+        assert stats["total"] == aig.num_gates
+        assert stats["and_nodes"] + stats["inverters"] + stats["registers"] <= stats["total"]
+        assert stats["and_nodes"] > 0
+        assert stats["inverters"] > 0
+
+
+class TestStatistics:
+    def test_expression_token_lengths(self):
+        lengths = expression_token_lengths(["a & b", "!((a ^ b) | c)"])
+        assert len(lengths) == 2
+        assert lengths[1] > lengths[0] > 0
+
+    def test_source_statistics(self, seq_netlist):
+        cones = extract_register_cones(seq_netlist)
+        expressions = ["a & b", "a | !b", "(a ^ b) & c"]
+        stats = source_statistics("unit", expressions, cones)
+        assert stats.num_expressions == 3
+        assert stats.num_cones == len(cones)
+        assert stats.avg_cone_nodes == pytest.approx(
+            sum(c.num_gates for c in cones) / len(cones)
+        )
+        row = stats.as_row()
+        assert row["source"] == "unit"
+
+    def test_source_statistics_empty(self):
+        stats = source_statistics("empty", [], [])
+        assert stats.num_expressions == 0
+        assert stats.avg_expression_tokens == 0.0
+        assert stats.avg_cone_nodes == 0.0
+
+    def test_aggregate_statistics_weighted(self):
+        a = source_statistics("a", ["x & y"] * 4, [])
+        b = source_statistics("b", ["!((x ^ y) | z) & (w | v)"] * 8, [])
+        total = aggregate_statistics([a, b])
+        assert total.source == "Total"
+        assert total.num_expressions == 12
+        assert min(a.avg_expression_tokens, b.avg_expression_tokens) <= total.avg_expression_tokens
+        assert total.avg_expression_tokens <= max(a.avg_expression_tokens, b.avg_expression_tokens)
+
+    def test_netlist_summary(self, comb_netlist, seq_netlist):
+        summary = netlist_summary([comb_netlist, seq_netlist])
+        assert summary["designs"] == 2
+        assert summary["total_gates"] == comb_netlist.num_gates + seq_netlist.num_gates
+        assert summary["registers"] == len(seq_netlist.registers)
+
+    def test_netlist_summary_empty(self):
+        assert netlist_summary([])["designs"] == 0

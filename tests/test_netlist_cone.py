@@ -1,0 +1,123 @@
+"""Tests for register-cone chunking (repro.netlist.cone)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netlist import (
+    Netlist,
+    combinational_fanin,
+    cone_statistics,
+    extract_register_cone,
+    extract_register_cones,
+    whole_circuit_cone,
+)
+
+
+class TestCombinationalFanin:
+    def test_stops_at_primary_inputs(self, tiny_netlist):
+        members = {g.name for g in combinational_fanin(tiny_netlist, "r_state")}
+        assert members == {"u_xor", "u_inv", "u_or", "u_out"}
+
+    def test_stops_at_other_registers(self, library):
+        netlist = Netlist("two_regs", library=library)
+        netlist.add_primary_input("a")
+        netlist.add_gate("u1", "INV_X1", ["a"], "n1")
+        netlist.add_gate("r1", "DFF_X1", {"D": "n1"}, "q1")
+        netlist.add_gate("u2", "AND2_X1", ["q1", "a"], "n2")
+        netlist.add_gate("r2", "DFF_X1", {"D": "n2"}, "q2")
+        members = {g.name for g in combinational_fanin(netlist, "r2")}
+        assert members == {"u2"}  # traversal must not cross r1
+
+    def test_register_accepts_gate_or_name(self, tiny_netlist):
+        by_name = {g.name for g in combinational_fanin(tiny_netlist, "r_state")}
+        by_gate = {g.name for g in combinational_fanin(tiny_netlist, tiny_netlist.gates["r_state"])}
+        assert by_name == by_gate
+
+
+class TestExtractRegisterCone:
+    def test_cone_is_a_valid_standalone_netlist(self, tiny_netlist):
+        cone = extract_register_cone(tiny_netlist, "r_state")
+        cone.netlist.validate()
+        assert cone.register_name == "r_state"
+        assert cone.parent_name == tiny_netlist.name
+        assert cone.netlist.primary_outputs == ["q_state"]
+
+    def test_cone_members_include_register(self, tiny_netlist):
+        cone = extract_register_cone(tiny_netlist, "r_state")
+        assert "r_state" in cone.member_gates
+        assert set(cone.member_gates) == {"r_state", "u_xor", "u_inv", "u_or", "u_out"}
+
+    def test_boundary_inputs_are_design_inputs(self, tiny_netlist):
+        cone = extract_register_cone(tiny_netlist, "r_state")
+        assert set(cone.boundary_inputs) == {"a", "b"}
+
+    def test_endpoint_data_net(self, tiny_netlist):
+        cone = extract_register_cone(tiny_netlist, "r_state")
+        assert cone.endpoint_data_net == "n_out"
+
+    def test_register_attributes_propagate_to_cone(self, tiny_netlist):
+        cone = extract_register_cone(tiny_netlist, "r_state")
+        assert cone.attributes.get("role") == "state"
+
+    def test_self_feedback_register_keeps_own_output_internal(self, library):
+        netlist = Netlist("counter_bit", library=library)
+        netlist.add_primary_input("en")
+        netlist.add_gate("u_t", "XOR2_X1", ["q", "en"], "d")
+        netlist.add_gate("r_q", "DFF_X1", {"D": "d"}, "q")
+        cone = extract_register_cone(netlist, "r_q")
+        assert "q" not in cone.boundary_inputs
+        assert set(cone.boundary_inputs) == {"en"}
+        cone.netlist.validate()
+
+
+class TestExtractRegisterCones:
+    def test_one_cone_per_register(self, seq_netlist):
+        cones = extract_register_cones(seq_netlist)
+        assert len(cones) == len(seq_netlist.registers)
+        assert sorted(c.register_name for c in cones) == sorted(g.name for g in seq_netlist.registers)
+
+    def test_max_cones_cap(self, seq_netlist):
+        cones = extract_register_cones(seq_netlist, max_cones=2)
+        assert len(cones) == 2
+
+    def test_every_cone_validates(self, seq_netlist):
+        for cone in extract_register_cones(seq_netlist):
+            cone.netlist.validate()
+
+    def test_cones_cover_all_driving_logic(self, seq_netlist):
+        """Every combinational gate that drives some register appears in >= 1 cone."""
+        member_union = set()
+        for cone in extract_register_cones(seq_netlist):
+            member_union |= set(cone.member_gates)
+        for register in seq_netlist.registers:
+            for gate in combinational_fanin(seq_netlist, register):
+                assert gate.name in member_union
+
+    def test_combinational_design_yields_whole_circuit_cone(self, comb_netlist):
+        cones = extract_register_cones(comb_netlist)
+        assert len(cones) == 1
+        assert cones[0].attributes.get("combinational") is True
+        assert cones[0].num_gates == comb_netlist.num_gates
+
+
+class TestWholeCircuitCone:
+    def test_wraps_full_netlist(self, comb_netlist):
+        cone = whole_circuit_cone(comb_netlist)
+        assert cone.num_gates == comb_netlist.num_gates
+        assert set(cone.boundary_inputs) == set(comb_netlist.primary_inputs)
+        assert cone.parent_name == comb_netlist.name
+
+    def test_statistics(self, seq_netlist):
+        cones = extract_register_cones(seq_netlist)
+        stats = cone_statistics(cones)
+        assert stats["num_cones"] == len(cones)
+        assert stats["avg_gates"] == pytest.approx(
+            sum(c.num_gates for c in cones) / len(cones)
+        )
+        assert stats["max_gates"] == max(c.num_gates for c in cones)
+
+    def test_statistics_empty(self):
+        stats = cone_statistics([])
+        assert stats["num_cones"] == 0
+        assert stats["avg_gates"] == 0.0

@@ -1,0 +1,191 @@
+"""Tests for the gate-level netlist IR (repro.netlist.core)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netlist import Gate, Netlist, NetlistError
+
+
+@pytest.fixture()
+def empty(library):
+    return Netlist("unit", library=library)
+
+
+class TestConstruction:
+    def test_add_gate_with_ordered_inputs(self, empty):
+        empty.add_primary_input("a")
+        empty.add_primary_input("b")
+        gate = empty.add_gate("u1", "AND2_X1", ["a", "b"], "y")
+        assert gate.inputs == {"A": "a", "B": "b"}
+        assert empty.driver("y") is gate
+
+    def test_add_gate_with_pin_map(self, empty):
+        empty.add_primary_input("a")
+        gate = empty.add_gate("u1", "INV_X1", {"A": "a"}, "y")
+        assert gate.input_nets == ["a"]
+
+    def test_add_gate_attributes_are_stored(self, empty):
+        empty.add_primary_input("a")
+        gate = empty.add_gate("u1", "INV_X1", ["a"], "y", block="adder")
+        assert gate.attributes["block"] == "adder"
+
+    def test_duplicate_gate_name_rejected(self, empty):
+        empty.add_primary_input("a")
+        empty.add_gate("u1", "INV_X1", ["a"], "y")
+        with pytest.raises(NetlistError):
+            empty.add_gate("u1", "INV_X1", ["a"], "z")
+
+    def test_multiple_drivers_rejected(self, empty):
+        empty.add_primary_input("a")
+        empty.add_gate("u1", "INV_X1", ["a"], "y")
+        with pytest.raises(NetlistError):
+            empty.add_gate("u2", "BUF_X1", ["a"], "y")
+
+    def test_driving_primary_input_rejected(self, empty):
+        empty.add_primary_input("a")
+        with pytest.raises(NetlistError):
+            empty.add_gate("u1", "INV_X1", ["a"], "a")
+
+    def test_wrong_input_arity_rejected(self, empty):
+        empty.add_primary_input("a")
+        with pytest.raises(NetlistError):
+            empty.add_gate("u1", "AND2_X1", ["a"], "y")
+
+    def test_unknown_pin_rejected(self, empty):
+        empty.add_primary_input("a")
+        with pytest.raises(NetlistError):
+            empty.add_gate("u1", "INV_X1", {"Q": "a"}, "y")
+
+    def test_unknown_cell_rejected(self, empty):
+        empty.add_primary_input("a")
+        with pytest.raises(KeyError):
+            empty.add_gate("u1", "MYSTERY_X1", ["a"], "y")
+
+    def test_primary_input_cannot_be_driven_net(self, empty):
+        empty.add_primary_input("a")
+        empty.add_gate("u1", "INV_X1", ["a"], "y")
+        with pytest.raises(NetlistError):
+            empty.add_primary_input("y")
+
+    def test_remove_gate_clears_driver(self, empty):
+        empty.add_primary_input("a")
+        empty.add_gate("u1", "INV_X1", ["a"], "y")
+        empty.remove_gate("u1")
+        assert empty.driver("y") is None
+        assert empty.num_gates == 0
+
+
+class TestLookups:
+    def test_fanin_fanout(self, tiny_netlist):
+        xor_fanout = [g.name for g in tiny_netlist.fanout_gates("u_xor")]
+        assert xor_fanout == ["u_or"]
+        or_fanin = sorted(g.name for g in tiny_netlist.fanin_gates("u_or"))
+        assert or_fanin == ["u_inv", "u_xor"]
+
+    def test_loads_and_load_map_agree(self, tiny_netlist):
+        load_map = tiny_netlist.build_load_map()
+        for net in tiny_netlist.nets:
+            assert sorted(g.name for g in tiny_netlist.loads(net)) == sorted(
+                g.name for g in load_map.get(net, [])
+            )
+
+    def test_driver_of_primary_input_is_none(self, tiny_netlist):
+        assert tiny_netlist.driver("a") is None
+
+    def test_registers_and_combinational_partition(self, tiny_netlist):
+        names = {g.name for g in tiny_netlist.registers}
+        assert names == {"r_state"}
+        comb = {g.name for g in tiny_netlist.combinational_gates}
+        assert comb == {"u_xor", "u_inv", "u_or", "u_out"}
+        assert tiny_netlist.is_sequential_design()
+
+    def test_nets_cover_all_pins(self, tiny_netlist):
+        nets = set(tiny_netlist.nets)
+        for gate in tiny_netlist.gates.values():
+            assert gate.output in nets
+            assert set(gate.input_nets) <= nets
+
+    def test_cell_type_counts(self, tiny_netlist):
+        counts = tiny_netlist.cell_type_counts()
+        assert counts["INV"] == 2
+        assert counts["XOR2"] == 1
+        assert counts["DFF"] == 1
+
+    def test_total_area_is_sum_of_cells(self, tiny_netlist):
+        expected = sum(tiny_netlist.cell_of(g).area for g in tiny_netlist.gates.values())
+        assert tiny_netlist.total_area() == pytest.approx(expected)
+
+
+class TestTraversal:
+    def test_topological_order_respects_dependencies(self, comb_netlist):
+        order = {g.name: i for i, g in enumerate(comb_netlist.topological_order())}
+        for gate in comb_netlist.gates.values():
+            if comb_netlist.is_register(gate):
+                continue
+            for fanin in comb_netlist.fanin_gates(gate):
+                if comb_netlist.is_register(fanin):
+                    continue
+                assert order[fanin.name] < order[gate.name]
+
+    def test_topological_order_contains_every_gate_once(self, seq_netlist):
+        order = seq_netlist.topological_order()
+        assert len(order) == seq_netlist.num_gates
+        assert len({g.name for g in order}) == seq_netlist.num_gates
+
+    def test_topological_order_excluding_registers(self, seq_netlist):
+        order = seq_netlist.topological_order(include_registers=False)
+        assert all(not seq_netlist.is_register(g) for g in order)
+
+    def test_combinational_cycle_detected(self, library):
+        netlist = Netlist("cycle", library=library)
+        netlist.add_primary_input("a")
+        netlist.add_gate("u1", "AND2_X1", ["a", "y2"], "y1")
+        netlist.add_gate("u2", "INV_X1", ["y1"], "y2")
+        with pytest.raises(NetlistError):
+            netlist.topological_order()
+
+    def test_register_feedback_is_not_a_cycle(self, library):
+        """A register feeding its own cone must not count as a combinational cycle."""
+        netlist = Netlist("feedback", library=library)
+        netlist.add_primary_input("a")
+        netlist.add_gate("u1", "XOR2_X1", ["a", "q"], "d")
+        netlist.add_gate("r1", "DFF_X1", {"D": "d"}, "q")
+        order = [g.name for g in netlist.topological_order()]
+        assert set(order) == {"u1", "r1"}
+
+    def test_validate_passes_for_synthesised_netlists(self, comb_netlist, seq_netlist):
+        comb_netlist.validate()
+        seq_netlist.validate()
+
+    def test_validate_rejects_undriven_pin(self, library):
+        netlist = Netlist("undriven", library=library)
+        netlist.add_primary_input("a")
+        netlist.add_gate("u1", "AND2_X1", ["a", "ghost"], "y")
+        with pytest.raises(NetlistError):
+            netlist.validate()
+
+    def test_validate_rejects_undriven_output(self, library):
+        netlist = Netlist("floating_out", library=library)
+        netlist.add_primary_input("a")
+        netlist.add_primary_output("nowhere")
+        with pytest.raises(NetlistError):
+            netlist.validate()
+
+
+class TestCopy:
+    def test_copy_is_deep_for_gates(self, tiny_netlist):
+        clone = tiny_netlist.copy()
+        clone.gates["u_xor"].attributes["marker"] = True
+        assert "marker" not in tiny_netlist.gates["u_xor"].attributes
+
+    def test_copy_preserves_structure(self, comb_netlist):
+        clone = comb_netlist.copy("renamed")
+        assert clone.name == "renamed"
+        assert clone.num_gates == comb_netlist.num_gates
+        assert clone.primary_inputs == comb_netlist.primary_inputs
+        assert clone.primary_outputs == comb_netlist.primary_outputs
+        assert clone.cell_type_counts() == comb_netlist.cell_type_counts()
+
+    def test_copy_shares_library(self, tiny_netlist):
+        assert tiny_netlist.copy().library is tiny_netlist.library

@@ -1,0 +1,112 @@
+"""Tests for the graph views of a netlist (repro.netlist.graph)."""
+
+from __future__ import annotations
+
+import numpy as np
+import networkx as nx
+import pytest
+
+from repro.netlist import build_graph_view, gate_order, structural_features, to_networkx
+
+
+class TestGraphView:
+    def test_nodes_in_sorted_gate_order(self, tiny_netlist):
+        view = build_graph_view(tiny_netlist)
+        assert view.node_names == sorted(tiny_netlist.gates)
+        assert view.num_nodes == tiny_netlist.num_gates
+
+    def test_edges_follow_signal_flow(self, tiny_netlist):
+        view = build_graph_view(tiny_netlist)
+        index = view.name_to_index
+        pairs = set(zip(view.edge_index[0].tolist(), view.edge_index[1].tolist()))
+        assert (index["u_xor"], index["u_or"]) in pairs
+        assert (index["u_inv"], index["u_or"]) in pairs
+        assert (index["u_out"], index["r_state"]) in pairs
+
+    def test_edge_count_matches_driven_pins(self, comb_netlist):
+        view = build_graph_view(comb_netlist)
+        expected = sum(
+            1
+            for gate in comb_netlist.gates.values()
+            for net in gate.input_nets
+            if comb_netlist.driver(net) is not None
+        )
+        assert view.num_edges == expected
+
+    def test_adjacency_is_symmetric_and_normalised(self, comb_netlist):
+        view = build_graph_view(comb_netlist)
+        adjacency = view.adjacency
+        assert adjacency.shape == (view.num_nodes, view.num_nodes)
+        assert np.allclose(adjacency, adjacency.T)
+        # Self-loops plus D^-1/2 A D^-1/2 keeps every row's spectral radius <= 1.
+        eigenvalues = np.linalg.eigvalsh(adjacency)
+        assert eigenvalues.max() <= 1.0 + 1e-9
+
+    def test_adjacency_without_self_loops(self, tiny_netlist):
+        view = build_graph_view(tiny_netlist, add_self_loops=False)
+        assert np.all(np.diag(view.adjacency) == 0.0)
+
+    def test_name_to_index_round_trip(self, tiny_netlist):
+        view = build_graph_view(tiny_netlist)
+        for i, name in enumerate(view.node_names):
+            assert view.name_to_index[name] == i
+
+
+class TestNetworkxView:
+    def test_graph_is_directed_and_complete(self, tiny_netlist):
+        graph = to_networkx(tiny_netlist)
+        assert isinstance(graph, nx.DiGraph)
+        assert set(graph.nodes) == set(tiny_netlist.gates)
+        assert graph.has_edge("u_xor", "u_or")
+        assert not graph.has_edge("u_or", "u_xor")
+
+    def test_node_attributes_present(self, tiny_netlist):
+        graph = to_networkx(tiny_netlist)
+        node = graph.nodes["r_state"]
+        assert node["cell_type"] == "DFF"
+        assert node["is_register"] is True
+        assert node["role"] == "state"
+
+    def test_edge_net_annotation(self, tiny_netlist):
+        graph = to_networkx(tiny_netlist)
+        assert graph.edges["u_xor", "u_or"]["net"] == "n_xor"
+
+    def test_combinational_subgraph_is_acyclic(self, seq_netlist):
+        graph = to_networkx(seq_netlist)
+        comb = graph.subgraph(
+            [g.name for g in seq_netlist.combinational_gates]
+        )
+        assert nx.is_directed_acyclic_graph(comb)
+
+
+class TestStructuralFeatures:
+    def test_shape_and_one_hot(self, comb_netlist):
+        features = structural_features(comb_netlist)
+        num_types = len(comb_netlist.library.type_index())
+        assert features.shape == (comb_netlist.num_gates, num_types + 4)
+        # Exactly one cell-type slot is hot per gate.
+        assert np.all(features[:, :num_types].sum(axis=1) == 1.0)
+
+    def test_register_flag_and_depth(self, seq_netlist):
+        features = structural_features(seq_netlist)
+        num_types = len(seq_netlist.library.type_index())
+        gates = gate_order(seq_netlist)
+        for i, gate in enumerate(gates):
+            is_reg = seq_netlist.is_register(gate)
+            assert features[i, num_types + 2] == (1.0 if is_reg else 0.0)
+            if is_reg:
+                assert features[i, num_types + 3] == 0.0
+
+    def test_fanin_counts_match(self, tiny_netlist):
+        features = structural_features(tiny_netlist)
+        num_types = len(tiny_netlist.library.type_index())
+        gates = gate_order(tiny_netlist)
+        for i, gate in enumerate(gates):
+            assert features[i, num_types + 0] == len(gate.inputs)
+
+    def test_depth_increases_along_paths(self, tiny_netlist):
+        features = structural_features(tiny_netlist)
+        num_types = len(tiny_netlist.library.type_index())
+        names = [g.name for g in gate_order(tiny_netlist)]
+        depth = {name: features[i, num_types + 3] for i, name in enumerate(names)}
+        assert depth["u_xor"] < depth["u_or"] < depth["u_out"]

@@ -1,0 +1,189 @@
+"""Tests for the text-attributed-graph formulation (repro.netlist.tag)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.expr import equivalent, parse
+from repro.netlist import (
+    EXPRESSION_FEATURES,
+    PHYSICAL_FIELDS,
+    expression_dataset,
+    expression_feature_vector,
+    gate_expression,
+    netlist_to_tag,
+    physical_annotations,
+    render_gate_text,
+)
+
+
+class TestGateExpression:
+    def test_one_hop_is_local_function(self, tiny_netlist):
+        expr = gate_expression(tiny_netlist, "u_xor", k=1)
+        assert equivalent(expr, parse("a ^ b"))
+
+    def test_two_hop_expands_fanin(self, tiny_netlist):
+        expr = gate_expression(tiny_netlist, "u_or", k=2)
+        assert equivalent(expr, parse("(a ^ b) | !b"))
+
+    def test_deep_expansion_reaches_primary_inputs(self, tiny_netlist):
+        expr = gate_expression(tiny_netlist, "u_out", k=4)
+        assert equivalent(expr, parse("!((a ^ b) | !b)"))
+
+    def test_register_expression_is_next_state_function(self, tiny_netlist):
+        expr = gate_expression(tiny_netlist, "r_state", k=4)
+        assert equivalent(expr, parse("!((a ^ b) | !b)"))
+
+    def test_pi_only_fanin_is_independent_of_k(self, tiny_netlist):
+        """A gate whose fan-in is all primary inputs has the same expression for any k."""
+        for k in (1, 2, 5):
+            assert equivalent(gate_expression(tiny_netlist, "u_xor", k=k), parse("a ^ b"))
+
+
+class TestExpressionFeatures:
+    def test_feature_vector_length_matches_declaration(self):
+        vec = expression_feature_vector(parse("a & b | !c"))
+        assert vec.shape == (len(EXPRESSION_FEATURES),)
+
+    def test_operator_counts(self):
+        vec = expression_feature_vector(parse("(a & b) ^ !(c | d)"))
+        features = dict(zip(EXPRESSION_FEATURES, vec))
+        assert features["and_count"] == 1
+        assert features["or_count"] == 1
+        assert features["xor_count"] == 1
+        assert features["not_count"] == 1
+        assert features["num_variables"] == 4
+
+    def test_signal_probability_of_simple_gates(self):
+        and_vec = dict(zip(EXPRESSION_FEATURES, expression_feature_vector(parse("a & b"))))
+        or_vec = dict(zip(EXPRESSION_FEATURES, expression_feature_vector(parse("a | b"))))
+        assert and_vec["signal_probability"] == pytest.approx(0.25)
+        assert or_vec["signal_probability"] == pytest.approx(0.75)
+
+    def test_wide_expressions_use_default_probability(self):
+        wide = parse(" & ".join(f"v{i}" for i in range(12)))
+        features = dict(zip(EXPRESSION_FEATURES, expression_feature_vector(wide)))
+        assert features["signal_probability"] == pytest.approx(0.5)
+
+
+class TestPhysicalAnnotations:
+    def test_every_gate_annotated_with_all_fields(self, comb_netlist):
+        annotations = physical_annotations(comb_netlist)
+        assert set(annotations) == set(comb_netlist.gates)
+        for values in annotations.values():
+            assert set(values) == set(PHYSICAL_FIELDS)
+
+    def test_probability_and_toggle_in_valid_range(self, comb_netlist):
+        for values in physical_annotations(comb_netlist).values():
+            assert 0.0 <= values["probability"] <= 1.0
+            assert values["toggle_rate"] >= 0.0
+
+    def test_area_matches_cell_library(self, tiny_netlist):
+        annotations = physical_annotations(tiny_netlist)
+        for name, values in annotations.items():
+            assert values["area"] == pytest.approx(tiny_netlist.cell_of(name).area)
+
+    def test_load_reflects_fanout(self, tiny_netlist):
+        annotations = physical_annotations(tiny_netlist)
+        # u_inv drives one sink (u_or); u_xor drives one sink too; the OR gate
+        # drives u_out.  A gate with no sink still sees the wire estimate.
+        assert annotations["u_or"]["load"] > 0.0
+        assert annotations["u_out"]["delay"] >= tiny_netlist.cell_of("u_out").delay
+
+    def test_power_includes_leakage(self, tiny_netlist):
+        annotations = physical_annotations(tiny_netlist)
+        for name, values in annotations.items():
+            assert values["power"] >= tiny_netlist.cell_of(name).leakage_power - 1e-9
+
+
+class TestRenderGateText:
+    def test_paper_prompt_format(self):
+        physical = {f: 1.0 for f in PHYSICAL_FIELDS}
+        text = render_gate_text("U3", "NOR2", "!((R1 ^ R2) | !R2)", physical)
+        assert "[Name] U3" in text
+        assert "[Type] NOR2" in text
+        assert "[Expr] U3 = !((R1 ^ R2) | !R2)" in text
+        assert "[Phys]" in text
+
+    def test_expression_can_be_omitted(self):
+        physical = {f: 1.0 for f in PHYSICAL_FIELDS}
+        text = render_gate_text("U3", "NOR2", "a & b", physical, include_expression=False)
+        assert "[Expr]" not in text
+        assert "[Phys]" in text
+
+    def test_physical_can_be_omitted(self):
+        physical = {f: 1.0 for f in PHYSICAL_FIELDS}
+        text = render_gate_text("U3", "NOR2", "a & b", physical, include_physical=False)
+        assert "[Phys]" not in text
+        assert "[Expr]" in text
+
+
+class TestNetlistToTag:
+    def test_node_per_gate_in_graph_order(self, comb_netlist):
+        tag = netlist_to_tag(comb_netlist)
+        assert tag.num_nodes == comb_netlist.num_gates
+        assert [n.name for n in tag.nodes] == tag.graph.node_names
+
+    def test_node_fields_populated(self, tiny_netlist):
+        tag = netlist_to_tag(tiny_netlist, k=2)
+        node = tag.nodes[tag.node_index("u_or")]
+        assert node.cell_type == "OR2"
+        assert node.is_register is False
+        assert "[Expr]" in node.text
+        assert set(node.physical) == set(PHYSICAL_FIELDS)
+        assert node.expression_features.shape == (len(EXPRESSION_FEATURES),)
+
+    def test_register_node_flagged(self, tiny_netlist):
+        tag = netlist_to_tag(tiny_netlist)
+        node = tag.nodes[tag.node_index("r_state")]
+        assert node.is_register is True
+        assert node.cell_type == "DFF"
+
+    def test_physical_matrix_shape_and_normalisation(self, comb_netlist):
+        tag = netlist_to_tag(comb_netlist)
+        raw = tag.physical_matrix(normalise=False)
+        normalised = tag.physical_matrix(normalise=True)
+        assert raw.shape == (tag.num_nodes, len(PHYSICAL_FIELDS))
+        assert np.all(normalised <= np.log1p(np.maximum(raw, 0.0)) + 1e-12)
+
+    def test_expression_feature_matrix_shape(self, comb_netlist):
+        tag = netlist_to_tag(comb_netlist)
+        assert tag.expression_feature_matrix().shape == (tag.num_nodes, len(EXPRESSION_FEATURES))
+
+    def test_cell_type_labels(self, tiny_netlist):
+        tag = netlist_to_tag(tiny_netlist)
+        type_index = tiny_netlist.library.type_index()
+        labels = tag.cell_type_labels(type_index)
+        assert labels[tag.node_index("u_xor")] == type_index["XOR2"]
+        assert labels[tag.node_index("r_state")] == type_index["DFF"]
+
+    def test_include_flags_strip_text_sections(self, tiny_netlist):
+        tag = netlist_to_tag(tiny_netlist, include_expression=False, include_physical=False)
+        for node in tag.nodes:
+            assert "[Expr]" not in node.text
+            assert "[Phys]" not in node.text
+
+    def test_gate_attributes_carried_to_nodes(self, tiny_netlist):
+        tag = netlist_to_tag(tiny_netlist)
+        assert tag.nodes[tag.node_index("r_state")].attributes.get("role") == "state"
+
+    def test_netlist_attributes_carried_to_graph(self, tiny_netlist):
+        tag = netlist_to_tag(tiny_netlist)
+        assert tag.attributes["num_gates"] == tiny_netlist.num_gates
+
+
+class TestExpressionDataset:
+    def test_skips_registers(self, tiny_netlist):
+        pairs = expression_dataset(tiny_netlist)
+        names = [name for name, _ in pairs]
+        assert "r_state" not in names
+        assert set(names) == {"u_xor", "u_inv", "u_or", "u_out"}
+
+    def test_expressions_parse_back(self, tiny_netlist):
+        for _, text in expression_dataset(tiny_netlist, k=2):
+            parse(text)  # must not raise
+
+    def test_max_gates_cap(self, comb_netlist):
+        pairs = expression_dataset(comb_netlist, max_gates=5)
+        assert len(pairs) == 5

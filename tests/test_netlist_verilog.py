@@ -1,0 +1,128 @@
+"""Tests for the structural Verilog writer/reader (repro.netlist.verilog)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netlist import NetlistError, read_verilog, write_verilog
+
+
+def assert_same_structure(original, parsed):
+    """The parsed netlist must match the original gate-for-gate."""
+    assert parsed.num_gates == original.num_gates
+    assert set(parsed.gates) == set(original.gates)
+    assert set(parsed.primary_inputs) == set(
+        net for net in original.primary_inputs if net != original.clock
+    )
+    assert set(parsed.primary_outputs) == set(original.primary_outputs)
+    for name, gate in original.gates.items():
+        twin = parsed.gates[name]
+        assert twin.cell_name == gate.cell_name
+        assert twin.output == gate.output
+        assert twin.inputs == gate.inputs
+
+
+class TestWriter:
+    def test_emits_module_header_and_footer(self, tiny_netlist):
+        text = write_verilog(tiny_netlist)
+        assert text.startswith(f"module {tiny_netlist.name} (")
+        assert text.rstrip().endswith("endmodule")
+
+    def test_declares_all_ports(self, tiny_netlist):
+        text = write_verilog(tiny_netlist)
+        assert "  input a;" in text
+        assert "  input b;" in text
+        assert "  output n_out;" in text
+
+    def test_sequential_design_declares_clock(self, seq_netlist):
+        text = write_verilog(seq_netlist)
+        assert f"  input {seq_netlist.clock};" in text
+        assert f".CK({seq_netlist.clock})" in text
+
+    def test_every_gate_instantiated_once(self, comb_netlist):
+        text = write_verilog(comb_netlist)
+        for name in comb_netlist.gates:
+            assert f" {name} (" in text
+
+    def test_writes_to_file(self, tiny_netlist, tmp_path):
+        path = tmp_path / "tiny.v"
+        text = write_verilog(tiny_netlist, path=path)
+        assert path.read_text() == text
+
+
+class TestReader:
+    def test_round_trip_tiny(self, tiny_netlist):
+        parsed = read_verilog(write_verilog(tiny_netlist), from_string=True)
+        assert_same_structure(tiny_netlist, parsed)
+
+    def test_round_trip_combinational(self, comb_netlist):
+        parsed = read_verilog(write_verilog(comb_netlist), from_string=True)
+        assert_same_structure(comb_netlist, parsed)
+        parsed.validate()
+
+    def test_round_trip_sequential(self, seq_netlist):
+        parsed = read_verilog(write_verilog(seq_netlist), from_string=True)
+        assert_same_structure(seq_netlist, parsed)
+        assert parsed.clock == seq_netlist.clock
+        assert len(parsed.registers) == len(seq_netlist.registers)
+
+    def test_round_trip_from_file(self, tiny_netlist, tmp_path):
+        path = tmp_path / "tiny.v"
+        write_verilog(tiny_netlist, path=path)
+        parsed = read_verilog(path)
+        assert_same_structure(tiny_netlist, parsed)
+
+    def test_comments_are_ignored(self):
+        source = """
+        // line comment
+        module m (a, y); /* block
+        comment */
+          input a;
+          output y;
+          INV_X1 u1 ( .A(a), .Z(y) ); // trailing comment
+        endmodule
+        """
+        parsed = read_verilog(source, from_string=True)
+        assert parsed.num_gates == 1
+        assert parsed.gates["u1"].cell_name == "INV_X1"
+
+    def test_multibit_style_names_and_spacing(self):
+        source = (
+            "module spaced ( a , b , y );\n"
+            " input a; input b; output y;\n"
+            " wire t;\n"
+            " NAND2_X1   g0(.A( a ),.B( b ),.Z( t ));\n"
+            " INV_X1 g1 ( .A(t), .Z(y) );\n"
+            "endmodule\n"
+        )
+        parsed = read_verilog(source, from_string=True)
+        assert parsed.num_gates == 2
+        assert parsed.gates["g0"].inputs == {"A": "a", "B": "b"}
+
+    def test_missing_module_raises(self):
+        with pytest.raises(NetlistError):
+            read_verilog("wire a;", from_string=True)
+
+    def test_missing_endmodule_raises(self):
+        with pytest.raises(NetlistError):
+            read_verilog("module m (a); input a;", from_string=True)
+
+    def test_unknown_cell_raises(self):
+        source = "module m (a, y); input a; output y; FOO_X9 u1 ( .A(a), .Z(y) ); endmodule"
+        with pytest.raises(NetlistError):
+            read_verilog(source, from_string=True)
+
+    def test_missing_output_pin_raises(self):
+        source = "module m (a, y); input a; output y; INV_X1 u1 ( .A(a) ); endmodule"
+        with pytest.raises(NetlistError):
+            read_verilog(source, from_string=True)
+
+    def test_clock_detection(self):
+        source = (
+            "module m (clk, d, q); input clk; input d; output q;\n"
+            "  DFF_X1 r0 ( .D(d), .Q(q), .CK(clk) );\nendmodule"
+        )
+        parsed = read_verilog(source, from_string=True)
+        assert parsed.clock == "clk"
+        assert "clk" not in parsed.primary_inputs
+        assert parsed.is_sequential_design()

@@ -1,0 +1,79 @@
+"""Tests for multi-head attention and transformer encoder blocks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+
+
+class TestMultiHeadAttention:
+    def test_output_shape_batched(self):
+        attn = nn.MultiHeadAttention(dim=16, num_heads=4)
+        out = attn(Tensor(np.random.default_rng(0).normal(size=(2, 5, 16))))
+        assert out.shape == (2, 5, 16)
+
+    def test_output_shape_unbatched(self):
+        attn = nn.MultiHeadAttention(dim=8, num_heads=2)
+        out = attn(Tensor(np.random.default_rng(0).normal(size=(6, 8))))
+        assert out.shape == (6, 8)
+
+    def test_dim_must_divide_heads(self):
+        with pytest.raises(ValueError):
+            nn.MultiHeadAttention(dim=10, num_heads=3)
+
+    def test_padding_mask_blocks_padded_positions(self):
+        """Changing a masked-out position must not change the output of valid ones."""
+        attn = nn.MultiHeadAttention(dim=8, num_heads=2, rng=np.random.default_rng(0))
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(1, 4, 8))
+        mask = np.array([[True, True, True, False]])
+        out1 = attn(Tensor(x.copy()), key_padding_mask=mask).data
+        x_changed = x.copy()
+        x_changed[0, 3] += 10.0
+        out2 = attn(Tensor(x_changed), key_padding_mask=mask).data
+        np.testing.assert_allclose(out1[0, :3], out2[0, :3], atol=1e-8)
+
+    def test_attention_is_bidirectional(self):
+        """Earlier positions attend to later ones (no causal mask)."""
+        attn = nn.MultiHeadAttention(dim=8, num_heads=2, rng=np.random.default_rng(0))
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(1, 4, 8))
+        out1 = attn(Tensor(x.copy())).data
+        x_changed = x.copy()
+        x_changed[0, 3] += 5.0
+        out2 = attn(Tensor(x_changed)).data
+        assert not np.allclose(out1[0, 0], out2[0, 0])
+
+    def test_gradients_flow(self):
+        attn = nn.MultiHeadAttention(dim=8, num_heads=2)
+        x = Tensor(np.random.default_rng(0).normal(size=(1, 3, 8)), requires_grad=True)
+        attn(x).sum().backward()
+        assert x.grad is not None
+        assert np.abs(x.grad).sum() > 0
+
+
+class TestTransformerEncoder:
+    def test_encoder_layer_shape(self):
+        layer = nn.TransformerEncoderLayer(dim=16, num_heads=2)
+        out = layer(Tensor(np.random.default_rng(0).normal(size=(2, 7, 16))))
+        assert out.shape == (2, 7, 16)
+
+    def test_encoder_stack_shape_and_depth(self):
+        encoder = nn.TransformerEncoder(dim=16, depth=3, num_heads=2)
+        assert len(encoder.layers) == 3
+        out = encoder(Tensor(np.random.default_rng(0).normal(size=(1, 5, 16))))
+        assert out.shape == (1, 5, 16)
+
+    def test_encoder_deterministic_in_eval(self):
+        encoder = nn.TransformerEncoder(dim=8, depth=1, num_heads=2, dropout=0.2)
+        encoder.eval()
+        x = Tensor(np.random.default_rng(0).normal(size=(1, 4, 8)))
+        np.testing.assert_allclose(encoder(x).data, encoder(x).data)
+
+    def test_feed_forward_shape(self):
+        ff = nn.FeedForward(dim=8, hidden_dim=16)
+        out = ff(Tensor(np.ones((3, 8))))
+        assert out.shape == (3, 8)

@@ -1,0 +1,138 @@
+"""Tests for layers, containers, state dicts and checkpoint serialisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = nn.Linear(5, 3)
+        out = layer(Tensor(np.ones((7, 5))))
+        assert out.shape == (7, 3)
+
+    def test_no_bias(self):
+        layer = nn.Linear(4, 2, bias=False)
+        assert not layer.use_bias
+        assert len(list(layer.parameters())) == 1
+
+    def test_gradients_flow_to_weights(self):
+        layer = nn.Linear(3, 2)
+        out = layer(Tensor(np.ones((4, 3)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        emb = nn.Embedding(10, 6)
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 6)
+
+    def test_out_of_range_raises(self):
+        emb = nn.Embedding(4, 2)
+        with pytest.raises(IndexError):
+            emb(np.array([5]))
+
+
+class TestLayerNormDropout:
+    def test_layer_norm_zero_mean_unit_var(self):
+        layer = nn.LayerNorm(8)
+        out = layer(Tensor(np.random.default_rng(0).normal(3.0, 2.0, size=(5, 8))))
+        np.testing.assert_allclose(out.data.mean(axis=-1), np.zeros(5), atol=1e-6)
+        np.testing.assert_allclose(out.data.std(axis=-1), np.ones(5), atol=1e-2)
+
+    def test_dropout_eval_identity(self):
+        layer = nn.Dropout(0.5)
+        layer.eval()
+        x = Tensor(np.ones((4, 4)))
+        np.testing.assert_allclose(layer(x).data, x.data)
+
+    def test_dropout_train_zeroes_some(self):
+        layer = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        layer.train()
+        out = layer(Tensor(np.ones((20, 20))))
+        assert (out.data == 0).any()
+        assert out.data.max() == pytest.approx(2.0)
+
+    def test_dropout_invalid_rate(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+
+
+class TestContainersAndMLP:
+    def test_sequential_applies_in_order(self):
+        model = nn.Sequential(nn.Linear(4, 8), nn.ReLU(), nn.Linear(8, 2))
+        out = model(Tensor(np.ones((3, 4))))
+        assert out.shape == (3, 2)
+        assert len(model) == 3
+
+    def test_mlp_default_shapes(self):
+        mlp = nn.MLP(6, 3, hidden_sizes=(16, 16))
+        out = mlp(Tensor(np.ones((5, 6))))
+        assert out.shape == (5, 3)
+
+    def test_mlp_unknown_activation(self):
+        with pytest.raises(ValueError):
+            nn.MLP(4, 2, activation="swishish")
+
+    def test_module_list(self):
+        layers = nn.ModuleList(nn.Linear(2, 2) for _ in range(3))
+        assert len(layers) == 3
+        assert isinstance(layers[1], nn.Linear)
+        with pytest.raises(RuntimeError):
+            layers(Tensor(np.ones((1, 2))))
+
+    def test_num_parameters_counts_everything(self):
+        mlp = nn.MLP(4, 2, hidden_sizes=(8,))
+        expected = 4 * 8 + 8 + 8 * 2 + 2
+        assert mlp.num_parameters() == expected
+
+    def test_train_eval_propagates(self):
+        model = nn.Sequential(nn.Dropout(0.5), nn.Linear(2, 2))
+        model.eval()
+        assert all(not m.training for m in model)
+        model.train()
+        assert all(m.training for m in model)
+
+
+class TestStateDict:
+    def test_state_dict_round_trip(self):
+        source = nn.MLP(4, 2, hidden_sizes=(8,), rng=np.random.default_rng(0))
+        target = nn.MLP(4, 2, hidden_sizes=(8,), rng=np.random.default_rng(1))
+        target.load_state_dict(source.state_dict())
+        x = Tensor(np.random.default_rng(2).normal(size=(3, 4)))
+        np.testing.assert_allclose(source(x).data, target(x).data)
+
+    def test_load_missing_key_raises(self):
+        model = nn.Linear(2, 2)
+        with pytest.raises(KeyError):
+            model.load_state_dict({})
+
+    def test_load_shape_mismatch_raises(self):
+        model = nn.Linear(2, 2)
+        state = model.state_dict()
+        state["weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+
+class TestSerialization:
+    def test_save_and_load_checkpoint(self, tmp_path):
+        model = nn.MLP(4, 2, hidden_sizes=(8,), rng=np.random.default_rng(0))
+        path = nn.save_checkpoint(model, tmp_path / "model.npz", metadata={"epoch": 3})
+        clone = nn.MLP(4, 2, hidden_sizes=(8,), rng=np.random.default_rng(1))
+        metadata = nn.load_checkpoint(clone, path)
+        assert metadata == {"epoch": 3}
+        x = Tensor(np.ones((2, 4)))
+        np.testing.assert_allclose(model(x).data, clone(x).data)
+
+    def test_load_missing_file(self, tmp_path):
+        model = nn.Linear(2, 2)
+        with pytest.raises(FileNotFoundError):
+            nn.load_checkpoint(model, tmp_path / "missing.npz")

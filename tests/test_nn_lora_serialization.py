@@ -1,0 +1,74 @@
+"""Tests for LoRA adapters and checkpoint serialization in the nn framework."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+
+
+class TestLoRA:
+    def test_lora_linear_starts_as_identity_update(self):
+        rng = np.random.default_rng(0)
+        base = nn.Linear(6, 4, rng=rng)
+        lora = nn.LoRALinear(base, rank=2, alpha=4.0, rng=rng)
+        x = Tensor(rng.normal(size=(3, 6)))
+        assert np.allclose(lora(x).data, base(x).data)  # B starts at zero
+
+    def test_lora_update_changes_output_after_training_step(self):
+        rng = np.random.default_rng(1)
+        base = nn.Linear(5, 3, rng=rng)
+        lora = nn.LoRALinear(base, rank=2, rng=rng)
+        x = Tensor(rng.normal(size=(4, 5)))
+        target = rng.normal(size=(4, 3))
+        optimizer = nn.Adam([lora.lora_a, lora.lora_b], lr=0.05)
+        before = lora(x).data.copy()
+        for _ in range(5):
+            loss = nn.mse_loss(lora(x), target)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        after = lora(x).data
+        assert not np.allclose(before, after)
+        # The frozen base projection itself is unchanged.
+        assert np.allclose(lora.merged_weight() - base.weight.data,
+                           lora.scaling * (lora.lora_a.data @ lora.lora_b.data))
+
+    def test_invalid_rank_rejected(self):
+        base = nn.Linear(4, 4)
+        with pytest.raises(ValueError):
+            nn.LoRALinear(base, rank=0)
+
+    def test_apply_lora_wraps_every_linear(self):
+        rng = np.random.default_rng(2)
+        mlp = nn.MLP(8, 3, hidden_sizes=(6,), rng=rng)
+        wrapped = nn.apply_lora(mlp, rank=2, rng=rng)
+        assert wrapped >= 2  # an MLP with one hidden layer has two Linear projections
+        lora_params = [name for name, _ in mlp.named_parameters() if "lora_" in name]
+        assert len(lora_params) == 2 * wrapped
+        out = mlp(Tensor(rng.normal(size=(2, 8))))
+        assert out.data.shape == (2, 3)
+
+
+class TestSerialization:
+    def test_checkpoint_round_trip(self, tmp_path):
+        rng = np.random.default_rng(3)
+        model = nn.MLP(6, 2, hidden_sizes=(5,), rng=rng)
+        x = Tensor(rng.normal(size=(3, 6)))
+        reference = model(x).data.copy()
+        path = nn.save_checkpoint(model, tmp_path / "model.npz", metadata={"step": 7})
+
+        fresh = nn.MLP(6, 2, hidden_sizes=(5,), rng=np.random.default_rng(99))
+        assert not np.allclose(fresh(x).data, reference)
+        metadata = nn.load_checkpoint(fresh, path)
+        assert metadata.get("step") == 7
+        assert np.allclose(fresh(x).data, reference)
+
+    def test_load_into_mismatched_model_fails(self, tmp_path):
+        model = nn.MLP(6, 2, hidden_sizes=(5,), rng=np.random.default_rng(4))
+        path = nn.save_checkpoint(model, tmp_path / "model.npz")
+        other = nn.MLP(7, 2, hidden_sizes=(5,), rng=np.random.default_rng(5))
+        with pytest.raises(Exception):
+            nn.load_checkpoint(other, path)

@@ -1,0 +1,123 @@
+"""Tests for the optimisers, LR schedule and LoRA adapters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+
+
+def _fit_line(optimizer_factory, steps: int = 200) -> float:
+    """Fit y = 2x + 1 with a single Linear layer; return the final MSE."""
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(64, 1))
+    y = 2.0 * x + 1.0
+    model = nn.Linear(1, 1, rng=rng)
+    optimizer = optimizer_factory(model.parameters())
+    loss_value = np.inf
+    for _ in range(steps):
+        predictions = model(Tensor(x))
+        loss = nn.mse_loss(predictions, y)
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+        loss_value = loss.item()
+    return loss_value
+
+
+class TestOptimizers:
+    def test_sgd_converges_on_linear_regression(self):
+        assert _fit_line(lambda p: nn.SGD(p, lr=0.1, momentum=0.9)) < 1e-3
+
+    def test_adam_converges_on_linear_regression(self):
+        assert _fit_line(lambda p: nn.Adam(p, lr=0.05)) < 1e-3
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            nn.Adam([], lr=0.1)
+
+    def test_invalid_lr_rejected(self):
+        with pytest.raises(ValueError):
+            nn.SGD([Tensor(np.ones(1), requires_grad=True)], lr=0.0)
+
+    def test_weight_decay_shrinks_weights(self):
+        param = Tensor(np.full(3, 10.0), requires_grad=True)
+        optimizer = nn.Adam([param], lr=0.01, weight_decay=0.5)
+        param.grad = np.zeros(3)
+        optimizer.step()
+        assert np.all(np.abs(param.data) < 10.0)
+
+    def test_grad_clip_limits_update(self):
+        param = Tensor(np.zeros(4), requires_grad=True)
+        optimizer = nn.Adam([param], lr=1.0, grad_clip=1e-3)
+        param.grad = np.full(4, 1e6)
+        optimizer.step()
+        assert np.all(np.abs(param.data) <= 1.0 + 1e-9)
+
+    def test_step_skips_parameters_without_grad(self):
+        param = Tensor(np.ones(2), requires_grad=True)
+        optimizer = nn.SGD([param], lr=0.1)
+        optimizer.step()  # no gradient -> no change, no crash
+        np.testing.assert_allclose(param.data, np.ones(2))
+
+
+class TestCosineSchedule:
+    def test_warmup_then_decay(self):
+        param = Tensor(np.ones(1), requires_grad=True)
+        optimizer = nn.Adam([param], lr=1.0)
+        schedule = nn.CosineSchedule(optimizer, total_steps=10, warmup_steps=2, min_lr=0.1)
+        lrs = [schedule.step() for _ in range(10)]
+        assert lrs[0] < lrs[1]                       # warmup increases
+        assert lrs[1] == pytest.approx(1.0)          # peak at base lr
+        assert lrs[-1] == pytest.approx(0.1, abs=1e-6)  # decays to min lr
+        assert all(lrs[i] >= lrs[i + 1] for i in range(2, 9))
+
+    def test_invalid_total_steps(self):
+        param = Tensor(np.ones(1), requires_grad=True)
+        with pytest.raises(ValueError):
+            nn.CosineSchedule(nn.SGD([param], lr=0.1), total_steps=0)
+
+
+class TestLoRA:
+    def test_lora_starts_as_identity(self):
+        base = nn.Linear(4, 3, rng=np.random.default_rng(0))
+        lora = nn.LoRALinear(base, rank=2)
+        x = Tensor(np.random.default_rng(1).normal(size=(5, 4)))
+        np.testing.assert_allclose(lora(x).data, base(x).data)
+
+    def test_lora_parameters_exclude_base(self):
+        base = nn.Linear(4, 3)
+        lora = nn.LoRALinear(base, rank=2)
+        names = {name for name, _ in lora.named_parameters()}
+        assert names == {"lora_a", "lora_b"}
+
+    def test_apply_lora_wraps_nested_linears(self):
+        model = nn.Sequential(nn.Linear(4, 8), nn.ReLU(), nn.Linear(8, 2))
+        wrapped = nn.apply_lora(model, rank=2)
+        assert wrapped == 2
+        out = model(Tensor(np.ones((2, 4))))
+        assert out.shape == (2, 2)
+
+    def test_lora_training_changes_output(self):
+        base = nn.Linear(2, 2, rng=np.random.default_rng(0))
+        lora = nn.LoRALinear(base, rank=1)
+        optimizer = nn.Adam(lora.parameters(), lr=0.1)
+        x = np.random.default_rng(1).normal(size=(8, 2))
+        target = np.random.default_rng(2).normal(size=(8, 2))
+        before = lora(Tensor(x)).data.copy()
+        for _ in range(20):
+            loss = nn.mse_loss(lora(Tensor(x)), target)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        after = lora(Tensor(x)).data
+        assert not np.allclose(before, after)
+        # The frozen base projection itself is untouched.
+        merged = lora.merged_weight()
+        assert merged.shape == (2, 2)
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValueError):
+            nn.LoRALinear(nn.Linear(2, 2), rank=0)

@@ -1,0 +1,249 @@
+"""Tests for the autograd engine: gradients are checked against finite differences."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.nn import Tensor
+
+
+def numerical_gradient(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar function of an array."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn(x.copy())
+        flat[i] = original - eps
+        minus = fn(x.copy())
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_gradient(build_loss, shape, seed=0, atol=1e-4):
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=shape)
+    tensor = Tensor(data.copy(), requires_grad=True)
+    loss = build_loss(tensor)
+    loss.backward()
+    analytic = tensor.grad
+    numeric = numerical_gradient(lambda arr: float(build_loss(Tensor(arr)).data), data.copy())
+    np.testing.assert_allclose(analytic, numeric, atol=atol)
+
+
+class TestElementwiseGradients:
+    def test_add_mul(self):
+        check_gradient(lambda t: ((t * 3.0 + 1.5) * t).sum(), (4, 3))
+
+    def test_sub_div(self):
+        check_gradient(lambda t: ((t - 2.0) / (t * t + 5.0)).sum(), (3, 3))
+
+    def test_pow_sqrt(self):
+        check_gradient(lambda t: ((t * t + 1.0).sqrt()).sum(), (5,))
+
+    def test_exp_log(self):
+        check_gradient(lambda t: ((t.exp() + 1.0).log()).sum(), (4,))
+
+    def test_relu(self):
+        check_gradient(lambda t: (t.relu() * t).sum(), (6,), seed=3)
+
+    def test_tanh_sigmoid(self):
+        check_gradient(lambda t: (t.tanh() + t.sigmoid()).sum(), (4, 2))
+
+    def test_gelu(self):
+        check_gradient(lambda t: t.gelu().sum(), (5,))
+
+    def test_broadcast_add(self):
+        rng = np.random.default_rng(0)
+        bias_data = rng.normal(size=(3,))
+        check_gradient(lambda t: (t + Tensor(bias_data)).sum(), (4, 3))
+
+    def test_broadcast_grad_to_smaller_operand(self):
+        a = Tensor(np.ones((4, 3)), requires_grad=True)
+        b = Tensor(np.ones((3,)), requires_grad=True)
+        (a * b).sum().backward()
+        assert b.grad.shape == (3,)
+        np.testing.assert_allclose(b.grad, np.full(3, 4.0))
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis(self):
+        check_gradient(lambda t: (t.sum(axis=0) * Tensor(np.arange(3.0))).sum(), (4, 3))
+
+    def test_mean(self):
+        check_gradient(lambda t: (t.mean(axis=1) ** 2.0).sum(), (3, 5))
+
+    def test_max(self):
+        check_gradient(lambda t: t.max(axis=1).sum(), (4, 6), seed=11)
+
+    def test_reshape_transpose(self):
+        check_gradient(lambda t: (t.reshape(6, 2).transpose() * 2.0).sum(), (3, 4))
+
+    def test_getitem(self):
+        check_gradient(lambda t: (t[1:3] * 3.0).sum(), (5, 2))
+
+    def test_getitem_fancy_index(self):
+        idx = np.array([0, 2, 2])
+        check_gradient(lambda t: (t[idx] * 2.0).sum(), (4, 3))
+
+
+class TestMatmulGradients:
+    def test_matmul_2d(self):
+        rng = np.random.default_rng(1)
+        other = rng.normal(size=(3, 2))
+        check_gradient(lambda t: (t @ Tensor(other)).sum(), (4, 3))
+
+    def test_matmul_grad_wrt_right(self):
+        rng = np.random.default_rng(2)
+        left = rng.normal(size=(4, 3))
+        check_gradient(lambda t: (Tensor(left) @ t).sum(), (3, 2))
+
+    def test_matmul_batched(self):
+        rng = np.random.default_rng(3)
+        other = rng.normal(size=(5, 4))
+        check_gradient(lambda t: (t @ Tensor(other)).sum(), (2, 3, 5))
+
+    def test_matmul_vector(self):
+        rng = np.random.default_rng(4)
+        weight = rng.normal(size=(3, 2))
+        check_gradient(lambda t: (t @ Tensor(weight)).sum(), (3,))
+
+
+class TestSoftmaxFamily:
+    def test_softmax_gradient(self):
+        weights = np.arange(12.0).reshape(3, 4)
+        check_gradient(lambda t: (t.softmax(axis=-1) * Tensor(weights)).sum(), (3, 4))
+
+    def test_log_softmax_gradient(self):
+        check_gradient(lambda t: t.log_softmax(axis=-1)[np.arange(3), [0, 1, 2]].sum(), (3, 4))
+
+    def test_softmax_rows_sum_to_one(self):
+        t = Tensor(np.random.default_rng(0).normal(size=(5, 7)))
+        np.testing.assert_allclose(t.softmax(axis=-1).data.sum(axis=-1), np.ones(5))
+
+
+class TestConcatenateStackEmbedding:
+    def test_concatenate_gradient(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.ones((4, 3)), requires_grad=True)
+        out = nn.concatenate([a, b], axis=0)
+        (out * 2.0).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 3), 2.0))
+        np.testing.assert_allclose(b.grad, np.full((4, 3), 2.0))
+
+    def test_stack_gradient(self):
+        tensors = [Tensor(np.full(3, float(i)), requires_grad=True) for i in range(4)]
+        out = nn.stack(tensors, axis=0)
+        out.sum().backward()
+        for t in tensors:
+            np.testing.assert_allclose(t.grad, np.ones(3))
+
+    def test_embedding_lookup_accumulates(self):
+        table = Tensor(np.eye(4), requires_grad=True)
+        out = nn.embedding_lookup(table, np.array([1, 1, 3]))
+        out.sum().backward()
+        # Row 1 is gathered twice and each lookup has 4 columns of ones.
+        np.testing.assert_allclose(table.grad[1], np.full(4, 2.0))
+        np.testing.assert_allclose(table.grad[3], np.ones(4))
+        np.testing.assert_allclose(table.grad[0], np.zeros(4))
+
+    def test_where_mask(self):
+        mask = np.array([True, False, True])
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.zeros(3), requires_grad=True)
+        out = nn.where_mask(mask, a, b)
+        out.sum().backward()
+        np.testing.assert_allclose(out.data, [1.0, 0.0, 1.0])
+        np.testing.assert_allclose(a.grad, [1.0, 0.0, 1.0])
+        np.testing.assert_allclose(b.grad, [0.0, 1.0, 0.0])
+
+
+class TestBackwardMechanics:
+    def test_backward_requires_scalar(self):
+        t = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(ValueError):
+            (t * 2.0).backward()
+
+    def test_gradient_accumulation_across_uses(self):
+        t = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        loss = (t * 2.0).sum() + (t * 3.0).sum()
+        loss.backward()
+        np.testing.assert_allclose(t.grad, [5.0, 5.0])
+
+    def test_zero_grad(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        (t * 2.0).sum().backward()
+        assert t.grad is not None
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_detach_stops_gradients(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        detached = t.detach()
+        assert not detached.requires_grad
+
+    def test_deep_chain_no_recursion_error(self):
+        t = Tensor(np.ones(2), requires_grad=True)
+        out = t
+        for _ in range(2000):
+            out = out + 1.0
+        out.sum().backward()
+        np.testing.assert_allclose(t.grad, [1.0, 1.0])
+
+
+class TestLossFunctions:
+    def test_cross_entropy_matches_manual(self):
+        logits = Tensor(np.array([[2.0, 0.0], [0.0, 3.0]]), requires_grad=True)
+        targets = np.array([0, 1])
+        loss = nn.cross_entropy(logits, targets)
+        manual = -np.mean(
+            [np.log(np.exp(2.0) / (np.exp(2.0) + 1.0)), np.log(np.exp(3.0) / (np.exp(3.0) + 1.0))]
+        )
+        assert loss.item() == pytest.approx(manual, rel=1e-6)
+
+    def test_cross_entropy_gradient(self):
+        targets = np.array([1, 0, 2])
+        check_gradient(lambda t: nn.cross_entropy(t, targets), (3, 4))
+
+    def test_mse_loss(self):
+        predictions = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+        loss = nn.mse_loss(predictions, np.array([1.0, 1.0, 1.0]))
+        assert loss.item() == pytest.approx((0.0 + 1.0 + 4.0) / 3.0)
+
+    def test_info_nce_prefers_aligned_pairs(self):
+        rng = np.random.default_rng(0)
+        aligned = Tensor(np.eye(4) + 0.01 * rng.normal(size=(4, 4)))
+        loss_aligned = nn.info_nce(aligned, aligned)
+        shuffled = Tensor(np.roll(np.eye(4), 1, axis=0))
+        loss_mismatched = nn.info_nce(aligned, shuffled)
+        assert loss_aligned.item() < loss_mismatched.item()
+
+    def test_info_nce_requires_batch(self):
+        with pytest.raises(ValueError):
+            nn.info_nce(Tensor(np.ones((1, 4))), Tensor(np.ones((1, 4))))
+
+    def test_normalize_unit_norm(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(5, 3)))
+        norms = np.linalg.norm(nn.normalize(x).data, axis=-1)
+        np.testing.assert_allclose(norms, np.ones(5), atol=1e-6)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.integers(min_value=1, max_value=4),
+    cols=st.integers(min_value=1, max_value=4),
+    scale=st.floats(min_value=-3.0, max_value=3.0, allow_nan=False),
+)
+def test_add_mul_gradients_property(rows, cols, scale):
+    """Property: d/dx sum(x * s + x) == s + 1 for every element."""
+    data = np.random.default_rng(0).normal(size=(rows, cols))
+    t = Tensor(data, requires_grad=True)
+    (t * scale + t).sum().backward()
+    np.testing.assert_allclose(t.grad, np.full((rows, cols), scale + 1.0), atol=1e-9)

@@ -1,0 +1,155 @@
+"""Tests for the physical-design substrate: placement, parasitics, optimisation, layout graphs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.physical import (
+    LAYOUT_FEATURES,
+    build_layout_graph,
+    compute_net_wirelengths,
+    extract_parasitics,
+    physically_optimize,
+    place,
+)
+
+
+class TestPlacement:
+    def test_every_gate_gets_coordinates_inside_die(self, seq_netlist):
+        placement = place(seq_netlist)
+        assert set(placement.coordinates) == set(seq_netlist.gates)
+        for x, y in placement.coordinates.values():
+            assert 0.0 <= x <= placement.die_width
+            assert 0.0 <= y <= placement.die_height
+
+    def test_die_area_respects_utilization(self, comb_netlist):
+        placement = place(comb_netlist, target_utilization=0.5)
+        die_area = placement.die_width * placement.die_height
+        assert die_area * 0.5 >= comb_netlist.total_area() * 0.99
+
+    def test_invalid_utilization_rejected(self, comb_netlist):
+        with pytest.raises(ValueError):
+            place(comb_netlist, target_utilization=0.0)
+        with pytest.raises(ValueError):
+            place(comb_netlist, target_utilization=1.5)
+
+    def test_placement_is_deterministic_for_fixed_seed(self, comb_netlist):
+        a = place(comb_netlist, seed=3)
+        b = place(comb_netlist, seed=3)
+        assert a.coordinates == b.coordinates
+
+    def test_net_wirelengths_nonnegative_and_cover_multi_pin_nets(self, comb_netlist):
+        placement = place(comb_netlist)
+        wirelengths = compute_net_wirelengths(comb_netlist, placement)
+        assert all(value >= 0.0 for value in wirelengths.values())
+        assert placement.total_wirelength == pytest.approx(sum(placement.net_wirelength.values()))
+
+    def test_location_lookup(self, comb_netlist):
+        placement = place(comb_netlist)
+        name = next(iter(comb_netlist.gates))
+        assert placement.location(name) == placement.coordinates[name]
+
+
+class TestParasitics:
+    def test_every_driven_net_has_parasitics(self, comb_netlist):
+        placement = place(comb_netlist)
+        spef = extract_parasitics(comb_netlist, placement)
+        for gate in comb_netlist.gates.values():
+            assert gate.output in spef
+
+    def test_parasitic_values_physical(self, comb_netlist):
+        placement = place(comb_netlist)
+        spef = extract_parasitics(comb_netlist, placement)
+        for parasitic in spef.nets.values():
+            assert parasitic.capacitance >= parasitic.wire_capacitance >= 0.0
+            assert parasitic.resistance >= 0.0
+            assert parasitic.elmore_delay >= 0.0
+
+    def test_longer_nets_have_more_wire_capacitance(self, comb_netlist):
+        placement = place(comb_netlist)
+        spef = extract_parasitics(comb_netlist, placement)
+        nets = sorted(spef.nets.values(), key=lambda p: p.wirelength)
+        if len(nets) >= 2 and nets[-1].wirelength > nets[0].wirelength:
+            assert nets[-1].wire_capacitance >= nets[0].wire_capacitance
+
+    def test_total_wire_capacitance_is_sum(self, comb_netlist):
+        placement = place(comb_netlist)
+        spef = extract_parasitics(comb_netlist, placement)
+        assert spef.total_wire_capacitance == pytest.approx(
+            sum(p.wire_capacitance for p in spef.nets.values())
+        )
+
+    def test_spef_write(self, tiny_netlist, tmp_path):
+        placement = place(tiny_netlist)
+        spef = extract_parasitics(tiny_netlist, placement)
+        path = spef.write(tmp_path / "tiny.spef")
+        text = path.read_text()
+        assert "*DESIGN" in text
+        assert text.count("*D_NET") == len(spef.nets)
+
+
+class TestPhysicalOptimization:
+    def test_optimized_netlist_is_valid_copy(self, seq_netlist):
+        placement = place(seq_netlist)
+        optimized, report = physically_optimize(seq_netlist, placement)
+        assert optimized is not seq_netlist
+        optimized.validate()
+        assert report.total_changes == report.upsized + report.downsized + report.buffers_inserted
+
+    def test_original_netlist_untouched(self, seq_netlist):
+        before = {name: gate.cell_name for name, gate in seq_netlist.gates.items()}
+        placement = place(seq_netlist)
+        physically_optimize(seq_netlist, placement)
+        after = {name: gate.cell_name for name, gate in seq_netlist.gates.items()}
+        assert before == after
+
+    def test_buffering_long_nets_adds_gates(self, comb_netlist):
+        placement = place(comb_netlist)
+        optimized, report = physically_optimize(
+            comb_netlist, placement, wirelength_threshold=0.5, fanout_threshold=2
+        )
+        assert optimized.num_gates >= comb_netlist.num_gates
+        if report.buffers_inserted:
+            assert optimized.num_gates == comb_netlist.num_gates + report.buffers_inserted
+
+    def test_upsizing_increases_area(self, comb_netlist):
+        placement = place(comb_netlist)
+        optimized, report = physically_optimize(
+            comb_netlist, placement, fanout_threshold=1, downsize_fraction=0.0
+        )
+        if report.upsized:
+            assert optimized.total_area() > comb_netlist.total_area()
+
+    def test_preserves_primary_ports(self, seq_netlist):
+        placement = place(seq_netlist)
+        optimized, _ = physically_optimize(seq_netlist, placement)
+        assert set(optimized.primary_outputs) == set(seq_netlist.primary_outputs)
+        assert set(optimized.primary_inputs) == set(seq_netlist.primary_inputs)
+
+    def test_register_count_is_preserved(self, seq_netlist):
+        placement = place(seq_netlist)
+        optimized, _ = physically_optimize(seq_netlist, placement)
+        assert len(optimized.registers) == len(seq_netlist.registers)
+
+
+class TestLayoutGraph:
+    def test_feature_matrix_shape(self, seq_netlist):
+        layout = build_layout_graph(seq_netlist)
+        assert layout.num_nodes == seq_netlist.num_gates
+        assert layout.node_features.shape == (layout.num_nodes, len(LAYOUT_FEATURES))
+
+    def test_node_order_matches_graph_view(self, comb_netlist):
+        layout = build_layout_graph(comb_netlist)
+        assert layout.node_names == layout.graph.node_names
+
+    def test_normalised_features_finite(self, comb_netlist):
+        layout = build_layout_graph(comb_netlist)
+        matrix = layout.feature_matrix(normalise=True)
+        assert np.all(np.isfinite(matrix))
+
+    def test_accepts_precomputed_placement_and_spef(self, tiny_netlist):
+        placement = place(tiny_netlist)
+        spef = extract_parasitics(tiny_netlist, placement)
+        layout = build_layout_graph(tiny_netlist, placement=placement, spef=spef)
+        assert layout.num_nodes == tiny_netlist.num_gates

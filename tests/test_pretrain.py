@@ -1,0 +1,216 @@
+"""Tests for the self-supervised pre-training machinery (repro.pretrain)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.encoders import ExprLLM, TAGFormer, TextEncoderConfig
+from repro.expr import equivalent, parse
+from repro.netlist import netlist_to_tag
+from repro.nn import Tensor
+from repro.pretrain import (
+    ExprLLMPretrainer,
+    ExprPretrainConfig,
+    TAGFormerPretrainer,
+    TAGPretrainConfig,
+    augment_expression,
+    augment_tag,
+    build_expression_pairs,
+    build_pretrain_sample,
+    collect_expression_corpus,
+    cross_stage_loss,
+    expression_contrastive_loss,
+    graph_contrastive_loss,
+    graph_size_loss,
+    mask_node_indices,
+    masked_gate_features,
+    masked_gate_loss,
+    size_target_vector,
+)
+
+
+@pytest.fixture(scope="module")
+def expr_llm():
+    return ExprLLM(TextEncoderConfig.preset("small"), rng=np.random.default_rng(0))
+
+
+@pytest.fixture(scope="module")
+def comb_tag(comb_netlist):
+    return netlist_to_tag(comb_netlist)
+
+
+class TestAugmentations:
+    def test_augment_expression_preserves_function(self, fresh_rng):
+        original = "!((a ^ b) | !b) & (c | d)"
+        for _ in range(5):
+            rewritten = augment_expression(original, fresh_rng)
+            assert equivalent(parse(original), parse(rewritten))
+
+    def test_augment_expression_handles_garbage(self, fresh_rng):
+        assert augment_expression("not ((an expression", fresh_rng) == "not ((an expression"
+
+    def test_build_expression_pairs(self, fresh_rng):
+        expressions = ["a & b", "a | !b", "a ^ (b & c)"]
+        pairs = build_expression_pairs(expressions, rng=fresh_rng)
+        assert len(pairs) == 3
+        for original, rewrite in pairs:
+            assert equivalent(parse(original), parse(rewrite))
+
+    def test_augment_tag_preserves_structure_and_function(self, comb_tag, fresh_rng):
+        augmented = augment_tag(comb_tag, rng=fresh_rng)
+        assert augmented.num_nodes == comb_tag.num_nodes
+        assert augmented.graph is comb_tag.graph or np.allclose(
+            augmented.graph.adjacency, comb_tag.graph.adjacency
+        )
+        for before, after in zip(comb_tag.nodes, augmented.nodes):
+            assert before.cell_type == after.cell_type
+            assert equivalent(parse(before.expression), parse(after.expression))
+
+    def test_mask_node_indices_ratio_and_bounds(self, comb_tag, fresh_rng):
+        indices = mask_node_indices(comb_tag.num_nodes, mask_ratio=0.25, rng=fresh_rng)
+        assert len(indices) >= 1
+        assert len(indices) <= max(1, int(np.ceil(0.25 * comb_tag.num_nodes)) + 1)
+        assert len(set(indices.tolist())) == len(indices)
+        assert indices.max() < comb_tag.num_nodes
+
+
+class TestObjectives:
+    def test_expression_contrastive_loss_prefers_aligned_pairs(self):
+        rng = np.random.default_rng(0)
+        anchors = Tensor(rng.normal(size=(6, 8)))
+        aligned = expression_contrastive_loss(anchors, Tensor(anchors.data.copy()))
+        shuffled = expression_contrastive_loss(anchors, Tensor(rng.normal(size=(6, 8))))
+        assert aligned.data < shuffled.data
+
+    def test_masked_gate_features_zeroes_masked_rows(self):
+        features = np.ones((5, 3))
+        masked = masked_gate_features(features, np.array([1, 3]))
+        assert np.all(masked[[1, 3]] == 0.0)
+        assert np.all(masked[[0, 2, 4]] == 1.0)
+        assert np.all(features == 1.0)  # input untouched
+
+    def test_masked_gate_loss_positive_and_zero_when_unmasked(self):
+        rng = np.random.default_rng(1)
+        embeddings = Tensor(rng.normal(size=(6, 8)))
+        classifier = nn.MLP(8, 4, hidden_sizes=(8,), rng=rng)
+        labels = np.array([0, 1, 2, 3, 0, 1])
+        loss = masked_gate_loss(embeddings, classifier, labels, np.array([0, 2, 4]))
+        assert loss.data > 0.0
+        empty = masked_gate_loss(embeddings, classifier, labels, np.array([], dtype=np.int64))
+        assert float(empty.data) == 0.0
+
+    def test_graph_contrastive_and_size_losses(self):
+        rng = np.random.default_rng(2)
+        graphs = Tensor(rng.normal(size=(4, 8)))
+        loss = graph_contrastive_loss(graphs, Tensor(graphs.data + 0.01 * rng.normal(size=(4, 8))))
+        assert np.isfinite(loss.data)
+        regressor = nn.MLP(8, 5, hidden_sizes=(8,), rng=rng)
+        size_loss = graph_size_loss(Tensor(rng.normal(size=(1, 8))), regressor, np.ones((1, 5)))
+        assert size_loss.data > 0.0
+
+    def test_cross_stage_loss_combines_available_stages(self):
+        rng = np.random.default_rng(3)
+        netlist_emb = Tensor(rng.normal(size=(4, 8)))
+        rtl_emb = Tensor(rng.normal(size=(4, 8)))
+        layout_emb = Tensor(rng.normal(size=(4, 8)))
+        both = cross_stage_loss(netlist_emb, rtl_emb, layout_emb)
+        rtl_only = cross_stage_loss(netlist_emb, rtl_emb, None)
+        neither = cross_stage_loss(netlist_emb, None, None)
+        assert both.data > rtl_only.data > 0.0
+        assert float(neither.data) == 0.0
+
+
+class TestPretrainData:
+    def test_collect_expression_corpus(self, comb_tag):
+        corpus = collect_expression_corpus([comb_tag], max_expressions_per_design=10)
+        assert 0 < len(corpus) <= 10
+        for expression in corpus:
+            parse(expression)
+
+    def test_size_target_vector_counts_types(self, comb_tag, comb_netlist):
+        type_index = comb_netlist.library.type_index()
+        target = size_target_vector(comb_tag, type_index)
+        assert target.shape == (len(type_index),)
+        counts = comb_netlist.cell_type_counts()
+        for cell_type, count in counts.items():
+            assert target[type_index[cell_type]] == pytest.approx(np.log1p(count))
+
+    def test_build_pretrain_sample_shapes(self, comb_tag, comb_netlist, expr_llm, fresh_rng):
+        type_index = comb_netlist.library.type_index()
+        sample = build_pretrain_sample(comb_tag, expr_llm, type_index, rng=fresh_rng)
+        n = comb_tag.num_nodes
+        assert sample.text_embeddings.shape == (n, expr_llm.output_dim)
+        assert sample.semantic.shape[0] == n
+        assert sample.physical.shape[0] == n
+        assert sample.adjacency.shape == (n, n)
+        assert sample.cell_type_labels.shape == (n,)
+        assert sample.size_target.shape == (len(type_index),)
+        assert sample.augmented_text_embeddings is not None
+
+    def test_build_pretrain_sample_without_text_attributes(self, comb_tag, comb_netlist, expr_llm, fresh_rng):
+        type_index = comb_netlist.library.type_index()
+        sample = build_pretrain_sample(
+            comb_tag, expr_llm, type_index, rng=fresh_rng, use_text_attributes=False
+        )
+        assert np.allclose(sample.semantic, 0.0)
+        # Every node gets the same (empty) text, hence identical embeddings.
+        assert np.allclose(sample.text_embeddings, sample.text_embeddings[0])
+
+
+class TestTrainers:
+    def test_expr_pretrainer_reduces_or_tracks_loss(self, expr_llm):
+        expressions = ["a & b", "!(a | b)", "a ^ b", "(a & b) | c", "!a & (b | c)", "a ^ (b & c)"]
+        config = ExprPretrainConfig(num_steps=4, batch_size=4, use_lora=True)
+        pretrainer = ExprLLMPretrainer(expr_llm, config)
+        result = pretrainer.run(expressions)
+        assert result.steps == 4
+        assert len(result.losses) == 4
+        assert all(np.isfinite(l) for l in result.losses)
+
+    def test_tagformer_pretrainer_runs_all_objectives(self, comb_tag, comb_netlist, seq_netlist, expr_llm, fresh_rng):
+        from repro.encoders import TAGFormerConfig
+
+        type_index = comb_netlist.library.type_index()
+        seq_tag = netlist_to_tag(seq_netlist)
+        samples = [
+            build_pretrain_sample(comb_tag, expr_llm, type_index, rng=fresh_rng),
+            build_pretrain_sample(seq_tag, expr_llm, type_index, rng=fresh_rng),
+        ]
+        # Input dim must match the sample features: text + semantic + physical.
+        input_dim = (
+            samples[0].text_embeddings.shape[1]
+            + samples[0].semantic.shape[1]
+            + samples[0].physical.shape[1]
+        )
+        tagformer = TAGFormer(
+            TAGFormerConfig(input_dim=input_dim, dim=16, depth=1, num_heads=2, output_dim=8),
+            rng=np.random.default_rng(0),
+        )
+        trainer = TAGFormerPretrainer(
+            tagformer,
+            num_cell_types=len(type_index),
+            config=TAGPretrainConfig(num_epochs=1, batch_size=2),
+        )
+        result = trainer.run(samples)
+        assert np.isfinite(result.final_loss)
+        assert result.epochs == 1
+        assert "masked_gate" in result.objective_losses
+
+    def test_tagformer_pretrainer_needs_at_least_two_samples(self, comb_tag, comb_netlist, expr_llm, fresh_rng):
+        from repro.encoders import TAGFormerConfig
+
+        type_index = comb_netlist.library.type_index()
+        sample = build_pretrain_sample(comb_tag, expr_llm, type_index, rng=fresh_rng)
+        input_dim = (
+            sample.text_embeddings.shape[1] + sample.semantic.shape[1] + sample.physical.shape[1]
+        )
+        trainer = TAGFormerPretrainer(
+            TAGFormer(TAGFormerConfig(input_dim=input_dim, dim=16, depth=1, num_heads=2, output_dim=8)),
+            num_cell_types=len(type_index),
+            config=TAGPretrainConfig(num_epochs=1, batch_size=2),
+        )
+        result = trainer.run([sample])
+        assert result.epochs == 0
+        assert result.total_losses == []

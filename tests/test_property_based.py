@@ -1,0 +1,189 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.expr import (
+    And,
+    Const,
+    Expr,
+    ExprTokenizer,
+    Not,
+    Or,
+    Var,
+    Xor,
+    equivalent,
+    parse,
+    random_equivalent,
+    simplify_constants,
+    truth_table,
+)
+from repro.ml import accuracy, balanced_accuracy, mape, pearson_r
+from repro.netlist import Netlist, build_graph_view, read_verilog, write_verilog
+from repro.synth import constant_bits, ripple_carry_add, shift_add_multiply
+
+# ----------------------------------------------------------------------
+# Expression strategies
+# ----------------------------------------------------------------------
+VARIABLES = ("a", "b", "c", "d")
+
+
+def expressions(max_depth: int = 3) -> st.SearchStrategy[Expr]:
+    base = st.one_of(
+        st.sampled_from([Var(v) for v in VARIABLES]),
+        st.sampled_from([Const(True), Const(False)]),
+    )
+
+    def extend(children: st.SearchStrategy[Expr]) -> st.SearchStrategy[Expr]:
+        return st.one_of(
+            st.builds(Not, children),
+            st.builds(And, children, children),
+            st.builds(Or, children, children),
+            st.builds(Xor, children, children),
+        )
+
+    return st.recursive(base, extend, max_leaves=2 ** max_depth)
+
+
+class TestExpressionProperties:
+    @given(expressions())
+    @settings(max_examples=60, deadline=None)
+    def test_print_parse_round_trip(self, expr):
+        assert equivalent(parse(expr.to_string()), expr)
+
+    @given(expressions(), st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_random_equivalent_preserves_truth_table(self, expr, seed):
+        rewritten = random_equivalent(expr, rng=np.random.default_rng(seed), num_rewrites=3)
+        assert equivalent(expr, rewritten)
+
+    @given(expressions())
+    @settings(max_examples=40, deadline=None)
+    def test_constant_simplification_is_equivalence_preserving(self, expr):
+        assert equivalent(simplify_constants(expr), expr)
+
+    @given(expressions())
+    @settings(max_examples=40, deadline=None)
+    def test_truth_table_size(self, expr):
+        variables, rows = truth_table(expr)
+        assert tuple(variables) == tuple(sorted(expr.variables()))
+        assert rows.shape == (2 ** len(variables),)
+
+    @given(expressions())
+    @settings(max_examples=40, deadline=None)
+    def test_tokenizer_is_deterministic_and_bounded(self, expr):
+        tokenizer = ExprTokenizer(max_length=64)
+        ids_a, mask_a = tokenizer.encode(expr.to_string())
+        ids_b, mask_b = tokenizer.encode(expr.to_string())
+        assert ids_a == ids_b and mask_a == mask_b
+        assert len(ids_a) == 64
+        assert max(ids_a) < tokenizer.vocab_size
+
+    @given(expressions())
+    @settings(max_examples=40, deadline=None)
+    def test_canonical_variable_tokens_are_name_independent(self, expr):
+        """Renaming every variable consistently must not change the token stream."""
+        from repro.expr import substitute
+
+        tokenizer = ExprTokenizer()
+        mapping = {name: Var(f"sig_{i}_long_name") for i, name in enumerate(VARIABLES)}
+        renamed = substitute(expr, mapping)
+        assert tokenizer.tokenize(expr.to_string()) == tokenizer.tokenize(renamed.to_string())
+
+
+class TestArithmeticProperties:
+    @given(st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=60, deadline=None)
+    def test_ripple_carry_add_matches_integer_addition(self, a, b):
+        width = 8
+        bits = ripple_carry_add(constant_bits(a, width), constant_bits(b, width))
+        value = sum((1 << i) for i, bit in enumerate(bits) if bit.evaluate({}))
+        assert value == (a + b) % (1 << len(bits))
+
+    @given(st.integers(0, 15), st.integers(0, 15))
+    @settings(max_examples=40, deadline=None)
+    def test_multiplier_matches_integer_multiplication(self, a, b):
+        width = 4
+        bits = shift_add_multiply(constant_bits(a, width), constant_bits(b, width))
+        value = sum((1 << i) for i, bit in enumerate(bits) if bit.evaluate({}))
+        assert value == (a * b) % (1 << len(bits))
+
+
+class TestMetricProperties:
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_accuracy_of_perfect_predictions_is_one(self, labels):
+        assert accuracy(labels, labels) == 1.0
+        assert 0.0 <= balanced_accuracy(labels, [1 - l if l in (0, 1) else l for l in labels]) <= 1.0
+
+    @given(st.lists(st.floats(-100, 100), min_size=3, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_pearson_r_is_bounded(self, values):
+        noise = [v * 0.5 + 1.0 for v in values]
+        r = pearson_r(values, noise)
+        assert -1.0 - 1e-9 <= r <= 1.0 + 1e-9
+
+    @given(st.lists(st.floats(1.0, 1000.0), min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_mape_of_exact_predictions_is_zero(self, values):
+        assert mape(values, values) == pytest.approx(0.0, abs=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Random netlist structures
+# ----------------------------------------------------------------------
+CELLS_2IN = ("AND2_X1", "OR2_X1", "NAND2_X1", "NOR2_X1", "XOR2_X1")
+
+
+@st.composite
+def random_netlists(draw):
+    """A random small combinational netlist built level by level (always acyclic)."""
+    num_inputs = draw(st.integers(2, 4))
+    num_gates = draw(st.integers(1, 12))
+    netlist = Netlist("random_design", clock=None)
+    nets = []
+    for i in range(num_inputs):
+        net = f"in{i}"
+        netlist.add_primary_input(net)
+        nets.append(net)
+    for g in range(num_gates):
+        cell = draw(st.sampled_from(CELLS_2IN))
+        a = draw(st.sampled_from(nets))
+        b = draw(st.sampled_from(nets))
+        out = f"n{g}"
+        netlist.add_gate(f"g{g}", cell, [a, b], out)
+        nets.append(out)
+    netlist.add_primary_output(nets[-1])
+    return netlist
+
+
+class TestNetlistProperties:
+    @given(random_netlists())
+    @settings(max_examples=40, deadline=None)
+    def test_random_netlists_validate_and_order_topologically(self, netlist):
+        netlist.validate()
+        order = {g.name: i for i, g in enumerate(netlist.topological_order())}
+        for gate in netlist.gates.values():
+            for fanin in netlist.fanin_gates(gate):
+                assert order[fanin.name] < order[gate.name]
+
+    @given(random_netlists())
+    @settings(max_examples=30, deadline=None)
+    def test_verilog_round_trip_is_lossless(self, netlist):
+        parsed = read_verilog(write_verilog(netlist), from_string=True)
+        assert parsed.num_gates == netlist.num_gates
+        for name, gate in netlist.gates.items():
+            assert parsed.gates[name].cell_name == gate.cell_name
+            assert parsed.gates[name].inputs == gate.inputs
+
+    @given(random_netlists())
+    @settings(max_examples=30, deadline=None)
+    def test_graph_view_is_normalised_and_symmetric(self, netlist):
+        view = build_graph_view(netlist)
+        assert view.num_nodes == netlist.num_gates
+        assert np.allclose(view.adjacency, view.adjacency.T)
+        eigenvalues = np.linalg.eigvalsh(view.adjacency)
+        assert eigenvalues.max() <= 1.0 + 1e-9

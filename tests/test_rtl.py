@@ -1,0 +1,207 @@
+"""Tests for the RTL substrate: IR, text rendering and benchmark generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rtl import (
+    BLOCK_LABELS,
+    RTLError,
+    RTLModule,
+    SUITE_NAMES,
+    WBinary,
+    WConst,
+    WMux,
+    WSignal,
+    WSlice,
+    WUnary,
+    add_adder_block,
+    add_comparator_block,
+    add_fsm,
+    add_multiplier_block,
+    design_suite_of,
+    generate_pretraining_corpus,
+    generate_suite,
+    make_controller,
+    make_cpu_slice,
+    make_datapath_block,
+    make_gnnre_design,
+    make_gnnre_suite,
+    make_peripheral,
+    module_statistics,
+    render_module,
+    render_register_cone,
+)
+
+
+class TestWordLevelIR:
+    def test_add_input_output_wire(self):
+        module = RTLModule("m")
+        a = module.add_input("a", 4)
+        y = module.add_output("y", 4)
+        w = module.add_wire("t", 4)
+        assert a.width == y.width == w.width == 4
+        assert [p.name for p in module.inputs] == ["a"]
+        assert [p.name for p in module.outputs] == ["y"]
+
+    def test_duplicate_signal_rejected(self):
+        module = RTLModule("m")
+        module.add_input("a", 2)
+        with pytest.raises(RTLError):
+            module.add_wire("a", 2)
+
+    def test_nonpositive_width_rejected(self):
+        module = RTLModule("m")
+        with pytest.raises(RTLError):
+            module.add_input("a", 0)
+
+    def test_unknown_operators_rejected(self):
+        a = WSignal("a", 2)
+        with pytest.raises(RTLError):
+            WUnary("frobnicate", a)
+        with pytest.raises(RTLError):
+            WBinary("frobnicate", a, a)
+
+    def test_binary_width_rules(self):
+        a = WSignal("a", 3)
+        b = WSignal("b", 5)
+        assert WBinary("add", a, b).width == 5
+        assert WBinary("mul", a, b).width == 8
+        assert WBinary("eq", a, b).width == 1
+        assert WBinary("lt", a, b).width == 1
+
+    def test_mux_requires_single_bit_select(self):
+        a = WSignal("a", 4)
+        with pytest.raises(RTLError):
+            WMux(WSignal("sel", 2), a, a)
+        assert WMux(WSignal("sel", 1), a, a).width == 4
+
+    def test_register_role_validation(self):
+        module = RTLModule("m")
+        a = module.add_input("a", 2)
+        module.add_register("r_ok", 2, a, role="state")
+        with pytest.raises(RTLError):
+            module.add_register("r_bad", 2, a, role="wizard")
+
+    def test_signals_collects_expression_support(self):
+        expr = WBinary("add", WSignal("a", 3), WMux(WSignal("s", 1), WSignal("b", 3), WConst(0, 3)))
+        assert expr.signals() == {"a", "s", "b"}
+
+    def test_signal_width_lookup(self):
+        module = RTLModule("m")
+        module.add_input("a", 7)
+        assert module.signal_width("a") == 7
+
+    def test_assign_order_is_dependency_consistent(self, comb_module):
+        order = comb_module.assign_order()
+        seen = {p.name for p in comb_module.inputs} | {r.name for r in comb_module.registers}
+        for assign in order:
+            assert assign.expr.signals() <= seen | {assign.target}
+            seen.add(assign.target)
+
+    def test_validate_passes_for_generators(self, comb_module, seq_module):
+        comb_module.validate()
+        seq_module.validate()
+
+
+class TestTextRendering:
+    def test_render_module_mentions_ports_and_registers(self, seq_module):
+        text = render_module(seq_module)
+        assert f"module {seq_module.name}" in text
+        for port in seq_module.ports:
+            assert port.name in text
+        for register in seq_module.registers:
+            assert register.name in text
+
+    def test_render_register_cone_is_subset_of_module_text(self, seq_module):
+        register = seq_module.registers[0]
+        cone_text = render_register_cone(seq_module, register.name)
+        assert register.name in cone_text
+        assert len(cone_text) <= len(render_module(seq_module))
+
+    def test_render_register_cone_unknown_register(self, seq_module):
+        with pytest.raises((KeyError, RTLError, ValueError)):
+            render_register_cone(seq_module, "not_a_register")
+
+    def test_module_statistics_counts(self, seq_module):
+        stats = module_statistics(seq_module)
+        assert stats["registers"] == len(seq_module.registers)
+        assert all(value >= 0 for value in stats.values())
+
+
+class TestBlockBuilders:
+    def test_adder_block_labels_assignments(self):
+        module = RTLModule("m")
+        a = module.add_input("a", 4)
+        b = module.add_input("b", 4)
+        out = add_adder_block(module, a, b)
+        assert out.width >= 4
+        assert any(assign.block == "adder" for assign in module.assigns)
+
+    def test_multiplier_and_comparator_blocks(self):
+        module = RTLModule("m")
+        a = module.add_input("a", 3)
+        b = module.add_input("b", 3)
+        add_multiplier_block(module, a, b)
+        add_comparator_block(module, a, b)
+        blocks = {assign.block for assign in module.assigns}
+        assert "multiplier" in blocks and "comparator" in blocks
+
+    def test_fsm_adds_state_register(self):
+        module = RTLModule("m")
+        go = module.add_input("go", 1)
+        stop = module.add_input("stop", 1)
+        state = add_fsm(module, "st", num_states=4, trigger=go, reset=stop)
+        assert state.width >= 2
+        roles = {r.name: r.role for r in module.registers}
+        assert roles["st"] == "state"
+
+    def test_block_labels_cover_task1_classes(self):
+        assert {"adder", "subtractor", "multiplier", "comparator", "control", "logic"} <= set(BLOCK_LABELS)
+
+
+class TestGenerators:
+    def test_gnnre_suite_size_and_block_diversity(self):
+        suite = make_gnnre_suite(num_designs=3, seed=7)
+        assert len(suite) == 3
+        for module in suite:
+            module.validate()
+            blocks = {assign.block for assign in module.assigns if assign.block}
+            assert len(blocks) >= 4
+
+    def test_gnnre_designs_differ_across_indices(self):
+        a = make_gnnre_design(1, seed=7)
+        b = make_gnnre_design(2, seed=7)
+        assert a.name != b.name
+
+    def test_sequential_generators_have_state_and_data_registers(self):
+        for factory in (make_controller, make_peripheral, make_cpu_slice, make_datapath_block):
+            module = factory(f"gen_{factory.__name__}", 3)
+            module.validate()
+            roles = {r.role for r in module.registers}
+            assert "data" in roles
+            assert len(module.registers) >= 2
+
+    def test_generate_suite_known_names(self):
+        for suite in SUITE_NAMES:
+            modules = generate_suite(suite, num_designs=1, seed=3)
+            assert len(modules) == 1
+            modules[0].validate()
+
+    def test_generate_suite_unknown_name(self):
+        with pytest.raises((KeyError, ValueError)):
+            generate_suite("not_a_suite", num_designs=1)
+
+    def test_pretraining_corpus_covers_all_suites(self):
+        corpus = generate_pretraining_corpus(designs_per_suite=1, seed=0)
+        assert set(corpus) == set(SUITE_NAMES)
+        for modules in corpus.values():
+            assert len(modules) == 1
+
+    def test_design_suite_of_recognises_generated_names(self):
+        corpus = generate_pretraining_corpus(designs_per_suite=1, seed=0)
+        for suite, modules in corpus.items():
+            for module in modules:
+                assert design_suite_of(module.name) == suite
+        assert design_suite_of(make_gnnre_design(1, seed=1).name) == "gnnre"
+        assert design_suite_of("totally_custom") == "unknown"

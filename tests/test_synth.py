@@ -1,0 +1,208 @@
+"""Tests for logic synthesis: bit-blasting, technology mapping, optimisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.expr import FALSE, TRUE, Var
+from repro.netlist import Netlist
+from repro.rtl import RTLModule, WBinary, WMux, WSignal
+from repro.synth import (
+    bit_net,
+    constant_bits,
+    equality,
+    optimize_netlist,
+    remove_double_inverters,
+    ripple_carry_add,
+    shift_add_multiply,
+    subtract,
+    sweep_dead_gates,
+    synthesize,
+    unsigned_less_than,
+    zero_extend,
+)
+
+
+def bits_to_int(bits, env):
+    """Evaluate a little-endian bit vector of expressions to an integer."""
+    value = 0
+    for i, bit in enumerate(bits):
+        if bit.evaluate(env):
+            value |= 1 << i
+    return value
+
+
+def int_env(prefix, value, width):
+    return {f"{prefix}{i}": bool((value >> i) & 1) for i in range(width)}
+
+
+def var_vector(prefix, width):
+    return [Var(f"{prefix}{i}") for i in range(width)]
+
+
+def simulate(netlist: Netlist, inputs: dict) -> dict:
+    """Simulate one combinational netlist evaluation (no registers)."""
+    values = dict(inputs)
+    values.setdefault("1'b0", False)
+    values.setdefault("1'b1", True)
+    for gate in netlist.topological_order():
+        cell = netlist.cell_of(gate)
+        if cell.is_sequential:
+            continue
+        operands = [gate.inputs[pin] for pin in cell.input_pins]
+        expr = cell.local_expression(operands)
+        values[gate.output] = expr.evaluate(values)
+    return values
+
+
+class TestBitBlastPrimitives:
+    def test_constant_bits_round_trip(self):
+        for value in (0, 1, 5, 10, 15):
+            bits = constant_bits(value, 4)
+            assert len(bits) == 4
+            assert bits_to_int(bits, {}) == value
+
+    def test_zero_extend_and_truncate(self):
+        bits = zero_extend([TRUE, FALSE], 4)
+        assert bits_to_int(bits, {}) == 1
+        truncated = zero_extend(constant_bits(15, 4), 2)
+        assert bits_to_int(truncated, {}) == 3
+
+    @pytest.mark.parametrize("a,b", [(0, 0), (3, 5), (7, 7), (6, 1), (7, 1)])
+    def test_ripple_carry_add(self, a, b):
+        width = 3
+        bits = ripple_carry_add(var_vector("a", width), var_vector("b", width))
+        env = {**int_env("a", a, width), **int_env("b", b, width)}
+        assert bits_to_int(bits, env) == (a + b) % (1 << len(bits))
+
+    @pytest.mark.parametrize("a,b", [(5, 3), (3, 5), (7, 0), (0, 7), (4, 4)])
+    def test_subtract_modular(self, a, b):
+        width = 3
+        bits = subtract(var_vector("a", width), var_vector("b", width))
+        env = {**int_env("a", a, width), **int_env("b", b, width)}
+        assert bits_to_int(bits, env) % 8 == (a - b) % 8
+
+    @pytest.mark.parametrize("a,b", [(0, 0), (2, 3), (3, 3), (1, 7), (7, 6)])
+    def test_shift_add_multiply(self, a, b):
+        width = 3
+        bits = shift_add_multiply(var_vector("a", width), var_vector("b", width))
+        env = {**int_env("a", a, width), **int_env("b", b, width)}
+        assert bits_to_int(bits, env) == (a * b) % (1 << len(bits))
+
+    @pytest.mark.parametrize("a,b", [(1, 2), (2, 1), (3, 3), (0, 7)])
+    def test_comparisons(self, a, b):
+        width = 3
+        env = {**int_env("a", a, width), **int_env("b", b, width)}
+        lt = unsigned_less_than(var_vector("a", width), var_vector("b", width))
+        eq = equality(var_vector("a", width), var_vector("b", width))
+        assert lt.evaluate(env) == (a < b)
+        assert eq.evaluate(env) == (a == b)
+
+    def test_bit_net_naming(self):
+        assert bit_net("a", 0, 1) == "a"
+        assert bit_net("a", 2, 4) == "a_2"
+
+
+class TestSynthesize:
+    def test_adder_module_is_functionally_correct(self):
+        module = RTLModule("add3")
+        a = module.add_input("a", 3)
+        b = module.add_input("b", 3)
+        module.add_output("s", 3)
+        module.add_assign("s", WBinary("add", a, b), block="adder")
+        netlist = synthesize(module).netlist
+        netlist.validate()
+        for av, bv in [(0, 0), (1, 2), (3, 5), (7, 7), (6, 3)]:
+            inputs = {
+                **{bit_net("a", i, 3): bool((av >> i) & 1) for i in range(3)},
+                **{bit_net("b", i, 3): bool((bv >> i) & 1) for i in range(3)},
+            }
+            values = simulate(netlist, inputs)
+            result = sum(
+                (1 << i) for i in range(3) if values[f"{bit_net('s', i, 3)}__po"]
+            )
+            assert result == (av + bv) % 8
+
+    def test_mux_module_is_functionally_correct(self):
+        module = RTLModule("pick")
+        sel = module.add_input("sel", 1)
+        a = module.add_input("a", 2)
+        b = module.add_input("b", 2)
+        module.add_output("y", 2)
+        module.add_assign("y", WMux(sel, a, b), block="control")
+        netlist = synthesize(module).netlist
+        for sv, av, bv in [(0, 1, 2), (1, 1, 2), (0, 3, 0), (1, 3, 0)]:
+            inputs = {
+                "sel": bool(sv),
+                **{bit_net("a", i, 2): bool((av >> i) & 1) for i in range(2)},
+                **{bit_net("b", i, 2): bool((bv >> i) & 1) for i in range(2)},
+            }
+            values = simulate(netlist, inputs)
+            result = sum((1 << i) for i in range(2) if values[f"{bit_net('y', i, 2)}__po"])
+            assert result == (av if sv else bv)
+
+    def test_synthesis_result_reports(self, comb_module):
+        result = synthesize(comb_module)
+        assert result.num_gates == result.netlist.num_gates
+        assert result.total_area == pytest.approx(result.netlist.total_area())
+        assert result.estimated_power > 0.0
+        assert sum(result.cell_counts.values()) == result.num_gates
+
+    def test_block_labels_carried_onto_gates(self, comb_netlist):
+        blocks = {g.attributes.get("block") for g in comb_netlist.combinational_gates}
+        assert "adder" in blocks
+        assert "comparator" in blocks
+
+    def test_registers_carry_role_and_group(self, seq_netlist):
+        for register in seq_netlist.registers:
+            assert register.attributes.get("role") in ("state", "data")
+            assert "register_group" in register.attributes
+
+    def test_sequential_synthesis_produces_one_dff_per_register_bit(self, seq_module, seq_netlist):
+        expected = sum(r.width for r in seq_module.registers)
+        assert len(seq_netlist.registers) == expected
+
+    def test_unassigned_output_raises(self):
+        module = RTLModule("dangling")
+        module.add_input("a", 1)
+        module.add_output("y", 1)
+        with pytest.raises((ValueError, KeyError)):
+            synthesize(module)
+
+    def test_gate_types_are_diverse(self, comb_netlist):
+        """Post-mapping netlists must not be AIG-only (the paper's key motivation)."""
+        types = set(comb_netlist.cell_type_counts())
+        assert len(types - {"AND2", "INV"}) >= 3
+
+
+class TestOptimization:
+    def test_remove_double_inverters(self, library):
+        netlist = Netlist("double_inv", library=library)
+        netlist.add_primary_input("a")
+        netlist.add_gate("inv1", "INV_X1", ["a"], "n1")
+        netlist.add_gate("inv2", "INV_X1", ["n1"], "n2")
+        netlist.add_gate("buf_out", "BUF_X1", ["n2"], "y")
+        netlist.add_primary_output("y")
+        removed = remove_double_inverters(netlist)
+        assert removed >= 1
+        netlist.validate()
+        values = simulate(netlist, {"a": True})
+        assert values["y"] is True
+
+    def test_sweep_dead_gates(self, library):
+        netlist = Netlist("dead", library=library)
+        netlist.add_primary_input("a")
+        netlist.add_gate("used", "INV_X1", ["a"], "y")
+        netlist.add_gate("dead1", "INV_X1", ["a"], "unused1")
+        netlist.add_gate("dead2", "BUF_X1", ["unused1"], "unused2")
+        netlist.add_primary_output("y")
+        removed = sweep_dead_gates(netlist)
+        assert removed == 2
+        assert set(netlist.gates) == {"used"}
+
+    def test_optimize_netlist_preserves_outputs(self, comb_module):
+        unoptimized = synthesize(comb_module, optimize=False).netlist
+        optimized = optimize_netlist(unoptimized.copy())
+        assert optimized.num_gates <= unoptimized.num_gates
+        assert set(optimized.primary_outputs) == set(unoptimized.primary_outputs)
+        optimized.validate()

@@ -1,0 +1,196 @@
+"""Tests for the downstream task datasets, baselines and runners."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tasks import (
+    REGISTER_ROLE_INDEX,
+    TASK1_CLASSES,
+    TASK1_CLASS_INDEX,
+    anonymize_gate_names,
+    build_aig_dataset,
+    build_sequential_dataset,
+    build_task1_dataset,
+    build_task4_dataset,
+    evaluate_aig_methods,
+    evaluate_task4,
+    gnnre_baseline,
+    reignn_baseline,
+    rows_by_method,
+    run_task1,
+    run_task2,
+    run_task3,
+    structural_and_physical_features,
+    structural_only_features,
+    timing_gnn_baseline,
+)
+
+
+@pytest.fixture(scope="module")
+def task1_dataset():
+    return build_task1_dataset(num_designs=2, seed=7)
+
+
+@pytest.fixture(scope="module")
+def sequential_dataset():
+    return build_sequential_dataset(design_names=("itc1", "itc2", "vex1", "opencores1"))
+
+
+@pytest.fixture(scope="module")
+def task4_dataset():
+    return build_task4_dataset(num_designs=6)
+
+
+class TestAnonymisation:
+    def test_gate_names_are_neutral(self, task1_dataset):
+        for design in task1_dataset.designs:
+            for name in design.netlist.gates:
+                assert name.startswith("g")
+                assert not any(label in name for label in TASK1_CLASSES)
+
+    def test_anonymisation_preserves_structure(self, comb_netlist):
+        anonymized, mapping = anonymize_gate_names(comb_netlist)
+        assert anonymized.num_gates == comb_netlist.num_gates
+        assert set(mapping) == set(comb_netlist.gates)
+        assert anonymized.cell_type_counts() == comb_netlist.cell_type_counts()
+        anonymized.validate()
+
+    def test_block_attributes_survive_anonymisation(self, task1_dataset):
+        design = task1_dataset.designs[0]
+        assert design.num_labeled_gates > 0
+        for gate, label in design.gate_labels.items():
+            assert 0 <= label < len(TASK1_CLASSES)
+            block = design.netlist.gates[gate].attributes.get("block")
+            assert TASK1_CLASS_INDEX[block] == label
+
+
+class TestSequentialDataset:
+    def test_each_design_has_roles_and_slack(self, sequential_dataset):
+        for design in sequential_dataset.designs:
+            assert design.register_roles
+            assert set(design.register_roles.values()) <= set(REGISTER_ROLE_INDEX.values())
+            assert set(design.register_slack) == set(design.register_roles)
+            assert design.clock_period > 0
+
+    def test_state_and_data_registers_present_overall(self, sequential_dataset):
+        roles = [
+            role for design in sequential_dataset.designs for role in design.register_roles.values()
+        ]
+        assert 0 in roles and 1 in roles
+
+    def test_design_lookup(self, sequential_dataset):
+        design = sequential_dataset.design("itc1")
+        assert design.name == "itc1"
+        with pytest.raises(KeyError):
+            sequential_dataset.design("missing")
+
+    def test_unknown_design_name_rejected(self):
+        with pytest.raises(ValueError):
+            build_sequential_dataset(design_names=("not_a_design",))
+
+
+class TestTask4Dataset:
+    def test_labels_and_estimates_shapes(self, task4_dataset):
+        n = len(task4_dataset)
+        for metric in ("area", "power"):
+            for scenario in ("wo_opt", "w_opt"):
+                labels = task4_dataset.labels(metric, scenario)
+                assert labels.shape == (n,)
+                assert np.all(labels > 0)
+            assert task4_dataset.eda_estimates(metric).shape == (n,)
+
+    def test_optimisation_changes_labels(self, task4_dataset):
+        wo = task4_dataset.labels("area", "wo_opt")
+        w = task4_dataset.labels("area", "w_opt")
+        assert not np.allclose(wo, w)
+
+    def test_eda_estimate_correlates_with_truth(self, task4_dataset):
+        """The synthesis-tool estimate must be informative but imperfect."""
+        estimates = task4_dataset.eda_estimates("area")
+        truth = task4_dataset.labels("area", "wo_opt")
+        assert np.corrcoef(estimates, truth)[0, 1] > 0.8
+
+
+class TestBaselines:
+    def test_structural_feature_variants(self, comb_netlist):
+        struct = structural_only_features(comb_netlist)
+        phys = structural_and_physical_features(comb_netlist)
+        assert struct.shape[0] == phys.shape[0] == comb_netlist.num_gates
+        assert phys.shape[1] > struct.shape[1]
+
+    def test_gnnre_baseline_learns_within_design(self, task1_dataset):
+        design = task1_dataset.designs[0]
+        labels = design.gate_labels
+        baseline = gnnre_baseline(num_classes=len(TASK1_CLASSES), epochs=20, seed=0)
+        baseline.fit([(design.netlist, labels)])
+        names = sorted(labels)
+        predictions = baseline.predict(design.netlist, names)
+        truth = np.asarray([labels[n] for n in names])
+        assert (predictions == truth).mean() > 0.5  # in-sample fit must beat chance
+
+    def test_reignn_baseline_predicts_register_labels(self, sequential_dataset):
+        training = [
+            (design.netlist, design.register_roles) for design in sequential_dataset.designs[:-1]
+        ]
+        baseline = reignn_baseline(epochs=15, seed=0)
+        baseline.fit(training)
+        held_out = sequential_dataset.designs[-1]
+        registers = sorted(held_out.register_roles)
+        predictions = baseline.predict(held_out.netlist, registers)
+        assert len(predictions) == len(registers)
+        assert set(np.unique(predictions)) <= {0, 1}
+
+    def test_timing_gnn_baseline_is_regression(self, sequential_dataset):
+        design = sequential_dataset.designs[0]
+        baseline = timing_gnn_baseline(epochs=15, seed=0)
+        baseline.fit([(design.netlist, design.register_slack)])
+        predictions = baseline.predict(design.netlist, sorted(design.register_slack))
+        assert predictions.dtype.kind == "f"
+        assert np.all(np.isfinite(predictions))
+
+
+class TestRunners:
+    def test_run_task1_rows_and_averages(self, pretrained_pipeline, task1_dataset):
+        results = run_task1(pretrained_pipeline.model, task1_dataset, baseline_epochs=10)
+        assert set(results) == {"NetTAG", "GNN-RE"}
+        for rows in results.values():
+            assert len(rows) == len(task1_dataset.designs) + 1
+            assert rows[-1].design == "Avg."
+            for row in rows:
+                assert 0.0 <= row.accuracy <= 1.0
+                assert 0.0 <= row.f1 <= 1.0
+
+    def test_run_task2_and_task3(self, pretrained_pipeline, sequential_dataset):
+        results2 = run_task2(pretrained_pipeline.model, sequential_dataset, baseline_epochs=10)
+        assert set(results2) == {"NetTAG", "ReIGNN"}
+        for rows in results2.values():
+            assert rows[-1].design == "Avg."
+            assert all(0.0 <= row.balanced_accuracy <= 1.0 for row in rows)
+
+        results3 = run_task3(pretrained_pipeline.model, sequential_dataset, baseline_epochs=10)
+        assert set(results3) == {"NetTAG", "GNN"}
+        for rows in results3.values():
+            assert all(np.isfinite(row.mape) for row in rows)
+            assert all(-1.0 <= row.r <= 1.0 for row in rows)
+
+    def test_evaluate_task4_rows(self, pretrained_pipeline, task4_dataset):
+        rows = evaluate_task4(pretrained_pipeline.model, task4_dataset, baseline_epochs=10)
+        methods = {row.method for row in rows}
+        assert {"EDA Tool", "GNN", "NetTAG"} <= methods
+        combos = {(row.metric, row.scenario, row.method) for row in rows}
+        assert len(combos) == len(rows)
+        grouped = rows_by_method(rows)
+        assert set(grouped) == methods
+
+    def test_aig_dataset_and_methods(self, pretrained_pipeline, task1_dataset):
+        aig_dataset = build_aig_dataset(task1_dataset)
+        assert len(aig_dataset) == len(task1_dataset.designs)
+        for design in aig_dataset:
+            types = set(design.netlist.cell_type_counts())
+            assert types <= {"AND2", "INV", "CONST0", "CONST1", "DFF", "DFFR", "DFFS"}
+        results = evaluate_aig_methods(pretrained_pipeline.model, aig_dataset)
+        assert {"FGNN", "DeepGate3", "ExprLLM only", "NetTAG"} <= set(results)
+        for row in results.values():
+            assert 0.0 <= row.accuracy <= 1.0
