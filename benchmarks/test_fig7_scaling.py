@@ -4,6 +4,12 @@ from conftest import emit
 
 from repro.bench import run_fig7_data_scaling, run_fig7_model_scaling
 
+import pytest
+
+# Paper-table benchmarks pre-train a full pipeline; excluded from the default
+# test selection (see pytest.ini).  Run with: pytest -m bench benchmarks
+pytestmark = pytest.mark.bench
+
 
 def test_fig7_model_size_scaling(benchmark, bench_context):
     table = benchmark.pedantic(

@@ -4,6 +4,12 @@ from conftest import emit
 
 from repro.bench import run_table3
 
+import pytest
+
+# Paper-table benchmarks pre-train a full pipeline; excluded from the default
+# test selection (see pytest.ini).  Run with: pytest -m bench benchmarks
+pytestmark = pytest.mark.bench
+
 
 def test_table3_gate_function_identification(benchmark, bench_context):
     table = benchmark.pedantic(

@@ -1,0 +1,83 @@
+"""Throughput + parity benchmark for the batched TAG encoding engine.
+
+Unlike the paper-table benchmarks (marked ``bench``), this file runs in the
+default test selection: it is fast (no pre-training; an untrained model is
+encode-speed-representative because inference cost does not depend on the
+weights) and it guards the engine's two contract points:
+
+* batched and sequential embeddings agree to 1e-8 on mixed-size cone batches,
+* the batched engine is ≥ 3x faster per gate than the seed's sequential path
+  on a ≥ 16-cone workload.
+
+The measured report is written to ``BENCH_throughput.json`` at the repo root
+(also refreshable via ``scripts/bench_throughput.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.throughput import (
+    api_sequential_encode,
+    build_cone_workload,
+    run_throughput,
+    save_report,
+    seed_sequential_encode,
+)
+from repro.core import NetTAG, NetTAGConfig
+from repro.netlist import netlist_to_tag
+
+MIN_CONES = 16
+REQUIRED_SPEEDUP = 3.0
+
+
+@pytest.fixture(scope="module")
+def model() -> NetTAG:
+    return NetTAG(NetTAGConfig.fast(), rng=np.random.default_rng(7))
+
+
+@pytest.fixture(scope="module")
+def cones():
+    workload = build_cone_workload()
+    assert len(workload) >= MIN_CONES
+    return workload
+
+
+@pytest.fixture(scope="module")
+def tags(model, cones):
+    return [netlist_to_tag(cone.netlist, k=model.config.expression_hops) for cone in cones]
+
+
+class TestBatchedThroughput:
+    def test_batched_matches_both_sequential_paths(self, model, cones, tags):
+        """Same inputs -> same embeddings, for the seed path and the API path."""
+        model.clear_caches()
+        batched = model.encode_batch(cones, tags=tags)
+        model.clear_caches()
+        seed_reference = seed_sequential_encode(model, cones, tags)
+        model.clear_caches()
+        api_reference = api_sequential_encode(model, cones, tags)
+        assert len(batched) == len(cones)
+        for got, seed_want, api_want in zip(batched, seed_reference, api_reference):
+            np.testing.assert_allclose(got, seed_want, atol=1e-8)
+            np.testing.assert_allclose(got, api_want, atol=1e-8)
+
+    def test_batched_speedup_and_report(self, model, cones):
+        """≥ 3x per-gate speedup vs the seed sequential path; report saved."""
+        # Best-of-N timing on an otherwise idle interpreter; retry once to
+        # shield against a pathological scheduling hiccup mid-measurement.
+        report = run_throughput(model=model, cones=cones)
+        if report["speedup"]["batched_vs_seed_sequential"] < REQUIRED_SPEEDUP:
+            report = run_throughput(model=model, cones=cones, repeats=5)
+        path = save_report(report)
+        speedup = report["speedup"]["batched_vs_seed_sequential"]
+        reuse_rate = report["expression_cache"]["reuse_rate"]
+        print(
+            f"\nbatched TAG encoding: {speedup:.2f}x vs seed sequential "
+            f"({report['per_gate_latency_us']['batched']:.1f} us/gate batched, "
+            f"expression reuse rate {reuse_rate:.1%}) -> {path.name}"
+        )
+        assert report["workload"]["num_cones"] >= MIN_CONES
+        assert speedup >= REQUIRED_SPEEDUP
+        assert 0.0 < reuse_rate <= 1.0

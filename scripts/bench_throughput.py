@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Refresh ``BENCH_throughput.json`` (batched TAG encoding engine benchmark).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_throughput.py [--designs N] [--repeats R]
+
+Times the batched :meth:`NetTAG.encode_batch` engine against the seed's
+per-cone sequential path and the current per-cone API path on the same
+register-cone workload, and writes the per-gate latencies, speedups and
+expression-embedding-cache statistics to the repo-root JSON report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench.throughput import build_cone_workload, run_throughput, save_report  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--designs", type=int, default=4, help="number of synthetic designs")
+    parser.add_argument("--repeats", type=int, default=3, help="best-of-N timing repeats")
+    args = parser.parse_args()
+
+    cones = build_cone_workload(num_designs=args.designs)
+    report = run_throughput(cones=cones, repeats=args.repeats)
+    path = save_report(report)
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

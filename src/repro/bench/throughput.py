@@ -1,0 +1,172 @@
+"""Throughput benchmark of the batched TAG encoding engine.
+
+Measures per-gate encode latency of three implementations of the same
+workload (embedding every register cone of a set of synthesised designs):
+
+* ``seed_sequential`` — a faithful reimplementation of the original hot path:
+  one TAGFormer forward per cone, ExprLLM embeddings cached by *raw* gate
+  text (gate names make nearly every text unique, so the cache almost never
+  deduplicates), no padding trimming.
+* ``api_sequential`` — the current per-cone public path
+  (:meth:`NetTAG.encode_cone` semantics on pre-built TAGs), which already
+  benefits from the canonical expression-embedding cache and padding trim.
+* ``batched`` — :meth:`NetTAG.encode_batch`: packed block-diagonal batches,
+  one TAGFormer forward per chunk, one deduplicated ExprLLM pass.
+
+All three produce the same embeddings (asserted to 1e-8 by the benchmark
+test); the interesting output is the per-gate latency ratio and the
+expression-cache hit rate, written to ``BENCH_throughput.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core import NetTAG, NetTAGConfig
+from ..netlist import RegisterCone, TextAttributedGraph, extract_register_cones, netlist_to_tag
+from ..rtl import make_controller
+from ..synth import synthesize
+
+BENCH_PATH = Path(__file__).resolve().parents[3] / "BENCH_throughput.json"
+
+
+_WORKLOAD_SHAPES = ((5, 4, 4), (9, 3, 6), (13, 6, 5), (17, 4, 8), (23, 5, 3))
+
+
+def build_cone_workload(num_designs: int = 4) -> List[RegisterCone]:
+    """Register cones of a few synthesised controller designs (≥ 16 cones).
+
+    The designs vary in state count and datapath width so cone sizes are
+    mixed, exercising the batch packer's offset handling.
+    """
+    cones: List[RegisterCone] = []
+    for seed, num_states, data_width in _WORKLOAD_SHAPES[:num_designs]:
+        module = make_controller(
+            f"bench_{seed}", seed=seed, num_states=num_states, data_width=data_width
+        )
+        netlist = synthesize(module).netlist
+        cones.extend(extract_register_cones(netlist))
+    return cones
+
+
+def seed_sequential_encode(
+    model: NetTAG, cones: Sequence[RegisterCone], tags: Sequence[TextAttributedGraph]
+) -> List[np.ndarray]:
+    """The pre-batching reference implementation of the cone hot path.
+
+    Reproduces the seed behaviour exactly: per-cone ExprLLM batches with a
+    raw-text embedding cache and full-length padded sequences, then one
+    TAGFormer forward per cone.
+    """
+    expr_llm = model.expr_llm
+    raw_cache: Dict[str, np.ndarray] = {}
+    outputs: List[np.ndarray] = []
+    original_trim = expr_llm.backbone.trim_padding
+    expr_llm.backbone.trim_padding = False
+    try:
+        for cone, tag in zip(cones, tags):
+            texts = model.node_texts(tag)
+            text_embeddings = np.zeros((len(texts), expr_llm.output_dim))
+            to_compute = [i for i, text in enumerate(texts) if text not in raw_cache]
+            for start in range(0, len(to_compute), 64):
+                chunk = to_compute[start : start + 64]
+                ids, mask = expr_llm.tokenizer.encode_batch([texts[i] for i in chunk])
+                embedded = expr_llm.backbone.encode_numpy(np.asarray(ids), np.asarray(mask))
+                for row, i in enumerate(chunk):
+                    raw_cache[texts[i]] = embedded[row]
+            for i, text in enumerate(texts):
+                text_embeddings[i] = raw_cache[text]
+            norms = np.linalg.norm(text_embeddings, axis=1, keepdims=True)
+            text_embeddings = text_embeddings / np.maximum(norms, 1e-9)
+            semantic = tag.expression_feature_matrix()
+            if not model.config.use_text_attributes:
+                semantic = np.zeros_like(semantic)
+            physical = tag.physical_matrix()
+            if not model.config.use_physical_attributes:
+                physical = np.zeros_like(physical)
+            features = np.concatenate([text_embeddings, semantic, physical], axis=1)
+            node_out, graph_out = model.tagformer.encode_numpy(features, tag.graph.adjacency)
+            gates, graph = model._multigrained_outputs(tag, features, node_out, graph_out)
+            outputs.append(model.cone_embedding_from_outputs(cone, tag, gates, graph))
+    finally:
+        expr_llm.backbone.trim_padding = original_trim
+    return outputs
+
+
+def api_sequential_encode(
+    model: NetTAG, cones: Sequence[RegisterCone], tags: Sequence[TextAttributedGraph]
+) -> List[np.ndarray]:
+    """:meth:`NetTAG.encode_cone` semantics on pre-built TAGs (one at a time)."""
+    outputs: List[np.ndarray] = []
+    for cone, tag in zip(cones, tags):
+        gates, graph = model.encode_tag_multigrained(tag)
+        outputs.append(model.cone_embedding_from_outputs(cone, tag, gates, graph))
+    return outputs
+
+
+def run_throughput(
+    model: Optional[NetTAG] = None,
+    cones: Optional[Sequence[RegisterCone]] = None,
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """Time the three encode paths on the same inputs; returns the report."""
+    model = model or NetTAG(NetTAGConfig.fast(), rng=np.random.default_rng(7))
+    cones = list(cones) if cones is not None else build_cone_workload()
+    if not cones:
+        raise ValueError("throughput benchmark needs a non-empty cone workload")
+    repeats = max(int(repeats), 1)
+    tags = [netlist_to_tag(cone.netlist, k=model.config.expression_hops) for cone in cones]
+    total_gates = sum(tag.num_nodes for tag in tags)
+
+    def best_of(fn) -> float:
+        times = []
+        for _ in range(repeats):
+            model.clear_caches()
+            start = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - start)
+        return min(times)
+
+    seed_seconds = best_of(lambda: seed_sequential_encode(model, cones, tags))
+    api_seconds = best_of(lambda: api_sequential_encode(model, cones, tags))
+    batched_seconds = best_of(lambda: model.encode_batch(cones, tags=tags))
+
+    # One more batched pass (cold cache) purely to report the hit rate.
+    model.clear_caches()
+    model.encode_batch(cones, tags=tags)
+    cache_stats = model.expr_llm.cache_stats()
+
+    per_gate = lambda seconds: 1e6 * seconds / max(total_gates, 1)
+    return {
+        "workload": {
+            "num_cones": len(cones),
+            "total_gates": total_gates,
+            "cone_sizes": [tag.num_nodes for tag in tags],
+        },
+        "per_gate_latency_us": {
+            "seed_sequential": round(per_gate(seed_seconds), 2),
+            "api_sequential": round(per_gate(api_seconds), 2),
+            "batched": round(per_gate(batched_seconds), 2),
+        },
+        "total_seconds": {
+            "seed_sequential": round(seed_seconds, 6),
+            "api_sequential": round(api_seconds, 6),
+            "batched": round(batched_seconds, 6),
+        },
+        "speedup": {
+            "batched_vs_seed_sequential": round(seed_seconds / batched_seconds, 2),
+            "batched_vs_api_sequential": round(api_seconds / batched_seconds, 2),
+        },
+        "expression_cache": cache_stats,
+    }
+
+
+def save_report(report: Dict[str, object], path: Optional[Path] = None) -> Path:
+    path = path or BENCH_PATH
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path

@@ -23,13 +23,20 @@ import numpy as np
 from .. import nn
 from ..encoders import ExprLLM, TAGFormer
 from ..netlist import (
+    BatchedTAG,
     Netlist,
     RegisterCone,
     TextAttributedGraph,
+    chunk_by_node_budget,
     extract_register_cones,
     netlist_to_tag,
 )
 from .config import NetTAGConfig
+
+# Dense batched attention is O((nodes + graphs)^2); chunking the batch keeps
+# the packed forward within a bounded working set while still amortising the
+# per-forward Python dispatch cost over many graphs.
+DEFAULT_MAX_NODES_PER_CHUNK = 2048
 
 
 @dataclass
@@ -88,15 +95,7 @@ class NetTAG(nn.Module):
         channel is the gate's physical characteristic vector.  The ablation
         switches zero out the corresponding channel.
         """
-        texts = self.node_texts(tag)
-        text_embeddings = self.expr_llm.encode_texts(texts)
-        semantic = tag.expression_feature_matrix()
-        if not self.config.use_text_attributes:
-            semantic = np.zeros_like(semantic)
-        physical = tag.physical_matrix()
-        if not self.config.use_physical_attributes:
-            physical = np.zeros_like(physical)
-        return np.concatenate([text_embeddings, semantic, physical], axis=1)
+        return self._batched_node_features([tag])[0]
 
     def encode_tag(self, tag: TextAttributedGraph) -> Tuple[np.ndarray, np.ndarray]:
         """Encode one TAG into (node embeddings, graph embedding), as numpy."""
@@ -125,6 +124,92 @@ class NetTAG(nn.Module):
             return np.zeros((0, gate_dim)), np.zeros(self.graph_embedding_dim)
         features = self.tag_node_features(tag)
         node_out, graph_out = self.tagformer.encode_numpy(features, tag.graph.adjacency)
+        # Graph readout: [CLS] output plus mean/sum pooling of node outputs and
+        # input features, plus the log node count (standard multi-readout).
+        return self._multigrained_outputs(tag, features, node_out, graph_out)
+
+    # ------------------------------------------------------------------
+    # Batched TAG encoding (the serving hot path)
+    # ------------------------------------------------------------------
+    def _batched_node_features(self, tags: Sequence[TextAttributedGraph]) -> List[np.ndarray]:
+        """Per-tag TAGFormer input features with one ExprLLM pass for the batch.
+
+        Semantically identical to calling :meth:`tag_node_features` per TAG,
+        but all gate texts go through a single :meth:`ExprLLM.encode_texts`
+        call, so the expression-embedding cache deduplicates repeated
+        expressions across every graph in the batch at once.
+        """
+        texts: List[str] = []
+        counts: List[int] = []
+        for tag in tags:
+            tag_texts = self.node_texts(tag)
+            texts.extend(tag_texts)
+            counts.append(len(tag_texts))
+        all_text_embeddings = self.expr_llm.encode_texts(texts)
+        features: List[np.ndarray] = []
+        offset = 0
+        for tag, count in zip(tags, counts):
+            text_embeddings = all_text_embeddings[offset : offset + count]
+            offset += count
+            semantic = tag.expression_feature_matrix()
+            if not self.config.use_text_attributes:
+                semantic = np.zeros_like(semantic)
+            physical = tag.physical_matrix()
+            if not self.config.use_physical_attributes:
+                physical = np.zeros_like(physical)
+            features.append(np.concatenate([text_embeddings, semantic, physical], axis=1))
+        return features
+
+    def encode_tags_batch(
+        self,
+        tags: Sequence[TextAttributedGraph],
+        max_nodes_per_chunk: int = DEFAULT_MAX_NODES_PER_CHUNK,
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Batched equivalent of :meth:`encode_tag_multigrained` for many TAGs.
+
+        All graphs are packed into block-diagonal batches (chunked by a node
+        budget) and refined in one TAGFormer forward per chunk; ExprLLM sees
+        one deduplicated text batch per chunk.  Returns ``(gate_embeddings,
+        graph_embedding)`` per input TAG, in order, numerically matching the
+        sequential path to ~1e-12.  Empty TAGs yield zero embeddings exactly
+        as the sequential path does.
+        """
+        results: List[Optional[Tuple[np.ndarray, np.ndarray]]] = [None] * len(tags)
+        nonempty: List[int] = []
+        for i, tag in enumerate(tags):
+            if tag.num_nodes == 0:
+                results[i] = (
+                    np.zeros((0, self.gate_embedding_dim)),
+                    np.zeros(self.graph_embedding_dim),
+                )
+            else:
+                nonempty.append(i)
+        for chunk in chunk_by_node_budget(
+            [tags[i].num_nodes for i in nonempty], max_nodes_per_chunk
+        ):
+            chunk_indices = [nonempty[c] for c in chunk]
+            chunk_tags = [tags[i] for i in chunk_indices]
+            features = self._batched_node_features(chunk_tags)
+            batch = BatchedTAG.from_tags(chunk_tags)
+            packed_features = batch.pack(features)
+            node_outputs, graph_outputs = self.tagformer.encode_batch_numpy(
+                packed_features, batch
+            )
+            chunk_results = self._multigrained_outputs_packed(
+                batch, packed_features, node_outputs, graph_outputs
+            )
+            for position, tag_index in enumerate(chunk_indices):
+                results[tag_index] = chunk_results[position]
+        return results  # type: ignore[return-value]
+
+    def _multigrained_outputs(
+        self,
+        tag: TextAttributedGraph,
+        features: np.ndarray,
+        node_out: np.ndarray,
+        graph_out: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Multi-grained readout shared by the sequential and batched paths."""
         if not self.config.multi_grained_embeddings:
             return node_out, graph_out
         adjacency = tag.graph.adjacency
@@ -133,8 +218,6 @@ class NetTAG(nn.Module):
         gate_embeddings = np.concatenate(
             [node_out, features, propagated_1hop, propagated_2hop], axis=1
         )
-        # Graph readout: [CLS] output plus mean/sum pooling of node outputs and
-        # input features, plus the log node count (standard multi-readout).
         graph_embedding = np.concatenate(
             [
                 graph_out,
@@ -145,6 +228,92 @@ class NetTAG(nn.Module):
             ]
         )
         return gate_embeddings, graph_embedding
+
+    def _multigrained_outputs_packed(
+        self,
+        batch: BatchedTAG,
+        packed_features: np.ndarray,
+        node_out: np.ndarray,
+        graph_out: np.ndarray,
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Vectorised multi-grained readout over one packed batch.
+
+        Equivalent to applying :meth:`_multigrained_outputs` per graph: the
+        block-diagonal adjacency performs every graph's neighbourhood
+        propagation in one matmul, and ``np.add.reduceat`` over the per-graph
+        offsets computes all pooled readouts at once.
+        """
+        graph_rows = [graph_out[g] for g in range(batch.num_graphs)]
+        if not self.config.multi_grained_embeddings:
+            return list(zip(batch.split(node_out), graph_rows))
+        block = batch.block_adjacency
+        propagated_1hop = block @ packed_features
+        propagated_2hop = block @ propagated_1hop
+        gate_packed = np.concatenate(
+            [node_out, packed_features, propagated_1hop, propagated_2hop], axis=1
+        )
+        starts = batch.offsets[:-1]
+        sizes = batch.sizes.astype(np.float64)[:, None]
+        mean_out = np.add.reduceat(node_out, starts, axis=0) / sizes
+        mean_features = np.add.reduceat(packed_features, starts, axis=0) / sizes
+        log_sums = np.log1p(
+            np.add.reduceat(np.maximum(packed_features, 0.0), starts, axis=0)
+        )
+        log_counts = np.log1p(sizes)
+        graph_embeddings = np.concatenate(
+            [graph_out, mean_out, mean_features, log_sums, log_counts], axis=1
+        )
+        return list(
+            zip(batch.split(gate_packed), [graph_embeddings[g] for g in range(batch.num_graphs)])
+        )
+
+    def encode_batch(
+        self,
+        cones: Sequence[RegisterCone],
+        tags: Optional[Sequence[TextAttributedGraph]] = None,
+        max_nodes_per_chunk: int = DEFAULT_MAX_NODES_PER_CHUNK,
+    ) -> List[np.ndarray]:
+        """Batched equivalent of :meth:`encode_cone` over many register cones.
+
+        Returns one cone embedding per input cone, in order.  ``tags`` may
+        supply pre-built cone TAGs (same order) to skip TAG construction.
+        """
+        if tags is None:
+            tags = [
+                netlist_to_tag(cone.netlist, k=self.config.expression_hops)
+                for cone in cones
+            ]
+        if len(tags) != len(cones):
+            raise ValueError(f"got {len(tags)} TAGs for {len(cones)} cones")
+        encoded = self.encode_tags_batch(tags, max_nodes_per_chunk=max_nodes_per_chunk)
+        return [
+            self.cone_embedding_from_outputs(cone, tag, gates, graph)
+            for cone, tag, (gates, graph) in zip(cones, tags, encoded)
+        ]
+
+    def cone_embedding_from_outputs(
+        self,
+        cone: RegisterCone,
+        tag: TextAttributedGraph,
+        gate_embeddings: np.ndarray,
+        graph_embedding: np.ndarray,
+    ) -> np.ndarray:
+        """Assemble one cone embedding from its TAG's encoded outputs.
+
+        In multi-grained mode the endpoint register's own gate embedding is
+        appended to the graph embedding (the endpoint defines the cone); this
+        is the single definition shared by the sequential path, the batched
+        path and the benchmark reference implementations.
+        """
+        if not self.config.multi_grained_embeddings:
+            return graph_embedding
+        index = tag.graph.name_to_index.get(cone.register_name)
+        endpoint = (
+            gate_embeddings[index]
+            if index is not None
+            else np.zeros(self.gate_embedding_dim)
+        )
+        return np.concatenate([graph_embedding, endpoint])
 
     @property
     def gate_embedding_dim(self) -> int:
@@ -165,20 +334,34 @@ class NetTAG(nn.Module):
     def build_tag(self, netlist: Netlist) -> TextAttributedGraph:
         return netlist_to_tag(netlist, k=self.config.expression_hops)
 
-    def embed_circuit(
+    def encode_netlist(
         self,
         netlist: Netlist,
         tag: Optional[TextAttributedGraph] = None,
         cones: Optional[Sequence[RegisterCone]] = None,
+        max_nodes_per_chunk: int = DEFAULT_MAX_NODES_PER_CHUNK,
     ) -> CircuitEmbedding:
-        """Embed a full circuit at all granularities.
+        """Embed a full circuit at all granularities through the batched engine.
 
         Combinational circuits use the [CLS] embedding of the whole-netlist
         TAG; sequential circuits additionally embed every register cone and
-        define the circuit embedding as the sum of cone embeddings.
+        define the circuit embedding as the sum of cone embeddings.  The
+        whole-netlist TAG and every cone TAG are encoded together in packed
+        batches (one TAGFormer forward per chunk, one deduplicated ExprLLM
+        text batch per chunk).
         """
         tag = tag or self.build_tag(netlist)
-        gate_embeddings, graph_embedding = self.encode_tag_multigrained(tag)
+        if netlist.is_sequential_design():
+            cones = cones if cones is not None else extract_register_cones(netlist)
+        else:
+            cones = []
+        cone_tags = [
+            netlist_to_tag(cone.netlist, k=self.config.expression_hops) for cone in cones
+        ]
+        encoded = self.encode_tags_batch(
+            [tag] + cone_tags, max_nodes_per_chunk=max_nodes_per_chunk
+        )
+        gate_embeddings, graph_embedding = encoded[0]
         physical_summary = tag.physical_matrix(normalise=False).sum(axis=0) if tag.num_nodes else np.zeros(0)
         result = CircuitEmbedding(
             name=netlist.name,
@@ -187,22 +370,27 @@ class NetTAG(nn.Module):
             graph_embedding=graph_embedding,
             physical_summary=physical_summary,
         )
-        if netlist.is_sequential_design():
-            cones = cones if cones is not None else extract_register_cones(netlist)
-            cone_sum: Optional[np.ndarray] = None
-            for cone in cones:
-                cone_tag = netlist_to_tag(cone.netlist, k=self.config.expression_hops)
-                _, cone_embedding = self.encode_tag_multigrained(cone_tag)
-                result.cone_embeddings[cone.register_name] = cone_embedding
-                cone_sum = cone_embedding if cone_sum is None else cone_sum + cone_embedding
-            if cone_sum is not None:
-                result.graph_embedding = cone_sum
+        cone_sum: Optional[np.ndarray] = None
+        for cone, (_, cone_embedding) in zip(cones, encoded[1:]):
+            result.cone_embeddings[cone.register_name] = cone_embedding
+            cone_sum = cone_embedding if cone_sum is None else cone_sum + cone_embedding
+        if cone_sum is not None:
+            result.graph_embedding = cone_sum
         return result
+
+    def embed_circuit(
+        self,
+        netlist: Netlist,
+        tag: Optional[TextAttributedGraph] = None,
+        cones: Optional[Sequence[RegisterCone]] = None,
+    ) -> CircuitEmbedding:
+        """Alias of :meth:`encode_netlist` (kept for the original API name)."""
+        return self.encode_netlist(netlist, tag=tag, cones=cones)
 
     def embed_gates(self, netlist: Netlist, tag: Optional[TextAttributedGraph] = None) -> Tuple[np.ndarray, List[str]]:
         """Gate-level embeddings plus the corresponding gate name order."""
         tag = tag or self.build_tag(netlist)
-        embeddings, _ = self.encode_tag_multigrained(tag)
+        embeddings, _ = self.encode_tags_batch([tag])[0]
         return embeddings, list(tag.graph.node_names)
 
     def encode_cone(self, cone: RegisterCone) -> np.ndarray:
@@ -215,18 +403,13 @@ class NetTAG(nn.Module):
         """
         cone_tag = netlist_to_tag(cone.netlist, k=self.config.expression_hops)
         gate_embeddings, graph_embedding = self.encode_tag_multigrained(cone_tag)
-        if not self.config.multi_grained_embeddings:
-            return graph_embedding
-        endpoint = cone.register_name
-        if endpoint in cone_tag.graph.name_to_index:
-            endpoint_embedding = gate_embeddings[cone_tag.graph.name_to_index[endpoint]]
-        else:
-            endpoint_embedding = np.zeros(self.gate_embedding_dim)
-        return np.concatenate([graph_embedding, endpoint_embedding])
+        return self.cone_embedding_from_outputs(cone, cone_tag, gate_embeddings, graph_embedding)
 
     def embed_cones(self, cones: Sequence[RegisterCone]) -> Dict[str, np.ndarray]:
-        """Register-cone embeddings keyed by register name."""
-        return {cone.register_name: self.encode_cone(cone) for cone in cones}
+        """Register-cone embeddings keyed by register name (batched)."""
+        cones = list(cones)
+        embeddings = self.encode_batch(cones)
+        return {cone.register_name: emb for cone, emb in zip(cones, embeddings)}
 
     def circuit_feature_vector(self, netlist: Netlist, embedding: Optional[CircuitEmbedding] = None) -> np.ndarray:
         """Circuit-level feature vector for fine-tuning (Task 4).

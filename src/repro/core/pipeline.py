@@ -251,3 +251,7 @@ class NetTAGPipeline:
 
     def embed_cones(self, cones: Sequence[RegisterCone]):
         return self.model.embed_cones(cones)
+
+    def encode_batch(self, cones: Sequence[RegisterCone]):
+        """Batched cone embeddings (list, in cone order) via the batched engine."""
+        return self.model.encode_batch(cones)

@@ -1,6 +1,7 @@
 """Model encoders: ExprLLM, TAGFormer, auxiliary RTL/layout encoders, baseline GNNs."""
 
 from .text_encoder import HashingTokenizer, TextEncoder, TextEncoderConfig
+from .embedding_cache import CacheStats, LRUEmbeddingCache
 from .expr_llm import ExprLLM
 from .tagformer import SGFormerLayer, TAGFormer, TAGFormerConfig
 from .rtl_encoder import RTLEncoder, augment_rtl_text, pretrain_rtl_encoder
@@ -11,6 +12,8 @@ __all__ = [
     "TextEncoder",
     "TextEncoderConfig",
     "HashingTokenizer",
+    "CacheStats",
+    "LRUEmbeddingCache",
     "ExprLLM",
     "TAGFormer",
     "TAGFormerConfig",

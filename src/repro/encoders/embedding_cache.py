@@ -1,0 +1,114 @@
+"""LRU cache for frozen-encoder embeddings.
+
+ExprLLM is frozen after Step-1 pre-training, so the embedding of a gate text
+is a pure function of its *canonical token stream* (the tokenizer already maps
+signal identifiers to position-of-first-appearance ``<VAR_i>`` tokens).  The
+cache is therefore keyed on the token-id tuple rather than the raw text:
+two gates whose expressions differ only in signal naming share one entry,
+which is what makes the hit rate high across circuits, not just within one.
+
+The cache is bounded (LRU eviction) so that embedding-serving workloads over
+many circuits cannot grow memory without limit, and it keeps hit/miss/eviction
+statistics for the throughput benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional
+
+import numpy as np
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one cache (cumulative since the last clear).
+
+    ``dedup_hits`` counts rows served by within-call deduplication (the same
+    canonical expression appearing several times in one encode batch).  They
+    are tracked separately from ``hits`` because in-call dedup happens even
+    with the cache disabled; ``hit_rate`` measures the LRU cache alone, while
+    ``reuse_rate`` measures total avoided recomputation.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    dedup_hits: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    @property
+    def reuse_rate(self) -> float:
+        total = self.lookups + self.dedup_hits
+        return (self.hits + self.dedup_hits) / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "dedup_hits": self.dedup_hits,
+            "hit_rate": round(self.hit_rate, 4),
+            "reuse_rate": round(self.reuse_rate, 4),
+        }
+
+
+class LRUEmbeddingCache:
+    """Bounded mapping from hashable keys to numpy embedding vectors.
+
+    ``get`` marks the entry most-recently-used; ``put`` evicts the least
+    recently used entry once ``capacity`` is exceeded.  Stored vectors are
+    treated as immutable (callers receive the stored array; encode paths copy
+    rows into result matrices rather than mutating them in place).
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self._data: "OrderedDict[Hashable, np.ndarray]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def get(self, key: Hashable) -> Optional[np.ndarray]:
+        value = self._data.get(key)
+        if value is None:
+            self.stats.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def peek(self, key: Hashable) -> Optional[np.ndarray]:
+        """Lookup without touching recency or statistics."""
+        return self._data.get(key)
+
+    def put(self, key: Hashable, value: np.ndarray) -> None:
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries and reset statistics."""
+        self._data.clear()
+        self.stats = CacheStats()
+
+    def snapshot(self) -> Dict[str, float]:
+        """Statistics plus occupancy, for benchmark reports."""
+        return {**self.stats.as_dict(), "size": len(self._data), "capacity": self.capacity}

@@ -8,21 +8,29 @@ embedding, and is pre-trained with symbolic-expression contrastive learning
 
 Here ExprLLM wraps the :class:`~repro.encoders.text_encoder.TextEncoder`
 backbone with the :class:`~repro.expr.tokenizer.ExprTokenizer` vocabulary.
-An embedding cache makes repeated encoding of identical gate texts free, which
-matters because ExprLLM is frozen during Step-2 pre-training and during every
-downstream embedding pass.
+Because the backbone is frozen during Step-2 pre-training and during every
+downstream embedding pass, repeated encoding is pure recomputation; an LRU
+cache keyed on the *canonical token stream* (signal names already normalised
+by the tokenizer) makes re-embedding a repeated expression free, both within
+one circuit and across circuits.  Duplicate expressions inside one call are
+deduplicated before they reach the backbone even when the cache is disabled.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .. import nn
 from ..expr import ExprTokenizer
 from ..nn import Tensor
+from .embedding_cache import LRUEmbeddingCache
 from .text_encoder import TextEncoder, TextEncoderConfig
+
+# Soft bound on the raw-text -> canonical-key memo; it only exists to avoid
+# re-tokenising hot texts, so wholesale clearing at the bound is fine.
+_KEY_MEMO_LIMIT = 65536
 
 
 class ExprLLM(nn.Module):
@@ -33,6 +41,7 @@ class ExprLLM(nn.Module):
         config: Optional[TextEncoderConfig] = None,
         tokenizer: Optional[ExprTokenizer] = None,
         rng: Optional[np.random.Generator] = None,
+        cache_capacity: int = 4096,
     ) -> None:
         super().__init__()
         self.config = config or TextEncoderConfig()
@@ -45,8 +54,10 @@ class ExprLLM(nn.Module):
             pad_id=self.tokenizer.pad_id,
             rng=rng,
         )
-        self._cache: Dict[str, np.ndarray] = {}
+        self._cache = LRUEmbeddingCache(capacity=cache_capacity)
         self._cache_enabled = True
+        # raw text -> (canonical key, ids, mask); avoids re-tokenising hot texts.
+        self._key_memo: Dict[str, Tuple[Tuple[int, ...], List[int], List[bool]]] = {}
 
     # ------------------------------------------------------------------
     # Encoding
@@ -60,6 +71,17 @@ class ExprLLM(nn.Module):
         ids, mask = self.tokenizer.encode_batch(list(texts))
         return self.backbone(np.asarray(ids), np.asarray(mask))
 
+    def _tokenize(self, text: str) -> Tuple[Tuple[int, ...], List[int], List[bool]]:
+        """Canonical cache key plus padded token ids / attention mask."""
+        entry = self._key_memo.get(text)
+        if entry is None:
+            ids, mask = self.tokenizer.encode(text)
+            entry = (tuple(ids), ids, mask)
+            if len(self._key_memo) >= _KEY_MEMO_LIMIT:
+                self._key_memo.clear()
+            self._key_memo[text] = entry
+        return entry
+
     def encode_texts(self, texts: Sequence[str], batch_size: int = 64) -> np.ndarray:
         """Numpy (non-differentiable) embeddings with caching; used once frozen.
 
@@ -70,40 +92,77 @@ class ExprLLM(nn.Module):
         """
         texts = list(texts)
         result = np.zeros((len(texts), self.output_dim), dtype=np.float64)
-        to_compute: List[int] = []
+        # Canonical key -> (row indices awaiting the embedding, ids, mask).
+        pending: Dict[Tuple[int, ...], Tuple[List[int], List[int], List[bool]]] = {}
         for i, text in enumerate(texts):
-            cached = self._cache.get(text) if self._cache_enabled else None
+            key, ids, mask = self._tokenize(text)
+            waiting = pending.get(key)
+            if waiting is not None:
+                # Duplicate within this call: compute once, fill every row.
+                waiting[0].append(i)
+                if self._cache_enabled:
+                    self._cache.stats.dedup_hits += 1
+                continue
+            cached = self._cache.get(key) if self._cache_enabled else None
             if cached is not None:
                 result[i] = cached
             else:
-                to_compute.append(i)
-        for start in range(0, len(to_compute), batch_size):
-            chunk = to_compute[start : start + batch_size]
-            chunk_texts = [texts[i] for i in chunk]
-            ids, mask = self.tokenizer.encode_batch(chunk_texts)
-            embeddings = self.backbone.encode_numpy(np.asarray(ids), np.asarray(mask))
-            for row, i in enumerate(chunk):
-                result[i] = embeddings[row]
+                pending[key] = ([i], ids, mask)
+        # Length-bucketed backbone batches: sorting by true token length lets
+        # each batch trim its padding to its own longest member (stable sort,
+        # so the batch composition is deterministic).
+        unique = sorted(pending.items(), key=lambda item: sum(item[1][2]))
+        for start in range(0, len(unique), batch_size):
+            chunk = unique[start : start + batch_size]
+            ids_batch = np.asarray([ids for _, (_, ids, _) in chunk])
+            mask_batch = np.asarray([mask for _, (_, _, mask) in chunk])
+            embeddings = self.backbone.encode_numpy(ids_batch, mask_batch)
+            for (key, (rows, _, _)), embedding in zip(chunk, embeddings):
+                for row in rows:
+                    result[row] = embedding
                 if self._cache_enabled:
-                    self._cache[texts[i]] = embeddings[row]
+                    self._cache.put(key, embedding)
         norms = np.linalg.norm(result, axis=1, keepdims=True)
         return result / np.maximum(norms, 1e-9)
 
+    # ------------------------------------------------------------------
+    # Cache management
+    # ------------------------------------------------------------------
     def clear_cache(self) -> None:
         """Drop cached embeddings (call after any weight update)."""
         self._cache.clear()
+        self._key_memo.clear()
 
     def set_cache_enabled(self, enabled: bool) -> None:
         self._cache_enabled = enabled
         if not enabled:
             self.clear_cache()
 
+    @property
+    def cache_enabled(self) -> bool:
+        return self._cache_enabled
+
+    def cache_stats(self) -> Dict[str, float]:
+        """Hit/miss/eviction statistics of the expression-embedding cache."""
+        return self._cache.snapshot()
+
     # ------------------------------------------------------------------
     # LoRA-based pre-training support
     # ------------------------------------------------------------------
-    def enable_lora(self, rank: int = 4, alpha: float = 8.0) -> int:
-        """Wrap the backbone's linear layers with LoRA adapters (paper's Step 1)."""
-        wrapped = nn.apply_lora(self.backbone, rank=rank, alpha=alpha)
+    def enable_lora(
+        self,
+        rank: int = 4,
+        alpha: float = 8.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> int:
+        """Wrap the backbone's linear layers with LoRA adapters (paper's Step 1).
+
+        ``rng`` seeds the adapter initialisation; the default is a fixed seed
+        rather than the shared module-level generator, so repeated runs in one
+        process initialise identically (pipeline determinism).
+        """
+        rng = rng or np.random.default_rng(0)
+        wrapped = nn.apply_lora(self.backbone, rank=rank, alpha=alpha, rng=rng)
         self.clear_cache()
         return wrapped
 

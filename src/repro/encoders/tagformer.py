@@ -18,11 +18,12 @@ the gate's physical characteristic vector, exactly as equation (2) describes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from .. import nn
+from ..netlist.batch import BatchedTAG
 from ..nn import Tensor
 
 
@@ -51,9 +52,16 @@ class SGFormerLayer(nn.Module):
         self.ff_norm = nn.LayerNorm(dim)
         self.propagation_weight = propagation_weight
 
-    def forward(self, hidden: Tensor, adjacency: np.ndarray) -> Tensor:
-        # Global attention over all nodes (sequence = node set).
-        attended = self.attention(self.attn_norm(hidden))
+    def forward(
+        self,
+        hidden: Tensor,
+        adjacency: np.ndarray,
+        attn_mask: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        # Global attention over all nodes (sequence = node set).  With a
+        # block-diagonal ``attn_mask`` the "node set" may pack several
+        # independent graphs; attention then stays within each graph.
+        attended = self.attention(self.attn_norm(hidden), attn_mask=attn_mask)
         # Graph propagation with the normalised adjacency (constant matrix).
         propagated = Tensor(adjacency) @ hidden
         alpha = self.propagation_weight
@@ -117,6 +125,51 @@ class TAGFormer(nn.Module):
         graph_embedding = self.graph_head(hidden[num_nodes])
         return node_embeddings, graph_embedding
 
+    def forward_batch(self, node_features: Tensor, batch: BatchedTAG) -> Tuple[Tensor, Tensor]:
+        """Encode a packed batch of graphs in one differentiable forward pass.
+
+        Parameters
+        ----------
+        node_features:
+            ``(batch.total_nodes, input_dim)`` tensor — the per-graph feature
+            matrices concatenated in batch order (see :meth:`BatchedTAG.pack`).
+        batch:
+            The packed batch structure: block-diagonal adjacency, per-graph
+            offsets and attention mask.
+
+        Returns
+        -------
+        (node_embeddings, graph_embeddings):
+            ``(total_nodes, output_dim)`` packed node outputs (split per graph
+            with ``batch.split``) and ``(num_graphs, output_dim)`` [CLS]
+            outputs, one row per graph.
+        """
+        if node_features.ndim != 2:
+            raise ValueError("node_features must be a 2-D (nodes, features) tensor")
+        if node_features.shape[0] != batch.total_nodes:
+            raise ValueError(
+                f"packed features have {node_features.shape[0]} rows, "
+                f"expected {batch.total_nodes}"
+            )
+        if batch.num_graphs == 0:
+            empty = Tensor(np.zeros((0, self.config.output_dim)))
+            return empty, Tensor(np.zeros((0, self.config.output_dim)))
+        hidden = self.input_projection(node_features)
+        # One [CLS] slot per graph, appended after all node rows.  The ones
+        # matmul broadcasts the shared cls_token parameter with gradient flow.
+        cls_rows = Tensor(np.ones((batch.num_graphs, 1))) @ self.cls_token
+        hidden = nn.concatenate([hidden, cls_rows], axis=0)
+
+        extended = batch.extended_adjacency
+        mask = batch.attention_mask
+        for layer in self.layers:
+            hidden = layer(hidden, extended, attn_mask=mask)
+        hidden = self.final_norm(hidden)
+
+        node_embeddings = self.node_head(hidden[: batch.total_nodes])
+        graph_embeddings = self.graph_head(hidden[batch.total_nodes :])
+        return node_embeddings, graph_embeddings
+
     def encode_numpy(self, node_features: np.ndarray, adjacency: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Inference helper returning numpy node and graph embeddings."""
         was_training = self.training
@@ -124,6 +177,24 @@ class TAGFormer(nn.Module):
         try:
             nodes, graph = self.forward(Tensor(node_features), adjacency)
             return nodes.data, graph.data
+        finally:
+            if was_training:
+                self.train()
+
+    def encode_batch_numpy(
+        self, node_features: np.ndarray, batch: BatchedTAG
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched inference helper.
+
+        Returns the packed ``(total_nodes, output_dim)`` node-embedding matrix
+        (split per graph with ``batch.split``) and the ``(num_graphs,
+        output_dim)`` graph-embedding matrix.
+        """
+        was_training = self.training
+        self.eval()
+        try:
+            nodes, graphs = self.forward_batch(Tensor(node_features), batch)
+            return nodes.data, graphs.data
         finally:
             if was_training:
                 self.train()

@@ -24,6 +24,7 @@ from .tag import (
     physical_annotations,
     render_gate_text,
 )
+from .batch import BatchedTAG, chunk_by_node_budget
 from .aig import aig_statistics, to_aig
 from .stats import (
     SourceStatistics,
@@ -61,6 +62,8 @@ __all__ = [
     "netlist_to_tag",
     "physical_annotations",
     "render_gate_text",
+    "BatchedTAG",
+    "chunk_by_node_budget",
     "aig_statistics",
     "to_aig",
     "SourceStatistics",

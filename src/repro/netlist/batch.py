@@ -1,0 +1,201 @@
+"""Batched text-attributed graphs for one-pass multi-graph encoding.
+
+TAGFormer's hot path used to encode one register cone at a time, which leaves
+most of the numpy substrate idle: every cone pays the full Python dispatch
+cost of a transformer forward over a handful of nodes.  :class:`BatchedTAG`
+packs many graphs into one *concatenated* node set with
+
+* per-graph node offsets (``offsets[g] : offsets[g + 1]`` slices graph ``g``),
+* a block-diagonal normalised adjacency matrix, and
+* a per-graph attention mask (nodes may only attend within their own graph),
+
+so a single TAGFormer forward encodes the whole batch.  The packed layout
+appends one ``[CLS]`` slot *per graph* after all node rows; the extended
+adjacency and attention mask returned by :meth:`extended_adjacency` /
+:meth:`attention_mask` already account for those slots, mirroring the
+single-graph ``_extend_adjacency_with_cls`` wiring exactly so batched and
+sequential encodings agree to numerical precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (tag imports graph)
+    from .tag import TextAttributedGraph
+
+
+@dataclass(eq=False)
+class BatchedTAG:
+    """A batch of graphs packed into one concatenated node set.
+
+    Attributes
+    ----------
+    adjacencies:
+        The per-graph normalised adjacency matrices, in batch order.
+    names:
+        Per-graph names (empty strings when built from raw adjacencies).
+    """
+
+    adjacencies: List[np.ndarray]
+    names: List[str] = field(default_factory=list)
+    _extended_adjacency: Optional[np.ndarray] = field(default=None, repr=False)
+    _attention_mask: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        converted: List[np.ndarray] = []
+        for adjacency in self.adjacencies:
+            adjacency = np.asarray(adjacency, dtype=np.float64)
+            if adjacency.ndim != 2 or adjacency.shape[0] != adjacency.shape[1]:
+                raise ValueError("each adjacency must be a square 2-D matrix")
+            converted.append(adjacency)
+        self.adjacencies = converted
+        if not self.names:
+            self.names = ["" for _ in self.adjacencies]
+        if len(self.names) != len(self.adjacencies):
+            raise ValueError("names and adjacencies must have matching lengths")
+        self.sizes = np.asarray([a.shape[0] for a in self.adjacencies], dtype=np.int64)
+        self.offsets = np.concatenate([[0], np.cumsum(self.sizes)]).astype(np.int64)
+        # Per-node graph index; empty graphs contribute no node rows.
+        self.segment_ids = np.repeat(np.arange(self.num_graphs, dtype=np.int64), self.sizes)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_tags(cls, tags: Sequence["TextAttributedGraph"]) -> "BatchedTAG":
+        """Pack a sequence of TAGs (in order) into one batch."""
+        return cls(
+            adjacencies=[tag.graph.adjacency for tag in tags],
+            names=[tag.name for tag in tags],
+        )
+
+    @classmethod
+    def from_adjacencies(cls, adjacencies: Sequence[np.ndarray]) -> "BatchedTAG":
+        """Pack raw normalised adjacency matrices (e.g. pre-training samples)."""
+        return cls(adjacencies=list(adjacencies))
+
+    # ------------------------------------------------------------------
+    # Shape accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_graphs(self) -> int:
+        return len(self.adjacencies)
+
+    @property
+    def total_nodes(self) -> int:
+        return int(self.offsets[-1]) if self.num_graphs else 0
+
+    @property
+    def total_slots(self) -> int:
+        """Packed sequence length including one [CLS] slot per graph."""
+        return self.total_nodes + self.num_graphs
+
+    def graph_slice(self, index: int) -> slice:
+        """Node-row slice of graph ``index`` within the packed layout."""
+        return slice(int(self.offsets[index]), int(self.offsets[index + 1]))
+
+    def cls_index(self, index: int) -> int:
+        """Row of graph ``index``'s [CLS] slot within the packed layout."""
+        return self.total_nodes + index
+
+    # ------------------------------------------------------------------
+    # Packing / unpacking helpers
+    # ------------------------------------------------------------------
+    def pack(self, per_graph: Sequence[np.ndarray]) -> np.ndarray:
+        """Concatenate per-graph node-feature matrices into the packed layout."""
+        if len(per_graph) != self.num_graphs:
+            raise ValueError(
+                f"expected {self.num_graphs} feature matrices, got {len(per_graph)}"
+            )
+        for matrix, size in zip(per_graph, self.sizes):
+            if matrix.shape[0] != size:
+                raise ValueError("feature matrix row count does not match graph size")
+        if not per_graph:
+            return np.zeros((0, 0))
+        return np.concatenate([np.asarray(m) for m in per_graph], axis=0)
+
+    def split(self, packed: np.ndarray) -> List[np.ndarray]:
+        """Split a packed ``(total_nodes, ...)`` array back into per-graph views."""
+        if packed.shape[0] != self.total_nodes:
+            raise ValueError(
+                f"packed array has {packed.shape[0]} rows, expected {self.total_nodes}"
+            )
+        return [packed[self.graph_slice(g)] for g in range(self.num_graphs)]
+
+    # ------------------------------------------------------------------
+    # Dense batch structure (lazily built, then cached)
+    # ------------------------------------------------------------------
+    @property
+    def block_adjacency(self) -> np.ndarray:
+        """Block-diagonal normalised adjacency over the node rows only."""
+        return self.extended_adjacency[: self.total_nodes, : self.total_nodes]
+
+    @property
+    def extended_adjacency(self) -> np.ndarray:
+        """Block-diagonal adjacency over the full packed layout (nodes + CLS).
+
+        Each graph's [CLS] slot is connected to every node of its own graph
+        with weight ``1 / max(num_nodes, 1)`` and to itself with weight 1,
+        exactly as the single-graph CLS extension does.
+        """
+        if self._extended_adjacency is None:
+            total = self.total_slots
+            extended = np.zeros((total, total), dtype=np.float64)
+            for g, adjacency in enumerate(self.adjacencies):
+                block = self.graph_slice(g)
+                extended[block, block] = adjacency
+                cls_row = self.cls_index(g)
+                weight = 1.0 / max(int(self.sizes[g]), 1)
+                extended[cls_row, block] = weight
+                extended[block, cls_row] = weight
+                extended[cls_row, cls_row] = 1.0
+            self._extended_adjacency = extended
+        return self._extended_adjacency
+
+    @property
+    def extended_segment_ids(self) -> np.ndarray:
+        """Graph index of every packed row, [CLS] slots included."""
+        return np.concatenate(
+            [self.segment_ids, np.arange(self.num_graphs, dtype=np.int64)]
+        )
+
+    @property
+    def attention_mask(self) -> np.ndarray:
+        """Boolean ``(total_slots, total_slots)`` mask; True = may attend."""
+        if self._attention_mask is None:
+            segments = self.extended_segment_ids
+            self._attention_mask = segments[:, None] == segments[None, :]
+        return self._attention_mask
+
+
+def chunk_by_node_budget(
+    sizes: Sequence[int], max_nodes_per_chunk: int
+) -> List[List[int]]:
+    """Greedily group graph indices so each chunk stays under a slot budget.
+
+    Dense batched attention is O(slots^2) in memory where a chunk's slot
+    count is its node count plus one [CLS] slot per graph, so the budget is
+    applied to slots — many tiny graphs cannot overshoot it through their
+    CLS rows alone.  A graph larger than the budget still gets its own
+    singleton chunk (it would not fit anywhere else).
+    """
+    if max_nodes_per_chunk < 1:
+        raise ValueError("max_nodes_per_chunk must be positive")
+    chunks: List[List[int]] = []
+    current: List[int] = []
+    current_slots = 0
+    for index, size in enumerate(sizes):
+        slots = int(size) + 1  # node rows plus the graph's [CLS] slot
+        if current and current_slots + slots > max_nodes_per_chunk:
+            chunks.append(current)
+            current = []
+            current_slots = 0
+        current.append(index)
+        current_slots += slots
+    if current:
+        chunks.append(current)
+    return chunks

@@ -42,11 +42,24 @@ class MultiHeadAttention(Module):
         self.out_proj = Linear(dim, dim, rng=rng)
         self.dropout = Dropout(dropout, rng=rng)
 
-    def forward(self, x: Tensor, key_padding_mask: Optional[np.ndarray] = None) -> Tensor:
+    def forward(
+        self,
+        x: Tensor,
+        key_padding_mask: Optional[np.ndarray] = None,
+        attn_mask: Optional[np.ndarray] = None,
+    ) -> Tensor:
         """Attend over a ``(batch, seq, dim)`` or ``(seq, dim)`` input.
 
         ``key_padding_mask`` is a boolean array of shape ``(batch, seq)`` (or
         ``(seq,)``) where ``True`` marks *valid* positions.
+
+        ``attn_mask`` is a boolean pairwise mask of shape ``(seq, seq)`` (or
+        ``(batch, seq, seq)``) where ``True`` means the query position (row)
+        may attend to the key position (column).  This is how a packed batch
+        of independent graphs is encoded in one pass: the block-diagonal mask
+        keeps every graph's attention confined to its own nodes, which is
+        numerically equivalent to running each graph separately (masked
+        scores underflow to exactly zero attention weight after softmax).
         """
         squeeze = False
         if x.ndim == 2:
@@ -70,10 +83,8 @@ class MultiHeadAttention(Module):
         scale = 1.0 / np.sqrt(self.head_dim)
         scores = (q @ k.transpose(0, 1, 3, 2)) * scale  # (batch, heads, seq, seq)
 
-        if key_padding_mask is not None:
-            valid = np.asarray(key_padding_mask, dtype=bool)
-            mask = valid[:, None, None, :]  # broadcast over heads and query positions
-            mask = np.broadcast_to(mask, scores.shape)
+        mask = _combine_masks(key_padding_mask, attn_mask, scores.shape)
+        if mask is not None:
             scores = where_mask(mask, scores, Tensor(np.full(scores.shape, -1e9)))
 
         attn = scores.softmax(axis=-1)
@@ -84,6 +95,35 @@ class MultiHeadAttention(Module):
         if squeeze:
             out = out.reshape(seq, self.dim)
         return out
+
+
+def _combine_masks(
+    key_padding_mask: Optional[np.ndarray],
+    attn_mask: Optional[np.ndarray],
+    scores_shape: tuple,
+) -> Optional[np.ndarray]:
+    """Merge padding and pairwise masks into one broadcastable boolean array.
+
+    The result is a broadcast *view* expanded to ``scores_shape`` (no
+    per-head materialisation); only combining both masks allocates, and then
+    just ``(batch, 1, seq, seq)``.
+    """
+    if key_padding_mask is None and attn_mask is None:
+        return None
+    mask: Optional[np.ndarray] = None
+    if key_padding_mask is not None:
+        valid = np.asarray(key_padding_mask, dtype=bool)
+        mask = valid[:, None, None, :]  # broadcast over heads and query positions
+    if attn_mask is not None:
+        pairwise = np.asarray(attn_mask, dtype=bool)
+        if pairwise.ndim == 2:
+            pairwise = pairwise[None, None, :, :]
+        elif pairwise.ndim == 3:
+            pairwise = pairwise[:, None, :, :]
+        else:
+            raise ValueError("attn_mask must be (seq, seq) or (batch, seq, seq)")
+        mask = pairwise if mask is None else mask & pairwise
+    return np.broadcast_to(mask, scores_shape)
 
 
 class FeedForward(Module):
@@ -119,8 +159,13 @@ class TransformerEncoderLayer(Module):
         self.ff_norm = LayerNorm(dim)
         self.ff = FeedForward(dim, dim * ff_multiplier, dropout=dropout, rng=rng)
 
-    def forward(self, x: Tensor, key_padding_mask: Optional[np.ndarray] = None) -> Tensor:
-        x = x + self.attn(self.attn_norm(x), key_padding_mask=key_padding_mask)
+    def forward(
+        self,
+        x: Tensor,
+        key_padding_mask: Optional[np.ndarray] = None,
+        attn_mask: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        x = x + self.attn(self.attn_norm(x), key_padding_mask=key_padding_mask, attn_mask=attn_mask)
         x = x + self.ff(self.ff_norm(x))
         return x
 
@@ -144,7 +189,12 @@ class TransformerEncoder(Module):
         )
         self.final_norm = LayerNorm(dim)
 
-    def forward(self, x: Tensor, key_padding_mask: Optional[np.ndarray] = None) -> Tensor:
+    def forward(
+        self,
+        x: Tensor,
+        key_padding_mask: Optional[np.ndarray] = None,
+        attn_mask: Optional[np.ndarray] = None,
+    ) -> Tensor:
         for layer in self.layers:
-            x = layer(x, key_padding_mask=key_padding_mask)
+            x = layer(x, key_padding_mask=key_padding_mask, attn_mask=attn_mask)
         return self.final_norm(x)

@@ -69,7 +69,7 @@ class ExprLLMPretrainer:
         result.num_pairs = len(pairs)
 
         if config.use_lora:
-            self.model.enable_lora(rank=config.lora_rank)
+            self.model.enable_lora(rank=config.lora_rank, rng=rng)
         parameters = self.model.trainable_parameters()
         optimizer = nn.Adam(parameters, lr=config.learning_rate, grad_clip=1.0)
 

@@ -16,6 +16,7 @@ import numpy as np
 
 from .. import nn
 from ..encoders import TAGFormer
+from ..netlist import BatchedTAG
 from ..nn import Tensor
 from .augment import mask_node_indices
 from .data import PretrainSample
@@ -101,15 +102,26 @@ class TAGFormerPretrainer:
         return params
 
     # ------------------------------------------------------------------
-    def _encode_batch(self, samples: Sequence[PretrainSample], augmented: bool) -> tuple[List[Tensor], List[Tensor]]:
-        node_embeddings: List[Tensor] = []
-        graph_embeddings: List[Tensor] = []
-        for sample in samples:
-            features = Tensor(sample.node_features(augmented=augmented))
-            nodes, graph = self.tagformer(features, sample.adjacency)
-            node_embeddings.append(nodes)
-            graph_embeddings.append(graph)
+    def _encode_features(
+        self, features: Sequence[np.ndarray], adjacencies: Sequence[np.ndarray]
+    ) -> tuple[List[Tensor], List[Tensor]]:
+        """One packed TAGFormer forward over per-sample feature matrices.
+
+        Returns per-sample node/graph embedding tensors (slices of the packed
+        outputs, so gradients flow back through the single batched forward).
+        """
+        batch = BatchedTAG.from_adjacencies(adjacencies)
+        packed = Tensor(np.concatenate(list(features), axis=0))
+        nodes, graphs = self.tagformer.forward_batch(packed, batch)
+        node_embeddings = [nodes[batch.graph_slice(i)] for i in range(batch.num_graphs)]
+        graph_embeddings = [graphs[i] for i in range(batch.num_graphs)]
         return node_embeddings, graph_embeddings
+
+    def _encode_batch(self, samples: Sequence[PretrainSample], augmented: bool) -> tuple[List[Tensor], List[Tensor]]:
+        return self._encode_features(
+            [sample.node_features(augmented=augmented) for sample in samples],
+            [sample.adjacency for sample in samples],
+        )
 
     def run(self, samples: Sequence[PretrainSample]) -> TAGPretrainResult:
         """Train on the pre-training samples; returns per-objective loss curves."""
@@ -134,16 +146,23 @@ class TAGFormerPretrainer:
                 _, graph_original = self._encode_batch(batch, augmented=False)
                 graph_original_stack = nn.stack(graph_original, axis=0)
 
-                # Objective #2.1: masked gate reconstruction.
+                # Objective #2.1: masked gate reconstruction (one packed pass).
                 if config.use_masked_gate:
-                    masked_losses: List[Tensor] = []
-                    for sample in batch:
-                        indices = mask_node_indices(sample.num_nodes, config.mask_ratio, rng=rng)
-                        features = masked_gate_features(sample.node_features(), indices)
-                        nodes, _ = self.tagformer(Tensor(features), sample.adjacency)
-                        masked_losses.append(
-                            masked_gate_loss(nodes, self.gate_classifier, sample.cell_type_labels, indices)
-                        )
+                    masked_indices = [
+                        mask_node_indices(sample.num_nodes, config.mask_ratio, rng=rng)
+                        for sample in batch
+                    ]
+                    masked_nodes, _ = self._encode_features(
+                        [
+                            masked_gate_features(sample.node_features(), indices)
+                            for sample, indices in zip(batch, masked_indices)
+                        ],
+                        [sample.adjacency for sample in batch],
+                    )
+                    masked_losses = [
+                        masked_gate_loss(nodes, self.gate_classifier, sample.cell_type_labels, indices)
+                        for nodes, sample, indices in zip(masked_nodes, batch, masked_indices)
+                    ]
                     term = masked_losses[0]
                     for extra in masked_losses[1:]:
                         term = term + extra

@@ -90,7 +90,7 @@ def _exprllm_embeddings(model: NetTAG, netlist: Netlist) -> Tuple[np.ndarray, Di
 
 def _nettag_embeddings(model: NetTAG, netlist: Netlist) -> Tuple[np.ndarray, Dict[str, int]]:
     tag = netlist_to_tag(netlist, k=AIG_EXPRESSION_HOPS)
-    embeddings, _ = model.encode_tag_multigrained(tag)
+    embeddings, _ = model.encode_tags_batch([tag])[0]
     return embeddings, {name: i for i, name in enumerate(tag.graph.node_names)}
 
 

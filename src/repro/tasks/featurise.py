@@ -1,0 +1,30 @@
+"""Shared NetTAG featurisation helpers for the downstream tasks.
+
+The sequential-netlist tasks (register typing, slack prediction) both start
+from per-design register-cone embedding tables.  Instead of embedding each
+design's cones separately, :func:`embed_design_cones` flattens every cone of
+every design into one :meth:`NetTAG.encode_batch` call, so the batched engine
+packs cones across design boundaries and the expression-embedding cache
+deduplicates shared logic across the whole dataset in a single pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..core import NetTAG
+from .datasets import SequentialDesign
+
+
+def embed_design_cones(
+    model: NetTAG, designs: Sequence[SequentialDesign]
+) -> Dict[str, Dict[str, np.ndarray]]:
+    """Cone-embedding tables per design: ``{design: {register: embedding}}``."""
+    flat = [(design, cone) for design in designs for cone in design.cones]
+    embeddings = model.encode_batch([cone for _, cone in flat])
+    tables: Dict[str, Dict[str, np.ndarray]] = {design.name: {} for design in designs}
+    for (design, cone), embedding in zip(flat, embeddings):
+        tables[design.name][cone.register_name] = embedding
+    return tables

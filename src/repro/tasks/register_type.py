@@ -21,6 +21,7 @@ from ..core import NetTAG, fit_classifier
 from ..ml import balanced_accuracy, sensitivity
 from .baselines import reignn_baseline
 from .datasets import SequentialDataset, SequentialDesign
+from .featurise import embed_design_cones
 
 
 @dataclass
@@ -66,10 +67,10 @@ def evaluate_nettag_task2(
     registers and cone embeddings of several hundred dimensions, trees are
     markedly more robust than a small MLP across encoder sizes.
     """
-    # Pre-compute cone embeddings once per design.
-    cone_embeddings: Dict[str, Dict[str, np.ndarray]] = {
-        design.name: model.embed_cones(design.cones) for design in dataset.designs
-    }
+    # Pre-compute every design's cone embeddings in one batched encode pass.
+    cone_embeddings: Dict[str, Dict[str, np.ndarray]] = embed_design_cones(
+        model, dataset.designs
+    )
     rows: List[Task2Row] = []
     for held_out in dataset.designs:
         train_features: List[np.ndarray] = []

@@ -22,6 +22,7 @@ from ..core import NetTAG, fit_regressor
 from ..ml import mape, pearson_r
 from .baselines import timing_gnn_baseline
 from .datasets import SequentialDataset, SequentialDesign
+from .featurise import embed_design_cones
 
 
 @dataclass
@@ -57,9 +58,9 @@ def evaluate_nettag_task3(
     seed: int = 0,
 ) -> List[Task3Row]:
     """Leave-one-design-out slack regression on NetTAG cone embeddings."""
-    cone_embeddings: Dict[str, Dict[str, np.ndarray]] = {
-        design.name: model.embed_cones(design.cones) for design in dataset.designs
-    }
+    cone_embeddings: Dict[str, Dict[str, np.ndarray]] = embed_design_cones(
+        model, dataset.designs
+    )
     rows: List[Task3Row] = []
     for held_out in dataset.designs:
         train_features: List[np.ndarray] = []

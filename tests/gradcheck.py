@@ -1,0 +1,75 @@
+"""Finite-difference gradient checking helpers for the autograd engine.
+
+``gradcheck`` compares the reverse-mode gradients produced by
+:class:`repro.nn.Tensor` against central finite differences of the same
+scalar-valued function.  It is deliberately simple (dense loop over every
+input element), so callers should keep test arrays small.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.nn import Tensor
+
+
+def numerical_gradient(
+    fn: Callable[[np.ndarray], float], x: np.ndarray, eps: float = 1e-6
+) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn`` with respect to ``x``."""
+    x = np.asarray(x, dtype=np.float64)
+    grad = np.zeros_like(x)
+    flat_x = x.reshape(-1)
+    flat_grad = grad.reshape(-1)
+    for i in range(flat_x.size):
+        original = flat_x[i]
+        flat_x[i] = original + eps
+        plus = fn(x)
+        flat_x[i] = original - eps
+        minus = fn(x)
+        flat_x[i] = original
+        flat_grad[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def gradcheck(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[np.ndarray],
+    eps: float = 1e-6,
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+) -> None:
+    """Assert analytic gradients of ``fn(*tensors) -> scalar Tensor`` are correct.
+
+    Every input gets ``requires_grad=True``; the autograd gradient of the
+    scalar output with respect to each input is compared against central
+    finite differences (all other inputs held fixed).
+    """
+    arrays = [np.asarray(x, dtype=np.float64).copy() for x in inputs]
+    tensors = [Tensor(a.copy(), requires_grad=True) for a in arrays]
+    out = fn(*tensors)
+    if out.size != 1:
+        raise ValueError("gradcheck requires a scalar-valued function")
+    out.backward()
+
+    for position, tensor in enumerate(tensors):
+        assert tensor.grad is not None, f"no gradient reached input {position}"
+
+        def scalar(perturbed: np.ndarray, position: int = position) -> float:
+            probe = [
+                Tensor(perturbed if i == position else a)
+                for i, a in enumerate(arrays)
+            ]
+            value = fn(*probe)
+            return float(value.data.reshape(-1)[0])
+
+        numeric = numerical_gradient(scalar, arrays[position], eps=eps)
+        np.testing.assert_allclose(
+            tensor.grad,
+            numeric,
+            atol=atol,
+            rtol=rtol,
+            err_msg=f"analytic/numeric gradient mismatch for input {position}",
+        )

@@ -55,6 +55,73 @@ class TestMultiHeadAttention:
         assert np.abs(x.grad).sum() > 0
 
 
+class TestPairwiseAttentionMask:
+    """The block-diagonal attn_mask that powers packed multi-graph batches."""
+
+    def _block_mask(self, sizes):
+        segments = np.repeat(np.arange(len(sizes)), sizes)
+        return segments[:, None] == segments[None, :]
+
+    def test_block_mask_equals_separate_forwards(self):
+        """Packing two sequences with a block mask == attending separately."""
+        attn = nn.MultiHeadAttention(dim=8, num_heads=2, rng=np.random.default_rng(0))
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=(3, 8))
+        b = rng.normal(size=(5, 8))
+        packed = np.concatenate([a, b], axis=0)
+        out_packed = attn(Tensor(packed), attn_mask=self._block_mask([3, 5])).data
+        out_a = attn(Tensor(a)).data
+        out_b = attn(Tensor(b)).data
+        np.testing.assert_allclose(out_packed[:3], out_a, atol=1e-10)
+        np.testing.assert_allclose(out_packed[3:], out_b, atol=1e-10)
+
+    def test_masked_positions_cannot_leak(self):
+        """Perturbing one block must not change the other block's outputs."""
+        attn = nn.MultiHeadAttention(dim=8, num_heads=2, rng=np.random.default_rng(0))
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(6, 8))
+        mask = self._block_mask([2, 4])
+        out1 = attn(Tensor(x.copy()), attn_mask=mask).data
+        x_changed = x.copy()
+        x_changed[3:] += 7.0  # second block only
+        out2 = attn(Tensor(x_changed), attn_mask=mask).data
+        np.testing.assert_array_equal(out1[:2], out2[:2])
+        assert not np.allclose(out1[2:], out2[2:])
+
+    def test_batched_3d_attn_mask(self):
+        attn = nn.MultiHeadAttention(dim=8, num_heads=2, rng=np.random.default_rng(0))
+        x = np.random.default_rng(5).normal(size=(2, 4, 8))
+        mask = np.stack([self._block_mask([2, 2]), self._block_mask([1, 3])])
+        out = attn(Tensor(x), attn_mask=mask)
+        assert out.shape == (2, 4, 8)
+
+    def test_attn_mask_combines_with_key_padding_mask(self):
+        attn = nn.MultiHeadAttention(dim=8, num_heads=2, rng=np.random.default_rng(0))
+        x = np.random.default_rng(6).normal(size=(1, 4, 8))
+        pairwise = self._block_mask([2, 2])
+        padding = np.array([[True, True, True, False]])
+        out_both = attn(Tensor(x.copy()), key_padding_mask=padding, attn_mask=pairwise).data
+        x_changed = x.copy()
+        x_changed[0, 3] += 9.0  # padded AND other-block position
+        out_changed = attn(Tensor(x_changed), key_padding_mask=padding, attn_mask=pairwise).data
+        np.testing.assert_array_equal(out_both[0, :2], out_changed[0, :2])
+
+    def test_invalid_attn_mask_rank_rejected(self):
+        attn = nn.MultiHeadAttention(dim=8, num_heads=2)
+        x = Tensor(np.zeros((1, 3, 8)))
+        with pytest.raises(ValueError):
+            attn(x, attn_mask=np.ones((1, 1, 3, 3), dtype=bool))
+
+    def test_gradients_flow_through_mask(self):
+        from gradcheck import gradcheck
+
+        attn = nn.MultiHeadAttention(dim=4, num_heads=2, rng=np.random.default_rng(0))
+        attn.eval()
+        mask = self._block_mask([2, 2])
+        x = np.random.default_rng(7).normal(size=(4, 4))
+        gradcheck(lambda t: attn(t, attn_mask=mask).sum(), [x], atol=1e-4, rtol=1e-3)
+
+
 class TestTransformerEncoder:
     def test_encoder_layer_shape(self):
         layer = nn.TransformerEncoderLayer(dim=16, num_heads=2)

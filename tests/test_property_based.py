@@ -6,6 +6,9 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from gradcheck import gradcheck
+from repro.nn import Tensor, layer_norm
+
 from repro.expr import (
     And,
     Const,
@@ -130,6 +133,83 @@ class TestMetricProperties:
     @settings(max_examples=40, deadline=None)
     def test_mape_of_exact_predictions_is_zero(self, values):
         assert mape(values, values) == pytest.approx(0.0, abs=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Autograd gradient properties (finite-difference checks)
+# ----------------------------------------------------------------------
+_DIMS = st.integers(min_value=1, max_value=3)
+_SEEDS = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestGradientProperties:
+    """The autograd engine must agree with central finite differences."""
+
+    @given(_DIMS, _DIMS, _DIMS, _SEEDS)
+    @settings(max_examples=15, deadline=None)
+    def test_matmul_gradients(self, n, k, m, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(n, k))
+        b = rng.normal(size=(k, m))
+        gradcheck(lambda x, y: (x @ y).sum(), [a, b])
+
+    @given(_DIMS, _DIMS, _DIMS, _DIMS, _SEEDS)
+    @settings(max_examples=10, deadline=None)
+    def test_batched_matmul_gradients(self, batch, n, k, m, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(batch, n, k))
+        b = rng.normal(size=(k, m))
+        gradcheck(lambda x, y: (x @ y).sum(), [a, b])
+
+    @given(st.sampled_from(["add", "mul", "sub", "div"]), _DIMS, _DIMS, _SEEDS)
+    @settings(max_examples=20, deadline=None)
+    def test_broadcasting_elementwise_gradients(self, op, n, m, seed):
+        """Elementwise ops must unbroadcast gradients back to (m,) and (n, 1)."""
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(n, m))
+        row = rng.uniform(0.5, 2.0, size=(m,))          # safe as a denominator
+        col = rng.uniform(0.5, 2.0, size=(n, 1))
+        ops = {
+            "add": lambda x, y: (x + y),
+            "mul": lambda x, y: (x * y),
+            "sub": lambda x, y: (x - y),
+            "div": lambda x, y: (x / y),
+        }
+        fn = ops[op]
+        gradcheck(lambda x, y: fn(x, y).sum(), [a, row])
+        gradcheck(lambda x, y: fn(x, y).sum(), [a, col])
+
+    @given(_DIMS, _DIMS, st.sampled_from([-1, 0]), _SEEDS)
+    @settings(max_examples=15, deadline=None)
+    def test_softmax_gradients(self, n, m, axis, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(n, m))
+        weights = rng.normal(size=(n, m))  # non-uniform so the Jacobian matters
+        gradcheck(lambda t: (t.softmax(axis=axis) * Tensor(weights)).sum(), [x])
+
+    @given(_DIMS, _DIMS, _SEEDS)
+    @settings(max_examples=15, deadline=None)
+    def test_log_softmax_gradients(self, n, m, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(n, m))
+        weights = rng.normal(size=(n, m))
+        gradcheck(lambda t: (t.log_softmax(axis=-1) * Tensor(weights)).sum(), [x])
+
+    @given(_DIMS, st.integers(min_value=2, max_value=4), _SEEDS)
+    @settings(max_examples=15, deadline=None)
+    def test_layer_norm_gradients(self, n, dim, seed):
+        """LayerNorm gradients w.r.t. input, gamma and beta."""
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(n, dim))
+        gamma = rng.uniform(0.5, 1.5, size=(dim,))
+        beta = rng.normal(size=(dim,))
+        weights = rng.normal(size=(n, dim))
+        gradcheck(
+            lambda t, g, b: (layer_norm(t, g, b) * Tensor(weights)).sum(),
+            [x, gamma, beta],
+            atol=1e-4,
+            rtol=1e-3,
+        )
 
 
 # ----------------------------------------------------------------------
