@@ -4,11 +4,17 @@ Three subcommands cover the typical workflow of a downstream user:
 
 ``pretrain``
     Pre-train a NetTAG foundation model on the synthetic corpus and save the
-    checkpoint (weights + configuration) to a ``.npz`` file.
+    checkpoint (weights + configuration) to a ``.npz`` file.  Pre-training is
+    resumable: ``--checkpoint-every N`` snapshots the full training state
+    every N optimiser steps, ``--resume`` continues an interrupted run
+    bit-identically, and ``--cache-dir`` caches preprocessing artefacts so
+    reruns skip straight to training.
 
 ``embed``
-    Load a checkpoint, read a structural Verilog netlist and write its gate /
-    cone / circuit embeddings to an ``.npz`` file.
+    Load a checkpoint, read one structural Verilog netlist (or, with
+    ``--batch``, a whole directory of them) and write gate / cone / circuit
+    embeddings to ``.npz`` files.  Batch mode packs every netlist through one
+    shared batched encoding pass.
 
 ``stats``
     Print the Table-II style dataset statistics of the synthetic corpora
@@ -44,12 +50,24 @@ def _build_parser() -> argparse.ArgumentParser:
     pretrain.add_argument("--designs-per-suite", type=int, default=1,
                           help="pre-training designs per benchmark suite (default: 1)")
     pretrain.add_argument("--seed", type=int, default=0)
+    pretrain.add_argument("--cache-dir", type=Path, default=None,
+                          help="cache preprocessing artefacts here; a warm cache skips "
+                               "completed stages on reruns")
+    pretrain.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                          help="snapshot the full training state every N optimiser steps")
+    pretrain.add_argument("--resume", action="store_true",
+                          help="resume an interrupted run from its training checkpoints")
 
-    embed = subparsers.add_parser("embed", help="embed a structural Verilog netlist")
-    embed.add_argument("netlist", type=Path, help="structural Verilog file")
+    embed = subparsers.add_parser("embed", help="embed structural Verilog netlists")
+    embed.add_argument("netlist", type=Path,
+                       help="structural Verilog file (or a directory with --batch)")
     embed.add_argument("--checkpoint", type=Path, required=True, help="NetTAG checkpoint (.npz)")
     embed.add_argument("--output", type=Path, default=None,
-                       help="output .npz path (default: <netlist>.embeddings.npz)")
+                       help="output .npz path (default: <netlist>.embeddings.npz); "
+                            "with --batch, an output directory")
+    embed.add_argument("--batch", action="store_true",
+                       help="treat NETLIST as a directory of .v files and embed them all "
+                            "through one batched encoding pass")
 
     stats = subparsers.add_parser("stats", help="print Table-II style corpus statistics")
     stats.add_argument("--designs-per-suite", type=int, default=1)
@@ -66,23 +84,38 @@ def _run_pretrain(args: argparse.Namespace) -> int:
     if args.model_size:
         overrides["model_size"] = args.model_size
     config = factory(**overrides)
-    pipeline = NetTAGPipeline(config)
-    summary = pipeline.pretrain(designs_per_suite=args.designs_per_suite)
-    path = pipeline.model.save(args.output)
+    checkpoint_dir = None
+    if args.checkpoint_every or args.resume:
+        # Training snapshots live in a sidecar directory next to the output
+        # (or inside the cache directory when one is given).
+        checkpoint_dir = (
+            args.cache_dir / "checkpoints"
+            if args.cache_dir is not None
+            else args.output.with_suffix("").with_name(args.output.stem + ".train")
+        )
+    pipeline = NetTAGPipeline(config, cache_dir=args.cache_dir, checkpoint_dir=checkpoint_dir)
+    try:
+        summary = pipeline.pretrain(
+            designs_per_suite=args.designs_per_suite,
+            resume=args.resume,
+            checkpoint_every=args.checkpoint_every,
+        )
+    except KeyboardInterrupt:
+        if checkpoint_dir is not None:
+            print(f"\ninterrupted; rerun with --resume to continue from {checkpoint_dir}")
+        else:
+            print("\ninterrupted (no --checkpoint-every, nothing to resume from)")
+        return 130
+    for line in summary.stage_report():
+        print(line)
+    path = pipeline.save_model(args.output)
     print(f"pre-trained on {summary.num_designs} designs / {summary.num_cones} cones "
           f"/ {summary.num_expressions} expressions in {summary.total_seconds:.1f}s")
     print(f"checkpoint written to {path}")
     return 0
 
 
-def _run_embed(args: argparse.Namespace) -> int:
-    from .core import NetTAG
-    from .netlist import read_verilog
-
-    model = NetTAG.load(args.checkpoint)
-    netlist = read_verilog(args.netlist)
-    embedding = model.embed_circuit(netlist)
-    output = args.output or args.netlist.with_suffix(".embeddings.npz")
+def _embedding_payload(embedding) -> dict:
     payload = {
         "graph_embedding": embedding.graph_embedding,
         "gate_embeddings": embedding.gate_embeddings,
@@ -90,7 +123,38 @@ def _run_embed(args: argparse.Namespace) -> int:
     }
     for register, vector in embedding.cone_embeddings.items():
         payload[f"cone::{register}"] = vector
-    np.savez_compressed(output, **payload)
+    return payload
+
+
+def _run_embed(args: argparse.Namespace) -> int:
+    from .core import NetTAG
+    from .netlist import read_verilog
+
+    model = NetTAG.load(args.checkpoint)
+    if args.batch:
+        if not args.netlist.is_dir():
+            print(f"--batch expects a directory, got {args.netlist}", file=sys.stderr)
+            return 2
+        paths = sorted(args.netlist.glob("*.v"))
+        if not paths:
+            print(f"no .v netlists found in {args.netlist}", file=sys.stderr)
+            return 2
+        netlists = [read_verilog(path) for path in paths]
+        embeddings = model.encode_netlists(netlists)
+        output_dir = args.output or args.netlist
+        output_dir.mkdir(parents=True, exist_ok=True)
+        for path, netlist, embedding in zip(paths, netlists, embeddings):
+            output = output_dir / (path.stem + ".embeddings.npz")
+            np.savez_compressed(output, **_embedding_payload(embedding))
+            print(f"embedded {netlist.name}: {netlist.num_gates} gates, "
+                  f"{len(embedding.cone_embeddings)} register cones -> {output}")
+        print(f"embedded {len(netlists)} netlists in one batched pass")
+        return 0
+
+    netlist = read_verilog(args.netlist)
+    embedding = model.embed_circuit(netlist)
+    output = args.output or args.netlist.with_suffix(".embeddings.npz")
+    np.savez_compressed(output, **_embedding_payload(embedding))
     print(f"embedded {netlist.name}: {netlist.num_gates} gates, "
           f"{len(embedding.cone_embeddings)} register cones, dim {embedding.dim}")
     print(f"embeddings written to {output}")

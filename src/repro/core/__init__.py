@@ -10,9 +10,15 @@ from .finetune import (
     fit_regressor,
     train_test_split,
 )
-from .pipeline import NetTAGPipeline, PreprocessedDesign, PretrainSummary
+from .pipeline import (
+    NetTAGPipeline,
+    PIPELINE_STAGES,
+    PreprocessedDesign,
+    PretrainSummary,
+)
 
 __all__ = [
+    "PIPELINE_STAGES",
     "NetTAGConfig",
     "MODEL_SIZE_PARAMETER_LABELS",
     "NetTAG",

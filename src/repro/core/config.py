@@ -34,6 +34,9 @@ MODEL_SIZE_PARAMETER_LABELS: Dict[str, str] = {
 class NetTAGConfig:
     """Full configuration of NetTAG (architecture + pre-training + ablations)."""
 
+    # Provenance --------------------------------------------------------
+    preset: str = "custom"                  # which factory built this config
+
     # Architecture ------------------------------------------------------
     model_size: str = "medium"              # ExprLLM backbone preset (Fig. 7a)
     tagformer_dim: int = 64
@@ -111,6 +114,7 @@ class NetTAGConfig:
     def fast(cls, **overrides) -> "NetTAGConfig":
         """A configuration small enough for unit tests and CI benchmarks."""
         defaults = dict(
+            preset="fast",
             model_size="small",
             tagformer_dim=32,
             tagformer_depth=1,
@@ -126,6 +130,7 @@ class NetTAGConfig:
     def paper(cls, **overrides) -> "NetTAGConfig":
         """The configuration used by the benchmark harness (still CPU-sized)."""
         defaults = dict(
+            preset="paper",
             model_size="medium",
             tagformer_dim=64,
             tagformer_depth=2,

@@ -5,11 +5,17 @@ task models like MLPs or tree-based models (e.g., XGBoost)".  The functions
 here wrap the MLP heads and gradient-boosted trees from :mod:`repro.ml` behind
 a single interface used by every task runner (for NetTAG *and* for the
 baselines, so all methods share the same fine-tuning machinery).
+
+The MLP heads train on the shared :class:`repro.train.Trainer` engine, so a
+:class:`~repro.ml.HeadConfig` can opt into its scheduling features (cosine LR
+schedule with warmup, gradient accumulation) without any change here — pass
+``head_config`` through :func:`fit_classifier` / :func:`fit_regressor` or the
+``evaluate_*`` helpers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
@@ -30,22 +36,35 @@ CLASSIFIER_HEADS = ("mlp", "gbdt", "ridge")
 REGRESSOR_HEADS = ("mlp", "gbdt", "ridge")
 
 
+def _resolve_head_config(head_config: Optional[HeadConfig], seed: Optional[int]) -> HeadConfig:
+    """Merge an explicit seed into the head config (seed wins when given)."""
+    if head_config is None:
+        return HeadConfig(seed=seed if seed is not None else 0)
+    if seed is not None and seed != head_config.seed:
+        return replace(head_config, seed=seed)
+    return head_config
+
+
 def fit_classifier(
     embeddings: np.ndarray,
     labels: Sequence[int],
     head: str = "mlp",
     head_config: Optional[HeadConfig] = None,
-    seed: int = 0,
+    seed: Optional[int] = None,
 ):
-    """Fit a classification head on frozen embeddings."""
+    """Fit a classification head on frozen embeddings.
+
+    An explicit ``seed`` overrides ``head_config.seed``, so multi-seed sweeps
+    can share one config without retraining identical models.
+    """
     if head not in CLASSIFIER_HEADS:
         raise ValueError(f"unknown classifier head {head!r}; choose from {CLASSIFIER_HEADS}")
     if head == "gbdt":
-        model = GradientBoostingClassifier(seed=seed)
+        model = GradientBoostingClassifier(seed=seed if seed is not None else 0)
         return model.fit(np.asarray(embeddings), labels)
     if head == "ridge":
         return RidgeClassifierHead().fit(np.asarray(embeddings), labels)
-    config = head_config or HeadConfig(seed=seed)
+    config = _resolve_head_config(head_config, seed)
     return MLPClassifierHead(config).fit(np.asarray(embeddings), labels)
 
 
@@ -54,17 +73,21 @@ def fit_regressor(
     targets: Sequence[float],
     head: str = "mlp",
     head_config: Optional[HeadConfig] = None,
-    seed: int = 0,
+    seed: Optional[int] = None,
 ):
-    """Fit a regression head on frozen embeddings."""
+    """Fit a regression head on frozen embeddings.
+
+    An explicit ``seed`` overrides ``head_config.seed`` (see
+    :func:`fit_classifier`).
+    """
     if head not in REGRESSOR_HEADS:
         raise ValueError(f"unknown regressor head {head!r}; choose from {REGRESSOR_HEADS}")
     if head == "gbdt":
-        model = GradientBoostingRegressor(seed=seed)
+        model = GradientBoostingRegressor(seed=seed if seed is not None else 0)
         return model.fit(np.asarray(embeddings), np.asarray(targets, dtype=np.float64))
     if head == "ridge":
         return RidgeRegressorHead().fit(np.asarray(embeddings), targets)
-    config = head_config or HeadConfig(seed=seed)
+    config = _resolve_head_config(head_config, seed)
     return MLPRegressorHead(config).fit(np.asarray(embeddings), targets)
 
 
@@ -112,12 +135,16 @@ def evaluate_classification(
     labels: Sequence[int],
     split: SplitIndices,
     head: str = "mlp",
-    seed: int = 0,
+    head_config: Optional[HeadConfig] = None,
+    seed: Optional[int] = None,
 ) -> Tuple[Dict[str, float], np.ndarray]:
     """Fit on the train split, evaluate on the test split; returns (report, predictions)."""
     embeddings = np.asarray(embeddings)
     labels = np.asarray(labels)
-    model = fit_classifier(embeddings[split.train], labels[split.train], head=head, seed=seed)
+    model = fit_classifier(
+        embeddings[split.train], labels[split.train], head=head,
+        head_config=head_config, seed=seed,
+    )
     predictions = model.predict(embeddings[split.test])
     return classification_report(labels[split.test], predictions), predictions
 
@@ -127,11 +154,15 @@ def evaluate_regression(
     targets: Sequence[float],
     split: SplitIndices,
     head: str = "mlp",
-    seed: int = 0,
+    head_config: Optional[HeadConfig] = None,
+    seed: Optional[int] = None,
 ) -> Tuple[Dict[str, float], np.ndarray]:
     """Fit on the train split, evaluate on the test split; returns (report, predictions)."""
     embeddings = np.asarray(embeddings)
     targets = np.asarray(targets, dtype=np.float64)
-    model = fit_regressor(embeddings[split.train], targets[split.train], head=head, seed=seed)
+    model = fit_regressor(
+        embeddings[split.train], targets[split.train], head=head,
+        head_config=head_config, seed=seed,
+    )
     predictions = model.predict(embeddings[split.test])
     return regression_report(targets[split.test], predictions), predictions

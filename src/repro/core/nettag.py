@@ -361,8 +361,26 @@ class NetTAG(nn.Module):
         encoded = self.encode_tags_batch(
             [tag] + cone_tags, max_nodes_per_chunk=max_nodes_per_chunk
         )
-        gate_embeddings, graph_embedding = encoded[0]
-        physical_summary = tag.physical_matrix(normalise=False).sum(axis=0) if tag.num_nodes else np.zeros(0)
+        return self._assemble_circuit_embedding(netlist, tag, cones, encoded[0], encoded[1:])
+
+    def _assemble_circuit_embedding(
+        self,
+        netlist: Netlist,
+        tag: TextAttributedGraph,
+        cones: Sequence[RegisterCone],
+        circuit_encoded: Tuple[np.ndarray, np.ndarray],
+        cone_encoded: Sequence[Tuple[np.ndarray, np.ndarray]],
+    ) -> CircuitEmbedding:
+        """Assemble one :class:`CircuitEmbedding` from batched TAG outputs.
+
+        Shared by the single-netlist and the directory-batch paths: sequential
+        circuits override the graph embedding with the sum of their cone
+        embeddings (Section II-F of the paper).
+        """
+        gate_embeddings, graph_embedding = circuit_encoded
+        physical_summary = (
+            tag.physical_matrix(normalise=False).sum(axis=0) if tag.num_nodes else np.zeros(0)
+        )
         result = CircuitEmbedding(
             name=netlist.name,
             gate_embeddings=gate_embeddings,
@@ -371,7 +389,7 @@ class NetTAG(nn.Module):
             physical_summary=physical_summary,
         )
         cone_sum: Optional[np.ndarray] = None
-        for cone, (_, cone_embedding) in zip(cones, encoded[1:]):
+        for cone, (_, cone_embedding) in zip(cones, cone_encoded):
             result.cone_embeddings[cone.register_name] = cone_embedding
             cone_sum = cone_embedding if cone_sum is None else cone_sum + cone_embedding
         if cone_sum is not None:
@@ -386,6 +404,53 @@ class NetTAG(nn.Module):
     ) -> CircuitEmbedding:
         """Alias of :meth:`encode_netlist` (kept for the original API name)."""
         return self.encode_netlist(netlist, tag=tag, cones=cones)
+
+    def encode_netlists(
+        self,
+        netlists: Sequence[Netlist],
+        max_nodes_per_chunk: int = DEFAULT_MAX_NODES_PER_CHUNK,
+    ) -> List[CircuitEmbedding]:
+        """Embed many circuits through one shared batched encoding pass.
+
+        All whole-netlist TAGs and every register-cone TAG across *all* input
+        netlists are packed together (chunked by node budget), so the ExprLLM
+        expression cache deduplicates repeated gate texts across designs and
+        the TAGFormer dispatch cost is amortised over the whole directory —
+        the same fast path as :meth:`encode_batch`, lifted to netlist level.
+        Results match per-netlist :meth:`encode_netlist` calls to the batched
+        engine's numerical parity (~1e-12; chunk packing differs, so the
+        floating-point reduction order may differ in the last few ulps).
+        """
+        tags: List[TextAttributedGraph] = []
+        cones_per_netlist: List[List[RegisterCone]] = []
+        spans: List[Tuple[int, int]] = []  # (tag index, number of cone tags)
+        for netlist in netlists:
+            tag = self.build_tag(netlist)
+            cones = (
+                list(extract_register_cones(netlist))
+                if netlist.is_sequential_design()
+                else []
+            )
+            spans.append((len(tags), len(cones)))
+            cones_per_netlist.append(cones)
+            tags.append(tag)
+            tags.extend(
+                netlist_to_tag(cone.netlist, k=self.config.expression_hops)
+                for cone in cones
+            )
+        encoded = self.encode_tags_batch(tags, max_nodes_per_chunk=max_nodes_per_chunk)
+        return [
+            self._assemble_circuit_embedding(
+                netlist,
+                tags[tag_index],
+                cones,
+                encoded[tag_index],
+                encoded[tag_index + 1 : tag_index + 1 + num_cones],
+            )
+            for netlist, cones, (tag_index, num_cones) in zip(
+                netlists, cones_per_netlist, spans
+            )
+        ]
 
     def embed_gates(self, netlist: Netlist, tag: Optional[TextAttributedGraph] = None) -> Tuple[np.ndarray, List[str]]:
         """Gate-level embeddings plus the corresponding gate name order."""
@@ -425,16 +490,38 @@ class NetTAG(nn.Module):
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def save(self, path) -> "Path":
-        """Save the pre-trained model (weights + configuration) to one ``.npz`` file."""
+    def save(self, path, extra_metadata: Optional[Dict[str, object]] = None) -> "Path":
+        """Save the pre-trained model (weights + configuration) to one ``.npz`` file.
+
+        The metadata records the library version (stamped by
+        :func:`repro.nn.save_checkpoint`), the configuration preset and any
+        caller-supplied provenance such as the pre-training corpus
+        fingerprint; :meth:`load` warns when they disagree with the running
+        process instead of silently loading.
+        """
         has_lora = any("lora_" in name for name, _ in self.named_parameters())
-        return nn.save_checkpoint(
-            self, path, metadata={"config": self.config.to_dict(), "lora": has_lora}
-        )
+        metadata: Dict[str, object] = {
+            "config": self.config.to_dict(),
+            "lora": has_lora,
+            "preset": self.config.preset,
+        }
+        metadata.update(extra_metadata or {})
+        return nn.save_checkpoint(self, path, metadata=metadata)
 
     @classmethod
-    def load(cls, path, rng: Optional[np.random.Generator] = None) -> "NetTAG":
-        """Rebuild a model saved with :meth:`save` (configuration included)."""
+    def load(
+        cls,
+        path,
+        rng: Optional[np.random.Generator] = None,
+        expected_metadata: Optional[Dict[str, object]] = None,
+    ) -> "NetTAG":
+        """Rebuild a model saved with :meth:`save` (configuration included).
+
+        Warns (instead of silently loading) when the checkpoint was written by
+        a different library version, or when any key in ``expected_metadata``
+        (e.g. ``preset`` or ``corpus_fingerprint``) disagrees with the stored
+        value.
+        """
         metadata = nn.peek_metadata(path)
         config = NetTAGConfig.from_dict(metadata.get("config", {}))
         model = cls(config, rng=rng)
@@ -442,7 +529,7 @@ class NetTAG(nn.Module):
             # Mirror ExprLLMPretrainer, which wraps the backbone with the default
             # LoRA scaling before Step-1 pre-training.
             model.expr_llm.enable_lora(rank=config.expr_pretrain.lora_rank)
-        nn.load_checkpoint(model, path)
+        nn.load_checkpoint(model, path, expected_metadata=expected_metadata)
         model.clear_caches()
         return model
 

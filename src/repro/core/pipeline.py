@@ -13,20 +13,38 @@ This module glues every substrate together, mirroring Fig. 2 of the paper:
 4. **Step 2** — TAGFormer is pre-trained with the node/graph self-supervised
    objectives plus cross-stage alignment.
 
+Every gradient loop runs on the shared :class:`repro.train.Trainer` engine,
+so the whole pipeline can be checkpointed mid-training (``checkpoint_every``)
+and resumed bit-identically (``resume=True``).  Preprocessing artefacts
+(synthesised designs, the expression corpus, the Step-2 samples) are cached on
+disk by an :class:`repro.train.ArtifactStore` keyed by config+seed, so a rerun
+with a warm ``cache_dir`` skips straight to training; per-stage timers in the
+summary make cache hits observable.
+
 The resulting :class:`~repro.core.nettag.NetTAG` model produces embeddings for
 the downstream tasks in :mod:`repro.tasks`.
 """
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
+from .. import nn
 from ..encoders import LayoutEncoder, RTLEncoder, pretrain_layout_encoder, pretrain_rtl_encoder
-from ..netlist import Netlist, RegisterCone, TextAttributedGraph, extract_register_cones, netlist_to_tag
+from ..netlist import (
+    Netlist,
+    RegisterCone,
+    TextAttributedGraph,
+    extract_register_cones,
+    netlist_to_tag,
+    write_verilog,
+)
 from ..physical import build_layout_graph, physically_optimize, place
 from ..physical.layout_graph import LayoutGraph
 from ..pretrain import (
@@ -39,8 +57,56 @@ from ..pretrain import (
 )
 from ..rtl import RTLModule, generate_pretraining_corpus, render_register_cone
 from ..synth import synthesize
+from ..train import ArtifactStore, RunManifest, StageTiming, fingerprint
 from .config import NetTAGConfig
 from .nettag import NetTAG
+
+PathLike = Union[str, Path]
+
+# Stage names, in execution order.  Trainer-backed stages keep a periodic
+# checkpoint (and a final snapshot) under these names in the checkpoint
+# directory; artefact stages cache under them in the artifact store.
+STAGE_PREPROCESS = "preprocess"
+STAGE_EXPR_CORPUS = "expr_corpus"
+STAGE_EXPR_PRETRAIN = "expr_pretrain"
+STAGE_RTL_ALIGN = "rtl_align"
+STAGE_LAYOUT_ALIGN = "layout_align"
+STAGE_SAMPLES = "samples"
+STAGE_TAG_PRETRAIN = "tag_pretrain"
+PIPELINE_STAGES = (
+    STAGE_PREPROCESS,
+    STAGE_EXPR_CORPUS,
+    STAGE_EXPR_PRETRAIN,
+    STAGE_RTL_ALIGN,
+    STAGE_LAYOUT_ALIGN,
+    STAGE_SAMPLES,
+    STAGE_TAG_PRETRAIN,
+)
+
+
+def _designs_fingerprint(designs: Sequence["PreprocessedDesign"]) -> str:
+    """Content hash of preprocessed designs (rendered netlists, not just names).
+
+    Used to key downstream cached artefacts, so designs that share names and
+    sizes but differ in wiring can never collide on a warm cache.
+    """
+    digest = hashlib.sha256()
+    for design in designs:
+        digest.update(design.name.encode("utf-8"))
+        digest.update(write_verilog(design.netlist).encode("utf-8"))
+        digest.update(str(len(design.cones)).encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+def _module_fingerprint(module: Optional[nn.Module]) -> str:
+    """Short content hash of a module's parameters (cache-key ingredient)."""
+    if module is None:
+        return "none"
+    digest = hashlib.sha256()
+    for name, param in module.named_parameters():
+        digest.update(name.encode("utf-8"))
+        digest.update(np.ascontiguousarray(param.data).tobytes())
+    return digest.hexdigest()[:16]
 
 
 @dataclass
@@ -74,6 +140,10 @@ class PretrainSummary:
     expr_pretrain_seconds: float = 0.0
     tag_pretrain_seconds: float = 0.0
     alignment_seconds: float = 0.0
+    stage_timings: List[StageTiming] = field(default_factory=list)
+    cache_stats: Dict[str, int] = field(default_factory=dict)
+    resumed: bool = False
+    stopped_after: Optional[str] = None
 
     @property
     def total_seconds(self) -> float:
@@ -84,11 +154,29 @@ class PretrainSummary:
             + self.alignment_seconds
         )
 
+    def record_stage(self, timing: StageTiming) -> None:
+        self.stage_timings.append(timing)
+
+    def stage_report(self) -> List[str]:
+        """One human-readable line per executed stage (cache hits marked)."""
+        return [timing.describe() for timing in self.stage_timings]
+
 
 class NetTAGPipeline:
-    """Builds, pre-trains and serves a NetTAG foundation model."""
+    """Builds, pre-trains and serves a NetTAG foundation model.
 
-    def __init__(self, config: Optional[NetTAGConfig] = None) -> None:
+    ``cache_dir`` enables on-disk caching of preprocessing artefacts keyed by
+    configuration + seed; ``checkpoint_dir`` is where resumable training
+    checkpoints live (defaults to ``<cache_dir>/checkpoints`` when only a
+    cache directory is given).
+    """
+
+    def __init__(
+        self,
+        config: Optional[NetTAGConfig] = None,
+        cache_dir: Optional[PathLike] = None,
+        checkpoint_dir: Optional[PathLike] = None,
+    ) -> None:
         self.config = config or NetTAGConfig()
         rng = np.random.default_rng(self.config.seed)
         self.model = NetTAG(self.config, rng=rng)
@@ -96,7 +184,48 @@ class NetTAGPipeline:
         self.layout_encoder = LayoutEncoder(rng=rng) if self.config.use_cross_stage_alignment else None
         self.designs: List[PreprocessedDesign] = []
         self.summary = PretrainSummary()
+        self.artifacts = ArtifactStore(cache_dir)
+        if checkpoint_dir is None and cache_dir is not None:
+            checkpoint_dir = Path(cache_dir) / "checkpoints"
+        self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir is not None else None
+        self.corpus_fingerprint: Optional[str] = None
         self._pretrained = False
+
+    # ------------------------------------------------------------------
+    # Stage keys
+    # ------------------------------------------------------------------
+    def _corpus_id(self, corpus: Optional[Dict[str, Sequence[RTLModule]]],
+                   designs_per_suite: int) -> Dict[str, object]:
+        if corpus is None:
+            return {"source": "synthetic", "designs_per_suite": designs_per_suite}
+        # Custom modules are fingerprinted by rendered content, not just by
+        # name: editing a module's logic must invalidate cached artefacts and
+        # stale resume checkpoints.
+        from ..rtl import render_module
+
+        return {
+            "source": "custom",
+            "suites": {
+                suite: [
+                    f"{m.name}:{hashlib.sha256(render_module(m).encode('utf-8')).hexdigest()[:12]}"
+                    for m in modules
+                ]
+                for suite, modules in corpus.items()
+            },
+        }
+
+    def _preprocess_key(self, corpus_id: Mapping[str, object]) -> Dict[str, object]:
+        return {
+            "corpus": dict(corpus_id),
+            "seed": self.config.seed,
+            "expression_hops": self.config.expression_hops,
+            "alignment": self.config.use_cross_stage_alignment,
+        }
+
+    def _stage_rng(self, salt: int) -> np.random.Generator:
+        """Independent per-stage generator, so cached stages can be skipped
+        without shifting the random stream of later stages."""
+        return np.random.default_rng([self.config.seed, salt])
 
     # ------------------------------------------------------------------
     # Preprocessing
@@ -143,16 +272,37 @@ class NetTAGPipeline:
 
     def preprocess_corpus(self, corpus: Optional[Dict[str, Sequence[RTLModule]]] = None,
                           designs_per_suite: int = 2) -> List[PreprocessedDesign]:
-        """Preprocess a pre-training corpus (defaults to the synthetic suites)."""
-        start = time.perf_counter()
-        corpus = corpus or generate_pretraining_corpus(designs_per_suite=designs_per_suite, seed=self.config.seed)
-        self.designs = []
-        for suite, modules in corpus.items():
-            for module in modules:
-                self.designs.append(self.preprocess_module(module, suite=suite))
-        self.summary.preprocess_seconds = time.perf_counter() - start
+        """Preprocess a pre-training corpus (defaults to the synthetic suites).
+
+        With a ``cache_dir``, the synthesised designs (netlists, cones, TAGs
+        and alignment data) are stored on disk keyed by config+seed; a rerun
+        with the same configuration loads them instead of re-synthesising.
+        """
+        corpus_id = self._corpus_id(corpus, designs_per_suite)
+        key_payload = self._preprocess_key(corpus_id)
+
+        def compute() -> List[PreprocessedDesign]:
+            built = corpus or generate_pretraining_corpus(
+                designs_per_suite=designs_per_suite, seed=self.config.seed
+            )
+            designs: List[PreprocessedDesign] = []
+            for suite, modules in built.items():
+                for module in modules:
+                    designs.append(self.preprocess_module(module, suite=suite))
+            return designs
+
+        self.designs = self.artifacts.get_or_compute(STAGE_PREPROCESS, key_payload, compute)
+        timing = self.artifacts.timings[-1]
+        self.summary.record_stage(timing)
+        self.summary.preprocess_seconds = timing.seconds
         self.summary.num_designs = len(self.designs)
         self.summary.num_cones = sum(len(d.cones) for d in self.designs)
+        self.corpus_fingerprint = fingerprint(
+            {
+                "designs": _designs_fingerprint(self.designs),
+                "key": fingerprint(key_payload),
+            }
+        )
         return self.designs
 
     # ------------------------------------------------------------------
@@ -166,43 +316,228 @@ class NetTAGPipeline:
         indices = rng.choice(len(items), size=keep, replace=False)
         return [items[i] for i in sorted(indices)]
 
-    def pretrain(self, corpus: Optional[Dict[str, Sequence[RTLModule]]] = None,
-                 designs_per_suite: int = 2) -> PretrainSummary:
-        """Run the full two-step pre-training pipeline."""
-        rng = np.random.default_rng(self.config.seed)
+    def _trainer_stage_args(self, stage: str, manifest: Optional[RunManifest],
+                            resume: bool, checkpoint_every: int,
+                            max_steps: Optional[Mapping[str, int]]) -> Dict[str, object]:
+        args: Dict[str, object] = {
+            "resume": resume and manifest is not None,
+            "checkpoint_every": checkpoint_every,
+            "max_steps": (max_steps or {}).get(stage),
+        }
+        if manifest is not None:
+            args["checkpoint_path"] = manifest.checkpoint_path(stage)
+        return args
+
+    def _record_trainer_stage(self, stage: str, seconds: float, replayed: bool,
+                              manifest: Optional[RunManifest], done: bool) -> None:
+        self.summary.record_stage(
+            StageTiming(name=stage, seconds=seconds, cached=replayed)
+        )
+        if manifest is not None and done:
+            manifest.mark_done(stage)
+
+    def pretrain(
+        self,
+        corpus: Optional[Dict[str, Sequence[RTLModule]]] = None,
+        designs_per_suite: int = 2,
+        resume: bool = False,
+        checkpoint_every: int = 0,
+        stop_after: Optional[str] = None,
+        max_steps: Optional[Mapping[str, int]] = None,
+    ) -> PretrainSummary:
+        """Run the full two-step pre-training pipeline.
+
+        ``checkpoint_every`` makes every training stage snapshot its full
+        state (weights, optimiser moments, schedule step, RNG state, loss
+        curves) every N optimiser steps into ``checkpoint_dir``.
+        ``resume=True`` continues an interrupted run from those snapshots;
+        the combined run is bit-identical to an uninterrupted one.
+        ``stop_after`` / ``max_steps`` (a ``{stage: global step}`` mapping)
+        stop early — useful to simulate interruption or budget a run.
+        """
+        if stop_after is not None and stop_after not in PIPELINE_STAGES:
+            raise ValueError(f"unknown stage {stop_after!r}; choose from {PIPELINE_STAGES}")
+        manifest: Optional[RunManifest] = None
+        if self.checkpoint_dir is not None:
+            run_key = fingerprint(
+                {
+                    "config": self.config.to_dict(),
+                    "corpus": self._corpus_id(corpus, designs_per_suite),
+                }
+            )
+            manifest = RunManifest(self.checkpoint_dir, run_key)
+        self.summary = PretrainSummary(resumed=resume)
+
+        # Stage: preprocessing (artifact-cached).
         if not self.designs:
             self.preprocess_corpus(corpus, designs_per_suite=designs_per_suite)
+        else:
+            self.summary.num_designs = len(self.designs)
+            self.summary.num_cones = sum(len(d.cones) for d in self.designs)
+            if self.corpus_fingerprint is None:
+                self.corpus_fingerprint = fingerprint(
+                    {"designs": _designs_fingerprint(self.designs)}
+                )
+        trainer_metadata = {
+            "preset": self.config.preset,
+            "corpus_fingerprint": self.corpus_fingerprint,
+        }
+        if stop_after == STAGE_PREPROCESS:
+            return self._finish_summary(stop_after)
 
         all_tags = [tag for design in self.designs for tag in design.cone_tags]
-        all_tags = self._apply_data_fraction(all_tags, rng)
+        fraction_rng = self._stage_rng(17)
+        all_tags = self._apply_data_fraction(all_tags, fraction_rng)
 
-        # Step 1: expression contrastive pre-training of ExprLLM.
+        # Stage: expression corpus (artifact-cached).
+        corpus_key = {
+            "corpus_fingerprint": self.corpus_fingerprint,
+            "data_fraction": self.config.data_fraction,
+            "seed": self.config.seed,
+            "enabled": self.config.use_expression_contrastive,
+        }
+        def compute_corpus() -> List[str]:
+            if not self.config.use_expression_contrastive:
+                return []
+            expressions = collect_expression_corpus(all_tags, max_expressions_per_design=40)
+            return self._apply_data_fraction(expressions, fraction_rng)
+
+        expressions = self.artifacts.get_or_compute(STAGE_EXPR_CORPUS, corpus_key, compute_corpus)
+        self.summary.record_stage(self.artifacts.timings[-1])
+        self.summary.num_expressions = len(expressions)
+        if stop_after == STAGE_EXPR_CORPUS:
+            return self._finish_summary(stop_after)
+
+        # Stage: Step-1 expression contrastive pre-training of ExprLLM.
         if self.config.use_expression_contrastive:
             start = time.perf_counter()
-            expressions = collect_expression_corpus(all_tags, max_expressions_per_design=40)
-            expressions = self._apply_data_fraction(expressions, rng)
-            self.summary.num_expressions = len(expressions)
             pretrainer = ExprLLMPretrainer(self.model.expr_llm, self.config.expr_pretrain)
-            self.summary.expr_result = pretrainer.run(expressions)
+            self.summary.expr_result = pretrainer.run(
+                expressions,
+                metadata=trainer_metadata,
+                **self._trainer_stage_args(
+                    STAGE_EXPR_PRETRAIN, manifest, resume, checkpoint_every, max_steps
+                ),
+            )
             self.summary.expr_pretrain_seconds = time.perf_counter() - start
-        else:
-            self.summary.num_expressions = 0
+            result = self.summary.expr_result
+            self._record_trainer_stage(
+                STAGE_EXPR_PRETRAIN, self.summary.expr_pretrain_seconds,
+                replayed=result.resumed_from_step > 0 and result.resumed_from_step >= result.steps,
+                manifest=manifest, done=result.completed,
+            )
+            if not result.completed or stop_after == STAGE_EXPR_PRETRAIN:
+                return self._finish_summary(STAGE_EXPR_PRETRAIN)
+        elif stop_after == STAGE_EXPR_PRETRAIN:
+            return self._finish_summary(stop_after)
 
-        # Auxiliary encoders for cross-stage alignment.
+        # Stages: auxiliary encoders for cross-stage alignment.
         if self.config.use_cross_stage_alignment and self.rtl_encoder is not None and self.layout_encoder is not None:
-            start = time.perf_counter()
             rtl_texts = [t for d in self.designs for t in d.rtl_cone_texts if t]
             layouts = [l for d in self.designs for l in d.cone_layouts if l is not None]
-            if len(rtl_texts) >= 2:
-                pretrain_rtl_encoder(self.rtl_encoder, rtl_texts, num_steps=4, seed=self.config.seed)
-            if len(layouts) >= 2:
-                pretrain_layout_encoder(self.layout_encoder, layouts[:8], num_steps=4, seed=self.config.seed)
-            self.summary.alignment_seconds = time.perf_counter() - start
 
-        # Step 2: TAGFormer pre-training (ExprLLM frozen).
-        start = time.perf_counter()
+            start = time.perf_counter()
+            rtl_result = pretrain_rtl_encoder(
+                self.rtl_encoder, rtl_texts, num_steps=4, seed=self.config.seed,
+                return_result=True,
+                **self._trainer_stage_args(
+                    STAGE_RTL_ALIGN, manifest, resume, checkpoint_every, max_steps
+                ),
+            )
+            rtl_seconds = time.perf_counter() - start
+            self._record_trainer_stage(
+                STAGE_RTL_ALIGN, rtl_seconds,
+                replayed=rtl_result.resumed_from_step > 0
+                and rtl_result.resumed_from_step >= rtl_result.steps,
+                manifest=manifest, done=rtl_result.completed,
+            )
+            if not rtl_result.completed:
+                self.summary.alignment_seconds = rtl_seconds
+                return self._finish_summary(STAGE_RTL_ALIGN)
+            if stop_after == STAGE_RTL_ALIGN:
+                self.summary.alignment_seconds = rtl_seconds
+                return self._finish_summary(stop_after)
+
+            start = time.perf_counter()
+            layout_result = pretrain_layout_encoder(
+                self.layout_encoder, layouts[:8], num_steps=4, seed=self.config.seed,
+                return_result=True,
+                **self._trainer_stage_args(
+                    STAGE_LAYOUT_ALIGN, manifest, resume, checkpoint_every, max_steps
+                ),
+            )
+            layout_seconds = time.perf_counter() - start
+            self._record_trainer_stage(
+                STAGE_LAYOUT_ALIGN, layout_seconds,
+                replayed=layout_result.resumed_from_step > 0
+                and layout_result.resumed_from_step >= layout_result.steps,
+                manifest=manifest, done=layout_result.completed,
+            )
+            self.summary.alignment_seconds = rtl_seconds + layout_seconds
+            if not layout_result.completed:
+                return self._finish_summary(STAGE_LAYOUT_ALIGN)
+        if stop_after in (STAGE_RTL_ALIGN, STAGE_LAYOUT_ALIGN):
+            return self._finish_summary(stop_after)
+
+        # Stage: Step-2 sample construction (artifact-cached; keyed on the
+        # frozen encoder states so stale samples can never be reused).  The
+        # weight fingerprints cost a pass over every parameter, so they are
+        # only computed when a cache is actually attached.
         type_index = self.designs[0].netlist.library.type_index()
+        samples_key = {
+            "corpus_fingerprint": self.corpus_fingerprint,
+            "data_fraction": self.config.data_fraction,
+            "seed": self.config.seed,
+            "graph_contrastive": self.config.use_graph_contrastive,
+            "text_attributes": self.config.use_text_attributes,
+            "alignment": self.config.use_cross_stage_alignment,
+        }
+        if self.artifacts.enabled:
+            samples_key.update(
+                expr_llm=_module_fingerprint(self.model.expr_llm),
+                rtl_encoder=_module_fingerprint(self.rtl_encoder),
+                layout_encoder=_module_fingerprint(self.layout_encoder),
+            )
+        samples = self.artifacts.get_or_compute(
+            STAGE_SAMPLES, samples_key, lambda: self._build_samples(all_tags, type_index)
+        )
+        self.summary.record_stage(self.artifacts.timings[-1])
+        if stop_after == STAGE_SAMPLES:
+            return self._finish_summary(stop_after)
+
+        # Stage: Step-2 TAGFormer pre-training (ExprLLM frozen).
+        start = time.perf_counter()
+        tag_trainer = TAGFormerPretrainer(
+            self.model.tagformer,
+            num_cell_types=len(type_index),
+            config=self.config.tag_pretrain_config(),
+            rtl_dim=self.rtl_encoder.output_dim if self.rtl_encoder is not None else None,
+            layout_dim=self.layout_encoder.output_dim if self.layout_encoder is not None else None,
+        )
+        self.summary.tag_result = tag_trainer.run(
+            samples,
+            metadata=trainer_metadata,
+            **self._trainer_stage_args(
+                STAGE_TAG_PRETRAIN, manifest, resume, checkpoint_every, max_steps
+            ),
+        )
+        self.summary.tag_pretrain_seconds = time.perf_counter() - start
+        tag_result = self.summary.tag_result
+        self._record_trainer_stage(
+            STAGE_TAG_PRETRAIN, self.summary.tag_pretrain_seconds,
+            replayed=tag_result.resumed_from_step > 0 and tag_result.resumed_from_step >= tag_result.steps,
+            manifest=manifest, done=tag_result.completed,
+        )
+        if not tag_result.completed:
+            return self._finish_summary(STAGE_TAG_PRETRAIN)
+
+        self.model.clear_caches()
+        self._pretrained = True
+        return self._finish_summary(None)
+
+    def _build_samples(self, all_tags: Sequence[TextAttributedGraph], type_index) -> List:
         samples = []
+        sample_rng = self._stage_rng(23)
         tag_lookup = {id(tag): (design, i) for design in self.designs for i, tag in enumerate(design.cone_tags)}
         for tag in all_tags:
             design, cone_index = tag_lookup[id(tag)]
@@ -213,7 +548,7 @@ class NetTAGPipeline:
                     tag,
                     self.model.expr_llm,
                     type_index,
-                    rng=rng,
+                    rng=sample_rng,
                     build_augmented_view=self.config.use_graph_contrastive,
                     rtl_text=rtl_text,
                     rtl_encoder=self.rtl_encoder,
@@ -222,19 +557,21 @@ class NetTAGPipeline:
                     use_text_attributes=self.config.use_text_attributes,
                 )
             )
-        tag_trainer = TAGFormerPretrainer(
-            self.model.tagformer,
-            num_cell_types=len(type_index),
-            config=self.config.tag_pretrain_config(),
-            rtl_dim=self.rtl_encoder.output_dim if self.rtl_encoder is not None else None,
-            layout_dim=self.layout_encoder.output_dim if self.layout_encoder is not None else None,
-        )
-        self.summary.tag_result = tag_trainer.run(samples)
-        self.summary.tag_pretrain_seconds = time.perf_counter() - start
+        return samples
 
-        self.model.clear_caches()
-        self._pretrained = True
+    def _finish_summary(self, stopped_after: Optional[str]) -> PretrainSummary:
+        self.summary.stopped_after = stopped_after
+        self.summary.cache_stats = self.artifacts.stats()
         return self.summary
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save_model(self, path: PathLike) -> Path:
+        """Save the pre-trained model with full provenance metadata."""
+        return self.model.save(
+            path, extra_metadata={"corpus_fingerprint": self.corpus_fingerprint}
+        )
 
     # ------------------------------------------------------------------
     # Serving

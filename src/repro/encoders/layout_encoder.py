@@ -63,6 +63,42 @@ def augment_layout_graph(layout: LayoutGraph, rng: np.random.Generator, noise: f
     )
 
 
+class LayoutContrastiveTask:
+    """Layout graph-contrastive pre-training as a shared-engine task."""
+
+    name = "layout_contrastive"
+
+    def __init__(self, encoder: LayoutEncoder, layouts: Sequence[LayoutGraph],
+                 batch_size: int, num_steps: int, temperature: float) -> None:
+        self.encoder = encoder
+        self.layouts = list(layouts)
+        self.batch_size = batch_size
+        self.num_steps = num_steps
+        self.temperature = temperature
+
+    def setup(self, rng: np.random.Generator):
+        from ..train import SamplingPlan
+
+        return SamplingPlan(len(self.layouts), self.batch_size, self.num_steps, replace=False)
+
+    def modules(self):
+        return {"layout_encoder": self.encoder}
+
+    def trainable_parameters(self):
+        return list(self.encoder.parameters())
+
+    def compute_loss(self, indices: np.ndarray, rng: np.random.Generator):
+        anchors = [self.encoder(self.layouts[i]) for i in indices]
+        positives = [self.encoder(augment_layout_graph(self.layouts[i], rng)) for i in indices]
+        anchor_emb = nn.stack(anchors, axis=0)
+        positive_emb = nn.stack(positives, axis=0)
+        loss = nn.info_nce(anchor_emb, positive_emb, temperature=self.temperature)
+        return loss, {"contrastive": loss.item()}
+
+    def finalize(self) -> None:
+        pass
+
+
 def pretrain_layout_encoder(
     encoder: LayoutEncoder,
     layouts: Sequence[LayoutGraph],
@@ -71,22 +107,32 @@ def pretrain_layout_encoder(
     lr: float = 1e-3,
     temperature: float = 0.1,
     seed: int = 0,
-) -> List[float]:
-    """Graph-contrastive pre-training of the layout encoder (paper Section II-C)."""
+    checkpoint_path=None,
+    checkpoint_every: int = 0,
+    resume: bool = False,
+    max_steps: Optional[int] = None,
+    return_result: bool = False,
+):
+    """Graph-contrastive pre-training of the layout encoder (paper Section II-C).
+
+    Returns the loss curve, or the full :class:`repro.train.TrainResult`
+    (completion/resume bookkeeping included) with ``return_result=True``.
+    """
+    from ..train import Trainer, TrainerConfig, TrainResult
+
     if len(layouts) < 2:
-        return []
-    rng = np.random.default_rng(seed)
-    optimizer = nn.Adam(encoder.parameters(), lr=lr, grad_clip=1.0)
-    losses: List[float] = []
-    for _ in range(num_steps):
-        batch_idx = rng.choice(len(layouts), size=min(batch_size, len(layouts)), replace=False)
-        anchors = [encoder(layouts[i]) for i in batch_idx]
-        positives = [encoder(augment_layout_graph(layouts[i], rng)) for i in batch_idx]
-        anchor_emb = nn.stack(anchors, axis=0)
-        positive_emb = nn.stack(positives, axis=0)
-        loss = nn.info_nce(anchor_emb, positive_emb, temperature=temperature)
-        optimizer.zero_grad()
-        loss.backward()
-        optimizer.step()
-        losses.append(loss.item())
-    return losses
+        return TrainResult(completed=True) if return_result else []
+    task = LayoutContrastiveTask(encoder, layouts, batch_size, num_steps, temperature)
+    result = Trainer(
+        task,
+        TrainerConfig(
+            learning_rate=lr,
+            grad_clip=1.0,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+            save_final=checkpoint_path is not None,
+            max_steps=max_steps,
+            seed=seed,
+        ),
+    ).run(resume=resume)
+    return result if return_result else list(result.losses)

@@ -92,6 +92,42 @@ def augment_rtl_text(text: str, rng: np.random.Generator) -> str:
     return "\n".join(merged)
 
 
+class RTLContrastiveTask:
+    """Contrastive (text, perturbed-text) pre-training as a shared-engine task."""
+
+    name = "rtl_contrastive"
+
+    def __init__(self, encoder: RTLEncoder, texts: Sequence[str], batch_size: int,
+                 num_steps: int, temperature: float) -> None:
+        self.encoder = encoder
+        self.texts = list(texts)
+        self.batch_size = batch_size
+        self.num_steps = num_steps
+        self.temperature = temperature
+
+    def setup(self, rng: np.random.Generator):
+        from ..train import SamplingPlan
+
+        return SamplingPlan(len(self.texts), self.batch_size, self.num_steps, replace=False)
+
+    def modules(self):
+        return {"rtl_encoder": self.encoder}
+
+    def trainable_parameters(self):
+        return list(self.encoder.parameters())
+
+    def compute_loss(self, indices: np.ndarray, rng: np.random.Generator):
+        anchors = [self.texts[i] for i in indices]
+        positives = [augment_rtl_text(t, rng) for t in anchors]
+        anchor_emb = self.encoder(anchors)
+        positive_emb = self.encoder(positives)
+        loss = nn.info_nce(anchor_emb, positive_emb, temperature=self.temperature)
+        return loss, {"contrastive": loss.item()}
+
+    def finalize(self) -> None:
+        self.encoder.clear_cache()
+
+
 def pretrain_rtl_encoder(
     encoder: RTLEncoder,
     rtl_texts: Sequence[str],
@@ -100,24 +136,32 @@ def pretrain_rtl_encoder(
     lr: float = 1e-3,
     temperature: float = 0.1,
     seed: int = 0,
-) -> List[float]:
-    """Contrastively pre-train the RTL encoder on (text, perturbed text) pairs."""
+    checkpoint_path=None,
+    checkpoint_every: int = 0,
+    resume: bool = False,
+    max_steps: Optional[int] = None,
+    return_result: bool = False,
+):
+    """Contrastively pre-train the RTL encoder on (text, perturbed text) pairs.
+
+    Returns the loss curve, or the full :class:`repro.train.TrainResult`
+    (completion/resume bookkeeping included) with ``return_result=True``.
+    """
+    from ..train import Trainer, TrainerConfig, TrainResult
+
     if len(rtl_texts) < 2:
-        return []
-    rng = np.random.default_rng(seed)
-    optimizer = nn.Adam(encoder.parameters(), lr=lr, grad_clip=1.0)
-    losses: List[float] = []
-    texts = list(rtl_texts)
-    for _ in range(num_steps):
-        batch_idx = rng.choice(len(texts), size=min(batch_size, len(texts)), replace=False)
-        anchors = [texts[i] for i in batch_idx]
-        positives = [augment_rtl_text(t, rng) for t in anchors]
-        anchor_emb = encoder(anchors)
-        positive_emb = encoder(positives)
-        loss = nn.info_nce(anchor_emb, positive_emb, temperature=temperature)
-        optimizer.zero_grad()
-        loss.backward()
-        optimizer.step()
-        losses.append(loss.item())
-    encoder.clear_cache()
-    return losses
+        return TrainResult(completed=True) if return_result else []
+    task = RTLContrastiveTask(encoder, rtl_texts, batch_size, num_steps, temperature)
+    result = Trainer(
+        task,
+        TrainerConfig(
+            learning_rate=lr,
+            grad_clip=1.0,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+            save_final=checkpoint_path is not None,
+            max_steps=max_steps,
+            seed=seed,
+        ),
+    ).run(resume=resume)
+    return result if return_result else list(result.losses)

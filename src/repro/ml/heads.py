@@ -4,13 +4,16 @@ The paper fine-tunes frozen NetTAG embeddings with small task models.  These
 wrappers provide a scikit-learn-style ``fit`` / ``predict`` interface around
 :class:`repro.nn.MLP` for classification and regression, with feature
 standardisation baked in (embeddings from different encoders have very
-different scales).
+different scales).  The optimisation itself runs on the shared
+:class:`repro.train.Trainer` engine, so the heads get the same scheduling,
+gradient-clipping/accumulation and (optional) checkpointing machinery as the
+pre-training loops.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -28,7 +31,26 @@ class HeadConfig:
     batch_size: int = 64
     weight_decay: float = 1e-4
     class_weight: Optional[str] = "balanced"   # None or "balanced" (classification only)
+    lr_schedule: str = "constant"              # "constant" | "cosine"
+    warmup_steps: int = 0
+    grad_accumulation: int = 1
     seed: int = 0
+
+    def trainer_config(self, **overrides):
+        """Translate the head hyper-parameters into a :class:`repro.train.TrainerConfig`."""
+        from ..train import TrainerConfig
+
+        settings = dict(
+            learning_rate=self.learning_rate,
+            weight_decay=self.weight_decay,
+            grad_clip=5.0,
+            lr_schedule=self.lr_schedule,
+            warmup_steps=self.warmup_steps,
+            grad_accumulation=self.grad_accumulation,
+            seed=self.seed,
+        )
+        settings.update(overrides)
+        return TrainerConfig(**settings)
 
 
 class _Standardizer:
@@ -47,6 +69,86 @@ class _Standardizer:
         if self.mean is None or self.std is None:
             raise RuntimeError("standardizer is not fitted")
         return (features - self.mean) / self.std
+
+
+class _HeadTask:
+    """Shared-engine task fitting one MLP head on standardised features.
+
+    The model is built inside :meth:`setup` from the trainer's generator so
+    the initialisation and the epoch permutations consume one stream, keeping
+    the fitted weights identical to the historical hand-rolled loop.
+    """
+
+    name = "finetune_head"
+
+    def __init__(self, config: HeadConfig, features: np.ndarray, output_dim: int) -> None:
+        self.config = config
+        self.features = features
+        self.output_dim = output_dim
+        self.model: Optional[nn.MLP] = None
+
+    def setup(self, rng: np.random.Generator):
+        from ..train import EpochPlan
+
+        self.model = nn.MLP(
+            self.features.shape[1], self.output_dim,
+            hidden_sizes=self.config.hidden_sizes, rng=rng,
+        )
+        return EpochPlan(
+            len(self.features), self.config.batch_size, self.config.num_epochs
+        )
+
+    def modules(self) -> Dict[str, nn.Module]:
+        assert self.model is not None
+        return {"head": self.model}
+
+    def trainable_parameters(self) -> List[Tensor]:
+        assert self.model is not None
+        return list(self.model.parameters())
+
+    def finalize(self) -> None:
+        pass
+
+
+class _ClassifierTask(_HeadTask):
+    name = "finetune_classifier"
+
+    def __init__(self, config: HeadConfig, features: np.ndarray, targets: np.ndarray,
+                 num_classes: int, sample_weights: np.ndarray) -> None:
+        super().__init__(config, features, num_classes)
+        self.targets = targets
+        self.sample_weights = sample_weights
+
+    def compute_loss(self, indices: np.ndarray, rng: np.random.Generator):
+        assert self.model is not None
+        logits = self.model(Tensor(self.features[indices]))
+        log_probs = logits.log_softmax(axis=-1)
+        picked = log_probs[np.arange(len(indices)), self.targets[indices]]
+        weights = self.sample_weights[indices]
+        loss = -(picked * Tensor(weights)).sum() * (1.0 / max(weights.sum(), 1e-9))
+        return loss, {"cross_entropy": loss.item()}
+
+
+class _RegressorTask(_HeadTask):
+    name = "finetune_regressor"
+
+    def __init__(self, config: HeadConfig, features: np.ndarray, targets: np.ndarray) -> None:
+        super().__init__(config, features, 1)
+        self.targets = targets
+
+    def compute_loss(self, indices: np.ndarray, rng: np.random.Generator):
+        assert self.model is not None
+        predictions = self.model(Tensor(self.features[indices])).reshape(len(indices))
+        loss = nn.mse_loss(predictions, self.targets[indices])
+        return loss, {"mse": loss.item()}
+
+
+def _fit_head(task: _HeadTask, config: HeadConfig) -> nn.MLP:
+    from ..train import Trainer
+
+    Trainer(task, config.trainer_config()).run()
+    assert task.model is not None
+    return task.model
 
 
 class MLPClassifierHead:
@@ -69,31 +171,13 @@ class MLPClassifierHead:
 
         self._standardizer.fit(features)
         features = self._standardizer.transform(features)
-        rng = np.random.default_rng(self.config.seed)
-        self._model = nn.MLP(
-            features.shape[1], len(self.classes_), hidden_sizes=self.config.hidden_sizes, rng=rng
-        )
-        optimizer = nn.Adam(
-            self._model.parameters(), lr=self.config.learning_rate,
-            weight_decay=self.config.weight_decay, grad_clip=5.0,
-        )
         sample_weights = np.ones(len(targets))
         if self.config.class_weight == "balanced":
             counts = np.bincount(targets, minlength=len(self.classes_)).astype(np.float64)
             class_weights = len(targets) / (len(self.classes_) * np.maximum(counts, 1.0))
             sample_weights = class_weights[targets]
-        for _ in range(self.config.num_epochs):
-            order = rng.permutation(len(features))
-            for start in range(0, len(order), self.config.batch_size):
-                batch = order[start : start + self.config.batch_size]
-                logits = self._model(Tensor(features[batch]))
-                log_probs = logits.log_softmax(axis=-1)
-                picked = log_probs[np.arange(len(batch)), targets[batch]]
-                weights = sample_weights[batch]
-                loss = -(picked * Tensor(weights)).sum() * (1.0 / max(weights.sum(), 1e-9))
-                optimizer.zero_grad()
-                loss.backward()
-                optimizer.step()
+        task = _ClassifierTask(self.config, features, targets, len(self.classes_), sample_weights)
+        self._model = _fit_head(task, self.config)
         return self
 
     def predict(self, features: np.ndarray) -> np.ndarray:
@@ -134,21 +218,8 @@ class MLPRegressorHead:
         self._target_std = float(targets.std()) or 1.0
         scaled_targets = (targets - self._target_mean) / self._target_std
 
-        rng = np.random.default_rng(self.config.seed)
-        self._model = nn.MLP(features.shape[1], 1, hidden_sizes=self.config.hidden_sizes, rng=rng)
-        optimizer = nn.Adam(
-            self._model.parameters(), lr=self.config.learning_rate,
-            weight_decay=self.config.weight_decay, grad_clip=5.0,
-        )
-        for _ in range(self.config.num_epochs):
-            order = rng.permutation(len(features))
-            for start in range(0, len(order), self.config.batch_size):
-                batch = order[start : start + self.config.batch_size]
-                predictions = self._model(Tensor(features[batch])).reshape(len(batch))
-                loss = nn.mse_loss(predictions, scaled_targets[batch])
-                optimizer.zero_grad()
-                loss.backward()
-                optimizer.step()
+        task = _RegressorTask(self.config, features, scaled_targets)
+        self._model = _fit_head(task, self.config)
         return self
 
     def predict(self, features: np.ndarray) -> np.ndarray:

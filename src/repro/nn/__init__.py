@@ -46,9 +46,23 @@ from .attention import (
     TransformerEncoder,
     TransformerEncoderLayer,
 )
-from .optim import Adam, CosineSchedule, Optimizer, SGD
+from .optim import (
+    Adam,
+    ConstantSchedule,
+    CosineSchedule,
+    Optimizer,
+    SGD,
+    clip_grad_norm,
+    global_grad_norm,
+)
 from .lora import LoRALinear, apply_lora
-from .serialization import load_checkpoint, peek_metadata, save_checkpoint
+from .serialization import (
+    load_checkpoint,
+    load_training_checkpoint,
+    peek_metadata,
+    save_checkpoint,
+    save_training_checkpoint,
+)
 
 __all__ = [
     "Tensor",
@@ -85,10 +99,15 @@ __all__ = [
     "Adam",
     "SGD",
     "CosineSchedule",
+    "ConstantSchedule",
     "Optimizer",
+    "clip_grad_norm",
+    "global_grad_norm",
     "LoRALinear",
     "apply_lora",
     "save_checkpoint",
     "peek_metadata",
     "load_checkpoint",
+    "save_training_checkpoint",
+    "load_training_checkpoint",
 ]

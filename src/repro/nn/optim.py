@@ -2,11 +2,15 @@
 
 The paper trains ExprLLM with LoRA for one epoch and TAGFormer for 50 epochs
 using standard Adam-style optimisation; the same optimisers are provided here.
+Every optimiser (and the LR schedule) exposes ``state_dict`` /
+``load_state_dict`` so a training run can be checkpointed with its full
+moment/velocity state and resumed bit-identically by the shared
+:class:`repro.train.Trainer` engine.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -30,6 +34,45 @@ class Optimizer:
 
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
+
+    # -- state round-trip ----------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Full optimiser state (scalars + per-parameter buffers)."""
+        return {"lr": float(self.lr)}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        self.lr = float(state["lr"])
+
+    def _check_buffer_count(self, buffers: List[np.ndarray], kind: str) -> None:
+        if len(buffers) != len(self.parameters):
+            raise ValueError(
+                f"optimizer state has {len(buffers)} {kind} buffers for "
+                f"{len(self.parameters)} parameters"
+            )
+
+
+def global_grad_norm(parameters: Iterable[Tensor]) -> float:
+    """L2 norm of all parameter gradients taken together."""
+    total = 0.0
+    for param in parameters:
+        if param.grad is not None:
+            total += float(np.sum(param.grad * param.grad))
+    return float(np.sqrt(total))
+
+
+def clip_grad_norm(parameters: Iterable[Tensor], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm (mirroring ``torch.nn.utils.clip_grad_norm_``).
+    """
+    parameters = list(parameters)
+    norm = global_grad_norm(parameters)
+    if norm > max_norm:
+        scale = max_norm / (norm + 1e-12)
+        for param in parameters:
+            if param.grad is not None:
+                param.grad = param.grad * scale
+    return norm
 
 
 class SGD(Optimizer):
@@ -58,6 +101,17 @@ class SGD(Optimizer):
                 self._velocity[i] = self.momentum * self._velocity[i] + grad
                 grad = self._velocity[i]
             param.data = param.data - self.lr * grad
+
+    def state_dict(self) -> Dict[str, object]:
+        state = super().state_dict()
+        state["velocity"] = [v.copy() for v in self._velocity]
+        return state
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        super().load_state_dict(state)
+        velocity = [np.asarray(v, dtype=np.float64) for v in state["velocity"]]
+        self._check_buffer_count(velocity, "velocity")
+        self._velocity = [v.copy() for v in velocity]
 
 
 class Adam(Optimizer):
@@ -99,6 +153,23 @@ class Adam(Optimizer):
             v_hat = self._v[i] / (1 - self.beta2 ** self._t)
             param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
+    def state_dict(self) -> Dict[str, object]:
+        state = super().state_dict()
+        state["t"] = int(self._t)
+        state["m"] = [m.copy() for m in self._m]
+        state["v"] = [v.copy() for v in self._v]
+        return state
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        super().load_state_dict(state)
+        m = [np.asarray(x, dtype=np.float64) for x in state["m"]]
+        v = [np.asarray(x, dtype=np.float64) for x in state["v"]]
+        self._check_buffer_count(m, "first-moment")
+        self._check_buffer_count(v, "second-moment")
+        self._m = [x.copy() for x in m]
+        self._v = [x.copy() for x in v]
+        self._t = int(state["t"])
+
 
 class CosineSchedule:
     """Cosine learning-rate schedule with linear warmup, applied to an optimiser."""
@@ -123,3 +194,26 @@ class CosineSchedule:
             lr = self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1 + np.cos(np.pi * progress))
         self.optimizer.lr = lr
         return lr
+
+    def state_dict(self) -> Dict[str, object]:
+        return {"step": int(self._step), "base_lr": float(self.base_lr)}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        self._step = int(state["step"])
+        self.base_lr = float(state["base_lr"])
+
+
+class ConstantSchedule:
+    """No-op schedule so the training engine always has a schedule object."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+
+    def step(self) -> float:
+        return self.optimizer.lr
+
+    def state_dict(self) -> Dict[str, object]:
+        return {}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        pass

@@ -1,28 +1,108 @@
-"""Saving and loading model checkpoints as ``.npz`` archives."""
+"""Saving and loading model / training checkpoints as ``.npz`` archives.
+
+Two checkpoint flavours live here:
+
+* **model checkpoints** (:func:`save_checkpoint` / :func:`load_checkpoint`) —
+  one module's parameters plus JSON metadata.  Every checkpoint is stamped
+  with the library version that wrote it, and loading warns (instead of
+  silently proceeding) when the stored metadata disagrees with the running
+  library or with caller-supplied expectations.
+* **training checkpoints** (:func:`save_training_checkpoint` /
+  :func:`load_training_checkpoint`) — several named modules, the optimiser's
+  full moment state, the LR-schedule step and arbitrary engine state (global
+  step, RNG state, loss curves) so the :class:`repro.train.Trainer` can resume
+  a run bit-identically.
+"""
 
 from __future__ import annotations
 
 import json
+import os
+import warnings
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
 from .layers import Module
+from .optim import Optimizer
 
 PathLike = Union[str, Path]
 
+# Metadata keys whose values are compared on load; a mismatch means the
+# checkpoint was produced by a different library / configuration and gets a
+# warning instead of a silent load.
+_COMPARED_METADATA_KEYS = ("library_version", "preset", "corpus_fingerprint")
+
+
+def _library_version() -> str:
+    from .. import __version__
+
+    return __version__
+
+
+def atomic_write(path: Path, tmp_name: str, write) -> None:
+    """Write a file atomically: ``write(tmp)`` then rename onto ``path``.
+
+    Checkpoints and cache artefacts are written while the process may be
+    interrupted at any moment (Ctrl-C during training); a direct write
+    interrupted mid-stream leaves a truncated file that poisons every later
+    resume.  Renames on the same filesystem are atomic, so the target path
+    only ever holds a complete file.
+    """
+    tmp = path.with_name(tmp_name)
+    try:
+        write(tmp)
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # interrupted between write and replace
+            tmp.unlink()
+
+
+def _atomic_savez(path: Path, payload: Dict[str, np.ndarray]) -> None:
+    # numpy appends ".npz" to names that lack it, so keep the suffix last.
+    atomic_write(
+        path, path.name + ".tmp.npz", lambda tmp: np.savez_compressed(tmp, **payload)
+    )
+
+
+def _metadata_payload(metadata: Optional[Dict[str, Any]]) -> np.ndarray:
+    stamped = dict(metadata or {})
+    stamped.setdefault("library_version", _library_version())
+    return np.frombuffer(json.dumps(stamped).encode("utf-8"), dtype=np.uint8)
+
+
+def _warn_on_metadata_mismatch(
+    metadata: Mapping[str, Any],
+    path: Path,
+    expected: Optional[Mapping[str, Any]] = None,
+) -> None:
+    expectations: Dict[str, Any] = {"library_version": _library_version()}
+    expectations.update(expected or {})
+    for key, want in expectations.items():
+        if key not in _COMPARED_METADATA_KEYS and (expected is None or key not in expected):
+            continue
+        have = metadata.get(key)
+        if have is not None and want is not None and have != want:
+            warnings.warn(
+                f"checkpoint {path} was written with {key}={have!r} but this "
+                f"process expects {key}={want!r}; loading anyway",
+                stacklevel=3,
+            )
+
 
 def save_checkpoint(module: Module, path: PathLike, metadata: Optional[Dict[str, Any]] = None) -> Path:
-    """Serialise a module's parameters (and optional JSON metadata) to ``path``."""
+    """Serialise a module's parameters (and optional JSON metadata) to ``path``.
+
+    The metadata is automatically stamped with the current ``library_version``
+    unless the caller supplied one explicitly.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     state = module.state_dict()
     payload = {f"param::{name}": value for name, value in state.items()}
-    payload["__metadata__"] = np.frombuffer(
-        json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8
-    )
-    np.savez_compressed(path, **payload)
+    payload["__metadata__"] = _metadata_payload(metadata)
+    _atomic_savez(path, payload)
     return path
 
 
@@ -36,8 +116,17 @@ def peek_metadata(path: PathLike) -> Dict[str, Any]:
     return json.loads(metadata_bytes.decode("utf-8"))
 
 
-def load_checkpoint(module: Module, path: PathLike) -> Dict[str, Any]:
-    """Load parameters saved by :func:`save_checkpoint`; returns the metadata dict."""
+def load_checkpoint(
+    module: Module,
+    path: PathLike,
+    expected_metadata: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Load parameters saved by :func:`save_checkpoint`; returns the metadata dict.
+
+    Warns when the checkpoint's ``library_version`` differs from the running
+    library, or when any key in ``expected_metadata`` (e.g. config preset,
+    corpus fingerprint) disagrees with the stored value.
+    """
     path = Path(path)
     if not path.exists():
         raise FileNotFoundError(f"checkpoint not found: {path}")
@@ -48,5 +137,117 @@ def load_checkpoint(module: Module, path: PathLike) -> Dict[str, Any]:
             if key.startswith("param::")
         }
         metadata_bytes = archive["__metadata__"].tobytes() if "__metadata__" in archive.files else b"{}"
+    metadata = json.loads(metadata_bytes.decode("utf-8"))
+    _warn_on_metadata_mismatch(metadata, path, expected_metadata)
     module.load_state_dict(state)
-    return json.loads(metadata_bytes.decode("utf-8"))
+    return metadata
+
+
+# ----------------------------------------------------------------------
+# Training checkpoints (multi-module + optimiser + engine state)
+# ----------------------------------------------------------------------
+def _flatten_optimizer_state(state: Dict[str, Any]) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+    """Split an optimiser state dict into array buffers and JSON scalars."""
+    arrays: Dict[str, np.ndarray] = {}
+    scalars: Dict[str, Any] = {}
+    for key, value in state.items():
+        if isinstance(value, list) and value and isinstance(value[0], np.ndarray):
+            for i, buffer in enumerate(value):
+                arrays[f"opt::{key}::{i}"] = buffer
+            scalars[f"__len_{key}"] = len(value)
+        else:
+            scalars[key] = value
+    return arrays, scalars
+
+
+def _unflatten_optimizer_state(
+    archive: Mapping[str, np.ndarray], scalars: Dict[str, Any]
+) -> Dict[str, Any]:
+    state: Dict[str, Any] = {}
+    for key, value in scalars.items():
+        if key.startswith("__len_"):
+            name = key[len("__len_"):]
+            state[name] = [archive[f"opt::{name}::{i}"] for i in range(int(value))]
+        else:
+            state[key] = value
+    return state
+
+
+def save_training_checkpoint(
+    path: PathLike,
+    modules: Mapping[str, Module],
+    optimizer: Optional[Optimizer] = None,
+    state: Optional[Dict[str, Any]] = None,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Serialise a full training snapshot: named modules, optimiser, engine state.
+
+    ``state`` must be JSON-serialisable except for values that are numpy
+    arrays or lists of floats, which are stored as arrays under
+    ``state_array::<key>``.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload: Dict[str, np.ndarray] = {}
+    for module_name, module in modules.items():
+        for name, value in module.state_dict().items():
+            payload[f"param::{module_name}::{name}"] = value
+    opt_scalars: Dict[str, Any] = {}
+    if optimizer is not None:
+        arrays, opt_scalars = _flatten_optimizer_state(optimizer.state_dict())
+        payload.update(arrays)
+    json_state: Dict[str, Any] = {}
+    for key, value in (state or {}).items():
+        if isinstance(value, np.ndarray):
+            payload[f"state_array::{key}"] = value
+        elif isinstance(value, list) and value and all(isinstance(v, (int, float)) for v in value):
+            payload[f"state_array::{key}"] = np.asarray(value, dtype=np.float64)
+        else:
+            json_state[key] = value
+    blob = {"optimizer": opt_scalars, "state": json_state}
+    payload["__train_state__"] = np.frombuffer(json.dumps(blob).encode("utf-8"), dtype=np.uint8)
+    payload["__metadata__"] = _metadata_payload(metadata)
+    _atomic_savez(path, payload)
+    return path
+
+
+def load_training_checkpoint(
+    path: PathLike,
+    modules: Mapping[str, Module],
+    optimizer: Optional[Optimizer] = None,
+    expected_metadata: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Restore a snapshot written by :func:`save_training_checkpoint`.
+
+    Returns the engine state dict (JSON values plus ``state_array::`` arrays,
+    the latter restored as numpy arrays) with the checkpoint metadata under
+    the ``"__metadata__"`` key.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"training checkpoint not found: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        files = set(archive.files)
+        blob_bytes = archive["__train_state__"].tobytes() if "__train_state__" in files else b"{}"
+        metadata_bytes = archive["__metadata__"].tobytes() if "__metadata__" in files else b"{}"
+        blob = json.loads(blob_bytes.decode("utf-8"))
+        metadata = json.loads(metadata_bytes.decode("utf-8"))
+        _warn_on_metadata_mismatch(metadata, path, expected_metadata)
+        for module_name, module in modules.items():
+            prefix = f"param::{module_name}::"
+            state = {
+                key[len(prefix):]: archive[key] for key in files if key.startswith(prefix)
+            }
+            if not state:
+                raise KeyError(f"checkpoint {path} has no parameters for module {module_name!r}")
+            module.load_state_dict(state)
+        if optimizer is not None:
+            opt_state = _unflatten_optimizer_state(archive, blob.get("optimizer", {}))
+            if opt_state:
+                optimizer.load_state_dict(opt_state)
+        engine_state: Dict[str, Any] = dict(blob.get("state", {}))
+        for key in files:
+            if key.startswith("state_array::"):
+                engine_state[key[len("state_array::"):]] = archive[key]
+    engine_state["__metadata__"] = metadata
+    return engine_state

@@ -16,12 +16,18 @@ from .objectives import (
     masked_gate_loss,
 )
 from .expr_pretrain import (
+    ExprContrastiveTask,
     ExprLLMPretrainer,
     ExprPretrainConfig,
     ExprPretrainResult,
     collect_expression_corpus,
 )
-from .tag_pretrain import TAGFormerPretrainer, TAGPretrainConfig, TAGPretrainResult
+from .tag_pretrain import (
+    TAGFormerPretrainer,
+    TAGPretrainConfig,
+    TAGPretrainResult,
+    TAGPretrainTask,
+)
 
 __all__ = [
     "augment_expression",
@@ -38,6 +44,7 @@ __all__ = [
     "graph_contrastive_loss",
     "graph_size_loss",
     "cross_stage_loss",
+    "ExprContrastiveTask",
     "ExprLLMPretrainer",
     "ExprPretrainConfig",
     "ExprPretrainResult",
@@ -45,4 +52,5 @@ __all__ = [
     "TAGFormerPretrainer",
     "TAGPretrainConfig",
     "TAGPretrainResult",
+    "TAGPretrainTask",
 ]

@@ -3,18 +3,21 @@
 The paper builds a corpus of 2-hop gate expressions, augments each with
 random Boolean-equivalence rewrites and trains ExprLLM (with LoRA adapters)
 for one epoch using the InfoNCE loss.  :class:`ExprLLMPretrainer` reproduces
-that loop at CPU scale.
+that loop at CPU scale on top of the shared :class:`repro.train.Trainer`
+engine, which adds periodic checkpointing (with full optimiser state) and
+bit-identical resume.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .. import nn
 from ..encoders import ExprLLM
+from ..nn import Tensor
+from ..train import SamplingPlan, Trainer, TrainerConfig, TrainResult, TrainTask
 from .augment import build_expression_pairs
 from .objectives import expression_contrastive_loss
 
@@ -40,6 +43,8 @@ class ExprPretrainResult:
     losses: List[float] = field(default_factory=list)
     num_pairs: int = 0
     steps: int = 0
+    resumed_from_step: int = 0
+    completed: bool = True
 
     @property
     def final_loss(self) -> float:
@@ -50,51 +55,102 @@ class ExprPretrainResult:
         return self.losses[0] if self.losses else float("nan")
 
 
+class ExprContrastiveTask(TrainTask):
+    """Expression contrastive learning (objective #1) as a shared-engine task."""
+
+    name = "expr_contrastive"
+
+    def __init__(self, model: ExprLLM, config: ExprPretrainConfig, expressions: Sequence[str]) -> None:
+        self.model = model
+        self.config = config
+        self.expressions = list(expressions)
+        self.pairs: List[Tuple[str, str]] = []
+
+    def setup(self, rng: np.random.Generator) -> SamplingPlan:
+        self.pairs = build_expression_pairs(
+            self.expressions, rng=rng, num_rewrites=self.config.num_rewrites
+        )
+        if self.config.use_lora:
+            self.model.enable_lora(rank=self.config.lora_rank, rng=rng)
+        self.model.train()
+        batch_size = min(self.config.batch_size, len(self.pairs))
+        if batch_size < 2:
+            batch_size = 2
+        return SamplingPlan(len(self.pairs), batch_size, self.config.num_steps)
+
+    def modules(self) -> Dict[str, object]:
+        return {"expr_llm": self.model}
+
+    def trainable_parameters(self) -> List[Tensor]:
+        return self.model.trainable_parameters()
+
+    def compute_loss(self, indices: np.ndarray, rng: np.random.Generator) -> Tuple[Tensor, Dict[str, float]]:
+        anchors = [self.pairs[i][0] for i in indices]
+        positives = [self.pairs[i][1] for i in indices]
+        anchor_embeddings = self.model(anchors)
+        positive_embeddings = self.model(positives)
+        loss = expression_contrastive_loss(
+            anchor_embeddings, positive_embeddings, temperature=self.config.temperature
+        )
+        return loss, {"contrastive": loss.item()}
+
+    def finalize(self) -> None:
+        self.model.eval()
+        self.model.clear_cache()
+
+
 class ExprLLMPretrainer:
     """Runs symbolic-expression contrastive pre-training on an :class:`ExprLLM`."""
 
     def __init__(self, model: ExprLLM, config: Optional[ExprPretrainConfig] = None) -> None:
         self.model = model
         self.config = config or ExprPretrainConfig()
+        self.last_train_result: Optional[TrainResult] = None
 
-    def run(self, expressions: Sequence[str]) -> ExprPretrainResult:
-        """Pre-train on a corpus of expression strings; returns the loss curve."""
+    def run(
+        self,
+        expressions: Sequence[str],
+        checkpoint_path=None,
+        checkpoint_every: int = 0,
+        resume: bool = False,
+        max_steps: Optional[int] = None,
+        metadata: Optional[Dict[str, object]] = None,
+    ) -> ExprPretrainResult:
+        """Pre-train on a corpus of expression strings; returns the loss curve.
+
+        With ``checkpoint_path`` set, the trainer snapshots the full training
+        state every ``checkpoint_every`` optimiser steps (and at the final
+        step); ``resume=True`` continues from such a snapshot bit-identically.
+        ``max_steps`` stops early at that global step (leaving a snapshot), so
+        an interrupted run can be simulated or budgeted.
+        """
         config = self.config
-        result = ExprPretrainResult()
         expressions = [e for e in expressions if e.strip()]
         if len(expressions) < 2:
-            return result
-        rng = np.random.default_rng(config.seed)
-        pairs = build_expression_pairs(expressions, rng=rng, num_rewrites=config.num_rewrites)
-        result.num_pairs = len(pairs)
-
-        if config.use_lora:
-            self.model.enable_lora(rank=config.lora_rank, rng=rng)
-        parameters = self.model.trainable_parameters()
-        optimizer = nn.Adam(parameters, lr=config.learning_rate, grad_clip=1.0)
-
-        self.model.train()
-        batch_size = min(config.batch_size, len(pairs))
-        if batch_size < 2:
-            batch_size = 2
-        for _ in range(config.num_steps):
-            indices = rng.choice(len(pairs), size=min(batch_size, len(pairs)), replace=len(pairs) < batch_size)
-            anchors = [pairs[i][0] for i in indices]
-            positives = [pairs[i][1] for i in indices]
-            anchor_embeddings = self.model(anchors)
-            positive_embeddings = self.model(positives)
-            loss = expression_contrastive_loss(
-                anchor_embeddings, positive_embeddings, temperature=config.temperature
-            )
-            optimizer.zero_grad()
-            loss.backward()
-            optimizer.step()
-            result.losses.append(loss.item())
-            result.steps += 1
-
-        self.model.eval()
-        self.model.clear_cache()
-        return result
+            return ExprPretrainResult()
+        task = ExprContrastiveTask(self.model, config, expressions)
+        trainer = Trainer(
+            task,
+            TrainerConfig(
+                learning_rate=config.learning_rate,
+                grad_clip=1.0,
+                checkpoint_path=checkpoint_path,
+                checkpoint_every=checkpoint_every,
+                save_final=checkpoint_path is not None,
+                max_steps=max_steps,
+                seed=config.seed,
+            ),
+            metadata=metadata,
+        )
+        train_result = trainer.run(resume=resume)
+        self.last_train_result = train_result
+        return ExprPretrainResult(
+            losses=list(train_result.losses),
+            num_pairs=len(task.pairs),
+            steps=train_result.steps,
+            resumed_from_step=train_result.resumed_from_step,
+            completed=train_result.completed,
+        )
 
 
 def collect_expression_corpus(

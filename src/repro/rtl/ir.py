@@ -38,12 +38,24 @@ class WExpr:
         return ()
 
     def signals(self) -> set[str]:
-        names: set[str] = set()
+        return set(self.ordered_signals())
+
+    def ordered_signals(self) -> List[str]:
+        """Signal names in deterministic depth-first discovery order.
+
+        Iterating a plain ``set`` of strings depends on the per-process hash
+        seed, so anything that renders text or schedules work from an
+        expression must use this ordered variant: checkpoint-resume across
+        processes relies on the corpus being bit-identical.
+        """
+        names: List[str] = []
+        seen: set[str] = set()
         stack: List[WExpr] = [self]
         while stack:
             node = stack.pop()
-            if isinstance(node, WSignal):
-                names.add(node.name)
+            if isinstance(node, WSignal) and node.name not in seen:
+                seen.add(node.name)
+                names.append(node.name)
             stack.extend(node.children())
         return names
 
@@ -289,7 +301,7 @@ class RTLModule:
             if mark == 2:
                 return
             state[assign.target] = 1
-            for dep in assign.expr.signals():
+            for dep in assign.expr.ordered_signals():
                 if dep in sources:
                     continue
                 producer = producers.get(dep)

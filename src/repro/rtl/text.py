@@ -111,7 +111,7 @@ def render_register_cone(module: RTLModule, register_name: str) -> str:
     seen: Set[str] = set()
 
     def collect(expr: WExpr) -> None:
-        for name in expr.signals():
+        for name in expr.ordered_signals():
             if name in register_names or name in seen:
                 continue
             producer = producers.get(name)

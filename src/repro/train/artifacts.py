@@ -1,0 +1,265 @@
+"""On-disk caching of pipeline stage artefacts and training-run manifests.
+
+``NetTAGPipeline`` derives a chain of artefacts before any gradient step runs:
+synthesised netlists with their cones/TAGs and alignment data, the Step-1
+expression corpus, and the Step-2 pre-training samples.  All of it is a pure
+function of (configuration, seed, upstream model state), so
+:class:`ArtifactStore` caches each stage on disk keyed by a fingerprint of
+those inputs: a rerun with the same configuration loads the artefact instead
+of recomputing it, and any config/seed change produces a different key and a
+clean recompute.  Every stage run — cached or computed — is timed, and the
+timings surface in the pipeline summary so cache hits are observable.
+
+:class:`RunManifest` is the small JSON ledger a resumable pre-training run
+keeps next to its checkpoints: which training stages have finished, and where
+each stage's final snapshot lives.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Union
+
+from ..nn.serialization import atomic_write
+
+PathLike = Union[str, Path]
+
+_PICKLE_PROTOCOL = 4
+_FORMAT_VERSION = 1
+
+
+def _library_version() -> str:
+    from .. import __version__
+
+    return __version__
+
+
+def fingerprint(payload: Mapping[str, Any]) -> str:
+    """Stable short hash of a JSON-serialisable mapping (sorted keys)."""
+    canonical = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class StageTiming:
+    """Outcome of one pipeline stage: how long it took and whether it was cached."""
+
+    name: str
+    seconds: float = 0.0
+    cached: bool = False
+    key: str = ""
+
+    def describe(self) -> str:
+        source = "cache hit" if self.cached else "computed"
+        return f"stage {self.name}: {self.seconds:.2f}s ({source})"
+
+
+class StageRun:
+    """Context for one stage execution handed out by :meth:`ArtifactStore.stage`."""
+
+    def __init__(self, store: "ArtifactStore", name: str, key: str) -> None:
+        self._store = store
+        self.name = name
+        self.key = key
+        self.timing = StageTiming(name=name, key=key)
+        self._start = 0.0
+
+    @property
+    def cached(self) -> bool:
+        return self._store.contains(self.name, self.key)
+
+    def load(self) -> Any:
+        value = self._store.load(self.name, self.key)
+        self.timing.cached = True
+        return value
+
+    def save(self, value: Any) -> None:
+        self._store.save(self.name, self.key, value)
+
+    def __enter__(self) -> "StageRun":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.timing.seconds = time.perf_counter() - self._start
+        if exc_type is None:
+            self._store.timings.append(self.timing)
+
+
+class ArtifactStore:
+    """Pickle-backed cache of pipeline stage artefacts keyed by fingerprint.
+
+    With ``root=None`` the store is disabled: every stage reports a cache miss
+    and nothing is written, so callers need no branching.  Corrupt or
+    unreadable entries behave like misses and are recomputed.
+    """
+
+    def __init__(self, root: Optional[PathLike] = None) -> None:
+        self.root = Path(root) if root is not None else None
+        self.timings: List[StageTiming] = []
+        self.hits = 0
+        self.misses = 0
+        if self.root is not None:
+            self.root.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def enabled(self) -> bool:
+        return self.root is not None
+
+    # ------------------------------------------------------------------
+    def _entry_path(self, stage: str, key: str) -> Path:
+        assert self.root is not None
+        return self.root / f"{stage}-{key}.pkl"
+
+    def _manifest_path(self, stage: str, key: str) -> Path:
+        assert self.root is not None
+        return self.root / f"{stage}-{key}.json"
+
+    def contains(self, stage: str, key: str) -> bool:
+        if self.root is None:
+            return False
+        entry = self._entry_path(stage, key)
+        manifest = self._manifest_path(stage, key)
+        if not entry.exists() or not manifest.exists():
+            return False
+        try:
+            info = json.loads(manifest.read_text())
+        except (json.JSONDecodeError, OSError):
+            return False
+        # An artefact written by a different library version may encode
+        # different preprocessing behaviour for the same config+seed key, so
+        # it behaves like a miss and gets recomputed (mirroring the
+        # library_version stamp on model checkpoints).
+        return (
+            info.get("format_version") == _FORMAT_VERSION
+            and info.get("library_version") == _library_version()
+        )
+
+    def load(self, stage: str, key: str) -> Any:
+        if not self.contains(stage, key):
+            raise KeyError(f"no cached artefact for stage {stage!r} key {key}")
+        with self._entry_path(stage, key).open("rb") as handle:
+            value = pickle.load(handle)
+        self.hits += 1
+        return value
+
+    def save(self, stage: str, key: str, value: Any) -> None:
+        self.misses += 1
+        if self.root is None:
+            return
+        # Write atomically (temp + rename): an interrupted run must never
+        # leave a truncated pickle behind a valid-looking manifest.
+        entry = self._entry_path(stage, key)
+
+        def write_pickle(tmp: Path) -> None:
+            with tmp.open("wb") as handle:
+                pickle.dump(value, handle, protocol=_PICKLE_PROTOCOL)
+
+        atomic_write(entry, entry.name + ".tmp", write_pickle)
+        manifest = {
+            "stage": stage,
+            "key": key,
+            "format_version": _FORMAT_VERSION,
+            "library_version": _library_version(),
+            "created": time.time(),
+            "bytes": entry.stat().st_size,
+        }
+        self._manifest_path(stage, key).write_text(json.dumps(manifest, indent=2))
+
+    # ------------------------------------------------------------------
+    def stage(self, name: str, key_payload: Mapping[str, Any]) -> StageRun:
+        """Timed stage context; check ``run.cached`` then ``load()`` or ``save()``."""
+        return StageRun(self, name, fingerprint(key_payload))
+
+    def get_or_compute(
+        self, name: str, key_payload: Mapping[str, Any], compute: Callable[[], Any]
+    ) -> Any:
+        """Load the stage artefact if cached, otherwise compute and store it."""
+        with self.stage(name, key_payload) as run:
+            if run.cached:
+                try:
+                    return run.load()
+                except (pickle.PickleError, EOFError, OSError):
+                    run.timing.cached = False  # corrupt entry: fall through
+            value = compute()
+            run.save(value)
+            return value
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}
+
+
+# ----------------------------------------------------------------------
+# Run manifest (resumable multi-stage training)
+# ----------------------------------------------------------------------
+class RunManifest:
+    """JSON ledger of a multi-stage training run's completed stages.
+
+    Lives in the checkpoint directory as ``manifest.json``.  A stage is either
+    absent (never started / in flight, with only its periodic trainer
+    checkpoint on disk), or recorded as done together with any
+    JSON-serialisable stage results the caller attaches.
+    """
+
+    def __init__(self, directory: PathLike, run_key: str) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / "manifest.json"
+        self.run_key = run_key
+        self._data: Dict[str, Any] = {"run_key": run_key, "stages": {}}
+        if self.path.exists():
+            try:
+                loaded = json.loads(self.path.read_text())
+            except json.JSONDecodeError:
+                loaded = None
+            if loaded is not None and loaded.get("run_key") == run_key:
+                self._data = loaded
+            else:
+                # The directory belongs to a run with a different config/seed:
+                # its checkpoints cannot be resumed, so clear them out.
+                self.reset()
+
+    # ------------------------------------------------------------------
+    def checkpoint_path(self, stage: str) -> Path:
+        """Where the stage's trainer checkpoint lives.
+
+        Both the periodic (in-flight) snapshots and the stage's final snapshot
+        are written to this one path — a final-step snapshot simply replays as
+        a no-op on resume.
+        """
+        return self.directory / f"{stage}.ckpt.npz"
+
+    def is_done(self, stage: str) -> bool:
+        return self._data["stages"].get(stage, {}).get("done", False)
+
+    def stage_record(self, stage: str) -> Dict[str, Any]:
+        return dict(self._data["stages"].get(stage, {}))
+
+    def mark_done(self, stage: str, **record: Any) -> None:
+        self._data["stages"][stage] = {"done": True, **record}
+        self._write()
+
+    def reset(self) -> None:
+        """Forget every stage (config changed; old snapshots are stale).
+
+        Only the manifest's own stage checkpoints (``*.ckpt.npz``) are
+        removed — the directory may also hold unrelated files such as a saved
+        model the user pointed ``checkpoint_dir`` at.
+        """
+        self._data = {"run_key": self.run_key, "stages": {}}
+        for stale in self.directory.glob("*.ckpt.npz"):
+            stale.unlink()
+        self._write()
+
+    def _write(self) -> None:
+        self.path.write_text(json.dumps(self._data, indent=2))
+
+    def completed_stages(self) -> Iterator[str]:
+        for stage, record in self._data["stages"].items():
+            if record.get("done"):
+                yield stage

@@ -55,3 +55,61 @@ class TestPretrainAndEmbedCommands:
         stdout = capsys.readouterr().out
         assert "checkpoint written" in stdout
         assert "embeddings written" in stdout
+
+    def test_batch_embed_directory(self, tmp_path, capsys):
+        checkpoint = tmp_path / "model.npz"
+        assert main([
+            "pretrain", "--output", str(checkpoint), "--preset", "fast",
+            "--designs-per-suite", "1", "--seed", "1",
+        ]) == 0
+
+        netlist_dir = tmp_path / "netlists"
+        netlist_dir.mkdir()
+        netlists = {}
+        for i, seed in ((1, 3), (2, 5)):
+            netlist = synthesize(make_gnnre_design(i, seed=seed)).netlist
+            write_verilog(netlist, path=netlist_dir / f"design{i}.v")
+            netlists[f"design{i}"] = netlist
+        output_dir = tmp_path / "embeddings"
+        assert main([
+            "embed", str(netlist_dir), "--batch",
+            "--checkpoint", str(checkpoint), "--output", str(output_dir),
+        ]) == 0
+
+        stdout = capsys.readouterr().out
+        assert "one batched pass" in stdout
+        for stem, netlist in netlists.items():
+            with np.load(output_dir / f"{stem}.embeddings.npz") as archive:
+                assert archive["gate_embeddings"].shape[0] == netlist.num_gates
+
+    def test_batch_embed_rejects_file_argument(self, tmp_path, capsys):
+        checkpoint = tmp_path / "model.npz"
+        assert main([
+            "pretrain", "--output", str(checkpoint), "--preset", "fast",
+            "--designs-per-suite", "1", "--seed", "1",
+        ]) == 0
+        lone = tmp_path / "lone.v"
+        write_verilog(synthesize(make_gnnre_design(1, seed=3)).netlist, path=lone)
+        assert main(["embed", str(lone), "--batch", "--checkpoint", str(checkpoint)]) == 2
+
+
+class TestPretrainResumeFlags:
+    def test_cache_dir_and_resume_round_trip(self, tmp_path, capsys):
+        checkpoint = tmp_path / "model.npz"
+        cache = tmp_path / "cache"
+        args = [
+            "pretrain", "--output", str(checkpoint), "--preset", "fast",
+            "--designs-per-suite", "1", "--seed", "2",
+            "--cache-dir", str(cache), "--checkpoint-every", "2",
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "stage preprocess" in first
+        assert "(computed)" in first
+
+        # Second run resumes from the final snapshots and hits the artifact
+        # cache; the stage report makes both observable.
+        assert main(args + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "cache hit" in second
+        assert checkpoint.exists()

@@ -50,3 +50,48 @@ class TestModelCheckpoint:
     def test_load_missing_file_raises(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             NetTAG.load(tmp_path / "nope.npz")
+
+
+class TestCheckpointMetadata:
+    def test_save_stamps_library_version_and_preset(self, tmp_path):
+        import repro
+        from repro import nn
+
+        model = NetTAG(NetTAGConfig.fast(seed=1), rng=np.random.default_rng(1))
+        path = model.save(tmp_path / "meta.npz")
+        metadata = nn.peek_metadata(path)
+        assert metadata["library_version"] == repro.__version__
+        assert metadata["preset"] == "fast"
+
+    def test_corpus_fingerprint_recorded_via_extra_metadata(self, tmp_path):
+        from repro import nn
+
+        model = NetTAG(NetTAGConfig.fast(seed=1), rng=np.random.default_rng(1))
+        path = model.save(tmp_path / "meta.npz", extra_metadata={"corpus_fingerprint": "abc123"})
+        assert nn.peek_metadata(path)["corpus_fingerprint"] == "abc123"
+
+    def test_load_warns_on_library_version_mismatch(self, tmp_path):
+        from repro import nn
+
+        model = NetTAG(NetTAGConfig.fast(seed=1), rng=np.random.default_rng(1))
+        path = nn.save_checkpoint(
+            model, tmp_path / "old.npz",
+            metadata={"config": model.config.to_dict(), "library_version": "0.0.1-ancient"},
+        )
+        with pytest.warns(UserWarning, match="library_version"):
+            NetTAG.load(path)
+
+    def test_load_warns_on_expected_metadata_mismatch(self, tmp_path):
+        model = NetTAG(NetTAGConfig.fast(seed=1), rng=np.random.default_rng(1))
+        path = model.save(tmp_path / "meta.npz", extra_metadata={"corpus_fingerprint": "abc123"})
+        with pytest.warns(UserWarning, match="corpus_fingerprint"):
+            NetTAG.load(path, expected_metadata={"corpus_fingerprint": "zzz999"})
+
+    def test_load_is_silent_when_metadata_matches(self, tmp_path):
+        import warnings
+
+        model = NetTAG(NetTAGConfig.fast(seed=1), rng=np.random.default_rng(1))
+        path = model.save(tmp_path / "meta.npz", extra_metadata={"corpus_fingerprint": "abc123"})
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            NetTAG.load(path, expected_metadata={"corpus_fingerprint": "abc123"})

@@ -128,7 +128,11 @@ class TestSerialization:
         path = nn.save_checkpoint(model, tmp_path / "model.npz", metadata={"epoch": 3})
         clone = nn.MLP(4, 2, hidden_sizes=(8,), rng=np.random.default_rng(1))
         metadata = nn.load_checkpoint(clone, path)
-        assert metadata == {"epoch": 3}
+        assert metadata["epoch"] == 3
+        # Every checkpoint is stamped with the library version that wrote it.
+        import repro
+
+        assert metadata["library_version"] == repro.__version__
         x = Tensor(np.ones((2, 4)))
         np.testing.assert_allclose(model(x).data, clone(x).data)
 

@@ -63,6 +63,93 @@ class TestOptimizers:
         np.testing.assert_allclose(param.data, np.ones(2))
 
 
+def _train_steps(model: nn.Linear, optimizer, x, y, steps: int) -> None:
+    for _ in range(steps):
+        loss = nn.mse_loss(model(Tensor(x)), y)
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+
+
+@pytest.mark.parametrize("factory", [
+    lambda p: nn.SGD(p, lr=0.05, momentum=0.9, weight_decay=1e-3),
+    lambda p: nn.Adam(p, lr=0.05, weight_decay=1e-3, grad_clip=1.0),
+], ids=["sgd", "adam"])
+class TestOptimizerStateRoundTrip:
+    def test_restored_optimizer_continues_identically(self, factory):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(32, 3))
+        y = x @ np.array([[1.0], [-2.0], [0.5]]) + 0.3
+
+        model_a = nn.Linear(3, 1, rng=np.random.default_rng(1))
+        optimizer_a = factory(model_a.parameters())
+        _train_steps(model_a, optimizer_a, x, y, 5)
+        saved_params = [p.data.copy() for p in model_a.parameters()]
+        saved_state = optimizer_a.state_dict()
+        _train_steps(model_a, optimizer_a, x, y, 5)
+        reference = [p.data.copy() for p in model_a.parameters()]
+
+        # Fresh model+optimizer restored from the snapshot must land on the
+        # exact same parameters after the same remaining steps (the moments /
+        # velocity and step counter all carry over).
+        model_b = nn.Linear(3, 1, rng=np.random.default_rng(2))
+        for param, value in zip(model_b.parameters(), saved_params):
+            param.data = value.copy()
+        optimizer_b = factory(model_b.parameters())
+        optimizer_b.load_state_dict(saved_state)
+        _train_steps(model_b, optimizer_b, x, y, 5)
+        for a, b in zip(reference, model_b.parameters()):
+            np.testing.assert_array_equal(a, b.data)
+
+    def test_state_dict_buffers_are_copies(self, factory):
+        param = Tensor(np.ones(3), requires_grad=True)
+        optimizer = factory([param])
+        param.grad = np.ones(3)
+        optimizer.step()
+        state = optimizer.state_dict()
+        snapshot = {
+            key: [buf.copy() for buf in value]
+            for key, value in state.items() if isinstance(value, list)
+        }
+        param.grad = np.full(3, 7.0)
+        optimizer.step()  # mutates internal buffers, must not touch the snapshot
+        for key, buffers in snapshot.items():
+            for before, after in zip(buffers, state[key]):
+                np.testing.assert_array_equal(before, after)
+
+    def test_buffer_count_mismatch_rejected(self, factory):
+        params = [Tensor(np.ones(2), requires_grad=True)]
+        optimizer = factory(params)
+        state = optimizer.state_dict()
+        two = [Tensor(np.ones(2), requires_grad=True), Tensor(np.ones(2), requires_grad=True)]
+        other = factory(two)
+        buffered = [k for k, v in state.items() if isinstance(v, list)]
+        if buffered:
+            with pytest.raises(ValueError):
+                other.load_state_dict(state)
+
+
+class TestGradClipHelpers:
+    def test_clip_grad_norm_scales_in_place(self):
+        params = [Tensor(np.zeros(4), requires_grad=True)]
+        params[0].grad = np.full(4, 3.0)
+        norm = nn.clip_grad_norm(params, max_norm=1.0)
+        assert norm == pytest.approx(6.0)
+        assert np.linalg.norm(params[0].grad) == pytest.approx(1.0, rel=1e-6)
+
+    def test_clip_grad_norm_leaves_small_grads_alone(self):
+        params = [Tensor(np.zeros(2), requires_grad=True)]
+        params[0].grad = np.array([0.1, 0.2])
+        nn.clip_grad_norm(params, max_norm=10.0)
+        np.testing.assert_allclose(params[0].grad, [0.1, 0.2])
+
+    def test_global_grad_norm_ignores_missing_grads(self):
+        with_grad = Tensor(np.zeros(2), requires_grad=True)
+        with_grad.grad = np.array([3.0, 4.0])
+        without = Tensor(np.zeros(2), requires_grad=True)
+        assert nn.global_grad_norm([with_grad, without]) == pytest.approx(5.0)
+
+
 class TestCosineSchedule:
     def test_warmup_then_decay(self):
         param = Tensor(np.ones(1), requires_grad=True)

@@ -87,6 +87,21 @@ class TestWordLevelIR:
         expr = WBinary("add", WSignal("a", 3), WMux(WSignal("s", 1), WSignal("b", 3), WConst(0, 3)))
         assert expr.signals() == {"a", "s", "b"}
 
+    def test_ordered_signals_is_deterministic_and_duplicate_free(self):
+        # The ordered variant must not depend on the per-process hash seed
+        # (cross-process checkpoint resume renders RTL text from it): the
+        # order comes from the expression tree alone.
+        expr = WBinary(
+            "add",
+            WMux(WSignal("s", 1), WSignal("b", 3), WSignal("a", 3)),
+            WBinary("and", WSignal("a", 3), WSignal("zz", 3)),
+        )
+        first = expr.ordered_signals()
+        assert sorted(first) == ["a", "b", "s", "zz"]
+        for _ in range(5):
+            assert expr.ordered_signals() == first
+        assert set(first) == expr.signals()
+
     def test_signal_width_lookup(self):
         module = RTLModule("m")
         module.add_input("a", 7)

@@ -1,0 +1,227 @@
+"""Tests for the shared training engine (repro.train): plans, Trainer, resume."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+from repro.train import EpochPlan, SamplingPlan, Trainer, TrainerConfig, TrainTask
+
+
+class LinearRegressionTask(TrainTask):
+    """Toy task: fit y = 2x + 1 with one Linear layer (deterministic data)."""
+
+    name = "toy_linear"
+
+    def __init__(self, num_items: int = 32, batch_size: int = 8, num_epochs: int = 6,
+                 noise: bool = False) -> None:
+        data_rng = np.random.default_rng(1234)
+        self.x = data_rng.normal(size=(num_items, 1))
+        self.y = 2.0 * self.x + 1.0
+        self.batch_size = batch_size
+        self.num_epochs = num_epochs
+        self.noise = noise
+        self.model: nn.Linear | None = None
+
+    def setup(self, rng: np.random.Generator) -> EpochPlan:
+        self.model = nn.Linear(1, 1, rng=rng)
+        return EpochPlan(len(self.x), self.batch_size, self.num_epochs)
+
+    def modules(self) -> Dict[str, nn.Module]:
+        assert self.model is not None
+        return {"model": self.model}
+
+    def compute_loss(self, indices, rng):
+        assert self.model is not None
+        targets = self.y[indices]
+        if self.noise:
+            # Draws from the trainer generator, so resume must restore it.
+            targets = targets + rng.normal(0.0, 1e-3, size=targets.shape)
+        loss = nn.mse_loss(self.model(Tensor(self.x[indices])), targets)
+        return loss, {"mse": loss.item()}
+
+
+def _param_snapshot(task: LinearRegressionTask) -> List[np.ndarray]:
+    assert task.model is not None
+    return [p.data.copy() for p in task.model.parameters()]
+
+
+class TestBatchPlans:
+    def test_epoch_plan_covers_every_item_once_per_epoch(self):
+        plan = EpochPlan(num_items=10, batch_size=4, num_epochs=1)
+        rng = np.random.default_rng(0)
+        seen: List[int] = []
+        for step in range(plan.total_steps()):
+            seen.extend(plan.batch_indices(step, rng))
+        assert sorted(seen) == list(range(10))
+
+    def test_epoch_plan_skips_batches_below_minimum(self):
+        plan = EpochPlan(num_items=5, batch_size=4, num_epochs=1, min_batch_size=2)
+        rng = np.random.default_rng(0)
+        batches = [plan.batch_indices(step, rng) for step in range(plan.total_steps())]
+        assert batches[0] is not None and len(batches[0]) == 4
+        assert batches[1] is None  # trailing single-element batch
+
+    def test_epoch_plan_state_round_trip_mid_epoch(self):
+        plan = EpochPlan(num_items=8, batch_size=2, num_epochs=2)
+        rng = np.random.default_rng(3)
+        first = plan.batch_indices(0, rng)
+        state = plan.state_dict()
+        restored = EpochPlan(num_items=8, batch_size=2, num_epochs=2)
+        restored.load_state_dict(state)
+        np.testing.assert_array_equal(
+            plan.batch_indices(1, rng), restored.batch_indices(1, rng)
+        )
+        assert first is not None
+
+    def test_sampling_plan_draws_from_given_generator(self):
+        plan = SamplingPlan(num_items=20, batch_size=6, num_steps=4)
+        a = plan.batch_indices(0, np.random.default_rng(7))
+        b = plan.batch_indices(0, np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+    def test_sampling_plan_replacement_policy(self):
+        small = SamplingPlan(num_items=3, batch_size=8, num_steps=1)
+        batch = small.batch_indices(0, np.random.default_rng(0))
+        assert len(batch) == 3  # capped at corpus size
+        no_replace = SamplingPlan(num_items=10, batch_size=5, num_steps=1, replace=False)
+        batch = no_replace.batch_indices(0, np.random.default_rng(0))
+        assert len(set(batch.tolist())) == 5
+
+
+class TestTrainerBasics:
+    def test_trainer_fits_toy_regression(self):
+        task = LinearRegressionTask(num_epochs=40)
+        result = Trainer(task, TrainerConfig(learning_rate=0.05)).run()
+        assert result.completed
+        assert result.final_loss < 1e-3
+        assert result.steps == 40 * 4
+        assert result.epochs == 40
+        assert "mse" in result.objective_losses
+        assert len(result.objective_losses["mse"]) == len(result.losses)
+
+    def test_trainer_is_deterministic(self):
+        results = []
+        params = []
+        for _ in range(2):
+            task = LinearRegressionTask(noise=True)
+            results.append(Trainer(task, TrainerConfig(seed=5)).run())
+            params.append(_param_snapshot(task))
+        assert results[0].losses == results[1].losses
+        for a, b in zip(params[0], params[1]):
+            np.testing.assert_array_equal(a, b)
+
+    def test_cosine_schedule_is_applied(self):
+        task = LinearRegressionTask(num_epochs=4)
+        config = TrainerConfig(learning_rate=0.1, lr_schedule="cosine",
+                               warmup_steps=2, min_lr=0.01)
+        result = Trainer(task, config).run()
+        assert result.learning_rates[0] < result.learning_rates[1]
+        assert result.learning_rates[-1] == pytest.approx(0.01, abs=1e-6)
+
+    def test_grad_accumulation_matches_full_batch(self):
+        # One batch of 8 split into 4 micro-batches must equal the full-batch
+        # update exactly (MSE over equal-sized chunks averages linearly).
+        outcomes = []
+        for accumulation in (1, 4):
+            task = LinearRegressionTask(num_items=8, batch_size=8, num_epochs=3)
+            config = TrainerConfig(
+                learning_rate=0.05, optimizer="sgd", grad_accumulation=accumulation, seed=2
+            )
+            Trainer(task, config).run()
+            outcomes.append(_param_snapshot(task))
+        for a, b in zip(outcomes[0], outcomes[1]):
+            np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_invalid_configs_rejected(self):
+        task = LinearRegressionTask()
+        with pytest.raises(ValueError):
+            Trainer(task, TrainerConfig(optimizer="rmsprop"))
+        with pytest.raises(ValueError):
+            Trainer(task, TrainerConfig(lr_schedule="linear"))
+        with pytest.raises(ValueError):
+            Trainer(task, TrainerConfig(grad_accumulation=0))
+
+    def test_global_grad_clip_engages(self):
+        task = LinearRegressionTask(num_epochs=1)
+        config = TrainerConfig(learning_rate=0.05, global_grad_clip=1e-6, seed=0)
+        result = Trainer(task, config).run()
+        # With gradients clipped to ~zero the parameters barely move, so the
+        # loss cannot have improved meaningfully.
+        assert abs(result.final_loss - result.initial_loss) < 0.5
+
+
+class TestCheckpointResume:
+    @pytest.mark.parametrize("stop_step", [3, 8, 12])
+    def test_resumed_run_is_bit_identical(self, tmp_path, stop_step):
+        ckpt = tmp_path / "toy.ckpt.npz"
+
+        reference_task = LinearRegressionTask(noise=True)
+        reference = Trainer(
+            reference_task, TrainerConfig(learning_rate=0.05, seed=9)
+        ).run()
+
+        interrupted_task = LinearRegressionTask(noise=True)
+        config = TrainerConfig(
+            learning_rate=0.05, seed=9, checkpoint_path=ckpt,
+            checkpoint_every=1, max_steps=stop_step,
+        )
+        partial = Trainer(interrupted_task, config).run()
+        assert not partial.completed
+        assert ckpt.exists()
+
+        resumed_task = LinearRegressionTask(noise=True)
+        resumed = Trainer(
+            resumed_task,
+            TrainerConfig(learning_rate=0.05, seed=9, checkpoint_path=ckpt, checkpoint_every=1),
+        ).run(resume=True)
+        assert resumed.completed
+        assert resumed.resumed_from_step == stop_step
+        assert resumed.losses == reference.losses
+        assert resumed.learning_rates == reference.learning_rates
+        for a, b in zip(_param_snapshot(reference_task), _param_snapshot(resumed_task)):
+            np.testing.assert_array_equal(a, b)
+
+    def test_resume_restores_optimizer_moments(self, tmp_path):
+        # Adam with stale moments diverges from a fresh Adam immediately; the
+        # bit-identical check above would fail if moments weren't restored.
+        # Here we additionally check the restored state dict matches.
+        task = LinearRegressionTask()
+        ckpt = tmp_path / "adam.ckpt.npz"
+        Trainer(task, TrainerConfig(
+            checkpoint_path=ckpt, checkpoint_every=2, max_steps=4, seed=1
+        )).run()
+        fresh = LinearRegressionTask()
+        fresh.setup(np.random.default_rng(1))
+        optimizer = nn.Adam(fresh.trainable_parameters(), lr=1e-3)
+        state = nn.load_training_checkpoint(ckpt, fresh.modules(), optimizer)
+        assert state["step"] == 4
+        assert optimizer.state_dict()["t"] == 4
+
+    def test_final_snapshot_replays_without_retraining(self, tmp_path):
+        ckpt = tmp_path / "final.ckpt.npz"
+        first_task = LinearRegressionTask()
+        config = TrainerConfig(seed=3, checkpoint_path=ckpt, save_final=True)
+        first = Trainer(first_task, config).run()
+        assert ckpt.exists()
+
+        replay_task = LinearRegressionTask()
+        replay = Trainer(replay_task, config).run(resume=True)
+        assert replay.completed
+        assert replay.resumed_from_step == first.steps
+        assert replay.losses == first.losses
+        for a, b in zip(_param_snapshot(first_task), _param_snapshot(replay_task)):
+            np.testing.assert_array_equal(a, b)
+
+    def test_empty_task_completes_without_steps(self):
+        class EmptyTask(LinearRegressionTask):
+            def trainable_parameters(self):
+                return []
+
+        result = Trainer(EmptyTask(), TrainerConfig()).run()
+        assert result.completed
+        assert result.steps == 0

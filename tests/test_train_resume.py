@@ -1,0 +1,179 @@
+"""Checkpoint→resume determinism for the pre-trainers and the full pipeline.
+
+The contract under test is the acceptance criterion of the resumable training
+engine: interrupting a run after a checkpoint and rerunning with resume
+produces the *exact* final losses and weights of an uninterrupted run, and a
+second run with a warm artifact cache skips preprocessing (visible in the
+stage timers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import NetTAGConfig, NetTAGPipeline
+from repro.encoders import ExprLLM, TextEncoderConfig
+from repro.pretrain import ExprLLMPretrainer, ExprPretrainConfig
+
+
+EXPRESSIONS = [
+    "a & b", "a | !b", "a ^ (b & c)", "!(a | b) & c", "(a & b) | (c & d)",
+    "!a ^ b", "a & (b | c)", "!(a ^ c)", "(a | b) ^ (c | d)", "a & b & c",
+]
+
+
+def _expr_params(model: ExprLLM):
+    return {name: param.data.copy() for name, param in model.named_parameters()}
+
+
+class TestExprPretrainerResume:
+    def test_interrupt_and_resume_is_bit_identical(self, tmp_path):
+        config = ExprPretrainConfig(num_steps=10, batch_size=4, seed=2)
+
+        reference_model = ExprLLM(TextEncoderConfig.preset("small"), rng=np.random.default_rng(0))
+        reference = ExprLLMPretrainer(reference_model, config).run(EXPRESSIONS)
+        assert reference.completed and len(reference.losses) == 10
+
+        ckpt = tmp_path / "expr.ckpt.npz"
+        interrupted_model = ExprLLM(TextEncoderConfig.preset("small"), rng=np.random.default_rng(0))
+        partial = ExprLLMPretrainer(interrupted_model, config).run(
+            EXPRESSIONS, checkpoint_path=ckpt, checkpoint_every=2, max_steps=5
+        )
+        assert not partial.completed
+        assert partial.steps == 5
+
+        resumed = ExprLLMPretrainer(interrupted_model, config).run(
+            EXPRESSIONS, checkpoint_path=ckpt, checkpoint_every=2, resume=True
+        )
+        assert resumed.completed
+        assert resumed.resumed_from_step == 5
+        assert resumed.losses == reference.losses
+
+        reference_params = _expr_params(reference_model)
+        resumed_params = _expr_params(interrupted_model)
+        assert set(reference_params) == set(resumed_params)
+        for name, value in reference_params.items():
+            np.testing.assert_array_equal(value, resumed_params[name])
+
+    def test_lora_adapters_survive_resume(self, tmp_path):
+        config = ExprPretrainConfig(num_steps=4, batch_size=4, seed=0, use_lora=True)
+        ckpt = tmp_path / "lora.ckpt.npz"
+        model = ExprLLM(TextEncoderConfig.preset("small"), rng=np.random.default_rng(0))
+        ExprLLMPretrainer(model, config).run(
+            EXPRESSIONS, checkpoint_path=ckpt, checkpoint_every=1, max_steps=2
+        )
+        # The resumed run wraps a *fresh* model with LoRA in setup, then loads
+        # adapter weights from the snapshot.
+        fresh = ExprLLM(TextEncoderConfig.preset("small"), rng=np.random.default_rng(0))
+        resumed = ExprLLMPretrainer(fresh, config).run(
+            EXPRESSIONS, checkpoint_path=ckpt, checkpoint_every=1, resume=True
+        )
+        assert resumed.completed
+        assert any("lora_" in name for name, _ in fresh.named_parameters())
+
+
+@pytest.fixture(scope="module")
+def reference_run():
+    """Uninterrupted fast pipeline run used as the ground truth."""
+    pipeline = NetTAGPipeline(NetTAGConfig.fast())
+    summary = pipeline.pretrain(designs_per_suite=1)
+    return pipeline, summary
+
+
+class TestPipelineResume:
+    def test_mid_stage_interrupt_then_resume_matches_reference(self, tmp_path, reference_run):
+        reference_pipeline, reference_summary = reference_run
+
+        work = tmp_path / "run"
+        interrupted = NetTAGPipeline(NetTAGConfig.fast(), cache_dir=work)
+        partial = interrupted.pretrain(
+            designs_per_suite=1, checkpoint_every=2,
+            max_steps={"expr_pretrain": 3},
+        )
+        assert partial.stopped_after == "expr_pretrain"
+        assert not partial.expr_result.completed
+
+        resumed = NetTAGPipeline(NetTAGConfig.fast(), cache_dir=work)
+        summary = resumed.pretrain(designs_per_suite=1, checkpoint_every=2, resume=True)
+        assert summary.stopped_after is None
+        assert resumed.is_pretrained
+
+        assert summary.expr_result.losses == reference_summary.expr_result.losses
+        assert summary.tag_result.total_losses == reference_summary.tag_result.total_losses
+        reference_params = dict(reference_pipeline.model.named_parameters())
+        resumed_params = dict(resumed.model.named_parameters())
+        assert set(reference_params) == set(resumed_params)
+        for name, param in reference_params.items():
+            np.testing.assert_array_equal(param.data, resumed_params[name].data)
+
+        # The artifact cache absorbed the preprocessing on the second run.
+        cached = {t.name: t.cached for t in summary.stage_timings}
+        assert cached["preprocess"] and cached["expr_corpus"]
+        # The interrupted Step-1 stage really retrained (not a replay).
+        assert not cached["expr_pretrain"]
+
+    def test_warm_cache_skips_preprocessing_and_reproduces_losses(self, tmp_path, reference_run):
+        _, reference_summary = reference_run
+        work = tmp_path / "cache"
+
+        cold = NetTAGPipeline(NetTAGConfig.fast(), cache_dir=work)
+        cold_summary = cold.pretrain(designs_per_suite=1)
+        cold_cached = {t.name: t.cached for t in cold_summary.stage_timings}
+        assert not cold_cached["preprocess"]
+
+        warm = NetTAGPipeline(NetTAGConfig.fast(), cache_dir=work, checkpoint_dir=tmp_path / "ckpt")
+        warm_summary = warm.pretrain(designs_per_suite=1)
+        warm_cached = {t.name: t.cached for t in warm_summary.stage_timings}
+        assert warm_cached["preprocess"]
+        assert warm_cached["expr_corpus"]
+        assert warm_cached["samples"]
+        assert warm_summary.cache_stats["hits"] >= 3
+
+        # Cached artefacts round-trip losslessly: the training curves match
+        # the cache-free reference bit for bit.
+        assert warm_summary.expr_result.losses == reference_summary.expr_result.losses
+        assert warm_summary.tag_result.total_losses == reference_summary.tag_result.total_losses
+
+    def test_config_change_invalidates_cache_and_checkpoints(self, tmp_path):
+        work = tmp_path / "cache"
+        first = NetTAGPipeline(NetTAGConfig.fast(), cache_dir=work)
+        first.pretrain(designs_per_suite=1, checkpoint_every=2,
+                       max_steps={"expr_pretrain": 2})
+
+        different = NetTAGPipeline(NetTAGConfig.fast(seed=7), cache_dir=work)
+        summary = different.pretrain(designs_per_suite=1, stop_after="preprocess")
+        cached = {t.name: t.cached for t in summary.stage_timings}
+        assert not cached["preprocess"]  # different seed -> different key
+
+    def test_stop_after_validation(self):
+        pipeline = NetTAGPipeline(NetTAGConfig.fast())
+        with pytest.raises(ValueError):
+            pipeline.pretrain(designs_per_suite=1, stop_after="nonsense")
+
+    def test_max_steps_interrupts_alignment_stage(self, tmp_path):
+        pipeline = NetTAGPipeline(NetTAGConfig.fast(), cache_dir=tmp_path / "c")
+        summary = pipeline.pretrain(
+            designs_per_suite=1, checkpoint_every=1,
+            max_steps={"rtl_align": 2},
+        )
+        # The pipeline must stop at the interrupted stage, not silently train
+        # Step 2 against a half-trained alignment encoder.
+        assert summary.stopped_after == "rtl_align"
+        assert summary.tag_result is None
+        assert not pipeline.is_pretrained
+
+    def test_custom_corpus_content_change_invalidates_cache(self, tmp_path):
+        from repro.rtl import make_gnnre_design
+
+        work = tmp_path / "cache"
+        module_a = make_gnnre_design(1, seed=3)
+        first = NetTAGPipeline(NetTAGConfig.fast(), cache_dir=work)
+        first.pretrain(corpus={"unit": [module_a]}, stop_after="preprocess")
+
+        # Same module name, different logic: must be a cache miss.
+        module_b = make_gnnre_design(2, seed=9)
+        module_b.name = module_a.name
+        second = NetTAGPipeline(NetTAGConfig.fast(), cache_dir=work)
+        summary = second.pretrain(corpus={"unit": [module_b]}, stop_after="preprocess")
+        assert not summary.stage_timings[0].cached
