@@ -1,0 +1,71 @@
+"""Index + serving-layer benchmark (runs in the default test selection).
+
+Like ``benchmarks/test_throughput.py``, this file is intentionally unmarked
+(not ``bench``/``slow``): it needs no pre-training — an untrained model is
+encode-speed-representative — and it guards the serving subsystem's three
+contract points on a 500-cone corpus:
+
+* index round-trip is exact (save → load → query returns the identical
+  ranking with bit-equal scores),
+* IVF approximate search reaches recall@10 ≥ 0.9 against exact search,
+* concurrent micro-batched serving is ≥ 3x faster per query than a
+  stateless sequential per-query encode+search loop.
+
+The measured report is written to ``BENCH_index.json`` at the repo root
+(also refreshable via ``scripts/bench_index.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.index_throughput import (
+    build_index_corpus,
+    run_index_bench,
+    save_index_report,
+)
+from repro.core import NetTAG, NetTAGConfig
+
+MIN_CONES = 500
+REQUIRED_RECALL = 0.9
+REQUIRED_SPEEDUP = 3.0
+
+
+@pytest.fixture(scope="module")
+def model() -> NetTAG:
+    return NetTAG(NetTAGConfig.fast(), rng=np.random.default_rng(7))
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    cones = build_index_corpus(num_cones=MIN_CONES)
+    assert len(cones) == MIN_CONES
+    return cones
+
+
+class TestIndexServingBench:
+    def test_quality_throughput_and_report(self, model, corpus):
+        # Best-effort timing on a shared machine; retry once if the speedup
+        # gate trips to shield against a scheduling hiccup mid-measurement.
+        report = run_index_bench(model=model, cones=corpus)
+        if report["speedup"]["concurrent_vs_sequential"] < REQUIRED_SPEEDUP:
+            report = run_index_bench(model=model, cones=corpus)
+        path = save_index_report(report)
+        speedup = report["speedup"]["concurrent_vs_sequential"]
+        recall = report["quality"]["ivf_recall_at_10"]
+        print(
+            f"\nindex serving: {speedup:.2f}x concurrent vs sequential "
+            f"({report['latency']['concurrent_batched_per_query_ms']:.2f} ms/query batched), "
+            f"IVF recall@10 {recall:.3f} -> {path.name}"
+        )
+        assert report["corpus"]["num_cones"] >= MIN_CONES
+        # Contract 1: persistence is exact and all serving paths agree.
+        assert report["quality"]["round_trip_exact"]
+        assert report["quality"]["ranking_parity"]
+        # Contract 2: approximate search quality.
+        assert recall >= REQUIRED_RECALL
+        # Contract 3: concurrent batched serving throughput.
+        assert speedup >= REQUIRED_SPEEDUP
+        # The scheduler really batched (otherwise the speedup is accidental).
+        assert report["scheduler"]["mean_batch_size"] > 1.0

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Refresh ``BENCH_index.json`` (embedding index + concurrent serving benchmark).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_index.py [--cones N] [--queries Q]
+        [--threads T] [--seed S] [--output PATH]
+
+Builds a register-cone corpus, indexes it through ``repro.serve``, and
+measures round-trip exactness, IVF recall@10 vs exact search, and the
+latency of concurrent micro-batched serving against sequential per-query
+encoding.  Exits non-zero when a quality gate fails (exact round trip,
+ranking parity, recall ≥ 0.9), so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.bench.index_throughput import (  # noqa: E402
+    build_index_corpus,
+    run_index_bench,
+    save_index_report,
+)
+from repro.core import NetTAG, NetTAGConfig  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cones", type=int, default=500, help="corpus size in register cones")
+    parser.add_argument("--queries", type=int, default=48, help="number of serving requests")
+    parser.add_argument("--threads", type=int, default=32, help="concurrent client threads")
+    parser.add_argument("--seed", type=int, default=7, help="model initialisation seed")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="report path (default: BENCH_index.json at the repo root)")
+    args = parser.parse_args()
+
+    model = NetTAG(NetTAGConfig.fast(), rng=np.random.default_rng(args.seed))
+    cones = build_index_corpus(num_cones=args.cones)
+    report = run_index_bench(
+        model=model, cones=cones, num_queries=args.queries, num_threads=args.threads
+    )
+    path = save_index_report(report, path=args.output)
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {path}")
+
+    failures = []
+    if not report["quality"]["round_trip_exact"]:
+        failures.append("index round-trip is not exact")
+    if not report["quality"]["ranking_parity"]:
+        failures.append("sequential and concurrent rankings disagree")
+    if report["quality"]["ivf_recall_at_10"] < 0.9:
+        failures.append(
+            f"IVF recall@10 {report['quality']['ivf_recall_at_10']} < 0.9"
+        )
+    if failures:
+        for failure in failures:
+            print(f"QUALITY GATE FAILED: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

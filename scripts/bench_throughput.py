@@ -4,11 +4,21 @@
 Usage::
 
     PYTHONPATH=src python scripts/bench_throughput.py [--designs N] [--repeats R]
+        [--seed S] [--output PATH] [--baseline PATH] [--max-regression F]
 
 Times the batched :meth:`NetTAG.encode_batch` engine against the seed's
 per-cone sequential path and the current per-cone API path on the same
 register-cone workload, and writes the per-gate latencies, speedups and
-expression-embedding-cache statistics to the repo-root JSON report.
+expression-embedding-cache statistics to the JSON report (repo root by
+default, ``--output`` elsewhere).
+
+Exit codes (for the CI bench job):
+
+* ``1`` — parity failure: the batched engine's embeddings deviate from the
+  seed-sequential reference by more than 1e-8.  Timing numbers for a wrong
+  engine are meaningless, so parity is checked first.
+* ``3`` — regression: a speedup ratio fell more than ``--max-regression``
+  (default 0.25) below the committed ``--baseline`` report.
 """
 
 from __future__ import annotations
@@ -21,20 +31,55 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.bench.throughput import build_cone_workload, run_throughput, save_report  # noqa: E402
+import numpy as np  # noqa: E402
+
+from repro.bench.throughput import (  # noqa: E402
+    build_cone_workload,
+    check_regression,
+    run_parity_check,
+    run_throughput,
+    save_report,
+)
+from repro.core import NetTAG, NetTAGConfig  # noqa: E402
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--designs", type=int, default=4, help="number of synthetic designs")
     parser.add_argument("--repeats", type=int, default=3, help="best-of-N timing repeats")
+    parser.add_argument("--seed", type=int, default=7, help="model initialisation seed")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="report path (default: BENCH_throughput.json at the repo root)")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="committed baseline report to gate speedup ratios against")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="maximum tolerated relative speedup drop vs the baseline "
+                             "(default: 0.25)")
     args = parser.parse_args()
 
+    model = NetTAG(NetTAGConfig.fast(), rng=np.random.default_rng(args.seed))
     cones = build_cone_workload(num_designs=args.designs)
-    report = run_throughput(cones=cones, repeats=args.repeats)
-    path = save_report(report)
+
+    try:
+        max_diff = run_parity_check(model, cones)
+    except AssertionError as failure:
+        print(f"PARITY GATE FAILED: {failure}", file=sys.stderr)
+        return 1
+    print(f"parity ok (max batched-vs-sequential deviation {max_diff:.2e})")
+
+    report = run_throughput(model=model, cones=cones, repeats=args.repeats)
+    path = save_report(report, path=args.output)
     print(json.dumps(report, indent=2))
     print(f"\nwrote {path}")
+
+    if args.baseline is not None:
+        baseline = json.loads(args.baseline.read_text())
+        failures = check_regression(report, baseline, max_regression=args.max_regression)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION GATE FAILED: {failure}", file=sys.stderr)
+            return 3
+        print(f"no regression vs {args.baseline} (max tolerated {args.max_regression:.0%})")
     return 0
 
 

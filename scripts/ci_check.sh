@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Mirror the CI matrix locally, no make required.
+#
+#   scripts/ci_check.sh          # lint + tier-1 tests + compile/smoke
+#   scripts/ci_check.sh --fast   # skip the model smoke (quickest useful check)
+#
+# Mirrors .github/workflows/ci.yml job for job: the lint job (ruff, hard-error
+# rules from ruff.toml), the tier-1 test job (bench/slow excluded; CI runs it
+# on 3.10 and 3.12 — locally you get whichever python is first on PATH), and
+# the compile + model smoke job.  The scheduled benchmark workflow
+# (.github/workflows/bench.yml) is NOT mirrored here; run
+# scripts/bench_throughput.py / scripts/bench_index.py for that.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+fast=0
+if [ "${1:-}" = "--fast" ]; then
+  fast=1
+fi
+
+step() { printf '\n==> %s\n' "$1"; }
+
+step "lint: ruff check (hard-error rules)"
+if command -v ruff >/dev/null 2>&1; then
+  ruff check src tests benchmarks scripts examples
+elif python -m ruff --version >/dev/null 2>&1; then
+  python -m ruff check src tests benchmarks scripts examples
+else
+  echo "ruff not installed — skipping lint locally (CI still runs it;"
+  echo "install with: python -m pip install -r requirements-dev.txt)"
+fi
+
+step "tier-1 tests on $(python --version 2>&1) (CI matrix: 3.10 + 3.12)"
+python -m pytest -x -q -m "not bench and not slow"
+
+step "byte-compile every module"
+python -m compileall -q src tests benchmarks scripts examples
+
+if [ "$fast" -eq 1 ]; then
+  step "ci_check OK (--fast: model smoke skipped)"
+  exit 0
+fi
+
+step "end-to-end model smoke"
+python scripts/smoke_model.py
+
+step "ci_check OK"

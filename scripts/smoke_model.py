@@ -2,7 +2,6 @@
 
 import time
 
-import numpy as np
 
 from repro.core import NetTAGConfig, NetTAGPipeline
 from repro.rtl import make_controller, make_gnnre_design

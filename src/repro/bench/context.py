@@ -17,8 +17,8 @@ Select with the ``REPRO_BENCH_PROFILE`` environment variable.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
 from ..core import NetTAGConfig, NetTAGPipeline
 from ..tasks import (

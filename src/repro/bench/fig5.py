@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
 from ..tasks import build_aig_dataset, evaluate_aig_methods
 from .context import BenchContext, get_context

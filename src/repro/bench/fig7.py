@@ -8,11 +8,11 @@ improvements on all four tasks.  The reproduction sweeps the ``small`` /
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from ..core import MODEL_SIZE_PARAMETER_LABELS
 from .context import BenchContext, get_context
-from .evaluation import FourTaskScores, pretrain_and_evaluate
+from .evaluation import pretrain_and_evaluate
 from .tables import ResultTable
 
 MODEL_SIZES: Tuple[str, ...] = ("small", "medium", "large")

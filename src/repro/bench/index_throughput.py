@@ -1,0 +1,234 @@
+"""Benchmark of the embedding index + concurrent serving layer (``repro.serve``).
+
+Three contract points of the serving subsystem, measured on a ~500-cone
+corpus and written to ``BENCH_index.json``:
+
+* **Round-trip exactness** — saving the index, reopening it and re-running a
+  query returns the identical top-k ranking (bit-equal scores).
+* **Approximate-search quality** — IVF recall@10 against exact search over
+  the whole corpus.
+* **Concurrent serving throughput** — wall-clock for a batch of
+  encode+query requests served concurrently through
+  :class:`~repro.serve.NetTAGService` (micro-batched packed forwards) versus
+  handling the same requests one at a time with per-request encoding.
+
+The sequential baseline mirrors ``BENCH_throughput.json``'s convention: each
+request is encoded the way the seed served it — one un-packed TAGFormer
+forward per request, raw-text caching only within the request (a stateless
+naive server).  A second, warm-cache per-request baseline
+(:func:`repro.bench.throughput.api_sequential_encode` semantics) is also
+reported so the batching win and the caching win stay separately visible.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core import NetTAG, NetTAGConfig
+from ..netlist import RegisterCone, extract_register_cones, netlist_to_tag
+from ..rtl import make_controller
+from ..serve import (
+    CONE_KIND,
+    EmbeddingIndex,
+    IVFSearcher,
+    NetTAGService,
+    cone_key,
+    exact_topk,
+    recall_at_k,
+)
+from ..synth import synthesize
+from .throughput import api_sequential_encode, seed_sequential_encode
+
+BENCH_INDEX_PATH = Path(__file__).resolve().parents[3] / "BENCH_index.json"
+
+
+def build_index_corpus(
+    num_cones: int = 500, seed: int = 100
+) -> List[RegisterCone]:
+    """Register cones of synthesised controllers until ``num_cones`` exist.
+
+    State counts and datapath widths cycle so cone sizes are mixed; the
+    generated population contains genuinely repeated cone structures across
+    designs, which is what makes near-duplicate retrieval non-trivial.
+    """
+    cones: List[RegisterCone] = []
+    i = 0
+    while len(cones) < num_cones:
+        module = make_controller(
+            f"corpus_{i}",
+            seed=seed + i,
+            num_states=3 + (i % 6),
+            data_width=3 + (i % 7),
+        )
+        cones.extend(extract_register_cones(synthesize(module).netlist))
+        i += 1
+    return cones[:num_cones]
+
+
+def _owner_name(cone: RegisterCone, position: int) -> str:
+    return f"c{position:04d}"
+
+
+def run_index_bench(
+    model: Optional[NetTAG] = None,
+    cones: Optional[Sequence[RegisterCone]] = None,
+    num_queries: int = 48,
+    k: int = 10,
+    num_threads: int = 32,
+    index_dir: Optional[Path] = None,
+    seed: int = 7,
+) -> Dict[str, object]:
+    """Build an index over the corpus and measure quality + serving throughput."""
+    model = model or NetTAG(NetTAGConfig.fast(), rng=np.random.default_rng(seed))
+    cones = list(cones) if cones is not None else build_index_corpus()
+    if len(cones) < num_queries:
+        raise ValueError(f"corpus of {len(cones)} cones cannot serve {num_queries} queries")
+    tags = [netlist_to_tag(cone.netlist, k=model.config.expression_hops) for cone in cones]
+    keys = [cone_key(_owner_name(cone, i), cone.register_name) for i, cone in enumerate(cones)]
+
+    cleanup = None
+    if index_dir is None:
+        cleanup = tempfile.TemporaryDirectory()
+        index_dir = Path(cleanup.name) / "index"
+    try:
+        # ------------------------------------------------------------------
+        # Ingest: one batched encode pass over the whole corpus.
+        model.clear_caches()
+        start = time.perf_counter()
+        vectors = model.encode_batch(cones, tags=tags)
+        encode_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        index = NetTAGService.create_index(model, index_dir, shard_size=128, overwrite=True)
+        index.add(keys, np.stack(vectors), kinds=CONE_KIND)
+        index.save()
+        ingest_seconds = time.perf_counter() - start
+
+        # ------------------------------------------------------------------
+        # Round-trip exactness: reopen and compare a query's full ranking.
+        probe = np.stack(vectors[:8])
+        before = exact_topk(index, probe, k=k)
+        reopened = EmbeddingIndex.open(index_dir)
+        after = exact_topk(reopened, probe, k=k)
+        round_trip_exact = all(
+            [hit.key for hit in b] == [hit.key for hit in a]
+            and [hit.score for hit in b] == [hit.score for hit in a]
+            for b, a in zip(before, after)
+        )
+
+        # ------------------------------------------------------------------
+        # Approximate search quality on the full corpus.
+        query_matrix = np.stack(vectors)
+        exact_results = exact_topk(index, query_matrix, k=k)
+        searcher = IVFSearcher(num_centroids=32, nprobe=8, seed=0).fit(index)
+        approx_results = searcher.search(query_matrix, k=k)
+        recall = recall_at_k(exact_results, approx_results, k=k)
+
+        # ------------------------------------------------------------------
+        # Serving throughput on a query slice.
+        stride = max(1, len(cones) // num_queries)
+        query_positions = list(range(0, stride * num_queries, stride))[:num_queries]
+        query_cones = [cones[i] for i in query_positions]
+        query_tags = [tags[i] for i in query_positions]
+
+        # Every serving path (baselines included) receives the raw cone and
+        # builds its TAG per request, exactly like a request arriving over
+        # the wire; ``query_tags`` exist only for gate accounting above.
+        # Sequential baseline: a stateless naive server — one seed-style
+        # (un-packed, raw-text-cached-within-request) encode per request,
+        # then an exact top-k for that single query.
+        model.clear_caches()
+        start = time.perf_counter()
+        sequential_hits = []
+        for cone in query_cones:
+            tag = netlist_to_tag(cone.netlist, k=model.config.expression_hops)
+            vector = seed_sequential_encode(model, [cone], [tag])[0]
+            sequential_hits.append(exact_topk(index, vector, k=k)[0])
+        sequential_seconds = time.perf_counter() - start
+
+        # Warm per-request baseline: same request loop on the current API
+        # path (canonical expression cache shared across requests).
+        model.clear_caches()
+        start = time.perf_counter()
+        for cone in query_cones:
+            tag = netlist_to_tag(cone.netlist, k=model.config.expression_hops)
+            vector = api_sequential_encode(model, [cone], [tag])[0]
+            exact_topk(index, vector, k=k)
+        warm_sequential_seconds = time.perf_counter() - start
+
+        # Concurrent batched serving: the same requests submitted from a
+        # thread pool; the scheduler coalesces them into packed forwards and
+        # answers each flush's queries with one batched top-k matmul.
+        model.clear_caches()
+        with NetTAGService(
+            model, index=index, max_batch_size=16, max_latency_ms=2.0
+        ) as service:
+            start = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=num_threads) as pool:
+                concurrent_hits = list(
+                    pool.map(lambda cone: service.query_cone(cone, k=k), query_cones)
+                )
+            concurrent_seconds = time.perf_counter() - start
+            scheduler_stats = service.stats()["scheduler"]
+
+        # The three paths must agree on what they retrieve.
+        ranking_parity = all(
+            [hit.key for hit in seq] == [hit.key for hit in conc]
+            for seq, conc in zip(sequential_hits, concurrent_hits)
+        )
+
+        per_query_ms = lambda seconds: round(1e3 * seconds / num_queries, 3)
+        return {
+            "corpus": {
+                "num_cones": len(cones),
+                "total_gates": sum(tag.num_nodes for tag in tags),
+                "index_dim": model.index_dim,
+                "num_queries": num_queries,
+                "num_threads": num_threads,
+                "k": k,
+            },
+            "ingest": {
+                "encode_seconds": round(encode_seconds, 4),
+                "index_build_seconds": round(ingest_seconds, 4),
+                "shards": index.num_shards,
+                "payload_bytes": index.stats()["payload_bytes"],
+            },
+            "quality": {
+                "round_trip_exact": bool(round_trip_exact),
+                "ranking_parity": bool(ranking_parity),
+                "ivf_recall_at_10": round(recall, 4),
+                "ivf": searcher.stats(),
+            },
+            "latency": {
+                "sequential_per_query_ms": per_query_ms(sequential_seconds),
+                "warm_sequential_per_query_ms": per_query_ms(warm_sequential_seconds),
+                "concurrent_batched_per_query_ms": per_query_ms(concurrent_seconds),
+            },
+            "total_seconds": {
+                "sequential": round(sequential_seconds, 4),
+                "warm_sequential": round(warm_sequential_seconds, 4),
+                "concurrent_batched": round(concurrent_seconds, 4),
+            },
+            "speedup": {
+                "concurrent_vs_sequential": round(sequential_seconds / concurrent_seconds, 2),
+                "concurrent_vs_warm_sequential": round(
+                    warm_sequential_seconds / concurrent_seconds, 2
+                ),
+            },
+            "scheduler": scheduler_stats,
+        }
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()
+
+
+def save_index_report(report: Dict[str, object], path: Optional[Path] = None) -> Path:
+    path = path or BENCH_INDEX_PATH
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path

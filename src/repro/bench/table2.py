@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from ..expr import ExprTokenizer
 from ..netlist import expression_dataset, extract_register_cones

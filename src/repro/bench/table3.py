@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
 from ..tasks import run_task1
 from .context import BenchContext, get_context

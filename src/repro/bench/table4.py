@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Optional
 
 from ..tasks import run_task2, run_task3
 from .context import BenchContext, get_context

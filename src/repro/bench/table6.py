@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from ..analysis import analyze_power, analyze_timing
 from ..netlist import extract_register_cones, netlist_to_tag

@@ -170,3 +170,71 @@ def save_report(report: Dict[str, object], path: Optional[Path] = None) -> Path:
     path = path or BENCH_PATH
     path.write_text(json.dumps(report, indent=2) + "\n")
     return path
+
+
+def run_parity_check(
+    model: NetTAG,
+    cones: Sequence[RegisterCone],
+    tags: Optional[Sequence[TextAttributedGraph]] = None,
+    atol: float = 1e-8,
+) -> float:
+    """Max |batched − seed-sequential| deviation over the workload.
+
+    Raises :class:`AssertionError` when the batched engine and the seed
+    reference disagree beyond ``atol`` — the CI bench job runs this before
+    trusting any timing numbers.
+    """
+    tags = (
+        list(tags)
+        if tags is not None
+        else [netlist_to_tag(cone.netlist, k=model.config.expression_hops) for cone in cones]
+    )
+    model.clear_caches()
+    batched = model.encode_batch(cones, tags=tags)
+    model.clear_caches()
+    reference = seed_sequential_encode(model, cones, tags)
+    max_diff = max(
+        float(np.max(np.abs(got - want))) if got.size else 0.0
+        for got, want in zip(batched, reference)
+    )
+    if max_diff > atol:
+        raise AssertionError(
+            f"batched/sequential parity failure: max deviation {max_diff:.3e} > {atol:.0e}"
+        )
+    return max_diff
+
+
+def check_regression(
+    report: Dict[str, object],
+    baseline: Dict[str, object],
+    max_regression: float = 0.25,
+) -> List[str]:
+    """Compare a fresh report against a committed baseline; returns failures.
+
+    Only the dimensionless *speedup ratios* are gated — absolute latencies
+    vary wildly across machines (a CI runner is not the laptop that wrote
+    the baseline), but the batched engine's advantage over the sequential
+    paths on the same host should not silently erode.  A current ratio more
+    than ``max_regression`` below the baseline ratio is a failure.
+    """
+    failures: List[str] = []
+    baseline_speedups = baseline.get("speedup", {})
+    current_speedups = report.get("speedup", {})
+    for key, base in baseline_speedups.items():
+        current = current_speedups.get(key)
+        if current is None:
+            # A metric the baseline tracks vanished from the report — that
+            # silently disables its gate, so treat it as a failure.
+            failures.append(
+                f"speedup.{key} present in the baseline but missing from the report"
+            )
+            continue
+        if not base:
+            continue
+        floor = base * (1.0 - max_regression)
+        if current < floor:
+            failures.append(
+                f"speedup.{key} regressed: {current:.2f}x vs baseline {base:.2f}x "
+                f"(floor {floor:.2f}x at max_regression={max_regression})"
+            )
+    return failures

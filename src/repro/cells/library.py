@@ -19,7 +19,7 @@ Units (consistent across the whole repo):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..expr import Expr, Var, expr_from_op

@@ -20,6 +20,13 @@ Three subcommands cover the typical workflow of a downstream user:
     Print the Table-II style dataset statistics of the synthetic corpora
     (useful as a fast smoke test of the EDA substrates).
 
+``index``
+    Maintain and query a persistent embedding index (``repro.serve``):
+    ``index build`` embeds a directory of netlists into a fresh sharded
+    index, ``index add`` appends to an existing one, ``index query``
+    retrieves the top-k most similar circuits or register cones for a new
+    netlist, and ``index stats`` prints occupancy and provenance.
+
 Run ``python -m repro --help`` for details.
 """
 
@@ -72,6 +79,47 @@ def _build_parser() -> argparse.ArgumentParser:
     stats = subparsers.add_parser("stats", help="print Table-II style corpus statistics")
     stats.add_argument("--designs-per-suite", type=int, default=1)
     stats.add_argument("--seed", type=int, default=0)
+
+    index = subparsers.add_parser(
+        "index", help="build / extend / query a persistent embedding index"
+    )
+    index_sub = index.add_subparsers(dest="index_command", required=True)
+
+    def add_common(sub, checkpoint: bool = True):
+        sub.add_argument("--index", type=Path, required=True, metavar="DIR",
+                         help="embedding index directory")
+        if checkpoint:
+            sub.add_argument("--checkpoint", type=Path, required=True,
+                             help="NetTAG checkpoint (.npz)")
+
+    build = index_sub.add_parser(
+        "build", help="embed a directory of .v netlists into a fresh index"
+    )
+    build.add_argument("netlists", type=Path, help="directory of structural Verilog files")
+    add_common(build)
+    build.add_argument("--shard-size", type=int, default=1024,
+                       help="rows per on-disk shard (default: 1024)")
+    build.add_argument("--force", action="store_true",
+                       help="overwrite an existing index at --index")
+
+    add = index_sub.add_parser("add", help="append netlists to an existing index")
+    add.add_argument("netlists", type=Path, help="a .v file or a directory of .v files")
+    add_common(add)
+
+    query = index_sub.add_parser(
+        "query", help="embed one netlist and retrieve its nearest index entries"
+    )
+    query.add_argument("netlist", type=Path, help="structural Verilog file")
+    add_common(query)
+    query.add_argument("-k", type=int, default=5, help="results per query (default: 5)")
+    query.add_argument("--cones", action="store_true",
+                       help="query each register cone against the cone namespace "
+                            "instead of the whole circuit")
+    query.add_argument("--approx", action="store_true",
+                       help="use the IVF approximate searcher instead of exact search")
+
+    istats = index_sub.add_parser("stats", help="print index occupancy and provenance")
+    add_common(istats, checkpoint=False)
 
     return parser
 
@@ -161,6 +209,77 @@ def _run_embed(args: argparse.Namespace) -> int:
     return 0
 
 
+def _netlist_paths(target: Path) -> list:
+    if target.is_dir():
+        return sorted(target.glob("*.v"))
+    return [target]
+
+
+def _run_index(args: argparse.Namespace) -> int:
+    from .serve import EmbeddingIndex
+
+    if args.index_command == "stats":
+        index = EmbeddingIndex.open(args.index)
+        stats = index.stats()
+        print(f"embedding index at {args.index}")
+        for field in ("entries", "rows", "shards", "tombstones", "dim", "metric",
+                      "payload_bytes"):
+            print(f"  {field:<14} {stats[field]}")
+        for kind, count in sorted(stats["kinds"].items()):
+            print(f"  kind {kind:<9} {count}")
+        for name, value in sorted(stats["fingerprints"].items()):
+            print(f"  fingerprint {name} = {value}")
+        return 0
+
+    from .core import NetTAG
+    from .netlist import read_verilog
+    from .serve import NetTAGService
+
+    model = NetTAG.load(args.checkpoint)
+
+    if args.index_command in ("build", "add"):
+        paths = _netlist_paths(args.netlists)
+        paths = [p for p in paths if p.exists()]
+        if not paths:
+            print(f"no .v netlists found at {args.netlists}", file=sys.stderr)
+            return 2
+        if args.index_command == "build":
+            index = NetTAGService.create_index(
+                model, args.index, shard_size=args.shard_size, overwrite=args.force
+            )
+        else:
+            index = NetTAGService.open_index(model, args.index)
+        with NetTAGService(model, index=index) as service:
+            netlists = [read_verilog(path) for path in paths]
+            added = service.add_netlists(netlists)
+        print(f"indexed {added} embeddings from {len(netlists)} netlists -> {args.index} "
+              f"({index.num_shards} shards, {len(index)} entries)")
+        return 0
+
+    # query
+    index = NetTAGService.open_index(model, args.index)
+    netlist = read_verilog(args.netlist)
+    with NetTAGService(model, index=index) as service:
+        if args.cones:
+            from .netlist import extract_register_cones
+
+            cones = extract_register_cones(netlist)
+            if not cones:
+                print(f"{netlist.name} has no register cones to query", file=sys.stderr)
+                return 2
+            for cone in cones:
+                hits = service.query_cone(cone, k=args.k, approximate=args.approx)
+                print(f"{netlist.name}::{cone.register_name}")
+                for hit in hits:
+                    print(f"  {hit.score:+.4f}  {hit.key}")
+        else:
+            hits = service.query_netlist(netlist, k=args.k, approximate=args.approx)
+            print(f"{netlist.name}: top-{args.k} similar circuits")
+            for hit in hits:
+                print(f"  {hit.score:+.4f}  {hit.key}")
+    return 0
+
+
 def _run_stats(args: argparse.Namespace) -> int:
     from .bench.table2 import collect_suite_statistics
     from .netlist import aggregate_statistics
@@ -179,7 +298,12 @@ def _run_stats(args: argparse.Namespace) -> int:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``python -m repro`` and the ``repro`` console script."""
     args = _build_parser().parse_args(argv)
-    handlers = {"pretrain": _run_pretrain, "embed": _run_embed, "stats": _run_stats}
+    handlers = {
+        "pretrain": _run_pretrain,
+        "embed": _run_embed,
+        "stats": _run_stats,
+        "index": _run_index,
+    }
     return handlers[args.command](args)
 
 

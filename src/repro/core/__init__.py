@@ -13,12 +13,14 @@ from .finetune import (
 from .pipeline import (
     NetTAGPipeline,
     PIPELINE_STAGES,
+    STAGE_INDEX,
     PreprocessedDesign,
     PretrainSummary,
 )
 
 __all__ = [
     "PIPELINE_STAGES",
+    "STAGE_INDEX",
     "NetTAGConfig",
     "MODEL_SIZE_PARAMETER_LABELS",
     "NetTAG",

@@ -14,7 +14,7 @@ The configuration gathers every switch the experiments need:
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field, replace
-from typing import Dict, Optional
+from typing import Dict
 
 from ..encoders.tagformer import TAGFormerConfig
 from ..encoders.text_encoder import TextEncoderConfig

@@ -328,6 +328,33 @@ class NetTAG(nn.Module):
             return self.output_dim
         return 2 * self.output_dim + 2 * self.tagformer.config.input_dim + 1
 
+    @property
+    def index_dim(self) -> int:
+        """Width of the shared embedding-index space (``repro.serve``).
+
+        Cone embeddings are the widest vectors the model emits
+        (graph embedding ++ endpoint gate embedding); circuit embeddings are
+        either exactly that wide (sequential circuits: sum of cone embeddings)
+        or narrower (combinational circuits: the graph embedding alone) and
+        get zero-padded by :meth:`pad_to_index_dim`, so one index holds both.
+        """
+        if not self.config.multi_grained_embeddings:
+            return self.output_dim
+        return self.graph_embedding_dim + self.gate_embedding_dim
+
+    def pad_to_index_dim(self, vector: np.ndarray) -> np.ndarray:
+        """Zero-pad an embedding up to :attr:`index_dim` (float64 copy)."""
+        vector = np.asarray(vector, dtype=np.float64).reshape(-1)
+        if vector.shape[0] > self.index_dim:
+            raise ValueError(
+                f"embedding of dim {vector.shape[0]} exceeds index dim {self.index_dim}"
+            )
+        if vector.shape[0] == self.index_dim:
+            return vector.copy()
+        padded = np.zeros(self.index_dim)
+        padded[: vector.shape[0]] = vector
+        return padded
+
     # ------------------------------------------------------------------
     # Netlist-level embeddings
     # ------------------------------------------------------------------
@@ -532,6 +559,26 @@ class NetTAG(nn.Module):
         nn.load_checkpoint(model, path, expected_metadata=expected_metadata)
         model.clear_caches()
         return model
+
+    def fingerprint(self) -> str:
+        """Short content hash of the configuration and every parameter.
+
+        Embedding indexes (``repro.serve``) stamp this into their manifest so
+        that querying an index with a different model — retrained weights, a
+        different preset — warns instead of silently comparing vectors from
+        two embedding spaces.
+        """
+        import hashlib
+        import json
+
+        digest = hashlib.sha256()
+        digest.update(
+            json.dumps(self.config.to_dict(), sort_keys=True, default=str).encode("utf-8")
+        )
+        for name, param in self.named_parameters():
+            digest.update(name.encode("utf-8"))
+            digest.update(np.ascontiguousarray(param.data).tobytes())
+        return digest.hexdigest()[:16]
 
     # ------------------------------------------------------------------
     def clear_caches(self) -> None:

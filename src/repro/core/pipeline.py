@@ -73,6 +73,9 @@ STAGE_RTL_ALIGN = "rtl_align"
 STAGE_LAYOUT_ALIGN = "layout_align"
 STAGE_SAMPLES = "samples"
 STAGE_TAG_PRETRAIN = "tag_pretrain"
+# Post-training stage: embedding-index payload (not part of PIPELINE_STAGES,
+# which lists the pre-training stop_after targets).
+STAGE_INDEX = "index_build"
 PIPELINE_STAGES = (
     STAGE_PREPROCESS,
     STAGE_EXPR_CORPUS,
@@ -592,3 +595,75 @@ class NetTAGPipeline:
     def encode_batch(self, cones: Sequence[RegisterCone]):
         """Batched cone embeddings (list, in cone order) via the batched engine."""
         return self.model.encode_batch(cones)
+
+    def build_index(
+        self,
+        path: PathLike,
+        netlists: Optional[Sequence[Netlist]] = None,
+        shard_size: int = 1024,
+        overwrite: bool = True,
+    ):
+        """Encode a corpus and persist it as an :class:`~repro.serve.EmbeddingIndex`.
+
+        ``netlists`` defaults to the pipeline's preprocessed pre-training
+        designs.  The encoded ``(key, kind, vector)`` payload is an
+        artifact-cached stage keyed by the corpus content and the *current
+        model weights*, so rebuilding an index after a config-only path change
+        hits the cache while any retraining invalidates it.  The on-disk
+        index at ``path`` is rewritten from the payload either way (the index
+        itself is a cheap projection of the cached embeddings).
+        """
+        from ..serve import NetTAGService
+        from ..serve.service import encode_index_rows
+
+        if netlists is None:
+            if not self.designs:
+                self.preprocess_corpus()
+            netlists = [design.netlist for design in self.designs]
+        netlists = list(netlists)
+        corpus_digest = hashlib.sha256()
+        for netlist in netlists:
+            corpus_digest.update(netlist.name.encode("utf-8"))
+            corpus_digest.update(write_verilog(netlist).encode("utf-8"))
+        key_payload = {
+            "corpus": corpus_digest.hexdigest()[:16],
+            "model": self.model.fingerprint(),
+        }
+
+        # encode_index_rows is the single ingest convention shared with
+        # NetTAGService.add_netlists, so pipeline-built indexes live in the
+        # same vector space as service-ingested rows.
+        rows = self.artifacts.get_or_compute(
+            STAGE_INDEX, key_payload, lambda: encode_index_rows(self.model, netlists)
+        )
+        self.summary.record_stage(self.artifacts.timings[-1])
+        index = NetTAGService.create_index(
+            self.model, path, shard_size=shard_size, overwrite=overwrite
+        )
+        if rows:
+            keys, kinds, vectors = zip(*rows)
+            index.add(list(keys), np.stack(vectors), kinds=list(kinds))
+        index.save()
+        return index
+
+    def serve(
+        self,
+        index: Optional[PathLike] = None,
+        max_batch_size: int = 32,
+        max_latency_ms: float = 10.0,
+    ):
+        """A :class:`~repro.serve.NetTAGService` over this pipeline's model.
+
+        ``index`` may be a directory holding an existing embedding index
+        (opened with fingerprint validation) or ``None`` for encode-only
+        serving.
+        """
+        from ..serve import NetTAGService
+
+        opened = NetTAGService.open_index(self.model, index) if index is not None else None
+        return NetTAGService(
+            self.model,
+            index=opened,
+            max_batch_size=max_batch_size,
+            max_latency_ms=max_latency_ms,
+        )

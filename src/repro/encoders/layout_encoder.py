@@ -9,7 +9,7 @@ wirelength, coordinates, area, register flag).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 

@@ -18,7 +18,7 @@ the gate's physical characteristic vector, exactly as equation (2) describes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 

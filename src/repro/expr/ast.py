@@ -13,7 +13,7 @@ Expressions are immutable and hashable; printing follows the paper's notation
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterator, Mapping, Sequence, Tuple
+from typing import FrozenSet, Iterator, Mapping, Sequence, Tuple
 
 
 class Expr:

@@ -8,7 +8,7 @@ option for NetTAG's lightweight fine-tuning heads.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

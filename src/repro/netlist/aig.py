@@ -12,11 +12,10 @@ performing structural hashing so shared sub-terms map to a single AIG node.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..expr import And, Const, Expr, Ite, Not, Or, Var, Xor
 from .core import Netlist
-from .graph import gate_order
 from .tag import local_expression_lookup
 
 

@@ -17,7 +17,7 @@ Design choices:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set
 
 from ..cells import Cell, CellLibrary, NANGATE45
 

@@ -10,7 +10,7 @@ models).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List
 
 import networkx as nx
 import numpy as np

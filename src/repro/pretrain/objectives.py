@@ -16,7 +16,7 @@ Implements the paper's losses:
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 

@@ -16,7 +16,7 @@ Every generator is deterministic given its seed so datasets are reproducible.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 import numpy as np
 

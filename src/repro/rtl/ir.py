@@ -18,8 +18,8 @@ truth: adder / multiplier / comparator / control / ...) and registers carry a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 
 class RTLError(ValueError):

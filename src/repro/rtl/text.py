@@ -9,21 +9,9 @@ register) so RTL-side samples line up with the netlist register cones.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Set
 
-from .ir import (
-    Assign,
-    RegisterSpec,
-    RTLModule,
-    WBinary,
-    WConcat,
-    WConst,
-    WExpr,
-    WMux,
-    WSignal,
-    WSlice,
-    WUnary,
-)
+from .ir import Assign, RTLModule, WBinary, WConcat, WConst, WExpr, WMux, WSignal, WSlice, WUnary
 
 _BINARY_SYMBOLS = {
     "add": "+", "sub": "-", "mul": "*", "and": "&", "or": "|", "xor": "^",

@@ -1,0 +1,33 @@
+"""Serving subsystem: persistent embedding index, retrieval and micro-batching.
+
+``repro.serve`` turns a pre-trained NetTAG model into a queryable service:
+
+* :class:`EmbeddingIndex` — on-disk sharded (memory-mapped) vector store with
+  a fingerprinted JSON manifest and append/compact/merge maintenance,
+* :func:`exact_topk` / :class:`IVFSearcher` — exact and IVF-style approximate
+  cosine retrieval over the index,
+* :class:`BatchScheduler` — thread-based micro-batching (size-or-deadline
+  flush) so concurrent callers share packed batched forwards,
+* :class:`NetTAGService` — the facade combining all of the above.
+"""
+
+from .index import EmbeddingIndex, IndexFormatError
+from .scheduler import BatchScheduler, SchedulerClosed
+from .search import IVFSearcher, SearchHit, exact_topk, recall_at_k
+from .service import CIRCUIT_KIND, CONE_KIND, NetTAGService, cone_key, encode_index_rows
+
+__all__ = [
+    "EmbeddingIndex",
+    "IndexFormatError",
+    "BatchScheduler",
+    "SchedulerClosed",
+    "IVFSearcher",
+    "SearchHit",
+    "exact_topk",
+    "recall_at_k",
+    "NetTAGService",
+    "CIRCUIT_KIND",
+    "CONE_KIND",
+    "cone_key",
+    "encode_index_rows",
+]

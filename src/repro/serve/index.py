@@ -1,0 +1,616 @@
+"""On-disk sharded embedding index.
+
+:class:`EmbeddingIndex` persists the embeddings :meth:`NetTAG.encode_netlists`
+produces so that retrieval workloads (netlist-to-netlist similarity, the
+paper's reverse-engineering lookup, near-duplicate detection) do not have to
+re-encode a corpus on every query.  The design goals, in order:
+
+* **Bounded memory at any corpus size.**  Vectors live in fixed-size shards;
+  each shard's payload is one raw ``.npy`` file that is *memory-mapped* on
+  read (``np.load(mmap_mode="r")``), so a query touches only the shard bytes
+  the matmul actually streams through.  Raw ``.npy`` is used instead of a
+  zipped ``.npz`` archive precisely because zip members cannot be mapped.
+* **Crash-safe incremental growth.**  ``add`` buffers rows and seals full
+  shards as it goes; shard payloads and the JSON manifest are written
+  atomically (temp + rename, like the training checkpoints), so an
+  interrupted ingest can never leave a manifest pointing at a truncated
+  payload.
+* **Provenance.**  The manifest records the embedding dimension, a format
+  version and caller-supplied fingerprints (model weights, configuration,
+  library version).  :meth:`open` warns when they disagree with what the
+  running process expects instead of silently mixing embedding spaces.
+
+Entries are ``(key, kind, vector)`` rows.  ``kind`` partitions one index into
+multiple logical namespaces of the same dimension (``"cone"`` and
+``"circuit"`` in the NetTAG service), so cone-level and circuit-level
+retrieval share shards, fingerprints and compaction.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import warnings
+from pathlib import Path
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..nn.serialization import atomic_write
+
+PathLike = Union[str, Path]
+
+MANIFEST_NAME = "manifest.json"
+_FORMAT_VERSION = 1
+_DTYPE = np.float32
+
+
+def _library_version() -> str:
+    from .. import __version__
+
+    return __version__
+
+
+class IndexFormatError(RuntimeError):
+    """The directory does not hold a readable embedding index."""
+
+
+class _Shard:
+    """One sealed shard: a memory-mapped payload plus its row metadata."""
+
+    def __init__(self, directory: Path, name: str, count: int) -> None:
+        self.directory = directory
+        self.name = name
+        self.count = count
+        self._matrix: Optional[np.ndarray] = None
+        self._norms: Optional[np.ndarray] = None
+        self._keys: Optional[List[str]] = None
+        self._kinds: Optional[List[str]] = None
+
+    @property
+    def payload_path(self) -> Path:
+        return self.directory / f"{self.name}.npy"
+
+    @property
+    def meta_path(self) -> Path:
+        return self.directory / f"{self.name}.meta.json"
+
+    def _load_meta(self) -> None:
+        if self._keys is not None:
+            return
+        try:
+            meta = json.loads(self.meta_path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise IndexFormatError(f"unreadable shard metadata {self.meta_path}: {error}")
+        self._keys = list(meta["keys"])
+        self._kinds = list(meta["kinds"])
+        if len(self._keys) != self.count or len(self._kinds) != self.count:
+            raise IndexFormatError(
+                f"shard {self.name}: manifest says {self.count} rows, "
+                f"metadata has {len(self._keys)} keys"
+            )
+
+    @property
+    def keys(self) -> List[str]:
+        self._load_meta()
+        return self._keys  # type: ignore[return-value]
+
+    @property
+    def kinds(self) -> List[str]:
+        self._load_meta()
+        return self._kinds  # type: ignore[return-value]
+
+    @property
+    def matrix(self) -> np.ndarray:
+        if self._matrix is None:
+            self._matrix = np.load(self.payload_path, mmap_mode="r")
+            if self._matrix.shape[0] != self.count:
+                raise IndexFormatError(
+                    f"shard {self.name}: payload has {self._matrix.shape[0]} rows, "
+                    f"manifest says {self.count}"
+                )
+        return self._matrix
+
+    @property
+    def norms(self) -> np.ndarray:
+        """Row L2 norms (computed once per process, cached in RAM)."""
+        if self._norms is None:
+            matrix = np.asarray(self.matrix, dtype=np.float64)
+            self._norms = np.maximum(np.linalg.norm(matrix, axis=1), 1e-12)
+        return self._norms
+
+
+class EmbeddingIndex:
+    """Persistent, sharded ``(key, kind, vector)`` store with cosine retrieval.
+
+    Create a fresh index with :meth:`create`, reopen an existing one with
+    :meth:`open`.  ``add`` appends rows (auto-sealing full shards), ``save``
+    flushes the tail and rewrites the manifest, ``remove`` tombstones keys,
+    ``compact`` rewrites the shards dropping tombstones and superseded
+    duplicates, and ``merge`` appends every live row of another index.
+    """
+
+    def __init__(
+        self,
+        directory: PathLike,
+        dim: int,
+        shard_size: int = 1024,
+        metric: str = "cosine",
+        fingerprints: Optional[Mapping[str, object]] = None,
+        _shards: Optional[List[_Shard]] = None,
+        _tombstones: Optional[Sequence[str]] = None,
+    ) -> None:
+        if dim < 1:
+            raise ValueError("embedding dimension must be positive")
+        if shard_size < 1:
+            raise ValueError("shard size must be positive")
+        self.directory = Path(directory)
+        self.dim = int(dim)
+        self.shard_size = int(shard_size)
+        self.metric = metric
+        self.fingerprints: Dict[str, object] = dict(fingerprints or {})
+        self._shards: List[_Shard] = list(_shards or [])
+        self._tombstones: set = set(_tombstones or ())
+        self._pending_keys: List[str] = []
+        self._pending_kinds: List[str] = []
+        self._pending_rows: List[np.ndarray] = []
+        # Bumped on every mutation; derived structures (the cached search
+        # metadata below, fitted IVF searchers) key their validity on it.
+        self._generation = 0
+        self._search_cache: Optional[Tuple[int, List, Dict[str, Tuple[int, int]]]] = None
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        directory: PathLike,
+        dim: int,
+        shard_size: int = 1024,
+        metric: str = "cosine",
+        fingerprints: Optional[Mapping[str, object]] = None,
+        overwrite: bool = False,
+    ) -> "EmbeddingIndex":
+        """Start a fresh index at ``directory`` (must not already hold one)."""
+        directory = Path(directory)
+        manifest = directory / MANIFEST_NAME
+        if manifest.exists():
+            if not overwrite:
+                raise FileExistsError(
+                    f"{directory} already holds an embedding index; pass overwrite=True "
+                    "to replace it or use EmbeddingIndex.open() to append"
+                )
+            existing = cls.open(directory)
+            for shard in existing._shards:
+                shard.payload_path.unlink(missing_ok=True)
+                shard.meta_path.unlink(missing_ok=True)
+            manifest.unlink()
+        index = cls(directory, dim, shard_size=shard_size, metric=metric, fingerprints=fingerprints)
+        index._write_manifest()
+        return index
+
+    @classmethod
+    def open(
+        cls,
+        directory: PathLike,
+        expected_fingerprints: Optional[Mapping[str, object]] = None,
+    ) -> "EmbeddingIndex":
+        """Open an existing index, validating format and provenance.
+
+        Mirrors checkpoint loading: a format-version mismatch is an error
+        (the bytes cannot be interpreted), while fingerprint disagreements
+        (different model weights, configuration or library version) warn and
+        proceed — the caller may be inspecting an index on purpose.
+        """
+        directory = Path(directory)
+        manifest_path = directory / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise FileNotFoundError(f"no embedding index at {directory} (missing {MANIFEST_NAME})")
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise IndexFormatError(f"unreadable index manifest {manifest_path}: {error}")
+        if manifest.get("format_version") != _FORMAT_VERSION:
+            raise IndexFormatError(
+                f"index format version {manifest.get('format_version')!r} is not "
+                f"supported (expected {_FORMAT_VERSION})"
+            )
+        fingerprints = dict(manifest.get("fingerprints", {}))
+        for key, expected in (expected_fingerprints or {}).items():
+            stored = fingerprints.get(key)
+            if stored != expected:
+                warnings.warn(
+                    f"embedding index fingerprint mismatch for {key!r}: "
+                    f"index has {stored!r}, expected {expected!r}; embeddings may "
+                    "come from a different model/configuration",
+                    stacklevel=2,
+                )
+        shards = [
+            _Shard(directory, entry["name"], int(entry["count"]))
+            for entry in manifest.get("shards", [])
+        ]
+        return cls(
+            directory,
+            dim=int(manifest["dim"]),
+            shard_size=int(manifest.get("shard_size", 1024)),
+            metric=manifest.get("metric", "cosine"),
+            fingerprints=fingerprints,
+            _shards=shards,
+            _tombstones=manifest.get("tombstones", []),
+        )
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(
+        self,
+        keys: Sequence[str],
+        embeddings: np.ndarray,
+        kinds: Union[str, Sequence[str]] = "cone",
+    ) -> None:
+        """Append rows; full shards are sealed to disk as the buffer fills.
+
+        Re-adding an existing key shadows the old row for :meth:`get` and
+        revives a tombstoned key; the superseded row remains in its shard
+        until :meth:`compact` rewrites it away.
+        """
+        embeddings = np.asarray(embeddings, dtype=np.float64)
+        if embeddings.ndim == 1:
+            embeddings = embeddings[None, :]
+        if embeddings.shape[0] != len(keys):
+            raise ValueError(f"got {len(keys)} keys for {embeddings.shape[0]} embedding rows")
+        if embeddings.shape[1] != self.dim:
+            raise ValueError(
+                f"embedding dimension {embeddings.shape[1]} does not match index dim {self.dim}"
+            )
+        if isinstance(kinds, str):
+            kinds = [kinds] * len(keys)
+        elif len(kinds) != len(keys):
+            raise ValueError(f"got {len(kinds)} kinds for {len(keys)} keys")
+        for key, kind, row in zip(keys, kinds, embeddings):
+            self._tombstones.discard(key)
+            self._pending_keys.append(str(key))
+            self._pending_kinds.append(str(kind))
+            self._pending_rows.append(np.asarray(row, dtype=_DTYPE))
+        self._generation += 1
+        while len(self._pending_keys) >= self.shard_size:
+            self._seal(self.shard_size)
+
+    def remove(self, keys: Sequence[str]) -> int:
+        """Tombstone keys (hidden from lookups/search; dropped on compact)."""
+        live = set(self.keys())
+        removed = 0
+        for key in keys:
+            if key in live and key not in self._tombstones:
+                self._tombstones.add(key)
+                removed += 1
+        if removed:
+            self._generation += 1
+        # Pending rows can be dropped immediately — they are not on disk yet.
+        if removed:
+            kept = [
+                (k, kind, row)
+                for k, kind, row in zip(
+                    self._pending_keys, self._pending_kinds, self._pending_rows
+                )
+                if k not in self._tombstones
+            ]
+            self._pending_keys = [k for k, _, _ in kept]
+            self._pending_kinds = [kind for _, kind, _ in kept]
+            self._pending_rows = [row for _, _, row in kept]
+            self._write_manifest()
+        return removed
+
+    def _next_shard_name(self) -> str:
+        """First shard id not used by the manifest *or* any file on disk.
+
+        Scanning the directory too makes naming robust against orphans left
+        by a crash between a payload write and the manifest write — a stale
+        ``shard-0000N.npy`` is simply skipped over, never clobbered.
+        """
+        used = set()
+        for path in self.directory.glob("shard-*.npy"):
+            try:
+                used.add(int(path.stem.split("-")[1]))
+            except (IndexError, ValueError):
+                continue
+        for shard in self._shards:
+            try:
+                used.add(int(shard.name.split("-")[1]))
+            except (IndexError, ValueError):
+                continue
+        return f"shard-{max(used, default=-1) + 1:05d}"
+
+    def _write_shard(
+        self, keys: Sequence[str], kinds: Sequence[str], rows: Sequence[np.ndarray]
+    ) -> _Shard:
+        """Write one shard's payload + metadata atomically (no manifest write)."""
+        name = self._next_shard_name()
+        matrix = np.stack([np.asarray(row, dtype=_DTYPE) for row in rows])
+        shard = _Shard(self.directory, name, len(keys))
+
+        def write_payload(tmp: Path) -> None:
+            with tmp.open("wb") as handle:
+                np.save(handle, matrix)
+
+        atomic_write(shard.payload_path, shard.payload_path.name + ".tmp", write_payload)
+        meta = {"keys": list(keys), "kinds": list(kinds)}
+
+        def write_meta(tmp: Path) -> None:
+            tmp.write_text(json.dumps(meta))
+
+        atomic_write(shard.meta_path, shard.meta_path.name + ".tmp", write_meta)
+        return shard
+
+    def _seal(self, count: int) -> None:
+        """Write the first ``count`` pending rows as a new shard."""
+        shard = self._write_shard(
+            self._pending_keys[:count],
+            self._pending_kinds[:count],
+            self._pending_rows[:count],
+        )
+        self._shards.append(shard)
+        del self._pending_keys[:count]
+        del self._pending_kinds[:count]
+        del self._pending_rows[:count]
+        self._generation += 1  # rows moved between segments
+        self._write_manifest()
+
+    def flush(self) -> None:
+        """Seal any buffered rows into a (possibly short) tail shard."""
+        if self._pending_keys:
+            self._seal(len(self._pending_keys))
+
+    def save(self) -> Path:
+        """Flush pending rows and rewrite the manifest; returns its path."""
+        self.flush()
+        self._write_manifest()
+        return self.directory / MANIFEST_NAME
+
+    def _write_manifest(self) -> None:
+        manifest = {
+            "format_version": _FORMAT_VERSION,
+            "library_version": _library_version(),
+            "dim": self.dim,
+            "metric": self.metric,
+            "shard_size": self.shard_size,
+            "fingerprints": self.fingerprints,
+            "shards": [{"name": s.name, "count": s.count} for s in self._shards],
+            "tombstones": sorted(self._tombstones),
+            "updated": time.time(),
+        }
+        path = self.directory / MANIFEST_NAME
+
+        def write(tmp: Path) -> None:
+            tmp.write_text(json.dumps(manifest, indent=2))
+
+        atomic_write(path, path.name + ".tmp", write)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of live entries (unique keys, tombstones excluded)."""
+        return len(self.keys())
+
+    def __contains__(self, key: str) -> bool:
+        if key in self._tombstones:
+            return False
+        if key in self._pending_keys:
+            return True
+        return any(key in shard.keys for shard in self._shards)
+
+    def keys(self) -> List[str]:
+        """Live keys, first-added order, duplicates collapsed."""
+        seen: Dict[str, None] = {}
+        for _, _, key, _ in self._iter_rows(include_tombstoned=False):
+            seen.setdefault(key, None)
+        return list(seen)
+
+    def _iter_rows(
+        self, include_tombstoned: bool = False
+    ) -> Iterator[Tuple[int, int, str, str]]:
+        """Yield ``(segment, row, key, kind)`` over sealed shards then pending."""
+        for s, shard in enumerate(self._shards):
+            for r, (key, kind) in enumerate(zip(shard.keys, shard.kinds)):
+                if include_tombstoned or key not in self._tombstones:
+                    yield s, r, key, kind
+        for r, (key, kind) in enumerate(zip(self._pending_keys, self._pending_kinds)):
+            if include_tombstoned or key not in self._tombstones:
+                yield len(self._shards), r, key, kind
+
+    def get(self, key: str) -> Optional[np.ndarray]:
+        """The latest live vector stored under ``key`` (a float64 copy)."""
+        if key in self._tombstones:
+            return None
+        for r in range(len(self._pending_keys) - 1, -1, -1):
+            if self._pending_keys[r] == key:
+                return np.asarray(self._pending_rows[r], dtype=np.float64).copy()
+        for shard in reversed(self._shards):
+            keys = shard.keys
+            for r in range(len(keys) - 1, -1, -1):
+                if keys[r] == key:
+                    return np.asarray(shard.matrix[r], dtype=np.float64)
+        return None
+
+    def iter_segments(
+        self,
+    ) -> Iterator[Tuple[List[str], List[str], np.ndarray, np.ndarray]]:
+        """Yield ``(keys, kinds, matrix, norms)`` per segment for search.
+
+        Sealed shards yield their memory-mapped payloads; buffered rows yield
+        one in-memory tail segment, so search always sees every added row
+        without forcing a flush.  Tombstoned keys are *included* here (search
+        masks them) to keep row indices aligned with the payload.
+        """
+        for shard in self._shards:
+            yield shard.keys, shard.kinds, shard.matrix, shard.norms
+        if self._pending_keys:
+            matrix = np.stack(self._pending_rows).astype(_DTYPE)
+            norms = np.maximum(np.linalg.norm(matrix.astype(np.float64), axis=1), 1e-12)
+            yield list(self._pending_keys), list(self._pending_kinds), matrix, norms
+
+    def is_tombstoned(self, key: str) -> bool:
+        return key in self._tombstones
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def generation(self) -> int:
+        """Mutation counter; any add/remove/seal/compact advances it.
+
+        Derived structures (fitted IVF searchers, cached row masks) record
+        the generation they were built at and refresh when it moves — a
+        count-neutral mutation (remove one key, add another) still
+        invalidates them.
+        """
+        return self._generation
+
+    def search_metadata(self) -> List[Tuple[List[str], np.ndarray, np.ndarray]]:
+        """Per-segment ``(keys, kinds_array, live_rows)``, cached per generation.
+
+        ``live_rows`` holds the row indices whose key's *latest* live row is
+        that row — tombstoned keys and superseded duplicates excluded — so
+        search paths get their masking as one cached array instead of
+        re-deriving it with a Python scan per query.  Segment order matches
+        :meth:`iter_segments`.
+        """
+        if self._search_cache is not None and self._search_cache[0] == self._generation:
+            return self._search_cache[1]
+        latest: Dict[str, Tuple[int, int]] = {}
+        for segment, row, key, _ in self._iter_rows(include_tombstoned=False):
+            latest[key] = (segment, row)
+        metadata: List[Tuple[List[str], np.ndarray, np.ndarray]] = []
+
+        def build(segment: int, keys: Sequence[str], kinds: Sequence[str]) -> None:
+            live = np.fromiter(
+                (r for r, key in enumerate(keys) if latest.get(key) == (segment, r)),
+                dtype=np.int64,
+            )
+            metadata.append((list(keys), np.asarray(list(kinds), dtype=object), live))
+
+        for segment, shard in enumerate(self._shards):
+            build(segment, shard.keys, shard.kinds)
+        if self._pending_keys:
+            build(len(self._shards), self._pending_keys, self._pending_kinds)
+        self._search_cache = (self._generation, metadata, latest)
+        return metadata
+
+    def live_row_map(self) -> Dict[str, Tuple[int, int]]:
+        """``key -> (segment, row)`` of each live key's latest row (cached)."""
+        self.search_metadata()
+        assert self._search_cache is not None
+        return self._search_cache[2]
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def compact(self) -> Dict[str, int]:
+        """Rewrite all shards dropping tombstones and superseded duplicates.
+
+        Every surviving key keeps its *latest* vector; rows are re-packed
+        into full ``shard_size`` shards.  Crash-safe ordering: the new
+        shards are written and the manifest is atomically switched to them
+        *before* the stale payloads are unlinked, so an interruption at any
+        point leaves a readable index (worst case: orphan shard files that
+        the next compact removes).  Returns counts of dropped rows.
+        """
+        latest: "Dict[str, Tuple[str, np.ndarray]]" = {}
+        total_rows = sum(1 for _ in self._iter_rows(include_tombstoned=True))
+        for shard in self._shards:
+            matrix = shard.matrix
+            for r, (key, kind) in enumerate(zip(shard.keys, shard.kinds)):
+                if key not in self._tombstones:
+                    latest[key] = (kind, np.asarray(matrix[r], dtype=np.float64))
+        for r, key in enumerate(self._pending_keys):
+            if key not in self._tombstones:
+                latest[key] = (
+                    self._pending_kinds[r],
+                    np.asarray(self._pending_rows[r], dtype=np.float64),
+                )
+        dropped = {
+            "rows_before": total_rows,
+            "rows_after": len(latest),
+            "tombstones_dropped": len(self._tombstones),
+        }
+        # Write the complete new layout first (fresh shard ids — the name
+        # allocator sees the old files, so nothing is clobbered), *then*
+        # switch the manifest atomically, *then* drop the stale payloads.  A
+        # crash at any point leaves either the old index fully intact (plus
+        # orphan new shards the next compact removes) or the new index fully
+        # intact (plus stale orphans).
+        items = list(latest.items())
+        new_shards: List[_Shard] = []
+        for start in range(0, len(items), self.shard_size):
+            chunk = items[start : start + self.shard_size]
+            new_shards.append(
+                self._write_shard(
+                    [key for key, _ in chunk],
+                    [kind for _, (kind, _) in chunk],
+                    [row for _, (_, row) in chunk],
+                )
+            )
+        old_shards = self._shards
+        self._shards = new_shards
+        self._pending_keys = []
+        self._pending_kinds = []
+        self._pending_rows = []
+        self._tombstones = set()
+        self._generation += 1
+        self._write_manifest()
+        for stale in old_shards:
+            stale.payload_path.unlink(missing_ok=True)
+            stale.meta_path.unlink(missing_ok=True)
+        return dropped
+
+    def merge(self, other: "EmbeddingIndex") -> int:
+        """Append every live row of ``other`` (latest-wins within ``other``).
+
+        Streams segment by segment using ``other``'s cached live-row masks —
+        one sliced payload read per segment, no per-key scans.
+        """
+        if other.dim != self.dim:
+            raise ValueError(f"cannot merge dim-{other.dim} index into dim-{self.dim} index")
+        merged = 0
+        for (keys, kinds, matrix, _), (_, _, live_rows) in zip(
+            other.iter_segments(), other.search_metadata()
+        ):
+            if not len(live_rows):
+                continue
+            block = np.asarray(matrix[live_rows], dtype=np.float64)
+            self.add(
+                [keys[int(r)] for r in live_rows],
+                block,
+                kinds=[kinds[int(r)] for r in live_rows],
+            )
+            merged += len(live_rows)
+        return merged
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Occupancy and layout summary for CLI ``index stats`` and reports."""
+        payload_bytes = sum(
+            shard.payload_path.stat().st_size
+            for shard in self._shards
+            if shard.payload_path.exists()
+        )
+        kinds: Dict[str, int] = {}
+        for _, _, _, kind in self._iter_rows(include_tombstoned=False):
+            kinds[kind] = kinds.get(kind, 0) + 1
+        return {
+            "entries": len(self),
+            "rows": sum(s.count for s in self._shards) + len(self._pending_keys),
+            "pending": len(self._pending_keys),
+            "tombstones": len(self._tombstones),
+            "shards": self.num_shards,
+            "shard_size": self.shard_size,
+            "dim": self.dim,
+            "metric": self.metric,
+            "payload_bytes": payload_bytes,
+            "kinds": kinds,
+            "fingerprints": dict(self.fingerprints),
+        }

@@ -1,0 +1,282 @@
+"""Cosine-similarity retrieval over an :class:`EmbeddingIndex`.
+
+Two search paths share one result format:
+
+* :func:`exact_topk` — a batched query matmul streamed shard by shard.  The
+  per-shard similarity block is one ``(num_queries, shard_rows)`` matmul over
+  the memory-mapped payload, so exactness costs no per-row Python dispatch
+  and memory stays bounded by the largest shard, not the corpus.
+* :class:`IVFSearcher` — an IVF-style approximate index: a seeded k-means
+  coarse quantiser partitions the corpus into inverted lists, and a query
+  only scores the ``nprobe`` lists whose centroids are nearest.  With the
+  defaults it reaches recall@10 ≥ 0.9 on the benchmark corpus while scoring
+  a small fraction of the rows (see ``BENCH_index.json``).
+
+Scores are cosine similarities in ``[-1, 1]``; ties break deterministically
+by insertion order so repeated queries (and save→load round-trips) return
+identical rankings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .index import EmbeddingIndex
+
+
+@dataclass
+class SearchHit:
+    """One retrieved entry: its key, namespace and cosine similarity."""
+
+    key: str
+    kind: str
+    score: float
+
+
+def _normalise_queries(queries: np.ndarray, dim: int) -> np.ndarray:
+    queries = np.asarray(queries, dtype=np.float64)
+    if queries.ndim == 1:
+        queries = queries[None, :]
+    if queries.shape[1] != dim:
+        raise ValueError(f"query dimension {queries.shape[1]} does not match index dim {dim}")
+    norms = np.maximum(np.linalg.norm(queries, axis=1, keepdims=True), 1e-12)
+    return queries / norms
+
+
+def _merge_topk(
+    candidates: List[List[Tuple[float, int, str, str]]], k: int
+) -> List[List[SearchHit]]:
+    """Sort each query's candidate pool by (-score, insertion order)."""
+    results: List[List[SearchHit]] = []
+    for pool in candidates:
+        pool.sort(key=lambda item: (-item[0], item[1]))
+        results.append([SearchHit(key=key, kind=kind, score=score) for score, _, key, kind in pool[:k]])
+    return results
+
+
+def exact_topk(
+    index: EmbeddingIndex,
+    queries: np.ndarray,
+    k: int = 10,
+    kind: Optional[str] = None,
+    exclude_keys: Optional[Sequence[str]] = None,
+) -> List[List[SearchHit]]:
+    """Exact cosine top-k of each query row against the whole index.
+
+    ``kind`` restricts retrieval to one namespace (e.g. only ``"cone"``
+    rows); ``exclude_keys`` drops specific keys (typically the query's own
+    entry for nearest-neighbour-of-self workloads).  Tombstoned and
+    superseded duplicate rows never surface: for a key stored several times,
+    only its latest row can be returned.
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    normalised = _normalise_queries(queries, index.dim)
+    excluded = set(exclude_keys or ())
+    # Live-row masks (tombstones and superseded duplicates excluded) are
+    # cached on the index per mutation generation; only the rare per-call
+    # exclusions and the kind filter are applied here.
+    metadata = index.search_metadata()
+    candidates: List[List[Tuple[float, int, str, str]]] = [[] for _ in range(len(normalised))]
+    order = 0
+    for (keys, kinds, matrix, norms), (_, kinds_array, live_rows) in zip(
+        index.iter_segments(), metadata
+    ):
+        rows = live_rows
+        if kind is not None and len(rows):
+            rows = rows[kinds_array[rows] == kind]
+        if excluded and len(rows):
+            rows = np.asarray([r for r in rows if keys[r] not in excluded], dtype=np.int64)
+        if not len(rows):
+            order += len(keys)
+            continue
+        keep_rows = rows
+        block = np.asarray(matrix[keep_rows], dtype=np.float64)
+        sims = normalised @ (block / norms[keep_rows][:, None]).T
+        # Per-shard shortlist: only the shard's own top-k can survive the merge.
+        take = min(k, len(keep_rows))
+        shortlist = np.argpartition(-sims, take - 1, axis=1)[:, :take]
+        for q in range(sims.shape[0]):
+            for c in shortlist[q]:
+                row = int(keep_rows[int(c)])
+                candidates[q].append(
+                    (float(sims[q, c]), order + row, keys[row], kinds[row])
+                )
+        order += len(keys)
+    return _merge_topk(candidates, k)
+
+
+# ----------------------------------------------------------------------
+# IVF-style approximate search
+# ----------------------------------------------------------------------
+def _kmeans(
+    vectors: np.ndarray, num_centroids: int, iterations: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Plain seeded k-means on unit vectors (spherical enough for cosine)."""
+    num_centroids = min(num_centroids, len(vectors))
+    picks = rng.choice(len(vectors), size=num_centroids, replace=False)
+    centroids = vectors[picks].copy()
+    for _ in range(iterations):
+        assignment = np.argmax(vectors @ centroids.T, axis=1)
+        for c in range(num_centroids):
+            members = vectors[assignment == c]
+            if len(members) == 0:
+                # Re-seed an empty cluster on the point farthest from its centroid.
+                farthest = int(np.argmin(np.max(vectors @ centroids.T, axis=1)))
+                centroids[c] = vectors[farthest]
+                continue
+            mean = members.mean(axis=0)
+            centroids[c] = mean / max(float(np.linalg.norm(mean)), 1e-12)
+    return centroids
+
+
+class IVFSearcher:
+    """Inverted-file approximate cosine search over an :class:`EmbeddingIndex`.
+
+    :meth:`fit` snapshots the index's live rows (optionally one ``kind``),
+    clusters them with seeded k-means and stores one inverted list of
+    normalised vectors per centroid.  :meth:`search` scores only the
+    ``nprobe`` nearest lists.  The searcher is a derived, in-memory
+    structure: re-fit after the index changes (``needs_refit`` tells you).
+    """
+
+    def __init__(
+        self,
+        num_centroids: int = 32,
+        nprobe: int = 4,
+        iterations: int = 8,
+        seed: int = 0,
+        kind: Optional[str] = None,
+    ) -> None:
+        if num_centroids < 1:
+            raise ValueError("num_centroids must be positive")
+        if nprobe < 1:
+            raise ValueError("nprobe must be positive")
+        self.num_centroids = num_centroids
+        self.nprobe = nprobe
+        self.iterations = iterations
+        self.seed = seed
+        self.kind = kind
+        self._centroids: Optional[np.ndarray] = None
+        self._lists: List[Tuple[List[str], List[str], np.ndarray]] = []
+        self._fitted_generation = -1
+        self._dim = 0
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._centroids is not None
+
+    def needs_refit(self, index: EmbeddingIndex) -> bool:
+        """True once the index mutated after :meth:`fit` (generation moved).
+
+        Count-neutral mutations — removing one key while adding another,
+        re-adding a key with a new vector — advance the generation too, so a
+        stale searcher can never keep serving removed or superseded rows.
+        """
+        return not self.is_fitted or index.generation != self._fitted_generation
+
+    def fit(self, index: EmbeddingIndex) -> "IVFSearcher":
+        keys: List[str] = []
+        kinds: List[str] = []
+        rows: List[np.ndarray] = []
+        for (keys_s, kinds_s, matrix, norms), (_, kinds_array, live_rows) in zip(
+            index.iter_segments(), index.search_metadata()
+        ):
+            selected = live_rows
+            if self.kind is not None and len(selected):
+                selected = selected[kinds_array[selected] == self.kind]
+            if not len(selected):
+                continue
+            block = (
+                np.asarray(matrix[selected], dtype=np.float64)
+                / norms[selected][:, None]
+            )
+            for offset, row in enumerate(selected):
+                keys.append(keys_s[int(row)])
+                kinds.append(kinds_s[int(row)])
+                rows.append(block[offset])
+        if not rows:
+            raise ValueError("cannot fit an IVF searcher on an empty index")
+        vectors = np.stack(rows)
+        self._dim = vectors.shape[1]
+        rng = np.random.default_rng(self.seed)
+        self._centroids = _kmeans(vectors, self.num_centroids, self.iterations, rng)
+        assignment = np.argmax(vectors @ self._centroids.T, axis=1)
+        self._lists = []
+        for c in range(len(self._centroids)):
+            members = np.flatnonzero(assignment == c)
+            self._lists.append(
+                (
+                    [keys[m] for m in members],
+                    [kinds[m] for m in members],
+                    vectors[members],
+                )
+            )
+        self._fitted_generation = index.generation
+        return self
+
+    def search(
+        self,
+        queries: np.ndarray,
+        k: int = 10,
+        nprobe: Optional[int] = None,
+        exclude_keys: Optional[Sequence[str]] = None,
+    ) -> List[List[SearchHit]]:
+        if self._centroids is None:
+            raise RuntimeError("IVFSearcher.search called before fit()")
+        if k < 1:
+            raise ValueError("k must be positive")
+        nprobe = min(nprobe or self.nprobe, len(self._centroids))
+        normalised = _normalise_queries(queries, self._dim)
+        excluded = set(exclude_keys or ())
+        centroid_sims = normalised @ self._centroids.T
+        probe = np.argpartition(-centroid_sims, nprobe - 1, axis=1)[:, :nprobe]
+        candidates: List[List[Tuple[float, int, str, str]]] = []
+        for q in range(len(normalised)):
+            pool: List[Tuple[float, int, str, str]] = []
+            for c in probe[q]:
+                keys, kinds, vectors = self._lists[int(c)]
+                if not keys:
+                    continue
+                sims = vectors @ normalised[q]
+                take = min(k, len(keys))
+                for m in np.argpartition(-sims, take - 1)[:take]:
+                    key = keys[int(m)]
+                    if key in excluded:
+                        continue
+                    pool.append((float(sims[int(m)]), int(c) * 10**9 + int(m), key, kinds[int(m)]))
+            candidates.append(pool)
+        return _merge_topk(candidates, k)
+
+    def stats(self) -> Dict[str, object]:
+        sizes = [len(keys) for keys, _, _ in self._lists]
+        return {
+            "fitted": self.is_fitted,
+            "num_centroids": len(self._centroids) if self._centroids is not None else 0,
+            "nprobe": self.nprobe,
+            "entries": int(np.sum(sizes)) if sizes else 0,
+            "largest_list": int(np.max(sizes)) if sizes else 0,
+            "kind": self.kind,
+        }
+
+
+def recall_at_k(
+    exact: Sequence[Sequence[SearchHit]], approx: Sequence[Sequence[SearchHit]], k: int = 10
+) -> float:
+    """Mean fraction of the exact top-k that the approximate top-k recovered."""
+    if len(exact) != len(approx):
+        raise ValueError("exact/approx result lists differ in length")
+    if not exact:
+        return 1.0
+    total = 0.0
+    for exact_hits, approx_hits in zip(exact, approx):
+        want = {hit.key for hit in exact_hits[:k]}
+        if not want:
+            total += 1.0
+            continue
+        got = {hit.key for hit in approx_hits[:k]}
+        total += len(want & got) / len(want)
+    return total / len(exact)

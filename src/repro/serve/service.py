@@ -1,0 +1,455 @@
+"""`NetTAGService`: the concurrent encode + retrieval facade.
+
+One object ties the serving subsystem together: a (pre-trained) NetTAG model
+for encoding, an :class:`EmbeddingIndex` for persistence, a
+:class:`BatchScheduler` so concurrent callers share packed forwards, and an
+optional :class:`IVFSearcher` for approximate retrieval at corpus scale.
+
+Keys follow one convention everywhere (index, CLI, benchmarks):
+
+* circuit entries are keyed by the netlist name, kind ``"circuit"``;
+* register-cone entries are keyed ``"<netlist>::<register>"``, kind ``"cone"``.
+
+Circuit and cone embeddings share one index (and one dimension): cone vectors
+already have the full ``model.index_dim`` width, and circuit vectors are
+zero-padded up to it (see :meth:`NetTAG.pad_to_index_dim`).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..netlist import extract_register_cones
+from .index import EmbeddingIndex
+from .scheduler import BatchScheduler
+from .search import IVFSearcher, SearchHit, exact_topk
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a core<->serve cycle
+    from ..core.nettag import CircuitEmbedding, NetTAG
+    from ..netlist import Netlist, RegisterCone
+
+CIRCUIT_KIND = "circuit"
+CONE_KIND = "cone"
+
+
+def cone_key(netlist_name: str, register_name: str) -> str:
+    return f"{netlist_name}::{register_name}"
+
+
+def encode_index_rows(model: "NetTAG", netlists: Sequence["Netlist"]) -> List[Tuple[str, str, np.ndarray]]:
+    """``(key, kind, padded vector)`` ingest rows for a corpus of netlists.
+
+    This is *the* ingest convention, shared by :meth:`NetTAGService.add_netlists`
+    and :meth:`NetTAGPipeline.build_index` so service-ingested and
+    pipeline-built indexes always live in the same vector space:
+
+    * one circuit row per netlist (key = netlist name, graph embedding
+      zero-padded to ``model.index_dim``),
+    * one cone row per register cone of each sequential netlist
+      (key = ``"<netlist>::<register>"``), holding the endpoint-augmented
+      cone embedding — the same vector ``model.encode_batch`` produces at
+      query time.  ``CircuitEmbedding.cone_embeddings`` holds graph-level
+      cone vectors without the endpoint, hence the dedicated second batched
+      pass over the cone TAGs (cheap: the circuit pass already warmed the
+      expression cache).
+    """
+    netlists = list(netlists)
+    rows: List[Tuple[str, str, np.ndarray]] = []
+    for embedding in model.encode_netlists(netlists):
+        rows.append(
+            (embedding.name, CIRCUIT_KIND, model.pad_to_index_dim(embedding.graph_embedding))
+        )
+    owners: List[str] = []
+    all_cones: List["RegisterCone"] = []
+    for netlist in netlists:
+        if netlist.is_sequential_design():
+            for cone in extract_register_cones(netlist):
+                owners.append(netlist.name)
+                all_cones.append(cone)
+    cone_vectors = model.encode_batch(all_cones) if all_cones else []
+    for owner, cone, vector in zip(owners, all_cones, cone_vectors):
+        rows.append(
+            (cone_key(owner, cone.register_name), CONE_KIND, model.pad_to_index_dim(vector))
+        )
+    return rows
+
+
+class NetTAGService:
+    """Serve concurrent encode and similarity-query requests over one model.
+
+    ``index`` may be omitted for encode-only serving; query/ingest methods
+    then raise.  The service owns its scheduler thread: use it as a context
+    manager (or call :meth:`close`) so the worker drains and stops.
+
+    Every method is safe to call from any thread: model forwards and index
+    access are serialised by one internal lock, held both by the scheduler
+    worker's batch callback and by the paths that touch the model or index
+    on the caller thread (bulk ingest, direct embedding queries, searcher
+    fitting) — the model's LRU expression cache and the index's pending
+    buffers are not lock-free structures.
+    """
+
+    def __init__(
+        self,
+        model: "NetTAG",
+        index: Optional[EmbeddingIndex] = None,
+        max_batch_size: int = 32,
+        max_latency_ms: float = 10.0,
+        searcher: Optional[IVFSearcher] = None,
+    ) -> None:
+        self.model = model
+        self.index = index
+        self.searcher = searcher
+        # Reentrant: query_embedding(approximate=True) refits under the lock.
+        # Never held while *waiting* on a scheduler future (deadlock-free:
+        # the worker needs the lock to make progress).
+        self._lock = threading.RLock()
+        self._scheduler = BatchScheduler(
+            self._encode_requests,
+            max_batch_size=max_batch_size,
+            max_latency_ms=max_latency_ms,
+            name="nettag-encode",
+        )
+
+    # ------------------------------------------------------------------
+    # Index plumbing
+    # ------------------------------------------------------------------
+    @classmethod
+    def index_fingerprints(cls, model: "NetTAG") -> Dict[str, object]:
+        """The provenance fingerprints an index built from ``model`` carries."""
+        return {
+            "model": model.fingerprint(),
+            "preset": model.config.preset,
+            "index_dim": model.index_dim,
+        }
+
+    @classmethod
+    def create_index(
+        cls,
+        model: "NetTAG",
+        directory,
+        shard_size: int = 1024,
+        overwrite: bool = False,
+    ) -> EmbeddingIndex:
+        """A fresh on-disk index dimension- and fingerprint-matched to ``model``."""
+        return EmbeddingIndex.create(
+            directory,
+            dim=model.index_dim,
+            shard_size=shard_size,
+            fingerprints=cls.index_fingerprints(model),
+            overwrite=overwrite,
+        )
+
+    @classmethod
+    def open_index(cls, model: "NetTAG", directory) -> EmbeddingIndex:
+        """Open an existing index, warning if it was built by a different model."""
+        return EmbeddingIndex.open(
+            directory, expected_fingerprints=cls.index_fingerprints(model)
+        )
+
+    def _require_index(self) -> EmbeddingIndex:
+        if self.index is None:
+            raise RuntimeError("this NetTAGService was constructed without an index")
+        return self.index
+
+    # ------------------------------------------------------------------
+    # Batched encode worker
+    # ------------------------------------------------------------------
+    def _encode_requests(self, items: List[Tuple[str, object]]) -> List[object]:
+        """One scheduler flush: partition by request type, one batched call each.
+
+        ``query_cone`` requests ride the same cone encode pass and then share
+        one :func:`exact_topk` call — the batched query matmul over the index
+        shards — so the per-search bookkeeping cost is paid once per flush,
+        not once per request.
+        """
+        cone_positions = [i for i, (what, _) in enumerate(items) if what == "cone"]
+        query_positions = [i for i, (what, _) in enumerate(items) if what == "query_cone"]
+        netlist_positions = [i for i, (what, _) in enumerate(items) if what == "netlist"]
+        known = set(cone_positions) | set(query_positions) | set(netlist_positions)
+        unknown = set(range(len(items))) - known
+        if unknown:
+            raise ValueError(f"unknown request types: {[items[i][0] for i in sorted(unknown)]}")
+        results: List[object] = [None] * len(items)
+        encode_positions = cone_positions + query_positions
+        with self._lock:
+            if encode_positions:
+                plain = set(cone_positions)
+                embeddings = self.model.encode_batch(
+                    [
+                        items[i][1] if i in plain else items[i][1][0]
+                        for i in encode_positions
+                    ]
+                )
+                for position, embedding in zip(cone_positions, embeddings):
+                    results[position] = embedding
+                query_embeddings = embeddings[len(cone_positions):]
+                if query_positions:
+                    results = self._answer_query_batch(
+                        items, query_positions, query_embeddings, results
+                    )
+            if netlist_positions:
+                circuit_embeddings = self.model.encode_netlists(
+                    [items[i][1] for i in netlist_positions]
+                )
+                for position, embedding in zip(netlist_positions, circuit_embeddings):
+                    results[position] = embedding
+        return results
+
+    def _answer_query_batch(
+        self,
+        items: List[Tuple[str, object]],
+        query_positions: List[int],
+        query_embeddings: List[np.ndarray],
+        results: List[object],
+    ) -> List[object]:
+        """Resolve a flush's query requests with one batched top-k per (k, kind)."""
+        index = self._require_index()
+        groups: Dict[Tuple[int, Optional[str]], List[int]] = {}
+        for offset, position in enumerate(query_positions):
+            _, (_, k, kind, _) = items[position]
+            groups.setdefault((k, kind), []).append(offset)
+        for (k, kind), offsets in groups.items():
+            stacked = np.stack(
+                [
+                    self.model.pad_to_index_dim(query_embeddings[offset])
+                    for offset in offsets
+                ]
+            )
+            # Over-fetch by the widest per-request exclusion so filtering
+            # can never shrink a result below k.
+            extra = max(
+                (len(items[query_positions[o]][1][3] or ()) for o in offsets), default=0
+            )
+            hits = exact_topk(index, stacked, k=k + extra, kind=kind)
+            for offset, row_hits in zip(offsets, hits):
+                position = query_positions[offset]
+                _, (_, _, _, exclude) = items[position]
+                if exclude:
+                    row_hits = [hit for hit in row_hits if hit.key not in exclude]
+                results[position] = row_hits[:k]
+        return results
+
+    # ------------------------------------------------------------------
+    # Encoding API (scheduler-backed; safe to call from many threads)
+    # ------------------------------------------------------------------
+    def submit_cone(self, cone: "RegisterCone") -> "Future[np.ndarray]":
+        return self._scheduler.submit(("cone", cone))
+
+    def submit_netlist(self, netlist: "Netlist") -> "Future[CircuitEmbedding]":
+        return self._scheduler.submit(("netlist", netlist))
+
+    def encode_cone(self, cone: "RegisterCone", timeout: Optional[float] = None) -> np.ndarray:
+        return self.submit_cone(cone).result(timeout=timeout)
+
+    def encode_netlist(
+        self, netlist: "Netlist", timeout: Optional[float] = None
+    ) -> "CircuitEmbedding":
+        return self.submit_netlist(netlist).result(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def add_netlists(self, netlists: Sequence["Netlist"], flush: bool = True) -> int:
+        """Encode circuits and index circuit + cone rows.
+
+        Row construction is delegated to :func:`encode_index_rows` (the
+        single ingest convention, also used by ``NetTAGPipeline.build_index``).
+        """
+        index = self._require_index()
+        with self._lock:
+            rows = encode_index_rows(self.model, netlists)
+            if rows:
+                keys, kinds, vectors = zip(*rows)
+                index.add(list(keys), np.stack(vectors), kinds=list(kinds))
+            if flush:
+                index.save()
+        return len(rows)
+
+    def add_cones(
+        self, netlist_name: str, cones: Sequence["RegisterCone"], flush: bool = True
+    ) -> int:
+        """Encode register cones (one batched pass) and index them."""
+        index = self._require_index()
+        with self._lock:
+            vectors = self.model.encode_batch(list(cones))
+            for cone, vector in zip(cones, vectors):
+                index.add(
+                    [cone_key(netlist_name, cone.register_name)],
+                    self.model.pad_to_index_dim(vector)[None, :],
+                    kinds=CONE_KIND,
+                )
+            if flush:
+                index.save()
+        return len(vectors)
+
+    # ------------------------------------------------------------------
+    # Retrieval
+    # ------------------------------------------------------------------
+    def fit_searcher(
+        self, num_centroids: int = 32, nprobe: int = 4, seed: int = 0, kind: Optional[str] = None
+    ) -> IVFSearcher:
+        """Build/refresh the approximate searcher over the current index."""
+        with self._lock:
+            self.searcher = IVFSearcher(
+                num_centroids=num_centroids, nprobe=nprobe, seed=seed, kind=kind
+            ).fit(self._require_index())
+            return self.searcher
+
+    def query_embedding(
+        self,
+        vector: np.ndarray,
+        k: int = 10,
+        kind: Optional[str] = None,
+        exclude_keys: Optional[Sequence[str]] = None,
+        approximate: bool = False,
+    ) -> List[SearchHit]:
+        """Top-k index entries for one raw embedding vector."""
+        index = self._require_index()
+        vector = self.model.pad_to_index_dim(np.asarray(vector, dtype=np.float64))
+        with self._lock:
+            if approximate:
+                # Refit when the index mutated OR when the fitted searcher
+                # covers a different namespace: a kind=None searcher would
+                # leak circuit rows into cone queries (and vice versa).  A
+                # user-tuned searcher keeps its parameters across the refit.
+                if (
+                    self.searcher is None
+                    or self.searcher.needs_refit(index)
+                    or self.searcher.kind != kind
+                ):
+                    previous = self.searcher
+                    self.fit_searcher(
+                        num_centroids=previous.num_centroids if previous else 32,
+                        nprobe=previous.nprobe if previous else 4,
+                        seed=previous.seed if previous else 0,
+                        kind=kind,
+                    )
+                return self.searcher.search(vector[None, :], k=k, exclude_keys=exclude_keys)[0]
+            return exact_topk(
+                index, vector[None, :], k=k, kind=kind, exclude_keys=exclude_keys
+            )[0]
+
+    def submit_query_cone(
+        self,
+        cone: "RegisterCone",
+        k: int = 10,
+        exclude_keys: Optional[Sequence[str]] = None,
+    ) -> "Future[List[SearchHit]]":
+        """Asynchronous cone query: encode *and* search inside the micro-batch.
+
+        All queries in one flush share a single batched top-k matmul over the
+        index shards, so per-search bookkeeping amortises across concurrent
+        callers (see ``BENCH_index.json``).
+        """
+        self._require_index()
+        return self._scheduler.submit(
+            ("query_cone", (cone, k, CONE_KIND, tuple(exclude_keys or ())))
+        )
+
+    def query_cone(
+        self,
+        cone: "RegisterCone",
+        k: int = 10,
+        exclude_self: bool = False,
+        netlist_name: Optional[str] = None,
+        approximate: bool = False,
+        timeout: Optional[float] = None,
+    ) -> List[SearchHit]:
+        """Encode a register cone (through the scheduler) and retrieve top-k."""
+        exclude = (
+            [cone_key(netlist_name, cone.register_name)]
+            if exclude_self and netlist_name is not None
+            else None
+        )
+        if approximate:
+            vector = self.encode_cone(cone, timeout=timeout)
+            return self.query_embedding(
+                vector, k=k, kind=CONE_KIND, exclude_keys=exclude, approximate=True
+            )
+        return self.submit_query_cone(cone, k=k, exclude_keys=exclude).result(timeout=timeout)
+
+    def query_netlist(
+        self,
+        netlist: "Netlist",
+        k: int = 10,
+        exclude_self: bool = False,
+        approximate: bool = False,
+    ) -> List[SearchHit]:
+        """Encode a circuit (through the scheduler) and retrieve similar circuits."""
+        embedding = self.encode_netlist(netlist)
+        exclude = [embedding.name] if exclude_self else None
+        return self.query_embedding(
+            embedding.graph_embedding,
+            k=k,
+            kind=CIRCUIT_KIND,
+            exclude_keys=exclude,
+            approximate=approximate,
+        )
+
+    def near_duplicates(
+        self, threshold: float = 0.98, kind: str = CONE_KIND, k: int = 5
+    ) -> List[Tuple[str, str, float]]:
+        """Pairs of index entries with cosine similarity ≥ ``threshold``.
+
+        Each live entry of ``kind`` is queried against the index (batched
+        matmuls, one query block per shard segment); every pair is reported
+        once, lexicographically ordered, most similar first.
+        """
+        index = self._require_index()
+        pairs: Dict[Tuple[str, str], float] = {}
+        # Query with each key's *latest live* row only (the cached search
+        # metadata) — a superseded duplicate row must not report phantom
+        # pairs for a vector that is no longer the key's value.
+        with self._lock:
+            for (keys, kinds, matrix, norms), (_, kinds_array, live_rows) in zip(
+                index.iter_segments(), index.search_metadata()
+            ):
+                rows = live_rows
+                if len(rows):
+                    rows = rows[kinds_array[rows] == kind]
+                if not len(rows):
+                    continue
+                block = np.asarray(matrix[rows], dtype=np.float64) / norms[rows][:, None]
+                hits = exact_topk(index, block, k=k + 1, kind=kind)
+                for r, row_hits in zip(rows, hits):
+                    r = int(r)
+                    for hit in row_hits:
+                        if hit.key == keys[r] or hit.score < threshold:
+                            continue
+                        pair = tuple(sorted((keys[r], hit.key)))
+                        pairs[pair] = max(pairs.get(pair, -1.0), hit.score)
+        ranked = sorted(pairs.items(), key=lambda item: (-item[1], item[0]))
+        return [(a, b, score) for (a, b), score in ranked]
+
+    # ------------------------------------------------------------------
+    # Lifecycle / observability
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Scheduler, expression-cache and index statistics in one report."""
+        report: Dict[str, object] = {
+            "scheduler": self._scheduler.stats(),
+            "expression_cache": self.model.expr_llm.cache_stats(),
+        }
+        if self.index is not None:
+            report["index"] = self.index.stats()
+        if self.searcher is not None:
+            report["searcher"] = self.searcher.stats()
+        return report
+
+    def close(self) -> None:
+        """Drain in-flight requests, stop the worker and flush the index."""
+        self._scheduler.close()
+        with self._lock:
+            if self.index is not None:
+                self.index.save()
+
+    def __enter__(self) -> "NetTAGService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -18,7 +18,7 @@ netlist with diverse gate types, matching the circuits NetTAG targets.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from ..cells import CellLibrary, NANGATE45
 from ..expr import Var

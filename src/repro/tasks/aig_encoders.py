@@ -18,7 +18,7 @@ lightweight classifier, exactly as in the paper's fine-tuning protocol.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 

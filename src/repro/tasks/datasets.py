@@ -16,14 +16,14 @@ Task 4 — overall circuit power/area prediction (w/ and w/o physical
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from ..analysis import analyze_area, analyze_power, analyze_timing
 from ..netlist import Netlist, RegisterCone, extract_register_cones
-from ..physical import build_layout_graph, extract_parasitics, physically_optimize, place
+from ..physical import extract_parasitics, physically_optimize, place
 from ..rtl import RTLModule, make_controller, make_cpu_slice, make_datapath_block, make_gnnre_suite, make_peripheral
 from ..synth import synthesize
 

@@ -12,14 +12,14 @@ method is fitted on the train gates and evaluated on the test gates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..core import NetTAG, evaluate_classification, train_test_split
 from ..ml import classification_report
-from .baselines import NodeGNNBaseline, gnnre_baseline
+from .baselines import gnnre_baseline
 from .datasets import Task1Dataset, Task1Design
 
 

@@ -20,7 +20,7 @@ import numpy as np
 
 from ..core import NetTAG, fit_regressor, train_test_split
 from ..ml import mape, pearson_r
-from .baselines import EDAToolBaseline, powpredict_baseline
+from .baselines import powpredict_baseline
 from .datasets import Task4Dataset
 
 METRICS = ("area", "power")

@@ -26,7 +26,6 @@ from repro.netlist import (
 )
 from repro.nn import Tensor
 from repro.rtl import make_controller
-from repro.synth import synthesize
 
 
 # ----------------------------------------------------------------------

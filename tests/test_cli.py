@@ -113,3 +113,88 @@ class TestPretrainResumeFlags:
         second = capsys.readouterr().out
         assert "cache hit" in second
         assert checkpoint.exists()
+
+
+class TestIndexCommands:
+    @pytest.fixture()
+    def checkpoint(self, tmp_path, small_model):
+        """A saved (untrained) model checkpoint — index commands only encode."""
+        path = tmp_path / "model.npz"
+        small_model.save(path)
+        return path
+
+    @pytest.fixture()
+    def netlist_dir(self, tmp_path):
+        from repro.rtl import make_controller
+
+        directory = tmp_path / "corpus"
+        directory.mkdir()
+        for name, seed in (("alpha", 21), ("beta", 22)):
+            netlist = synthesize(make_controller(name, seed=seed, num_states=4)).netlist
+            write_verilog(netlist, path=directory / f"{name}.v")
+        return directory
+
+    def test_build_stats_query_add_round_trip(self, tmp_path, checkpoint, netlist_dir, capsys):
+        index_dir = tmp_path / "index"
+        assert main([
+            "index", "build", str(netlist_dir),
+            "--checkpoint", str(checkpoint), "--index", str(index_dir),
+            "--shard-size", "8",
+        ]) == 0
+        assert "indexed" in capsys.readouterr().out
+        assert (index_dir / "manifest.json").exists()
+
+        assert main(["index", "stats", "--index", str(index_dir)]) == 0
+        stats_out = capsys.readouterr().out
+        assert "entries" in stats_out and "kind cone" in stats_out
+
+        query_path = netlist_dir / "alpha.v"
+        assert main([
+            "index", "query", str(query_path),
+            "--checkpoint", str(checkpoint), "--index", str(index_dir), "-k", "2",
+        ]) == 0
+        query_out = capsys.readouterr().out
+        assert "alpha" in query_out  # the indexed circuit retrieves itself
+
+        assert main([
+            "index", "query", str(query_path), "--cones",
+            "--checkpoint", str(checkpoint), "--index", str(index_dir), "-k", "2",
+        ]) == 0
+        cones_out = capsys.readouterr().out
+        assert "alpha::" in cones_out
+
+        # Appending another netlist grows the index.
+        from repro.rtl import make_controller
+
+        extra = synthesize(make_controller("gamma", seed=23, num_states=3)).netlist
+        extra_path = tmp_path / "gamma.v"
+        write_verilog(extra, path=extra_path)
+        assert main([
+            "index", "add", str(extra_path),
+            "--checkpoint", str(checkpoint), "--index", str(index_dir),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["index", "stats", "--index", str(index_dir)]) == 0
+        assert "gamma" not in capsys.readouterr().out  # stats prints counts, not keys
+        from repro.serve import EmbeddingIndex
+
+        assert "gamma" in EmbeddingIndex.open(index_dir)
+
+    def test_build_refuses_empty_directory(self, tmp_path, checkpoint):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main([
+            "index", "build", str(empty),
+            "--checkpoint", str(checkpoint), "--index", str(tmp_path / "idx"),
+        ]) == 2
+
+    def test_build_twice_requires_force(self, tmp_path, checkpoint, netlist_dir, capsys):
+        index_dir = tmp_path / "index"
+        base = [
+            "index", "build", str(netlist_dir),
+            "--checkpoint", str(checkpoint), "--index", str(index_dir),
+        ]
+        assert main(base) == 0
+        with pytest.raises(FileExistsError):
+            main(base)
+        assert main(base + ["--force"]) == 0

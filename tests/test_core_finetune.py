@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.core import (
-    SplitIndices,
     evaluate_classification,
     evaluate_regression,
     fit_classifier,

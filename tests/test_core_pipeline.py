@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core import NetTAGConfig, NetTAGPipeline
 from repro.rtl import make_controller, make_gnnre_design

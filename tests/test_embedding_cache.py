@@ -1,0 +1,139 @@
+"""Direct tests for the LRU embedding cache (repro.encoders.embedding_cache).
+
+The cache was previously exercised only through ExprLLM's encode paths; these
+tests pin its eviction order and hit/miss/eviction accounting under capacity
+pressure, which the serving workloads (many circuits through one bounded
+cache) rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.encoders.embedding_cache import CacheStats, LRUEmbeddingCache
+
+
+def vec(value: float) -> np.ndarray:
+    return np.full(4, value)
+
+
+class TestEvictionOrder:
+    def test_evicts_least_recently_put(self):
+        cache = LRUEmbeddingCache(capacity=3)
+        for i in range(3):
+            cache.put(i, vec(i))
+        cache.put(3, vec(3))  # capacity exceeded: key 0 is the LRU
+        assert 0 not in cache
+        assert all(key in cache for key in (1, 2, 3))
+        assert cache.stats.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = LRUEmbeddingCache(capacity=3)
+        for i in range(3):
+            cache.put(i, vec(i))
+        assert cache.get(0) is not None  # 0 becomes most-recently-used
+        cache.put(3, vec(3))             # so 1 is evicted instead
+        assert 0 in cache
+        assert 1 not in cache
+
+    def test_put_of_existing_key_refreshes_recency_and_value(self):
+        cache = LRUEmbeddingCache(capacity=2)
+        cache.put("a", vec(1))
+        cache.put("b", vec(2))
+        cache.put("a", vec(9))  # refresh, not insert: no eviction
+        assert cache.stats.evictions == 0
+        cache.put("c", vec(3))  # "b" is now the LRU
+        assert "b" not in cache
+        np.testing.assert_array_equal(cache.get("a"), vec(9))
+
+    def test_peek_does_not_touch_recency(self):
+        cache = LRUEmbeddingCache(capacity=2)
+        cache.put("a", vec(1))
+        cache.put("b", vec(2))
+        assert cache.peek("a") is not None
+        cache.put("c", vec(3))  # "a" must still be the LRU despite the peek
+        assert "a" not in cache
+        assert "b" in cache
+
+    def test_sustained_pressure_keeps_size_bounded(self):
+        cache = LRUEmbeddingCache(capacity=5)
+        for i in range(100):
+            cache.put(i, vec(i))
+        assert len(cache) == 5
+        assert cache.stats.evictions == 95
+        assert sorted(k for k in range(100) if k in cache) == [95, 96, 97, 98, 99]
+
+
+class TestStats:
+    def test_hit_miss_accounting(self):
+        cache = LRUEmbeddingCache(capacity=2)
+        assert cache.get("missing") is None
+        cache.put("a", vec(1))
+        assert cache.get("a") is not None
+        assert cache.get("a") is not None
+        assert cache.stats.hits == 2
+        assert cache.stats.misses == 1
+        assert cache.stats.lookups == 3
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_peek_does_not_count_as_lookup(self):
+        cache = LRUEmbeddingCache(capacity=2)
+        cache.put("a", vec(1))
+        cache.peek("a")
+        cache.peek("missing")
+        assert cache.stats.lookups == 0
+
+    def test_evictions_under_capacity_pressure_are_counted_exactly(self):
+        cache = LRUEmbeddingCache(capacity=3)
+        for i in range(10):
+            cache.put(i, vec(i))
+        assert cache.stats.evictions == 7
+        # Misses on evicted keys are ordinary misses.
+        assert cache.get(0) is None
+        assert cache.stats.misses == 1
+
+    def test_reuse_rate_includes_dedup_hits(self):
+        stats = CacheStats(hits=2, misses=2, dedup_hits=4)
+        assert stats.hit_rate == pytest.approx(0.5)
+        assert stats.reuse_rate == pytest.approx((2 + 4) / (4 + 4))
+        empty = CacheStats()
+        assert empty.hit_rate == 0.0
+        assert empty.reuse_rate == 0.0
+
+    def test_snapshot_reports_occupancy_and_rates(self):
+        cache = LRUEmbeddingCache(capacity=4)
+        cache.put("a", vec(1))
+        cache.get("a")
+        cache.get("b")
+        snapshot = cache.snapshot()
+        assert snapshot["size"] == 1
+        assert snapshot["capacity"] == 4
+        assert snapshot["hits"] == 1
+        assert snapshot["misses"] == 1
+        assert snapshot["hit_rate"] == 0.5
+
+    def test_clear_resets_entries_and_statistics(self):
+        cache = LRUEmbeddingCache(capacity=2)
+        cache.put("a", vec(1))
+        cache.get("a")
+        cache.get("b")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 0
+        assert cache.stats.evictions == 0
+
+
+class TestValidation:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LRUEmbeddingCache(capacity=0)
+
+    def test_capacity_one_degenerates_gracefully(self):
+        cache = LRUEmbeddingCache(capacity=1)
+        cache.put("a", vec(1))
+        cache.put("b", vec(2))
+        assert "a" not in cache
+        assert "b" in cache
+        assert cache.stats.evictions == 1

@@ -7,8 +7,6 @@ import pytest
 
 from repro.expr import (
     And,
-    Not,
-    Or,
     Var,
     Xor,
     count_operators,

@@ -9,7 +9,6 @@ from hypothesis import strategies as st
 
 from repro.expr import And, Ite, Not, Or, Var, Xor, equivalent, parse, random_equivalent, simplify_constants
 from repro.expr.transform import (
-    DEFAULT_RULES,
     RULE_NAMES,
     absorption,
     associative,

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.netlist import Gate, Netlist, NetlistError
+from repro.netlist import Netlist, NetlistError
 
 
 @pytest.fixture()

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import numpy as np
 import networkx as nx
-import pytest
 
 from repro.netlist import build_graph_view, gate_order, structural_features, to_networkx
 

@@ -13,7 +13,6 @@ from repro.rtl import (
     WConst,
     WMux,
     WSignal,
-    WSlice,
     WUnary,
     add_adder_block,
     add_comparator_block,

@@ -1,0 +1,132 @@
+"""Tests for the micro-batching scheduler (repro.serve.scheduler)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.serve import BatchScheduler, SchedulerClosed
+
+
+class Recorder:
+    """batch_fn double that records every batch it was handed."""
+
+    def __init__(self, delay: float = 0.0):
+        self.batches = []
+        self.delay = delay
+        self.lock = threading.Lock()
+
+    def __call__(self, items):
+        if self.delay:
+            time.sleep(self.delay)
+        with self.lock:
+            self.batches.append(list(items))
+        return [item * 2 for item in items]
+
+
+class TestResults:
+    def test_results_match_submission_order(self):
+        recorder = Recorder()
+        with BatchScheduler(recorder, max_batch_size=4, max_latency_ms=1.0) as scheduler:
+            futures = scheduler.submit_many(list(range(10)))
+            results = [future.result(timeout=5.0) for future in futures]
+        assert results == [i * 2 for i in range(10)]
+
+    def test_blocking_call_helper(self):
+        with BatchScheduler(lambda items: [x + 1 for x in items], max_latency_ms=1.0) as s:
+            assert s(41, timeout=5.0) == 42
+
+    def test_single_item_flushes_by_deadline(self):
+        recorder = Recorder()
+        with BatchScheduler(recorder, max_batch_size=64, max_latency_ms=5.0) as scheduler:
+            assert scheduler.submit("x").result(timeout=5.0) == "xx"
+        stats = scheduler.stats()
+        assert stats["deadline_flushes"] >= 1
+        assert stats["completed"] == 1
+
+    def test_coalesces_concurrent_submissions(self):
+        recorder = Recorder(delay=0.02)  # slow worker lets the queue fill
+        with BatchScheduler(recorder, max_batch_size=8, max_latency_ms=50.0) as scheduler:
+            futures = [scheduler.submit(i) for i in range(16)]
+            results = [future.result(timeout=10.0) for future in futures]
+        assert results == [i * 2 for i in range(16)]
+        stats = scheduler.stats()
+        # 16 requests against a slow worker must not take 16 batches.
+        assert stats["batches"] < 16
+        assert stats["mean_batch_size"] > 1.0
+        assert max(len(batch) for batch in recorder.batches) <= 8
+
+    def test_many_threads_submit_concurrently(self):
+        recorder = Recorder()
+        errors = []
+        with BatchScheduler(recorder, max_batch_size=16, max_latency_ms=2.0) as scheduler:
+
+            def worker(base):
+                try:
+                    for i in range(20):
+                        assert scheduler(base + i, timeout=10.0) == (base + i) * 2
+                except Exception as error:  # pragma: no cover - failure reporting
+                    errors.append(error)
+
+            threads = [threading.Thread(target=worker, args=(t * 1000,)) for t in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert not errors
+        assert scheduler.stats()["completed"] == 80
+
+
+class TestFailure:
+    def test_batch_error_propagates_to_all_waiters_only_in_that_batch(self):
+        calls = []
+
+        def flaky(items):
+            calls.append(list(items))
+            if "bad" in items:
+                raise RuntimeError("boom")
+            return items
+
+        with BatchScheduler(flaky, max_batch_size=64, max_latency_ms=1.0) as scheduler:
+            bad = scheduler.submit("bad")
+            with pytest.raises(RuntimeError, match="boom"):
+                bad.result(timeout=5.0)
+            # The scheduler stays alive for later batches.
+            assert scheduler.submit("good").result(timeout=5.0) == "good"
+        stats = scheduler.stats()
+        assert stats["failed"] >= 1
+        assert stats["completed"] >= 1
+
+    def test_wrong_result_count_is_an_error(self):
+        with BatchScheduler(lambda items: [], max_latency_ms=1.0) as scheduler:
+            with pytest.raises(RuntimeError, match="results"):
+                scheduler.submit("x").result(timeout=5.0)
+
+
+class TestLifecycle:
+    def test_close_drains_pending_work(self):
+        recorder = Recorder(delay=0.01)
+        scheduler = BatchScheduler(recorder, max_batch_size=4, max_latency_ms=500.0)
+        futures = scheduler.submit_many(list(range(6)))
+        scheduler.close()  # must not strand the 2-item tail behind the deadline
+        assert [future.result(timeout=1.0) for future in futures] == [i * 2 for i in range(6)]
+
+    def test_submit_after_close_raises(self):
+        scheduler = BatchScheduler(lambda items: items, max_latency_ms=1.0)
+        scheduler.close()
+        assert scheduler.closed
+        with pytest.raises(SchedulerClosed):
+            scheduler.submit(1)
+
+    def test_double_close_is_safe(self):
+        scheduler = BatchScheduler(lambda items: items, max_latency_ms=1.0)
+        scheduler.close()
+        scheduler.close()
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            BatchScheduler(lambda items: items, max_batch_size=0)
+        with pytest.raises(ValueError):
+            BatchScheduler(lambda items: items, max_latency_ms=-1.0)

@@ -6,7 +6,7 @@ import pytest
 
 from repro.expr import FALSE, TRUE, Var
 from repro.netlist import Netlist
-from repro.rtl import RTLModule, WBinary, WMux, WSignal
+from repro.rtl import RTLModule, WBinary, WMux
 from repro.synth import (
     bit_net,
     constant_bits,
