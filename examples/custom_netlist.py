@@ -9,10 +9,15 @@ rather than this repository's RTL generators.  This example shows that path:
    (name, cell type, 2-hop symbolic expression, physical characteristics),
 4. run the physical-design and analysis substrates on it (placement,
    parasitics, STA, power, area),
-5. embed it with a pre-trained NetTAG.
+5. embed it with a pre-trained NetTAG,
+6. index the embeddings and retrieve the nearest register cones through the
+   serving layer (``repro.serve``).
 
 Run with ``python examples/custom_netlist.py``.
 """
+
+import tempfile
+from pathlib import Path
 
 from repro.analysis import analyze_area, analyze_power, analyze_timing
 from repro.core import NetTAGConfig, NetTAGPipeline
@@ -90,6 +95,20 @@ def main() -> None:
     print("  circuit embedding dim:", embedding.dim)
     print("  per-gate embeddings:", embedding.gate_embeddings.shape)
     print("  register-cone embeddings:", sorted(embedding.cone_embeddings))
+
+    # ------------------------------------------------------------------
+    # 6. Index the corpus (pre-training designs + the custom netlist) and
+    #    retrieve the nearest register cones for one of ours.
+    # ------------------------------------------------------------------
+    index_dir = Path(tempfile.mkdtemp(prefix="nettag-custom-")) / "index"
+    pipeline.build_index(index_dir)
+    with pipeline.serve(index=index_dir) as service:
+        service.add_netlists([netlist])
+        hits = service.query_cone(cones[0], k=3, exclude_self=True,
+                                  netlist_name=netlist.name)
+        print(f"\nnearest indexed cones to {netlist.name}::{cones[0].register_name}:")
+        for hit in hits:
+            print(f"  {hit.score:+.4f}  {hit.key}")
 
     # Round-trip check: the netlist can be written back out as Verilog.
     round_trip = read_verilog(write_verilog(netlist), from_string=True)

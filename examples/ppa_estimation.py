@@ -14,8 +14,12 @@ This example builds the datasets with the bundled physical-design and
 analysis substrates (placement, SPEF-like parasitics, STA, power/area
 analysis), so every label is produced by an actual — if simplified — flow.
 
-Run with ``python examples/ppa_estimation.py`` (a few minutes on CPU).
+Run with ``python examples/ppa_estimation.py`` (a few minutes on CPU; set
+``REPRO_EXAMPLES_FAST=1`` for a scaled-down smoke-test profile, as the CI
+example-smoke job does).
 """
+
+import os
 
 from repro.core import NetTAGConfig, NetTAGPipeline
 from repro.tasks import (
@@ -37,10 +41,12 @@ def main() -> None:
     # Task 3: endpoint register slack prediction at the netlist stage.
     # ------------------------------------------------------------------
     print("\nbuilding sequential designs with sign-off slack labels ...")
-    sequential = build_sequential_dataset(
-        design_names=("itc1", "itc2", "chipyard1", "vex1", "opencores1", "opencores2")
+    fast = os.environ.get("REPRO_EXAMPLES_FAST", "") not in ("", "0")
+    names = ("itc1", "chipyard1", "vex1") if fast else (
+        "itc1", "itc2", "chipyard1", "vex1", "opencores1", "opencores2"
     )
-    results3 = run_task3(pipeline.model, sequential, baseline_epochs=20)
+    sequential = build_sequential_dataset(design_names=names)
+    results3 = run_task3(pipeline.model, sequential, baseline_epochs=5 if fast else 20)
     print("\nTask 3 — endpoint register slack (R / MAPE%, last row = average)")
     for method, rows in results3.items():
         for row in rows:
@@ -51,8 +57,8 @@ def main() -> None:
     # Task 4: circuit-level power/area prediction.
     # ------------------------------------------------------------------
     print("\nbuilding the circuit-level power/area dataset ...")
-    task4 = build_task4_dataset(num_designs=12)
-    rows4 = run_task4(pipeline.model, task4, baseline_epochs=25)
+    task4 = build_task4_dataset(num_designs=6 if fast else 12)
+    rows4 = run_task4(pipeline.model, task4, baseline_epochs=8 if fast else 25)
 
     print("\nTask 4 — post-layout power/area prediction (R / MAPE%)")
     print(f"  {'metric':>8} {'scenario':>9} {'method':>10} {'R':>6} {'MAPE%':>6}")

@@ -7,10 +7,15 @@ This walks through the full NetTAG workflow on a CPU-sized configuration:
    cross-stage alignment),
 2. synthesise new circuits with the built-in logic-synthesis substrate,
 3. generate multi-grained embeddings (gates, register cones, whole circuit),
-4. fine-tune a lightweight classifier head on frozen gate embeddings.
+4. fine-tune a lightweight classifier head on frozen gate embeddings,
+5. persist the corpus in an embedding index and retrieve similar circuits
+   through the serving layer (``repro.serve``).
 
 Run with ``python examples/quickstart.py`` (takes well under a minute).
 """
+
+import tempfile
+from pathlib import Path
 
 import numpy as np
 
@@ -78,6 +83,20 @@ def main() -> None:
     print("  classes present:", sorted({TASK1_CLASSES[l] for l in labels}))
     print("  test accuracy:", round(report["accuracy"] * 100.0, 1), "%")
     print("  test F1:", round(report["f1"] * 100.0, 1), "%")
+
+    # ------------------------------------------------------------------
+    # 5. Persist the corpus in an embedding index and retrieve from it.
+    #    (The full serving cookbook, cross-modal queries included, lives in
+    #    docs/serving.md and examples/crossmodal_retrieval.py.)
+    # ------------------------------------------------------------------
+    index_dir = Path(tempfile.mkdtemp(prefix="nettag-quickstart-")) / "index"
+    index = pipeline.build_index(index_dir)      # cached pipeline stage
+    with pipeline.serve(index=index_dir) as service:
+        hits = service.query_netlist(controller, k=3)
+        print(f"\nindexed {len(index)} embeddings; top-3 circuits for "
+              f"{controller.name}:")
+        for hit in hits:
+            print(f"  {hit.score:+.4f}  {hit.key}")
 
 
 if __name__ == "__main__":

@@ -13,8 +13,12 @@ embeddings (plus a lightweight MLP head) against the task-specific supervised
 baselines from the paper: GNN-RE for gate functions and ReIGNN for register
 roles.
 
-Run with ``python examples/reverse_engineering.py`` (a few minutes on CPU).
+Run with ``python examples/reverse_engineering.py`` (a few minutes on CPU;
+set ``REPRO_EXAMPLES_FAST=1`` for a scaled-down smoke-test profile, as the
+CI example-smoke job does).
 """
+
+import os
 
 from repro.core import NetTAGConfig, NetTAGPipeline
 from repro.tasks import (
@@ -23,6 +27,8 @@ from repro.tasks import (
     run_task1,
     run_task2,
 )
+
+FAST = os.environ.get("REPRO_EXAMPLES_FAST", "") not in ("", "0")
 
 
 def print_rows(title: str, results: dict, columns) -> None:
@@ -48,8 +54,8 @@ def main() -> None:
     # Task 1: combinational gate function identification (vs. GNN-RE).
     # ------------------------------------------------------------------
     print("\nbuilding the GNN-RE-style gate-function dataset ...")
-    task1 = build_task1_dataset(num_designs=5)
-    results1 = run_task1(pipeline.model, task1, baseline_epochs=20)
+    task1 = build_task1_dataset(num_designs=3 if FAST else 5)
+    results1 = run_task1(pipeline.model, task1, baseline_epochs=5 if FAST else 20)
     print_rows(
         "Task 1 — gate function identification (percent, last row = average)",
         results1,
@@ -60,10 +66,11 @@ def main() -> None:
     # Task 2: state vs. data register identification (vs. ReIGNN).
     # ------------------------------------------------------------------
     print("\nbuilding the sequential register dataset ...")
-    sequential = build_sequential_dataset(
-        design_names=("itc1", "itc2", "chipyard1", "vex1", "opencores1", "opencores2")
+    names = ("itc1", "chipyard1", "vex1") if FAST else (
+        "itc1", "itc2", "chipyard1", "vex1", "opencores1", "opencores2"
     )
-    results2 = run_task2(pipeline.model, sequential, baseline_epochs=20)
+    sequential = build_sequential_dataset(design_names=names)
+    results2 = run_task2(pipeline.model, sequential, baseline_epochs=5 if FAST else 20)
     print_rows(
         "Task 2 — state/data register identification (percent, last row = average)",
         results2,

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Refresh ``BENCH_crossmodal.json`` (cross-modal retrieval benchmark).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_crossmodal.py [--items N] [--queries Q]
+        [--threads T] [--seed S] [--output PATH]
+        [--baseline PATH] [--max-regression R]
+
+Builds an aligned RTL/netlist/layout corpus, indexes every modality through
+``NetTAGPipeline.build_multimodal_index``, and measures aligned-pair
+retrieval recall@10 for every modality pair plus concurrent cross-modal
+serving throughput against a stateless sequential per-query encoder.
+
+Exit codes mirror ``scripts/bench_throughput.py``: 1 when a quality gate
+fails (recall@10 ≥ 0.8, serving speedup ≥ 3x, serving-path parity), 3 when
+the report regresses more than ``--max-regression`` below the committed
+baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench.crossmodal import (  # noqa: E402
+    build_crossmodal_pipeline,
+    run_crossmodal_bench,
+    save_crossmodal_report,
+)
+from repro.bench.throughput import check_regression  # noqa: E402
+
+REQUIRED_RECALL = 0.8
+REQUIRED_SPEEDUP = 3.0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--items", type=int, default=220,
+                        help="minimum aligned corpus items (default: 220)")
+    parser.add_argument("--queries", type=int, default=48, help="number of serving requests")
+    parser.add_argument("--threads", type=int, default=32, help="concurrent client threads")
+    parser.add_argument("--seed", type=int, default=7, help="model initialisation seed")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="report path (default: BENCH_crossmodal.json at the repo root)")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="committed baseline report to gate regressions against")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="tolerated relative drop vs the baseline (default: 0.25)")
+    args = parser.parse_args()
+
+    pipeline = build_crossmodal_pipeline(min_items=args.items, seed=args.seed)
+    report = run_crossmodal_bench(
+        pipeline=pipeline,
+        min_items=args.items,
+        num_queries=args.queries,
+        num_threads=args.threads,
+        seed=args.seed,
+    )
+    path = save_crossmodal_report(report, path=args.output)
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {path}")
+
+    failures = []
+    recall = report["quality"]["aligned_pair_recall_at_10"]
+    speedup = report["speedup"]["concurrent_vs_sequential"]
+    if recall < REQUIRED_RECALL:
+        failures.append(f"aligned-pair recall@10 {recall} < {REQUIRED_RECALL}")
+    if speedup < REQUIRED_SPEEDUP:
+        failures.append(f"concurrent serving speedup {speedup}x < {REQUIRED_SPEEDUP}x")
+    if not report["quality"]["ranking_parity"]:
+        failures.append("sequential and concurrent serving scores disagree")
+    if failures:
+        for failure in failures:
+            print(f"QUALITY GATE FAILED: {failure}", file=sys.stderr)
+        return 1
+
+    if args.baseline is not None and args.baseline.exists():
+        baseline = json.loads(args.baseline.read_text())
+        regressions = check_regression(report, baseline, max_regression=args.max_regression)
+        base_recall = baseline.get("quality", {}).get("aligned_pair_recall_at_10")
+        if base_recall and recall < base_recall * (1.0 - args.max_regression):
+            regressions.append(
+                f"recall@10 {recall} fell more than {args.max_regression:.0%} below "
+                f"the baseline {base_recall}"
+            )
+        if regressions:
+            for regression in regressions:
+                print(f"REGRESSION: {regression}", file=sys.stderr)
+            return 3
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

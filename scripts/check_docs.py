@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Check that every fenced code block in the documentation stays valid.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_docs.py [FILES...]
+
+Defaults to ``README.md`` plus every ``docs/*.md``.  Two kinds of fenced
+blocks are checked:
+
+* ```` ```python ```` blocks must **compile** (syntax-checked against the
+  running interpreter — a renamed API that a block still calls is caught by
+  the docstring/test suites, a block that no longer parses is caught here),
+* ```` ```pycon ```` blocks (doctest-style ``>>>`` transcripts) are
+  **executed** and their outputs compared, exactly like doctests.
+
+Exit code 1 lists every failing block with its file and line.  The same
+checks run in CI (the ``docs`` job) and in the tier-1 suite
+(``tests/test_docs.py``), so documentation code cannot rot silently.
+"""
+
+from __future__ import annotations
+
+import doctest
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: Fence languages treated as compile-checked Python.
+PYTHON_LANGUAGES = ("python", "py")
+#: Fence languages treated as executable doctest transcripts.
+DOCTEST_LANGUAGES = ("pycon",)
+
+
+def default_documents(root: Path = REPO_ROOT) -> List[Path]:
+    """README plus every markdown file under ``docs/``."""
+    documents = [root / "README.md"]
+    documents.extend(sorted((root / "docs").glob("*.md")))
+    return [path for path in documents if path.exists()]
+
+
+def iter_code_blocks(path: Path) -> Iterator[Tuple[str, int, str]]:
+    """Yield ``(language, first_line_number, source)`` per fenced block."""
+    language = None
+    start = 0
+    lines: List[str] = []
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        stripped = line.strip()
+        if language is None:
+            if stripped.startswith("```") and stripped != "```":
+                language = stripped[3:].strip().lower()
+                start = number + 1
+                lines = []
+        elif stripped == "```":
+            yield language, start, "\n".join(lines) + "\n"
+            language = None
+        else:
+            lines.append(line)
+
+
+def check_python_block(path: Path, line: int, source: str) -> List[str]:
+    """Compile one ``python`` block; returns failure messages."""
+    try:
+        compile(source, f"{path}:{line}", "exec")
+    except SyntaxError as error:
+        return [f"{path}:{line}: python block does not compile: {error}"]
+    return []
+
+
+def check_doctest_block(path: Path, line: int, source: str) -> List[str]:
+    """Execute one ``pycon`` block as a doctest; returns failure messages."""
+    parser = doctest.DocTestParser()
+    try:
+        test = parser.get_doctest(source, {}, name=f"{path}:{line}", filename=str(path), lineno=line)
+    except ValueError as error:
+        return [f"{path}:{line}: unparsable doctest block: {error}"]
+    failures: List[str] = []
+
+    class _Runner(doctest.DocTestRunner):
+        def report_failure(self, out, test, example, got):  # noqa: D102
+            failures.append(
+                f"{path}:{line + example.lineno}: doctest got {got.strip()!r}, "
+                f"expected {example.want.strip()!r}"
+            )
+
+        def report_unexpected_exception(self, out, test, example, exc_info):  # noqa: D102
+            failures.append(
+                f"{path}:{line + example.lineno}: doctest raised "
+                f"{exc_info[1]!r} running {example.source.strip()!r}"
+            )
+
+    _Runner(verbose=False).run(test, out=lambda text: None)
+    return failures
+
+
+def check_document(path: Path) -> Tuple[int, List[str]]:
+    """Check one markdown file; returns ``(blocks_checked, failures)``."""
+    checked = 0
+    failures: List[str] = []
+    for language, line, source in iter_code_blocks(path):
+        if language in PYTHON_LANGUAGES:
+            checked += 1
+            failures.extend(check_python_block(path, line, source))
+        elif language in DOCTEST_LANGUAGES:
+            checked += 1
+            failures.extend(check_doctest_block(path, line, source))
+    return checked, failures
+
+
+def main(argv: List[str]) -> int:
+    documents = [Path(arg) for arg in argv] or default_documents()
+    total = 0
+    failures: List[str] = []
+    for path in documents:
+        checked, document_failures = check_document(path)
+        total += checked
+        failures.extend(document_failures)
+        status = "FAIL" if document_failures else "ok"
+        print(f"{status:>4}  {path} ({checked} checked blocks)")
+    if failures:
+        print()
+        for failure in failures:
+            print(failure, file=sys.stderr)
+        return 1
+    print(f"\n{total} documentation code blocks ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -5,11 +5,13 @@
 #   scripts/ci_check.sh --fast   # skip the model smoke (quickest useful check)
 #
 # Mirrors .github/workflows/ci.yml job for job: the lint job (ruff, hard-error
-# rules from ruff.toml), the tier-1 test job (bench/slow excluded; CI runs it
-# on 3.10 and 3.12 — locally you get whichever python is first on PATH), and
-# the compile + model smoke job.  The scheduled benchmark workflow
+# + docstring rules from ruff.toml), the tier-1 test job (bench/slow excluded;
+# CI runs it on 3.10 and 3.12 — locally you get whichever python is first on
+# PATH), the docs job (fenced code blocks in README.md/docs/*.md), and the
+# compile + model smoke job.  The scheduled benchmark workflow
 # (.github/workflows/bench.yml) is NOT mirrored here; run
-# scripts/bench_throughput.py / scripts/bench_index.py for that.
+# scripts/bench_throughput.py / scripts/bench_index.py /
+# scripts/bench_crossmodal.py for that.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -33,6 +35,9 @@ fi
 
 step "tier-1 tests on $(python --version 2>&1) (CI matrix: 3.10 + 3.12)"
 python -m pytest -x -q -m "not bench and not slow"
+
+step "docs: fenced code blocks compile, doctests run"
+python scripts/check_docs.py
 
 step "byte-compile every module"
 python -m compileall -q src tests benchmarks scripts examples

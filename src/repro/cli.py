@@ -23,9 +23,12 @@ Three subcommands cover the typical workflow of a downstream user:
 ``index``
     Maintain and query a persistent embedding index (``repro.serve``):
     ``index build`` embeds a directory of netlists into a fresh sharded
-    index, ``index add`` appends to an existing one, ``index query``
-    retrieves the top-k most similar circuits or register cones for a new
-    netlist, and ``index stats`` prints occupancy and provenance.
+    index (``--modalities`` adds cross-modal ``rtl``/``layout`` rows, and
+    ``--synthetic N`` builds the corpus from the RTL generators so the RTL
+    side exists), ``index add`` appends to an existing one, ``index query``
+    retrieves the top-k nearest entries for a query in any modality
+    (``--from rtl --to cone`` finds the register cones implementing an RTL
+    snippet), and ``index stats`` prints occupancy and provenance.
 
 Run ``python -m repro --help`` for details.
 """
@@ -93,28 +96,43 @@ def _build_parser() -> argparse.ArgumentParser:
                              help="NetTAG checkpoint (.npz)")
 
     build = index_sub.add_parser(
-        "build", help="embed a directory of .v netlists into a fresh index"
+        "build", help="embed a corpus (directory of .v files, or --synthetic) into a fresh index"
     )
-    build.add_argument("netlists", type=Path, help="directory of structural Verilog files")
+    build.add_argument("netlists", type=Path, nargs="?", default=None,
+                       help="directory of structural Verilog files (omit with --synthetic)")
     add_common(build)
     build.add_argument("--shard-size", type=int, default=1024,
                        help="rows per on-disk shard (default: 1024)")
     build.add_argument("--force", action="store_true",
                        help="overwrite an existing index at --index")
+    build.add_argument("--modalities", type=str, default=None, metavar="KINDS",
+                       help="comma list among circuit,cone,rtl,layout (or 'all') to build "
+                            "a cross-modal index; rtl rows need --synthetic (RTL sources)")
+    build.add_argument("--synthetic", type=int, default=None, metavar="N",
+                       help="build the corpus from the synthetic RTL generators "
+                            "(N designs per suite) instead of a netlist directory")
 
     add = index_sub.add_parser("add", help="append netlists to an existing index")
     add.add_argument("netlists", type=Path, help="a .v file or a directory of .v files")
     add_common(add)
 
     query = index_sub.add_parser(
-        "query", help="embed one netlist and retrieve its nearest index entries"
+        "query", help="embed one query (netlist or RTL text) and retrieve its nearest entries"
     )
-    query.add_argument("netlist", type=Path, help="structural Verilog file")
+    query.add_argument("netlist", type=Path,
+                       help="structural Verilog file (an RTL text file with --from rtl)")
     add_common(query)
     query.add_argument("-k", type=int, default=5, help="results per query (default: 5)")
+    query.add_argument("--from", dest="from_kind", default=None,
+                       choices=("circuit", "netlist", "cone", "rtl", "layout"),
+                       help="query modality ('netlist' is an alias for 'circuit'; "
+                            "default: circuit; rtl/layout need a cross-modal index)")
+    query.add_argument("--to", dest="to_kind", default=None,
+                       choices=("circuit", "netlist", "cone", "rtl", "layout"),
+                       help="target namespace to retrieve from (default: the query "
+                            "modality for circuit/cone, cone for rtl/layout)")
     query.add_argument("--cones", action="store_true",
-                       help="query each register cone against the cone namespace "
-                            "instead of the whole circuit")
+                       help="shorthand for --from cone --to cone")
     query.add_argument("--approx", action="store_true",
                        help="use the IVF approximate searcher instead of exact search")
 
@@ -237,18 +255,15 @@ def _run_index(args: argparse.Namespace) -> int:
 
     model = NetTAG.load(args.checkpoint)
 
-    if args.index_command in ("build", "add"):
-        paths = _netlist_paths(args.netlists)
-        paths = [p for p in paths if p.exists()]
+    if args.index_command == "build":
+        return _run_index_build(args, model)
+
+    if args.index_command == "add":
+        paths = [p for p in _netlist_paths(args.netlists) if p.exists()]
         if not paths:
             print(f"no .v netlists found at {args.netlists}", file=sys.stderr)
             return 2
-        if args.index_command == "build":
-            index = NetTAGService.create_index(
-                model, args.index, shard_size=args.shard_size, overwrite=args.force
-            )
-        else:
-            index = NetTAGService.open_index(model, args.index)
+        index = NetTAGService.open_index(model, args.index)
         with NetTAGService(model, index=index) as service:
             netlists = [read_verilog(path) for path in paths]
             added = service.add_netlists(netlists)
@@ -256,25 +271,170 @@ def _run_index(args: argparse.Namespace) -> int:
               f"({index.num_shards} shards, {len(index)} entries)")
         return 0
 
-    # query
-    index = NetTAGService.open_index(model, args.index)
-    netlist = read_verilog(args.netlist)
-    with NetTAGService(model, index=index) as service:
-        if args.cones:
-            from .netlist import extract_register_cones
+    return _run_index_query(args, model)
 
+
+def _parse_modalities(raw: Optional[str]):
+    from .serve import MODALITY_KINDS
+
+    if raw is None or raw == "all":
+        return tuple(MODALITY_KINDS)
+    modalities = tuple(part.strip() for part in raw.split(",") if part.strip())
+    unknown = set(modalities) - set(MODALITY_KINDS)
+    if unknown:
+        raise ValueError(
+            f"unknown modalities {sorted(unknown)}; choose from {MODALITY_KINDS}"
+        )
+    return modalities
+
+
+def _run_index_build(args: argparse.Namespace, model) -> int:
+    from .netlist import read_verilog
+    from .serve import NetTAGService
+
+    try:
+        modalities = _parse_modalities(args.modalities) if args.modalities else None
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+    if args.synthetic is not None:
+        if args.netlists is not None:
+            print("index build takes a netlist directory OR --synthetic, not both "
+                  "(the synthetic corpus would silently replace your directory)",
+                  file=sys.stderr)
+            return 2
+        # Pipeline-built multimodal corpus: the RTL generators supply every
+        # modality (RTL cone texts, synthesised netlists, cone layouts).
+        from .core import NetTAGPipeline
+
+        pipeline = NetTAGPipeline(model=model)
+        pipeline.preprocess_corpus(designs_per_suite=args.synthetic)
+        index, encoder = pipeline.build_multimodal_index(
+            args.index,
+            modalities=modalities,
+            shard_size=args.shard_size,
+            overwrite=args.force,
+        )
+        kinds = index.stats()["kinds"]
+        print(f"built cross-modal index from {len(pipeline.designs)} synthetic designs "
+              f"-> {args.index}")
+        print("  kinds: " + ", ".join(f"{kind}={count}" for kind, count in sorted(kinds.items())))
+        return 0
+
+    if args.netlists is None:
+        print("index build needs a netlist directory (or --synthetic N)", file=sys.stderr)
+        return 2
+    paths = [p for p in _netlist_paths(args.netlists) if p.exists()]
+    if not paths:
+        print(f"no .v netlists found at {args.netlists}", file=sys.stderr)
+        return 2
+    netlists = [read_verilog(path) for path in paths]
+
+    if modalities is None:
+        index = NetTAGService.create_index(
+            model, args.index, shard_size=args.shard_size, overwrite=args.force
+        )
+        with NetTAGService(model, index=index) as service:
+            added = service.add_netlists(netlists)
+        print(f"indexed {added} embeddings from {len(netlists)} netlists -> {args.index} "
+              f"({index.num_shards} shards, {len(index)} entries)")
+        return 0
+
+    from .serve import (
+        LAYOUT_KIND,
+        RTL_KIND,
+        CrossModalEncoder,
+        build_multimodal_index,
+        items_from_netlists,
+    )
+
+    if RTL_KIND in modalities:
+        print("rtl rows need RTL sources; use --synthetic N (the generators) or "
+              "drop 'rtl' from --modalities for a .v-only corpus", file=sys.stderr)
+        return 2
+    layout_encoder = None
+    if LAYOUT_KIND in modalities:
+        import numpy as np
+
+        from .encoders import LayoutEncoder
+
+        layout_encoder = LayoutEncoder(rng=np.random.default_rng(model.config.seed))
+    encoder = CrossModalEncoder(model, layout_encoder=layout_encoder)
+    # The per-cone physical flow (place + optimise + parasitics) is the
+    # expensive part of a layout build — skip it when layouts aren't wanted.
+    items = items_from_netlists(netlists, build_layouts=LAYOUT_KIND in modalities)
+    index = build_multimodal_index(
+        encoder, args.index, netlists, items, modalities=modalities,
+        shard_size=args.shard_size, overwrite=args.force,
+    )
+    kinds = index.stats()["kinds"]
+    print(f"built cross-modal index from {len(netlists)} netlists -> {args.index}")
+    print("  kinds: " + ", ".join(f"{kind}={count}" for kind, count in sorted(kinds.items())))
+    return 0
+
+
+def _run_index_query(args: argparse.Namespace, model) -> int:
+    from .netlist import extract_register_cones, read_verilog
+    from .serve import (
+        CIRCUIT_KIND,
+        CONE_KIND,
+        LAYOUT_KIND,
+        RTL_KIND,
+        CrossModalEncoder,
+        NetTAGService,
+    )
+
+    alias = {"netlist": CIRCUIT_KIND}
+    from_kind = args.from_kind or (CONE_KIND if args.cones else CIRCUIT_KIND)
+    from_kind = alias.get(from_kind, from_kind)
+    default_to = {CIRCUIT_KIND: CIRCUIT_KIND, CONE_KIND: CONE_KIND,
+                  RTL_KIND: CONE_KIND, LAYOUT_KIND: CONE_KIND}
+    to_kind = alias.get(args.to_kind, args.to_kind) or default_to[from_kind]
+
+    crossmodal = None
+    if RTL_KIND in (from_kind, to_kind) or LAYOUT_KIND in (from_kind, to_kind):
+        if not CrossModalEncoder.available(args.index):
+            print(f"index at {args.index} has no multimodal sidecar; rebuild it with "
+                  "--modalities (and --synthetic for rtl rows)", file=sys.stderr)
+            return 2
+        crossmodal = CrossModalEncoder.load(args.index, model)
+        if from_kind in (RTL_KIND, LAYOUT_KIND) and not crossmodal.supports(from_kind):
+            print(f"the index at {args.index} was built without the {from_kind!r} "
+                  f"modality; rebuild with --modalities including {from_kind}",
+                  file=sys.stderr)
+            return 2
+
+    # One (label, item) pair per query the modality implies for the input file.
+    if from_kind == RTL_KIND:
+        queries = [(args.netlist.name, args.netlist.read_text())]
+    else:
+        netlist = read_verilog(args.netlist)
+        if from_kind == CIRCUIT_KIND:
+            queries = [(netlist.name, netlist)]
+        else:
             cones = extract_register_cones(netlist)
             if not cones:
                 print(f"{netlist.name} has no register cones to query", file=sys.stderr)
                 return 2
-            for cone in cones:
-                hits = service.query_cone(cone, k=args.k, approximate=args.approx)
-                print(f"{netlist.name}::{cone.register_name}")
-                for hit in hits:
-                    print(f"  {hit.score:+.4f}  {hit.key}")
-        else:
-            hits = service.query_netlist(netlist, k=args.k, approximate=args.approx)
-            print(f"{netlist.name}: top-{args.k} similar circuits")
+            if from_kind == CONE_KIND:
+                queries = [(f"{netlist.name}::{c.register_name}", c) for c in cones]
+            else:  # layout queries: one per register-cone layout
+                from .physical import derive_layout_graph
+
+                queries = [
+                    (f"{netlist.name}::{cone.register_name}",
+                     derive_layout_graph(cone.netlist))
+                    for cone in cones
+                ]
+
+    index = NetTAGService.open_index(model, args.index)
+    with NetTAGService(model, index=index, crossmodal=crossmodal) as service:
+        for label, item in queries:
+            hits = service.query_modal(
+                item, from_kind, to_kind=to_kind, k=args.k, approximate=args.approx
+            )
+            print(f"{label}: top-{args.k} {to_kind} entries (from {from_kind})")
             for hit in hits:
                 print(f"  {hit.score:+.4f}  {hit.key}")
     return 0

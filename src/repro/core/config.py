@@ -82,9 +82,11 @@ class NetTAGConfig:
     # Derived component configurations
     # ------------------------------------------------------------------
     def text_encoder_config(self) -> TextEncoderConfig:
+        """The ExprLLM text-encoder configuration implied by ``model_size``."""
         return TextEncoderConfig.preset(self.model_size)
 
     def tagformer_config(self) -> TAGFormerConfig:
+        """The TAGFormer configuration implied by the model dimensions."""
         text_dim = self.text_encoder_config().output_dim
         physical_dim = len(PHYSICAL_FIELDS)
         semantic_dim = len(EXPRESSION_FEATURES)

@@ -52,9 +52,11 @@ class CircuitEmbedding:
 
     @property
     def dim(self) -> int:
+        """Width of the circuit-level embedding vector."""
         return int(self.graph_embedding.shape[0])
 
     def gate_embedding(self, gate_name: str) -> np.ndarray:
+        """The embedding row of one gate, looked up by name."""
         index = self.gate_names.index(gate_name)
         return self.gate_embeddings[index]
 
@@ -74,6 +76,7 @@ class NetTAG(nn.Module):
     # ------------------------------------------------------------------
     @property
     def output_dim(self) -> int:
+        """Width of the fused TAGFormer output embeddings."""
         return self.tagformer.output_dim
 
     def node_texts(self, tag: TextAttributedGraph) -> List[str]:
@@ -317,6 +320,7 @@ class NetTAG(nn.Module):
 
     @property
     def gate_embedding_dim(self) -> int:
+        """Width of one gate embedding (multi-grained readout included)."""
         if not self.config.multi_grained_embeddings:
             return self.output_dim
         # Fused output + raw input features + 1-hop and 2-hop propagated features.
@@ -324,6 +328,7 @@ class NetTAG(nn.Module):
 
     @property
     def graph_embedding_dim(self) -> int:
+        """Width of one graph-level embedding (multi-grained readout included)."""
         if not self.config.multi_grained_embeddings:
             return self.output_dim
         return 2 * self.output_dim + 2 * self.tagformer.config.input_dim + 1
@@ -359,6 +364,7 @@ class NetTAG(nn.Module):
     # Netlist-level embeddings
     # ------------------------------------------------------------------
     def build_tag(self, netlist: Netlist) -> TextAttributedGraph:
+        """The text-attributed graph of a netlist at the configured hop count."""
         return netlist_to_tag(netlist, k=self.config.expression_hops)
 
     def encode_netlist(
@@ -582,4 +588,5 @@ class NetTAG(nn.Module):
 
     # ------------------------------------------------------------------
     def clear_caches(self) -> None:
+        """Drop the expression-embedding cache (e.g. after loading new weights)."""
         self.expr_llm.clear_cache()

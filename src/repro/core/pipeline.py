@@ -45,7 +45,7 @@ from ..netlist import (
     netlist_to_tag,
     write_verilog,
 )
-from ..physical import build_layout_graph, physically_optimize, place
+from ..physical import derive_layout_graph
 from ..physical.layout_graph import LayoutGraph
 from ..pretrain import (
     ExprLLMPretrainer,
@@ -73,9 +73,10 @@ STAGE_RTL_ALIGN = "rtl_align"
 STAGE_LAYOUT_ALIGN = "layout_align"
 STAGE_SAMPLES = "samples"
 STAGE_TAG_PRETRAIN = "tag_pretrain"
-# Post-training stage: embedding-index payload (not part of PIPELINE_STAGES,
+# Post-training stages: embedding-index payloads (not part of PIPELINE_STAGES,
 # which lists the pre-training stop_after targets).
 STAGE_INDEX = "index_build"
+STAGE_MULTIMODAL = "multimodal_index"
 PIPELINE_STAGES = (
     STAGE_PREPROCESS,
     STAGE_EXPR_CORPUS,
@@ -98,6 +99,19 @@ def _designs_fingerprint(designs: Sequence["PreprocessedDesign"]) -> str:
         digest.update(design.name.encode("utf-8"))
         digest.update(write_verilog(design.netlist).encode("utf-8"))
         digest.update(str(len(design.cones)).encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+def _netlist_corpus_digest(netlists: Sequence[Netlist]) -> str:
+    """Content hash of a netlist corpus (names + rendered Verilog).
+
+    The cache key of the index-building stages: two corpora that share names
+    and sizes but differ in wiring can never collide on a warm cache.
+    """
+    digest = hashlib.sha256()
+    for netlist in netlists:
+        digest.update(netlist.name.encode("utf-8"))
+        digest.update(write_verilog(netlist).encode("utf-8"))
     return digest.hexdigest()[:16]
 
 
@@ -127,6 +141,7 @@ class PreprocessedDesign:
 
     @property
     def name(self) -> str:
+        """The synthesised netlist's name (the design's corpus identity)."""
         return self.netlist.name
 
 
@@ -150,6 +165,7 @@ class PretrainSummary:
 
     @property
     def total_seconds(self) -> float:
+        """Wall-clock total across every executed pipeline stage."""
         return (
             self.preprocess_seconds
             + self.expr_pretrain_seconds
@@ -158,6 +174,7 @@ class PretrainSummary:
         )
 
     def record_stage(self, timing: StageTiming) -> None:
+        """Append one stage's timing to the summary."""
         self.stage_timings.append(timing)
 
     def stage_report(self) -> List[str]:
@@ -179,10 +196,23 @@ class NetTAGPipeline:
         config: Optional[NetTAGConfig] = None,
         cache_dir: Optional[PathLike] = None,
         checkpoint_dir: Optional[PathLike] = None,
+        model: Optional[NetTAG] = None,
     ) -> None:
-        self.config = config or NetTAGConfig()
-        rng = np.random.default_rng(self.config.seed)
-        self.model = NetTAG(self.config, rng=rng)
+        """Build a pipeline, optionally around an existing (loaded) model.
+
+        ``model`` skips constructing a fresh randomly-initialised NetTAG —
+        the CLI passes a loaded checkpoint here; its config wins when
+        ``config`` is omitted.  The auxiliary encoders then seed from an
+        independent stream, so their init does not depend on how the model
+        was obtained.
+        """
+        self.config = config or (model.config if model is not None else NetTAGConfig())
+        if model is not None:
+            self.model = model
+            rng = np.random.default_rng([self.config.seed, 3])
+        else:
+            rng = np.random.default_rng(self.config.seed)
+            self.model = NetTAG(self.config, rng=rng)
         self.rtl_encoder = RTLEncoder(rng=rng) if self.config.use_cross_stage_alignment else None
         self.layout_encoder = LayoutEncoder(rng=rng) if self.config.use_cross_stage_alignment else None
         self.designs: List[PreprocessedDesign] = []
@@ -256,9 +286,7 @@ class NetTAGPipeline:
                 register_group = cone.attributes.get("register_group")
                 if isinstance(register_group, str) and register_group in register_names:
                     rtl_text = render_register_cone(module, register_group)
-                placement = place(cone.netlist)
-                optimized, _ = physically_optimize(cone.netlist, placement)
-                layout = build_layout_graph(optimized)
+                layout = derive_layout_graph(cone.netlist)
             rtl_texts.append(rtl_text)
             layouts.append(layout)
         elapsed = time.perf_counter() - start
@@ -284,7 +312,7 @@ class NetTAGPipeline:
         corpus_id = self._corpus_id(corpus, designs_per_suite)
         key_payload = self._preprocess_key(corpus_id)
 
-        def compute() -> List[PreprocessedDesign]:
+        def _compute() -> List[PreprocessedDesign]:
             built = corpus or generate_pretraining_corpus(
                 designs_per_suite=designs_per_suite, seed=self.config.seed
             )
@@ -294,7 +322,7 @@ class NetTAGPipeline:
                     designs.append(self.preprocess_module(module, suite=suite))
             return designs
 
-        self.designs = self.artifacts.get_or_compute(STAGE_PREPROCESS, key_payload, compute)
+        self.designs = self.artifacts.get_or_compute(STAGE_PREPROCESS, key_payload, _compute)
         timing = self.artifacts.timings[-1]
         self.summary.record_stage(timing)
         self.summary.preprocess_seconds = timing.seconds
@@ -399,13 +427,13 @@ class NetTAGPipeline:
             "seed": self.config.seed,
             "enabled": self.config.use_expression_contrastive,
         }
-        def compute_corpus() -> List[str]:
+        def _compute_corpus() -> List[str]:
             if not self.config.use_expression_contrastive:
                 return []
             expressions = collect_expression_corpus(all_tags, max_expressions_per_design=40)
             return self._apply_data_fraction(expressions, fraction_rng)
 
-        expressions = self.artifacts.get_or_compute(STAGE_EXPR_CORPUS, corpus_key, compute_corpus)
+        expressions = self.artifacts.get_or_compute(STAGE_EXPR_CORPUS, corpus_key, _compute_corpus)
         self.summary.record_stage(self.artifacts.timings[-1])
         self.summary.num_expressions = len(expressions)
         if stop_after == STAGE_EXPR_CORPUS:
@@ -581,15 +609,19 @@ class NetTAGPipeline:
     # ------------------------------------------------------------------
     @property
     def is_pretrained(self) -> bool:
+        """Whether the full pre-training pipeline ran to completion."""
         return self._pretrained
 
     def embed_circuit(self, netlist: Netlist):
+        """Embed one netlist at all granularities (see :meth:`NetTAG.embed_circuit`)."""
         return self.model.embed_circuit(netlist)
 
     def embed_gates(self, netlist: Netlist):
+        """Gate-level embeddings plus gate-name order (see :meth:`NetTAG.embed_gates`)."""
         return self.model.embed_gates(netlist)
 
     def embed_cones(self, cones: Sequence[RegisterCone]):
+        """Register-cone embeddings keyed by register name (batched)."""
         return self.model.embed_cones(cones)
 
     def encode_batch(self, cones: Sequence[RegisterCone]):
@@ -621,12 +653,8 @@ class NetTAGPipeline:
                 self.preprocess_corpus()
             netlists = [design.netlist for design in self.designs]
         netlists = list(netlists)
-        corpus_digest = hashlib.sha256()
-        for netlist in netlists:
-            corpus_digest.update(netlist.name.encode("utf-8"))
-            corpus_digest.update(write_verilog(netlist).encode("utf-8"))
         key_payload = {
-            "corpus": corpus_digest.hexdigest()[:16],
+            "corpus": _netlist_corpus_digest(netlists),
             "model": self.model.fingerprint(),
         }
 
@@ -646,24 +674,146 @@ class NetTAGPipeline:
         index.save()
         return index
 
+    def multimodal_items(self, designs: Optional[Sequence[PreprocessedDesign]] = None):
+        """Aligned ``(cone, RTL text, layout)`` corpus items of the designs.
+
+        These are the cross-stage alignment artefacts preprocessing already
+        produced (``rtl_cone_texts`` / ``cone_layouts``), repackaged as
+        :class:`~repro.serve.MultimodalCorpusItem` rows for the cross-modal
+        index builder; cones missing a modality carry ``None`` there and are
+        skipped when that modality's projection head is fitted.
+        """
+        from ..serve import MultimodalCorpusItem
+
+        items = []
+        for design in designs or self.designs:
+            for cone, rtl_text, layout in zip(
+                design.cones, design.rtl_cone_texts, design.cone_layouts
+            ):
+                items.append(
+                    MultimodalCorpusItem(
+                        owner=design.name, cone=cone, rtl_text=rtl_text, layout=layout
+                    )
+                )
+        return items
+
+    def build_multimodal_index(
+        self,
+        path: PathLike,
+        designs: Optional[Sequence[PreprocessedDesign]] = None,
+        modalities: Optional[Sequence[str]] = None,
+        shard_size: int = 1024,
+        overwrite: bool = True,
+        l2: float = 1e-6,
+    ):
+        """Encode one corpus in every modality and persist a cross-modal index.
+
+        Builds on :meth:`build_index`'s conventions: the netlist side uses the
+        shared ingest row format, while RTL cone texts and cone layout graphs
+        are embedded by the pipeline's (frozen) auxiliary encoders and
+        projected into the shared index space by per-modality projection
+        heads fitted on the aligned pairs.  The encoded payload — rows *and*
+        fitted heads — is an artifact-cached stage keyed by corpus content,
+        model weights and both auxiliary encoder weights.  The index
+        directory receives a ``multimodal/`` sidecar (encoder weights +
+        projection heads), so it stays self-contained for cross-modal
+        queries from another process.
+
+        Returns ``(index, cross_modal_encoder)``.
+        """
+        from ..serve import CrossModalEncoder, MODALITY_KINDS, encode_multimodal_rows
+        from ..serve.crossmodal import build_multimodal_index as build_index_core
+
+        if self.rtl_encoder is None or self.layout_encoder is None:
+            raise RuntimeError(
+                "build_multimodal_index needs the auxiliary encoders; construct "
+                "the pipeline with use_cross_stage_alignment=True"
+            )
+        if designs is None:
+            if not self.designs:
+                self.preprocess_corpus()
+            designs = self.designs
+        designs = list(designs)
+        netlists = [design.netlist for design in designs]
+        items = self.multimodal_items(designs)
+        modalities = tuple(modalities or MODALITY_KINDS)
+        encoder = CrossModalEncoder(
+            self.model,
+            rtl_encoder=self.rtl_encoder,
+            layout_encoder=self.layout_encoder,
+        )
+        # The aligned modality content rides the key too: the RTL side can
+        # change while synthesis emits a byte-identical netlist (e.g. logic
+        # the mapper optimises away), and stale cached rtl/layout rows must
+        # not survive that.
+        items_digest = hashlib.sha256()
+        for item in items:
+            items_digest.update(item.key.encode("utf-8"))
+            items_digest.update((item.rtl_text or "\0").encode("utf-8"))
+            if item.layout is not None:
+                items_digest.update(
+                    np.ascontiguousarray(item.layout.node_features).tobytes()
+                )
+        key_payload = {
+            "corpus": _netlist_corpus_digest(netlists),
+            "items": items_digest.hexdigest()[:16],
+            "model": self.model.fingerprint(),
+            "modalities": sorted(modalities),
+            "l2": l2,
+        }
+        key_payload.update(encoder.fingerprints())
+        payload = self.artifacts.get_or_compute(
+            STAGE_MULTIMODAL,
+            key_payload,
+            lambda: encode_multimodal_rows(
+                encoder, netlists, items, modalities=modalities, l2=l2
+            ),
+        )
+        self.summary.record_stage(self.artifacts.timings[-1])
+        index = build_index_core(
+            encoder,
+            path,
+            netlists,
+            items,
+            modalities=modalities,
+            shard_size=shard_size,
+            overwrite=overwrite,
+            l2=l2,
+            precomputed=payload,
+        )
+        return index, encoder
+
     def serve(
         self,
         index: Optional[PathLike] = None,
         max_batch_size: int = 32,
         max_latency_ms: float = 10.0,
+        multimodal: Optional[bool] = None,
     ):
         """A :class:`~repro.serve.NetTAGService` over this pipeline's model.
 
         ``index`` may be a directory holding an existing embedding index
         (opened with fingerprint validation) or ``None`` for encode-only
-        serving.
+        serving.  ``multimodal`` controls whether the index's cross-modal
+        sidecar is attached: ``None`` (default) auto-detects it, ``True``
+        requires it, ``False`` skips it.
         """
-        from ..serve import NetTAGService
+        from ..serve import CrossModalEncoder, NetTAGService
 
         opened = NetTAGService.open_index(self.model, index) if index is not None else None
+        crossmodal = None
+        if index is not None and multimodal is not False:
+            if CrossModalEncoder.available(index):
+                crossmodal = CrossModalEncoder.load(index, self.model)
+            elif multimodal:
+                raise FileNotFoundError(
+                    f"index at {index} has no multimodal sidecar; build it with "
+                    "build_multimodal_index first"
+                )
         return NetTAGService(
             self.model,
             index=opened,
             max_batch_size=max_batch_size,
             max_latency_ms=max_latency_ms,
+            crossmodal=crossmodal,
         )

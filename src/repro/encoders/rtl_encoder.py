@@ -11,7 +11,7 @@ perturbation and statement shuffling).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -50,19 +50,41 @@ class RTLEncoder(nn.Module):
         return self.backbone(np.asarray(ids), np.asarray(mask))
 
     def encode_texts(self, texts: Sequence[str], batch_size: int = 32) -> np.ndarray:
+        """Numpy embeddings for a batch of RTL snippets (cached, bucketed).
+
+        Mirrors :meth:`ExprLLM.encode_texts`: duplicates within the call are
+        computed once, results are cached per text, and the backbone batches
+        are *length-bucketed* — sorting unique texts by true token length
+        lets each batch trim its padding to its own longest member instead of
+        the global maximum, which is what makes batched encoding of
+        mixed-length RTL cones faster than per-text forwards.
+        """
         texts = list(texts)
         result = np.zeros((len(texts), self.output_dim), dtype=np.float64)
-        to_compute = [i for i, t in enumerate(texts) if t not in self._cache]
+        # text -> (row indices awaiting the embedding, token ids, mask);
+        # tokenised once per unique text — the mask doubles as the sort key.
+        pending: Dict[str, Tuple[List[int], List[int], List[bool]]] = {}
         for i, text in enumerate(texts):
-            if text in self._cache:
-                result[i] = self._cache[text]
-        for start in range(0, len(to_compute), batch_size):
-            chunk = to_compute[start : start + batch_size]
-            ids, mask = self.tokenizer.encode_batch([texts[i] for i in chunk])
-            embeddings = self.backbone.encode_numpy(np.asarray(ids), np.asarray(mask))
-            for row, i in enumerate(chunk):
-                result[i] = embeddings[row]
-                self._cache[texts[i]] = embeddings[row]
+            cached = self._cache.get(text)
+            if cached is not None:
+                result[i] = cached
+                continue
+            waiting = pending.get(text)
+            if waiting is not None:
+                waiting[0].append(i)
+            else:
+                ids, mask = self.tokenizer.encode(text)
+                pending[text] = ([i], ids, mask)
+        unique = sorted(pending.items(), key=lambda item: sum(item[1][2]))
+        for start in range(0, len(unique), batch_size):
+            chunk = unique[start : start + batch_size]
+            ids_batch = np.asarray([ids for _, (_, ids, _) in chunk])
+            mask_batch = np.asarray([mask for _, (_, _, mask) in chunk])
+            embeddings = self.backbone.encode_numpy(ids_batch, mask_batch)
+            for (text, (rows, _, _)), embedding in zip(chunk, embeddings):
+                for row in rows:
+                    result[row] = embedding
+                self._cache[text] = embedding
         return result
 
     def clear_cache(self) -> None:

@@ -9,7 +9,7 @@ from .parasitics import (
     extract_parasitics,
 )
 from .optimize import PhysicalOptimizationReport, physically_optimize
-from .layout_graph import LAYOUT_FEATURES, LayoutGraph, build_layout_graph
+from .layout_graph import LAYOUT_FEATURES, LayoutGraph, build_layout_graph, derive_layout_graph
 
 __all__ = [
     "Placement",
@@ -25,4 +25,5 @@ __all__ = [
     "LayoutGraph",
     "LAYOUT_FEATURES",
     "build_layout_graph",
+    "derive_layout_graph",
 ]

@@ -86,3 +86,18 @@ def build_layout_graph(
             "total_wirelength": placement.total_wirelength,
         },
     )
+
+
+def derive_layout_graph(netlist: Netlist) -> LayoutGraph:
+    """Layout graph via the standard flow: place → optimise → extract.
+
+    The single recipe shared by preprocessing, the cross-modal corpus
+    builder and the CLI's layout-query path — query-side layouts must be
+    produced exactly like the indexed ones, or cross-modal retrieval
+    silently compares layouts from different physical flows.
+    """
+    from .optimize import physically_optimize
+
+    placement = place(netlist)
+    optimized, _ = physically_optimize(netlist, placement)
+    return build_layout_graph(optimized)

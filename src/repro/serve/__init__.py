@@ -8,13 +8,36 @@
   cosine retrieval over the index,
 * :class:`BatchScheduler` — thread-based micro-batching (size-or-deadline
   flush) so concurrent callers share packed batched forwards,
+* :class:`CrossModalEncoder` / :class:`ModalityProjection` — RTL and layout
+  modalities projected into the shared index space, so a query in any
+  modality retrieves matches in any other (``repro.serve.crossmodal``),
 * :class:`NetTAGService` — the facade combining all of the above.
 """
 
+from .crossmodal import (
+    MODALITY_KINDS,
+    PROJECTED_KINDS,
+    CrossModalEncoder,
+    ModalityProjection,
+    MultimodalCorpusItem,
+    MultimodalRows,
+    build_multimodal_index,
+    encode_multimodal_rows,
+    encoder_fingerprint,
+    items_from_netlists,
+)
 from .index import EmbeddingIndex, IndexFormatError
 from .scheduler import BatchScheduler, SchedulerClosed
 from .search import IVFSearcher, SearchHit, exact_topk, recall_at_k
-from .service import CIRCUIT_KIND, CONE_KIND, NetTAGService, cone_key, encode_index_rows
+from .service import (
+    CIRCUIT_KIND,
+    CONE_KIND,
+    LAYOUT_KIND,
+    RTL_KIND,
+    NetTAGService,
+    cone_key,
+    encode_index_rows,
+)
 
 __all__ = [
     "EmbeddingIndex",
@@ -28,6 +51,18 @@ __all__ = [
     "NetTAGService",
     "CIRCUIT_KIND",
     "CONE_KIND",
+    "RTL_KIND",
+    "LAYOUT_KIND",
+    "MODALITY_KINDS",
+    "PROJECTED_KINDS",
+    "CrossModalEncoder",
+    "ModalityProjection",
+    "MultimodalCorpusItem",
+    "MultimodalRows",
+    "build_multimodal_index",
+    "encode_multimodal_rows",
+    "encoder_fingerprint",
+    "items_from_netlists",
     "cone_key",
     "encode_index_rows",
 ]

@@ -1,0 +1,694 @@
+"""Cross-modal retrieval: RTL, netlist, cone and layout rows in one index.
+
+NetTAG's pre-training aligns netlist embeddings with RTL text and layout
+graphs (the paper's cross-stage objective), but the PR-3 serving layer only
+indexed netlist-side vectors.  This module turns the alignment into a served
+capability: every modality gets its own index *kind* (namespace) inside one
+:class:`~repro.serve.index.EmbeddingIndex`, and aligned entries share a key,
+so a query in any modality retrieves matches in any other —
+
+* ``"find the netlist cones implementing this RTL snippet"`` is a query
+  encoded by the RTL encoder and searched against the ``cone`` kind,
+* ``"find the RTL for this layout region"`` is a layout-graph query searched
+  against the ``rtl`` kind,
+* near-duplicate detection can now run within or across modalities.
+
+The netlist side keeps the exact ingest convention of
+:func:`~repro.serve.service.encode_index_rows` (``circuit`` and ``cone``
+kinds, multi-grained vectors padded to ``model.index_dim``).  RTL and layout
+vectors live in their own encoder spaces, so each non-netlist modality is
+mapped into the shared index space by a :class:`ModalityProjection` — a
+closed-form kernel-ridge projection head fitted on the aligned corpus at
+index-build time.  The head is deterministic (no iterative training), cheap
+to refit when the corpus changes, and is persisted next to the index together
+with the frozen modality encoders, so the index directory is self-contained
+for cross-modal queries (see :meth:`CrossModalEncoder.save` /
+:meth:`CrossModalEncoder.load`).
+
+Provenance follows the PR-3 fingerprint discipline: the manifest and the
+multimodal sidecar both record a content hash of every modality encoder, and
+loading a sidecar whose projections were fitted against different encoder
+weights warns instead of silently mixing embedding spaces.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..nn.serialization import atomic_write
+from .index import EmbeddingIndex
+from .service import (
+    CIRCUIT_KIND,
+    CONE_KIND,
+    LAYOUT_KIND,
+    RTL_KIND,
+    NetTAGService,
+    cone_key,
+    encode_index_rows,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids runtime cycles
+    from ..core.nettag import NetTAG
+    from ..encoders import LayoutEncoder, RTLEncoder
+    from ..netlist import Netlist, RegisterCone
+    from ..physical.layout_graph import LayoutGraph
+
+PathLike = Union[str, Path]
+
+#: Every kind the multimodal index understands, netlist-side kinds included.
+MODALITY_KINDS = (CIRCUIT_KIND, CONE_KIND, RTL_KIND, LAYOUT_KIND)
+#: The modalities that need a fitted projection head (non-netlist spaces).
+PROJECTED_KINDS = (RTL_KIND, LAYOUT_KIND)
+
+SIDECAR_DIRNAME = "multimodal"
+_SIDECAR_FORMAT_VERSION = 1
+
+
+def encoder_fingerprint(module) -> str:
+    """Short content hash of an encoder's parameters (provenance stamp)."""
+    import hashlib
+
+    digest = hashlib.sha256()
+    for name, param in module.named_parameters():
+        digest.update(name.encode("utf-8"))
+        digest.update(np.ascontiguousarray(param.data).tobytes())
+    return digest.hexdigest()[:16]
+
+
+@dataclass
+class MultimodalCorpusItem:
+    """One aligned corpus entry: a register cone plus its RTL/layout partners.
+
+    ``rtl_text`` and ``layout`` may each be ``None`` when that modality is
+    unavailable for the cone; projections are fitted on the aligned subset.
+    All modality rows of one item share :attr:`key`, which is what makes
+    aligned-pair retrieval (and its recall metric) well defined.
+    """
+
+    owner: str
+    cone: "RegisterCone"
+    rtl_text: Optional[str] = None
+    layout: Optional["LayoutGraph"] = None
+
+    @property
+    def key(self) -> str:
+        """The shared ``<netlist>::<register>`` key of every modality row."""
+        return cone_key(self.owner, self.cone.register_name)
+
+
+def items_from_netlists(
+    netlists: Sequence["Netlist"],
+    rtl_modules: Optional[Sequence] = None,
+    build_layouts: bool = True,
+) -> List[MultimodalCorpusItem]:
+    """Aligned corpus items for a netlist corpus (layouts derived on the fly).
+
+    Layout graphs are always derivable from a structural netlist (place,
+    physically optimise, extract parasitics), so ``build_layouts=True`` works
+    for any corpus.  RTL cone texts require the original RTL modules: pass
+    ``rtl_modules`` (same order as ``netlists``) to attach them, as the
+    synthetic-corpus CLI path does.
+    """
+    from ..netlist import extract_register_cones
+    from ..physical import derive_layout_graph
+    from ..rtl import render_register_cone
+
+    items: List[MultimodalCorpusItem] = []
+    for position, netlist in enumerate(netlists):
+        module = rtl_modules[position] if rtl_modules is not None else None
+        register_names = {r.name for r in module.registers} if module is not None else set()
+        for cone in extract_register_cones(netlist):
+            rtl_text = None
+            if module is not None:
+                group = cone.attributes.get("register_group")
+                if isinstance(group, str) and group in register_names:
+                    rtl_text = render_register_cone(module, group)
+            layout = derive_layout_graph(cone.netlist) if build_layouts else None
+            items.append(
+                MultimodalCorpusItem(
+                    owner=netlist.name, cone=cone, rtl_text=rtl_text, layout=layout
+                )
+            )
+    return items
+
+
+class ModalityProjection:
+    """Kernel-ridge projection head from one modality space into index space.
+
+    The head is fitted on the aligned corpus at index-build time: anchors are
+    the unit-normalised modality embeddings, targets are the aligned netlist
+    index vectors, and projection is RBF-kernel ridge regression solved in
+    closed form (an ``(n, n)`` solve — the corpus, not the dimension, bounds
+    the cost).  Aligned pairs therefore land next to each other in index
+    space by construction, and unseen queries are projected by kernel
+    smoothing over their nearest aligned anchors.  Deterministic: same
+    corpus + encoder weights => the same head, bit for bit.
+    """
+
+    def __init__(
+        self,
+        modality: str,
+        anchors: np.ndarray,
+        coefficients: np.ndarray,
+        gamma: float,
+        l2: float,
+        source_fingerprint: str = "",
+    ) -> None:
+        self.modality = modality
+        self.anchors = np.asarray(anchors, dtype=np.float64)
+        self.coefficients = np.asarray(coefficients, dtype=np.float64)
+        self.gamma = float(gamma)
+        self.l2 = float(l2)
+        self.source_fingerprint = source_fingerprint
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _normalise(embeddings: np.ndarray) -> np.ndarray:
+        embeddings = np.asarray(embeddings, dtype=np.float64)
+        if embeddings.ndim == 1:
+            embeddings = embeddings[None, :]
+        norms = np.maximum(np.linalg.norm(embeddings, axis=1, keepdims=True), 1e-12)
+        return embeddings / norms
+
+    @staticmethod
+    def _sqdist(queries: np.ndarray, anchors: np.ndarray) -> np.ndarray:
+        cross = queries @ anchors.T
+        q_norm = np.sum(queries * queries, axis=1)[:, None]
+        a_norm = np.sum(anchors * anchors, axis=1)[None, :]
+        return np.maximum(q_norm + a_norm - 2.0 * cross, 0.0)
+
+    @classmethod
+    def fit(
+        cls,
+        modality: str,
+        embeddings: np.ndarray,
+        targets: np.ndarray,
+        l2: float = 1e-6,
+        source_fingerprint: str = "",
+    ) -> "ModalityProjection":
+        """Fit the head on aligned ``(modality embedding, index vector)`` pairs.
+
+        ``gamma`` is set by the median heuristic over the anchor pairwise
+        distances (deterministic), so the kernel bandwidth tracks the scale
+        of the embedding cloud without a tuning loop.
+        """
+        anchors = cls._normalise(embeddings)
+        targets = np.asarray(targets, dtype=np.float64)
+        if anchors.shape[0] != targets.shape[0] or anchors.shape[0] == 0:
+            raise ValueError(
+                f"need matching, non-empty embeddings/targets; got "
+                f"{anchors.shape[0]} embeddings for {targets.shape[0]} targets"
+            )
+        sqdist = cls._sqdist(anchors, anchors)
+        off_diagonal = sqdist[~np.eye(len(anchors), dtype=bool)]
+        positive = off_diagonal[off_diagonal > 1e-12]
+        gamma = 1.0 / float(np.median(positive)) if len(positive) else 1.0
+        kernel = np.exp(-gamma * sqdist)
+        coefficients = np.linalg.solve(
+            kernel + l2 * np.eye(len(anchors)), targets
+        )
+        return cls(
+            modality,
+            anchors=anchors,
+            coefficients=coefficients,
+            gamma=gamma,
+            l2=l2,
+            source_fingerprint=source_fingerprint,
+        )
+
+    def project(self, embeddings: np.ndarray) -> np.ndarray:
+        """Map raw modality embeddings into the shared index space."""
+        queries = self._normalise(embeddings)
+        if queries.shape[1] != self.anchors.shape[1]:
+            raise ValueError(
+                f"{self.modality} projection expects dim {self.anchors.shape[1]}, "
+                f"got {queries.shape[1]}"
+            )
+        kernel = np.exp(-self.gamma * self._sqdist(queries, self.anchors))
+        return kernel @ self.coefficients
+
+    # ------------------------------------------------------------------
+    @property
+    def num_anchors(self) -> int:
+        """Number of aligned corpus pairs the head was fitted on."""
+        return int(self.anchors.shape[0])
+
+    @property
+    def index_dim(self) -> int:
+        """Width of the shared index space the head projects into."""
+        return int(self.coefficients.shape[1])
+
+    def to_payload(self) -> Dict[str, object]:
+        """Serializable state (used by the sidecar and the artifact cache)."""
+        return {
+            "modality": self.modality,
+            "anchors": self.anchors,
+            "coefficients": self.coefficients,
+            "gamma": self.gamma,
+            "l2": self.l2,
+            "source_fingerprint": self.source_fingerprint,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "ModalityProjection":
+        """Rebuild a head from :meth:`to_payload` state."""
+        return cls(
+            str(payload["modality"]),
+            anchors=np.asarray(payload["anchors"]),
+            coefficients=np.asarray(payload["coefficients"]),
+            gamma=float(payload["gamma"]),  # type: ignore[arg-type]
+            l2=float(payload["l2"]),  # type: ignore[arg-type]
+            source_fingerprint=str(payload.get("source_fingerprint", "")),
+        )
+
+
+class CrossModalEncoder:
+    """Encode and project queries/rows for every modality of one index.
+
+    Bundles the NetTAG model (netlist side) with the frozen auxiliary RTL and
+    layout encoders plus their fitted :class:`ModalityProjection` heads.  One
+    instance answers "turn this modality item into an index-space vector" for
+    all four kinds, and persists the non-netlist state as a sidecar inside
+    the index directory so a later process (the CLI, a service restart) can
+    keep querying cross-modally with nothing but the index path and a model
+    checkpoint.
+    """
+
+    def __init__(
+        self,
+        model: "NetTAG",
+        rtl_encoder: Optional["RTLEncoder"] = None,
+        layout_encoder: Optional["LayoutEncoder"] = None,
+        projections: Optional[Dict[str, ModalityProjection]] = None,
+    ) -> None:
+        self.model = model
+        self.rtl_encoder = rtl_encoder
+        self.layout_encoder = layout_encoder
+        self.projections: Dict[str, ModalityProjection] = dict(projections or {})
+
+    # ------------------------------------------------------------------
+    # Raw modality encoding
+    # ------------------------------------------------------------------
+    def _require_encoder(self, modality: str):
+        encoder = {RTL_KIND: self.rtl_encoder, LAYOUT_KIND: self.layout_encoder}.get(modality)
+        if encoder is None:
+            raise RuntimeError(
+                f"no {modality} encoder attached to this CrossModalEncoder"
+            )
+        return encoder
+
+    def encode_rtl(self, texts: Sequence[str]) -> np.ndarray:
+        """Raw RTL-encoder embeddings for a batch of RTL snippets."""
+        return self._require_encoder(RTL_KIND).encode_texts(list(texts))
+
+    def encode_layouts(self, layouts: Sequence["LayoutGraph"]) -> np.ndarray:
+        """Raw layout-encoder embeddings for a batch of layout graphs.
+
+        One packed (block-diagonal) TAGFormer forward for the whole batch —
+        see :meth:`LayoutEncoder.encode_batch`.
+        """
+        return self._require_encoder(LAYOUT_KIND).encode_batch(list(layouts))
+
+    # ------------------------------------------------------------------
+    # Projection into the shared index space
+    # ------------------------------------------------------------------
+    def supports(self, kind: str) -> bool:
+        """Whether this encoder can turn ``kind`` queries into index vectors.
+
+        Netlist-side kinds are always supported (the model handles them);
+        ``rtl``/``layout`` need both their encoder and a fitted projection
+        head — e.g. a sidecar built with ``--modalities circuit,cone,layout``
+        cannot answer ``rtl`` queries.
+        """
+        if kind in (CONE_KIND, CIRCUIT_KIND):
+            return True
+        if kind == RTL_KIND:
+            return self.rtl_encoder is not None and RTL_KIND in self.projections
+        if kind == LAYOUT_KIND:
+            return self.layout_encoder is not None and LAYOUT_KIND in self.projections
+        return False
+
+    def projection(self, modality: str) -> ModalityProjection:
+        """The fitted head of one modality (raises if it was never fitted)."""
+        if modality not in self.projections:
+            raise RuntimeError(
+                f"no fitted projection for modality {modality!r}; build the "
+                "multimodal index first (NetTAGPipeline.build_multimodal_index)"
+            )
+        return self.projections[modality]
+
+    def fit_projection(
+        self, modality: str, embeddings: np.ndarray, targets: np.ndarray, l2: float = 1e-6
+    ) -> ModalityProjection:
+        """Fit (and retain) one modality's projection head on aligned pairs."""
+        projection = ModalityProjection.fit(
+            modality,
+            embeddings,
+            targets,
+            l2=l2,
+            source_fingerprint=encoder_fingerprint(self._require_encoder(modality)),
+        )
+        self.projections[modality] = projection
+        return projection
+
+    def encode_queries(self, kind: str, items: Sequence[object]) -> np.ndarray:
+        """Index-space vectors for a batch of same-modality query items.
+
+        ``kind`` selects the item type: ``"cone"`` items are
+        :class:`~repro.netlist.RegisterCone`, ``"circuit"`` items are
+        :class:`~repro.netlist.Netlist`, ``"rtl"`` items are RTL text
+        strings and ``"layout"`` items are
+        :class:`~repro.physical.layout_graph.LayoutGraph`.  One batched
+        encoder pass per call — this is what the service's modality-aware
+        scheduler flushes into.
+        """
+        items = list(items)
+        if not items:
+            return np.zeros((0, self.model.index_dim))
+        if kind == CONE_KIND:
+            vectors = self.model.encode_batch(items)  # type: ignore[arg-type]
+            return np.stack([self.model.pad_to_index_dim(v) for v in vectors])
+        if kind == CIRCUIT_KIND:
+            embeddings = self.model.encode_netlists(items)  # type: ignore[arg-type]
+            return np.stack(
+                [self.model.pad_to_index_dim(e.graph_embedding) for e in embeddings]
+            )
+        if kind == RTL_KIND:
+            return self.projection(RTL_KIND).project(self.encode_rtl(items))  # type: ignore[arg-type]
+        if kind == LAYOUT_KIND:
+            return self.projection(LAYOUT_KIND).project(self.encode_layouts(items))  # type: ignore[arg-type]
+        raise ValueError(f"unknown modality kind {kind!r}; choose from {MODALITY_KINDS}")
+
+    # ------------------------------------------------------------------
+    # Provenance
+    # ------------------------------------------------------------------
+    def fingerprints(self) -> Dict[str, object]:
+        """Content hashes of the attached modality encoders (manifest stamp)."""
+        stamps: Dict[str, object] = {}
+        if self.rtl_encoder is not None:
+            stamps["rtl_encoder"] = encoder_fingerprint(self.rtl_encoder)
+        if self.layout_encoder is not None:
+            stamps["layout_encoder"] = encoder_fingerprint(self.layout_encoder)
+        return stamps
+
+    def check_projection_fingerprints(self) -> None:
+        """Warn when a projection was fitted against different encoder weights.
+
+        A projection head is only meaningful for the encoder it was fitted
+        with — swapping the RTL or layout encoder after the fit silently
+        breaks the alignment, so the mismatch is surfaced the same way index
+        model-fingerprint mismatches are.
+        """
+        current = self.fingerprints()
+        for modality, projection in self.projections.items():
+            encoder_key = f"{modality}_encoder"
+            stamp = current.get(encoder_key)
+            if (
+                projection.source_fingerprint
+                and stamp is not None
+                and projection.source_fingerprint != stamp
+            ):
+                warnings.warn(
+                    f"{modality} projection was fitted against encoder "
+                    f"{projection.source_fingerprint!r} but the attached encoder is "
+                    f"{stamp!r}; cross-modal scores for this modality are unreliable",
+                    stacklevel=2,
+                )
+
+    # ------------------------------------------------------------------
+    # Sidecar persistence (inside the index directory)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def sidecar_path(index_directory: PathLike) -> Path:
+        """Directory holding the multimodal sidecar of an index."""
+        return Path(index_directory) / SIDECAR_DIRNAME
+
+    @classmethod
+    def available(cls, index_directory: PathLike) -> bool:
+        """Whether ``index_directory`` carries a multimodal sidecar."""
+        return (cls.sidecar_path(index_directory) / "manifest.json").exists()
+
+    def save(self, index_directory: PathLike) -> Path:
+        """Persist encoders + projections as ``<index>/multimodal/``.
+
+        Atomic per file (temp + rename, like every other on-disk artefact in
+        the repo); the manifest is written last so a crash mid-save leaves no
+        readable-but-partial sidecar.
+        """
+        from .. import nn
+
+        sidecar = self.sidecar_path(index_directory)
+        sidecar.mkdir(parents=True, exist_ok=True)
+        manifest: Dict[str, object] = {
+            "format_version": _SIDECAR_FORMAT_VERSION,
+            "model": self.model.fingerprint(),
+            "fingerprints": self.fingerprints(),
+            "modalities": sorted(self.projections),
+        }
+        if self.rtl_encoder is not None:
+            config = self.rtl_encoder.config
+            nn.save_checkpoint(
+                self.rtl_encoder,
+                sidecar / "rtl_encoder.npz",
+                metadata={"config": config.__dict__},
+            )
+        if self.layout_encoder is not None:
+            backbone = self.layout_encoder.backbone.config
+            nn.save_checkpoint(
+                self.layout_encoder,
+                sidecar / "layout_encoder.npz",
+                metadata={
+                    "dim": backbone.dim,
+                    "depth": backbone.depth,
+                    "output_dim": backbone.output_dim,
+                },
+            )
+        for modality, projection in self.projections.items():
+            payload = projection.to_payload()
+            path = sidecar / f"projection_{modality}.npz"
+
+            def _write(tmp: Path, payload=payload) -> None:
+                with tmp.open("wb") as handle:
+                    np.savez(
+                        handle,
+                        anchors=payload["anchors"],
+                        coefficients=payload["coefficients"],
+                        meta=np.frombuffer(
+                            json.dumps(
+                                {
+                                    k: v
+                                    for k, v in payload.items()
+                                    if k not in ("anchors", "coefficients")
+                                }
+                            ).encode("utf-8"),
+                            dtype=np.uint8,
+                        ),
+                    )
+
+            atomic_write(path, path.name + ".tmp", _write)
+        manifest_path = sidecar / "manifest.json"
+
+        def _write_manifest(tmp: Path) -> None:
+            tmp.write_text(json.dumps(manifest, indent=2))
+
+        atomic_write(manifest_path, manifest_path.name + ".tmp", _write_manifest)
+        return sidecar
+
+    @classmethod
+    def load(cls, index_directory: PathLike, model: "NetTAG") -> "CrossModalEncoder":
+        """Rebuild the encoder bundle from an index directory's sidecar.
+
+        Warns (instead of refusing) when the sidecar was written by a
+        different NetTAG model or when a projection's source encoder
+        fingerprint disagrees with the reloaded encoder weights.
+        """
+        from .. import nn
+        from ..encoders import LayoutEncoder, RTLEncoder
+        from ..encoders.text_encoder import TextEncoderConfig
+
+        sidecar = cls.sidecar_path(index_directory)
+        manifest_path = sidecar / "manifest.json"
+        if not manifest_path.exists():
+            raise FileNotFoundError(
+                f"no multimodal sidecar at {sidecar}; build the index with "
+                "modalities first (index build --modalities / build_multimodal_index)"
+            )
+        manifest = json.loads(manifest_path.read_text())
+        if manifest.get("format_version") != _SIDECAR_FORMAT_VERSION:
+            raise RuntimeError(
+                f"unsupported multimodal sidecar version {manifest.get('format_version')!r}"
+            )
+        if manifest.get("model") != model.fingerprint():
+            warnings.warn(
+                f"multimodal sidecar at {sidecar} was written by model "
+                f"{manifest.get('model')!r}, not the loaded model "
+                f"{model.fingerprint()!r}; embeddings may come from a different space",
+                stacklevel=2,
+            )
+        rtl_encoder = None
+        rtl_path = sidecar / "rtl_encoder.npz"
+        if rtl_path.exists():
+            metadata = nn.peek_metadata(rtl_path)
+            config = TextEncoderConfig(**metadata.get("config", {}))
+            rtl_encoder = RTLEncoder(config=config)
+            nn.load_checkpoint(rtl_encoder, rtl_path)
+        layout_encoder = None
+        layout_path = sidecar / "layout_encoder.npz"
+        if layout_path.exists():
+            metadata = nn.peek_metadata(layout_path)
+            layout_encoder = LayoutEncoder(
+                dim=int(metadata.get("dim", 48)),
+                depth=int(metadata.get("depth", 2)),
+                output_dim=int(metadata.get("output_dim", 48)),
+            )
+            nn.load_checkpoint(layout_encoder, layout_path)
+        projections: Dict[str, ModalityProjection] = {}
+        for modality in manifest.get("modalities", []):
+            path = sidecar / f"projection_{modality}.npz"
+            with np.load(path) as archive:
+                meta = json.loads(archive["meta"].tobytes().decode("utf-8"))
+                payload = {
+                    "anchors": archive["anchors"],
+                    "coefficients": archive["coefficients"],
+                    **meta,
+                }
+            projections[modality] = ModalityProjection.from_payload(payload)
+        encoder = cls(
+            model,
+            rtl_encoder=rtl_encoder,
+            layout_encoder=layout_encoder,
+            projections=projections,
+        )
+        encoder.check_projection_fingerprints()
+        return encoder
+
+
+# ----------------------------------------------------------------------
+# Corpus-level row construction
+# ----------------------------------------------------------------------
+@dataclass
+class MultimodalRows:
+    """The full ingest payload of one multimodal corpus.
+
+    ``rows`` are ready for :meth:`EmbeddingIndex.add`; ``projections`` are
+    the fitted per-modality heads (as payload dicts, so the whole object is
+    artifact-cache friendly); ``aligned_keys`` lists, per projected
+    modality, the keys that actually had that modality available.
+    """
+
+    rows: List[Tuple[str, str, np.ndarray]] = field(default_factory=list)
+    projections: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    aligned_keys: Dict[str, List[str]] = field(default_factory=dict)
+
+
+def encode_multimodal_rows(
+    encoder: CrossModalEncoder,
+    netlists: Sequence["Netlist"],
+    items: Sequence[MultimodalCorpusItem],
+    modalities: Sequence[str] = MODALITY_KINDS,
+    l2: float = 1e-6,
+) -> MultimodalRows:
+    """Encode one corpus into every requested modality's index rows.
+
+    The netlist side goes through :func:`encode_index_rows` (the single
+    ingest convention), so ``circuit``/``cone`` rows are identical to what a
+    plain ``build_index`` or ``NetTAGService.add_netlists`` would produce.
+    RTL and layout rows are then fitted + projected against the cone vectors
+    of the *same* pass, which is what aligns the namespaces.
+    """
+    unknown = set(modalities) - set(MODALITY_KINDS)
+    if unknown:
+        raise ValueError(f"unknown modalities {sorted(unknown)}; choose from {MODALITY_KINDS}")
+    result = MultimodalRows()
+    netlist_rows = encode_index_rows(encoder.model, netlists)
+    cone_vectors = {key: vec for key, kind, vec in netlist_rows if kind == CONE_KIND}
+    for key, kind, vector in netlist_rows:
+        if kind in modalities:
+            result.rows.append((key, kind, vector))
+
+    if RTL_KIND in modalities:
+        aligned = [
+            item for item in items if item.rtl_text is not None and item.key in cone_vectors
+        ]
+        if aligned:
+            embeddings = encoder.encode_rtl([item.rtl_text for item in aligned])
+            projection = encoder.fit_projection(
+                RTL_KIND,
+                embeddings,
+                np.stack([cone_vectors[item.key] for item in aligned]),
+                l2=l2,
+            )
+            projected = projection.project(embeddings)
+            result.rows.extend(
+                (item.key, RTL_KIND, projected[i]) for i, item in enumerate(aligned)
+            )
+            result.projections[RTL_KIND] = projection.to_payload()
+            result.aligned_keys[RTL_KIND] = [item.key for item in aligned]
+
+    if LAYOUT_KIND in modalities:
+        aligned = [
+            item for item in items if item.layout is not None and item.key in cone_vectors
+        ]
+        if aligned:
+            embeddings = encoder.encode_layouts([item.layout for item in aligned])
+            projection = encoder.fit_projection(
+                LAYOUT_KIND,
+                embeddings,
+                np.stack([cone_vectors[item.key] for item in aligned]),
+                l2=l2,
+            )
+            projected = projection.project(embeddings)
+            result.rows.extend(
+                (item.key, LAYOUT_KIND, projected[i]) for i, item in enumerate(aligned)
+            )
+            result.projections[LAYOUT_KIND] = projection.to_payload()
+            result.aligned_keys[LAYOUT_KIND] = [item.key for item in aligned]
+    return result
+
+
+def build_multimodal_index(
+    encoder: CrossModalEncoder,
+    path: PathLike,
+    netlists: Sequence["Netlist"],
+    items: Sequence[MultimodalCorpusItem],
+    modalities: Sequence[str] = MODALITY_KINDS,
+    shard_size: int = 1024,
+    overwrite: bool = True,
+    l2: float = 1e-6,
+    precomputed: Optional[MultimodalRows] = None,
+) -> EmbeddingIndex:
+    """Build a cross-modal index + sidecar at ``path`` from one corpus.
+
+    This is the uncached core shared by the pipeline stage
+    (:meth:`NetTAGPipeline.build_multimodal_index`, which wraps it in the
+    artifact store) and the CLI's directory-corpus path.  ``precomputed``
+    short-circuits encoding with a cached :class:`MultimodalRows` payload.
+    """
+    payload = precomputed or encode_multimodal_rows(
+        encoder, netlists, items, modalities=modalities, l2=l2
+    )
+    # A cache hit bypasses encode_multimodal_rows, so restore the fitted
+    # heads onto the live encoder before persisting the sidecar.
+    for modality, projection_payload in payload.projections.items():
+        encoder.projections[modality] = ModalityProjection.from_payload(projection_payload)
+    fingerprints = dict(NetTAGService.index_fingerprints(encoder.model))
+    fingerprints.update(encoder.fingerprints())
+    index = EmbeddingIndex.create(
+        path,
+        dim=encoder.model.index_dim,
+        shard_size=shard_size,
+        fingerprints=fingerprints,
+        overwrite=overwrite,
+    )
+    if payload.rows:
+        keys, kinds, vectors = zip(*payload.rows)
+        index.add(list(keys), np.stack(vectors), kinds=list(kinds))
+    index.save()
+    encoder.save(path)
+    return index

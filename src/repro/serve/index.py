@@ -21,9 +21,13 @@ re-encode a corpus on every query.  The design goals, in order:
   running process expects instead of silently mixing embedding spaces.
 
 Entries are ``(key, kind, vector)`` rows.  ``kind`` partitions one index into
-multiple logical namespaces of the same dimension (``"cone"`` and
-``"circuit"`` in the NetTAG service), so cone-level and circuit-level
-retrieval share shards, fingerprints and compaction.
+multiple logical namespaces of the same dimension (``"cone"``, ``"circuit"``,
+``"rtl"`` and ``"layout"`` in the NetTAG service), so every modality shares
+shards, fingerprints and compaction.  Row identity is the ``(key, kind)``
+pair: re-adding a key *within* a kind supersedes the old row, while the same
+key under different kinds holds one row per kind — that is what lets aligned
+cross-modal entries share a key (``repro.serve.crossmodal``) and still be
+retrieved per namespace.
 """
 
 from __future__ import annotations
@@ -41,7 +45,11 @@ from ..nn.serialization import atomic_write
 PathLike = Union[str, Path]
 
 MANIFEST_NAME = "manifest.json"
-_FORMAT_VERSION = 1
+# Version 2 widened row identity (and therefore tombstones) from plain keys
+# to (key, kind) pairs; version-1 manifests are still readable — their
+# key-only tombstones are interpreted as covering every kind.
+_FORMAT_VERSION = 2
+_READABLE_FORMAT_VERSIONS = (1, 2)
 _DTYPE = np.float32
 
 
@@ -150,15 +158,38 @@ class EmbeddingIndex:
         self.metric = metric
         self.fingerprints: Dict[str, object] = dict(fingerprints or {})
         self._shards: List[_Shard] = list(_shards or [])
-        self._tombstones: set = set(_tombstones or ())
+        # Tombstones are (key, kind) pairs; kind=None is a wildcard covering
+        # every kind (produced by kind-less removes and by legacy manifests).
+        self._tombstones: set = {self._tombstone_entry(t) for t in (_tombstones or ())}
         self._pending_keys: List[str] = []
         self._pending_kinds: List[str] = []
         self._pending_rows: List[np.ndarray] = []
         # Bumped on every mutation; derived structures (the cached search
         # metadata below, fitted IVF searchers) key their validity on it.
         self._generation = 0
-        self._search_cache: Optional[Tuple[int, List, Dict[str, Tuple[int, int]]]] = None
+        self._search_cache: Optional[
+            Tuple[int, List, Dict[Tuple[str, str], Tuple[int, int]]]
+        ] = None
         self.directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Tombstone representation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _tombstone_entry(entry) -> Tuple[str, Optional[str]]:
+        """Normalise a manifest/constructor tombstone into ``(key, kind)``.
+
+        Legacy (format-1) manifests stored plain keys; those become wildcard
+        ``(key, None)`` pairs that suppress the key in every kind.
+        """
+        if isinstance(entry, str):
+            return (entry, None)
+        key, kind = entry
+        return (str(key), None if kind is None else str(kind))
+
+    def _is_dead(self, key: str, kind: str) -> bool:
+        """Whether the ``(key, kind)`` row is tombstoned (wildcards included)."""
+        return (key, kind) in self._tombstones or (key, None) in self._tombstones
 
     # ------------------------------------------------------------------
     # Construction
@@ -212,10 +243,10 @@ class EmbeddingIndex:
             manifest = json.loads(manifest_path.read_text())
         except (OSError, json.JSONDecodeError) as error:
             raise IndexFormatError(f"unreadable index manifest {manifest_path}: {error}")
-        if manifest.get("format_version") != _FORMAT_VERSION:
+        if manifest.get("format_version") not in _READABLE_FORMAT_VERSIONS:
             raise IndexFormatError(
                 f"index format version {manifest.get('format_version')!r} is not "
-                f"supported (expected {_FORMAT_VERSION})"
+                f"supported (expected one of {_READABLE_FORMAT_VERSIONS})"
             )
         fingerprints = dict(manifest.get("fingerprints", {}))
         for key, expected in (expected_fingerprints or {}).items():
@@ -252,9 +283,12 @@ class EmbeddingIndex:
     ) -> None:
         """Append rows; full shards are sealed to disk as the buffer fills.
 
-        Re-adding an existing key shadows the old row for :meth:`get` and
-        revives a tombstoned key; the superseded row remains in its shard
-        until :meth:`compact` rewrites it away.
+        Row identity is the ``(key, kind)`` pair: re-adding a key within the
+        same kind shadows the old row for :meth:`get` and revives a
+        tombstoned entry, while the same key under a *different* kind is a
+        separate row (aligned cross-modal entries share keys across kinds).
+        Superseded rows remain in their shard until :meth:`compact` rewrites
+        them away.
         """
         embeddings = np.asarray(embeddings, dtype=np.float64)
         if embeddings.ndim == 1:
@@ -270,35 +304,52 @@ class EmbeddingIndex:
         elif len(kinds) != len(keys):
             raise ValueError(f"got {len(kinds)} kinds for {len(keys)} keys")
         for key, kind, row in zip(keys, kinds, embeddings):
-            self._tombstones.discard(key)
-            self._pending_keys.append(str(key))
-            self._pending_kinds.append(str(kind))
+            key, kind = str(key), str(kind)
+            self._tombstones.discard((key, kind))
+            if (key, None) in self._tombstones:
+                # Re-adding under one kind revives the key there only: narrow
+                # the wildcard to the other kinds that still hold the key.
+                self._tombstones.discard((key, None))
+                for _, _, existing_key, existing_kind in self._iter_rows(
+                    include_tombstoned=True
+                ):
+                    if existing_key == key and existing_kind != kind:
+                        self._tombstones.add((key, existing_kind))
+            self._pending_keys.append(key)
+            self._pending_kinds.append(kind)
             self._pending_rows.append(np.asarray(row, dtype=_DTYPE))
         self._generation += 1
         while len(self._pending_keys) >= self.shard_size:
             self._seal(self.shard_size)
 
-    def remove(self, keys: Sequence[str]) -> int:
-        """Tombstone keys (hidden from lookups/search; dropped on compact)."""
-        live = set(self.keys())
+    def remove(self, keys: Sequence[str], kind: Optional[str] = None) -> int:
+        """Tombstone entries (hidden from lookups/search; dropped on compact).
+
+        With ``kind=None`` a key is removed from every kind (namespace); with
+        a kind, only that modality's row dies — removing a cone's ``"layout"``
+        row keeps its ``"cone"``/``"rtl"`` partners retrievable.  Returns the
+        number of live ``(key, kind)`` entries tombstoned.
+        """
+        targets = set(keys)
         removed = 0
-        for key in keys:
-            if key in live and key not in self._tombstones:
-                self._tombstones.add(key)
+        for _, _, row_key, row_kind in self._iter_rows(include_tombstoned=False):
+            if row_key not in targets or (kind is not None and row_kind != kind):
+                continue
+            if (row_key, row_kind) not in self._tombstones:
+                self._tombstones.add((row_key, row_kind))
                 removed += 1
         if removed:
             self._generation += 1
-        # Pending rows can be dropped immediately — they are not on disk yet.
-        if removed:
+            # Pending rows can be dropped immediately — they are not on disk yet.
             kept = [
-                (k, kind, row)
-                for k, kind, row in zip(
+                (k, knd, row)
+                for k, knd, row in zip(
                     self._pending_keys, self._pending_kinds, self._pending_rows
                 )
-                if k not in self._tombstones
+                if not self._is_dead(k, knd)
             ]
             self._pending_keys = [k for k, _, _ in kept]
-            self._pending_kinds = [kind for _, kind, _ in kept]
+            self._pending_kinds = [knd for _, knd, _ in kept]
             self._pending_rows = [row for _, _, row in kept]
             self._write_manifest()
         return removed
@@ -331,17 +382,17 @@ class EmbeddingIndex:
         matrix = np.stack([np.asarray(row, dtype=_DTYPE) for row in rows])
         shard = _Shard(self.directory, name, len(keys))
 
-        def write_payload(tmp: Path) -> None:
+        def _write_payload(tmp: Path) -> None:
             with tmp.open("wb") as handle:
                 np.save(handle, matrix)
 
-        atomic_write(shard.payload_path, shard.payload_path.name + ".tmp", write_payload)
+        atomic_write(shard.payload_path, shard.payload_path.name + ".tmp", _write_payload)
         meta = {"keys": list(keys), "kinds": list(kinds)}
 
-        def write_meta(tmp: Path) -> None:
+        def _write_meta(tmp: Path) -> None:
             tmp.write_text(json.dumps(meta))
 
-        atomic_write(shard.meta_path, shard.meta_path.name + ".tmp", write_meta)
+        atomic_write(shard.meta_path, shard.meta_path.name + ".tmp", _write_meta)
         return shard
 
     def _seal(self, count: int) -> None:
@@ -378,35 +429,44 @@ class EmbeddingIndex:
             "shard_size": self.shard_size,
             "fingerprints": self.fingerprints,
             "shards": [{"name": s.name, "count": s.count} for s in self._shards],
-            "tombstones": sorted(self._tombstones),
+            "tombstones": [
+                list(entry)
+                for entry in sorted(self._tombstones, key=lambda e: (e[0], e[1] or ""))
+            ],
             "updated": time.time(),
         }
         path = self.directory / MANIFEST_NAME
 
-        def write(tmp: Path) -> None:
+        def _write(tmp: Path) -> None:
             tmp.write_text(json.dumps(manifest, indent=2))
 
-        atomic_write(path, path.name + ".tmp", write)
+        atomic_write(path, path.name + ".tmp", _write)
 
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        """Number of live entries (unique keys, tombstones excluded)."""
-        return len(self.keys())
+        """Number of live entries (unique ``(key, kind)`` pairs)."""
+        seen: Dict[Tuple[str, str], None] = {}
+        for _, _, key, kind in self._iter_rows(include_tombstoned=False):
+            seen.setdefault((key, kind), None)
+        return len(seen)
 
     def __contains__(self, key: str) -> bool:
-        if key in self._tombstones:
-            return False
-        if key in self._pending_keys:
-            return True
-        return any(key in shard.keys for shard in self._shards)
+        """Whether ``key`` is live under *any* kind."""
+        return any(row_key == key for _, _, row_key, _ in self._iter_rows())
 
-    def keys(self) -> List[str]:
-        """Live keys, first-added order, duplicates collapsed."""
+    def keys(self, kind: Optional[str] = None) -> List[str]:
+        """Live keys, first-added order, duplicates collapsed.
+
+        ``kind`` restricts the listing to one namespace (keys are unique
+        within a kind; without the filter a cross-modal key appears once even
+        when several kinds hold it).
+        """
         seen: Dict[str, None] = {}
-        for _, _, key, _ in self._iter_rows(include_tombstoned=False):
-            seen.setdefault(key, None)
+        for _, _, key, row_kind in self._iter_rows(include_tombstoned=False):
+            if kind is None or row_kind == kind:
+                seen.setdefault(key, None)
         return list(seen)
 
     def _iter_rows(
@@ -415,23 +475,35 @@ class EmbeddingIndex:
         """Yield ``(segment, row, key, kind)`` over sealed shards then pending."""
         for s, shard in enumerate(self._shards):
             for r, (key, kind) in enumerate(zip(shard.keys, shard.kinds)):
-                if include_tombstoned or key not in self._tombstones:
+                if include_tombstoned or not self._is_dead(key, kind):
                     yield s, r, key, kind
         for r, (key, kind) in enumerate(zip(self._pending_keys, self._pending_kinds)):
-            if include_tombstoned or key not in self._tombstones:
+            if include_tombstoned or not self._is_dead(key, kind):
                 yield len(self._shards), r, key, kind
 
-    def get(self, key: str) -> Optional[np.ndarray]:
-        """The latest live vector stored under ``key`` (a float64 copy)."""
-        if key in self._tombstones:
-            return None
+    def get(self, key: str, kind: Optional[str] = None) -> Optional[np.ndarray]:
+        """The latest live vector stored under ``key`` (a float64 copy).
+
+        ``kind`` selects one namespace; without it the latest live row of any
+        kind wins (the only row there is, for single-modality indexes).
+        """
         for r in range(len(self._pending_keys) - 1, -1, -1):
-            if self._pending_keys[r] == key:
+            row_kind = self._pending_kinds[r]
+            if (
+                self._pending_keys[r] == key
+                and (kind is None or row_kind == kind)
+                and not self._is_dead(key, row_kind)
+            ):
                 return np.asarray(self._pending_rows[r], dtype=np.float64).copy()
         for shard in reversed(self._shards):
             keys = shard.keys
+            kinds = shard.kinds
             for r in range(len(keys) - 1, -1, -1):
-                if keys[r] == key:
+                if (
+                    keys[r] == key
+                    and (kind is None or kinds[r] == kind)
+                    and not self._is_dead(key, kinds[r])
+                ):
                     return np.asarray(shard.matrix[r], dtype=np.float64)
         return None
 
@@ -452,11 +524,15 @@ class EmbeddingIndex:
             norms = np.maximum(np.linalg.norm(matrix.astype(np.float64), axis=1), 1e-12)
             yield list(self._pending_keys), list(self._pending_kinds), matrix, norms
 
-    def is_tombstoned(self, key: str) -> bool:
-        return key in self._tombstones
+    def is_tombstoned(self, key: str, kind: Optional[str] = None) -> bool:
+        """Whether ``key`` is tombstoned (in ``kind``, or in any kind)."""
+        if kind is not None:
+            return self._is_dead(key, kind)
+        return any(entry[0] == key for entry in self._tombstones)
 
     @property
     def num_shards(self) -> int:
+        """Number of sealed on-disk shards."""
         return len(self._shards)
 
     @property
@@ -481,27 +557,31 @@ class EmbeddingIndex:
         """
         if self._search_cache is not None and self._search_cache[0] == self._generation:
             return self._search_cache[1]
-        latest: Dict[str, Tuple[int, int]] = {}
-        for segment, row, key, _ in self._iter_rows(include_tombstoned=False):
-            latest[key] = (segment, row)
+        latest: Dict[Tuple[str, str], Tuple[int, int]] = {}
+        for segment, row, key, kind in self._iter_rows(include_tombstoned=False):
+            latest[(key, kind)] = (segment, row)
         metadata: List[Tuple[List[str], np.ndarray, np.ndarray]] = []
 
-        def build(segment: int, keys: Sequence[str], kinds: Sequence[str]) -> None:
+        def _build(segment: int, keys: Sequence[str], kinds: Sequence[str]) -> None:
             live = np.fromiter(
-                (r for r, key in enumerate(keys) if latest.get(key) == (segment, r)),
+                (
+                    r
+                    for r, (key, kind) in enumerate(zip(keys, kinds))
+                    if latest.get((key, kind)) == (segment, r)
+                ),
                 dtype=np.int64,
             )
             metadata.append((list(keys), np.asarray(list(kinds), dtype=object), live))
 
         for segment, shard in enumerate(self._shards):
-            build(segment, shard.keys, shard.kinds)
+            _build(segment, shard.keys, shard.kinds)
         if self._pending_keys:
-            build(len(self._shards), self._pending_keys, self._pending_kinds)
+            _build(len(self._shards), self._pending_keys, self._pending_kinds)
         self._search_cache = (self._generation, metadata, latest)
         return metadata
 
-    def live_row_map(self) -> Dict[str, Tuple[int, int]]:
-        """``key -> (segment, row)`` of each live key's latest row (cached)."""
+    def live_row_map(self) -> Dict[Tuple[str, str], Tuple[int, int]]:
+        """``(key, kind) -> (segment, row)`` of each live entry's latest row."""
         self.search_metadata()
         assert self._search_cache is not None
         return self._search_cache[2]
@@ -512,24 +592,25 @@ class EmbeddingIndex:
     def compact(self) -> Dict[str, int]:
         """Rewrite all shards dropping tombstones and superseded duplicates.
 
-        Every surviving key keeps its *latest* vector; rows are re-packed
-        into full ``shard_size`` shards.  Crash-safe ordering: the new
-        shards are written and the manifest is atomically switched to them
-        *before* the stale payloads are unlinked, so an interruption at any
-        point leaves a readable index (worst case: orphan shard files that
-        the next compact removes).  Returns counts of dropped rows.
+        Every surviving ``(key, kind)`` entry keeps its *latest* vector; rows
+        are re-packed into full ``shard_size`` shards.  Crash-safe ordering:
+        the new shards are written and the manifest is atomically switched to
+        them *before* the stale payloads are unlinked, so an interruption at
+        any point leaves a readable index (worst case: orphan shard files
+        that the next compact removes).  Returns counts of dropped rows.
         """
-        latest: "Dict[str, Tuple[str, np.ndarray]]" = {}
+        latest: "Dict[Tuple[str, str], Tuple[str, np.ndarray]]" = {}
         total_rows = sum(1 for _ in self._iter_rows(include_tombstoned=True))
         for shard in self._shards:
             matrix = shard.matrix
             for r, (key, kind) in enumerate(zip(shard.keys, shard.kinds)):
-                if key not in self._tombstones:
-                    latest[key] = (kind, np.asarray(matrix[r], dtype=np.float64))
+                if not self._is_dead(key, kind):
+                    latest[(key, kind)] = (kind, np.asarray(matrix[r], dtype=np.float64))
         for r, key in enumerate(self._pending_keys):
-            if key not in self._tombstones:
-                latest[key] = (
-                    self._pending_kinds[r],
+            kind = self._pending_kinds[r]
+            if not self._is_dead(key, kind):
+                latest[(key, kind)] = (
+                    kind,
                     np.asarray(self._pending_rows[r], dtype=np.float64),
                 )
         dropped = {
@@ -549,7 +630,7 @@ class EmbeddingIndex:
             chunk = items[start : start + self.shard_size]
             new_shards.append(
                 self._write_shard(
-                    [key for key, _ in chunk],
+                    [key for (key, _), _ in chunk],
                     [kind for _, (kind, _) in chunk],
                     [row for _, (_, row) in chunk],
                 )

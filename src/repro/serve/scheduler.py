@@ -79,6 +79,7 @@ class BatchScheduler:
         return future
 
     def submit_many(self, items: Sequence[Any]) -> List["Future[Any]"]:
+        """Enqueue several items; returns one future per item, in order."""
         return [self.submit(item) for item in items]
 
     def __call__(self, item: Any, timeout: Optional[float] = None) -> Any:
@@ -161,6 +162,7 @@ class BatchScheduler:
 
     @property
     def closed(self) -> bool:
+        """Whether :meth:`close` was called (submissions now raise)."""
         with self._lock:
             return self._closed
 

@@ -167,6 +167,7 @@ class IVFSearcher:
 
     @property
     def is_fitted(self) -> bool:
+        """Whether :meth:`fit` ran (searching before it raises)."""
         return self._centroids is not None
 
     def needs_refit(self, index: EmbeddingIndex) -> bool:
@@ -179,6 +180,7 @@ class IVFSearcher:
         return not self.is_fitted or index.generation != self._fitted_generation
 
     def fit(self, index: EmbeddingIndex) -> "IVFSearcher":
+        """Snapshot the index's live rows and build the inverted lists."""
         keys: List[str] = []
         kinds: List[str] = []
         rows: List[np.ndarray] = []
@@ -225,6 +227,7 @@ class IVFSearcher:
         nprobe: Optional[int] = None,
         exclude_keys: Optional[Sequence[str]] = None,
     ) -> List[List[SearchHit]]:
+        """Approximate cosine top-k scoring only the ``nprobe`` nearest lists."""
         if self._centroids is None:
             raise RuntimeError("IVFSearcher.search called before fit()")
         if k < 1:
@@ -252,6 +255,7 @@ class IVFSearcher:
         return _merge_topk(candidates, k)
 
     def stats(self) -> Dict[str, object]:
+        """Centroid/list occupancy summary for service reports."""
         sizes = [len(keys) for keys, _, _ in self._lists]
         return {
             "fitted": self.is_fitted,

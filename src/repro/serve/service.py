@@ -8,7 +8,9 @@ optional :class:`IVFSearcher` for approximate retrieval at corpus scale.
 Keys follow one convention everywhere (index, CLI, benchmarks):
 
 * circuit entries are keyed by the netlist name, kind ``"circuit"``;
-* register-cone entries are keyed ``"<netlist>::<register>"``, kind ``"cone"``.
+* register-cone entries are keyed ``"<netlist>::<register>"``, kind ``"cone"``;
+* cross-modal entries (kinds ``"rtl"`` and ``"layout"``) reuse the cone key
+  of the aligned register cone, so aligned pairs share a key across kinds.
 
 Circuit and cone embeddings share one index (and one dimension): cone vectors
 already have the full ``model.index_dim`` width, and circuit vectors are
@@ -31,12 +33,18 @@ from .search import IVFSearcher, SearchHit, exact_topk
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a core<->serve cycle
     from ..core.nettag import CircuitEmbedding, NetTAG
     from ..netlist import Netlist, RegisterCone
+    from .crossmodal import CrossModalEncoder, MultimodalCorpusItem
 
 CIRCUIT_KIND = "circuit"
 CONE_KIND = "cone"
+# Cross-modal namespaces (rows projected from the aligned auxiliary encoders;
+# see repro.serve.crossmodal for the projection heads and sidecar format).
+RTL_KIND = "rtl"
+LAYOUT_KIND = "layout"
 
 
 def cone_key(netlist_name: str, register_name: str) -> str:
+    """The canonical ``"<netlist>::<register>"`` index key of a register cone."""
     return f"{netlist_name}::{register_name}"
 
 
@@ -100,10 +108,17 @@ class NetTAGService:
         max_batch_size: int = 32,
         max_latency_ms: float = 10.0,
         searcher: Optional[IVFSearcher] = None,
+        crossmodal: Optional["CrossModalEncoder"] = None,
     ) -> None:
         self.model = model
         self.index = index
         self.searcher = searcher
+        self.crossmodal = crossmodal
+        # One fitted approximate searcher per target kind (modality); the
+        # last-fitted one is mirrored on ``self.searcher`` for inspection.
+        self._searchers: Dict[Optional[str], IVFSearcher] = (
+            {searcher.kind: searcher} if searcher is not None else {}
+        )
         # Reentrant: query_embedding(approximate=True) refits under the lock.
         # Never held while *waiting* on a scheduler future (deadlock-free:
         # the worker needs the lock to make progress).
@@ -162,19 +177,30 @@ class NetTAGService:
     def _encode_requests(self, items: List[Tuple[str, object]]) -> List[object]:
         """One scheduler flush: partition by request type, one batched call each.
 
-        ``query_cone`` requests ride the same cone encode pass and then share
-        one :func:`exact_topk` call — the batched query matmul over the index
-        shards — so the per-search bookkeeping cost is paid once per flush,
-        not once per request.
+        ``query_cone`` requests ride the same cone encode pass, and
+        ``query_modal`` requests get one batched modality-encoder pass per
+        source kind in the flush; all queries then share one
+        :func:`exact_topk` call per ``(k, target kind)`` group — the batched
+        query matmul over the index shards — so the per-search bookkeeping
+        cost is paid once per flush, not once per request.
         """
         cone_positions = [i for i, (what, _) in enumerate(items) if what == "cone"]
         query_positions = [i for i, (what, _) in enumerate(items) if what == "query_cone"]
         netlist_positions = [i for i, (what, _) in enumerate(items) if what == "netlist"]
-        known = set(cone_positions) | set(query_positions) | set(netlist_positions)
+        modal_positions = [i for i, (what, _) in enumerate(items) if what == "query_modal"]
+        known = (
+            set(cone_positions)
+            | set(query_positions)
+            | set(netlist_positions)
+            | set(modal_positions)
+        )
         unknown = set(range(len(items))) - known
         if unknown:
             raise ValueError(f"unknown request types: {[items[i][0] for i in sorted(unknown)]}")
         results: List[object] = [None] * len(items)
+        # (position, index-space vector, k, target kind, exclusions) for every
+        # retrieval request of the flush, whatever modality produced it.
+        specs: List[Tuple[int, np.ndarray, int, Optional[str], Tuple[str, ...]]] = []
         encode_positions = cone_positions + query_positions
         with self._lock:
             if encode_positions:
@@ -188,9 +214,16 @@ class NetTAGService:
                 for position, embedding in zip(cone_positions, embeddings):
                     results[position] = embedding
                 query_embeddings = embeddings[len(cone_positions):]
-                if query_positions:
-                    results = self._answer_query_batch(
-                        items, query_positions, query_embeddings, results
+                for position, embedding in zip(query_positions, query_embeddings):
+                    _, (_, k, kind, exclude) = items[position]
+                    specs.append(
+                        (
+                            position,
+                            self.model.pad_to_index_dim(embedding),
+                            k,
+                            kind,
+                            tuple(exclude or ()),
+                        )
                     )
             if netlist_positions:
                 circuit_embeddings = self.model.encode_netlists(
@@ -198,37 +231,72 @@ class NetTAGService:
                 )
                 for position, embedding in zip(netlist_positions, circuit_embeddings):
                     results[position] = embedding
+            if modal_positions:
+                vectors = self._encode_modal_positions(items, modal_positions)
+                for position in modal_positions:
+                    _, (_, _, k, to_kind, exclude) = items[position]
+                    specs.append(
+                        (position, vectors[position], k, to_kind, tuple(exclude or ()))
+                    )
+            if specs:
+                self._answer_query_specs(specs, results)
         return results
 
-    def _answer_query_batch(
+    def _modal_query_vectors(self, kind: str, raw_items: Sequence[object]) -> List[np.ndarray]:
+        """One batched index-space encode of same-modality query items.
+
+        Netlist-side kinds (``cone``/``circuit``) are served by the model
+        directly; ``rtl``/``layout`` need the attached cross-modal encoder
+        (its fitted projection heads map them into index space).
+        """
+        raw_items = list(raw_items)
+        if kind == CONE_KIND:
+            vectors = self.model.encode_batch(raw_items)
+            return [self.model.pad_to_index_dim(v) for v in vectors]
+        if kind == CIRCUIT_KIND:
+            embeddings = self.model.encode_netlists(raw_items)
+            return [self.model.pad_to_index_dim(e.graph_embedding) for e in embeddings]
+        if self.crossmodal is None:
+            raise RuntimeError(
+                f"{kind!r} queries need a cross-modal encoder; construct the "
+                "service with crossmodal=CrossModalEncoder.load(index_dir, model)"
+            )
+        matrix = self.crossmodal.encode_queries(kind, raw_items)
+        return [matrix[i] for i in range(len(raw_items))]
+
+    def _encode_modal_positions(
+        self, items: List[Tuple[str, object]], modal_positions: List[int]
+    ) -> Dict[int, np.ndarray]:
+        """Encode a flush's modal queries, one batched pass per source kind."""
+        by_kind: Dict[str, List[int]] = {}
+        for position in modal_positions:
+            _, (from_kind, _, _, _, _) = items[position]
+            by_kind.setdefault(from_kind, []).append(position)
+        vectors: Dict[int, np.ndarray] = {}
+        for from_kind, positions in by_kind.items():
+            batch = [items[position][1][1] for position in positions]
+            for position, vector in zip(positions, self._modal_query_vectors(from_kind, batch)):
+                vectors[position] = vector
+        return vectors
+
+    def _answer_query_specs(
         self,
-        items: List[Tuple[str, object]],
-        query_positions: List[int],
-        query_embeddings: List[np.ndarray],
+        specs: List[Tuple[int, np.ndarray, int, Optional[str], Tuple[str, ...]]],
         results: List[object],
     ) -> List[object]:
-        """Resolve a flush's query requests with one batched top-k per (k, kind)."""
+        """Resolve a flush's retrieval requests, one batched top-k per (k, kind)."""
         index = self._require_index()
         groups: Dict[Tuple[int, Optional[str]], List[int]] = {}
-        for offset, position in enumerate(query_positions):
-            _, (_, k, kind, _) = items[position]
+        for offset, (_, _, k, kind, _) in enumerate(specs):
             groups.setdefault((k, kind), []).append(offset)
         for (k, kind), offsets in groups.items():
-            stacked = np.stack(
-                [
-                    self.model.pad_to_index_dim(query_embeddings[offset])
-                    for offset in offsets
-                ]
-            )
+            stacked = np.stack([specs[offset][1] for offset in offsets])
             # Over-fetch by the widest per-request exclusion so filtering
             # can never shrink a result below k.
-            extra = max(
-                (len(items[query_positions[o]][1][3] or ()) for o in offsets), default=0
-            )
+            extra = max((len(specs[offset][4]) for offset in offsets), default=0)
             hits = exact_topk(index, stacked, k=k + extra, kind=kind)
             for offset, row_hits in zip(offsets, hits):
-                position = query_positions[offset]
-                _, (_, _, _, exclude) = items[position]
+                position, _, _, _, exclude = specs[offset]
                 if exclude:
                     row_hits = [hit for hit in row_hits if hit.key not in exclude]
                 results[position] = row_hits[:k]
@@ -238,17 +306,21 @@ class NetTAGService:
     # Encoding API (scheduler-backed; safe to call from many threads)
     # ------------------------------------------------------------------
     def submit_cone(self, cone: "RegisterCone") -> "Future[np.ndarray]":
+        """Asynchronously encode one register cone through the micro-batcher."""
         return self._scheduler.submit(("cone", cone))
 
     def submit_netlist(self, netlist: "Netlist") -> "Future[CircuitEmbedding]":
+        """Asynchronously encode one circuit through the micro-batcher."""
         return self._scheduler.submit(("netlist", netlist))
 
     def encode_cone(self, cone: "RegisterCone", timeout: Optional[float] = None) -> np.ndarray:
+        """Blocking counterpart of :meth:`submit_cone`."""
         return self.submit_cone(cone).result(timeout=timeout)
 
     def encode_netlist(
         self, netlist: "Netlist", timeout: Optional[float] = None
     ) -> "CircuitEmbedding":
+        """Blocking counterpart of :meth:`submit_netlist`."""
         return self.submit_netlist(netlist).result(timeout=timeout)
 
     # ------------------------------------------------------------------
@@ -293,12 +365,43 @@ class NetTAGService:
     def fit_searcher(
         self, num_centroids: int = 32, nprobe: int = 4, seed: int = 0, kind: Optional[str] = None
     ) -> IVFSearcher:
-        """Build/refresh the approximate searcher over the current index."""
+        """Build/refresh the approximate searcher over one kind (namespace).
+
+        The service keeps one fitted searcher *per target kind*, so queries
+        against different modalities (``cone`` vs ``rtl`` vs ``layout``)
+        never evict each other's coarse quantiser; the last-fitted searcher
+        is mirrored on :attr:`searcher`.
+        """
         with self._lock:
-            self.searcher = IVFSearcher(
+            searcher = IVFSearcher(
                 num_centroids=num_centroids, nprobe=nprobe, seed=seed, kind=kind
             ).fit(self._require_index())
-            return self.searcher
+            self._searchers[kind] = searcher
+            self.searcher = searcher
+            return searcher
+
+    def _searcher_for_kind(self, kind: Optional[str]) -> IVFSearcher:
+        """The fitted searcher for ``kind``, refitting when stale or missing.
+
+        Refits when the index mutated since the fit OR when no searcher ever
+        covered this namespace — a ``kind=None`` searcher must not leak
+        circuit rows into cone queries (and vice versa).  User tuning
+        survives: a kind that was fitted explicitly keeps its own parameters
+        across staleness refits, and a brand-new kind inherits the most
+        recently fitted searcher's tuning.
+        """
+        index = self._require_index()
+        searcher = self._searchers.get(kind)
+        if searcher is None or searcher.needs_refit(index):
+            previous = searcher or self.searcher
+            self.fit_searcher(
+                num_centroids=previous.num_centroids if previous else 32,
+                nprobe=previous.nprobe if previous else 4,
+                seed=previous.seed if previous else 0,
+                kind=kind,
+            )
+            searcher = self._searchers[kind]
+        return searcher
 
     def query_embedding(
         self,
@@ -313,23 +416,8 @@ class NetTAGService:
         vector = self.model.pad_to_index_dim(np.asarray(vector, dtype=np.float64))
         with self._lock:
             if approximate:
-                # Refit when the index mutated OR when the fitted searcher
-                # covers a different namespace: a kind=None searcher would
-                # leak circuit rows into cone queries (and vice versa).  A
-                # user-tuned searcher keeps its parameters across the refit.
-                if (
-                    self.searcher is None
-                    or self.searcher.needs_refit(index)
-                    or self.searcher.kind != kind
-                ):
-                    previous = self.searcher
-                    self.fit_searcher(
-                        num_centroids=previous.num_centroids if previous else 32,
-                        nprobe=previous.nprobe if previous else 4,
-                        seed=previous.seed if previous else 0,
-                        kind=kind,
-                    )
-                return self.searcher.search(vector[None, :], k=k, exclude_keys=exclude_keys)[0]
+                searcher = self._searcher_for_kind(kind)
+                return searcher.search(vector[None, :], k=k, exclude_keys=exclude_keys)[0]
             return exact_topk(
                 index, vector[None, :], k=k, kind=kind, exclude_keys=exclude_keys
             )[0]
@@ -391,6 +479,159 @@ class NetTAGService:
             approximate=approximate,
         )
 
+    # ------------------------------------------------------------------
+    # Cross-modal retrieval (kind-pair query API)
+    # ------------------------------------------------------------------
+    def submit_query_modal(
+        self,
+        item: object,
+        from_kind: str,
+        to_kind: str = CONE_KIND,
+        k: int = 10,
+        exclude_keys: Optional[Sequence[str]] = None,
+    ) -> "Future[List[SearchHit]]":
+        """Asynchronous cross-modal query: encode *and* search in the micro-batch.
+
+        ``item``'s type follows ``from_kind`` (see
+        :meth:`CrossModalEncoder.encode_queries`): a ``RegisterCone`` for
+        ``"cone"``, a ``Netlist`` for ``"circuit"``, an RTL text string for
+        ``"rtl"`` and a ``LayoutGraph`` for ``"layout"``.  Requests sharing a
+        flush get one batched encoder pass per source kind and one batched
+        top-k per ``(k, to_kind)`` group.
+
+        Invalid requests are rejected *here*, on the caller thread — a batch
+        callback exception would fail every unrelated request sharing the
+        flush.
+        """
+        self._require_index()
+        kinds = (CONE_KIND, CIRCUIT_KIND, RTL_KIND, LAYOUT_KIND)
+        if from_kind not in kinds:
+            raise ValueError(f"unknown query modality {from_kind!r}; choose from {kinds}")
+        if to_kind not in kinds:
+            raise ValueError(f"unknown target kind {to_kind!r}; choose from {kinds}")
+        if from_kind in (RTL_KIND, LAYOUT_KIND):
+            if self.crossmodal is None:
+                raise RuntimeError(
+                    f"{from_kind!r} queries need a cross-modal encoder; construct the "
+                    "service with crossmodal=CrossModalEncoder.load(index_dir, model)"
+                )
+            if not self.crossmodal.supports(from_kind):
+                raise RuntimeError(
+                    f"the attached cross-modal encoder has no {from_kind!r} "
+                    "encoder/projection (the index was built without that modality)"
+                )
+        return self._scheduler.submit(
+            ("query_modal", (from_kind, item, k, to_kind, tuple(exclude_keys or ())))
+        )
+
+    def query_modal(
+        self,
+        item: object,
+        from_kind: str,
+        to_kind: str = CONE_KIND,
+        k: int = 10,
+        exclude_keys: Optional[Sequence[str]] = None,
+        approximate: bool = False,
+        timeout: Optional[float] = None,
+    ) -> List[SearchHit]:
+        """Encode ``item`` in ``from_kind`` and retrieve top-k of ``to_kind``.
+
+        The blocking counterpart of :meth:`submit_query_modal` — "find the
+        netlist cones implementing this RTL snippet" is
+        ``query_modal(rtl_text, from_kind="rtl", to_kind="cone")``.  With
+        ``approximate=True`` the encode happens on the caller thread and the
+        search goes through the per-kind IVF searcher.
+        """
+        if approximate:
+            with self._lock:
+                vector = self._modal_query_vectors(from_kind, [item])[0]
+            return self.query_embedding(
+                vector, k=k, kind=to_kind, exclude_keys=exclude_keys, approximate=True
+            )
+        return self.submit_query_modal(
+            item, from_kind, to_kind=to_kind, k=k, exclude_keys=exclude_keys
+        ).result(timeout=timeout)
+
+    def query_rtl(
+        self, rtl_text: str, to_kind: str = CONE_KIND, k: int = 10, **kwargs
+    ) -> List[SearchHit]:
+        """Retrieve ``to_kind`` entries matching an RTL snippet."""
+        return self.query_modal(rtl_text, RTL_KIND, to_kind=to_kind, k=k, **kwargs)
+
+    def query_layout(
+        self, layout: object, to_kind: str = CONE_KIND, k: int = 10, **kwargs
+    ) -> List[SearchHit]:
+        """Retrieve ``to_kind`` entries matching a layout graph."""
+        return self.query_modal(layout, LAYOUT_KIND, to_kind=to_kind, k=k, **kwargs)
+
+    def add_multimodal(
+        self,
+        netlists: Sequence["Netlist"],
+        items: Sequence["MultimodalCorpusItem"],
+        modalities: Optional[Sequence[str]] = None,
+        l2: float = 1e-6,
+        flush: bool = True,
+    ) -> int:
+        """Encode and index a corpus in every requested modality.
+
+        Requires the attached cross-modal encoder; its projection heads are
+        (re)fitted on the aligned pairs of this corpus, so it must be called
+        with the *full* corpus: an incremental call would leave previously
+        indexed rtl/layout rows in the old heads' projection space while
+        queries use the new heads, silently mis-ranking results — such calls
+        are rejected (any existing projected-kind key missing from ``items``
+        trips the guard).  The refitted heads are persisted back into the
+        index's ``multimodal/`` sidecar.  Returns the number of rows added
+        across all modalities.
+        """
+        from .crossmodal import MODALITY_KINDS, PROJECTED_KINDS, encode_multimodal_rows
+
+        if self.crossmodal is None:
+            raise RuntimeError(
+                "add_multimodal needs a cross-modal encoder; construct the "
+                "service with crossmodal=..."
+            )
+        index = self._require_index()
+        # Items whose owner is absent from ``netlists`` get no cone vector in
+        # this pass, so their modality rows would silently keep (or miss) the
+        # old projection — both incremental shapes are rejected.
+        netlist_names = {netlist.name for netlist in netlists}
+        uncovered = [item.key for item in items if item.owner not in netlist_names]
+        if uncovered:
+            raise ValueError(
+                f"{len(uncovered)} items (e.g. {uncovered[0]!r}) belong to designs "
+                "not in the passed netlists; add_multimodal needs the full aligned "
+                "corpus — netlists and items together"
+            )
+        item_keys = {item.key for item in items}
+        for kind in PROJECTED_KINDS:
+            if kind not in (modalities or MODALITY_KINDS):
+                continue
+            orphaned = [key for key in index.keys(kind=kind) if key not in item_keys]
+            if orphaned:
+                raise ValueError(
+                    f"add_multimodal would refit the {kind!r} projection head while "
+                    f"{len(orphaned)} existing {kind} rows (e.g. {orphaned[0]!r}) stay "
+                    "projected with the old one; pass the full corpus (existing "
+                    "designs included) or rebuild the index"
+                )
+        with self._lock:
+            payload = encode_multimodal_rows(
+                self.crossmodal,
+                netlists,
+                items,
+                modalities=modalities or MODALITY_KINDS,
+                l2=l2,
+            )
+            if payload.rows:
+                keys, kinds, vectors = zip(*payload.rows)
+                index.add(list(keys), np.stack(vectors), kinds=list(kinds))
+            if flush:
+                index.save()
+            if payload.projections:
+                self.crossmodal.save(index.directory)
+        return len(payload.rows)
+
     def near_duplicates(
         self, threshold: float = 0.98, kind: str = CONE_KIND, k: int = 5
     ) -> List[Tuple[str, str, float]]:
@@ -439,6 +680,15 @@ class NetTAGService:
             report["index"] = self.index.stats()
         if self.searcher is not None:
             report["searcher"] = self.searcher.stats()
+        if self._searchers:
+            report["searchers"] = {
+                str(kind): searcher.stats() for kind, searcher in self._searchers.items()
+            }
+        if self.crossmodal is not None:
+            report["crossmodal"] = {
+                "modalities": sorted(self.crossmodal.projections),
+                "fingerprints": self.crossmodal.fingerprints(),
+            }
         return report
 
     def close(self) -> None:

@@ -55,6 +55,7 @@ class StageTiming:
     key: str = ""
 
     def describe(self) -> str:
+        """One human-readable report line (cache hits marked)."""
         source = "cache hit" if self.cached else "computed"
         return f"stage {self.name}: {self.seconds:.2f}s ({source})"
 
@@ -71,14 +72,17 @@ class StageRun:
 
     @property
     def cached(self) -> bool:
+        """Whether the stage's payload was served from the store."""
         return self._store.contains(self.name, self.key)
 
     def load(self) -> Any:
+        """Read the cached payload (marks the run as a cache hit)."""
         value = self._store.load(self.name, self.key)
         self.timing.cached = True
         return value
 
     def save(self, value: Any) -> None:
+        """Persist the freshly computed payload under the stage key."""
         self._store.save(self.name, self.key, value)
 
     def __enter__(self) -> "StageRun":
@@ -109,6 +113,7 @@ class ArtifactStore:
 
     @property
     def enabled(self) -> bool:
+        """Whether a cache directory is attached (disabled stores compute)."""
         return self.root is not None
 
     # ------------------------------------------------------------------
@@ -121,6 +126,7 @@ class ArtifactStore:
         return self.root / f"{stage}-{key}.json"
 
     def contains(self, stage: str, key: str) -> bool:
+        """Whether a payload exists for ``(stage, key)`` with a valid manifest."""
         if self.root is None:
             return False
         entry = self._entry_path(stage, key)
@@ -141,6 +147,7 @@ class ArtifactStore:
         )
 
     def load(self, stage: str, key: str) -> Any:
+        """Unpickle the payload stored under ``(stage, key)``."""
         if not self.contains(stage, key):
             raise KeyError(f"no cached artefact for stage {stage!r} key {key}")
         with self._entry_path(stage, key).open("rb") as handle:
@@ -149,6 +156,7 @@ class ArtifactStore:
         return value
 
     def save(self, stage: str, key: str, value: Any) -> None:
+        """Atomically pickle a payload under ``(stage, key)``."""
         self.misses += 1
         if self.root is None:
             return
@@ -156,11 +164,11 @@ class ArtifactStore:
         # leave a truncated pickle behind a valid-looking manifest.
         entry = self._entry_path(stage, key)
 
-        def write_pickle(tmp: Path) -> None:
+        def _write_pickle(tmp: Path) -> None:
             with tmp.open("wb") as handle:
                 pickle.dump(value, handle, protocol=_PICKLE_PROTOCOL)
 
-        atomic_write(entry, entry.name + ".tmp", write_pickle)
+        atomic_write(entry, entry.name + ".tmp", _write_pickle)
         manifest = {
             "stage": stage,
             "key": key,
@@ -191,6 +199,7 @@ class ArtifactStore:
             return value
 
     def stats(self) -> Dict[str, int]:
+        """Hit/miss counters accumulated by this store instance."""
         return {"hits": self.hits, "misses": self.misses}
 
 
@@ -235,12 +244,15 @@ class RunManifest:
         return self.directory / f"{stage}.ckpt.npz"
 
     def is_done(self, stage: str) -> bool:
+        """Whether a stage was marked complete in this run."""
         return self._data["stages"].get(stage, {}).get("done", False)
 
     def stage_record(self, stage: str) -> Dict[str, Any]:
+        """The stored record of one stage (empty dict when absent)."""
         return dict(self._data["stages"].get(stage, {}))
 
     def mark_done(self, stage: str, **record: Any) -> None:
+        """Record a stage as complete (atomically rewrites the manifest)."""
         self._data["stages"][stage] = {"done": True, **record}
         self._write()
 
@@ -260,6 +272,7 @@ class RunManifest:
         self.path.write_text(json.dumps(self._data, indent=2))
 
     def completed_stages(self) -> Iterator[str]:
+        """Names of every stage marked complete, in manifest order."""
         for stage, record in self._data["stages"].items():
             if record.get("done"):
                 yield stage

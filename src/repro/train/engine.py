@@ -45,6 +45,7 @@ class BatchPlan:
     num_items: int = 0
 
     def total_steps(self) -> int:  # pragma: no cover - abstract
+        """Total optimiser steps the plan schedules."""
         raise NotImplementedError
 
     def batch_indices(self, step: int, rng: np.random.Generator) -> Optional[np.ndarray]:
@@ -52,12 +53,15 @@ class BatchPlan:
         raise NotImplementedError  # pragma: no cover - abstract
 
     def epochs_completed(self, step: int) -> int:
+        """Fully consumed epochs at a given global step."""
         return 0
 
     def state_dict(self) -> Dict[str, object]:
+        """Resumable plan state (overridden by stateful plans)."""
         return {}
 
     def load_state_dict(self, state: Mapping[str, object]) -> None:
+        """Restore plan state saved by :meth:`state_dict`."""
         pass
 
 
@@ -83,12 +87,15 @@ class EpochPlan(BatchPlan):
         self._perm_epoch = -1
 
     def total_steps(self) -> int:
+        """Total optimiser steps across all epochs."""
         return self.num_epochs * self.steps_per_epoch
 
     def epochs_completed(self, step: int) -> int:
+        """Fully consumed epochs at ``step``."""
         return min(self.num_epochs, step // self.steps_per_epoch)
 
     def batch_indices(self, step: int, rng: np.random.Generator) -> Optional[np.ndarray]:
+        """The minibatch indices of one global step (deterministic)."""
         epoch, position = divmod(step, self.steps_per_epoch)
         if position == 0 or self._perm_epoch != epoch:
             if position == 0:
@@ -106,12 +113,14 @@ class EpochPlan(BatchPlan):
         return np.asarray(batch)
 
     def state_dict(self) -> Dict[str, object]:
+        """The in-flight epoch permutation and its cursor."""
         return {
             "permutation": None if self._permutation is None else self._permutation.copy(),
             "perm_epoch": self._perm_epoch,
         }
 
     def load_state_dict(self, state: Mapping[str, object]) -> None:
+        """Restore the epoch permutation saved by :meth:`state_dict`."""
         permutation = state.get("permutation")
         self._permutation = (
             None if permutation is None else np.asarray(permutation, dtype=np.int64)
@@ -136,9 +145,11 @@ class SamplingPlan(BatchPlan):
         self.replace = replace
 
     def total_steps(self) -> int:
+        """Total optimiser steps the plan schedules."""
         return self.num_steps
 
     def batch_indices(self, step: int, rng: np.random.Generator) -> Optional[np.ndarray]:
+        """The sampled minibatch indices of one global step (seeded)."""
         size = min(self.batch_size, self.num_items)
         replace = self.num_items < self.batch_size if self.replace is None else self.replace
         return rng.choice(self.num_items, size=size, replace=replace)
@@ -167,6 +178,7 @@ class TrainTask:
         raise NotImplementedError  # pragma: no cover - abstract
 
     def trainable_parameters(self) -> List[Tensor]:
+        """The tensors the optimiser updates (default: every module parameter)."""
         params: List[Tensor] = []
         for module in self.modules().values():
             params.extend(module.parameters())
@@ -195,10 +207,12 @@ class TrainResult:
 
     @property
     def final_loss(self) -> float:
+        """The last recorded total loss (NaN when nothing ran)."""
         return self.losses[-1] if self.losses else float("nan")
 
     @property
     def initial_loss(self) -> float:
+        """The first recorded total loss (NaN when nothing ran)."""
         return self.losses[0] if self.losses else float("nan")
 
 

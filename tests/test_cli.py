@@ -198,3 +198,130 @@ class TestIndexCommands:
         with pytest.raises(FileExistsError):
             main(base)
         assert main(base + ["--force"]) == 0
+
+
+class TestCrossModalCommands:
+    @pytest.fixture()
+    def checkpoint(self, tmp_path, small_model):
+        path = tmp_path / "model.npz"
+        small_model.save(path)
+        return path
+
+    def test_synthetic_build_then_query_every_direction(self, tmp_path, checkpoint, capsys):
+        index_dir = tmp_path / "mm-index"
+        assert main([
+            "index", "build", "--synthetic", "1",
+            "--checkpoint", str(checkpoint), "--index", str(index_dir), "--force",
+        ]) == 0
+        build_out = capsys.readouterr().out
+        assert "cross-modal index" in build_out
+        for kind in ("circuit=", "cone=", "rtl=", "layout="):
+            assert kind in build_out
+
+        # An RTL snippet retrieves netlist cones...
+        from repro.rtl import make_controller, render_register_cone
+
+        module = make_controller("probe", seed=77, num_states=4, data_width=4)
+        rtl_path = tmp_path / "probe.rtl"
+        rtl_path.write_text(render_register_cone(module, module.registers[0].name))
+        assert main([
+            "index", "query", str(rtl_path), "--from", "rtl", "--to", "cone",
+            "--checkpoint", str(checkpoint), "--index", str(index_dir), "-k", "3",
+        ]) == 0
+        rtl_out = capsys.readouterr().out
+        assert "top-3 cone entries (from rtl)" in rtl_out
+        assert rtl_out.count("+0.") + rtl_out.count("-0.") + rtl_out.count("+1.") >= 3
+
+        # ...and a netlist's layout retrieves the RTL namespace.
+        netlist = synthesize(module).netlist
+        netlist_path = tmp_path / "probe.v"
+        write_verilog(netlist, path=netlist_path)
+        assert main([
+            "index", "query", str(netlist_path), "--from", "layout", "--to", "rtl",
+            "--checkpoint", str(checkpoint), "--index", str(index_dir), "-k", "2",
+        ]) == 0
+        assert "rtl entries (from layout)" in capsys.readouterr().out
+
+        assert main(["index", "stats", "--index", str(index_dir)]) == 0
+        stats_out = capsys.readouterr().out
+        assert "kind rtl" in stats_out and "kind layout" in stats_out
+
+    def test_directory_build_supports_layout_but_not_rtl(self, tmp_path, checkpoint, capsys):
+        from repro.rtl import make_controller
+
+        directory = tmp_path / "corpus"
+        directory.mkdir()
+        netlist = synthesize(make_controller("delta", seed=31, num_states=3)).netlist
+        write_verilog(netlist, path=directory / "delta.v")
+
+        # rtl rows need RTL sources the .v corpus cannot provide.
+        assert main([
+            "index", "build", str(directory), "--modalities", "cone,rtl",
+            "--checkpoint", str(checkpoint), "--index", str(tmp_path / "idx-a"),
+        ]) == 2
+        assert "rtl rows need RTL sources" in capsys.readouterr().err
+
+        # layout rows are derived from the netlists themselves.
+        index_dir = tmp_path / "idx-b"
+        assert main([
+            "index", "build", str(directory), "--modalities", "circuit,cone,layout",
+            "--checkpoint", str(checkpoint), "--index", str(index_dir),
+        ]) == 0
+        assert "layout=" in capsys.readouterr().out
+        assert main([
+            "index", "query", str(directory / "delta.v"), "--from", "cone", "--to", "layout",
+            "--checkpoint", str(checkpoint), "--index", str(index_dir), "-k", "2",
+        ]) == 0
+        assert "layout entries (from cone)" in capsys.readouterr().out
+
+        # An rtl query against this rtl-less sidecar fails with a friendly
+        # message instead of a traceback from inside the scheduler.
+        rtl_path = tmp_path / "probe.rtl"
+        rtl_path.write_text("assign x = a & b;")
+        assert main([
+            "index", "query", str(rtl_path), "--from", "rtl",
+            "--checkpoint", str(checkpoint), "--index", str(index_dir),
+        ]) == 2
+        assert "built without the 'rtl' modality" in capsys.readouterr().err
+
+        # A directory corpus plus --synthetic is ambiguous and refused.
+        assert main([
+            "index", "build", str(directory), "--synthetic", "1",
+            "--checkpoint", str(checkpoint), "--index", str(tmp_path / "idx-c"),
+        ]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_unknown_modality_fails(self, tmp_path, checkpoint, capsys):
+        assert main([
+            "index", "build", "--synthetic", "1", "--modalities", "cone,hologram",
+            "--checkpoint", str(checkpoint), "--index", str(tmp_path / "idx"),
+        ]) == 2
+        assert "unknown modalities" in capsys.readouterr().err
+
+    def test_cross_modal_query_without_sidecar_fails(self, tmp_path, checkpoint, capsys):
+        from repro.rtl import make_controller
+
+        directory = tmp_path / "corpus"
+        directory.mkdir()
+        netlist = synthesize(make_controller("plain", seed=41, num_states=3)).netlist
+        write_verilog(netlist, path=directory / "plain.v")
+        index_dir = tmp_path / "plain-idx"
+        assert main([
+            "index", "build", str(directory),
+            "--checkpoint", str(checkpoint), "--index", str(index_dir),
+        ]) == 0
+        capsys.readouterr()
+        rtl_path = tmp_path / "q.rtl"
+        rtl_path.write_text("assign x = a & b;")
+        assert main([
+            "index", "query", str(rtl_path), "--from", "rtl",
+            "--checkpoint", str(checkpoint), "--index", str(index_dir),
+        ]) == 2
+        assert "no multimodal sidecar" in capsys.readouterr().err
+
+    def test_build_without_corpus_source_fails(self, tmp_path, checkpoint, capsys):
+        assert main([
+            "index", "build",
+            "--checkpoint", str(checkpoint), "--index", str(tmp_path / "idx"),
+        ]) == 2
+        assert "netlist directory" in capsys.readouterr().err

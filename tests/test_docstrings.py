@@ -1,0 +1,75 @@
+"""Public-API docstring gate for the documented subsystems.
+
+Mirrors the ruff pydocstyle selection in ``ruff.toml`` (D100-D104 + D419:
+missing/empty docstrings on public modules, classes, methods and functions)
+for ``src/repro/{core,serve,train}``, so the gate holds even in
+environments without ruff installed.  Privacy follows pydocstyle: a
+definition is public only if no component of its dotted path starts with a
+single underscore (dunders are exempt as names but methods like
+``__init__`` are not *required* to carry docstrings here, matching the
+D105/D107 rules staying off).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DOCUMENTED_SUBSYSTEMS = ("core", "serve", "train")
+
+FILES = sorted(
+    path
+    for subsystem in DOCUMENTED_SUBSYSTEMS
+    for path in (REPO_ROOT / "src" / "repro" / subsystem).glob("*.py")
+)
+
+
+def _is_public_name(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def iter_missing(path: Path) -> Iterator[Tuple[int, str]]:
+    """Yield ``(line, description)`` for every missing/empty public docstring."""
+    tree = ast.parse(path.read_text())
+    docstring = ast.get_docstring(tree)
+    if docstring is None or not docstring.strip():
+        yield 1, "module docstring (D100/D419)"
+
+    def walk(node: ast.AST, prefix: str) -> Iterator[Tuple[int, str]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                if _is_public_name(child.name):
+                    doc = ast.get_docstring(child)
+                    if doc is None or not doc.strip():
+                        yield child.lineno, f"class {prefix}{child.name} (D101/D419)"
+                    yield from walk(child, f"{prefix}{child.name}.")
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _is_public_name(child.name):
+                    doc = ast.get_docstring(child)
+                    if doc is None or not doc.strip():
+                        rule = "D102" if prefix else "D103"
+                        yield child.lineno, f"def {prefix}{child.name} ({rule}/D419)"
+
+    yield from walk(tree, "")
+
+
+def test_documented_subsystems_exist():
+    assert FILES, "no files found under src/repro/{core,serve,train}"
+    packages = {
+        REPO_ROOT / "src" / "repro" / subsystem / "__init__.py"
+        for subsystem in DOCUMENTED_SUBSYSTEMS
+    }
+    assert packages <= set(FILES)
+
+
+@pytest.mark.parametrize("path", FILES, ids=lambda p: f"{p.parent.name}/{p.name}")
+def test_public_api_is_documented(path):
+    missing: List[str] = [
+        f"{path.relative_to(REPO_ROOT)}:{line}: missing {what}"
+        for line, what in iter_missing(path)
+    ]
+    assert not missing, "\n".join(missing)

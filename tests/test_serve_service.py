@@ -225,12 +225,23 @@ class TestConcurrentServing:
         assert corpus[1].name in index
 
     def test_user_tuned_searcher_parameters_survive_kind_refit(self, served, corpus):
+        # A brand-new kind (no circuit searcher fitted anywhere above)
+        # inherits the tuning of the most recently fitted searcher.
         served.fit_searcher(num_centroids=6, nprobe=5, kind=None)
-        cone = extract_register_cones(corpus[0])[0]
-        served.query_cone(cone, k=2, approximate=True)  # forces a kind refit
-        assert served.searcher.kind == CONE_KIND
+        served.query_netlist(corpus[0], k=2, approximate=True)  # forces a kind fit
+        assert served.searcher.kind == CIRCUIT_KIND
         assert served.searcher.num_centroids == 6
         assert served.searcher.nprobe == 5
+
+    def test_per_kind_searcher_tuning_is_independent(self, served, corpus):
+        # An explicitly tuned kind keeps its parameters even after another
+        # kind is fitted with different ones (no cross-kind clobbering).
+        served.fit_searcher(num_centroids=8, nprobe=3, kind=CONE_KIND)
+        served.fit_searcher(num_centroids=2, nprobe=1, kind=CIRCUIT_KIND)
+        cone = extract_register_cones(corpus[0])[0]
+        served.query_cone(cone, k=2, approximate=True)
+        assert served._searchers[CONE_KIND].num_centroids == 8
+        assert served._searchers[CONE_KIND].nprobe == 3
 
 
 class TestPipelineIndexStage:
