@@ -1,0 +1,86 @@
+"""Always-on guard for the data-parallel pretraining benchmark machinery.
+
+Runs in the default (tier-1) selection with a deliberately tiny workload: it
+asserts the *correctness* contract — bit-identical loss curves and final
+weights across worker counts — and the report/gate plumbing, not the speedup.
+Wall-clock ratios are only meaningful on multi-core hardware, so the 2.5x
+floor is enforced by ``scripts/bench_train.py`` in the scheduled benchmark
+workflow (see ``BENCH_train.json`` and ``.github/workflows/bench.yml``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.train import (
+    build_expression_workload,
+    check_regression,
+    check_speedup,
+    run_parity_check,
+    run_train_bench,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_report():
+    return run_train_bench(
+        workers=(1, 2),
+        num_steps=3,
+        batch_size=12,
+        world_size=2,
+        shard_size=32,
+        seed=11,
+        num_expressions=48,
+    )
+
+
+def test_workload_is_deterministic_and_deduplicated():
+    first = build_expression_workload(num_expressions=32, seed=5)
+    second = build_expression_workload(num_expressions=32, seed=5)
+    assert first == second
+    assert len(set(first)) == 32
+    assert build_expression_workload(num_expressions=32, seed=6) != first
+
+
+def test_worker_counts_are_bit_identical(tiny_report):
+    run_parity_check(tiny_report)  # raises on divergence
+    assert tiny_report["parity"]["bit_identical"]
+    assert set(tiny_report["parity"]["per_worker_count"]) == {"1", "2"}
+    assert tiny_report["seconds"].keys() == {"1", "2"}
+    assert "workers_2_vs_1" in tiny_report["speedup"]
+
+
+def test_parity_check_fails_on_divergence(tiny_report):
+    broken = dict(tiny_report)
+    broken["parity"] = {"bit_identical": False, "per_worker_count": {"1": True, "2": False}}
+    with pytest.raises(AssertionError, match="parity failure"):
+        run_parity_check(broken)
+
+
+def test_speedup_gate_only_fires_when_active(tiny_report):
+    inactive = dict(tiny_report)
+    inactive["speedup_gate"] = {"threshold": 2.5, "cores": 1, "active": False}
+    assert check_speedup(inactive) == []
+    active = dict(tiny_report)
+    active["speedup"] = {"workers_4_vs_1": 1.1}
+    active["speedup_gate"] = {"threshold": 2.5, "cores": 8, "active": True}
+    failures = check_speedup(active)
+    assert failures and "below the 2.50x floor" in failures[0]
+
+
+def test_regression_check_policy(tiny_report):
+    baseline = {
+        "speedup": {"workers_4_vs_1": 3.0},
+        "speedup_gate": {"active": True},
+    }
+    ok = {"speedup": {"workers_4_vs_1": 2.9}}
+    assert check_regression(ok, baseline) == []
+    regressed = {"speedup": {"workers_4_vs_1": 1.0}}
+    assert any("regressed" in f for f in check_regression(regressed, baseline))
+    missing = {"speedup": {}}
+    assert any("missing" in f for f in check_regression(missing, baseline))
+    weak_baseline = {
+        "speedup": {"workers_4_vs_1": 0.9},
+        "speedup_gate": {"active": False},
+    }
+    assert check_regression(regressed, weak_baseline) == []

@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Refresh ``BENCH_train.json`` (data-parallel pretraining engine benchmark).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_train.py [--workers 1,4] [--steps N]
+        [--batch-size N] [--world-size N] [--shard-size N] [--seed S]
+        [--output PATH] [--baseline PATH] [--max-regression F] [--min-speedup F]
+
+Runs the same expression-contrastive pre-training workload once per worker
+count (identical seed/corpus/world_size) and reports wall-clock seconds,
+speedup ratios and the parity verdict.
+
+Exit codes (for the CI bench job):
+
+* ``1`` — parity failure: a worker count produced different loss curves or
+  final weights than the baseline count.  The ordered all-reduce guarantees
+  bit-identical results, so any divergence is a correctness bug and timing
+  numbers are meaningless.
+* ``2`` — speedup floor: the multi-worker run is slower than ``--min-speedup``
+  (default 2.5x) relative to one worker.  Only enforced when the machine has
+  at least 4 usable cores — process parallelism cannot beat the core count.
+* ``3`` — regression: a speedup ratio fell more than ``--max-regression``
+  (default 0.25) below the committed ``--baseline`` report (only when that
+  baseline was itself measured with an active gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench.train import (  # noqa: E402
+    MIN_SPEEDUP,
+    check_regression,
+    check_speedup,
+    run_parity_check,
+    run_train_bench,
+    save_report,
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=str, default="1,4",
+                        help="comma list of worker counts; the first is the baseline "
+                             "(default: 1,4)")
+    parser.add_argument("--steps", type=int, default=24, help="optimiser steps per run")
+    parser.add_argument("--batch-size", type=int, default=128)
+    parser.add_argument("--world-size", type=int, default=4,
+                        help="gradient lanes (fixed across worker counts)")
+    parser.add_argument("--shard-size", type=int, default=64,
+                        help="on-disk corpus shard size (items)")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--expressions", type=int, default=256,
+                        help="corpus size (random Boolean expressions)")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="report path (default: BENCH_train.json at the repo root)")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="committed baseline report to gate speedup ratios against")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="maximum tolerated relative speedup drop vs the baseline")
+    parser.add_argument("--min-speedup", type=float, default=MIN_SPEEDUP,
+                        help="required multi-worker speedup when >= 4 cores are "
+                             f"available (default: {MIN_SPEEDUP})")
+    args = parser.parse_args()
+
+    workers = [int(w) for w in args.workers.split(",") if w.strip()]
+    report = run_train_bench(
+        workers=workers,
+        num_steps=args.steps,
+        batch_size=args.batch_size,
+        world_size=args.world_size,
+        shard_size=args.shard_size,
+        seed=args.seed,
+        num_expressions=args.expressions,
+        min_speedup=args.min_speedup,
+    )
+    path = save_report(report, path=args.output)
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {path}")
+
+    try:
+        run_parity_check(report)
+    except AssertionError as failure:
+        print(f"PARITY GATE FAILED: {failure}", file=sys.stderr)
+        return 1
+    print("parity ok (loss curves + final weights bit-identical across worker counts)")
+
+    speedup_failures = check_speedup(report)
+    if speedup_failures:
+        for failure in speedup_failures:
+            print(f"SPEEDUP GATE FAILED: {failure}", file=sys.stderr)
+        return 2
+    gate = report["speedup_gate"]
+    if gate["active"]:
+        print(f"speedup gate ok (>= {gate['threshold']}x on {gate['cores']} cores)")
+    else:
+        print(
+            f"speedup gate inactive ({gate['cores']} usable core(s) < 4): "
+            "ratios recorded for reference only"
+        )
+
+    if args.baseline is not None:
+        baseline = json.loads(args.baseline.read_text())
+        failures = check_regression(report, baseline, max_regression=args.max_regression)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION GATE FAILED: {failure}", file=sys.stderr)
+            return 3
+        print(f"no regression vs {args.baseline} (max tolerated {args.max_regression:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,17 +1,19 @@
 #!/usr/bin/env bash
 # Mirror the CI matrix locally, no make required.
 #
-#   scripts/ci_check.sh          # lint + tier-1 tests + compile/smoke
-#   scripts/ci_check.sh --fast   # skip the model smoke (quickest useful check)
+#   scripts/ci_check.sh          # lint + tier-1 tests + coverage + compile/smoke
+#   scripts/ci_check.sh --fast   # skip the model smoke and the coverage gate
 #
 # Mirrors .github/workflows/ci.yml job for job: the lint job (ruff, hard-error
 # + docstring rules from ruff.toml), the tier-1 test job (bench/slow excluded;
 # CI runs it on 3.10 and 3.12 — locally you get whichever python is first on
-# PATH), the docs job (fenced code blocks in README.md/docs/*.md), and the
-# compile + model smoke job.  The scheduled benchmark workflow
+# PATH), the coverage job (tier-1 rerun under coverage.py or the vendored
+# scripts/linecov.py tracer, pinned floor — see scripts/coverage_check.sh),
+# the docs job (fenced code blocks in README.md/docs/*.md), and the compile +
+# model smoke job.  The scheduled benchmark workflow
 # (.github/workflows/bench.yml) is NOT mirrored here; run
 # scripts/bench_throughput.py / scripts/bench_index.py /
-# scripts/bench_crossmodal.py for that.
+# scripts/bench_crossmodal.py / scripts/bench_train.py for that.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -43,9 +45,12 @@ step "byte-compile every module"
 python -m compileall -q src tests benchmarks scripts examples
 
 if [ "$fast" -eq 1 ]; then
-  step "ci_check OK (--fast: model smoke skipped)"
+  step "ci_check OK (--fast: coverage gate and model smoke skipped)"
   exit 0
 fi
+
+step "coverage gate (tier-1 rerun under coverage, pinned floor)"
+bash scripts/coverage_check.sh
 
 step "end-to-end model smoke"
 python scripts/smoke_model.py

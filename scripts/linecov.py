@@ -1,0 +1,167 @@
+#!/usr/bin/env python
+"""Minimal line-coverage tracer: the fallback behind scripts/coverage_check.sh.
+
+The CI coverage job uses ``coverage.py`` (installed via requirements-dev.txt).
+Environments that cannot install it (air-gapped containers, the bare repo
+image) still need a way to *measure* against the pinned floor, so this script
+implements the subset we gate on — line coverage over one source tree — with
+only the standard library:
+
+* ``sys.settrace`` (+ ``threading.settrace``) records executed lines, but only
+  for files under ``--include``: the global trace function declines to trace
+  any other frame, so the overhead concentrates where the measurement is.
+* The denominator is every executable line of every ``*.py`` file under
+  ``--include`` (imported or not), computed by compiling each file and walking
+  the code objects' ``co_lines()`` tables — the same universe coverage.py
+  reports for ``--source``.
+
+Numbers track coverage.py closely but not to the decimal (it applies extra
+AST-level exclusions); the gate keeps a full point of slack for that.
+
+Usage::
+
+    python scripts/linecov.py [--include src/repro] [--floor PCT]
+        [--report-top N] -- [pytest args...]
+
+Exit codes: pytest's own failures win; otherwise 4 when coverage < floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import threading
+from pathlib import Path
+from typing import Dict, Set, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+class LineTracer:
+    """Collects executed (file, line) pairs for files under one root."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = str(root.resolve()) + os.sep
+        self.executed: Dict[str, Set[int]] = {}
+        # Keyed by the code object itself (not id(): ids get recycled after a
+        # GC, which would mis-route the decision cache).
+        self._decisions: Dict[object, bool] = {}
+
+    def _global_trace(self, frame, event, arg):
+        code = frame.f_code
+        traced = self._decisions.get(code)
+        if traced is None:
+            traced = code.co_filename.startswith(self.root)
+            self._decisions[code] = traced
+        if not traced:
+            return None
+        filename = code.co_filename
+        lines = self.executed.get(filename)
+        if lines is None:
+            lines = self.executed[filename] = set()
+        if event == "call":
+            lines.add(frame.f_lineno)
+        return self._make_local(lines)
+
+    def _make_local(self, lines: Set[int]):
+        def _local(frame, event, arg):
+            if event == "line":
+                lines.add(frame.f_lineno)
+            return _local
+
+        return _local
+
+    def install(self) -> None:
+        threading.settrace(self._global_trace)
+        sys.settrace(self._global_trace)
+
+    def uninstall(self) -> None:
+        sys.settrace(None)
+        threading.settrace(None)  # type: ignore[arg-type]
+
+
+def executable_lines(path: Path) -> Set[int]:
+    """All line numbers carrying code in one source file (via co_lines)."""
+    try:
+        source = path.read_text()
+        top = compile(source, str(path), "exec")
+    except (SyntaxError, UnicodeDecodeError, OSError):
+        return set()
+    lines: Set[int] = set()
+    stack = [top]
+    while stack:
+        code = stack.pop()
+        for _, _, lineno in code.co_lines():
+            if lineno is not None:
+                lines.add(lineno)
+        for const in code.co_consts:
+            if hasattr(const, "co_lines"):
+                stack.append(const)
+    return lines
+
+
+def measure(include: Path, pytest_args) -> Tuple[int, float, Dict[str, Tuple[int, int]]]:
+    """Run pytest under the tracer; returns (pytest_rc, percent, per-file)."""
+    import pytest
+
+    tracer = LineTracer(include)
+    tracer.install()
+    try:
+        pytest_rc = pytest.main(list(pytest_args))
+    finally:
+        tracer.uninstall()
+
+    per_file: Dict[str, Tuple[int, int]] = {}
+    total_executable = 0
+    total_executed = 0
+    for path in sorted(include.resolve().rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        candidates = executable_lines(path)
+        if not candidates:
+            continue
+        hit = tracer.executed.get(str(path), set()) & candidates
+        per_file[str(path.relative_to(REPO_ROOT))] = (len(hit), len(candidates))
+        total_executable += len(candidates)
+        total_executed += len(hit)
+    percent = 100.0 * total_executed / total_executable if total_executable else 100.0
+    return int(pytest_rc), percent, per_file
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--include", type=Path, default=REPO_ROOT / "src" / "repro",
+                        help="source tree to measure (default: src/repro)")
+    parser.add_argument("--floor", type=float, default=None,
+                        help="fail (exit 4) when total line coverage is below this")
+    parser.add_argument("--report-top", type=int, default=10,
+                        help="show the N least-covered files (default: 10)")
+    parser.add_argument("pytest_args", nargs="*",
+                        help="arguments forwarded to pytest (after --)")
+    args = parser.parse_args()
+
+    pytest_rc, percent, per_file = measure(args.include, args.pytest_args)
+
+    worst = sorted(per_file.items(), key=lambda kv: kv[1][0] / max(kv[1][1], 1))
+    print("\nlinecov: least-covered files:")
+    for name, (hit, total) in worst[: args.report_top]:
+        print(f"  {100.0 * hit / max(total, 1):6.1f}%  {hit:5d}/{total:<5d}  {name}")
+    executed = sum(hit for hit, _ in per_file.values())
+    executable = sum(total for _, total in per_file.values())
+    print(f"linecov: TOTAL {percent:.2f}% ({executed}/{executable} lines, "
+          f"{len(per_file)} files)")
+
+    if pytest_rc != 0:
+        return pytest_rc
+    if args.floor is not None and percent < args.floor:
+        print(f"linecov: FAILED — {percent:.2f}% is below the {args.floor:.2f}% floor",
+              file=sys.stderr)
+        return 4
+    if args.floor is not None:
+        print(f"linecov: ok (floor {args.floor:.2f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

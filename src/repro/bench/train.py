@@ -1,0 +1,245 @@
+"""Benchmark of the data-parallel pretraining engine.
+
+Times the same expression-contrastive pre-training run (identical model init,
+corpus, seed and ``world_size``) at different worker counts and reports the
+wall-clock speedup, with the engine's core guarantee checked first: the loss
+curves and final weights of every worker count must be **bit-identical** —
+timing numbers for runs that diverge are meaningless.
+
+Speedup expectations are hardware-dependent in the most literal way: the
+workers are OS processes, so the ratio is gated (``ASSERT``-style) only when
+the machine actually exposes at least ``min_cores`` usable cores.  On smaller
+machines the report still records the measured ratio plus the core count, and
+``speedup_gate.active`` is false — the CI benchmark job (4-vCPU runners) runs
+the real gate.  Results land in ``BENCH_train.json``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..encoders import ExprLLM, TextEncoderConfig
+from ..pretrain import ExprLLMPretrainer, ExprPretrainConfig
+
+BENCH_PATH = Path(__file__).resolve().parents[3] / "BENCH_train.json"
+
+MIN_SPEEDUP = 2.5          # required 4-worker speedup (when the gate is active)
+MIN_CORES_FOR_GATE = 4     # the speedup gate needs real hardware parallelism
+
+_VARIABLES = ("a", "b", "c", "d", "e", "f")
+_BINARY_OPS = ("&", "|", "^")
+
+
+def available_cores() -> int:
+    """Usable CPU cores (affinity-aware: containers often pin fewer)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def _random_expression(rng: np.random.Generator, depth: int) -> str:
+    if depth <= 0 or rng.random() < 0.25:
+        literal = _VARIABLES[int(rng.integers(len(_VARIABLES)))]
+        return f"!{literal}" if rng.random() < 0.3 else literal
+    op = _BINARY_OPS[int(rng.integers(len(_BINARY_OPS)))]
+    left = _random_expression(rng, depth - 1)
+    right = _random_expression(rng, depth - 1)
+    return f"({left} {op} {right})"
+
+
+def build_expression_workload(num_expressions: int = 256, depth: int = 4,
+                              seed: int = 11) -> List[str]:
+    """A deterministic corpus of random Boolean expressions (deduplicated)."""
+    rng = np.random.default_rng(seed)
+    seen = set()
+    corpus: List[str] = []
+    while len(corpus) < num_expressions:
+        expression = _random_expression(rng, depth)
+        if expression not in seen:
+            seen.add(expression)
+            corpus.append(expression)
+    return corpus
+
+
+def _param_digest(model: ExprLLM) -> str:
+    digest = hashlib.sha256()
+    for name, param in model.named_parameters():
+        digest.update(name.encode("utf-8"))
+        digest.update(np.ascontiguousarray(param.data).tobytes())
+    return digest.hexdigest()
+
+
+def _run_once(
+    expressions: Sequence[str],
+    num_workers: int,
+    *,
+    num_steps: int,
+    batch_size: int,
+    world_size: int,
+    shard_size: int,
+    seed: int,
+) -> Dict[str, object]:
+    config = ExprPretrainConfig(
+        num_steps=num_steps,
+        batch_size=batch_size,
+        seed=seed,
+        num_workers=num_workers,
+        world_size=world_size,
+        shard_size=shard_size,
+    )
+    model = ExprLLM(TextEncoderConfig.preset("small"), rng=np.random.default_rng(seed))
+    pretrainer = ExprLLMPretrainer(model, config)
+    start = time.perf_counter()
+    result = pretrainer.run(expressions)
+    seconds = time.perf_counter() - start
+    return {
+        "num_workers": num_workers,
+        "seconds": seconds,
+        "losses": list(result.losses),
+        "steps": result.steps,
+        "param_digest": _param_digest(model),
+    }
+
+
+def run_train_bench(
+    workers: Sequence[int] = (1, 4),
+    num_steps: int = 24,
+    batch_size: int = 128,
+    world_size: int = 4,
+    shard_size: int = 64,
+    seed: int = 11,
+    num_expressions: int = 256,
+    min_speedup: float = MIN_SPEEDUP,
+) -> Dict[str, object]:
+    """Time the same pre-training run at each worker count; returns the report.
+
+    The first entry of ``workers`` is the baseline for the speedup ratios
+    (conventionally 1).  Parity — bit-identical loss curves and final weights
+    across all worker counts — is recorded in the report and asserted by
+    :func:`run_parity_check`.
+    """
+    workers = [int(w) for w in workers]
+    if not workers:
+        raise ValueError("need at least one worker count")
+    expressions = build_expression_workload(num_expressions=num_expressions, seed=seed)
+    runs = {
+        w: _run_once(
+            expressions, w,
+            num_steps=num_steps, batch_size=batch_size, world_size=world_size,
+            shard_size=shard_size, seed=seed,
+        )
+        for w in workers
+    }
+    baseline = runs[workers[0]]
+    reference_losses = baseline["losses"]
+    reference_digest = baseline["param_digest"]
+    parity = {
+        str(w): bool(
+            runs[w]["losses"] == reference_losses
+            and runs[w]["param_digest"] == reference_digest
+        )
+        for w in workers
+    }
+    cores = available_cores()
+    speedups = {
+        f"workers_{w}_vs_{workers[0]}": round(baseline["seconds"] / runs[w]["seconds"], 3)
+        for w in workers[1:]
+    }
+    return {
+        "workload": {
+            "num_expressions": len(expressions),
+            "num_steps": num_steps,
+            "batch_size": batch_size,
+            "world_size": world_size,
+            "shard_size": shard_size,
+            "seed": seed,
+        },
+        "seconds": {str(w): round(runs[w]["seconds"], 4) for w in workers},
+        "speedup": speedups,
+        "parity": {
+            "bit_identical": all(parity.values()),
+            "per_worker_count": parity,
+            "param_digest": reference_digest[:16],
+            "final_loss": reference_losses[-1] if reference_losses else None,
+        },
+        "speedup_gate": {
+            "threshold": min_speedup,
+            "cores": cores,
+            "active": cores >= MIN_CORES_FOR_GATE and len(workers) > 1,
+        },
+    }
+
+
+def run_parity_check(report: Dict[str, object]) -> None:
+    """Raise ``AssertionError`` unless every worker count matched bit-for-bit."""
+    parity = report.get("parity", {})
+    if not parity.get("bit_identical", False):
+        raise AssertionError(
+            "parallel-engine parity failure: worker counts diverged "
+            f"({parity.get('per_worker_count')}) — the ordered all-reduce broke"
+        )
+
+
+def check_speedup(report: Dict[str, object]) -> List[str]:
+    """Speedup-floor failures (empty when the gate is inactive or satisfied)."""
+    gate = report.get("speedup_gate", {})
+    if not gate.get("active", False):
+        return []
+    threshold = float(gate.get("threshold", MIN_SPEEDUP))
+    failures = []
+    for key, ratio in report.get("speedup", {}).items():
+        if ratio < threshold:
+            failures.append(
+                f"speedup.{key} = {ratio:.2f}x below the {threshold:.2f}x floor "
+                f"({gate.get('cores')} cores available)"
+            )
+    return failures
+
+
+def check_regression(
+    report: Dict[str, object],
+    baseline: Dict[str, object],
+    max_regression: float = 0.25,
+) -> List[str]:
+    """Compare speedup ratios against a committed baseline report.
+
+    Mirrors the policy of the other benches: only dimensionless ratios are
+    gated, a tracked metric disappearing is itself a failure, and a baseline
+    measured on a weaker machine (``speedup_gate.active`` false) never blocks
+    a faster one.
+    """
+    failures: List[str] = []
+    baseline_speedups = baseline.get("speedup", {})
+    current_speedups = report.get("speedup", {})
+    baseline_gate_active = baseline.get("speedup_gate", {}).get("active", False)
+    for key, base in baseline_speedups.items():
+        current = current_speedups.get(key)
+        if current is None:
+            failures.append(
+                f"speedup.{key} present in the baseline but missing from the report"
+            )
+            continue
+        if not base or not baseline_gate_active:
+            continue  # a 1-core baseline ratio is noise, not a floor
+        floor = base * (1.0 - max_regression)
+        if current < floor:
+            failures.append(
+                f"speedup.{key} regressed: {current:.2f}x vs baseline {base:.2f}x "
+                f"(floor {floor:.2f}x at max_regression={max_regression})"
+            )
+    return failures
+
+
+def save_report(report: Dict[str, object], path: Optional[Path] = None) -> Path:
+    """Write the JSON report (repo root by default); returns the path."""
+    path = path or BENCH_PATH
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path

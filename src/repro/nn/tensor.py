@@ -96,6 +96,29 @@ class Tensor:
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad})"
 
+    # ------------------------------------------------------------------
+    # Pickling (spawn-safe worker transport)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Tuple[np.ndarray, Optional[np.ndarray], bool, str]:
+        """Pickle a tensor as a graph *leaf*.
+
+        The autograd closures (``_backward``/``_prev``) reference local
+        functions and cannot cross a process boundary; a pickled tensor
+        therefore carries only its value, gradient buffer and flags.  That is
+        exactly what the data-parallel workers need: modules travel to a
+        worker once, and every subsequent forward rebuilds a fresh graph.
+        """
+        return (self.data, self.grad, self.requires_grad, self.name)
+
+    def __setstate__(self, state: Tuple[np.ndarray, Optional[np.ndarray], bool, str]) -> None:
+        data, grad, requires_grad, name = state
+        self.data = data
+        self.grad = grad
+        self.requires_grad = requires_grad
+        self.name = name
+        self._backward = lambda: None
+        self._prev = ()
+
     def item(self) -> float:
         return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
 

@@ -68,10 +68,19 @@ class BatchScheduler:
     # Client side
     # ------------------------------------------------------------------
     def submit(self, item: Any) -> "Future[Any]":
-        """Enqueue one item; returns a future resolved by the worker thread."""
+        """Enqueue one item; returns a future resolved by the worker thread.
+
+        Raises :class:`SchedulerClosed` once :meth:`close` has been called —
+        including when the submit races the close: an item either lands in the
+        queue before the close flag is set (and is then drained and completed
+        by the worker) or the call raises.  It never hangs.
+        """
         future: "Future[Any]" = Future()
         with self._lock:
-            if self._closed:
+            # A dead worker (it should never die — see _run — but a custom
+            # Future-like object or interpreter teardown could still kill it)
+            # would strand anything we enqueue, so refuse rather than hang.
+            if self._closed or not self._worker.is_alive():
                 raise SchedulerClosed("scheduler is closed")
             self._queue.append((item, future, time.monotonic()))
             self._submitted += 1
@@ -115,33 +124,72 @@ class BatchScheduler:
                 else:
                     self._wakeup.wait()
 
+    @staticmethod
+    def _deliver(future: "Future[Any]", result: Any = None,
+                 error: Optional[BaseException] = None) -> None:
+        """Resolve one future, tolerating a concurrent cancellation.
+
+        ``Future.cancel`` can land between our ``cancelled()`` check and the
+        ``set_result``/``set_exception`` call, which then raises
+        ``InvalidStateError``.  Before this guard existed, that race killed
+        the worker thread — and every request still queued (or submitted
+        later) hung forever.  A future that refuses delivery is already in a
+        terminal state (cancelled, or failed by ``_fail_pending``), so nobody
+        is waiting on the dropped value.
+        """
+        try:
+            if error is not None:
+                future.set_exception(error)
+            else:
+                future.set_result(result)
+        except Exception:
+            pass
+
     def _run(self) -> None:
-        while True:
-            batch = self._take_batch()
-            if batch is None:
-                return
-            items = [item for item, _, _ in batch]
-            try:
-                results = list(self.batch_fn(items))
-                if len(results) != len(items):
-                    raise RuntimeError(
-                        f"batch_fn returned {len(results)} results for {len(items)} items"
-                    )
-            except BaseException as error:  # propagate to every waiter
+        try:
+            while True:
+                batch = self._take_batch()
+                if batch is None:
+                    return
+                items = [item for item, _, _ in batch]
+                try:
+                    results = list(self.batch_fn(items))
+                    if len(results) != len(items):
+                        raise RuntimeError(
+                            f"batch_fn returned {len(results)} results for {len(items)} items"
+                        )
+                except BaseException as error:  # propagate to every waiter
+                    with self._lock:
+                        self._batches += 1
+                        self._failed += len(batch)
+                    for _, future, _ in batch:
+                        if not future.cancelled():
+                            self._deliver(future, error=error)
+                    continue
                 with self._lock:
                     self._batches += 1
-                    self._failed += len(batch)
-                for _, future, _ in batch:
+                    self._completed += len(batch)
+                    self._batched_items += len(batch)
+                for (_, future, _), result in zip(batch, results):
                     if not future.cancelled():
-                        future.set_exception(error)
-                continue
-            with self._lock:
-                self._batches += 1
-                self._completed += len(batch)
-                self._batched_items += len(batch)
-            for (_, future, _), result in zip(batch, results):
-                if not future.cancelled():
-                    future.set_result(result)
+                        self._deliver(future, result)
+        finally:
+            # Whatever takes the worker down (normally only a drained close,
+            # but _deliver re-raises unexpected delivery failures), nothing
+            # still queued may be left hanging: fail the stragglers and stop
+            # accepting new work.
+            self._fail_pending(SchedulerClosed("scheduler worker stopped"))
+
+    def _fail_pending(self, error: BaseException) -> None:
+        with self._lock:
+            self._closed = True
+            stranded = list(self._queue)
+            self._queue.clear()
+            self._failed += len(stranded)
+            self._wakeup.notify_all()
+        for _, future, _ in stranded:
+            if not future.cancelled():
+                self._deliver(future, error=error)
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -20,18 +20,41 @@ from .engine import (
     TrainTask,
 )
 from .artifacts import ArtifactStore, RunManifest, StageRun, StageTiming, fingerprint
+from .corpus import ShardedCorpus, ShardStreamPlan
+from .parallel import (
+    DEFAULT_WORLD_SIZE,
+    SliceResult,
+    WorkerError,
+    WorkerPool,
+    pairwise_sum,
+    partition_batch,
+    reduce_slices,
+    run_slices,
+    slice_rng,
+)
 
 __all__ = [
     "BatchPlan",
     "EpochPlan",
     "SamplingPlan",
+    "ShardStreamPlan",
     "Trainer",
     "TrainerConfig",
     "TrainResult",
     "TrainTask",
     "ArtifactStore",
     "RunManifest",
+    "ShardedCorpus",
     "StageRun",
     "StageTiming",
     "fingerprint",
+    "DEFAULT_WORLD_SIZE",
+    "SliceResult",
+    "WorkerError",
+    "WorkerPool",
+    "pairwise_sum",
+    "partition_batch",
+    "reduce_slices",
+    "run_slices",
+    "slice_rng",
 ]

@@ -1,0 +1,331 @@
+"""Data-parallel gradient computation with a deterministic ordered all-reduce.
+
+The engine's parallel mode decomposes every minibatch into ``world_size``
+contiguous *slices* (gradient lanes).  Each slice is an independent unit of
+work: its loss is computed on the slice's items with a per-``(step, slice)``
+seeded generator, scaled by the slice's share of the batch, and differentiated
+in isolation.  The per-slice gradients are then combined by a **fixed
+pairwise-summation tree over slice ids** and the parent applies one optimiser
+step.
+
+Because the decomposition, the per-slice RNG streams and the reduction tree
+depend only on ``world_size`` — never on how many OS processes execute the
+slices — training with ``num_workers = k`` is *bit-identical* to
+``num_workers = 1`` for any ``k ≤ world_size``.  :class:`WorkerPool` holds the
+spawned processes: each worker receives the pickled post-``setup`` task once,
+then per step the parent broadcasts the current parameter values, assigns each
+worker a contiguous block of slices, and collects the per-slice results in
+fixed worker order.
+
+Note the parallel objective is not the same floating-point computation as the
+classic sequential engine (``num_workers=0``), which differentiates the whole
+batch at once: batch-level losses (e.g. InfoNCE) see only their slice's items
+as negatives, and the summation tree differs.  The guarantee is *worker-count
+invariance*, plus the engine's usual bit-identical interrupt/resume.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+import traceback
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+DEFAULT_WORLD_SIZE = 4
+
+# Salt for the per-(step, slice) generators, so their streams can never
+# collide with the trainer's main generator or a task's own seeding scheme.
+_SLICE_RNG_SALT = 40499
+
+_STEP_TIMEOUT_SECONDS = 600.0
+
+
+class WorkerError(RuntimeError):
+    """A training worker process failed; carries the remote traceback."""
+
+
+def slice_rng(seed: int, step: int, slice_id: int) -> np.random.Generator:
+    """The seeded generator for one (step, slice) — worker-count independent."""
+    return np.random.default_rng([int(seed), _SLICE_RNG_SALT, int(step), int(slice_id)])
+
+
+def partition_batch(indices: np.ndarray, world_size: int) -> List[np.ndarray]:
+    """Split a minibatch into ``world_size`` contiguous near-equal slices.
+
+    Trailing slices may be empty when the batch is smaller than the world
+    size; callers skip those.  The split depends only on ``world_size``, which
+    is what makes worker counts interchangeable.
+    """
+    if world_size < 1:
+        raise ValueError("world_size must be positive")
+    return np.array_split(np.asarray(indices), world_size)
+
+
+def pairwise_sum(values: Sequence[Any]) -> Any:
+    """Sum by combining adjacent pairs until one value remains.
+
+    The reduction tree is a pure function of ``len(values)``, so the result's
+    floating-point rounding is identical no matter which process produced each
+    contribution — the deterministic "all-reduce" of the parallel engine.
+    """
+    items = list(values)
+    if not items:
+        raise ValueError("pairwise_sum needs at least one value")
+    while len(items) > 1:
+        combined = [items[i] + items[i + 1] for i in range(0, len(items) - 1, 2)]
+        if len(items) % 2:
+            combined.append(items[-1])
+        items = combined
+    return items[0]
+
+
+@dataclass
+class SliceResult:
+    """One slice's contribution to a step (loss/parts already weight-scaled)."""
+
+    slice_id: int
+    loss: float
+    parts: Dict[str, float]
+    grads: List[np.ndarray]
+
+
+Assignment = Tuple[int, np.ndarray, float]  # (slice_id, item indices, weight)
+
+
+def run_slices(
+    task,
+    parameters: Sequence,
+    seed: int,
+    step: int,
+    assignments: Sequence[Assignment],
+) -> List[Optional[SliceResult]]:
+    """Compute the per-slice gradients of one step, in slice order.
+
+    This is the single implementation of the slice math: the in-process
+    ``num_workers=1`` path and every spawned worker run exactly this code,
+    which is what makes their results interchangeable.  A slice whose task
+    returns ``None`` (nothing to optimise) contributes ``None``.
+    """
+    results: List[Optional[SliceResult]] = []
+    for slice_id, indices, weight in assignments:
+        for param in parameters:
+            param.grad = None
+        rng = slice_rng(seed, step, slice_id)
+        loss, parts = task.compute_loss(np.asarray(indices), rng)
+        if loss is None:
+            results.append(None)
+            continue
+        (loss * weight).backward()
+        grads = [
+            param.grad if param.grad is not None else np.zeros_like(param.data)
+            for param in parameters
+        ]
+        results.append(
+            SliceResult(
+                slice_id=slice_id,
+                loss=float(loss.item()) * weight,
+                parts={name: float(value) * weight for name, value in parts.items()},
+                grads=grads,
+            )
+        )
+    return results
+
+
+def reduce_slices(
+    results: Sequence[Optional[SliceResult]], num_parameters: int
+) -> Optional[Tuple[float, Dict[str, float], List[np.ndarray]]]:
+    """Ordered pairwise all-reduce of the live slice results.
+
+    Returns ``(step_loss, objective_parts, reduced_grads)``, or ``None`` when
+    every slice was skipped (the engine then skips the optimiser step, like
+    the sequential path does for a ``None`` loss).
+    """
+    live = [r for r in results if r is not None]
+    if not live:
+        return None
+    live.sort(key=lambda r: r.slice_id)
+    step_loss = float(pairwise_sum([r.loss for r in live]))
+    part_names = sorted({name for r in live for name in r.parts})
+    parts = {
+        name: float(pairwise_sum([r.parts[name] for r in live if name in r.parts]))
+        for name in part_names
+    }
+    grads = [
+        pairwise_sum([r.grads[i] for r in live]) for i in range(num_parameters)
+    ]
+    return step_loss, parts, grads
+
+
+# ----------------------------------------------------------------------
+# Worker processes
+# ----------------------------------------------------------------------
+def _worker_main(conn, task_bytes: bytes, seed: int) -> None:
+    """Entry point of one spawned training worker.
+
+    Receives the pickled post-setup task once, then serves ``step`` requests:
+    install the broadcast parameter values, run the assigned slices, return
+    the slice results.  Any failure is reported back as a traceback string —
+    the worker never dies silently mid-protocol.
+    """
+    try:
+        task = pickle.loads(task_bytes)
+        parameters = task.trainable_parameters()
+        conn.send(("ready", len(parameters)))
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        finally:
+            conn.close()
+        return
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:
+                return
+            if message[0] == "stop":
+                return
+            _, step, assignments, param_values = message
+            try:
+                for param, value in zip(parameters, param_values):
+                    param.data = value
+                results = run_slices(task, parameters, seed, step, assignments)
+                conn.send(("ok", results))
+            except BaseException:
+                conn.send(("error", traceback.format_exc()))
+    finally:
+        conn.close()
+
+
+class WorkerPool:
+    """Spawn-safe pool of data-parallel gradient workers.
+
+    The pool is created once per training run (after ``task.setup``), with the
+    task pickled in its post-setup state — workers never re-run setup, so
+    anything setup derived (augmented pairs, LoRA adapters, a
+    :class:`~repro.train.corpus.ShardedCorpus` handle) arrives ready-made.
+    Parameters are re-broadcast on every step, so workers always differentiate
+    against the parent's current weights, including after a checkpoint resume.
+    """
+
+    def __init__(
+        self,
+        task_bytes: bytes,
+        num_workers: int,
+        seed: int,
+        start_method: str = "spawn",
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be positive")
+        context = mp.get_context(start_method)
+        self.num_workers = int(num_workers)
+        self._processes = []
+        self._connections = []
+        try:
+            for index in range(self.num_workers):
+                parent_conn, child_conn = context.Pipe()
+                process = context.Process(
+                    target=_worker_main,
+                    args=(child_conn, task_bytes, int(seed)),
+                    name=f"train-worker-{index}",
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                self._processes.append(process)
+                self._connections.append(parent_conn)
+            for index, conn in enumerate(self._connections):
+                self._expect(conn, index, expected="ready")
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    def _expect(self, conn, worker_index: int, expected: str):
+        # Poll in short intervals so a worker that dies without reporting
+        # (OOM-kill, a missing __main__ guard in the launching script, ...)
+        # surfaces as a prompt WorkerError instead of a silent long wait.
+        waited = 0.0
+        process = self._processes[worker_index]
+        while not conn.poll(0.2):
+            waited += 0.2
+            if not process.is_alive():
+                raise WorkerError(
+                    f"worker {worker_index} died (exit code {process.exitcode}) "
+                    "without reporting. If this happened at pool startup, check "
+                    "that the launching script guards its entry point with "
+                    "`if __name__ == \"__main__\":` — the spawn start method "
+                    "re-imports it in every worker."
+                )
+            if waited >= _STEP_TIMEOUT_SECONDS:
+                raise WorkerError(f"worker {worker_index} timed out")
+        try:
+            message = conn.recv()
+        except EOFError as error:
+            raise WorkerError(f"worker {worker_index} died during startup/step") from error
+        if message[0] == "error":
+            raise WorkerError(f"worker {worker_index} failed:\n{message[1]}")
+        if message[0] != expected:
+            raise WorkerError(
+                f"worker {worker_index}: expected {expected!r}, got {message[0]!r}"
+            )
+        return message[1]
+
+    def run_step(
+        self,
+        step: int,
+        assignments: Sequence[Assignment],
+        param_values: Sequence[np.ndarray],
+    ) -> List[Optional[SliceResult]]:
+        """Distribute the step's slices over the workers; gather in slice order.
+
+        Slices are handed out in contiguous blocks (worker 0 gets the first
+        block, and so on) and results are merged back by slice id, so the
+        outcome is invariant to the worker count by construction.
+        """
+        blocks = np.array_split(np.arange(len(assignments)), self.num_workers)
+        engaged: List[int] = []
+        for worker_index, block in enumerate(blocks):
+            if len(block) == 0:
+                continue
+            payload = [assignments[i] for i in block]
+            self._connections[worker_index].send(
+                ("step", step, payload, list(param_values))
+            )
+            engaged.append(worker_index)
+        results: List[Optional[SliceResult]] = []
+        for worker_index in engaged:
+            results.extend(
+                self._expect(self._connections[worker_index], worker_index, expected="ok")
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop every worker (idempotent); escalates to terminate on timeout."""
+        for conn in self._connections:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for process in self._processes:
+            process.join(timeout=10.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+        for conn in self._connections:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._processes = []
+        self._connections = []
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,80 @@
+"""A tiny importable TrainTask for the data-parallel engine tests.
+
+Lives in its own module (not a ``test_*`` file) so the spawn-based worker
+processes can unpickle it: multiprocessing's spawn start method re-imports
+the defining module by name in the child.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.nn import Tensor
+from repro.train import SamplingPlan, ShardedCorpus, ShardStreamPlan, TrainTask
+
+
+class ToyRegressionTask(TrainTask):
+    """Least-squares on a fixed random dataset; optionally shard-streamed."""
+
+    name = "toy_regression"
+
+    def __init__(self, n=64, dim=6, seed=0, batch_size=16, num_steps=6,
+                 shard_dir=None, shard_size=0):
+        rng = np.random.default_rng(seed)
+        self.x = rng.normal(size=(n, dim))
+        self.y = rng.normal(size=(n, 1))
+        self.linear = nn.Linear(dim, 1, rng=rng)
+        self.batch_size = batch_size
+        self.num_steps = num_steps
+        self.shard_dir = shard_dir
+        self.shard_size = shard_size
+        self.corpus = None
+
+    def setup(self, rng):
+        if self.shard_size and self.shard_dir is not None:
+            items = [(self.x[i], self.y[i]) for i in range(len(self.x))]
+            self.corpus = ShardedCorpus.build_or_open(
+                items, self.shard_dir, name="toy", shard_size=self.shard_size
+            )
+            return ShardStreamPlan(
+                len(self.corpus), self.batch_size, shard_size=self.shard_size,
+                num_steps=self.num_steps, corpus=self.corpus,
+            )
+        return SamplingPlan(len(self.x), self.batch_size, self.num_steps)
+
+    def modules(self):
+        return {"linear": self.linear}
+
+    def compute_loss(self, indices, rng):
+        if self.corpus is not None:
+            rows = self.corpus.fetch(indices)
+            x = np.stack([row[0] for row in rows])
+            y = np.stack([row[1] for row in rows])
+        else:
+            x, y = self.x[indices], self.y[indices]
+        diff = self.linear(Tensor(x)) - Tensor(y)
+        loss = (diff * diff).mean()
+        return loss, {"mse": loss.item()}
+
+
+class NoisyToyTask(ToyRegressionTask):
+    """Adds rng-drawn noise in compute_loss, exercising the per-slice streams."""
+
+    name = "noisy_toy"
+
+    def compute_loss(self, indices, rng):
+        x, y = self.x[indices], self.y[indices]
+        noise = rng.normal(scale=1e-3, size=y.shape)
+        diff = self.linear(Tensor(x)) - Tensor(y + noise)
+        loss = (diff * diff).mean()
+        return loss, {"mse": loss.item()}
+
+
+class FailingTask(ToyRegressionTask):
+    """Raises inside compute_loss, for worker error propagation tests."""
+
+    name = "failing_toy"
+
+    def compute_loss(self, indices, rng):
+        raise RuntimeError("boom from worker")

@@ -1,0 +1,175 @@
+"""Differential fuzzing of the netlist substrates.
+
+Seeded random combinational netlists are pushed through two independent code
+paths and the results must agree:
+
+* **Syntax**: ``write_verilog`` → ``read_verilog`` must round-trip to an
+  isomorphic netlist (here: structurally equal — gate names survive the
+  renderer, so isomorphism collapses to per-gate pin-map equality).
+* **Semantics**: lowering to an AIG (``to_aig``) must preserve the Boolean
+  function — gate-level simulation of the original netlist and of its AIG
+  agree on random input vectors, output for output.
+
+The default sweep keeps tier-1 fast; ``-m slow`` runs a deeper one (more and
+larger netlists, more vectors).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+import pytest
+
+from repro.cells import NANGATE45
+from repro.netlist import Netlist, read_verilog, to_aig, write_verilog
+
+
+# Combinational single-output cell types worth fuzzing (every arity and the
+# compound AOI/OAI/MUX/adder functions); constants exercise the tie cells.
+_FUZZ_CELLS = [
+    cell.name
+    for cell in NANGATE45
+    if not cell.is_sequential and cell.drive_strength == 1
+]
+
+
+def random_combinational_netlist(
+    rng: np.random.Generator,
+    num_inputs: int = 4,
+    num_gates: int = 12,
+    name: str = "fuzz",
+) -> Netlist:
+    """A random combinational DAG over the NanGate45-like library.
+
+    Gates only consume already-driven nets (primary inputs or earlier gate
+    outputs), so the result is acyclic by construction; every leaf-level
+    check (`validate`) still runs in the tests.
+    """
+    netlist = Netlist(name, library=NANGATE45)
+    nets: List[str] = []
+    for i in range(num_inputs):
+        net = f"i{i}"
+        netlist.add_primary_input(net)
+        nets.append(net)
+    for g in range(num_gates):
+        cell_name = _FUZZ_CELLS[int(rng.integers(len(_FUZZ_CELLS)))]
+        cell = NANGATE45.cell(cell_name)
+        if cell.num_inputs > 0:
+            picks = rng.integers(len(nets), size=cell.num_inputs)
+            inputs = [nets[int(p)] for p in picks]
+        else:
+            inputs = []
+        output = f"n{g}"
+        netlist.add_gate(f"g{g}", cell_name, inputs, output)
+        nets.append(output)
+    # Expose a few of the last gate outputs (guaranteed non-input nets).
+    num_outputs = int(rng.integers(1, 4))
+    for net in nets[-num_outputs:]:
+        if net not in netlist.primary_inputs:
+            netlist.add_primary_output(net)
+    if not netlist.primary_outputs:
+        netlist.add_primary_output(nets[-1])
+    return netlist
+
+
+def simulate(netlist: Netlist, vectors: np.ndarray) -> np.ndarray:
+    """Direct gate-level simulation via each cell's local Boolean function.
+
+    ``vectors`` is ``(num_vectors, num_inputs)`` over the netlist's primary
+    inputs (in order); returns ``(num_vectors, num_outputs)`` over the primary
+    outputs (in order).
+    """
+    outputs = np.zeros((len(vectors), len(netlist.primary_outputs)), dtype=bool)
+    order = netlist.topological_order()
+    for row, vector in enumerate(vectors):
+        values: Dict[str, bool] = {
+            net: bool(bit) for net, bit in zip(netlist.primary_inputs, vector)
+        }
+        for gate in order:
+            cell = netlist.cell_of(gate)
+            expression = cell.local_expression()
+            assignment = {pin: values[net] for pin, net in gate.inputs.items()}
+            values[gate.output] = bool(expression.evaluate(assignment))
+        for column, net in enumerate(netlist.primary_outputs):
+            outputs[row, column] = values[net]
+    return outputs
+
+
+def assert_isomorphic(a: Netlist, b: Netlist) -> None:
+    """Structural equality: same ports, same gates, same pin-level wiring."""
+    assert a.primary_inputs == b.primary_inputs
+    assert a.primary_outputs == b.primary_outputs
+    assert set(a.gates) == set(b.gates)
+    for name, gate in a.gates.items():
+        other = b.gates[name]
+        assert gate.cell_name == other.cell_name, name
+        assert gate.inputs == other.inputs, name
+        assert gate.output == other.output, name
+
+
+def _round_trip_case(seed: int, num_inputs: int, num_gates: int) -> None:
+    rng = np.random.default_rng(seed)
+    netlist = random_combinational_netlist(rng, num_inputs, num_gates, name=f"fz{seed}")
+    netlist.validate()
+    text = write_verilog(netlist)
+    parsed = read_verilog(text, from_string=True)
+    parsed.validate()
+    assert_isomorphic(netlist, parsed)
+
+
+def _aig_equivalence_case(seed: int, num_inputs: int, num_gates: int,
+                          num_vectors: int) -> None:
+    rng = np.random.default_rng(seed)
+    netlist = random_combinational_netlist(rng, num_inputs, num_gates, name=f"fz{seed}")
+    aig = to_aig(netlist)
+    aig.validate()
+    # The AIG must only use inverter/and/buffer/constant primitives.
+    for gate in aig.gates.values():
+        assert aig.cell_of(gate).function in ("inv", "and", "buf", "const0", "const1")
+    vectors = rng.integers(0, 2, size=(num_vectors, len(netlist.primary_inputs)))
+    want = simulate(netlist, vectors)
+    got = simulate(aig, vectors)
+    np.testing.assert_array_equal(
+        got, want,
+        err_msg=f"AIG of seed-{seed} netlist disagrees with gate-level simulation",
+    )
+
+
+class TestFuzzRoundTrip:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_emit_parse_round_trip_is_isomorphic(self, seed):
+        _round_trip_case(seed, num_inputs=3 + seed % 4, num_gates=6 + 3 * seed)
+
+    def test_round_trip_preserves_semantics_too(self):
+        rng = np.random.default_rng(99)
+        netlist = random_combinational_netlist(rng, 4, 15, name="fz99")
+        parsed = read_verilog(write_verilog(netlist), from_string=True)
+        vectors = rng.integers(0, 2, size=(8, 4))
+        np.testing.assert_array_equal(simulate(parsed, vectors), simulate(netlist, vectors))
+
+
+class TestFuzzAIGEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_aig_matches_gate_level_simulation(self, seed):
+        _aig_equivalence_case(
+            seed + 100, num_inputs=3 + seed % 4, num_gates=6 + 3 * seed, num_vectors=8
+        )
+
+
+@pytest.mark.slow
+class TestFuzzDeepSweep:
+    """Wider and deeper differential sweep (opt in with ``-m slow``)."""
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_round_trip_sweep(self, seed):
+        _round_trip_case(seed + 1000, num_inputs=3 + seed % 6, num_gates=10 + 2 * seed)
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_aig_equivalence_sweep(self, seed):
+        _aig_equivalence_case(
+            seed + 2000,
+            num_inputs=3 + seed % 6,
+            num_gates=10 + 2 * seed,
+            num_vectors=32,
+        )

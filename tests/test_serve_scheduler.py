@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import threading
 import time
+from concurrent.futures import InvalidStateError
 
 import pytest
 
@@ -103,6 +104,110 @@ class TestFailure:
         with BatchScheduler(lambda items: [], max_latency_ms=1.0) as scheduler:
             with pytest.raises(RuntimeError, match="results"):
                 scheduler.submit("x").result(timeout=5.0)
+
+
+class _PoisonFuture:
+    """Future double that accepts cancellation checks but refuses delivery.
+
+    Mimics the real race: ``cancelled()`` returns False when the worker
+    checks, then the state flips and ``set_result``/``set_exception`` raise
+    ``InvalidStateError`` — exactly what a concurrent ``Future.cancel`` landing
+    between check and delivery produces.
+    """
+
+    def __init__(self):
+        self.delivery_attempts = 0
+
+    def cancelled(self):
+        return False
+
+    def set_result(self, result):
+        self.delivery_attempts += 1
+        raise InvalidStateError("cancelled between check and delivery")
+
+    def set_exception(self, error):
+        self.delivery_attempts += 1
+        raise InvalidStateError("cancelled between check and delivery")
+
+
+class TestDrainRaces:
+    """close()/cancel races: submissions must complete or raise, never hang."""
+
+    def test_delivery_race_does_not_kill_the_worker(self):
+        # Regression: an InvalidStateError out of set_result used to escape
+        # the worker loop, killing the thread — after which every queued or
+        # later-submitted request hung forever.
+        recorder = Recorder()
+        scheduler = BatchScheduler(recorder, max_batch_size=4, max_latency_ms=1.0)
+        try:
+            poison = _PoisonFuture()
+            with scheduler._lock:
+                scheduler._queue.append(("poison", poison, time.monotonic()))
+                scheduler._wakeup.notify()
+            # The worker must survive the failed delivery and keep serving.
+            assert scheduler.submit(21).result(timeout=5.0) == 42
+            assert poison.delivery_attempts == 1
+            assert scheduler._worker.is_alive()
+        finally:
+            scheduler.close()
+
+    def test_cancelled_future_does_not_affect_batch_mates(self):
+        recorder = Recorder(delay=0.02)
+        with BatchScheduler(recorder, max_batch_size=8, max_latency_ms=100.0) as scheduler:
+            first = scheduler.submit("a")  # occupies the worker for 20ms
+            victim = scheduler.submit("b")
+            survivor = scheduler.submit("c")
+            victim.cancel()
+            assert first.result(timeout=5.0) == "aa"
+            assert survivor.result(timeout=5.0) == "cc"
+        assert victim.cancelled()
+
+    def test_submit_racing_close_completes_or_raises(self):
+        # Hammer submit from several threads while the scheduler closes
+        # mid-stream.  Every future handed out must resolve (drained before
+        # the close flag) or the submit must raise SchedulerClosed — a hang
+        # (result() timeout) fails the test.
+        recorder = Recorder(delay=0.001)
+        scheduler = BatchScheduler(recorder, max_batch_size=4, max_latency_ms=1.0)
+        outcomes = []
+        outcome_lock = threading.Lock()
+
+        def submitter(base):
+            for i in range(50):
+                try:
+                    future = scheduler.submit(base + i)
+                except SchedulerClosed:
+                    with outcome_lock:
+                        outcomes.append("rejected")
+                    return
+                try:
+                    value = future.result(timeout=10.0)
+                    assert value == (base + i) * 2
+                    with outcome_lock:
+                        outcomes.append("completed")
+                except SchedulerClosed:
+                    with outcome_lock:
+                        outcomes.append("failed-clean")
+
+        threads = [threading.Thread(target=submitter, args=(t * 1000,)) for t in range(4)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.05)
+        scheduler.close()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not any(thread.is_alive() for thread in threads), "a submitter hung"
+        assert "completed" in outcomes  # some work really ran before the close
+        # Whatever wasn't completed was rejected or failed cleanly — nothing hung.
+        assert set(outcomes) <= {"completed", "rejected", "failed-clean"}
+
+    def test_submit_after_worker_stop_raises_not_hangs(self):
+        scheduler = BatchScheduler(lambda items: items, max_latency_ms=1.0)
+        scheduler.close()
+        scheduler._worker.join(timeout=5.0)
+        assert not scheduler._worker.is_alive()
+        with pytest.raises(SchedulerClosed):
+            scheduler.submit("late")
 
 
 class TestLifecycle:

@@ -1,0 +1,278 @@
+"""Tests for the data-parallel training engine (repro.train.parallel).
+
+The load-bearing contract: the slice decomposition, per-slice RNG streams and
+pairwise reduction tree depend only on ``world_size``, so any worker count up
+to ``world_size`` — in-process or spawned — trains bit-identically, and an
+interrupted run resumes bit-identically even across different worker counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _parallel_task import FailingTask, NoisyToyTask, ToyRegressionTask
+from repro.train import (
+    Trainer,
+    TrainerConfig,
+    WorkerError,
+    WorkerPool,
+    pairwise_sum,
+    partition_batch,
+    reduce_slices,
+    run_slices,
+    slice_rng,
+)
+
+
+def _train(task, num_workers, world_size=4, seed=3, **config_overrides):
+    config = TrainerConfig(
+        num_workers=num_workers, world_size=world_size, seed=seed, **config_overrides
+    )
+    result = Trainer(task, config).run()
+    params = {name: p.data.copy() for name, p in task.linear.named_parameters()}
+    return result, params
+
+
+def _assert_identical(a, b):
+    result_a, params_a = a
+    result_b, params_b = b
+    assert result_a.losses == result_b.losses
+    assert result_a.learning_rates == result_b.learning_rates
+    assert set(params_a) == set(params_b)
+    for name in params_a:
+        np.testing.assert_array_equal(params_a[name], params_b[name])
+
+
+class TestPairwiseSum:
+    def test_matches_explicit_tree(self):
+        values = [0.1, 0.2, 0.3, 0.4, 0.5]
+        # ((a+b)+(c+d)) + e — adjacent pairs per round, odd tail carried.
+        expected = ((0.1 + 0.2) + (0.3 + 0.4)) + 0.5
+        assert pairwise_sum(values) == expected
+
+    def test_single_value_and_empty(self):
+        assert pairwise_sum([7.0]) == 7.0
+        with pytest.raises(ValueError):
+            pairwise_sum([])
+
+    def test_arrays_reduce_elementwise(self):
+        arrays = [np.full(3, 1.0), np.full(3, 2.0), np.full(3, 4.0)]
+        np.testing.assert_array_equal(pairwise_sum(arrays), np.full(3, 7.0))
+
+    def test_reduction_is_deterministic_across_calls(self):
+        # The guarantee is a *fixed* tree: the same values always reduce to
+        # the same bits, including mixed magnitudes where association matters.
+        rng = np.random.default_rng(0)
+        values = list(rng.normal(size=9) * 10.0 ** rng.integers(-8, 8, size=9))
+        assert pairwise_sum(values) == pairwise_sum(list(values))
+        assert pairwise_sum(values) == pairwise_sum(tuple(values))
+
+
+class TestPartitionAndRng:
+    def test_partition_is_contiguous_and_worker_independent(self):
+        indices = np.arange(10)
+        slices = partition_batch(indices, 4)
+        assert [len(s) for s in slices] == [3, 3, 2, 2]
+        np.testing.assert_array_equal(np.concatenate(slices), indices)
+
+    def test_partition_smaller_batch_leaves_empty_tails(self):
+        slices = partition_batch(np.arange(2), 4)
+        assert [len(s) for s in slices] == [1, 1, 0, 0]
+
+    def test_slice_rng_is_deterministic_and_distinct(self):
+        a = slice_rng(1, 5, 0).random(4)
+        b = slice_rng(1, 5, 0).random(4)
+        c = slice_rng(1, 5, 1).random(4)
+        d = slice_rng(1, 6, 0).random(4)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, c)
+        assert not np.array_equal(a, d)
+
+
+class TestWorkerCountInvariance:
+    def test_one_vs_two_vs_four_workers_bit_identical(self):
+        baseline = _train(ToyRegressionTask(), num_workers=1)
+        _assert_identical(baseline, _train(ToyRegressionTask(), num_workers=2))
+        _assert_identical(baseline, _train(ToyRegressionTask(), num_workers=4))
+
+    def test_rng_consuming_task_is_worker_invariant(self):
+        # Per-(step, slice) generators: tasks that draw randomness inside
+        # compute_loss stay bit-identical across worker counts.
+        baseline = _train(NoisyToyTask(), num_workers=1)
+        _assert_identical(baseline, _train(NoisyToyTask(), num_workers=2))
+
+    def test_sharded_corpus_is_worker_invariant(self, tmp_path):
+        def task(sub):
+            directory = tmp_path / sub
+            return ToyRegressionTask(shard_dir=directory, shard_size=16)
+
+        baseline = _train(task("a"), num_workers=1)
+        _assert_identical(baseline, _train(task("b"), num_workers=2))
+
+    def test_sequential_engine_unchanged_but_different_math(self):
+        sequential, _ = _train(ToyRegressionTask(), num_workers=0)
+        parallel, _ = _train(ToyRegressionTask(), num_workers=1)
+        assert len(sequential.losses) == len(parallel.losses)
+        # Sliced losses see a different decomposition; they are close but not
+        # the same floating-point computation.
+        assert sequential.losses != parallel.losses
+        np.testing.assert_allclose(sequential.losses, parallel.losses, rtol=0.2)
+
+
+class TestResume:
+    def test_interrupt_with_one_worker_resume_with_two(self, tmp_path):
+        reference = _train(ToyRegressionTask(), num_workers=1)
+
+        ckpt = tmp_path / "toy.ckpt.npz"
+        interrupted = ToyRegressionTask()
+        Trainer(
+            interrupted,
+            TrainerConfig(num_workers=1, world_size=4, seed=3,
+                          checkpoint_path=ckpt, checkpoint_every=1, max_steps=3),
+        ).run()
+
+        resumed_task = ToyRegressionTask()
+        result = Trainer(
+            resumed_task,
+            TrainerConfig(num_workers=2, world_size=4, seed=3,
+                          checkpoint_path=ckpt, checkpoint_every=1),
+        ).run(resume=True)
+        assert result.resumed_from_step == 3
+        params = {n: p.data.copy() for n, p in resumed_task.linear.named_parameters()}
+        _assert_identical(reference, (result, params))
+
+    def test_engine_mismatch_is_refused(self, tmp_path):
+        ckpt = tmp_path / "seq.ckpt.npz"
+        Trainer(
+            ToyRegressionTask(),
+            TrainerConfig(seed=3, checkpoint_path=ckpt, checkpoint_every=1, max_steps=2),
+        ).run()
+        with pytest.raises(ValueError, match="sequential engine"):
+            Trainer(
+                ToyRegressionTask(),
+                TrainerConfig(num_workers=1, seed=3, checkpoint_path=ckpt),
+            ).run(resume=True)
+
+    def test_shard_schedule_mismatch_is_refused(self, tmp_path):
+        # A sharded checkpoint resumed without sharding (or vice versa) would
+        # silently draw different minibatches; the engine must refuse.
+        ckpt = tmp_path / "sched.ckpt.npz"
+        Trainer(
+            ToyRegressionTask(shard_dir=tmp_path / "shards", shard_size=16),
+            TrainerConfig(seed=3, checkpoint_path=ckpt, checkpoint_every=1, max_steps=2),
+        ).run()
+        with pytest.raises(ValueError, match="ShardStreamPlan"):
+            Trainer(
+                ToyRegressionTask(),
+                TrainerConfig(seed=3, checkpoint_path=ckpt),
+            ).run(resume=True)
+        with pytest.raises(ValueError, match="shard_size"):
+            Trainer(
+                ToyRegressionTask(shard_dir=tmp_path / "shards2", shard_size=8),
+                TrainerConfig(seed=3, checkpoint_path=ckpt),
+            ).run(resume=True)
+
+    def test_world_size_mismatch_is_refused(self, tmp_path):
+        ckpt = tmp_path / "par.ckpt.npz"
+        Trainer(
+            ToyRegressionTask(),
+            TrainerConfig(num_workers=1, world_size=4, seed=3,
+                          checkpoint_path=ckpt, checkpoint_every=1, max_steps=2),
+        ).run()
+        with pytest.raises(ValueError, match="world_size"):
+            Trainer(
+                ToyRegressionTask(),
+                TrainerConfig(num_workers=1, world_size=2, seed=3, checkpoint_path=ckpt),
+            ).run(resume=True)
+
+
+class TestValidationAndErrors:
+    def test_grad_accumulation_conflicts_with_parallel(self):
+        with pytest.raises(ValueError, match="grad_accumulation"):
+            Trainer(ToyRegressionTask(), TrainerConfig(num_workers=1, grad_accumulation=2))
+
+    def test_more_workers_than_world_size_is_refused(self):
+        with pytest.raises(ValueError, match="world_size"):
+            Trainer(ToyRegressionTask(), TrainerConfig(num_workers=5, world_size=4))
+
+    def test_worker_failure_propagates_with_traceback(self):
+        with pytest.raises(WorkerError, match="boom from worker"):
+            Trainer(
+                FailingTask(),
+                TrainerConfig(num_workers=2, world_size=4, seed=0),
+            ).run()
+
+    def test_in_process_failure_propagates_directly(self):
+        with pytest.raises(RuntimeError, match="boom from worker"):
+            Trainer(
+                FailingTask(),
+                TrainerConfig(num_workers=1, world_size=4, seed=0),
+            ).run()
+
+
+class TestSliceHelpers:
+    def test_run_and_reduce_round_trip(self):
+        task = ToyRegressionTask()
+        task.setup(np.random.default_rng(0))
+        parameters = list(task.linear.parameters())
+        indices = np.arange(12)
+        assignments = [
+            (sid, chunk, len(chunk) / len(indices))
+            for sid, chunk in enumerate(partition_batch(indices, 4))
+        ]
+        results = run_slices(task, parameters, seed=0, step=0, assignments=assignments)
+        assert len(results) == 4 and all(r is not None for r in results)
+        reduced = reduce_slices(results, len(parameters))
+        assert reduced is not None
+        loss, parts, grads = reduced
+        assert loss == pairwise_sum([r.loss for r in results])
+        assert set(parts) == {"mse"}
+        assert len(grads) == len(parameters)
+        for grad, param in zip(grads, parameters):
+            assert grad.shape == param.data.shape
+
+    def test_reduce_all_skipped_returns_none(self):
+        assert reduce_slices([None, None], 2) is None
+
+    def test_min_slice_items_caps_the_lanes(self):
+        # batch of 6 with min_slice_items=2 must use at most 3 lanes even at
+        # world_size=4 (no singleton slices reach compute_loss).
+        class MinTask(ToyRegressionTask):
+            min_slice_items = 2
+            seen = []
+
+            def compute_loss(self, indices, rng):
+                MinTask.seen.append(len(indices))
+                return super().compute_loss(indices, rng)
+
+        MinTask.seen = []
+        task = MinTask(batch_size=6, num_steps=2)
+        Trainer(task, TrainerConfig(num_workers=1, world_size=4, seed=1)).run()
+        assert MinTask.seen and all(size >= 2 for size in MinTask.seen)
+
+
+class TestWorkerPool:
+    def test_pool_context_manager_and_close_idempotent(self):
+        import pickle
+
+        task = ToyRegressionTask()
+        task.setup(np.random.default_rng(0))
+        with WorkerPool(pickle.dumps(task), num_workers=2, seed=0) as pool:
+            parameters = list(task.linear.parameters())
+            indices = np.arange(8)
+            assignments = [
+                (sid, chunk, len(chunk) / len(indices))
+                for sid, chunk in enumerate(partition_batch(indices, 4))
+            ]
+            remote = pool.run_step(0, assignments, [p.data for p in parameters])
+            local = run_slices(task, parameters, seed=0, step=0, assignments=assignments)
+            for got, want in zip(remote, local):
+                assert got.loss == want.loss
+                for grad_got, grad_want in zip(got.grads, want.grads):
+                    np.testing.assert_array_equal(grad_got, grad_want)
+        pool.close()  # idempotent after __exit__
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            WorkerPool(b"", num_workers=0, seed=0)

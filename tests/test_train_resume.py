@@ -9,6 +9,12 @@ stage timers).
 
 from __future__ import annotations
 
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -56,6 +62,22 @@ class TestExprPretrainerResume:
         for name, value in reference_params.items():
             np.testing.assert_array_equal(value, resumed_params[name])
 
+    def test_sharded_plan_skips_singleton_batches(self, tmp_path):
+        # 17 pairs, shard_size 16 -> trailing 1-item shard; its singleton
+        # batch must be skipped (min_batch_size=2), not fed to InfoNCE.
+        variables = ["a", "b", "c", "d"]
+        expressions = [
+            f"{variables[i % 4]} & {variables[(i + 1) % 4]} | !{variables[(i + 2) % 4]} ^ x{i}"
+            for i in range(17)
+        ]
+        config = ExprPretrainConfig(num_steps=6, batch_size=4, seed=1, shard_size=16)
+        model = ExprLLM(TextEncoderConfig.preset("small"), rng=np.random.default_rng(0))
+        result = ExprLLMPretrainer(model, config).run(
+            expressions, shard_dir=tmp_path / "shards"
+        )
+        assert result.completed
+        assert result.num_pairs >= 17
+
     def test_lora_adapters_survive_resume(self, tmp_path):
         config = ExprPretrainConfig(num_steps=4, batch_size=4, seed=0, use_lora=True)
         ckpt = tmp_path / "lora.ckpt.npz"
@@ -71,6 +93,85 @@ class TestExprPretrainerResume:
         )
         assert resumed.completed
         assert any("lora_" in name for name, _ in fresh.named_parameters())
+
+
+_MATRIX_SCRIPT = textwrap.dedent(
+    """
+    import sys
+    import numpy as np
+    from repro.encoders import ExprLLM, TextEncoderConfig
+    from repro.pretrain import ExprLLMPretrainer, ExprPretrainConfig
+
+    # The __main__ guard is load-bearing: the spawn start method re-imports
+    # this script in every worker process.
+    if __name__ == "__main__":
+        num_workers, shard_dir, out_path = int(sys.argv[1]), sys.argv[2], sys.argv[3]
+        expressions = [
+            "a & b", "a | !b", "a ^ (b & c)", "!(a | b) & c", "(a & b) | (c & d)",
+            "!a ^ b", "a & (b | c)", "!(a ^ c)", "(a | b) ^ (c | d)", "a & b & c",
+            "c | (a & !b)", "!(c & d) | a", "a ^ b ^ c", "(a | c) & (b | d)",
+        ]
+        config = ExprPretrainConfig(
+            num_steps=4, batch_size=8, seed=5,
+            num_workers=num_workers, world_size=2, shard_size=8,
+        )
+        model = ExprLLM(TextEncoderConfig.preset("small"), rng=np.random.default_rng(0))
+        result = ExprLLMPretrainer(model, config).run(expressions, shard_dir=shard_dir)
+        payload = {"losses": np.asarray(result.losses, dtype=np.float64)}
+        for name, param in model.named_parameters():
+            payload["param::" + name] = param.data
+        np.savez(out_path, **payload)
+    """
+)
+
+
+class TestDeterminismMatrix:
+    """Loss curves and weights are invariant to PYTHONHASHSEED *and* workers.
+
+    The acceptance criterion of the data-parallel engine: a short pre-train
+    run under three different hash seeds times {1, 2} worker processes — six
+    fresh interpreters — produces byte-identical loss curves and final
+    weights.  Hash-seed invariance guards against set/dict iteration order
+    leaking into training (the PR-2 ordered_signals bug class); worker
+    invariance is the parallel engine's ordered all-reduce contract.
+    """
+
+    def test_hash_seed_times_worker_matrix_is_byte_identical(self, tmp_path):
+        script = tmp_path / "matrix_run.py"
+        script.write_text(_MATRIX_SCRIPT)
+        repo_src = Path(__file__).resolve().parents[1] / "src"
+
+        outputs = {}
+        for hash_seed in ("0", "1", "31337"):
+            for workers in (1, 2):
+                out = tmp_path / f"run-h{hash_seed}-w{workers}.npz"
+                shard_dir = tmp_path / f"shards-h{hash_seed}-w{workers}"
+                env = dict(os.environ)
+                env["PYTHONHASHSEED"] = hash_seed
+                env["PYTHONPATH"] = str(repo_src) + os.pathsep + env.get("PYTHONPATH", "")
+                proc = subprocess.run(
+                    [sys.executable, str(script), str(workers), str(shard_dir), str(out)],
+                    capture_output=True, text=True, timeout=600, env=env,
+                )
+                assert proc.returncode == 0, (
+                    f"matrix run (hash seed {hash_seed}, {workers} workers) failed:\n"
+                    f"{proc.stdout}\n{proc.stderr}"
+                )
+                outputs[(hash_seed, workers)] = dict(np.load(out))
+
+        reference_key = ("0", 1)
+        reference = outputs[reference_key]
+        assert len(reference["losses"]) == 4
+        assert any(key.startswith("param::") for key in reference)
+        for key, payload in outputs.items():
+            if key == reference_key:
+                continue
+            assert set(payload) == set(reference), f"array set diverged for {key}"
+            for array_name, want in reference.items():
+                got = payload[array_name]
+                assert got.tobytes() == want.tobytes(), (
+                    f"{array_name} diverged for hash seed {key[0]}, {key[1]} workers"
+                )
 
 
 @pytest.fixture(scope="module")
