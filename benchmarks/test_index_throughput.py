@@ -32,6 +32,17 @@ REQUIRED_RECALL = 0.9
 REQUIRED_SPEEDUP = 3.0
 
 
+@pytest.fixture(scope="module", autouse=True)
+def _reference_backend():
+    """The contract points are exact-equality statements (bit-equal scores,
+    ranking parity across serving paths) stated against the float64 reference
+    backend; float32 compute breaks near-ties legitimately."""
+    from repro.nn import use_backend
+
+    with use_backend("reference"):
+        yield
+
+
 @pytest.fixture(scope="module")
 def model() -> NetTAG:
     return NetTAG(NetTAGConfig.fast(), rng=np.random.default_rng(7))

@@ -5,20 +5,25 @@ Usage::
 
     PYTHONPATH=src python scripts/bench_throughput.py [--designs N] [--repeats R]
         [--seed S] [--output PATH] [--baseline PATH] [--max-regression F]
+        [--profile]
 
 Times the batched :meth:`NetTAG.encode_batch` engine against the seed's
 per-cone sequential path and the current per-cone API path on the same
-register-cone workload, and writes the per-gate latencies, speedups and
+register-cone workload — under both the ``reference`` and ``fast`` kernel
+backends — and writes the per-gate latencies, speedups and
 expression-embedding-cache statistics to the JSON report (repo root by
-default, ``--output`` elsewhere).
+default, ``--output`` elsewhere).  ``--profile`` additionally prints a
+per-kernel-op time breakdown for each backend.
 
 Exit codes (for the CI bench job):
 
 * ``1`` — parity failure: the batched engine's embeddings deviate from the
-  seed-sequential reference by more than 1e-8.  Timing numbers for a wrong
-  engine are meaningless, so parity is checked first.
+  seed-sequential reference by more than 1e-8, or the fast backend deviates
+  from the reference backend by more than 1e-5 normwise relative.  Timing
+  numbers for a wrong engine are meaningless, so parity is checked first.
 * ``3`` — regression: a speedup ratio fell more than ``--max-regression``
-  (default 0.25) below the committed ``--baseline`` report.
+  (default 0.25) below the committed ``--baseline`` report, or the
+  expression-cache effective reuse rate dropped.
 """
 
 from __future__ import annotations
@@ -36,7 +41,9 @@ import numpy as np  # noqa: E402
 from repro.bench.throughput import (  # noqa: E402
     build_cone_workload,
     check_regression,
+    run_backend_parity,
     run_parity_check,
+    run_profile,
     run_throughput,
     save_report,
 )
@@ -55,6 +62,9 @@ def main() -> int:
     parser.add_argument("--max-regression", type=float, default=0.25,
                         help="maximum tolerated relative speedup drop vs the baseline "
                              "(default: 0.25)")
+    parser.add_argument("--profile", action="store_true",
+                        help="print a per-kernel-op time breakdown for the reference "
+                             "and fast backends")
     args = parser.parse_args()
 
     model = NetTAG(NetTAGConfig.fast(), rng=np.random.default_rng(args.seed))
@@ -66,6 +76,23 @@ def main() -> int:
         print(f"PARITY GATE FAILED: {failure}", file=sys.stderr)
         return 1
     print(f"parity ok (max batched-vs-sequential deviation {max_diff:.2e})")
+
+    try:
+        max_rel = run_backend_parity(model, cones)
+    except AssertionError as failure:
+        print(f"BACKEND PARITY GATE FAILED: {failure}", file=sys.stderr)
+        return 1
+    print(f"backend parity ok (max fast-vs-reference relative deviation {max_rel:.2e})")
+
+    if args.profile:
+        for backend in ("reference", "fast"):
+            profile = run_profile(model=model, cones=cones, backend=backend)
+            print(f"\nper-op kernel profile ({backend} backend):")
+            for op, row in profile.items():
+                mean_us = row["seconds"] / row["calls"] * 1e6 if row["calls"] else 0.0
+                print(f"  {op:16s} calls={row['calls']:6d}  "
+                      f"total={row['seconds'] * 1e3:9.3f}ms  "
+                      f"mean={mean_us:8.2f}us")
 
     report = run_throughput(model=model, cones=cones, repeats=args.repeats)
     path = save_report(report, path=args.output)

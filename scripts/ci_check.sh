@@ -38,6 +38,11 @@ fi
 step "tier-1 tests on $(python --version 2>&1) (CI matrix: 3.10 + 3.12)"
 python -m pytest -x -q -m "not bench and not slow"
 
+if [ "$fast" -eq 0 ]; then
+  step "tier-1 tests under the fast kernel backend (REPRO_BACKEND=fast)"
+  REPRO_BACKEND=fast python -m pytest -x -q -m "not bench and not slow"
+fi
+
 step "docs: fenced code blocks compile, doctests run"
 python scripts/check_docs.py
 
@@ -45,7 +50,7 @@ step "byte-compile every module"
 python -m compileall -q src tests benchmarks scripts examples
 
 if [ "$fast" -eq 1 ]; then
-  step "ci_check OK (--fast: coverage gate and model smoke skipped)"
+  step "ci_check OK (--fast: fast-backend leg, coverage gate and model smoke skipped)"
   exit 0
 fi
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import json
 import time
+from dataclasses import replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
@@ -29,6 +30,7 @@ import numpy as np
 
 from ..core import NetTAG, NetTAGConfig
 from ..netlist import RegisterCone, TextAttributedGraph, extract_register_cones, netlist_to_tag
+from ..nn import get_backend, profile_kernels, use_backend
 from ..rtl import make_controller
 from ..synth import synthesize
 
@@ -109,12 +111,31 @@ def api_sequential_encode(
     return outputs
 
 
+def fast_clone(model: NetTAG) -> NetTAG:
+    """A ``backend="fast"`` copy of ``model`` carrying identical weights.
+
+    The clone's parameters are the model's float64 weights cast to the fast
+    backend's float32 compute dtype, so fast-vs-reference comparisons measure
+    the backend, not a different initialisation.
+    """
+    config = replace(model.config, backend="fast")
+    clone = NetTAG(config, rng=np.random.default_rng(model.config.seed))
+    clone.load_state_dict(model.state_dict())
+    return clone
+
+
 def run_throughput(
     model: Optional[NetTAG] = None,
     cones: Optional[Sequence[RegisterCone]] = None,
     repeats: int = 3,
 ) -> Dict[str, object]:
-    """Time the three encode paths on the same inputs; returns the report."""
+    """Time the encode paths on the same inputs; returns the report.
+
+    Four implementations are timed: the three reference-backend paths
+    (``seed_sequential``, ``api_sequential``, ``batched``) plus
+    ``batched_fast`` — the batched engine on a weight-identical fast-backend
+    clone (float32 fused kernels, mask-free segment attention).
+    """
     model = model or NetTAG(NetTAGConfig.fast(), rng=np.random.default_rng(7))
     cones = list(cones) if cones is not None else build_cone_workload()
     if not cones:
@@ -122,11 +143,12 @@ def run_throughput(
     repeats = max(int(repeats), 1)
     tags = [netlist_to_tag(cone.netlist, k=model.config.expression_hops) for cone in cones]
     total_gates = sum(tag.num_nodes for tag in tags)
+    fast_model = fast_clone(model)
 
-    def best_of(fn) -> float:
+    def best_of(fn, clear=None) -> float:
         times = []
         for _ in range(repeats):
-            model.clear_caches()
+            (clear or model.clear_caches)()
             start = time.perf_counter()
             fn()
             times.append(time.perf_counter() - start)
@@ -135,8 +157,11 @@ def run_throughput(
     seed_seconds = best_of(lambda: seed_sequential_encode(model, cones, tags))
     api_seconds = best_of(lambda: api_sequential_encode(model, cones, tags))
     batched_seconds = best_of(lambda: model.encode_batch(cones, tags=tags))
+    fast_seconds = best_of(
+        lambda: fast_model.encode_batch(cones, tags=tags), clear=fast_model.clear_caches
+    )
 
-    # One more batched pass (cold cache) purely to report the hit rate.
+    # One more batched pass (cold cache) purely to report the reuse rate.
     model.clear_caches()
     model.encode_batch(cones, tags=tags)
     cache_stats = model.expr_llm.cache_stats()
@@ -152,18 +177,47 @@ def run_throughput(
             "seed_sequential": round(per_gate(seed_seconds), 2),
             "api_sequential": round(per_gate(api_seconds), 2),
             "batched": round(per_gate(batched_seconds), 2),
+            "batched_fast": round(per_gate(fast_seconds), 2),
         },
         "total_seconds": {
             "seed_sequential": round(seed_seconds, 6),
             "api_sequential": round(api_seconds, 6),
             "batched": round(batched_seconds, 6),
+            "batched_fast": round(fast_seconds, 6),
         },
         "speedup": {
             "batched_vs_seed_sequential": round(seed_seconds / batched_seconds, 2),
             "batched_vs_api_sequential": round(api_seconds / batched_seconds, 2),
+            "batched_fast_vs_seed_sequential": round(seed_seconds / fast_seconds, 2),
+            "batched_fast_vs_batched": round(batched_seconds / fast_seconds, 2),
         },
         "expression_cache": cache_stats,
     }
+
+
+def run_profile(
+    model: Optional[NetTAG] = None,
+    cones: Optional[Sequence[RegisterCone]] = None,
+    backend: Optional[str] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Per-kernel call counts and wall-clock totals of one batched encode.
+
+    Runs ``model.encode_batch`` once over the workload with every backend
+    kernel wrapped in a timer (see :func:`repro.nn.profile_kernels`); the
+    result maps kernel name to ``{"calls", "seconds"}``, sorted by total
+    time.  ``backend`` profiles a specific backend (default: the model's
+    configured / active one).
+    """
+    model = model or NetTAG(NetTAGConfig.fast(), rng=np.random.default_rng(7))
+    cones = list(cones) if cones is not None else build_cone_workload()
+    tags = [netlist_to_tag(cone.netlist, k=model.config.expression_hops) for cone in cones]
+    model.clear_caches()
+    if backend is None:
+        backend = model.config.backend
+    with use_backend(backend):
+        with profile_kernels() as profile:
+            model.encode_batch(cones, tags=tags)
+    return profile.as_dict()
 
 
 def save_report(report: Dict[str, object], path: Optional[Path] = None) -> Path:
@@ -176,14 +230,19 @@ def run_parity_check(
     model: NetTAG,
     cones: Sequence[RegisterCone],
     tags: Optional[Sequence[TextAttributedGraph]] = None,
-    atol: float = 1e-8,
+    atol: Optional[float] = None,
 ) -> float:
     """Max |batched − seed-sequential| deviation over the workload.
 
     Raises :class:`AssertionError` when the batched engine and the seed
     reference disagree beyond ``atol`` — the CI bench job runs this before
-    trusting any timing numbers.
+    trusting any timing numbers.  ``atol`` defaults to 1e-8 under a float64
+    backend and 1e-5 under float32 compute, where the same algebra holds to
+    float32 rounding.
     """
+    if atol is None:
+        with use_backend(model.config.backend):
+            atol = 1e-8 if get_backend().compute_dtype == np.float64 else 1e-5
     tags = (
         list(tags)
         if tags is not None
@@ -204,6 +263,45 @@ def run_parity_check(
     return max_diff
 
 
+def run_backend_parity(
+    model: NetTAG,
+    cones: Sequence[RegisterCone],
+    tags: Optional[Sequence[TextAttributedGraph]] = None,
+    rtol: float = 1e-5,
+) -> float:
+    """Max normwise relative deviation of the fast backend vs reference.
+
+    Encodes the workload on ``model`` (reference semantics) and on a
+    weight-identical ``backend="fast"`` clone, and compares per-cone
+    embeddings by normwise relative error — the documented fast-backend
+    contract is forwards within ``1e-5`` relative in float32.  Raises
+    :class:`AssertionError` past ``rtol``.
+    """
+    tags = (
+        list(tags)
+        if tags is not None
+        else [netlist_to_tag(cone.netlist, k=model.config.expression_hops) for cone in cones]
+    )
+    model.clear_caches()
+    reference = model.encode_batch(cones, tags=tags)
+    fast_model = fast_clone(model)
+    fast_model.clear_caches()
+    fast = fast_model.encode_batch(cones, tags=tags)
+    max_rel = 0.0
+    for want, got in zip(reference, fast):
+        if not want.size:
+            continue
+        denom = float(np.linalg.norm(want))
+        diff = float(np.linalg.norm(got.astype(np.float64) - want))
+        max_rel = max(max_rel, diff / max(denom, 1e-12))
+    if max_rel > rtol:
+        raise AssertionError(
+            f"fast/reference backend parity failure: max normwise relative "
+            f"deviation {max_rel:.3e} > {rtol:.0e}"
+        )
+    return max_rel
+
+
 def check_regression(
     report: Dict[str, object],
     baseline: Dict[str, object],
@@ -216,6 +314,11 @@ def check_regression(
     the baseline), but the batched engine's advantage over the sequential
     paths on the same host should not silently erode.  A current ratio more
     than ``max_regression`` below the baseline ratio is a failure.
+
+    The expression cache's *effective* reuse rate (LRU hits + within-call
+    dedup) is gated the same way: it is workload-determined rather than
+    machine-determined, and it is the number that actually shrinks ExprLLM
+    compute — ``hit_rate`` alone reads 0.0 on cold single-shot workloads.
     """
     failures: List[str] = []
     baseline_speedups = baseline.get("speedup", {})
@@ -237,4 +340,24 @@ def check_regression(
                 f"speedup.{key} regressed: {current:.2f}x vs baseline {base:.2f}x "
                 f"(floor {floor:.2f}x at max_regression={max_regression})"
             )
+    base_cache = baseline.get("expression_cache", {})
+    base_reuse = base_cache.get("effective_reuse_rate", base_cache.get("reuse_rate"))
+    if base_reuse:
+        current_cache = report.get("expression_cache", {})
+        current_reuse = current_cache.get(
+            "effective_reuse_rate", current_cache.get("reuse_rate")
+        )
+        if current_reuse is None:
+            failures.append(
+                "expression_cache.effective_reuse_rate present in the baseline "
+                "but missing from the report"
+            )
+        else:
+            floor = base_reuse * (1.0 - max_regression)
+            if current_reuse < floor:
+                failures.append(
+                    f"expression_cache.effective_reuse_rate regressed: "
+                    f"{current_reuse:.4f} vs baseline {base_reuse:.4f} "
+                    f"(floor {floor:.4f} at max_regression={max_regression})"
+                )
     return failures

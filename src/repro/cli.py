@@ -42,11 +42,21 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from . import nn
+
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="NetTAG reproduction: netlist foundation model via text-attributed graphs.",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=sorted(nn.available_backends()),
+        default=None,
+        help="numeric kernel backend for the whole command (default: the "
+        "REPRO_BACKEND environment variable, else 'reference'; 'fast' "
+        "selects the float32 fused kernels)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -471,6 +481,8 @@ def _run_stats(args: argparse.Namespace) -> int:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``python -m repro`` and the ``repro`` console script."""
     args = _build_parser().parse_args(argv)
+    if args.backend is not None:
+        nn.set_backend(args.backend)
     handlers = {
         "pretrain": _run_pretrain,
         "embed": _run_embed,

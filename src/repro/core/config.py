@@ -14,7 +14,7 @@ The configuration gathers every switch the experiments need:
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field, replace
-from typing import Dict
+from typing import Dict, Optional
 
 from ..encoders.tagformer import TAGFormerConfig
 from ..encoders.text_encoder import TextEncoderConfig
@@ -67,12 +67,25 @@ class NetTAGConfig:
     tag_pretrain: TAGPretrainConfig = field(default_factory=TAGPretrainConfig)
     seed: int = 0
 
+    # Numeric backend: a name from ``repro.nn.available_backends()``
+    # ("reference", "fast", ...) pins the model's kernels; ``None`` inherits
+    # whatever backend is active in the process (REPRO_BACKEND / set_backend).
+    backend: Optional[str] = None
+
     def __post_init__(self) -> None:
         if self.model_size not in MODEL_SIZE_PARAMETER_LABELS:
             raise ValueError(
                 f"unknown model_size {self.model_size!r}; choose from "
                 f"{sorted(MODEL_SIZE_PARAMETER_LABELS)}"
             )
+        if self.backend is not None:
+            from ..nn.backend import available_backends
+
+            if self.backend not in available_backends():
+                raise ValueError(
+                    f"unknown backend {self.backend!r}; choose from "
+                    f"{sorted(available_backends())}"
+                )
         if not 0.0 < self.data_fraction <= 1.0:
             raise ValueError("data_fraction must be in (0, 1]")
         if self.expression_hops < 1:

@@ -68,8 +68,20 @@ class NetTAG(nn.Module):
         super().__init__()
         self.config = config or NetTAGConfig()
         rng = rng or np.random.default_rng(self.config.seed)
-        self.expr_llm = ExprLLM(config=self.config.text_encoder_config(), rng=rng)
-        self.tagformer = TAGFormer(self.config.tagformer_config(), rng=rng)
+        # Parameters are created under the configured backend so their dtype
+        # matches the kernels that will consume them (float32 under "fast").
+        with nn.use_backend(self.config.backend):
+            self.expr_llm = ExprLLM(config=self.config.text_encoder_config(), rng=rng)
+            self.tagformer = TAGFormer(self.config.tagformer_config(), rng=rng)
+
+    def backend_scope(self):
+        """Context manager activating this model's configured backend.
+
+        ``config.backend=None`` inherits the process-wide active backend
+        (``REPRO_BACKEND`` / ``nn.set_backend``), making the scope a no-op.
+        Every public encode entry point runs inside this scope.
+        """
+        return nn.use_backend(self.config.backend)
 
     # ------------------------------------------------------------------
     # TAG-level encoding
@@ -98,15 +110,17 @@ class NetTAG(nn.Module):
         channel is the gate's physical characteristic vector.  The ablation
         switches zero out the corresponding channel.
         """
-        return self._batched_node_features([tag])[0]
+        with self.backend_scope():
+            return self._batched_node_features([tag])[0]
 
     def encode_tag(self, tag: TextAttributedGraph) -> Tuple[np.ndarray, np.ndarray]:
         """Encode one TAG into (node embeddings, graph embedding), as numpy."""
         if tag.num_nodes == 0:
             dim = self.output_dim
             return np.zeros((0, dim)), np.zeros(dim)
-        features = self.tag_node_features(tag)
-        return self.tagformer.encode_numpy(features, tag.graph.adjacency)
+        with self.backend_scope():
+            features = self._batched_node_features([tag])[0]
+            return self.tagformer.encode_numpy(features, tag.graph.adjacency)
 
     def encode_tag_multigrained(self, tag: TextAttributedGraph) -> Tuple[np.ndarray, np.ndarray]:
         """Encode one TAG keeping the modality-specific inputs in the output.
@@ -125,8 +139,9 @@ class NetTAG(nn.Module):
         if tag.num_nodes == 0:
             gate_dim = self.gate_embedding_dim
             return np.zeros((0, gate_dim)), np.zeros(self.graph_embedding_dim)
-        features = self.tag_node_features(tag)
-        node_out, graph_out = self.tagformer.encode_numpy(features, tag.graph.adjacency)
+        with self.backend_scope():
+            features = self._batched_node_features([tag])[0]
+            node_out, graph_out = self.tagformer.encode_numpy(features, tag.graph.adjacency)
         # Graph readout: [CLS] output plus mean/sum pooling of node outputs and
         # input features, plus the log node count (standard multi-readout).
         return self._multigrained_outputs(tag, features, node_out, graph_out)
@@ -187,22 +202,23 @@ class NetTAG(nn.Module):
                 )
             else:
                 nonempty.append(i)
-        for chunk in chunk_by_node_budget(
-            [tags[i].num_nodes for i in nonempty], max_nodes_per_chunk
-        ):
-            chunk_indices = [nonempty[c] for c in chunk]
-            chunk_tags = [tags[i] for i in chunk_indices]
-            features = self._batched_node_features(chunk_tags)
-            batch = BatchedTAG.from_tags(chunk_tags)
-            packed_features = batch.pack(features)
-            node_outputs, graph_outputs = self.tagformer.encode_batch_numpy(
-                packed_features, batch
-            )
-            chunk_results = self._multigrained_outputs_packed(
-                batch, packed_features, node_outputs, graph_outputs
-            )
-            for position, tag_index in enumerate(chunk_indices):
-                results[tag_index] = chunk_results[position]
+        with self.backend_scope():
+            for chunk in chunk_by_node_budget(
+                [tags[i].num_nodes for i in nonempty], max_nodes_per_chunk
+            ):
+                chunk_indices = [nonempty[c] for c in chunk]
+                chunk_tags = [tags[i] for i in chunk_indices]
+                features = self._batched_node_features(chunk_tags)
+                batch = BatchedTAG.from_tags(chunk_tags)
+                packed_features = batch.pack(features)
+                node_outputs, graph_outputs = self.tagformer.encode_batch_numpy(
+                    packed_features, batch
+                )
+                chunk_results = self._multigrained_outputs_packed(
+                    batch, packed_features, node_outputs, graph_outputs
+                )
+                for position, tag_index in enumerate(chunk_indices):
+                    results[tag_index] = chunk_results[position]
         return results  # type: ignore[return-value]
 
     def _multigrained_outputs(
@@ -242,16 +258,19 @@ class NetTAG(nn.Module):
         """Vectorised multi-grained readout over one packed batch.
 
         Equivalent to applying :meth:`_multigrained_outputs` per graph: the
-        block-diagonal adjacency performs every graph's neighbourhood
-        propagation in one matmul, and ``np.add.reduceat`` over the per-graph
-        offsets computes all pooled readouts at once.
+        neighbourhood propagation runs per graph on the small per-graph
+        adjacencies (bit-identical to the sequential path, and it never
+        materialises the dense block-diagonal matrix), and ``np.add.reduceat``
+        over the per-graph offsets computes all pooled readouts at once.
         """
         graph_rows = [graph_out[g] for g in range(batch.num_graphs)]
         if not self.config.multi_grained_embeddings:
             return list(zip(batch.split(node_out), graph_rows))
-        block = batch.block_adjacency
-        propagated_1hop = block @ packed_features
-        propagated_2hop = block @ propagated_1hop
+        feature_blocks = batch.split(packed_features)
+        hop1_blocks = [a @ f for a, f in zip(batch.adjacencies, feature_blocks)]
+        hop2_blocks = [a @ p for a, p in zip(batch.adjacencies, hop1_blocks)]
+        propagated_1hop = np.concatenate(hop1_blocks, axis=0)
+        propagated_2hop = np.concatenate(hop2_blocks, axis=0)
         gate_packed = np.concatenate(
             [node_out, packed_features, propagated_1hop, propagated_2hop], axis=1
         )

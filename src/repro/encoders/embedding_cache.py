@@ -50,6 +50,13 @@ class CacheStats:
         total = self.lookups + self.dedup_hits
         return (self.hits + self.dedup_hits) / total if total else 0.0
 
+    # Alias for reports: ``hit_rate`` alone reads as 0.0 on single-shot
+    # workloads where all reuse comes from within-call dedup, which is the
+    # number the bench regression gate must track.
+    @property
+    def effective_reuse_rate(self) -> float:
+        return self.reuse_rate
+
     def as_dict(self) -> Dict[str, float]:
         return {
             "hits": self.hits,
@@ -58,6 +65,7 @@ class CacheStats:
             "dedup_hits": self.dedup_hits,
             "hit_rate": round(self.hit_rate, 4),
             "reuse_rate": round(self.reuse_rate, 4),
+            "effective_reuse_rate": round(self.effective_reuse_rate, 4),
         }
 
 

@@ -129,9 +129,13 @@ class ExprLLM(nn.Module):
     # Cache management
     # ------------------------------------------------------------------
     def clear_cache(self) -> None:
-        """Drop cached embeddings (call after any weight update)."""
+        """Drop cached embeddings (call after any weight update).
+
+        The raw-text -> token-ids memo survives: tokenisation is a pure
+        function of the (immutable) tokenizer, not of the backbone weights,
+        and re-tokenising every gate text dominates cold-cache encode time.
+        """
         self._cache.clear()
-        self._key_memo.clear()
 
     def set_cache_enabled(self, enabled: bool) -> None:
         self._cache_enabled = enabled

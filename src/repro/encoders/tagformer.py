@@ -55,15 +55,22 @@ class SGFormerLayer(nn.Module):
     def forward(
         self,
         hidden: Tensor,
-        adjacency: np.ndarray,
+        adjacency: Optional[np.ndarray],
         attn_mask: Optional[np.ndarray] = None,
+        segments: Optional[nn.SegmentSpec] = None,
     ) -> Tensor:
         # Global attention over all nodes (sequence = node set).  With a
         # block-diagonal ``attn_mask`` the "node set" may pack several
-        # independent graphs; attention then stays within each graph.
-        attended = self.attention(self.attn_norm(hidden), attn_mask=attn_mask)
-        # Graph propagation with the normalised adjacency (constant matrix).
-        propagated = Tensor(adjacency) @ hidden
+        # independent graphs; attention then stays within each graph.  A
+        # ``segments`` spec computes the same thing mask-free, per segment
+        # group, and carries the adjacency blocks for propagation.
+        if segments is not None:
+            attended = self.attention(self.attn_norm(hidden), segments=segments)
+            propagated = segments.propagate(hidden)
+        else:
+            attended = self.attention(self.attn_norm(hidden), attn_mask=attn_mask)
+            # Graph propagation with the normalised adjacency (constant matrix).
+            propagated = Tensor(adjacency) @ hidden
         alpha = self.propagation_weight
         mixed = hidden + attended * (1.0 - alpha) + propagated * alpha
         return mixed + self.ff(self.ff_norm(mixed))
@@ -160,10 +167,18 @@ class TAGFormer(nn.Module):
         cls_rows = Tensor(np.ones((batch.num_graphs, 1))) @ self.cls_token
         hidden = nn.concatenate([hidden, cls_rows], axis=0)
 
-        extended = batch.extended_adjacency
-        mask = batch.attention_mask
-        for layer in self.layers:
-            hidden = layer(hidden, extended, attn_mask=mask)
+        if nn.get_backend().segment_attention:
+            # Mask-free path: per-segment attention and block propagation;
+            # never materialises the dense (total_slots, total_slots)
+            # adjacency or attention mask.
+            spec = batch.segment_spec()
+            for layer in self.layers:
+                hidden = layer(hidden, None, segments=spec)
+        else:
+            extended = batch.extended_adjacency
+            mask = batch.attention_mask
+            for layer in self.layers:
+                hidden = layer(hidden, extended, attn_mask=mask)
         hidden = self.final_norm(hidden)
 
         node_embeddings = self.node_head(hidden[: batch.total_nodes])

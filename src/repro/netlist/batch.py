@@ -44,6 +44,7 @@ class BatchedTAG:
     names: List[str] = field(default_factory=list)
     _extended_adjacency: Optional[np.ndarray] = field(default=None, repr=False)
     _attention_mask: Optional[np.ndarray] = field(default=None, repr=False)
+    _segment_spec: Optional[object] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         converted: List[np.ndarray] = []
@@ -170,6 +171,35 @@ class BatchedTAG:
             segments = self.extended_segment_ids
             self._attention_mask = segments[:, None] == segments[None, :]
         return self._attention_mask
+
+    def segment_spec(self):
+        """Mask-free attention bookkeeping for the packed layout (cached).
+
+        Each segment covers one graph's node rows plus its trailing [CLS]
+        slot, and carries the graph's CLS-extended adjacency block so both
+        attention and graph propagation can run per segment group without
+        ever building the dense ``(total_slots, total_slots)`` operator or
+        mask.  See :class:`repro.nn.attention.SegmentSpec`.
+        """
+        if self._segment_spec is None:
+            from ..nn.attention import SegmentSpec
+
+            rows: List[np.ndarray] = []
+            blocks: List[np.ndarray] = []
+            for g, adjacency in enumerate(self.adjacencies):
+                node_rows = np.arange(self.offsets[g], self.offsets[g + 1], dtype=np.int64)
+                rows.append(np.concatenate([node_rows, [self.cls_index(g)]]))
+                n = int(self.sizes[g])
+                # CLS-extended block, mirroring ``extended_adjacency`` exactly.
+                block = np.zeros((n + 1, n + 1), dtype=np.float64)
+                block[:n, :n] = adjacency
+                weight = 1.0 / max(n, 1)
+                block[n, :n] = weight
+                block[:n, n] = weight
+                block[n, n] = 1.0
+                blocks.append(block)
+            self._segment_spec = SegmentSpec(rows, blocks)
+        return self._segment_spec
 
 
 def chunk_by_node_budget(

@@ -95,6 +95,12 @@ class TextAttributedGraph:
     nodes: List[TAGNode]
     graph: GraphView
     attributes: Dict[str, object] = field(default_factory=dict)
+    # Lazy memos of the (immutable once built) per-node feature matrices; the
+    # encode hot path re-reads them on every batch, so recomputing the
+    # per-node stacks each time costs real latency.  Callers treat the
+    # returned arrays as read-only.
+    _physical_matrix: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
+    _expression_matrix: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
 
     @property
     def num_nodes(self) -> int:
@@ -106,16 +112,25 @@ class TextAttributedGraph:
 
     def physical_matrix(self, normalise: bool = True) -> np.ndarray:
         """``(num_nodes, len(PHYSICAL_FIELDS))`` matrix of physical features."""
+        if normalise and self._physical_matrix is not None:
+            return self._physical_matrix
         matrix = np.stack([node.physical_vector() for node in self.nodes]) if self.nodes else np.zeros((0, len(PHYSICAL_FIELDS)))
-        if normalise and matrix.size:
-            matrix = np.log1p(np.maximum(matrix, 0.0))
+        if normalise:
+            if matrix.size:
+                matrix = np.log1p(np.maximum(matrix, 0.0))
+            self._physical_matrix = matrix
         return matrix
 
     def expression_feature_matrix(self) -> np.ndarray:
         """``(num_nodes, len(EXPRESSION_FEATURES))`` matrix of expression statistics."""
-        if not self.nodes:
-            return np.zeros((0, len(EXPRESSION_FEATURES)))
-        return np.stack([node.expression_features for node in self.nodes])
+        if self._expression_matrix is None:
+            if not self.nodes:
+                self._expression_matrix = np.zeros((0, len(EXPRESSION_FEATURES)))
+            else:
+                self._expression_matrix = np.stack(
+                    [node.expression_features for node in self.nodes]
+                )
+        return self._expression_matrix
 
     def cell_type_labels(self, type_index: Dict[str, int]) -> np.ndarray:
         return np.asarray([type_index[node.cell_type] for node in self.nodes], dtype=np.int64)

@@ -8,12 +8,93 @@ global attention.  Both are built from the :class:`MultiHeadAttention` and
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .layers import Dropout, GELU, LayerNorm, Linear, Module, ModuleList, Sequential
-from .tensor import Tensor, where_mask
+from .tensor import Tensor, concatenate, where_mask
+
+
+class SegmentSpec:
+    """Row bookkeeping for mask-free attention over packed independent segments.
+
+    A packed batch lays several independent graphs out in one ``(seq, dim)``
+    node set; the dense path keeps them independent with a block-diagonal
+    ``(seq, seq)`` attention mask, which costs O(seq²) scores even though all
+    cross-segment entries are discarded.  ``SegmentSpec`` instead records, for
+    every segment, the packed row indices that belong to it, and groups
+    segments of identical size so each group runs as one *small* batched
+    attention ``(group, heads, size, size)`` with no mask at all.
+
+    Masked softmax at ``-1e9`` underflows to exactly-zero attention weight,
+    so the segmented computation is numerically equivalent to the dense
+    masked one — it simply never materialises the cross-segment scores.
+
+    Parameters
+    ----------
+    segments:
+        Per-segment integer row indices into the packed layout (rows may be
+        non-contiguous, e.g. node rows plus a trailing [CLS] slot).
+    blocks:
+        Optional per-segment dense ``(size, size)`` linear operators (e.g.
+        normalised adjacency blocks) for :meth:`propagate`.
+    """
+
+    def __init__(
+        self,
+        segments: Sequence[np.ndarray],
+        blocks: Optional[Sequence[np.ndarray]] = None,
+    ) -> None:
+        if blocks is not None and len(blocks) != len(segments):
+            raise ValueError("blocks must match segments one-to-one")
+        rows = [np.asarray(seg, dtype=np.int64).reshape(-1) for seg in segments]
+        order = sorted(range(len(rows)), key=lambda g: (len(rows[g]), g))
+        perm_parts: List[np.ndarray] = []
+        #: ``(start, count, size)`` triples in permuted coordinates, one per
+        #: group of equally-sized segments.
+        self.groups: List[Tuple[int, int, int]] = []
+        #: per-group stacked ``(count, size, size)`` operators (when given).
+        self.block_stacks: Optional[List[np.ndarray]] = [] if blocks is not None else None
+        start = 0
+        i = 0
+        while i < len(order):
+            size = len(rows[order[i]])
+            j = i
+            while j < len(order) and len(rows[order[j]]) == size:
+                j += 1
+            members = order[i:j]
+            perm_parts.extend(rows[g] for g in members)
+            if self.block_stacks is not None:
+                self.block_stacks.append(
+                    np.stack([np.asarray(blocks[g], dtype=np.float64) for g in members])
+                )
+            self.groups.append((start, len(members), size))
+            start += len(members) * size
+            i = j
+        self.perm = (
+            np.concatenate(perm_parts) if perm_parts else np.zeros(0, dtype=np.int64)
+        )
+        self.inv_perm = np.argsort(self.perm)
+        self.total_rows = int(self.perm.size)
+        self.num_segments = len(rows)
+
+    def propagate(self, hidden: Tensor) -> Tensor:
+        """Apply the per-segment block operators: ``block_diag(blocks) @ hidden``.
+
+        Equivalent to multiplying by the dense block-diagonal matrix, but as
+        one batched ``(count, size, size) @ (count, size, dim)`` matmul per
+        size group — never materialising the O(seq²) dense operator.
+        """
+        if self.block_stacks is None:
+            raise ValueError("SegmentSpec was built without blocks")
+        dim = hidden.shape[-1]
+        permuted = hidden[self.perm]
+        outputs = []
+        for (start, count, size), stack in zip(self.groups, self.block_stacks):
+            seg = permuted[start : start + count * size].reshape(count, size, dim)
+            outputs.append((Tensor(stack) @ seg).reshape(count * size, dim))
+        return concatenate(outputs, axis=0)[self.inv_perm]
 
 
 class MultiHeadAttention(Module):
@@ -47,6 +128,7 @@ class MultiHeadAttention(Module):
         x: Tensor,
         key_padding_mask: Optional[np.ndarray] = None,
         attn_mask: Optional[np.ndarray] = None,
+        segments: Optional[SegmentSpec] = None,
     ) -> Tensor:
         """Attend over a ``(batch, seq, dim)`` or ``(seq, dim)`` input.
 
@@ -60,7 +142,16 @@ class MultiHeadAttention(Module):
         keeps every graph's attention confined to its own nodes, which is
         numerically equivalent to running each graph separately (masked
         scores underflow to exactly zero attention weight after softmax).
+
+        ``segments`` replaces a block-diagonal ``attn_mask`` with the
+        mask-free per-segment path: attention runs group-by-group over
+        equally-sized segments and never builds the ``(seq, seq)`` score
+        matrix.  ``x`` must then be the 2-D packed layout the spec indexes.
         """
+        if segments is not None:
+            if key_padding_mask is not None or attn_mask is not None:
+                raise ValueError("segments cannot be combined with masks")
+            return self._forward_segments(x, segments)
         squeeze = False
         if x.ndim == 2:
             x = x.reshape(1, *x.shape)
@@ -85,7 +176,9 @@ class MultiHeadAttention(Module):
 
         mask = _combine_masks(key_padding_mask, attn_mask, scores.shape)
         if mask is not None:
-            scores = where_mask(mask, scores, Tensor(np.full(scores.shape, -1e9)))
+            scores = where_mask(
+                mask, scores, Tensor(np.full(scores.shape, -1e9, dtype=scores.data.dtype))
+            )
 
         attn = scores.softmax(axis=-1)
         attn = self.dropout(attn)
@@ -95,6 +188,41 @@ class MultiHeadAttention(Module):
         if squeeze:
             out = out.reshape(seq, self.dim)
         return out
+
+    def _forward_segments(self, x: Tensor, segments: SegmentSpec) -> Tensor:
+        """Mask-free block-diagonal attention over a packed 2-D layout.
+
+        The packed rows are gathered once into size-bucketed order, each
+        bucket runs true batched ``(group, heads, size, size)`` attention
+        with no mask, and a single inverse gather restores packed order.
+        """
+        if x.ndim != 2:
+            raise ValueError("segmented attention expects a packed (seq, dim) input")
+        if x.shape[0] != segments.total_rows:
+            raise ValueError(
+                f"packed input has {x.shape[0]} rows, spec covers {segments.total_rows}"
+            )
+        permuted = x[segments.perm]
+        q = self.q_proj(permuted)
+        k = self.k_proj(permuted)
+        v = self.v_proj(permuted)
+        scale = 1.0 / np.sqrt(self.head_dim)
+
+        contexts = []
+        for start, count, size in segments.groups:
+            stop = start + count * size
+
+            def heads(t: Tensor) -> Tensor:
+                return t[start:stop].reshape(count, size, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+            qg, kg, vg = heads(q), heads(k), heads(v)
+            scores = (qg @ kg.transpose(0, 1, 3, 2)) * scale
+            attn = self.dropout(scores.softmax(axis=-1))
+            context = attn @ vg  # (count, heads, size, head_dim)
+            contexts.append(context.transpose(0, 2, 1, 3).reshape(count * size, self.dim))
+
+        packed = concatenate(contexts, axis=0)[segments.inv_perm]
+        return self.out_proj(packed)
 
 
 def _combine_masks(

@@ -1,0 +1,490 @@
+"""Pluggable kernel backends for the autograd engine.
+
+Every hot path in the reproduction — ExprLLM text encoding, TAGFormer packed
+forwards, pre-training steps, serving-side encode — bottoms out in the numpy
+kernels behind :class:`~repro.nn.tensor.Tensor`.  This module factors those
+kernels behind a narrow interface so their numeric policy is swappable:
+
+* :class:`ReferenceBackend` (``"reference"``) — float64 throughout, kernel
+  bodies bit-identical to the historical implementations.  Every determinism
+  and resume guarantee in the repo is stated against this backend.
+* :class:`FastBackend` (``"fast"``) — float32 compute with float64
+  accumulation where long reductions would otherwise drift (summations,
+  optimiser moments), fused linear(+bias)(+activation) and layer-norm
+  kernels that collapse several autograd nodes into one, and mask-free
+  block-diagonal segment attention for packed graph batches.
+
+The active backend is a process-wide setting (``set_backend`` /
+``use_backend``), initialised from the ``REPRO_BACKEND`` environment
+variable.  Model- and trainer-level configuration can pin a backend per
+component; ``None`` means "inherit whatever is active".
+
+The kernel interface is deliberately small: ``matmul``, fused
+``linear`` (+bias, +activation), ``softmax`` / ``log_softmax``,
+``layer_norm``, reductions (``sum``) and the elementwise nonlinearities.
+Adding a backend means subclassing :class:`KernelBackend` and overriding the
+kernels whose numeric policy should change; ``register_backend`` makes it
+selectable by name everywhere (config, CLI, env var).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "KernelBackend",
+    "ReferenceBackend",
+    "FastBackend",
+    "available_backends",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+    "resolve_backend",
+    "register_backend",
+    "profile_kernels",
+    "KernelProfile",
+]
+
+# Python float, not np.float64: a float64 *scalar* would silently promote
+# float32 arrays back to float64 inside the fast backend's gelu (NEP 50 keeps
+# python-scalar operands weak).  float() is exact, so reference stays
+# bit-identical.
+_GELU_C = float(np.sqrt(2.0 / np.pi))
+
+
+class KernelBackend:
+    """Numeric kernels behind the autograd engine (float64 base semantics).
+
+    The base class *is* the reference semantics: every kernel body below is
+    the exact numpy expression the engine historically inlined, so routing
+    through it is bit-identical to the pre-backend code.  Subclasses override
+    only the policy knobs (``compute_dtype``, ``fused``,
+    ``segment_attention``) and the kernels whose numerics they change.
+    """
+
+    name: str = "reference"
+    #: dtype used for tensor payloads and kernel arithmetic.
+    compute_dtype: np.dtype = np.dtype(np.float64)
+    #: dtype used for long accumulations (reductions, optimiser moments).
+    accum_dtype: np.dtype = np.dtype(np.float64)
+    #: route Linear / FeedForward / LayerNorm through the fused kernels.
+    fused: bool = False
+    #: use mask-free per-segment attention for packed block-diagonal batches.
+    segment_attention: bool = False
+
+    # ------------------------------------------------------------------
+    # dtype policy
+    # ------------------------------------------------------------------
+    def asarray(self, data) -> np.ndarray:
+        """Convert ``data`` to the backend's compute dtype (shared when possible)."""
+        if isinstance(data, np.ndarray):
+            if data.dtype != self.compute_dtype:
+                return data.astype(self.compute_dtype)
+            return data
+        return np.asarray(data, dtype=self.compute_dtype)
+
+    def _cast(self, x: np.ndarray) -> np.ndarray:
+        """Cast one operand to the compute dtype (no copy when already there)."""
+        if x.dtype != self.compute_dtype:
+            return x.astype(self.compute_dtype)
+        return x
+
+    # ------------------------------------------------------------------
+    # Linear algebra
+    # ------------------------------------------------------------------
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return a @ b
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, x: np.ndarray, axis=None, keepdims: bool = False) -> np.ndarray:
+        return x.sum(axis=axis, keepdims=keepdims)
+
+    # ------------------------------------------------------------------
+    # Elementwise nonlinearities
+    # ------------------------------------------------------------------
+    def exp(self, x: np.ndarray) -> np.ndarray:
+        return np.exp(x)
+
+    def tanh(self, x: np.ndarray) -> np.ndarray:
+        return np.tanh(x)
+
+    def sigmoid(self, x: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-x))
+
+    def relu(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Returns ``(out, mask)``; the mask is reused by the backward pass."""
+        mask = (x > 0).astype(x.dtype)
+        return x * mask, mask
+
+    def gelu(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """tanh-approximated GELU; returns ``(out, tanh_inner)`` for backward."""
+        inner = _GELU_C * (x + 0.044715 * x ** 3)
+        tanh_inner = np.tanh(inner)
+        return 0.5 * x * (1.0 + tanh_inner), tanh_inner
+
+    def gelu_backward(
+        self, grad: np.ndarray, x: np.ndarray, tanh_inner: np.ndarray
+    ) -> np.ndarray:
+        sech2 = 1.0 - tanh_inner ** 2
+        d_inner = _GELU_C * (1.0 + 3 * 0.044715 * x ** 2)
+        return grad * (0.5 * (1.0 + tanh_inner) + 0.5 * x * sech2 * d_inner)
+
+    # ------------------------------------------------------------------
+    # Softmax family
+    # ------------------------------------------------------------------
+    def softmax(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        shifted = x - x.max(axis=axis, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=axis, keepdims=True)
+
+    def softmax_backward(self, grad: np.ndarray, out: np.ndarray, axis: int = -1) -> np.ndarray:
+        dot = (grad * out).sum(axis=axis, keepdims=True)
+        return out * (grad - dot)
+
+    def log_softmax(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        shifted = x - x.max(axis=axis, keepdims=True)
+        logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        return shifted - logsumexp
+
+    def log_softmax_backward(self, grad: np.ndarray, out: np.ndarray, axis: int = -1) -> np.ndarray:
+        softmax = np.exp(out)
+        grad_sum = grad.sum(axis=axis, keepdims=True)
+        return grad - softmax * grad_sum
+
+    # ------------------------------------------------------------------
+    # Fused kernels (single autograd node each; used when ``fused`` is set,
+    # but implemented here so any backend — including reference — can be
+    # gradient-checked against the composed float64 path)
+    # ------------------------------------------------------------------
+    def linear(
+        self,
+        x: np.ndarray,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray],
+        activation: Optional[str] = None,
+    ) -> Tuple[np.ndarray, tuple]:
+        """Fused ``activation(x @ weight + bias)`` forward.
+
+        ``x`` may have any number of batch dimensions before the feature
+        axis.  Returns ``(out, cache)`` where ``cache`` carries what the
+        backward kernel needs.
+        """
+        x = self._cast(x)
+        weight = self._cast(weight)
+        x2 = x.reshape(-1, x.shape[-1])
+        pre = x2 @ weight
+        if bias is not None:
+            pre = pre + self._cast(bias)
+        act_cache: Optional[np.ndarray] = None
+        if activation is None:
+            out2 = pre
+        elif activation == "relu":
+            out2, act_cache = self.relu(pre)
+        elif activation == "gelu":
+            out2, act_cache = self.gelu(pre)
+        elif activation == "tanh":
+            out2 = np.tanh(pre)
+            act_cache = out2
+        else:
+            raise ValueError(f"unsupported fused activation {activation!r}")
+        out = out2.reshape(*x.shape[:-1], weight.shape[1])
+        return out, (x2, weight, x.shape, bias is not None, activation, pre, act_cache)
+
+    def linear_backward(
+        self, grad: np.ndarray, cache: tuple
+    ) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+        """Backward of :meth:`linear`: ``(dx, dweight, dbias)``."""
+        x2, weight, x_shape, has_bias, activation, pre, act_cache = cache
+        g2 = self._cast(grad).reshape(-1, weight.shape[1])
+        if activation == "relu":
+            g2 = g2 * act_cache
+        elif activation == "gelu":
+            g2 = self.gelu_backward(g2, pre, act_cache)
+        elif activation == "tanh":
+            g2 = g2 * (1.0 - act_cache ** 2)
+        dx = (g2 @ weight.T).reshape(x_shape)
+        dweight = x2.T @ g2
+        dbias = None
+        if has_bias:
+            dbias = self.sum(g2, axis=0)
+        return dx, dweight, dbias
+
+    def layer_norm(
+        self,
+        x: np.ndarray,
+        gamma: np.ndarray,
+        beta: np.ndarray,
+        eps: float,
+    ) -> Tuple[np.ndarray, tuple]:
+        """Fused layer norm over the last axis; returns ``(out, cache)``."""
+        x = self._cast(x)
+        mean = x.mean(axis=-1, keepdims=True)
+        centred = x - mean
+        var = (centred * centred).mean(axis=-1, keepdims=True)
+        inv_std = (var + eps) ** -0.5
+        xhat = centred * inv_std
+        out = xhat * self._cast(gamma) + self._cast(beta)
+        return out, (xhat, inv_std, gamma)
+
+    def layer_norm_backward(
+        self, grad: np.ndarray, cache: tuple
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Backward of :meth:`layer_norm`: ``(dx, dgamma, dbeta)``."""
+        xhat, inv_std, gamma = cache
+        grad = self._cast(grad)
+        dxhat = grad * self._cast(gamma)
+        dx = inv_std * (
+            dxhat
+            - dxhat.mean(axis=-1, keepdims=True)
+            - xhat * (dxhat * xhat).mean(axis=-1, keepdims=True)
+        )
+        reduce_axes = tuple(range(grad.ndim - 1))
+        dgamma = self.sum(grad * xhat, axis=reduce_axes)
+        dbeta = self.sum(grad, axis=reduce_axes)
+        return dx, dgamma, dbeta
+
+
+class ReferenceBackend(KernelBackend):
+    """The historical float64 semantics (bit-identical to the pre-backend code)."""
+
+    name = "reference"
+
+
+class FastBackend(KernelBackend):
+    """float32 compute, float64 accumulation, fused kernels, segment attention.
+
+    Forward activations match the reference backend to float32 precision
+    (documented tolerance: normwise relative error ≤ 1e-5 on encoder
+    outputs); long reductions accumulate in float64 before casting back so
+    batch-size changes do not amplify rounding.
+    """
+
+    name = "fast"
+    compute_dtype: np.dtype = np.dtype(np.float32)
+    fused = True
+    segment_attention = True
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self._cast(a) @ self._cast(b)
+
+    def sum(self, x: np.ndarray, axis=None, keepdims: bool = False) -> np.ndarray:
+        # float64 master accumulation: summing many float32 terms in float32
+        # loses low bits order-dependently; accumulate wide, then narrow.
+        return x.sum(axis=axis, keepdims=keepdims, dtype=self.accum_dtype).astype(
+            self.compute_dtype
+        )
+
+    def gelu(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        x = self._cast(x)
+        # x*x*x instead of the reference's x ** 3: numpy's pow ufunc runs a
+        # full per-element pow (~100x slower than two multiplies); the
+        # ulp-level difference sits far inside the float32 parity budget.
+        # The reference kernel keeps the historical x ** 3 expression so its
+        # float64 outputs stay bit-identical.
+        inner = _GELU_C * (x + 0.044715 * (x * x * x))
+        tanh_inner = np.tanh(inner)
+        return 0.5 * x * (1.0 + tanh_inner), tanh_inner
+
+    def softmax(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        x = self._cast(x)
+        shifted = x - x.max(axis=axis, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=axis, keepdims=True)
+
+    def log_softmax(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        x = self._cast(x)
+        shifted = x - x.max(axis=axis, keepdims=True)
+        logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        return shifted - logsumexp
+
+
+# ----------------------------------------------------------------------
+# Registry and active-backend state
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, KernelBackend] = {}
+
+
+def register_backend(backend: KernelBackend) -> KernelBackend:
+    """Make ``backend`` selectable by name through ``set_backend``/configs."""
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+register_backend(ReferenceBackend())
+register_backend(FastBackend())
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of every registered backend."""
+    return tuple(sorted(_REGISTRY))
+
+
+def resolve_backend(backend: Union[str, KernelBackend, None]) -> KernelBackend:
+    """Map a name / instance / ``None`` (= active) to a backend instance."""
+    if backend is None:
+        return get_backend()
+    if isinstance(backend, KernelBackend):
+        return backend
+    try:
+        return _REGISTRY[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {backend!r}; available: {', '.join(available_backends())}"
+        ) from None
+
+
+def _default_backend() -> KernelBackend:
+    name = os.environ.get("REPRO_BACKEND", "reference").strip() or "reference"
+    if name not in _REGISTRY:
+        raise ValueError(
+            f"REPRO_BACKEND={name!r} is not a registered backend; "
+            f"available: {', '.join(available_backends())}"
+        )
+    return _REGISTRY[name]
+
+
+_ACTIVE: KernelBackend = _default_backend()
+_LOCK = threading.Lock()
+
+
+def get_backend() -> KernelBackend:
+    """The process-wide active backend."""
+    return _ACTIVE
+
+
+def set_backend(backend: Union[str, KernelBackend]) -> KernelBackend:
+    """Set the process-wide active backend; returns the instance."""
+    global _ACTIVE
+    resolved = resolve_backend(backend)
+    with _LOCK:
+        _ACTIVE = resolved
+    return resolved
+
+
+@contextmanager
+def use_backend(backend: Union[str, KernelBackend, None]) -> Iterator[KernelBackend]:
+    """Temporarily activate a backend (``None`` is a no-op passthrough).
+
+    The swap is process-wide, mirroring ``set_backend`` — callers that serve
+    concurrent traffic under mixed backends should pin one backend per
+    process instead of nesting contexts across threads.
+
+    Requesting the backend that is already active (by name) is a passthrough:
+    proxies wrapping it — e.g. the :func:`profile_kernels` timer — stay in
+    place instead of being displaced by the raw registered instance.
+    """
+    if backend is None or (isinstance(backend, str) and backend == get_backend().name):
+        yield get_backend()
+        return
+    global _ACTIVE
+    resolved = resolve_backend(backend)
+    with _LOCK:
+        previous = _ACTIVE
+        _ACTIVE = resolved
+    try:
+        yield resolved
+    finally:
+        with _LOCK:
+            _ACTIVE = previous
+
+
+# ----------------------------------------------------------------------
+# Per-kernel profiling
+# ----------------------------------------------------------------------
+class KernelProfile:
+    """Per-op call counts and wall-clock totals collected by ``profile_kernels``."""
+
+    def __init__(self) -> None:
+        self.calls: Dict[str, int] = {}
+        self.seconds: Dict[str, float] = {}
+
+    def record(self, op: str, seconds: float) -> None:
+        self.calls[op] = self.calls.get(op, 0) + 1
+        self.seconds[op] = self.seconds.get(op, 0.0) + seconds
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """JSON-friendly report, ops sorted by total time (descending)."""
+        return {
+            op: {"calls": self.calls[op], "seconds": round(self.seconds[op], 6)}
+            for op in sorted(self.seconds, key=lambda k: -self.seconds[k])
+        }
+
+    def to_text(self) -> str:
+        lines = [f"{'kernel':<22}{'calls':>8}{'seconds':>12}"]
+        for op, row in self.as_dict().items():
+            lines.append(f"{op:<22}{row['calls']:>8}{row['seconds']:>12.4f}")
+        return "\n".join(lines)
+
+
+_PROFILED_OPS = (
+    "matmul",
+    "linear",
+    "linear_backward",
+    "layer_norm",
+    "layer_norm_backward",
+    "softmax",
+    "softmax_backward",
+    "log_softmax",
+    "log_softmax_backward",
+    "sum",
+    "exp",
+    "tanh",
+    "sigmoid",
+    "relu",
+    "gelu",
+    "gelu_backward",
+)
+
+
+class _ProfilingBackend(KernelBackend):
+    """Transparent proxy that times every kernel call on an inner backend."""
+
+    def __init__(self, inner: KernelBackend, profile: KernelProfile) -> None:
+        self._inner = inner
+        self._profile = profile
+        self.name = inner.name
+        self.compute_dtype = inner.compute_dtype
+        self.accum_dtype = inner.accum_dtype
+        self.fused = inner.fused
+        self.segment_attention = inner.segment_attention
+        for op in _PROFILED_OPS:
+            setattr(self, op, self._wrap(op))
+
+    def asarray(self, data) -> np.ndarray:
+        return self._inner.asarray(data)
+
+    def _cast(self, x: np.ndarray) -> np.ndarray:
+        return self._inner._cast(x)
+
+    def _wrap(self, op: str):
+        fn = getattr(self._inner, op)
+        profile = self._profile
+
+        def timed(*args, **kwargs):
+            start = time.perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                profile.record(op, time.perf_counter() - start)
+
+        return timed
+
+
+@contextmanager
+def profile_kernels(
+    backend: Union[str, KernelBackend, None] = None
+) -> Iterator[KernelProfile]:
+    """Activate a profiling proxy around ``backend`` (default: active) and
+    yield the :class:`KernelProfile` it fills in."""
+    inner = resolve_backend(backend)
+    profile = KernelProfile()
+    with use_backend(_ProfilingBackend(inner, profile)):
+        yield profile

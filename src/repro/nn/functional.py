@@ -14,6 +14,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from .backend import get_backend
 from .tensor import Tensor
 
 
@@ -77,7 +78,15 @@ def symmetric_info_nce(a: Tensor, b: Tensor, temperature: float = 0.1) -> Tensor
 
 
 def layer_norm(x: Tensor, gamma: Tensor, beta: Tensor, eps: float = 1e-5) -> Tensor:
-    """Layer normalisation over the last dimension."""
+    """Layer normalisation over the last dimension.
+
+    Backends with fused kernels enabled take the single-node
+    :func:`fused_layer_norm` path; the reference backend keeps the composed
+    autograd expression, which is bit-identical to the historical
+    implementation.
+    """
+    if get_backend().fused:
+        return fused_layer_norm(x, gamma, beta, eps=eps)
     mean = x.mean(axis=-1, keepdims=True)
     centred = x - mean
     var = (centred * centred).mean(axis=-1, keepdims=True)
@@ -85,12 +94,78 @@ def layer_norm(x: Tensor, gamma: Tensor, beta: Tensor, eps: float = 1e-5) -> Ten
     return centred * inv_std * gamma + beta
 
 
+def fused_layer_norm(x: Tensor, gamma: Tensor, beta: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer norm as one autograd node backed by the active backend's kernel."""
+    backend = get_backend()
+    out_data, cache = backend.layer_norm(x.data, gamma.data, beta.data, eps)
+    requires_grad = x.requires_grad or gamma.requires_grad or beta.requires_grad
+    out = Tensor(out_data, requires_grad=requires_grad, _prev=(x, gamma, beta))
+
+    def _backward() -> None:
+        if out.grad is None:
+            return
+        dx, dgamma, dbeta = backend.layer_norm_backward(out.grad, cache)
+        x._accumulate(dx)
+        gamma._accumulate(dgamma)
+        beta._accumulate(dbeta)
+
+    out._backward = _backward
+    return out
+
+
+def fused_linear(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    activation: Optional[str] = None,
+) -> Tensor:
+    """``activation(x @ weight + bias)`` as one autograd node.
+
+    Collapses what would be two to four graph nodes (matmul, broadcast add,
+    nonlinearity) into a single node whose forward and backward run entirely
+    inside the backend kernel — no intermediate ``Tensor`` allocations.
+    """
+    backend = get_backend()
+    out_data, cache = backend.linear(
+        x.data, weight.data, None if bias is None else bias.data, activation
+    )
+    requires_grad = (
+        x.requires_grad
+        or weight.requires_grad
+        or (bias is not None and bias.requires_grad)
+    )
+    prev = (x, weight) if bias is None else (x, weight, bias)
+    out = Tensor(out_data, requires_grad=requires_grad, _prev=prev)
+
+    def _backward() -> None:
+        if out.grad is None:
+            return
+        dx, dweight, dbias = backend.linear_backward(out.grad, cache)
+        x._accumulate(dx)
+        weight._accumulate(dweight)
+        if bias is not None and dbias is not None:
+            bias._accumulate(dbias)
+
+    out._backward = _backward
+    return out
+
+
 def dropout_mask(shape: Sequence[int], rate: float, rng: Optional[np.random.Generator] = None) -> np.ndarray:
-    """Return an inverted-dropout mask (scaled keep mask)."""
+    """Return an inverted-dropout mask (scaled keep mask).
+
+    ``rng`` is required whenever dropout is active: an unseeded fallback here
+    would let a training path go silently nondeterministic, breaking the
+    repo's bit-exact resume guarantees.
+    """
+    dtype = get_backend().compute_dtype
     if rate <= 0.0:
-        return np.ones(shape)
-    rng = rng or np.random.default_rng()
-    keep = (rng.random(shape) >= rate).astype(np.float64)
+        return np.ones(shape, dtype=dtype)
+    if rng is None:
+        raise ValueError(
+            "dropout_mask requires an explicit rng when rate > 0; pass the "
+            "module's seeded generator (see nn.layers.Dropout)"
+        )
+    keep = (rng.random(shape) >= rate).astype(dtype)
     return keep / max(1.0 - rate, 1e-8)
 
 

@@ -14,7 +14,8 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from . import init
-from .functional import dropout_mask, layer_norm
+from .backend import get_backend
+from .functional import dropout_mask, fused_linear, layer_norm
 from .tensor import Tensor, embedding_lookup
 
 
@@ -85,7 +86,7 @@ class Module:
         if missing:
             raise KeyError(f"state dict is missing parameters: {sorted(missing)}")
         for name, param in own.items():
-            value = np.asarray(state[name], dtype=np.float64)
+            value = np.asarray(state[name], dtype=param.data.dtype)
             if value.shape != param.data.shape:
                 raise ValueError(
                     f"shape mismatch for {name}: expected {param.data.shape}, got {value.shape}"
@@ -115,6 +116,8 @@ class Linear(Module):
             self.bias = self.register_parameter("bias", Tensor(np.zeros(out_features)))
 
     def forward(self, x: Tensor) -> Tensor:
+        if get_backend().fused:
+            return fused_linear(x, self.weight, self.bias if self.use_bias else None)
         out = x @ self.weight
         if self.use_bias:
             out = out + self.bias
@@ -185,6 +188,9 @@ class Tanh(Module):
         return x.tanh()
 
 
+_FUSABLE_ACTIVATIONS: Dict[type, str] = {GELU: "gelu", ReLU: "relu", Tanh: "tanh"}
+
+
 class Sequential(Module):
     """Chain of modules applied in order."""
 
@@ -202,8 +208,36 @@ class Sequential(Module):
         return len(self._ordered)
 
     def forward(self, x):
+        if get_backend().fused:
+            return self._forward_fused(x)
         for module in self._ordered:
             x = module(x)
+        return x
+
+    def _forward_fused(self, x):
+        """Fuse adjacent ``Linear`` + activation pairs into single kernels.
+
+        This is what makes FeedForward's ``Linear → GELU`` and the MLP heads'
+        ``Linear → ReLU`` run as one backend call each instead of building
+        matmul/add/activation graph nodes separately.
+        """
+        ordered = self._ordered
+        i = 0
+        while i < len(ordered):
+            module = ordered[i]
+            nxt = ordered[i + 1] if i + 1 < len(ordered) else None
+            if isinstance(module, Linear) and isinstance(nxt, (GELU, ReLU, Tanh)):
+                activation = _FUSABLE_ACTIVATIONS[type(nxt)]
+                x = fused_linear(
+                    x,
+                    module.weight,
+                    module.bias if module.use_bias else None,
+                    activation=activation,
+                )
+                i += 2
+            else:
+                x = module(x)
+                i += 1
         return x
 
 

@@ -17,6 +17,25 @@ import numpy as np
 from .tensor import Tensor
 
 
+def _master(x: np.ndarray) -> np.ndarray:
+    """View/copy of ``x`` in float64 — the master dtype for update math.
+
+    Optimiser arithmetic always runs in float64 regardless of the active
+    backend: moment buffers and parameter updates are where float32 rounding
+    would otherwise accumulate step over step.  For float64 inputs this is a
+    no-op (same array), keeping the reference backend bit-identical.
+    """
+    return np.asarray(x, dtype=np.float64)
+
+
+def _commit(param: Tensor, updated: np.ndarray) -> None:
+    """Store a float64-computed update back at the parameter's own dtype."""
+    if updated.dtype == param.data.dtype:
+        param.data = updated
+    else:
+        param.data = updated.astype(param.data.dtype)
+
+
 class Optimizer:
     """Base class tracking a parameter list."""
 
@@ -56,7 +75,7 @@ def global_grad_norm(parameters: Iterable[Tensor]) -> float:
     total = 0.0
     for param in parameters:
         if param.grad is not None:
-            total += float(np.sum(param.grad * param.grad))
+            total += float(np.sum(param.grad * param.grad, dtype=np.float64))
     return float(np.sqrt(total))
 
 
@@ -88,19 +107,20 @@ class SGD(Optimizer):
         super().__init__(parameters, lr)
         self.momentum = momentum
         self.weight_decay = weight_decay
-        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+        # Velocity buffers are float64 master state even under float32 backends.
+        self._velocity = [np.zeros_like(p.data, dtype=np.float64) for p in self.parameters]
 
     def step(self) -> None:
         for i, param in enumerate(self.parameters):
             if param.grad is None:
                 continue
-            grad = param.grad
+            grad = _master(param.grad)
             if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
+                grad = grad + self.weight_decay * _master(param.data)
             if self.momentum:
                 self._velocity[i] = self.momentum * self._velocity[i] + grad
                 grad = self._velocity[i]
-            param.data = param.data - self.lr * grad
+            _commit(param, _master(param.data) - self.lr * grad)
 
     def state_dict(self) -> Dict[str, object]:
         state = super().state_dict()
@@ -131,8 +151,9 @@ class Adam(Optimizer):
         self.eps = eps
         self.weight_decay = weight_decay
         self.grad_clip = grad_clip
-        self._m = [np.zeros_like(p.data) for p in self.parameters]
-        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        # Moment buffers are float64 master state even under float32 backends.
+        self._m = [np.zeros_like(p.data, dtype=np.float64) for p in self.parameters]
+        self._v = [np.zeros_like(p.data, dtype=np.float64) for p in self.parameters]
         self._t = 0
 
     def step(self) -> None:
@@ -140,18 +161,19 @@ class Adam(Optimizer):
         for i, param in enumerate(self.parameters):
             if param.grad is None:
                 continue
-            grad = param.grad
+            grad = _master(param.grad)
             if self.grad_clip is not None:
                 norm = np.linalg.norm(grad)
                 if norm > self.grad_clip:
                     grad = grad * (self.grad_clip / (norm + 1e-12))
+            data = _master(param.data)
             if self.weight_decay:
-                param.data = param.data * (1.0 - self.lr * self.weight_decay)
+                data = data * (1.0 - self.lr * self.weight_decay)
             self._m[i] = self.beta1 * self._m[i] + (1 - self.beta1) * grad
             self._v[i] = self.beta2 * self._v[i] + (1 - self.beta2) * grad * grad
             m_hat = self._m[i] / (1 - self.beta1 ** self._t)
             v_hat = self._v[i] / (1 - self.beta2 ** self._t)
-            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            _commit(param, data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps))
 
     def state_dict(self) -> Dict[str, object]:
         state = super().state_dict()

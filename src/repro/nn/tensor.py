@@ -18,10 +18,14 @@ from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .backend import get_backend
+
 ArrayLike = Union[np.ndarray, float, int, Sequence[float], Sequence[Sequence[float]]]
 
 
-def _as_array(data: ArrayLike, dtype=np.float64) -> np.ndarray:
+def _as_array(data: ArrayLike, dtype=None) -> np.ndarray:
+    if dtype is None:
+        dtype = get_backend().compute_dtype
     if isinstance(data, np.ndarray):
         if data.dtype != dtype:
             return data.astype(dtype)
@@ -50,7 +54,8 @@ class Tensor:
     Parameters
     ----------
     data:
-        Array contents; converted to ``float64``.
+        Array contents; converted to the active backend's compute dtype
+        (``float64`` for the default ``reference`` backend).
     requires_grad:
         Whether gradients should be accumulated for this tensor.
     """
@@ -149,7 +154,7 @@ class Tensor:
                 raise ValueError("backward() without a gradient requires a scalar tensor")
             grad = np.ones_like(self.data)
         else:
-            grad = _as_array(grad)
+            grad = _as_array(grad, dtype=self.data.dtype)
 
         # Iterative topological sort to avoid recursion limits on deep graphs.
         topo: list[Tensor] = []
@@ -254,7 +259,7 @@ class Tensor:
         return self.pow(0.5)
 
     def exp(self) -> "Tensor":
-        out_data = np.exp(self.data)
+        out_data = get_backend().exp(self.data)
         out = Tensor(out_data, requires_grad=self.requires_grad, _prev=(self,))
 
         def _backward() -> None:
@@ -280,8 +285,8 @@ class Tensor:
     # Nonlinearities
     # ------------------------------------------------------------------
     def relu(self) -> "Tensor":
-        mask = (self.data > 0).astype(self.data.dtype)
-        out = Tensor(self.data * mask, requires_grad=self.requires_grad, _prev=(self,))
+        out_data, mask = get_backend().relu(self.data)
+        out = Tensor(out_data, requires_grad=self.requires_grad, _prev=(self,))
 
         def _backward() -> None:
             if out.grad is None:
@@ -292,7 +297,7 @@ class Tensor:
         return out
 
     def tanh(self) -> "Tensor":
-        out_data = np.tanh(self.data)
+        out_data = get_backend().tanh(self.data)
         out = Tensor(out_data, requires_grad=self.requires_grad, _prev=(self,))
 
         def _backward() -> None:
@@ -304,7 +309,7 @@ class Tensor:
         return out
 
     def sigmoid(self) -> "Tensor":
-        out_data = 1.0 / (1.0 + np.exp(-self.data))
+        out_data = get_backend().sigmoid(self.data)
         out = Tensor(out_data, requires_grad=self.requires_grad, _prev=(self,))
 
         def _backward() -> None:
@@ -317,20 +322,15 @@ class Tensor:
 
     def gelu(self) -> "Tensor":
         """Gaussian error linear unit (tanh approximation)."""
-        c = np.sqrt(2.0 / np.pi)
+        backend = get_backend()
         x = self.data
-        inner = c * (x + 0.044715 * x ** 3)
-        tanh_inner = np.tanh(inner)
-        out_data = 0.5 * x * (1.0 + tanh_inner)
+        out_data, tanh_inner = backend.gelu(x)
         out = Tensor(out_data, requires_grad=self.requires_grad, _prev=(self,))
 
         def _backward() -> None:
             if out.grad is None:
                 return
-            sech2 = 1.0 - tanh_inner ** 2
-            d_inner = c * (1.0 + 3 * 0.044715 * x ** 2)
-            grad_local = 0.5 * (1.0 + tanh_inner) + 0.5 * x * sech2 * d_inner
-            self._accumulate(out.grad * grad_local)
+            self._accumulate(backend.gelu_backward(out.grad, x, tanh_inner))
 
         out._backward = _backward
         return out
@@ -339,7 +339,7 @@ class Tensor:
     # Reductions
     # ------------------------------------------------------------------
     def sum(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
-        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        out_data = get_backend().sum(self.data, axis=axis, keepdims=keepdims)
         out = Tensor(out_data, requires_grad=self.requires_grad, _prev=(self,))
 
         def _backward() -> None:
@@ -435,7 +435,7 @@ class Tensor:
     def matmul(self, other: "Tensor") -> "Tensor":
         other = other if isinstance(other, Tensor) else Tensor(other)
         out = Tensor(
-            self.data @ other.data,
+            get_backend().matmul(self.data, other.data),
             requires_grad=self.requires_grad or other.requires_grad,
             _prev=(self, other),
         )
@@ -471,32 +471,27 @@ class Tensor:
     # Softmax-family helpers (fused for numerical stability)
     # ------------------------------------------------------------------
     def softmax(self, axis: int = -1) -> "Tensor":
-        shifted = self.data - self.data.max(axis=axis, keepdims=True)
-        exp = np.exp(shifted)
-        out_data = exp / exp.sum(axis=axis, keepdims=True)
+        backend = get_backend()
+        out_data = backend.softmax(self.data, axis=axis)
         out = Tensor(out_data, requires_grad=self.requires_grad, _prev=(self,))
 
         def _backward() -> None:
             if out.grad is None:
                 return
-            dot = (out.grad * out_data).sum(axis=axis, keepdims=True)
-            self._accumulate(out_data * (out.grad - dot))
+            self._accumulate(backend.softmax_backward(out.grad, out_data, axis=axis))
 
         out._backward = _backward
         return out
 
     def log_softmax(self, axis: int = -1) -> "Tensor":
-        shifted = self.data - self.data.max(axis=axis, keepdims=True)
-        logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
-        out_data = shifted - logsumexp
+        backend = get_backend()
+        out_data = backend.log_softmax(self.data, axis=axis)
         out = Tensor(out_data, requires_grad=self.requires_grad, _prev=(self,))
 
         def _backward() -> None:
             if out.grad is None:
                 return
-            softmax = np.exp(out_data)
-            grad_sum = out.grad.sum(axis=axis, keepdims=True)
-            self._accumulate(out.grad - softmax * grad_sum)
+            self._accumulate(backend.log_softmax_backward(out.grad, out_data, axis=axis))
 
         out._backward = _backward
         return out

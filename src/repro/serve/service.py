@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..netlist import extract_register_cones
+from ..nn import use_backend
 from .index import EmbeddingIndex
 from .scheduler import BatchScheduler
 from .search import IVFSearcher, SearchHit, exact_topk
@@ -109,11 +110,16 @@ class NetTAGService:
         max_latency_ms: float = 10.0,
         searcher: Optional[IVFSearcher] = None,
         crossmodal: Optional["CrossModalEncoder"] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self.model = model
         self.index = index
         self.searcher = searcher
         self.crossmodal = crossmodal
+        # Numeric backend for service-side encodes ("reference", "fast", ...).
+        # None inherits the process default; a model whose config pins its own
+        # backend still wins (its scope nests inside this one).
+        self.backend = backend
         # One fitted approximate searcher per target kind (modality); the
         # last-fitted one is mirrored on ``self.searcher`` for inspection.
         self._searchers: Dict[Optional[str], IVFSearcher] = (
@@ -202,7 +208,7 @@ class NetTAGService:
         # retrieval request of the flush, whatever modality produced it.
         specs: List[Tuple[int, np.ndarray, int, Optional[str], Tuple[str, ...]]] = []
         encode_positions = cone_positions + query_positions
-        with self._lock:
+        with self._lock, use_backend(self.backend):
             if encode_positions:
                 plain = set(cone_positions)
                 embeddings = self.model.encode_batch(
@@ -333,7 +339,7 @@ class NetTAGService:
         single ingest convention, also used by ``NetTAGPipeline.build_index``).
         """
         index = self._require_index()
-        with self._lock:
+        with self._lock, use_backend(self.backend):
             rows = encode_index_rows(self.model, netlists)
             if rows:
                 keys, kinds, vectors = zip(*rows)
@@ -347,7 +353,7 @@ class NetTAGService:
     ) -> int:
         """Encode register cones (one batched pass) and index them."""
         index = self._require_index()
-        with self._lock:
+        with self._lock, use_backend(self.backend):
             vectors = self.model.encode_batch(list(cones))
             for cone, vector in zip(cones, vectors):
                 index.add(

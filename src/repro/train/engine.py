@@ -259,6 +259,9 @@ class TrainerConfig:
     # any num_workers <= world_size trains bit-identically.
     num_workers: int = 0
     world_size: int = 0
+    # Numeric backend for the whole run ("reference", "fast", ...); None
+    # inherits the process-wide active backend (REPRO_BACKEND / set_backend).
+    backend: Optional[str] = None
 
 
 class Trainer:
@@ -504,7 +507,14 @@ class Trainer:
         With ``num_workers >= 1`` the sliced data-parallel engine runs the
         step (see :mod:`repro.train.parallel`); the worker pool (if any) lives
         for the duration of this call.
+
+        The entire run — forwards, backwards and optimiser commits — executes
+        under ``config.backend`` (``None`` inherits the active backend).
         """
+        with nn.use_backend(self.config.backend):
+            return self._run(resume)
+
+    def _run(self, resume: bool) -> TrainResult:
         config = self.config
         parallel = config.num_workers >= 1
         rng = np.random.default_rng(config.seed)

@@ -12,7 +12,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.nn import Tensor
+from repro.nn import Tensor, use_backend
 
 
 def numerical_gradient(
@@ -46,30 +46,35 @@ def gradcheck(
     Every input gets ``requires_grad=True``; the autograd gradient of the
     scalar output with respect to each input is compared against central
     finite differences (all other inputs held fixed).
+
+    The check runs under the ``reference`` kernel backend regardless of the
+    process-wide setting: central differences at ``eps=1e-6`` are meaningless
+    in float32, and gradcheck's contract is the float64 semantics.
     """
-    arrays = [np.asarray(x, dtype=np.float64).copy() for x in inputs]
-    tensors = [Tensor(a.copy(), requires_grad=True) for a in arrays]
-    out = fn(*tensors)
-    if out.size != 1:
-        raise ValueError("gradcheck requires a scalar-valued function")
-    out.backward()
+    with use_backend("reference"):
+        arrays = [np.asarray(x, dtype=np.float64).copy() for x in inputs]
+        tensors = [Tensor(a.copy(), requires_grad=True) for a in arrays]
+        out = fn(*tensors)
+        if out.size != 1:
+            raise ValueError("gradcheck requires a scalar-valued function")
+        out.backward()
 
-    for position, tensor in enumerate(tensors):
-        assert tensor.grad is not None, f"no gradient reached input {position}"
+        for position, tensor in enumerate(tensors):
+            assert tensor.grad is not None, f"no gradient reached input {position}"
 
-        def scalar(perturbed: np.ndarray, position: int = position) -> float:
-            probe = [
-                Tensor(perturbed if i == position else a)
-                for i, a in enumerate(arrays)
-            ]
-            value = fn(*probe)
-            return float(value.data.reshape(-1)[0])
+            def scalar(perturbed: np.ndarray, position: int = position) -> float:
+                probe = [
+                    Tensor(perturbed if i == position else a)
+                    for i, a in enumerate(arrays)
+                ]
+                value = fn(*probe)
+                return float(value.data.reshape(-1)[0])
 
-        numeric = numerical_gradient(scalar, arrays[position], eps=eps)
-        np.testing.assert_allclose(
-            tensor.grad,
-            numeric,
-            atol=atol,
-            rtol=rtol,
-            err_msg=f"analytic/numeric gradient mismatch for input {position}",
-        )
+            numeric = numerical_gradient(scalar, arrays[position], eps=eps)
+            np.testing.assert_allclose(
+                tensor.grad,
+                numeric,
+                atol=atol,
+                rtol=rtol,
+                err_msg=f"analytic/numeric gradient mismatch for input {position}",
+            )

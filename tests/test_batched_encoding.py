@@ -24,8 +24,17 @@ from repro.netlist import (
     extract_register_cones,
     netlist_to_tag,
 )
-from repro.nn import Tensor
+from repro.nn import Tensor, get_backend
 from repro.rtl import make_controller
+
+# Batched-vs-sequential parity tolerance: the packed engine is equal to the
+# per-cone path to 1e-8 under the float64 reference backend; under a float32
+# backend the same algebra holds to float32 rounding (the tighter 1e-5
+# normwise bound is enforced end-to-end by test_backend_parity.py).
+if get_backend().compute_dtype == np.float64:
+    PARITY_TOL = dict(atol=1e-8)
+else:
+    PARITY_TOL = dict(atol=1e-5, rtol=1e-4)
 
 
 # ----------------------------------------------------------------------
@@ -128,13 +137,13 @@ class TestBatchedSequentialParity:
         sizes = {cone.netlist.num_gates for cone in cones}
         assert len(sizes) > 1, "parity workload should mix cone sizes"
         for want, got in zip(sequential, batched):
-            np.testing.assert_allclose(got, want, atol=1e-8)
+            np.testing.assert_allclose(got, want, **PARITY_TOL)
 
     def test_single_cone_batch(self, small_model, cones):
         want = small_model.encode_cone(cones[0])
         got = small_model.encode_batch([cones[0]])
         assert len(got) == 1
-        np.testing.assert_allclose(got[0], want, atol=1e-8)
+        np.testing.assert_allclose(got[0], want, **PARITY_TOL)
 
     def test_empty_batch(self, small_model):
         assert small_model.encode_batch([]) == []
@@ -153,20 +162,20 @@ class TestBatchedSequentialParity:
         whole = small_model.encode_batch(cones, tags=tags)
         chunked = small_model.encode_batch(cones, tags=tags, max_nodes_per_chunk=4)
         for want, got in zip(whole, chunked):
-            np.testing.assert_allclose(got, want, atol=1e-8)
+            np.testing.assert_allclose(got, want, **PARITY_TOL)
 
     def test_encode_tags_batch_matches_multigrained(self, small_model, comb_netlist):
         tag = small_model.build_tag(comb_netlist)
         want_gates, want_graph = small_model.encode_tag_multigrained(tag)
         (got_gates, got_graph), = small_model.encode_tags_batch([tag])
-        np.testing.assert_allclose(got_gates, want_gates, atol=1e-8)
-        np.testing.assert_allclose(got_graph, want_graph, atol=1e-8)
+        np.testing.assert_allclose(got_gates, want_gates, **PARITY_TOL)
+        np.testing.assert_allclose(got_graph, want_graph, **PARITY_TOL)
 
     def test_embed_cones_uses_batched_engine(self, small_model, cones):
         table = small_model.embed_cones(cones)
         for cone in cones:
             np.testing.assert_allclose(
-                table[cone.register_name], small_model.encode_cone(cone), atol=1e-8
+                table[cone.register_name], small_model.encode_cone(cone), **PARITY_TOL
             )
 
     def test_tag_count_mismatch_rejected(self, small_model, cones):

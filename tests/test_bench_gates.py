@@ -7,6 +7,7 @@ import pytest
 
 from repro.bench.throughput import check_regression, run_parity_check
 from repro.core import NetTAG, NetTAGConfig
+from repro.nn import get_backend
 from repro.netlist import extract_register_cones
 from repro.rtl import make_controller
 from repro.synth import synthesize
@@ -46,7 +47,10 @@ class TestRunParityCheck:
         netlist = synthesize(make_controller("parity", seed=13, num_states=3)).netlist
         cones = extract_register_cones(netlist)[:4]
         max_diff = run_parity_check(model, cones)
-        assert max_diff <= 1e-8
+        # 1e-8 under the float64 reference backend; float32 compute holds the
+        # same algebra to float32 rounding.
+        limit = 1e-8 if get_backend().compute_dtype == np.float64 else 1e-5
+        assert max_diff <= limit
 
     def test_parity_failure_raises(self):
         model = NetTAG(NetTAGConfig.fast(), rng=np.random.default_rng(3))

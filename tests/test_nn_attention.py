@@ -56,7 +56,17 @@ class TestMultiHeadAttention:
 
 
 class TestPairwiseAttentionMask:
-    """The block-diagonal attn_mask that powers packed multi-graph batches."""
+    """The block-diagonal attn_mask that powers packed multi-graph batches.
+
+    These are exact cross-path equalities (packed forward vs separate
+    forwards at 1e-10), stated against the float64 reference backend; the
+    float32 fast backend's parity bounds live in test_backend_parity.py.
+    """
+
+    @pytest.fixture(scope="class", autouse=True)
+    def _reference_backend(self):
+        with nn.use_backend("reference"):
+            yield
 
     def _block_mask(self, sizes):
         segments = np.repeat(np.arange(len(sizes)), sizes)

@@ -11,6 +11,16 @@ from repro import nn
 from repro.nn import Tensor
 
 
+@pytest.fixture(scope="module", autouse=True)
+def _reference_backend():
+    """This module states the engine's float64 reference semantics (central
+    differences at eps=1e-6 and 1e-8-level path comparisons are meaningless
+    in float32); the fast backend has its own suite in
+    test_backend_parity.py."""
+    with nn.use_backend("reference"):
+        yield
+
+
 def numerical_gradient(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
     """Central-difference gradient of a scalar function of an array."""
     grad = np.zeros_like(x)

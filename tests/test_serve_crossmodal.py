@@ -28,6 +28,18 @@ from repro.serve import (
 )
 
 
+@pytest.fixture(scope="module", autouse=True)
+def _reference_backend():
+    """Sidecar round-trips assert 1e-9-level equality between saved and
+    reloaded projections applied to freshly encoded queries — a float64
+    reference-backend contract (float64 projection coefficients applied to
+    float32 re-encodes round differently at the 1e-7 level)."""
+    from repro.nn import use_backend
+
+    with use_backend("reference"):
+        yield
+
+
 @pytest.fixture(scope="module")
 def mm_pipeline():
     """A pipeline preprocessed on two small controllers (alignment data on)."""
