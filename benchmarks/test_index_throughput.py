@@ -22,6 +22,7 @@ import pytest
 
 from repro.bench.index_throughput import (
     build_index_corpus,
+    build_scale_corpus,
     run_index_bench,
     save_index_report,
 )
@@ -80,3 +81,38 @@ class TestIndexServingBench:
         assert speedup >= REQUIRED_SPEEDUP
         # The scheduler really batched (otherwise the speedup is accidental).
         assert report["scheduler"]["mean_batch_size"] > 1.0
+
+
+class TestHNSWGuard:
+    """Small always-on guard for the corpus-scale HNSW path.
+
+    Recall-only on a deliberately small clustered corpus — no wall-clock
+    gates here (single-core CI makes latency assertions flaky); the full
+    100k-vector recall/latency/QPS gates live in the scheduled
+    ``scripts/bench_index.py --scale`` run.
+    """
+
+    def test_hnsw_beats_recall_floor_and_ivf_on_clustered_corpus(self, tmp_path):
+        from repro.serve import (
+            EmbeddingIndex,
+            HNSWSearcher,
+            IVFSearcher,
+            exact_topk,
+            recall_at_k,
+        )
+
+        corpus = build_scale_corpus(3000, 32, clusters=256, seed=5, noise=0.9)
+        queries = build_scale_corpus(40, 32, clusters=256, seed=6, noise=0.9)
+        index = EmbeddingIndex.create(tmp_path / "guard", dim=32, shard_size=1024)
+        index.add([f"v{i}" for i in range(len(corpus))], corpus)
+        exact = exact_topk(index, queries, k=10)
+
+        hnsw = HNSWSearcher(M=12, ef_construction=64, ef_search=48, seed=0).fit(index)
+        hnsw_recall = recall_at_k(exact, hnsw.search(queries, k=10), k=10)
+        ivf = IVFSearcher(num_centroids=48, nprobe=4, seed=0).fit(index)
+        ivf_recall = recall_at_k(exact, ivf.search(queries, k=10), k=10)
+
+        assert hnsw_recall >= 0.95, f"HNSW recall@10 {hnsw_recall} below floor"
+        assert hnsw_recall >= ivf_recall - 0.02, (
+            f"HNSW recall {hnsw_recall} should match/beat IVF nprobe=4 {ivf_recall}"
+        )

@@ -5,12 +5,23 @@ Usage::
 
     PYTHONPATH=src python scripts/bench_index.py [--cones N] [--queries Q]
         [--threads T] [--seed S] [--output PATH]
+        [--scale] [--scale-vectors N] [--baseline PATH] [--max-regression F]
 
 Builds a register-cone corpus, indexes it through ``repro.serve``, and
 measures round-trip exactness, IVF recall@10 vs exact search, and the
 latency of concurrent micro-batched serving against sequential per-query
-encoding.  Exits non-zero when a quality gate fails (exact round trip,
-ranking parity, recall ≥ 0.9), so CI can gate on it.
+encoding.  With ``--scale`` it also runs the corpus-scale serving-tier
+benchmark (``hnsw_scale`` section): HNSW vs IVF recall/latency on a
+100k-vector clustered corpus plus sustained QPS through the
+generation-pinned snapshot read path under concurrent ingest.
+
+Exits non-zero when a quality gate fails, so CI can gate on it:
+
+* exact round trip, ranking parity, IVF recall ≥ 0.9 (500-cone corpus);
+* with ``--scale``: HNSW recall@10 ≥ 0.95, HNSW per-query latency ≤ the
+  recall-matched IVF configuration's, sustained QPS > 0 under ingest, and
+  (with ``--baseline``) no metric regressing more than ``--max-regression``
+  against the committed ``BENCH_index.json``.
 """
 
 from __future__ import annotations
@@ -28,9 +39,44 @@ import numpy as np  # noqa: E402
 from repro.bench.index_throughput import (  # noqa: E402
     build_index_corpus,
     run_index_bench,
+    run_index_scale_bench,
     save_index_report,
 )
 from repro.core import NetTAG, NetTAGConfig  # noqa: E402
+
+
+def _scale_gates(report: dict, baseline: dict, max_regression: float) -> list:
+    """Quality + regression gates for the ``hnsw_scale`` section."""
+    failures = []
+    hnsw = report["hnsw"]
+    chosen = report["ivf"]["chosen"]
+    qps = report["sustained_qps_under_ingest"]
+    if hnsw["recall_at_k"] < 0.95:
+        failures.append(f"HNSW recall@10 {hnsw['recall_at_k']} < 0.95")
+    if hnsw["per_query_ms"] > chosen["per_query_ms"]:
+        failures.append(
+            f"HNSW per-query {hnsw['per_query_ms']}ms slower than the "
+            f"recall-matched IVF config (nprobe={chosen['nprobe']}, "
+            f"{chosen['per_query_ms']}ms)"
+        )
+    if qps["qps"] <= 0 or qps["rows_ingested"] <= 0:
+        failures.append("sustained-QPS-under-ingest bench made no progress")
+    previous = baseline.get("hnsw_scale") if baseline else None
+    if previous:
+        floor = previous["hnsw"]["recall_at_k"] * (1 - max_regression)
+        if hnsw["recall_at_k"] < floor:
+            failures.append(
+                f"HNSW recall regressed: {hnsw['recall_at_k']} < {floor:.4f} "
+                f"(baseline {previous['hnsw']['recall_at_k']} - {max_regression:.0%})"
+            )
+        qps_floor = previous["sustained_qps_under_ingest"]["qps"] * (1 - max_regression)
+        if qps["qps"] < qps_floor:
+            failures.append(
+                f"sustained QPS regressed: {qps['qps']} < {qps_floor:.1f} "
+                f"(baseline {previous['sustained_qps_under_ingest']['qps']} "
+                f"- {max_regression:.0%})"
+            )
+    return failures
 
 
 def main() -> int:
@@ -41,6 +87,14 @@ def main() -> int:
     parser.add_argument("--seed", type=int, default=7, help="model initialisation seed")
     parser.add_argument("--output", type=Path, default=None,
                         help="report path (default: BENCH_index.json at the repo root)")
+    parser.add_argument("--scale", action="store_true",
+                        help="also run the corpus-scale HNSW/IVF/QPS benchmark")
+    parser.add_argument("--scale-vectors", type=int, default=100_000,
+                        help="corpus size for the --scale benchmark")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="committed BENCH_index.json to regression-check --scale against")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="allowed fractional regression vs the baseline")
     args = parser.parse_args()
 
     model = NetTAG(NetTAGConfig.fast(), rng=np.random.default_rng(args.seed))
@@ -48,9 +102,6 @@ def main() -> int:
     report = run_index_bench(
         model=model, cones=cones, num_queries=args.queries, num_threads=args.threads
     )
-    path = save_index_report(report, path=args.output)
-    print(json.dumps(report, indent=2))
-    print(f"\nwrote {path}")
 
     failures = []
     if not report["quality"]["round_trip_exact"]:
@@ -61,6 +112,19 @@ def main() -> int:
         failures.append(
             f"IVF recall@10 {report['quality']['ivf_recall_at_10']} < 0.9"
         )
+
+    if args.scale:
+        baseline = {}
+        if args.baseline is not None and args.baseline.exists():
+            baseline = json.loads(args.baseline.read_text())
+        scale_report = run_index_scale_bench(num_vectors=args.scale_vectors)
+        report["hnsw_scale"] = scale_report
+        failures.extend(_scale_gates(scale_report, baseline, args.max_regression))
+
+    path = save_index_report(report, path=args.output)
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {path}")
+
     if failures:
         for failure in failures:
             print(f"QUALITY GATE FAILED: {failure}", file=sys.stderr)

@@ -28,7 +28,9 @@ Three subcommands cover the typical workflow of a downstream user:
     side exists), ``index add`` appends to an existing one, ``index query``
     retrieves the top-k nearest entries for a query in any modality
     (``--from rtl --to cone`` finds the register cones implementing an RTL
-    snippet), and ``index stats`` prints occupancy and provenance.
+    snippet; ``--searcher exact|ivf|hnsw`` picks the retrieval algorithm),
+    ``index compact`` rewrites live rows into dense shards, and
+    ``index stats`` prints occupancy and provenance.
 
 Run ``python -m repro --help`` for details.
 """
@@ -154,7 +156,15 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--cones", action="store_true",
                        help="shorthand for --from cone --to cone")
     query.add_argument("--approx", action="store_true",
-                       help="use the IVF approximate searcher instead of exact search")
+                       help="shorthand for --searcher ivf")
+    query.add_argument("--searcher", default=None, choices=("exact", "ivf", "hnsw"),
+                       help="retrieval algorithm: exact brute-force scan (default), "
+                            "IVF cells, or an HNSW proximity graph")
+
+    compact = index_sub.add_parser(
+        "compact", help="rewrite live rows into dense shards and drop tombstones"
+    )
+    add_common(compact, checkpoint=False)
 
     istats = index_sub.add_parser("stats", help="print index occupancy and provenance")
     add_common(istats, checkpoint=False)
@@ -270,6 +280,13 @@ def _run_index(args: argparse.Namespace) -> int:
             print(f"  kind {kind:<9} {count}")
         for name, value in sorted(stats["fingerprints"].items()):
             print(f"  fingerprint {name} = {value}")
+        return 0
+
+    if args.index_command == "compact":
+        index = EmbeddingIndex.open(args.index)
+        result = index.compact()
+        print(f"compacted {args.index}: {result['rows_before']} rows -> "
+              f"{result['rows_after']} ({result['tombstones_dropped']} tombstones dropped)")
         return 0
 
     from .core import NetTAG
@@ -451,11 +468,15 @@ def _run_index_query(args: argparse.Namespace, model) -> int:
                     for cone in cones
                 ]
 
+    algorithm = args.searcher or ("ivf" if args.approx else "exact")
     index = NetTAGService.open_index(model, args.index)
     with NetTAGService(model, index=index, crossmodal=crossmodal) as service:
+        if algorithm != "exact":
+            service.fit_searcher(kind=to_kind, algorithm=algorithm)
         for label, item in queries:
             hits = service.query_modal(
-                item, from_kind, to_kind=to_kind, k=args.k, approximate=args.approx
+                item, from_kind, to_kind=to_kind, k=args.k,
+                approximate=algorithm != "exact",
             )
             print(f"{label}: top-{args.k} {to_kind} entries (from {from_kind})")
             for hit in hits:

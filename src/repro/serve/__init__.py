@@ -11,7 +11,12 @@
 * :class:`CrossModalEncoder` / :class:`ModalityProjection` — RTL and layout
   modalities projected into the shared index space, so a query in any
   modality retrieves matches in any other (``repro.serve.crossmodal``),
-* :class:`NetTAGService` — the facade combining all of the above.
+* :class:`NetTAGService` — the facade combining all of the above, with
+  lock-free reads on generation-pinned :class:`ReadSnapshot` views and
+  zero-downtime index/model hot-swap (``repro.serve.snapshot``),
+* :class:`AsyncFrontend` — asyncio admission control (bounded per-kind
+  queues, reject-with-retry-after backpressure, per-request deadlines,
+  graceful drain) in front of one service (``repro.serve.frontend``).
 """
 
 from .crossmodal import (
@@ -26,9 +31,17 @@ from .crossmodal import (
     encoder_fingerprint,
     items_from_netlists,
 )
+from .frontend import (
+    DEFAULT_LIMITS,
+    AdmissionError,
+    AsyncFrontend,
+    DeadlineExceeded,
+    FrontendClosed,
+)
 from .index import EmbeddingIndex, IndexFormatError
 from .scheduler import BatchScheduler, SchedulerClosed
-from .search import IVFSearcher, SearchHit, exact_topk, recall_at_k
+from .search import HNSWSearcher, IVFSearcher, SearchHit, exact_topk, recall_at_k
+from .snapshot import ReadSnapshot, SnapshotManager
 from .service import (
     CIRCUIT_KIND,
     CONE_KIND,
@@ -45,9 +58,17 @@ __all__ = [
     "BatchScheduler",
     "SchedulerClosed",
     "IVFSearcher",
+    "HNSWSearcher",
     "SearchHit",
     "exact_topk",
     "recall_at_k",
+    "ReadSnapshot",
+    "SnapshotManager",
+    "AsyncFrontend",
+    "AdmissionError",
+    "DeadlineExceeded",
+    "FrontendClosed",
+    "DEFAULT_LIMITS",
     "NetTAGService",
     "CIRCUIT_KIND",
     "CONE_KIND",

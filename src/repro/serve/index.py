@@ -586,10 +586,34 @@ class EmbeddingIndex:
         assert self._search_cache is not None
         return self._search_cache[2]
 
+    def snapshot(self) -> "ReadSnapshot":
+        """An immutable generation-pinned view for lock-free readers.
+
+        Sealed shards contribute their memory-mapped payloads directly (the
+        mapping stays valid while the snapshot is pinned — compaction defers
+        unlinking via :class:`repro.serve.snapshot.SnapshotManager`); the
+        pending tail is materialised as a copy so later ``add`` calls cannot
+        leak into the view.  The snapshot duck-types the read surface of this
+        class (``dim``/``generation``/``iter_segments``/``search_metadata``/
+        ``live_row_map``), so :func:`repro.serve.search.exact_topk` and the
+        searchers' ``fit``/``sync`` run on it unchanged.
+        """
+        from .snapshot import ReadSnapshot
+
+        metadata = self.search_metadata()
+        segments = list(self.iter_segments())
+        return ReadSnapshot(
+            dim=self.dim,
+            generation=self._generation,
+            segments=segments,
+            metadata=metadata,
+            live_map=self.live_row_map(),
+        )
+
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
-    def compact(self) -> Dict[str, int]:
+    def compact(self, unlink_stale: bool = True) -> Dict[str, object]:
         """Rewrite all shards dropping tombstones and superseded duplicates.
 
         Every surviving ``(key, kind)`` entry keeps its *latest* vector; rows
@@ -598,6 +622,12 @@ class EmbeddingIndex:
         them *before* the stale payloads are unlinked, so an interruption at
         any point leaves a readable index (worst case: orphan shard files
         that the next compact removes).  Returns counts of dropped rows.
+
+        With ``unlink_stale=False`` the old payload/meta files are left on
+        disk and their paths returned under ``"stale_paths"`` — callers with
+        pinned readers (``NetTAGService``) unlink them via a snapshot
+        retirement callback once the last reader of the old generation
+        releases, so a memory-mapped payload is never deleted mid-read.
         """
         latest: "Dict[Tuple[str, str], Tuple[str, np.ndarray]]" = {}
         total_rows = sum(1 for _ in self._iter_rows(include_tombstoned=True))
@@ -613,7 +643,7 @@ class EmbeddingIndex:
                     kind,
                     np.asarray(self._pending_rows[r], dtype=np.float64),
                 )
-        dropped = {
+        dropped: Dict[str, object] = {
             "rows_before": total_rows,
             "rows_after": len(latest),
             "tombstones_dropped": len(self._tombstones),
@@ -643,9 +673,16 @@ class EmbeddingIndex:
         self._tombstones = set()
         self._generation += 1
         self._write_manifest()
-        for stale in old_shards:
-            stale.payload_path.unlink(missing_ok=True)
-            stale.meta_path.unlink(missing_ok=True)
+        stale_paths = [
+            path
+            for stale in old_shards
+            for path in (stale.payload_path, stale.meta_path)
+        ]
+        if unlink_stale:
+            for path in stale_paths:
+                path.unlink(missing_ok=True)
+        else:
+            dropped["stale_paths"] = stale_paths
         return dropped
 
     def merge(self, other: "EmbeddingIndex") -> int:

@@ -214,6 +214,17 @@ class BatchScheduler:
         with self._lock:
             return self._closed
 
+    @property
+    def queue_depth(self) -> int:
+        """Number of submitted items not yet handed to ``batch_fn``.
+
+        The admission-control signal: the asyncio front end compares this to
+        its per-kind limits and sheds load (reject-with-retry-after) before
+        the backlog grows unbounded.
+        """
+        with self._lock:
+            return len(self._queue)
+
     def __enter__(self) -> "BatchScheduler":
         return self
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import Future
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -29,7 +29,12 @@ from ..netlist import extract_register_cones
 from ..nn import use_backend
 from .index import EmbeddingIndex
 from .scheduler import BatchScheduler
-from .search import IVFSearcher, SearchHit, exact_topk
+from .search import HNSWSearcher, IVFSearcher, SearchHit, exact_topk
+from .snapshot import ReadSnapshot, SnapshotManager
+
+# Either approximate searcher; both expose fit/search/needs_refit/
+# clone_params/stats over the same (index | snapshot) read surface.
+AnySearcher = Union[IVFSearcher, HNSWSearcher]
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a core<->serve cycle
     from ..core.nettag import CircuitEmbedding, NetTAG
@@ -94,12 +99,16 @@ class NetTAGService:
     then raise.  The service owns its scheduler thread: use it as a context
     manager (or call :meth:`close`) so the worker drains and stops.
 
-    Every method is safe to call from any thread: model forwards and index
-    access are serialised by one internal lock, held both by the scheduler
-    worker's batch callback and by the paths that touch the model or index
-    on the caller thread (bulk ingest, direct embedding queries, searcher
-    fitting) — the model's LRU expression cache and the index's pending
-    buffers are not lock-free structures.
+    Every method is safe to call from any thread, with a **read/write
+    split**: model forwards and index *mutations* are serialised by one
+    internal write lock (the model's LRU expression cache and the index's
+    pending buffers are not lock-free structures), while every *search* runs
+    lock-free on a generation-pinned :class:`ReadSnapshot` — queries never
+    block behind a bulk ingest, and :meth:`swap_index`/:meth:`swap_model`/
+    :meth:`compact` are zero-downtime: in-flight readers finish on the
+    snapshot they pinned, new requests land on the new one, and obsolete
+    payload files are unlinked only when the old snapshot's last reader
+    releases.
     """
 
     def __init__(
@@ -108,7 +117,7 @@ class NetTAGService:
         index: Optional[EmbeddingIndex] = None,
         max_batch_size: int = 32,
         max_latency_ms: float = 10.0,
-        searcher: Optional[IVFSearcher] = None,
+        searcher: Optional[AnySearcher] = None,
         crossmodal: Optional["CrossModalEncoder"] = None,
         backend: Optional[str] = None,
     ) -> None:
@@ -122,13 +131,17 @@ class NetTAGService:
         self.backend = backend
         # One fitted approximate searcher per target kind (modality); the
         # last-fitted one is mirrored on ``self.searcher`` for inspection.
-        self._searchers: Dict[Optional[str], IVFSearcher] = (
+        self._searchers: Dict[Optional[str], AnySearcher] = (
             {searcher.kind: searcher} if searcher is not None else {}
         )
-        # Reentrant: query_embedding(approximate=True) refits under the lock.
-        # Never held while *waiting* on a scheduler future (deadlock-free:
-        # the worker needs the lock to make progress).
+        # Write lock: model forwards + index mutations only.  Reentrant
+        # (ingest paths nest encode + add), never held while *waiting* on a
+        # scheduler future (deadlock-free: the worker needs it to make
+        # progress), and never taken by the search paths — those pin a
+        # ReadSnapshot instead.
         self._lock = threading.RLock()
+        self._searcher_lock = threading.Lock()
+        self._snapshots = SnapshotManager(lambda: self._require_index().snapshot())
         self._scheduler = BatchScheduler(
             self._encode_requests,
             max_batch_size=max_batch_size,
@@ -176,6 +189,33 @@ class NetTAGService:
         if self.index is None:
             raise RuntimeError("this NetTAGService was constructed without an index")
         return self.index
+
+    def _refresh_snapshot(self, retire=None) -> None:
+        """Publish a new read snapshot; call after every index mutation.
+
+        Must run under the write lock (the snapshot build walks the index's
+        pending buffers).  ``retire`` defers file cleanup to the moment the
+        previous snapshot's last pinned reader releases.
+        """
+        if self.index is not None:
+            self._snapshots.refresh(retire=retire)
+
+    def _pin_current(self):
+        """Pin a snapshot that reflects the index's current generation.
+
+        The fast path never locks: writers republish inside the write lock,
+        so the published snapshot is normally current.  If the index was
+        mutated *directly* (``service.index.add(...)``), the stale snapshot
+        is detected here and rebuilt under the write lock once.
+        """
+        index = self._require_index()
+        if self._snapshots.current_generation() != index.generation:
+            with self._lock:
+                # Re-check under the lock (the index may have been swapped
+                # or republished while we waited).
+                if self._snapshots.current_generation() != self._require_index().generation:
+                    self._snapshots.refresh()
+        return self._snapshots.pin()
 
     # ------------------------------------------------------------------
     # Batched encode worker
@@ -244,8 +284,12 @@ class NetTAGService:
                     specs.append(
                         (position, vectors[position], k, to_kind, tuple(exclude or ()))
                     )
-            if specs:
-                self._answer_query_specs(specs, results)
+        # Retrieval runs *outside* the write lock on a pinned snapshot: a
+        # concurrent bulk ingest cannot stall the flush's searches, and every
+        # search in the flush sees one consistent generation.
+        if specs:
+            with self._pin_current() as snapshot:
+                self._answer_query_specs(snapshot, specs, results)
         return results
 
     def _modal_query_vectors(self, kind: str, raw_items: Sequence[object]) -> List[np.ndarray]:
@@ -287,11 +331,11 @@ class NetTAGService:
 
     def _answer_query_specs(
         self,
+        snapshot: ReadSnapshot,
         specs: List[Tuple[int, np.ndarray, int, Optional[str], Tuple[str, ...]]],
         results: List[object],
     ) -> List[object]:
         """Resolve a flush's retrieval requests, one batched top-k per (k, kind)."""
-        index = self._require_index()
         groups: Dict[Tuple[int, Optional[str]], List[int]] = {}
         for offset, (_, _, k, kind, _) in enumerate(specs):
             groups.setdefault((k, kind), []).append(offset)
@@ -300,7 +344,7 @@ class NetTAGService:
             # Over-fetch by the widest per-request exclusion so filtering
             # can never shrink a result below k.
             extra = max((len(specs[offset][4]) for offset in offsets), default=0)
-            hits = exact_topk(index, stacked, k=k + extra, kind=kind)
+            hits = exact_topk(snapshot, stacked, k=k + extra, kind=kind)
             for offset, row_hits in zip(offsets, hits):
                 position, _, _, _, exclude = specs[offset]
                 if exclude:
@@ -346,6 +390,7 @@ class NetTAGService:
                 index.add(list(keys), np.stack(vectors), kinds=list(kinds))
             if flush:
                 index.save()
+            self._refresh_snapshot()
         return len(rows)
 
     def add_cones(
@@ -363,51 +408,86 @@ class NetTAGService:
                 )
             if flush:
                 index.save()
+            self._refresh_snapshot()
         return len(vectors)
 
     # ------------------------------------------------------------------
     # Retrieval
     # ------------------------------------------------------------------
     def fit_searcher(
-        self, num_centroids: int = 32, nprobe: int = 4, seed: int = 0, kind: Optional[str] = None
-    ) -> IVFSearcher:
+        self,
+        num_centroids: int = 32,
+        nprobe: int = 4,
+        seed: int = 0,
+        kind: Optional[str] = None,
+        algorithm: str = "ivf",
+        M: int = 16,
+        ef_construction: int = 80,
+        ef_search: int = 64,
+    ) -> AnySearcher:
         """Build/refresh the approximate searcher over one kind (namespace).
 
-        The service keeps one fitted searcher *per target kind*, so queries
-        against different modalities (``cone`` vs ``rtl`` vs ``layout``)
-        never evict each other's coarse quantiser; the last-fitted searcher
-        is mirrored on :attr:`searcher`.
+        ``algorithm`` selects IVF (``num_centroids``/``nprobe`` apply) or
+        HNSW (``M``/``ef_construction``/``ef_search`` apply); ``seed`` and
+        ``kind`` apply to both.  The service keeps one fitted searcher *per
+        target kind*, so queries against different modalities (``cone`` vs
+        ``rtl`` vs ``layout``) never evict each other's structure; the
+        last-fitted searcher is mirrored on :attr:`searcher`.  Fitting reads
+        a pinned snapshot — it never blocks queries or ingest.
         """
-        with self._lock:
-            searcher = IVFSearcher(
+        if algorithm == "ivf":
+            searcher: AnySearcher = IVFSearcher(
                 num_centroids=num_centroids, nprobe=nprobe, seed=seed, kind=kind
-            ).fit(self._require_index())
+            )
+        elif algorithm == "hnsw":
+            searcher = HNSWSearcher(
+                M=M,
+                ef_construction=ef_construction,
+                ef_search=ef_search,
+                seed=seed,
+                kind=kind,
+            )
+        else:
+            raise ValueError(
+                f"unknown searcher algorithm {algorithm!r}; choose 'ivf' or 'hnsw'"
+            )
+        with self._pin_current() as snapshot:
+            searcher.fit(snapshot)
+        with self._searcher_lock:
             self._searchers[kind] = searcher
             self.searcher = searcher
-            return searcher
+        return searcher
 
-    def _searcher_for_kind(self, kind: Optional[str]) -> IVFSearcher:
+    def _searcher_for_kind(
+        self, snapshot: ReadSnapshot, kind: Optional[str]
+    ) -> AnySearcher:
         """The fitted searcher for ``kind``, refitting when stale or missing.
 
         Refits when the index mutated since the fit OR when no searcher ever
         covered this namespace — a ``kind=None`` searcher must not leak
-        circuit rows into cone queries (and vice versa).  User tuning
-        survives: a kind that was fitted explicitly keeps its own parameters
-        across staleness refits, and a brand-new kind inherits the most
-        recently fitted searcher's tuning.
+        circuit rows into cone queries (and vice versa).  User tuning *and
+        algorithm* survive: a kind that was fitted explicitly keeps its own
+        parameters across staleness refits (via ``clone_params``), and a
+        brand-new kind inherits the most recently fitted searcher's tuning.
+        Refitting happens on the caller's pinned snapshot, outside the write
+        lock; two racing refits both produce the same deterministic
+        structure, so last-write-wins is safe.
         """
-        index = self._require_index()
-        searcher = self._searchers.get(kind)
-        if searcher is None or searcher.needs_refit(index):
-            previous = searcher or self.searcher
-            self.fit_searcher(
-                num_centroids=previous.num_centroids if previous else 32,
-                nprobe=previous.nprobe if previous else 4,
-                seed=previous.seed if previous else 0,
-                kind=kind,
-            )
-            searcher = self._searchers[kind]
-        return searcher
+        with self._searcher_lock:
+            searcher = self._searchers.get(kind)
+            template = searcher if searcher is not None else self.searcher
+        if searcher is not None and not searcher.needs_refit(snapshot):
+            return searcher
+        fresh: AnySearcher = (
+            template.clone_params(kind=kind)
+            if template is not None
+            else IVFSearcher(num_centroids=32, nprobe=4, seed=0, kind=kind)
+        )
+        fresh.fit(snapshot)
+        with self._searcher_lock:
+            self._searchers[kind] = fresh
+            self.searcher = fresh
+        return fresh
 
     def query_embedding(
         self,
@@ -417,15 +497,19 @@ class NetTAGService:
         exclude_keys: Optional[Sequence[str]] = None,
         approximate: bool = False,
     ) -> List[SearchHit]:
-        """Top-k index entries for one raw embedding vector."""
-        index = self._require_index()
+        """Top-k index entries for one raw embedding vector.
+
+        Lock-free: the search runs on a pinned read snapshot, so it never
+        waits behind an in-flight ingest or hot-swap.
+        """
+        self._require_index()
         vector = self.model.pad_to_index_dim(np.asarray(vector, dtype=np.float64))
-        with self._lock:
+        with self._pin_current() as snapshot:
             if approximate:
-                searcher = self._searcher_for_kind(kind)
+                searcher = self._searcher_for_kind(snapshot, kind)
                 return searcher.search(vector[None, :], k=k, exclude_keys=exclude_keys)[0]
             return exact_topk(
-                index, vector[None, :], k=k, kind=kind, exclude_keys=exclude_keys
+                snapshot, vector[None, :], k=k, kind=kind, exclude_keys=exclude_keys
             )[0]
 
     def submit_query_cone(
@@ -636,6 +720,7 @@ class NetTAGService:
                 index.save()
             if payload.projections:
                 self.crossmodal.save(index.directory)
+            self._refresh_snapshot()
         return len(payload.rows)
 
     def near_duplicates(
@@ -647,14 +732,15 @@ class NetTAGService:
         matmuls, one query block per shard segment); every pair is reported
         once, lexicographically ordered, most similar first.
         """
-        index = self._require_index()
+        self._require_index()
         pairs: Dict[Tuple[str, str], float] = {}
         # Query with each key's *latest live* row only (the cached search
         # metadata) — a superseded duplicate row must not report phantom
-        # pairs for a vector that is no longer the key's value.
-        with self._lock:
+        # pairs for a vector that is no longer the key's value.  The whole
+        # scan runs on one pinned snapshot, outside the write lock.
+        with self._pin_current() as snapshot:
             for (keys, kinds, matrix, norms), (_, kinds_array, live_rows) in zip(
-                index.iter_segments(), index.search_metadata()
+                snapshot.iter_segments(), snapshot.search_metadata()
             ):
                 rows = live_rows
                 if len(rows):
@@ -662,7 +748,7 @@ class NetTAGService:
                 if not len(rows):
                     continue
                 block = np.asarray(matrix[rows], dtype=np.float64) / norms[rows][:, None]
-                hits = exact_topk(index, block, k=k + 1, kind=kind)
+                hits = exact_topk(snapshot, block, k=k + 1, kind=kind)
                 for r, row_hits in zip(rows, hits):
                     r = int(r)
                     for hit in row_hits:
@@ -672,6 +758,97 @@ class NetTAGService:
                         pairs[pair] = max(pairs.get(pair, -1.0), hit.score)
         ranked = sorted(pairs.items(), key=lambda item: (-item[1], item[0]))
         return [(a, b, score) for (a, b), score in ranked]
+
+    # ------------------------------------------------------------------
+    # Maintenance & zero-downtime hot-swap
+    # ------------------------------------------------------------------
+    def compact(self) -> Dict[str, object]:
+        """Compact the index without ever yanking a payload from a reader.
+
+        The index rewrite (new shards + manifest switch) happens under the
+        write lock, but the stale payload files are *not* unlinked there:
+        their removal is registered as a retirement callback on the
+        pre-compact snapshot and runs only when its last pinned reader
+        releases — an in-flight query keeps streaming its memory-mapped
+        shard until it finishes, on any platform.  Returns the compact
+        counts (``rows_before``/``rows_after``/``tombstones_dropped``).
+        """
+        index = self._require_index()
+        with self._lock:
+            result = index.compact(unlink_stale=False)
+            stale_paths = list(result.pop("stale_paths", []))
+
+            def _unlink_stale() -> None:
+                for path in stale_paths:
+                    path.unlink(missing_ok=True)
+
+            self._refresh_snapshot(retire=_unlink_stale)
+        return result
+
+    def swap_index(self, new_index: EmbeddingIndex) -> EmbeddingIndex:
+        """Atomically switch serving to ``new_index``; returns the old one.
+
+        Zero-downtime: readers pinned to the old index's snapshot finish on
+        it untouched; requests arriving after the swap see the new corpus.
+        Fitted searchers are replaced by unfitted clones (same algorithm and
+        tuning) — generation counters are per-index, so a structure fitted
+        to the old corpus must never answer for the new one.  The old index
+        object stays valid (and its files stay on disk); retiring it is the
+        caller's decision.
+        """
+        if new_index.dim != self.model.index_dim:
+            raise ValueError(
+                f"cannot swap in a dim-{new_index.dim} index: the model's index "
+                f"dim is {self.model.index_dim}"
+            )
+        with self._lock:
+            old_index = self.index
+            self.index = new_index
+            with self._searcher_lock:
+                self._searchers = {
+                    kind: searcher.clone_params()
+                    for kind, searcher in self._searchers.items()
+                }
+                self.searcher = (
+                    self.searcher.clone_params() if self.searcher is not None else None
+                )
+            self._refresh_snapshot()
+        return old_index  # type: ignore[return-value]
+
+    def reload_index(self, directory) -> EmbeddingIndex:
+        """Open the index at ``directory`` and hot-swap it in; returns the old one.
+
+        The convenience path for picking up an index rebuilt out-of-process:
+        fingerprints are validated against the serving model (mismatches
+        warn, as in :meth:`open_index`), then :meth:`swap_index` runs.
+        """
+        return self.swap_index(self.open_index(self.model, directory))
+
+    def swap_model(self, new_model: "NetTAG") -> "NetTAG":
+        """Hot-swap the serving model checkpoint; returns the old model.
+
+        Taken between scheduler flushes (the write lock serialises against
+        the worker's batch callback), so no in-flight batch ever mixes
+        encoders.  The new checkpoint must target the same index dimension;
+        the index's provenance fingerprints are updated to the new model so
+        a later :meth:`open_index` validates against what actually serves.
+        Existing index rows are *not* re-encoded — hot-swap is for
+        same-space checkpoints (a fine-tuned refresh); a model that changes
+        the embedding space needs a rebuilt index and :meth:`swap_index`.
+        """
+        if new_model.index_dim != self.model.index_dim:
+            raise ValueError(
+                f"cannot hot-swap to a model with index_dim {new_model.index_dim}: "
+                f"the serving index dim is {self.model.index_dim}"
+            )
+        with self._lock:
+            old_model = self.model
+            self.model = new_model
+            if self.index is not None:
+                self.index.fingerprints.update(self.index_fingerprints(new_model))
+                self.index.save()
+                self._refresh_snapshot()
+        return old_model
 
     # ------------------------------------------------------------------
     # Lifecycle / observability
@@ -684,6 +861,7 @@ class NetTAGService:
         }
         if self.index is not None:
             report["index"] = self.index.stats()
+            report["snapshots"] = self._snapshots.stats()
         if self.searcher is not None:
             report["searcher"] = self.searcher.stats()
         if self._searchers:
@@ -698,11 +876,16 @@ class NetTAGService:
         return report
 
     def close(self) -> None:
-        """Drain in-flight requests, stop the worker and flush the index."""
+        """Drain in-flight requests, stop the worker and flush the index.
+
+        Any retirement work still deferred behind pinned readers (stale
+        compact payloads) runs now — after the drain, no reader is left.
+        """
         self._scheduler.close()
         with self._lock:
             if self.index is not None:
                 self.index.save()
+        self._snapshots.shutdown()
 
     def __enter__(self) -> "NetTAGService":
         return self

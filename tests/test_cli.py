@@ -197,6 +197,46 @@ class TestIndexCommands:
 
         assert "gamma" in EmbeddingIndex.open(index_dir)
 
+    def test_query_searcher_algorithms_and_compact(
+        self, tmp_path, checkpoint, netlist_dir, capsys
+    ):
+        index_dir = tmp_path / "index"
+        assert main([
+            "index", "build", str(netlist_dir),
+            "--checkpoint", str(checkpoint), "--index", str(index_dir),
+            "--shard-size", "8",
+        ]) == 0
+        capsys.readouterr()
+
+        query_path = netlist_dir / "alpha.v"
+        outputs = {}
+        for searcher in ("exact", "ivf", "hnsw"):
+            assert main([
+                "index", "query", str(query_path), "--cones",
+                "--searcher", searcher,
+                "--checkpoint", str(checkpoint), "--index", str(index_dir),
+                "-k", "2",
+            ]) == 0
+            outputs[searcher] = capsys.readouterr().out
+            assert "alpha::" in outputs[searcher]
+        # --approx stays an alias for the IVF searcher.
+        assert main([
+            "index", "query", str(query_path), "--cones", "--approx",
+            "--checkpoint", str(checkpoint), "--index", str(index_dir),
+            "-k", "2",
+        ]) == 0
+        assert capsys.readouterr().out == outputs["ivf"]
+
+        from repro.serve import EmbeddingIndex
+
+        index = EmbeddingIndex.open(index_dir)
+        index.remove(index.keys()[:1])
+        index.save()
+        assert main(["index", "compact", "--index", str(index_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "compacted" in out and "tombstones dropped" in out
+        assert not EmbeddingIndex.open(index_dir).stats()["tombstones"]
+
     def test_build_refuses_empty_directory(self, tmp_path, checkpoint):
         empty = tmp_path / "empty"
         empty.mkdir()

@@ -1,0 +1,179 @@
+"""Property-based tests (hypothesis) for :class:`HNSWSearcher`.
+
+Three serving-tier claims, stated as properties over random seeded corpora
+rather than a handful of fixtures:
+
+* **Recall floor** — graph search with a generous beam recovers (nearly)
+  the exact top-k across dims, corpus sizes and kind filters.
+* **Deterministic rebuild** — two fits with the same seed over the same
+  index produce bit-identical structures (``structure_digest``), the
+  property the hot-swap story and the fault-injection suite lean on.
+* **Staleness parity with IVF** — ``needs_refit`` answers exactly like the
+  IVF searcher's for every index mutation pattern (append, remove,
+  supersede, compact), so the service's refit-on-stale logic is
+  algorithm-agnostic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.serve import (
+    EmbeddingIndex,
+    HNSWSearcher,
+    IVFSearcher,
+    exact_topk,
+    recall_at_k,
+)
+
+
+def _corpus_index(tmp_path, n, dim, seed, kinds=("cone",), shard_size=64):
+    rng = np.random.default_rng(seed)
+    # overwrite=True: hypothesis can replay the same example (same seed/n/dim)
+    # into one function-scoped tmp_path.
+    index = EmbeddingIndex.create(tmp_path / f"ix-{seed}-{n}-{dim}", dim=dim,
+                                  shard_size=shard_size, overwrite=True)
+    vectors = rng.normal(size=(n, dim))
+    kind_row = [kinds[i % len(kinds)] for i in range(n)]
+    index.add([f"k{i}" for i in range(n)], vectors, kinds=kind_row)
+    return index
+
+
+class TestRecallFloor:
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        n=st.integers(min_value=30, max_value=300),
+        dim=st.integers(min_value=4, max_value=48),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_recall_at_k_meets_floor(self, tmp_path, n, dim, seed):
+        index = _corpus_index(tmp_path, n, dim, seed)
+        rng = np.random.default_rng(seed + 1)
+        queries = rng.normal(size=(8, dim))
+        k = min(10, n)
+        exact = exact_topk(index, queries, k=k, kind="cone")
+        searcher = HNSWSearcher(M=8, ef_construction=48, ef_search=64, seed=0).fit(index)
+        approx = searcher.search(queries, k=k)
+        # On unclustered Gaussian corpora of this size, a beam ≥ max(ef, k)
+        # recovers nearly everything; 0.9 leaves room for genuinely hard
+        # random geometries without letting a broken graph pass.
+        assert recall_at_k(exact, approx, k=k) >= 0.9
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_kind_filter_never_leaks(self, tmp_path, seed):
+        index = _corpus_index(tmp_path, 80, 16, seed, kinds=("cone", "circuit"))
+        rng = np.random.default_rng(seed + 1)
+        queries = rng.normal(size=(4, 16))
+        searcher = HNSWSearcher(M=8, seed=0, kind="circuit").fit(index)
+        for row in searcher.search(queries, k=5):
+            assert row, "circuit-only search returned nothing"
+            assert all(hit.kind == "circuit" for hit in row)
+
+    def test_exclude_keys_respected_without_shrinking_results(self, tmp_path):
+        index = _corpus_index(tmp_path, 60, 12, seed=3)
+        rng = np.random.default_rng(4)
+        queries = rng.normal(size=(3, 12))
+        searcher = HNSWSearcher(M=8, seed=0).fit(index)
+        baseline = searcher.search(queries, k=5)
+        excluded = {hit.key for hit in baseline[0][:2]}
+        rows = searcher.search(queries, k=5, exclude_keys=sorted(excluded))
+        for row in rows:
+            assert len(row) == 5
+            assert not excluded & {hit.key for hit in row}
+
+
+class TestDeterministicRebuild:
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        n=st.integers(min_value=20, max_value=200),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_same_seed_rebuild_is_bit_identical(self, tmp_path, n, seed):
+        index = _corpus_index(tmp_path, n, 16, seed)
+        a = HNSWSearcher(M=8, ef_construction=40, seed=7).fit(index)
+        b = HNSWSearcher(M=8, ef_construction=40, seed=7).fit(index)
+        assert a.structure_digest() == b.structure_digest()
+
+    def test_different_seed_changes_structure(self, tmp_path):
+        index = _corpus_index(tmp_path, 120, 16, seed=9)
+        a = HNSWSearcher(M=8, seed=1).fit(index)
+        b = HNSWSearcher(M=8, seed=2).fit(index)
+        assert a.structure_digest() != b.structure_digest()
+
+    def test_incremental_sync_matches_full_rebuild_results(self, tmp_path):
+        """Appending via sync() must retrieve the new rows (structure may
+        legitimately differ from a scratch rebuild — search results on the
+        grown corpus are the contract)."""
+        index = _corpus_index(tmp_path, 100, 16, seed=5)
+        searcher = HNSWSearcher(M=8, ef_search=128, seed=0).fit(index)
+        rng = np.random.default_rng(6)
+        fresh = rng.normal(size=(20, 16))
+        index.add([f"new{i}" for i in range(20)], fresh, kinds="cone")
+        added = searcher.sync(index)
+        assert added == 20
+        assert not searcher.needs_refit(index)
+        hits = searcher.search(fresh[:5], k=1)
+        assert [row[0].key for row in hits] == [f"new{i}" for i in range(5)]
+
+
+class TestStalenessParityWithIVF:
+    @pytest.fixture()
+    def pair(self, tmp_path):
+        index = _corpus_index(tmp_path, 60, 12, seed=2)
+        hnsw = HNSWSearcher(M=8, seed=0).fit(index)
+        ivf = IVFSearcher(num_centroids=8, nprobe=4, seed=0).fit(index)
+        return index, hnsw, ivf
+
+    def test_fresh_fit_is_not_stale(self, pair):
+        index, hnsw, ivf = pair
+        assert hnsw.needs_refit(index) == ivf.needs_refit(index) == False  # noqa: E712
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda ix: ix.add(["extra"], np.ones((1, 12)), kinds="cone"),
+            lambda ix: ix.remove(["k0"]),
+            lambda ix: ix.add(["k1"], np.ones((1, 12)), kinds="cone"),
+            lambda ix: ix.compact(),
+        ],
+        ids=["append", "remove", "supersede", "compact"],
+    )
+    def test_every_mutation_marks_both_stale(self, pair, mutate):
+        index, hnsw, ivf = pair
+        mutate(index)
+        assert hnsw.needs_refit(index) is True
+        assert hnsw.needs_refit(index) == ivf.needs_refit(index)
+
+    def test_unfitted_searchers_report_stale(self, pair):
+        index, _, _ = pair
+        assert HNSWSearcher(M=8).needs_refit(index)
+        assert IVFSearcher().needs_refit(index)
+
+    def test_clone_params_preserves_tuning_and_drops_fit(self, pair):
+        index, hnsw, ivf = pair
+        clone = hnsw.clone_params(kind="circuit")
+        assert (clone.M, clone.ef_construction, clone.ef_search, clone.seed) == (
+            hnsw.M,
+            hnsw.ef_construction,
+            hnsw.ef_search,
+            hnsw.seed,
+        )
+        assert clone.kind == "circuit" and not clone.is_fitted
+        ivf_clone = ivf.clone_params()
+        assert ivf_clone.nprobe == ivf.nprobe and not ivf_clone._centroids
