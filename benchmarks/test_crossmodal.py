@@ -39,13 +39,17 @@ def pipeline():
 
 
 class TestCrossModalBench:
-    def test_recall_throughput_and_report(self, pipeline):
+    def test_recall_throughput_and_report(self, pipeline, tmp_path):
         # Best-effort timing on a shared machine; retry once if the speedup
         # gate trips to shield against a scheduling hiccup mid-measurement.
         report = run_crossmodal_bench(pipeline=pipeline, min_items=MIN_ITEMS)
         if report["speedup"]["concurrent_vs_sequential"] < REQUIRED_SPEEDUP:
             report = run_crossmodal_bench(pipeline=pipeline, min_items=MIN_ITEMS)
-        path = save_crossmodal_report(report)
+        # The committed baseline changes only through the deliberate
+        # scripts/bench_crossmodal.py refresh (host-stamped, gated): a test
+        # run is often loaded (the suite itself pegs the core), so a test-
+        # time rewrite pollutes the regression floor.  Park the report in tmp.
+        path = save_crossmodal_report(report, path=tmp_path / "BENCH_crossmodal.json")
         recall = report["quality"]["aligned_pair_recall_at_10"]
         speedup = report["speedup"]["concurrent_vs_sequential"]
         print(

@@ -57,13 +57,17 @@ def corpus():
 
 
 class TestIndexServingBench:
-    def test_quality_throughput_and_report(self, model, corpus):
+    def test_quality_throughput_and_report(self, model, corpus, tmp_path):
         # Best-effort timing on a shared machine; retry once if the speedup
         # gate trips to shield against a scheduling hiccup mid-measurement.
         report = run_index_bench(model=model, cones=corpus)
         if report["speedup"]["concurrent_vs_sequential"] < REQUIRED_SPEEDUP:
             report = run_index_bench(model=model, cones=corpus)
-        path = save_index_report(report)
+        # The committed baseline changes only through the deliberate
+        # scripts/bench_index.py refresh (host-stamped, gated): a test run
+        # is often loaded (the suite itself pegs the core), so a test-time
+        # rewrite pollutes the regression floor.  Park the report in tmp.
+        path = save_index_report(report, path=tmp_path / "BENCH_index.json")
         speedup = report["speedup"]["concurrent_vs_sequential"]
         recall = report["quality"]["ivf_recall_at_10"]
         print(

@@ -68,14 +68,19 @@ class TestBatchedThroughput:
             np.testing.assert_allclose(got, seed_want, atol=PARITY_ATOL)
             np.testing.assert_allclose(got, api_want, atol=PARITY_ATOL)
 
-    def test_batched_speedup_and_report(self, model, cones):
+    def test_batched_speedup_and_report(self, model, cones, tmp_path):
         """≥ 3x per-gate speedup vs the seed sequential path; report saved."""
         # Best-of-N timing on an otherwise idle interpreter; retry once to
         # shield against a pathological scheduling hiccup mid-measurement.
         report = run_throughput(model=model, cones=cones)
         if report["speedup"]["batched_vs_seed_sequential"] < REQUIRED_SPEEDUP:
             report = run_throughput(model=model, cones=cones, repeats=5)
-        path = save_report(report)
+        # The committed baseline changes only through the deliberate
+        # scripts/bench_throughput.py refresh (host-stamped, gated): a test
+        # run is often loaded (the suite itself pegs the core) and the fast-
+        # backend CI leg would record fast==reference ratios, so a test-time
+        # rewrite pollutes the regression floor.  Park the report in tmp.
+        path = save_report(report, path=tmp_path / "BENCH_throughput.json")
         speedup = report["speedup"]["batched_vs_seed_sequential"]
         reuse_rate = report["expression_cache"]["reuse_rate"]
         print(

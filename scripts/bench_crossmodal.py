@@ -33,6 +33,7 @@ from repro.bench.crossmodal import (  # noqa: E402
     run_crossmodal_bench,
     save_crossmodal_report,
 )
+from repro.bench.host import describe_host  # noqa: E402
 from repro.bench.throughput import check_regression  # noqa: E402
 
 REQUIRED_RECALL = 0.8
@@ -54,6 +55,13 @@ def main() -> int:
                         help="tolerated relative drop vs the baseline (default: 0.25)")
     args = parser.parse_args()
 
+    # Snapshot the baseline BEFORE the report is saved: CI gates with
+    # `--baseline BENCH_crossmodal.json`, the very file the report refresh
+    # overwrites — reading it afterwards would compare the report to itself.
+    baseline = None
+    if args.baseline is not None and args.baseline.exists():
+        baseline = json.loads(args.baseline.read_text())
+
     pipeline = build_crossmodal_pipeline(min_items=args.items, seed=args.seed)
     report = run_crossmodal_bench(
         pipeline=pipeline,
@@ -65,6 +73,7 @@ def main() -> int:
     path = save_crossmodal_report(report, path=args.output)
     print(json.dumps(report, indent=2))
     print(f"\nwrote {path}")
+    print(describe_host(report["host"]))
 
     failures = []
     recall = report["quality"]["aligned_pair_recall_at_10"]
@@ -80,8 +89,7 @@ def main() -> int:
             print(f"QUALITY GATE FAILED: {failure}", file=sys.stderr)
         return 1
 
-    if args.baseline is not None and args.baseline.exists():
-        baseline = json.loads(args.baseline.read_text())
+    if baseline is not None:
         regressions = check_regression(report, baseline, max_regression=args.max_regression)
         base_recall = baseline.get("quality", {}).get("aligned_pair_recall_at_10")
         if base_recall and recall < base_recall * (1.0 - args.max_regression):

@@ -36,6 +36,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 import numpy as np  # noqa: E402
 
+from repro.bench.host import describe_host  # noqa: E402
 from repro.bench.index_throughput import (  # noqa: E402
     build_index_corpus,
     run_index_bench,
@@ -124,6 +125,7 @@ def main() -> int:
     path = save_index_report(report, path=args.output)
     print(json.dumps(report, indent=2))
     print(f"\nwrote {path}")
+    print(describe_host(report["host"]))
 
     if failures:
         for failure in failures:

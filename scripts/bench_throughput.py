@@ -38,6 +38,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 import numpy as np  # noqa: E402
 
+from repro.bench.host import describe_host  # noqa: E402
 from repro.bench.throughput import (  # noqa: E402
     build_cone_workload,
     check_regression,
@@ -53,7 +54,9 @@ from repro.core import NetTAG, NetTAGConfig  # noqa: E402
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--designs", type=int, default=4, help="number of synthetic designs")
-    parser.add_argument("--repeats", type=int, default=3, help="best-of-N timing repeats")
+    parser.add_argument("--repeats", type=int, default=9,
+                        help="best-of-N timing repeats (9: min-of-3 under-samples the fast "
+                             "CPU mode on small workloads and destabilises the gated ratios)")
     parser.add_argument("--seed", type=int, default=7, help="model initialisation seed")
     parser.add_argument("--output", type=Path, default=None,
                         help="report path (default: BENCH_throughput.json at the repo root)")
@@ -94,13 +97,18 @@ def main() -> int:
                       f"total={row['seconds'] * 1e3:9.3f}ms  "
                       f"mean={mean_us:8.2f}us")
 
+    # Snapshot the baseline BEFORE the report is saved: CI gates with
+    # `--baseline BENCH_throughput.json`, the very file save_report()
+    # refreshes — reading it afterwards would compare the report to itself.
+    baseline = json.loads(args.baseline.read_text()) if args.baseline is not None else None
+
     report = run_throughput(model=model, cones=cones, repeats=args.repeats)
     path = save_report(report, path=args.output)
     print(json.dumps(report, indent=2))
     print(f"\nwrote {path}")
+    print(describe_host(report["host"]))
 
-    if args.baseline is not None:
-        baseline = json.loads(args.baseline.read_text())
+    if baseline is not None:
         failures = check_regression(report, baseline, max_regression=args.max_regression)
         if failures:
             for failure in failures:

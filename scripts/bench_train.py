@@ -35,6 +35,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.bench.host import describe_host  # noqa: E402
 from repro.bench.train import (  # noqa: E402
     MIN_SPEEDUP,
     check_regression,
@@ -70,6 +71,11 @@ def main() -> int:
                              f"available (default: {MIN_SPEEDUP})")
     args = parser.parse_args()
 
+    # Snapshot the baseline BEFORE the report is saved: CI gates with
+    # `--baseline BENCH_train.json`, the very file save_report() refreshes —
+    # reading it afterwards would compare the report to itself.
+    baseline = json.loads(args.baseline.read_text()) if args.baseline is not None else None
+
     workers = [int(w) for w in args.workers.split(",") if w.strip()]
     report = run_train_bench(
         workers=workers,
@@ -84,6 +90,7 @@ def main() -> int:
     path = save_report(report, path=args.output)
     print(json.dumps(report, indent=2))
     print(f"\nwrote {path}")
+    print(describe_host(report["host"]))
 
     try:
         run_parity_check(report)
@@ -106,8 +113,7 @@ def main() -> int:
             "ratios recorded for reference only"
         )
 
-    if args.baseline is not None:
-        baseline = json.loads(args.baseline.read_text())
+    if baseline is not None:
         failures = check_regression(report, baseline, max_regression=args.max_regression)
         if failures:
             for failure in failures:

@@ -1,6 +1,7 @@
 """Experiment harness regenerating every table and figure of the paper."""
 
 from .context import BenchContext, BenchProfile, active_profile, get_context, reset_context
+from .host import describe_host, host_snapshot
 from .tables import ResultTable
 from .evaluation import FourTaskScores, evaluate_pipeline_on_tasks, pretrain_and_evaluate
 from .table2 import collect_suite_statistics, run_table2
@@ -26,6 +27,8 @@ __all__ = [
     "BenchContext",
     "BenchProfile",
     "active_profile",
+    "describe_host",
+    "host_snapshot",
     "get_context",
     "reset_context",
     "ResultTable",

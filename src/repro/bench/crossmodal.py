@@ -50,6 +50,7 @@ from ..serve import (
     NetTAGService,
     exact_topk,
 )
+from .host import host_snapshot
 from .throughput import seed_sequential_encode
 
 BENCH_CROSSMODAL_PATH = Path(__file__).resolve().parents[3] / "BENCH_crossmodal.json"
@@ -161,6 +162,7 @@ def run_crossmodal_bench(
     seed: int = 7,
 ) -> Dict[str, object]:
     """Build a multimodal index and measure cross-modal quality + throughput."""
+    host = host_snapshot()
     pipeline = pipeline or build_crossmodal_pipeline(min_items=min_items, seed=seed)
     items = [
         item
@@ -296,6 +298,7 @@ def run_crossmodal_bench(
 
         per_query_ms = lambda seconds: round(1e3 * seconds / num_queries, 3)  # noqa: E731
         return {
+            "host": host,
             "corpus": {
                 "num_items": len(items),
                 "num_designs": len(pipeline.designs),

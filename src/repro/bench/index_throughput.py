@@ -41,6 +41,7 @@ import numpy as np
 
 from ..core import NetTAG, NetTAGConfig
 from ..netlist import RegisterCone, extract_register_cones, netlist_to_tag
+from .host import host_snapshot
 from ..rtl import make_controller
 from ..serve import (
     CONE_KIND,
@@ -96,6 +97,7 @@ def run_index_bench(
     seed: int = 7,
 ) -> Dict[str, object]:
     """Build an index over the corpus and measure quality + serving throughput."""
+    host = host_snapshot()
     model = model or NetTAG(NetTAGConfig.fast(), rng=np.random.default_rng(seed))
     cones = list(cones) if cones is not None else build_index_corpus()
     if len(cones) < num_queries:
@@ -187,14 +189,25 @@ def run_index_bench(
             concurrent_seconds = time.perf_counter() - start
             scheduler_stats = service.stats()["scheduler"]
 
-        # The three paths must agree on what they retrieve.
-        ranking_parity = all(
-            [hit.key for hit in seq] == [hit.key for hit in conc]
-            for seq, conc in zip(sequential_hits, concurrent_hits)
+        # The serving paths must agree on what they retrieve.  Key-exact
+        # agreement is too strict: the sequential baseline encodes through
+        # the unpacked float64 path while the service uses packed forwards,
+        # equal only to ~1e-15, so near-tied corpus scores can legitimately
+        # swap ranks depending on timing-dependent batch packing.  Compare
+        # at score level instead (same idiom as the crossmodal bench).
+        score_deviation = max(
+            (
+                abs(s.score - c.score)
+                for seq, conc in zip(sequential_hits, concurrent_hits)
+                for s, c in zip(seq, conc)
+            ),
+            default=0.0,
         )
+        ranking_parity = score_deviation < 1e-6
 
         per_query_ms = lambda seconds: round(1e3 * seconds / num_queries, 3)
         return {
+            "host": host,
             "corpus": {
                 "num_cones": len(cones),
                 "total_gates": sum(tag.num_nodes for tag in tags),
@@ -212,6 +225,7 @@ def run_index_bench(
             "quality": {
                 "round_trip_exact": bool(round_trip_exact),
                 "ranking_parity": bool(ranking_parity),
+                "parity_score_deviation": float(score_deviation),
                 "ivf_recall_at_10": round(recall, 4),
                 "ivf": searcher.stats(),
             },
@@ -313,6 +327,7 @@ def run_index_scale_bench(
     the two algorithms: IVF must probe half its cells to cover the
     neighbourhood while the graph walk stays local.
     """
+    host = host_snapshot()
     if clusters is None:
         clusters = max(1, num_vectors // 12)
     corpus = build_scale_corpus(num_vectors, dim, clusters, seed=seed, noise=noise)
@@ -436,6 +451,7 @@ def run_index_scale_bench(
         synced = hnsw.sync(index)
 
         return {
+            "host": host,
             "corpus": {
                 "num_vectors": num_vectors,
                 "dim": dim,
@@ -485,10 +501,11 @@ def run_index_scale_bench(
 def save_index_report(report: Dict[str, object], path: Optional[Path] = None) -> Path:
     """Merge ``report``'s top-level sections into the committed benchmark file.
 
-    Merge (not overwrite) semantics: the tier-1 suite refreshes the
-    500-cone sections on every run, while the corpus-scale ``hnsw_scale``
+    Merge (not overwrite) semantics: a plain ``scripts/bench_index.py`` run
+    refreshes the 500-cone sections, while the corpus-scale ``hnsw_scale``
     section is produced by the scheduled ``scripts/bench_index.py --scale``
-    run — each writer must preserve the other's sections.
+    run — each writer must preserve the other's sections.  (The tier-1
+    bench guard writes its report to a temp path, never this file.)
     """
     path = path or BENCH_INDEX_PATH
     merged: Dict[str, object] = {}

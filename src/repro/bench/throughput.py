@@ -30,6 +30,7 @@ import numpy as np
 
 from ..core import NetTAG, NetTAGConfig
 from ..netlist import RegisterCone, TextAttributedGraph, extract_register_cones, netlist_to_tag
+from .host import host_snapshot
 from ..nn import get_backend, profile_kernels, use_backend
 from ..rtl import make_controller
 from ..synth import synthesize
@@ -136,6 +137,7 @@ def run_throughput(
     ``batched_fast`` — the batched engine on a weight-identical fast-backend
     clone (float32 fused kernels, mask-free segment attention).
     """
+    host = host_snapshot()
     model = model or NetTAG(NetTAGConfig.fast(), rng=np.random.default_rng(7))
     cones = list(cones) if cones is not None else build_cone_workload()
     if not cones:
@@ -168,6 +170,7 @@ def run_throughput(
 
     per_gate = lambda seconds: 1e6 * seconds / max(total_gates, 1)
     return {
+        "host": host,
         "workload": {
             "num_cones": len(cones),
             "total_gates": total_gates,

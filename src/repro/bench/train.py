@@ -27,6 +27,7 @@ import numpy as np
 
 from ..encoders import ExprLLM, TextEncoderConfig
 from ..pretrain import ExprLLMPretrainer, ExprPretrainConfig
+from .host import host_snapshot
 
 BENCH_PATH = Path(__file__).resolve().parents[3] / "BENCH_train.json"
 
@@ -126,6 +127,7 @@ def run_train_bench(
     across all worker counts — is recorded in the report and asserted by
     :func:`run_parity_check`.
     """
+    host = host_snapshot()
     workers = [int(w) for w in workers]
     if not workers:
         raise ValueError("need at least one worker count")
@@ -154,6 +156,7 @@ def run_train_bench(
         for w in workers[1:]
     }
     return {
+        "host": host,
         "workload": {
             "num_expressions": len(expressions),
             "num_steps": num_steps,
