@@ -5,7 +5,8 @@ Usage::
 
     PYTHONPATH=src python scripts/bench_index.py [--cones N] [--queries Q]
         [--threads T] [--seed S] [--output PATH]
-        [--scale] [--scale-vectors N] [--baseline PATH] [--max-regression F]
+        [--scale] [--scale-vectors N] [--replicas N] [--baseline PATH]
+        [--max-regression F]
 
 Builds a register-cone corpus, indexes it through ``repro.serve``, and
 measures round-trip exactness, IVF recall@10 vs exact search, and the
@@ -21,7 +22,14 @@ Exits non-zero when a quality gate fails, so CI can gate on it:
 * with ``--scale``: HNSW recall@10 ≥ 0.95, HNSW per-query latency ≤ the
   recall-matched IVF configuration's, sustained QPS > 0 under ingest, and
   (with ``--baseline``) no metric regressing more than ``--max-regression``
-  against the committed ``BENCH_index.json``.
+  against the committed ``BENCH_index.json``;
+* replica leg (part of ``--scale``; ``--replicas N`` picks the peak count):
+  a persisted HNSW sidecar must load back bit-identically, the
+  multi-process legs must finish with zero client errors, and — only when
+  the run's ``speedup_gate`` is active (≥ 2 cores) — aggregate replica QPS
+  must reach the gate's N-vs-1 floor.  Baseline floors for the replica
+  speedup apply only when the baseline's own gate was active (a 1-core
+  baseline ratio is noise, not a floor).
 """
 
 from __future__ import annotations
@@ -77,6 +85,44 @@ def _scale_gates(report: dict, baseline: dict, max_regression: float) -> list:
                 f"(baseline {previous['sustained_qps_under_ingest']['qps']} "
                 f"- {max_regression:.0%})"
             )
+    failures.extend(_replica_gates(report.get("replicas"), previous, max_regression))
+    return failures
+
+
+def _replica_gates(replicas: dict, previous: dict, max_regression: float) -> list:
+    """Gates for the multi-process replica leg of the ``--scale`` run."""
+    if not replicas:
+        return []
+    failures = []
+    if not replicas["hnsw_load_bit_identical"]:
+        failures.append("persisted HNSW sidecar did not load back bit-identically")
+    if replicas["total_errors"]:
+        failures.append(
+            f"replica legs finished with {replicas['total_errors']} client error(s)"
+        )
+    for run in replicas["runs"]:
+        if run["queries"] <= 0:
+            failures.append(
+                f"replica leg with {run['replicas']} process(es) served no queries"
+            )
+    gate = replicas["speedup_gate"]
+    speedup = replicas["speedup"]["aggregate_qps_vs_single"]
+    if gate["active"] and speedup < gate["threshold"]:
+        failures.append(
+            f"replica aggregate QPS speedup {speedup}x below the "
+            f"{gate['threshold']}x floor ({gate['cores']} cores available)"
+        )
+    # Baseline regression on the N-vs-1 ratio only when the baseline itself
+    # was measured with an active gate — a 1-core ratio is noise, not a floor.
+    prev_replicas = (previous or {}).get("replicas")
+    if prev_replicas and prev_replicas.get("speedup_gate", {}).get("active"):
+        prev_speedup = prev_replicas["speedup"]["aggregate_qps_vs_single"]
+        floor = prev_speedup * (1 - max_regression)
+        if gate["active"] and speedup < floor:
+            failures.append(
+                f"replica speedup regressed: {speedup}x < {floor:.2f}x "
+                f"(baseline {prev_speedup}x - {max_regression:.0%})"
+            )
     return failures
 
 
@@ -92,6 +138,9 @@ def main() -> int:
                         help="also run the corpus-scale HNSW/IVF/QPS benchmark")
     parser.add_argument("--scale-vectors", type=int, default=100_000,
                         help="corpus size for the --scale benchmark")
+    parser.add_argument("--replicas", type=int, default=2,
+                        help="peak replica-process count for the --scale "
+                             "replica leg (0 skips the leg)")
     parser.add_argument("--baseline", type=Path, default=None,
                         help="committed BENCH_index.json to regression-check --scale against")
     parser.add_argument("--max-regression", type=float, default=0.25,
@@ -118,7 +167,12 @@ def main() -> int:
         baseline = {}
         if args.baseline is not None and args.baseline.exists():
             baseline = json.loads(args.baseline.read_text())
-        scale_report = run_index_scale_bench(num_vectors=args.scale_vectors)
+        replica_counts = (1, args.replicas) if args.replicas > 1 else (
+            (1,) if args.replicas == 1 else ()
+        )
+        scale_report = run_index_scale_bench(
+            num_vectors=args.scale_vectors, replica_counts=replica_counts
+        )
         report["hnsw_scale"] = scale_report
         failures.extend(_scale_gates(scale_report, baseline, args.max_regression))
 

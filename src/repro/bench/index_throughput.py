@@ -49,13 +49,16 @@ from ..serve import (
     HNSWSearcher,
     IVFSearcher,
     NetTAGService,
+    ReplicaPool,
     SnapshotManager,
     cone_key,
     exact_topk,
+    hnsw_sidecar_path,
     recall_at_k,
 )
 from ..synth import synthesize
 from .throughput import api_sequential_encode, seed_sequential_encode
+from .train import available_cores
 
 BENCH_INDEX_PATH = Path(__file__).resolve().parents[3] / "BENCH_index.json"
 
@@ -302,6 +305,12 @@ def run_index_scale_bench(
     qps_seconds: float = 5.0,
     qps_reader_threads: int = 4,
     qps_ingest_batch: int = 512,
+    replica_counts: Sequence[int] = (1, 2),
+    replica_qps_seconds: float = 4.0,
+    replica_clients_per_replica: int = 2,
+    replica_batch: int = 8,
+    replica_ingest_batch: int = 128,
+    replica_speedup_floor: float = 1.5,
     index_dir: Optional[Path] = None,
 ) -> Dict[str, object]:
     """Corpus-scale ANN benchmark: HNSW vs IVF, plus QPS under live ingest.
@@ -319,6 +328,15 @@ def run_index_scale_bench(
       pin-snapshot → HNSW search → release loops while a writer ingests
       batches and republishes snapshots, exercising the generation-pinned
       read path the service serves queries through.
+    * **Multi-process replica scaling** — the index and the synced HNSW
+      graph are persisted, then 1..N :class:`~repro.serve.ReplicaPool`
+      worker processes serve the same directory over shared mmap'd shards
+      (loading the graph sidecar, never refitting) while this process keeps
+      ingesting and saving; the report records aggregate client QPS per
+      replica count, the N-vs-1 speedup (gated only on multi-core hosts,
+      the ``speedup_gate`` convention of the training bench) and whether a
+      sidecar load round-trips bit-identically.  Pass ``replica_counts=()``
+      to skip the leg.
 
     The default corpus is *fine-grained*: ``num_vectors / 12`` clusters of
     ~12 rows each, so a query's true top-10 straddles several clusters.
@@ -450,6 +468,134 @@ def run_index_scale_bench(
         # Incremental insert: absorb the rows the writer appended.
         synced = hnsw.sync(index)
 
+        # ------------------------------------------------------------------
+        # Multi-process read replicas over the same directory: persist the
+        # index and the synced graph, then drive a fixed client population
+        # through 1..N replica processes while this process keeps ingesting
+        # and saving (so the replicas' generation watchers fire for real).
+        replica_section: Optional[Dict[str, object]] = None
+        replica_counts = sorted({int(c) for c in replica_counts if int(c) >= 1})
+        if replica_counts:
+            index.save()
+            sidecar = hnsw_sidecar_path(index_dir)
+            hnsw.save(sidecar)
+            load_bit_identical = (
+                HNSWSearcher.load(sidecar).structure_digest()
+                == hnsw.structure_digest()
+            )
+
+            # The client population is fixed across legs so the only
+            # variable is how many processes it spreads over.
+            num_clients = max(replica_counts) * replica_clients_per_replica
+            runs: List[Dict[str, object]] = []
+            for count in replica_counts:
+                errors: List[str] = []
+                served = [0] * num_clients
+                leg_stop = threading.Event()
+                with ReplicaPool(
+                    index_dir, num_replicas=count, poll_interval=0.2
+                ) as pool:
+                    # Warm-up: one query per worker so the one-off sidecar
+                    # load (and any catch-up sync) lands outside the window.
+                    for slot in range(count):
+                        pool.query(
+                            queries[:1], k=k, algorithm="hnsw", replica=slot
+                        )
+
+                    def _client(slot: int) -> None:
+                        rng = np.random.default_rng(seed + 500 + slot)
+                        while not leg_stop.is_set():
+                            picks = rng.integers(0, num_queries, size=replica_batch)
+                            try:
+                                pool.query(queries[picks], k=k, algorithm="hnsw")
+                            except Exception as error:  # noqa: BLE001 - reported
+                                errors.append(repr(error))
+                                return
+                            served[slot] += replica_batch
+
+                    def _replica_writer() -> None:
+                        # Smaller batches than the in-process QPS leg: every
+                        # save makes each replica re-open and incrementally
+                        # sync its graph, and the point is to prove queries
+                        # survive that churn, not to drown them in it.
+                        offset = 0
+                        batch_id = 0
+                        while not leg_stop.is_set():
+                            block = extra[offset : offset + replica_ingest_batch]
+                            if len(block) < replica_ingest_batch:
+                                offset = 0
+                                continue
+                            index.add(
+                                [
+                                    f"repl{count}_{batch_id:05d}_{i}"
+                                    for i in range(len(block))
+                                ],
+                                block,
+                                kinds=CONE_KIND,
+                            )
+                            index.save()
+                            offset += replica_ingest_batch
+                            batch_id += 1
+                            leg_stop.wait(0.5)
+
+                    clients = [
+                        threading.Thread(target=_client, args=(slot,), daemon=True)
+                        for slot in range(num_clients)
+                    ]
+                    leg_writer = threading.Thread(target=_replica_writer, daemon=True)
+                    for thread in clients:
+                        thread.start()
+                    leg_writer.start()
+                    leg_start = time.perf_counter()
+                    time.sleep(replica_qps_seconds)
+                    # QPS is queries completed inside the window over the
+                    # window itself; the drain of in-flight requests after
+                    # ``leg_stop`` would otherwise deflate the rate.
+                    window_served = int(sum(served))
+                    leg_elapsed = time.perf_counter() - leg_start
+                    leg_stop.set()
+                    for thread in clients:
+                        thread.join()
+                    leg_writer.join()
+                    worker_stats = pool.stats()
+                runs.append({
+                    "replicas": count,
+                    "qps": round(window_served / leg_elapsed, 1),
+                    "queries": window_served,
+                    "seconds": round(leg_elapsed, 2),
+                    "clients": num_clients,
+                    "errors": errors,
+                    "workers": [
+                        {
+                            "generation": stats["generation"],
+                            "reopens": stats["reopens"],
+                            "hnsw_loaded": stats["hnsw_loaded"],
+                            "hnsw_synced": stats["hnsw_synced"],
+                            "hnsw_refits": stats["hnsw_refits"],
+                        }
+                        for stats in worker_stats
+                    ],
+                })
+
+            cores = available_cores()
+            base_qps = runs[0]["qps"] or 1e-9
+            replica_section = {
+                "hnsw_sidecar": sidecar.name,
+                "hnsw_load_bit_identical": bool(load_bit_identical),
+                "runs": runs,
+                "total_errors": int(sum(len(run["errors"]) for run in runs)),
+                "speedup": {
+                    "aggregate_qps_vs_single": round(runs[-1]["qps"] / base_qps, 2),
+                },
+                "speedup_gate": {
+                    "threshold": replica_speedup_floor,
+                    "cores": cores,
+                    # A single-core host time-slices the replica processes;
+                    # its N-vs-1 ratio is scheduler noise, not a floor.
+                    "active": bool(cores >= 2 and len(replica_counts) > 1),
+                },
+            }
+
         return {
             "host": host,
             "corpus": {
@@ -492,6 +638,7 @@ def run_index_scale_bench(
                 "ingest_rows_per_second": round(ingested[0] / elapsed, 1),
                 "snapshot_stats": snapshots.stats(),
             },
+            "replicas": replica_section,
         }
     finally:
         if cleanup is not None:

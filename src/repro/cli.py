@@ -29,8 +29,11 @@ Three subcommands cover the typical workflow of a downstream user:
     retrieves the top-k nearest entries for a query in any modality
     (``--from rtl --to cone`` finds the register cones implementing an RTL
     snippet; ``--searcher exact|ivf|hnsw`` picks the retrieval algorithm),
-    ``index compact`` rewrites live rows into dense shards, and
-    ``index stats`` prints occupancy and provenance.
+    ``index compact`` rewrites live rows into dense shards,
+    ``index stats`` prints occupancy and provenance, ``index fit-hnsw``
+    persists an HNSW graph sidecar that read replicas load instead of
+    refitting, and ``index serve --replicas N`` probe-serves the index from
+    N read-only replica processes over the shared mmap'd shards.
 
 Run ``python -m repro --help`` for details.
 """
@@ -169,6 +172,46 @@ def _build_parser() -> argparse.ArgumentParser:
     istats = index_sub.add_parser("stats", help="print index occupancy and provenance")
     add_common(istats, checkpoint=False)
 
+    fit_hnsw = index_sub.add_parser(
+        "fit-hnsw",
+        help="fit an HNSW graph over an existing index and persist it as a "
+             "sidecar file replicas load instead of refitting",
+    )
+    add_common(fit_hnsw, checkpoint=False)
+    fit_hnsw.add_argument("--kind", default=None,
+                          help="restrict the graph to one row namespace "
+                               "(default: all rows)")
+    fit_hnsw.add_argument("--M", type=int, default=16, dest="M",
+                          help="max links per node per layer (default: 16)")
+    fit_hnsw.add_argument("--ef-construction", type=int, default=80,
+                          help="beam width while building (default: 80)")
+    fit_hnsw.add_argument("--ef-search", type=int, default=64,
+                          help="default beam width at query time (default: 64)")
+    fit_hnsw.add_argument("--seed", type=int, default=0,
+                          help="level-assignment seed (default: 0)")
+
+    serve = index_sub.add_parser(
+        "serve",
+        help="serve an index read-only from N replica processes over the "
+             "shared mmap'd shards (smoke/probe runner)",
+    )
+    add_common(serve, checkpoint=False)
+    serve.add_argument("--replicas", type=int, default=2,
+                       help="number of read-replica processes (default: 2)")
+    serve.add_argument("--searcher", default="exact",
+                       choices=("exact", "ivf", "hnsw"),
+                       help="retrieval algorithm each probe uses (default: exact)")
+    serve.add_argument("--kind", default=None,
+                       help="restrict probes to one row namespace")
+    serve.add_argument("--probe", type=int, default=4,
+                       help="number of round-robin probe queries drawn from the "
+                            "index's own rows (default: 4)")
+    serve.add_argument("-k", type=int, default=5,
+                       help="results per probe query (default: 5)")
+    serve.add_argument("--poll-interval", type=float, default=0.25,
+                       help="replica manifest poll interval in seconds "
+                            "(default: 0.25)")
+
     return parser
 
 
@@ -289,6 +332,12 @@ def _run_index(args: argparse.Namespace) -> int:
               f"{result['rows_after']} ({result['tombstones_dropped']} tombstones dropped)")
         return 0
 
+    if args.index_command == "fit-hnsw":
+        return _run_index_fit_hnsw(args)
+
+    if args.index_command == "serve":
+        return _run_index_serve(args)
+
     from .core import NetTAG
     from .netlist import read_verilog
     from .serve import NetTAGService
@@ -312,6 +361,85 @@ def _run_index(args: argparse.Namespace) -> int:
         return 0
 
     return _run_index_query(args, model)
+
+
+def _run_index_fit_hnsw(args: argparse.Namespace) -> int:
+    # No model / checkpoint needed: the graph is built from the stored
+    # vectors, so this runs on any machine that can read the index directory.
+    from .serve import EmbeddingIndex, HNSWSearcher, hnsw_sidecar_path
+
+    index = EmbeddingIndex.open(args.index)
+    searcher = HNSWSearcher(
+        M=args.M,
+        ef_construction=args.ef_construction,
+        ef_search=args.ef_search,
+        seed=args.seed,
+        kind=args.kind,
+    )
+    searcher.fit(index)
+    path = searcher.save(hnsw_sidecar_path(args.index, args.kind))
+    scope = args.kind or "all kinds"
+    print(f"fitted HNSW graph over {args.index} ({scope}), "
+          f"generation {index.generation}")
+    print(f"  structure digest {searcher.structure_digest()}")
+    print(f"  sidecar written to {path}")
+    return 0
+
+
+def _run_index_serve(args: argparse.Namespace) -> int:
+    from .serve import EmbeddingIndex, ReplicaPool
+
+    if args.replicas < 1:
+        print("--replicas must be at least 1", file=sys.stderr)
+        return 2
+
+    # Probe queries come from the index's own live rows: every probe must
+    # retrieve itself as the top hit, which makes this a self-checking
+    # smoke test of the whole replica path.
+    index = EmbeddingIndex.open(args.index)
+    probes = []  # (key, kind, vector)
+    for (keys, kinds, matrix, _), (_, _, live_rows) in zip(
+        index.iter_segments(), index.search_metadata()
+    ):
+        for row in live_rows:
+            if args.kind is not None and kinds[row] != args.kind:
+                continue
+            probes.append((keys[row], kinds[row], np.asarray(matrix[row])))
+            if len(probes) >= args.probe:
+                break
+        if len(probes) >= args.probe:
+            break
+    if not probes:
+        print(f"index at {args.index} has no live rows to probe", file=sys.stderr)
+        return 2
+
+    with ReplicaPool(
+        args.index, num_replicas=args.replicas, poll_interval=args.poll_interval
+    ) as pool:
+        mismatches = 0
+        for i, (key, kind, vector) in enumerate(probes):
+            hits = pool.query(
+                vector[None, :], k=args.k, kind=args.kind,
+                algorithm=args.searcher, replica=i % args.replicas,
+            )[0]
+            top = hits[0].key if hits else None
+            flag = "" if top == key else "  <-- expected top hit " + key
+            print(f"probe {i} (replica {i % args.replicas}, {kind}):"
+                  f" top-{args.k}{flag}")
+            for hit in hits:
+                print(f"  {hit.score:+.4f}  {hit.key}")
+            if top != key:
+                mismatches += 1
+        for slot, stats in enumerate(pool.stats()):
+            print(f"replica {slot}: generation {stats['generation']}, "
+                  f"reopens {stats['reopens']}, "
+                  f"hnsw loaded/synced/refit "
+                  f"{stats['hnsw_loaded']}/{stats['hnsw_synced']}/{stats['hnsw_refits']}")
+    if mismatches:
+        print(f"{mismatches} probe(s) missed their own row", file=sys.stderr)
+        return 1
+    print(f"served {len(probes)} probes across {args.replicas} replica processes")
+    return 0
 
 
 def _parse_modalities(raw: Optional[str]):

@@ -16,7 +16,10 @@
   zero-downtime index/model hot-swap (``repro.serve.snapshot``),
 * :class:`AsyncFrontend` — asyncio admission control (bounded per-kind
   queues, reject-with-retry-after backpressure, per-request deadlines,
-  graceful drain) in front of one service (``repro.serve.frontend``).
+  graceful drain) in front of one service (``repro.serve.frontend``),
+* :class:`ReadReplica` / :class:`ReplicaPool` — read-only multi-process
+  replicas over the shared mmap'd shards, with a manifest generation watcher
+  and persisted HNSW graph loading (``repro.serve.replica``).
 """
 
 from .crossmodal import (
@@ -39,8 +42,16 @@ from .frontend import (
     FrontendClosed,
 )
 from .index import EmbeddingIndex, IndexFormatError
+from .replica import ReadReplica, ReplicaError, ReplicaPool
 from .scheduler import BatchScheduler, SchedulerClosed
-from .search import HNSWSearcher, IVFSearcher, SearchHit, exact_topk, recall_at_k
+from .search import (
+    HNSWSearcher,
+    IVFSearcher,
+    SearchHit,
+    exact_topk,
+    hnsw_sidecar_path,
+    recall_at_k,
+)
 from .snapshot import ReadSnapshot, SnapshotManager
 from .service import (
     CIRCUIT_KIND,
@@ -62,8 +73,12 @@ __all__ = [
     "SearchHit",
     "exact_topk",
     "recall_at_k",
+    "hnsw_sidecar_path",
     "ReadSnapshot",
     "SnapshotManager",
+    "ReadReplica",
+    "ReplicaPool",
+    "ReplicaError",
     "AsyncFrontend",
     "AdmissionError",
     "DeadlineExceeded",

@@ -32,6 +32,7 @@ retrieved per namespace.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import time
 import warnings
@@ -147,6 +148,7 @@ class EmbeddingIndex:
         fingerprints: Optional[Mapping[str, object]] = None,
         _shards: Optional[List[_Shard]] = None,
         _tombstones: Optional[Sequence[str]] = None,
+        _generation: int = 0,
     ) -> None:
         if dim < 1:
             raise ValueError("embedding dimension must be positive")
@@ -166,7 +168,10 @@ class EmbeddingIndex:
         self._pending_rows: List[np.ndarray] = []
         # Bumped on every mutation; derived structures (the cached search
         # metadata below, fitted IVF searchers) key their validity on it.
-        self._generation = 0
+        # Persisted in the manifest (restored by ``open``) so cross-process
+        # readers — :class:`repro.serve.replica.ReadReplica` — see a counter
+        # that survives the writer saving, exiting and reopening.
+        self._generation = int(_generation)
         self._search_cache: Optional[
             Tuple[int, List, Dict[Tuple[str, str], Tuple[int, int]]]
         ] = None
@@ -270,6 +275,7 @@ class EmbeddingIndex:
             fingerprints=fingerprints,
             _shards=shards,
             _tombstones=manifest.get("tombstones", []),
+            _generation=int(manifest.get("generation", 0)),
         )
 
     # ------------------------------------------------------------------
@@ -428,6 +434,7 @@ class EmbeddingIndex:
             "metric": self.metric,
             "shard_size": self.shard_size,
             "fingerprints": self.fingerprints,
+            "generation": self._generation,
             "shards": [{"name": s.name, "count": s.count} for s in self._shards],
             "tombstones": [
                 list(entry)
@@ -546,6 +553,31 @@ class EmbeddingIndex:
         """
         return self._generation
 
+    def content_fingerprint(self) -> str:
+        """SHA-256 over the index's logical content (layout, not bytes).
+
+        Covers the sealed-shard layout (names + row counts — shards are
+        immutable, so that identifies their content), the tombstone set, the
+        buffered tail (keys, kinds and vector bytes) and the dimension.  Two
+        opens of the same on-disk state agree, any mutation changes it —
+        this is what lets a persisted HNSW graph (:meth:`HNSWSearcher.save
+        <repro.serve.search.HNSWSearcher.save>`) prove in another process
+        that it was fitted on exactly this content, where the generation
+        counter alone could collide across rebuilds.
+        """
+        digest = hashlib.sha256()
+        digest.update(f"dim={self.dim}".encode())
+        for shard in self._shards:
+            digest.update(f"|s:{shard.name}:{shard.count}".encode())
+        for key, kind in sorted(self._tombstones, key=lambda e: (e[0], e[1] or "")):
+            digest.update(f"|t:{key}\x00{kind or ''}".encode())
+        for key, kind, row in zip(
+            self._pending_keys, self._pending_kinds, self._pending_rows
+        ):
+            digest.update(f"|p:{key}\x00{kind}\x00".encode())
+            digest.update(np.asarray(row, dtype=_DTYPE).tobytes())
+        return digest.hexdigest()
+
     def search_metadata(self) -> List[Tuple[List[str], np.ndarray, np.ndarray]]:
         """Per-segment ``(keys, kinds_array, live_rows)``, cached per generation.
 
@@ -608,6 +640,7 @@ class EmbeddingIndex:
             segments=segments,
             metadata=metadata,
             live_map=self.live_row_map(),
+            content_fingerprint=self.content_fingerprint(),
         )
 
     # ------------------------------------------------------------------

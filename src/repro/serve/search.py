@@ -30,12 +30,40 @@ from __future__ import annotations
 
 import hashlib
 import heapq
+import json
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from .index import EmbeddingIndex
+from ..nn.serialization import atomic_write
+from .index import EmbeddingIndex, IndexFormatError, _library_version
+
+PathLike = Union[str, Path]
+
+# Version 1: flat-links layout (vectors / levels / link_counts / link_flat /
+# keys / kinds arrays + a JSON meta block) written atomically like the index
+# manifest.  Bump on any change to the arrays or their interpretation.
+_HNSW_FORMAT_VERSION = 1
+
+
+def hnsw_sidecar_path(directory: PathLike, kind: Optional[str] = None) -> Path:
+    """Canonical location of a persisted HNSW graph inside an index directory.
+
+    One sidecar per namespace filter: ``hnsw-all.graph.npz`` for a graph over
+    every kind, ``hnsw-<kind>.graph.npz`` for a single-kind graph.  This is
+    where ``serve index fit-hnsw`` writes and where read replicas look before
+    falling back to a refit.
+    """
+    suffix = "all" if kind is None else str(kind)
+    return Path(directory) / f"hnsw-{suffix}.graph.npz"
+
+
+def _content_fingerprint_of(index) -> Optional[str]:
+    """``index.content_fingerprint()`` when the read surface offers one."""
+    probe = getattr(index, "content_fingerprint", None)
+    return probe() if callable(probe) else None
 
 
 @dataclass
@@ -353,6 +381,10 @@ class HNSWSearcher:
         self._max_level = -1
         self._dim = 0
         self._fitted_generation = -1
+        # content_fingerprint() of the index at fit/sync time — the proof a
+        # persisted graph offers another process that it matches the on-disk
+        # index content (generation numbers alone can collide across rebuilds).
+        self._fitted_fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -404,6 +436,158 @@ class HNSWSearcher:
         for key, kind in zip(self._keys, self._kinds):
             digest.update(f"{key}\x00{kind}\x01".encode())
         return digest.hexdigest()
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: PathLike) -> Path:
+        """Persist the fitted graph to ``path`` atomically (temp + rename).
+
+        The format is a versioned ``.npz``: the float64 unit vectors, the
+        per-node levels, the adjacency flattened to ``(link_counts,
+        link_flat)`` in node-major/level order, the key/kind arrays and a
+        JSON meta block carrying the tuning parameters plus three
+        provenance stamps — the fitted index generation, the index
+        :meth:`content_fingerprint
+        <repro.serve.index.EmbeddingIndex.content_fingerprint>` and this
+        graph's :meth:`structure_digest`.  :meth:`load` restores the graph
+        bit-identically (same digest); :meth:`attach` uses the fingerprint
+        to prove freshness against an independently-opened index.
+        """
+        if not self.is_fitted:
+            raise RuntimeError("HNSWSearcher.save called before fit()/insert()")
+        path = Path(path)
+        per_node = [self._links[node] for node in range(self._count)]
+        link_counts = np.asarray(
+            [len(neighbours) for levels in per_node for neighbours in levels],
+            dtype=np.int64,
+        )
+        flat_parts = [neighbours for levels in per_node for neighbours in levels]
+        link_flat = (
+            np.concatenate(flat_parts).astype(np.int64)
+            if flat_parts
+            else np.empty(0, dtype=np.int64)
+        )
+        meta = {
+            "format_version": _HNSW_FORMAT_VERSION,
+            "library_version": _library_version(),
+            "M": self.M,
+            "ef_construction": self.ef_construction,
+            "ef_search": self.ef_search,
+            "seed": self.seed,
+            "kind": self.kind,
+            "count": self._count,
+            "dim": self._dim,
+            "entry": self._entry,
+            "max_level": self._max_level,
+            "fitted_generation": self._fitted_generation,
+            "index_fingerprint": self._fitted_fingerprint,
+            "structure_digest": self.structure_digest(),
+        }
+
+        def _write(tmp: Path) -> None:
+            with tmp.open("wb") as handle:
+                np.savez(
+                    handle,
+                    meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+                    vectors=np.ascontiguousarray(self._matrix()),
+                    levels=np.asarray(self._levels, dtype=np.int64),
+                    link_counts=link_counts,
+                    link_flat=link_flat,
+                    keys=np.asarray(self._keys),
+                    kinds=np.asarray(self._kinds),
+                )
+
+        atomic_write(path, path.name + ".tmp", _write)
+        return path
+
+    @classmethod
+    def load(cls, path: PathLike) -> "HNSWSearcher":
+        """Restore a graph persisted by :meth:`save` (bit-identical).
+
+        Raises :class:`~repro.serve.index.IndexFormatError` when the file is
+        unreadable, a different format version, internally inconsistent, or
+        its arrays fail the stored :meth:`structure_digest` — a loaded graph
+        is either exactly the one saved or an error, never silently wrong.
+        """
+        path = Path(path)
+        try:
+            with np.load(path, allow_pickle=False) as payload:
+                meta = json.loads(bytes(payload["meta"]).decode())
+                vectors = np.ascontiguousarray(payload["vectors"], dtype=np.float64)
+                levels = payload["levels"].astype(np.int64)
+                link_counts = payload["link_counts"].astype(np.int64)
+                link_flat = payload["link_flat"].astype(np.int64)
+                keys = [str(key) for key in payload["keys"]]
+                kinds = [str(kind) for kind in payload["kinds"]]
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as error:
+            raise IndexFormatError(f"unreadable HNSW graph {path}: {error}")
+        if meta.get("format_version") != _HNSW_FORMAT_VERSION:
+            raise IndexFormatError(
+                f"HNSW graph format version {meta.get('format_version')!r} is not "
+                f"supported (expected {_HNSW_FORMAT_VERSION})"
+            )
+        count, dim = int(meta["count"]), int(meta["dim"])
+        if (
+            vectors.shape != (count, dim)
+            or len(levels) != count
+            or len(keys) != count
+            or len(kinds) != count
+            or len(link_counts) != int(np.sum(levels + 1))
+        ):
+            raise IndexFormatError(f"HNSW graph {path} is internally inconsistent")
+        if int(np.sum(link_counts)) != len(link_flat):
+            raise IndexFormatError(f"HNSW graph {path} adjacency arrays disagree")
+        searcher = cls(
+            M=int(meta["M"]),
+            ef_construction=int(meta["ef_construction"]),
+            ef_search=int(meta["ef_search"]),
+            seed=int(meta["seed"]),
+            kind=meta.get("kind"),
+        )
+        searcher._keys = keys
+        searcher._kinds = kinds
+        searcher._vectors = vectors
+        searcher._count = count
+        searcher._dim = dim
+        searcher._levels = [int(level) for level in levels]
+        links: List[List[np.ndarray]] = []
+        slot = 0
+        flat_cursor = 0
+        for node in range(count):
+            per_level: List[np.ndarray] = []
+            for _ in range(int(levels[node]) + 1):
+                n = int(link_counts[slot])
+                slot += 1
+                per_level.append(link_flat[flat_cursor : flat_cursor + n].copy())
+                flat_cursor += n
+            links.append(per_level)
+        searcher._links = links
+        searcher._entry = int(meta["entry"])
+        searcher._max_level = int(meta["max_level"])
+        searcher._fitted_generation = int(meta["fitted_generation"])
+        searcher._fitted_fingerprint = meta.get("index_fingerprint")
+        if searcher.structure_digest() != meta.get("structure_digest"):
+            raise IndexFormatError(
+                f"HNSW graph {path} failed its structure digest (corrupt payload)"
+            )
+        return searcher
+
+    def attach(self, index) -> bool:
+        """Bind a loaded graph to an independently-opened index, if fresh.
+
+        Returns ``True`` — and adopts ``index``'s generation, so
+        :meth:`needs_refit` reports fresh — only when ``index``'s
+        ``content_fingerprint()`` equals the one this graph was fitted
+        against.  Returns ``False`` (graph stays stale) when the index has
+        no fingerprint or the contents moved; callers then fall back to
+        :meth:`sync` or :meth:`fit`.
+        """
+        fingerprint = _content_fingerprint_of(index)
+        if fingerprint is None or self._fitted_fingerprint != fingerprint:
+            return False
+        self._fitted_generation = int(index.generation)
+        return True
 
     def stats(self) -> Dict[str, object]:
         """Graph occupancy summary for service reports."""
@@ -626,6 +810,7 @@ class HNSWSearcher:
         if not self._count:
             raise ValueError("cannot fit an HNSW searcher on an empty index")
         self._fitted_generation = index.generation
+        self._fitted_fingerprint = _content_fingerprint_of(index)
         return self
 
     def sync(self, index: EmbeddingIndex) -> int:
@@ -666,6 +851,7 @@ class HNSWSearcher:
         for key, kind, vector in fresh:
             self.insert(key, vector, kind=kind)
         self._fitted_generation = index.generation
+        self._fitted_fingerprint = _content_fingerprint_of(index)
         return len(fresh)
 
     # ------------------------------------------------------------------

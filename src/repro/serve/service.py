@@ -29,7 +29,13 @@ from ..netlist import extract_register_cones
 from ..nn import use_backend
 from .index import EmbeddingIndex
 from .scheduler import BatchScheduler
-from .search import HNSWSearcher, IVFSearcher, SearchHit, exact_topk
+from .search import (
+    HNSWSearcher,
+    IVFSearcher,
+    SearchHit,
+    exact_topk,
+    hnsw_sidecar_path,
+)
 from .snapshot import ReadSnapshot, SnapshotManager
 
 # Either approximate searcher; both expose fit/search/needs_refit/
@@ -424,6 +430,7 @@ class NetTAGService:
         M: int = 16,
         ef_construction: int = 80,
         ef_search: int = 64,
+        persist: bool = False,
     ) -> AnySearcher:
         """Build/refresh the approximate searcher over one kind (namespace).
 
@@ -434,7 +441,13 @@ class NetTAGService:
         ``rtl`` vs ``layout``) never evict each other's structure; the
         last-fitted searcher is mirrored on :attr:`searcher`.  Fitting reads
         a pinned snapshot — it never blocks queries or ingest.
+
+        ``persist=True`` (HNSW only) saves the fitted graph to the index
+        directory's sidecar (:func:`~repro.serve.search.hnsw_sidecar_path`)
+        so read replicas load it instead of refitting per process.
         """
+        if persist and algorithm != "hnsw":
+            raise ValueError("persist=True applies to the 'hnsw' algorithm only")
         if algorithm == "ivf":
             searcher: AnySearcher = IVFSearcher(
                 num_centroids=num_centroids, nprobe=nprobe, seed=seed, kind=kind
@@ -453,6 +466,9 @@ class NetTAGService:
             )
         with self._pin_current() as snapshot:
             searcher.fit(snapshot)
+        if persist:
+            assert isinstance(searcher, HNSWSearcher)
+            searcher.save(hnsw_sidecar_path(self._require_index().directory, kind))
         with self._searcher_lock:
             self._searchers[kind] = searcher
             self.searcher = searcher

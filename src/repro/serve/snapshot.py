@@ -27,6 +27,7 @@ split works like an MVCC storage engine:
 from __future__ import annotations
 
 import threading
+import warnings
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
@@ -51,12 +52,14 @@ class ReadSnapshot:
         segments: List[Segment],
         metadata: List[Metadata],
         live_map: Dict[Tuple[str, str], Tuple[int, int]],
+        content_fingerprint: Optional[str] = None,
     ) -> None:
         self.dim = int(dim)
         self.generation = int(generation)
         self._segments = list(segments)
         self._metadata = list(metadata)
         self._live_map = dict(live_map)
+        self._content_fingerprint = content_fingerprint
 
     def __len__(self) -> int:
         """Number of live ``(key, kind)`` entries at this generation."""
@@ -73,6 +76,10 @@ class ReadSnapshot:
     def live_row_map(self) -> Dict[Tuple[str, str], Tuple[int, int]]:
         """``(key, kind) -> (segment, row)`` of each live entry."""
         return self._live_map
+
+    def content_fingerprint(self) -> Optional[str]:
+        """The index's content hash at pin time (``None`` for bare views)."""
+        return self._content_fingerprint
 
 
 class _Pin:
@@ -114,13 +121,28 @@ class SnapshotManager:
         self._retired: Dict[int, List[Callable[[], None]]] = {}
         self._refreshes = 0
         self._retirements_run = 0
+        self._retirements_failed = 0
 
     # ------------------------------------------------------------------
     def _run_callbacks(self, callbacks: List[Callable[[], None]]) -> None:
+        # Retirement runs on whichever reader happens to release last — a
+        # raising callback must neither turn that reader's successful query
+        # into an error nor strand the sibling callbacks queued behind it.
         for callback in callbacks:
-            callback()
-            with self._lock:
-                self._retirements_run += 1
+            try:
+                callback()
+            except Exception as error:  # noqa: BLE001 - counted, not fatal
+                with self._lock:
+                    self._retirements_failed += 1
+                warnings.warn(
+                    f"snapshot retirement callback failed ({error!r}); "
+                    "remaining retirements still run",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            else:
+                with self._lock:
+                    self._retirements_run += 1
 
     def refresh(self, retire: Optional[Callable[[], None]] = None) -> ReadSnapshot:
         """Publish a snapshot of the current index state.
@@ -205,4 +227,5 @@ class SnapshotManager:
                 "refreshes": self._refreshes,
                 "retirements_pending": sum(len(v) for v in self._retired.values()),
                 "retirements_run": self._retirements_run,
+                "retirements_failed": self._retirements_failed,
             }

@@ -31,8 +31,9 @@ bit-identically.
 from __future__ import annotations
 
 import threading
+import warnings
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -86,8 +87,12 @@ class ShardedCorpus:
         self._prefetch_thread: Optional[threading.Thread] = None
         self._prefetch_id: Optional[int] = None
         self._prefetch_result: Optional[List[Any]] = None
+        self._prefetch_error: Optional[Exception] = None
+        self._failed_prefetch: Optional[Tuple[int, Exception]] = None
+        self._prefetch_warned = False
         self.loads = 0
         self.prefetch_hits = 0
+        self.prefetch_failures = 0
 
     # ------------------------------------------------------------------
     # Pickling: workers reopen the on-disk shards, never the live cache.
@@ -279,18 +284,47 @@ class ShardedCorpus:
         with self._lock:
             payload = self._prefetch_result
             shard_index = self._prefetch_id
+            error = self._prefetch_error
             self._prefetch_thread = None
             self._prefetch_id = None
             self._prefetch_result = None
+            self._prefetch_error = None
+            if error is not None and shard_index is not None:
+                self.prefetch_failures += 1
+                self._failed_prefetch = (shard_index, error)
+                warn = not self._prefetch_warned
+                self._prefetch_warned = True
+            else:
+                warn = False
             if payload is not None and shard_index is not None:
                 if wait_for is not None and shard_index == wait_for:
                     self.prefetch_hits += 1
                 if shard_index not in self._cache:
                     self._cache_put(shard_index, payload)
+                if self._failed_prefetch is not None and self._failed_prefetch[0] == shard_index:
+                    self._failed_prefetch = None  # a successful retry clears it
+        if warn:
+            warnings.warn(
+                f"corpus '{self.name}': background prefetch of shard "
+                f"{shard_index} failed ({error!r}); the error re-raises on the "
+                "next load of that shard (warning once per corpus)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     def load_shard(self, shard_index: int) -> List[Any]:
-        """The items of one shard, via the LRU / prefetch double buffer."""
+        """The items of one shard, via the LRU / prefetch double buffer.
+
+        If the background prefetch of *this* shard failed, its captured
+        exception re-raises here — eagerly, with the real cause — instead of
+        surfacing later as an unexplained synchronous load error.
+        """
         self._harvest_prefetch(wait_for=shard_index)
+        with self._lock:
+            if self._failed_prefetch is not None and self._failed_prefetch[0] == shard_index:
+                _, error = self._failed_prefetch
+                self._failed_prefetch = None
+                raise error
         with self._lock:
             cached = self._cache.get(shard_index)
             if cached is not None:
@@ -308,8 +342,9 @@ class ShardedCorpus:
 
         A no-op when the shard is cached or a prefetch is already in flight;
         the loaded payload is handed over on the next :meth:`load_shard` for
-        that shard.  Failures are swallowed here and surface as a normal
-        (synchronous) load error later.
+        that shard.  A failing background load is captured (not swallowed):
+        it bumps ``prefetch_failures``, warns once per corpus, and re-raises
+        on the next :meth:`load_shard` of the failed shard.
         """
         if not 0 <= shard_index < self.num_shards:
             return
@@ -319,13 +354,17 @@ class ShardedCorpus:
                 return
 
             def _worker() -> None:
+                payload = None
+                error: Optional[Exception] = None
                 try:
                     payload = self._load_payload(shard_index)
-                except Exception:
-                    payload = None
+                except Exception as exc:  # noqa: BLE001 - re-raised at harvest
+                    error = exc
                 with self._lock:
                     self._prefetch_result = payload
-                    self.loads += 1
+                    self._prefetch_error = error
+                    if error is None:
+                        self.loads += 1
 
             thread = threading.Thread(
                 target=_worker, name=f"corpus-prefetch-{self.name}", daemon=True
@@ -357,8 +396,13 @@ class ShardedCorpus:
         return self.load_shard(self.shard_of(index))[index - start]
 
     def stats(self) -> Dict[str, int]:
-        """Shard-load counters (``prefetch_hits`` = loads served by the buffer)."""
-        return {"loads": self.loads, "prefetch_hits": self.prefetch_hits}
+        """Shard-load counters (``prefetch_hits`` = loads served by the buffer,
+        ``prefetch_failures`` = background loads that raised)."""
+        return {
+            "loads": self.loads,
+            "prefetch_hits": self.prefetch_hits,
+            "prefetch_failures": self.prefetch_failures,
+        }
 
 
 # ----------------------------------------------------------------------

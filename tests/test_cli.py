@@ -382,3 +382,54 @@ class TestCrossModalCommands:
             "--checkpoint", str(checkpoint), "--index", str(tmp_path / "idx"),
         ]) == 2
         assert "netlist directory" in capsys.readouterr().err
+
+
+class TestIndexReplicaCommands:
+    """`index fit-hnsw` and `index serve` run without a model checkpoint."""
+
+    @pytest.fixture()
+    def built_index(self, tmp_path):
+        from repro.serve import EmbeddingIndex
+
+        directory = tmp_path / "ix"
+        rng = np.random.default_rng(0)
+        index = EmbeddingIndex.create(directory, dim=12, shard_size=16)
+        kinds = ["cone" if i % 2 else "circuit" for i in range(48)]
+        index.add([f"row{i:03d}" for i in range(48)],
+                  rng.normal(size=(48, 12)), kinds=kinds)
+        index.save()
+        return directory
+
+    def test_fit_hnsw_writes_loadable_sidecar(self, built_index, capsys):
+        from repro.serve import HNSWSearcher, hnsw_sidecar_path
+
+        assert main([
+            "index", "fit-hnsw", "--index", str(built_index),
+            "--kind", "cone", "--M", "8",
+            "--ef-construction", "32", "--ef-search", "24",
+        ]) == 0
+        output = capsys.readouterr().out
+        sidecar = hnsw_sidecar_path(built_index, "cone")
+        assert sidecar.exists()
+        assert str(sidecar) in output
+        loaded = HNSWSearcher.load(sidecar)
+        assert loaded.structure_digest() in output
+        assert loaded.kind == "cone"
+
+    def test_serve_probes_round_robin_and_reports_stats(self, built_index, capsys):
+        assert main([
+            "index", "serve", "--index", str(built_index),
+            "--replicas", "2", "--probe", "2", "-k", "3",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "replica 0: generation" in output
+        assert "replica 1: generation" in output
+        assert "served 2 probes across 2 replica processes" in output
+
+    def test_serve_rejects_empty_index(self, tmp_path, capsys):
+        from repro.serve import EmbeddingIndex
+
+        directory = tmp_path / "empty"
+        EmbeddingIndex.create(directory, dim=8).save()
+        assert main(["index", "serve", "--index", str(directory)]) == 2
+        assert "no live rows" in capsys.readouterr().err

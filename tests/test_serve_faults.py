@@ -305,3 +305,97 @@ class TestKilledWriter:
         query = baseline[(some_key, "cone")]
         hits = exact_topk(reopened, query[np.newaxis, :], k=1)
         assert hits[0][0].key == some_key
+
+
+class TestRetirementCallbackFaults:
+    """A raising retirement callback is counted and warned about — it must
+    neither turn the releasing reader's successful query into an error nor
+    strand the sibling callbacks queued behind it (ISSUE 10 bugfix)."""
+
+    @staticmethod
+    def _manager():
+        import itertools
+
+        from repro.serve import ReadSnapshot, SnapshotManager
+
+        generations = itertools.count()
+        return SnapshotManager(
+            lambda: ReadSnapshot(
+                dim=2, generation=next(generations), segments=[], metadata=[],
+                live_map={},
+            )
+        )
+
+    def test_raising_retirement_leaves_releasing_reader_unharmed(self):
+        manager = self._manager()
+        manager.refresh()
+        pin = manager.pin()
+
+        def bad() -> None:
+            raise OSError("injected retirement failure")
+
+        manager.refresh(retire=bad)
+        # The last reader of the old snapshot triggers the deferred
+        # retirement on release; the injected failure must be swallowed
+        # (warned + counted), not raised into the reader.
+        with pytest.warns(RuntimeWarning, match="retirement callback failed"):
+            pin.release()
+        stats = manager.stats()
+        assert stats["retirements_failed"] == 1
+        assert stats["retirements_run"] == 0
+        assert stats["retirements_pending"] == 0
+
+    def test_sibling_callbacks_still_run_after_one_raises(self):
+        manager = self._manager()
+        manager.refresh()
+        pin_old = manager.pin()
+
+        def bad() -> None:
+            raise OSError("injected retirement failure")
+
+        manager.refresh(retire=bad)
+        pin_mid = manager.pin()
+        ran = []
+        manager.refresh(retire=lambda: ran.append("good"))
+        # Both snapshots still pinned -> both retirements deferred; shutdown
+        # drains them through one callback pass where bad precedes good.
+        with pytest.warns(RuntimeWarning, match="retirement callback failed"):
+            manager.shutdown()
+        assert ran == ["good"]
+        stats = manager.stats()
+        assert stats["retirements_failed"] == 1
+        assert stats["retirements_run"] == 1
+        pin_old.release()
+        pin_mid.release()
+
+    def test_service_compact_survives_unlink_failure_on_retirement(
+        self, tmp_path, monkeypatch
+    ):
+        """Integration: compact's stale-payload unlink raising on a reader's
+        release leaves the service serving and the failure visible in stats."""
+        index = _build_index(tmp_path / "ix")
+        expected = _live_content(index)
+        from repro.serve import SnapshotManager
+
+        snapshots = SnapshotManager(index.snapshot)
+        snapshots.refresh()
+        pin = snapshots.pin()  # a reader mid-query across the compact
+
+        result = index.compact()
+        assert result["tombstones_dropped"] > 0
+
+        def failing_unlink() -> None:
+            raise OSError("injected unlink failure")
+
+        snapshots.refresh(retire=failing_unlink)
+        with pytest.warns(RuntimeWarning, match="retirement callback failed"):
+            pin.release()
+        # New readers keep getting correct, complete answers.
+        fresh = snapshots.pin()
+        try:
+            some_vec = next(iter(expected.values()))
+            hits = exact_topk(fresh.snapshot, some_vec[np.newaxis, :], k=1)
+            assert hits[0]
+        finally:
+            fresh.release()
+        assert snapshots.stats()["retirements_failed"] == 1

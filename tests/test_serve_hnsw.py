@@ -12,6 +12,12 @@ rather than a handful of fixtures:
   IVF searcher's for every index mutation pattern (append, remove,
   supersede, compact), so the service's refit-on-stale logic is
   algorithm-agnostic.
+
+Plus the persistence contract (``TestPersistence``): a ``save``d graph
+``load``s back bit-identically (same ``structure_digest``), ``attach``
+proves freshness via the index content fingerprint, and a tampered,
+truncated or version-skewed file raises ``IndexFormatError`` rather than
+serving a silently wrong graph.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ from hypothesis import strategies as st
 from repro.serve import (
     EmbeddingIndex,
     HNSWSearcher,
+    IndexFormatError,
     IVFSearcher,
     exact_topk,
     recall_at_k,
@@ -177,3 +184,77 @@ class TestStalenessParityWithIVF:
         assert clone.kind == "circuit" and not clone.is_fitted
         ivf_clone = ivf.clone_params()
         assert ivf_clone.nprobe == ivf.nprobe and not ivf_clone._centroids
+
+
+class TestPersistence:
+    """save()/load()/attach(): the graph is bit-identical or an error."""
+
+    def _saved(self, tmp_path, n=90, seed=12):
+        index = _corpus_index(tmp_path, n, 16, seed)
+        index.save()
+        # Fit against the *saved* state so the stored fingerprint matches
+        # what an independent open() of the directory reports.
+        searcher = HNSWSearcher(M=8, ef_construction=48, ef_search=64, seed=0)
+        searcher.fit(index)
+        path = tmp_path / "graph.npz"
+        searcher.save(path)
+        return index, searcher, path
+
+    def test_save_load_round_trip_is_bit_identical(self, tmp_path):
+        _, fitted, path = self._saved(tmp_path)
+        loaded = HNSWSearcher.load(path)
+        assert loaded.structure_digest() == fitted.structure_digest()
+        assert (loaded.M, loaded.ef_construction, loaded.ef_search, loaded.seed,
+                loaded.kind) == (fitted.M, fitted.ef_construction,
+                                 fitted.ef_search, fitted.seed, fitted.kind)
+        rng = np.random.default_rng(13)
+        queries = rng.normal(size=(6, 16))
+        for a, b in zip(fitted.search(queries, k=5), loaded.search(queries, k=5)):
+            assert [(h.key, h.score) for h in a] == [(h.key, h.score) for h in b]
+
+    def test_attach_adopts_generation_only_when_content_matches(self, tmp_path):
+        index, _, path = self._saved(tmp_path)
+        reopened = EmbeddingIndex.open(index.directory)
+        loaded = HNSWSearcher.load(path)
+        assert loaded.attach(reopened) is True
+        assert not loaded.needs_refit(reopened)
+
+        reopened.add(["moved"], np.ones((1, 16)), kinds="cone")
+        reopened.save()
+        stale = HNSWSearcher.load(path)
+        assert stale.attach(reopened) is False
+        assert stale.needs_refit(reopened)
+
+    def test_save_before_fit_raises(self, tmp_path):
+        with pytest.raises(RuntimeError, match="before fit"):
+            HNSWSearcher(M=8).save(tmp_path / "graph.npz")
+
+    def test_tampered_arrays_fail_the_structure_digest(self, tmp_path):
+        _, _, path = self._saved(tmp_path)
+        with np.load(path, allow_pickle=False) as payload:
+            arrays = {name: payload[name].copy() for name in payload.files}
+        arrays["vectors"][0, 0] += 1e-9  # one flipped mantissa bit is enough
+        with open(path, "wb") as handle:
+            np.savez(handle, **arrays)
+        with pytest.raises(IndexFormatError, match="structure digest"):
+            HNSWSearcher.load(path)
+
+    def test_garbage_file_raises_index_format_error(self, tmp_path):
+        path = tmp_path / "graph.npz"
+        path.write_bytes(b"definitely not an npz archive")
+        with pytest.raises(IndexFormatError, match="unreadable"):
+            HNSWSearcher.load(path)
+
+    def test_unsupported_format_version_raises(self, tmp_path):
+        import json as _json
+
+        _, _, path = self._saved(tmp_path)
+        with np.load(path, allow_pickle=False) as payload:
+            arrays = {name: payload[name].copy() for name in payload.files}
+        meta = _json.loads(bytes(arrays["meta"]).decode())
+        meta["format_version"] = 999
+        arrays["meta"] = np.frombuffer(_json.dumps(meta).encode(), dtype=np.uint8)
+        with open(path, "wb") as handle:
+            np.savez(handle, **arrays)
+        with pytest.raises(IndexFormatError, match="format version"):
+            HNSWSearcher.load(path)

@@ -117,13 +117,62 @@ class TestShardedCorpus:
         corpus = ShardedCorpus.build(ITEMS, tmp_path, name="t", shard_size=5)
         corpus.fetch(range(10))  # warm the cache; it must not be pickled
         clone = pickle.loads(pickle.dumps(corpus))
-        assert clone.stats() == {"loads": 0, "prefetch_hits": 0}
+        assert clone.stats() == {"loads": 0, "prefetch_hits": 0,
+                                 "prefetch_failures": 0}
         assert clone.fetch([3, 12, 22]) == ["item-3", "item-12", "item-22"]
         assert clone.fingerprint() == corpus.fingerprint()
 
     def test_invalid_shard_size(self, tmp_path):
         with pytest.raises(ValueError):
             ShardedCorpus.build(ITEMS, tmp_path, shard_size=0)
+
+    def test_poisoned_prefetch_warns_counts_and_reraises_on_that_shard(
+        self, tmp_path
+    ):
+        """ISSUE 10 bugfix: a failed background prefetch used to surface as an
+        unexplained later error; it must warn once, count, and re-raise the
+        captured exception eagerly on the next load of *that* shard only."""
+        corpus = ShardedCorpus.build(ITEMS, tmp_path, name="t", shard_size=5)
+        corpus._store.payload_path("t", "00002").write_bytes(b"\x80not a pickle")
+
+        corpus.prefetch(2)
+        with pytest.warns(RuntimeWarning, match="background prefetch of shard 2"):
+            with pytest.raises(Exception) as excinfo:
+                corpus.load_shard(2)
+        assert not isinstance(excinfo.value, AssertionError)
+        assert corpus.stats()["prefetch_failures"] == 1
+
+        # Other shards stay loadable; the failure does not wedge the corpus.
+        assert corpus.load_shard(0) == ITEMS[:5]
+        assert corpus.fetch([21]) == ["item-21"]
+
+    def test_prefetch_failure_warns_once_and_retry_clears_it(self, tmp_path):
+        corpus = ShardedCorpus.build(ITEMS, tmp_path, name="t", shard_size=5)
+        payload_path = corpus._store.payload_path("t", "00001")
+        good_bytes = payload_path.read_bytes()
+        payload_path.write_bytes(b"garbage")
+
+        corpus.prefetch(1)
+        with pytest.warns(RuntimeWarning, match="warning once per corpus"):
+            with pytest.raises(Exception):
+                corpus.load_shard(1)
+
+        # Heal the shard: a successful retry loads cleanly, and further
+        # failures no longer warn (once per corpus).
+        payload_path.write_bytes(good_bytes)
+        assert corpus.load_shard(1) == ITEMS[5:10]
+        payload_path.write_bytes(b"garbage again")
+        corpus._cache.clear()
+        corpus._cache_order.clear()
+        corpus.prefetch(1)
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error", RuntimeWarning)
+            with pytest.raises(Exception) as excinfo:
+                corpus.load_shard(1)
+        assert not isinstance(excinfo.value, RuntimeWarning)
+        assert corpus.stats()["prefetch_failures"] == 2
 
 
 class TestShardStreamPlan:
